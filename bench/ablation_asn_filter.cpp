@@ -1,0 +1,63 @@
+// ablation_asn_filter — the §4.1 pre-processing step that discards
+// association tuples whose v4 and v6 origin ASNs differ. Without it,
+// smartphones switching between WiFi and cellular mid-visit inject foreign
+// /24s into fixed-line /64 histories, breaking association runs and
+// inflating /24 degrees.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stats/summary.h"
+
+using namespace dynamips;
+
+namespace {
+
+struct Summary {
+  double fixed_median_duration;
+  double fixed_degree_median;
+  std::uint64_t tuples;
+  std::uint64_t dropped;
+};
+
+Summary run(bool filter) {
+  auto cfg = bench::default_cdn_config();
+  cfg.assoc.require_asn_match = filter;
+  cfg.cdn.cross_network_noise = 0.05;  // pronounced noise for the ablation
+  auto study = core::run_cdn_study(
+      cdn::default_cdn_population(cfg.cdn.subscriber_scale), cfg);
+
+  std::vector<double> durations, degrees;
+  for (const auto& [cls, d] : study.analyzer.registry_durations())
+    if (!cls.mobile) durations.insert(durations.end(), d.begin(), d.end());
+  for (const auto& [deg, mobile] : study.analyzer.degrees())
+    if (!mobile) degrees.push_back(double(deg));
+  return {stats::median(durations), stats::median(degrees),
+          study.analyzer.total_tuples(),
+          study.analyzer.total_mismatched()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: ASN-match pre-filter",
+                      "CDN analyses with and without discarding "
+                      "asn4 != asn6 tuples (noise raised to 5%)");
+  Summary with = run(true);
+  Summary without = run(false);
+
+  std::printf("%-28s %14s %14s\n", "", "with filter", "without");
+  std::printf("%-28s %14llu %14llu\n", "tuples analyzed",
+              (unsigned long long)with.tuples,
+              (unsigned long long)without.tuples);
+  std::printf("%-28s %14llu %14llu\n", "tuples dropped",
+              (unsigned long long)with.dropped,
+              (unsigned long long)without.dropped);
+  std::printf("%-28s %13.0fd %13.0fd\n", "fixed median assoc duration",
+              with.fixed_median_duration, without.fixed_median_duration);
+  std::printf("%-28s %14.0f %14.0f\n", "fixed median /24 degree",
+              with.fixed_degree_median, without.fixed_degree_median);
+  std::printf("\nWithout the filter, foreign /24s split long fixed-line "
+              "associations (shorter median) — exactly the spurious-churn "
+              "artifact §4.1 pre-processing exists to remove.\n");
+  return 0;
+}

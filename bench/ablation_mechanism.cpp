@@ -1,0 +1,92 @@
+// ablation_mechanism — cross-validation of the statistical timeline model
+// against the protocol-level DHCP/RADIUS machinery (simnet/dhcpd.h). Both
+// model a German-style ISP: 24-hour sessions, no binding memory, occasional
+// CPE reboots. The emergent duration distributions must agree on the
+// structure the paper measures: a dominant 24 h mode with mass at exact
+// multiples of the lease.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "simnet/dhcpd.h"
+#include "simnet/subscriber.h"
+#include "stats/periodicity.h"
+#include "stats/ttf.h"
+
+using namespace dynamips;
+using simnet::Hour;
+
+int main() {
+  bench::print_banner("Ablation: statistical vs protocol-level mechanism",
+                      "24-hour RADIUS-style ISP, two independent models");
+
+  const Hour window = 8760;
+  const int subscribers = 300;
+
+  // --- Model A: statistical draws (the pipeline's default) --------------
+  simnet::IspProfile stat = *simnet::find_isp("Versatel");
+  stat.static_share = 0;
+  stat.dualstack_share = 0;
+  simnet::TimelineGenerator gen(stat, 1);
+  stats::TotalTimeFraction stat_ttf;
+  for (int sub = 0; sub < subscribers; ++sub) {
+    auto tl = gen.generate(std::uint32_t(sub), 0, window);
+    // interior segments only (sandwiched)
+    for (std::size_t i = 1; i + 1 < tl.v4.size(); ++i)
+      stat_ttf.add(tl.v4[i].end - tl.v4[i].start);
+  }
+
+  // --- Model B: protocol-level RADIUS session machinery ------------------
+  // Every SessionTimeout the PPP session tears down and the CPE reconnects;
+  // the allocator keeps no binding memory, so (almost) every session gets
+  // a new address. Occasional CPE reboots end sessions early.
+  simnet::V4AddressPlan plan({*net::Prefix4::parse("89.244.0.0/14")}, 0.07,
+                             1.0);
+  simnet::RadiusAllocator radius(plan, {.session_timeout = 24}, 2);
+  net::Rng rng(3);
+  stats::TotalTimeFraction proto_ttf;
+  for (int sub = 0; sub < subscribers; ++sub) {
+    std::vector<Hour> change_hours;
+    net::IPv4Address prev{};
+    Hour t = 0;
+    // Pre-drawn reboot instants (rate as in the statistical profile).
+    Hour next_reboot = Hour(rng.exponential(8760.0 / 4.0));
+    while (t < window) {
+      auto session = radius.connect(simnet::ClientId(sub), t);
+      if (session.addr != prev) change_hours.push_back(t);
+      prev = session.addr;
+      Hour session_end = session.timeout_at;
+      if (next_reboot > t && next_reboot < session_end) {
+        session_end = next_reboot;  // reboot ends the session early
+        next_reboot = session_end + 1 + Hour(rng.exponential(8760.0 / 4.0));
+      }
+      t = session_end;
+    }
+    for (std::size_t i = 1; i + 1 < change_hours.size(); ++i)
+      proto_ttf.add(change_hours[i + 1] - change_hours[i]);
+  }
+
+  auto thresholds = stats::fig1_thresholds();
+  std::printf("%-14s", "model");
+  for (auto t : thresholds) std::printf(" %6s", stats::duration_label(t));
+  std::printf("\n%-14s", "statistical");
+  for (double v : stat_ttf.cumulative(thresholds)) std::printf(" %6.3f", v);
+  std::printf("\n%-14s", "protocol");
+  for (double v : proto_ttf.cumulative(thresholds)) std::printf(" %6.3f", v);
+  std::printf("\n");
+
+  stats::PeriodicityDetector det;
+  auto m1 = det.dominant(stat_ttf);
+  auto m2 = det.dominant(proto_ttf);
+  std::printf("\ndominant period: statistical=%s%llu h (%.0f%%), "
+              "protocol=%s%llu h (%.0f%%)\n",
+              m1 ? "" : "none ", m1 ? (unsigned long long)m1->period_hours : 0,
+              m1 ? 100 * m1->time_fraction : 0.0, m2 ? "" : "none ",
+              m2 ? (unsigned long long)m2->period_hours : 0,
+              m2 ? 100 * m2->time_fraction : 0.0);
+  std::printf("\nBoth models put the bulk of observed time at the 24 h "
+              "session boundary; the protocol model derives it from lease "
+              "expiry mechanics rather than a calibrated draw — the "
+              "cross-check that the calibration is not baking in the "
+              "conclusion.\n");
+  return 0;
+}

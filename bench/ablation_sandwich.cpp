@@ -1,0 +1,64 @@
+// ablation_sandwich — why durations are only measured between two observed
+// changes (§3.1). Counting censored spans (first/last of each history, cut
+// off by the observation window) as durations biases the distribution:
+// long-lived assignments are exactly the ones most likely to be censored.
+#include <cstdio>
+
+#include "atlas/generator.h"
+#include "bench/bench_util.h"
+#include "core/durations.h"
+#include "core/sanitize.h"
+#include "stats/ttf.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Ablation: sandwiched-duration rule",
+                      "durations measured between changes vs including "
+                      "window-censored spans");
+
+  auto cfg = bench::default_atlas_config();
+  atlas::AtlasSimulator sim(simnet::paper_isps(), cfg.atlas);
+  bgp::Rib rib;
+  simnet::announce_all(sim.isps(), rib);
+  core::Sanitizer sanitizer(rib, cfg.sanitize);
+
+  std::map<bgp::Asn, stats::TotalTimeFraction> sandwiched, with_censored;
+  std::map<bgp::Asn, std::string> names;
+  for (const auto& isp : sim.isps()) names[isp.asn] = isp.name;
+
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    auto obs = core::from_series(sim.series_for(i));
+    for (const auto& cp : sanitizer.sanitize(obs)) {
+      auto spans = core::extract_spans4(cp.v4);
+      for (auto d : core::sandwiched_durations4(spans, cfg.changes))
+        sandwiched[cp.asn].add(d);
+      for (const auto& s : spans) {
+        simnet::Hour d = s.last_seen - s.first_seen + 1;
+        if (d > 0) with_censored[cp.asn].add(d);
+      }
+    }
+  }
+
+  auto thresholds = stats::fig1_thresholds();
+  std::printf("%-12s %-11s", "AS", "rule");
+  for (auto t : thresholds) std::printf(" %6s", stats::duration_label(t));
+  std::printf("\n");
+  for (const char* name : {"DTAG", "Orange", "BT"}) {
+    bgp::Asn asn = 0;
+    for (auto& [a, n] : names)
+      if (n == name) asn = a;
+    auto c1 = sandwiched[asn].cumulative(thresholds);
+    auto c2 = with_censored[asn].cumulative(thresholds);
+    std::printf("%-12s %-11s", name, "sandwiched");
+    for (double v : c1) std::printf(" %6.3f", v);
+    std::printf("\n%-12s %-11s", "", "+censored");
+    for (double v : c2) std::printf(" %6.3f", v);
+    std::printf("\n");
+  }
+  std::printf("\nCensored spans are truncated by the observation window, so "
+              "including them *shortens* apparent durations for stable ISPs "
+              "and muddies the periodic modes — the curves differ most "
+              "exactly where the paper draws conclusions.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// ablation_scramble — how CPE subnet scrambling corrupts the zero-bits
+// inference (§5.3's caveat, visible as DTAG's second Fig. 6 spike at /64
+// and the CPL >= 56 cluster in Fig. 5b). Runs the DTAG profile with the
+// scrambling CPE share turned off and at its calibrated value.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace dynamips;
+
+namespace {
+
+struct Result {
+  std::map<int, int> inferred;  // length -> probes
+  std::uint64_t high_cpl_changes = 0;
+  std::uint64_t total_changes = 0;
+  int probes = 0;
+};
+
+Result run(double scramble_share) {
+  auto dtag = *simnet::find_isp("DTAG");
+  dtag.cpe_scramble_share = scramble_share;
+  auto cfg = bench::default_atlas_config();
+  auto study = core::run_atlas_study({dtag}, cfg);
+  Result r;
+  auto iit = study.subscriber_inference.find(dtag.asn);
+  if (iit != study.subscriber_inference.end()) {
+    r.probes = int(iit->second.size());
+    for (const auto& inf : iit->second) ++r.inferred[inf.inferred_len];
+  }
+  auto sit = study.spatial.find(dtag.asn);
+  if (sit != study.spatial.end()) {
+    r.total_changes = sit->second.cpl.total_changes();
+    for (int c = 56; c <= 64; ++c)
+      r.high_cpl_changes += sit->second.cpl.changes[std::size_t(c)];
+  }
+  return r;
+}
+
+void print(const char* label, const Result& r) {
+  std::printf("\n-- %s (%d probes with v6 changes) --\n", label, r.probes);
+  for (const auto& [len, count] : r.inferred)
+    std::printf("  inferred /%-3d %5.1f%%\n", len,
+                100.0 * count / double(r.probes));
+  std::printf("  changes with CPL >= 56: %.2f%% of %llu\n",
+              r.total_changes
+                  ? 100.0 * double(r.high_cpl_changes) /
+                        double(r.total_changes)
+                  : 0.0,
+              (unsigned long long)r.total_changes);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: CPE subnet scrambling",
+                      "DTAG zero-bits inference with and without "
+                      "scrambling CPEs");
+  print("scramble share = 0 (all CPEs zero-fill)", run(0.0));
+  print("scramble share = 0.35 (calibrated)", run(0.35));
+  std::printf("\nGround truth is /56 in both runs. Scrambling CPEs fill the "
+              "subnet bits, so their probes infer /64 — the paper's caveat "
+              "that the method overestimates for such CPEs — and their "
+              "intra-delegation rotations create the CPL >= 56 cluster of "
+              "Fig. 5b.\n");
+  return 0;
+}

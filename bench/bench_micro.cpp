@@ -1,0 +1,123 @@
+// bench_micro — google-benchmark microbenchmarks of the hot data paths:
+// address parsing/formatting, trie insert/LPM, span extraction, and the
+// total-time-fraction accumulator. These are the operations that dominate
+// full-dataset analysis runs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/changes.h"
+#include "netaddr/ipv4.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/rng.h"
+#include "rtrie/prefix_trie.h"
+#include "stats/ttf.h"
+
+using namespace dynamips;
+
+namespace {
+
+void BM_ParseIPv4(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = net::IPv4Address::parse("192.0.2.123");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ParseIPv4);
+
+void BM_ParseIPv6(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = net::IPv6Address::parse("2003:ec57:1234:5600::1");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ParseIPv6);
+
+void BM_FormatIPv6(benchmark::State& state) {
+  net::IPv6Address a{0x2003ec5712345600ull, 0x1};
+  for (auto _ : state) {
+    auto s = a.to_string();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FormatIPv6);
+
+void BM_TrieInsert(benchmark::State& state) {
+  net::Rng rng(1);
+  std::vector<net::U128> keys;
+  for (int i = 0; i < 4096; ++i)
+    keys.push_back({rng.next_u64(), rng.next_u64()});
+  for (auto _ : state) {
+    rtrie::PrefixTrie<int> trie;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      trie.insert(keys[i], 48, int(i));
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  net::Rng rng(2);
+  rtrie::PrefixTrie<int> trie;
+  std::vector<net::U128> keys;
+  for (int i = 0; i < int(state.range(0)); ++i) {
+    net::U128 k{rng.next_u64(), rng.next_u64()};
+    trie.insert(k, 8 + unsigned(rng.uniform(56)), i);
+    keys.push_back(k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto m = trie.longest_match(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1024)->Arg(16384);
+
+void BM_ExtractSpans6(benchmark::State& state) {
+  net::Rng rng(3);
+  std::vector<core::Obs6> obs;
+  std::uint64_t net64 = 0x2003ec5700000000ull;
+  for (int h = 0; h < int(state.range(0)); ++h) {
+    if (h % 24 == 23) net64 += 0x100;  // daily renumbering
+    obs.push_back({simnet::Hour(h), net::IPv6Address{net64, 1}, true});
+  }
+  for (auto _ : state) {
+    auto spans = core::extract_spans6(obs);
+    benchmark::DoNotOptimize(spans);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractSpans6)->Arg(8760)->Arg(52560);
+
+void BM_TtfAccumulate(benchmark::State& state) {
+  net::Rng rng(4);
+  std::vector<std::uint64_t> durations;
+  for (int i = 0; i < 10000; ++i)
+    durations.push_back(24 * (1 + rng.uniform(60)));
+  for (auto _ : state) {
+    stats::TotalTimeFraction ttf;
+    for (auto d : durations) ttf.add(d);
+    benchmark::DoNotOptimize(ttf.total_hours());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TtfAccumulate);
+
+void BM_CommonPrefixLength64(benchmark::State& state) {
+  net::Rng rng(5);
+  std::vector<std::uint64_t> nets;
+  for (int i = 0; i < 1024; ++i) nets.push_back(rng.next_u64());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    int c = net::common_prefix_length64(nets[i % 1024], nets[(i + 1) % 1024]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_CommonPrefixLength64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// bench_util.h — shared scaffolding for the table/figure regeneration
+// binaries.
+//
+// Every bench binary reproduces one artifact of the paper's evaluation.
+// They share one Atlas study and one CDN study (computed once per process)
+// at a scale controlled by environment variables:
+//   DYNAMIPS_SCALE        probe/subscriber scale factor (default 0.3)
+//   DYNAMIPS_WINDOW_HOURS Atlas observation window (default 30000 ~ 3.4 y)
+//   DYNAMIPS_SEED         simulation seed (default 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "simnet/isp.h"
+
+namespace dynamips::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline core::AtlasStudyConfig default_atlas_config() {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = env_double("DYNAMIPS_SCALE", 0.3);
+  cfg.atlas.window_hours = env_u64("DYNAMIPS_WINDOW_HOURS", 30000);
+  cfg.atlas.seed = env_u64("DYNAMIPS_SEED", 1);
+  return cfg;
+}
+
+inline core::CdnStudyConfig default_cdn_config() {
+  core::CdnStudyConfig cfg;
+  cfg.cdn.subscriber_scale = env_double("DYNAMIPS_SCALE", 0.3);
+  cfg.cdn.seed = env_u64("DYNAMIPS_SEED", 1) * 977;
+  return cfg;
+}
+
+/// The Atlas study, computed once per process.
+inline const core::AtlasStudy& shared_atlas_study() {
+  static core::AtlasStudy study =
+      core::run_atlas_study(simnet::paper_isps(), default_atlas_config());
+  return study;
+}
+
+/// The CDN study, computed once per process.
+inline const core::CdnStudy& shared_cdn_study() {
+  static core::CdnStudy study = [] {
+    auto cfg = default_cdn_config();
+    return core::run_cdn_study(
+        cdn::default_cdn_population(cfg.cdn.subscriber_scale), cfg);
+  }();
+  return study;
+}
+
+/// Find the ASN for an ISP name; 0 when unknown.
+inline bgp::Asn asn_of(const core::AtlasStudy& study,
+                       const std::string& name) {
+  for (const auto& [asn, n] : study.as_names)
+    if (n == name) return asn;
+  return 0;
+}
+
+inline void print_banner(const char* artifact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(synthetic reproduction; compare shapes, not absolute counts)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace dynamips::bench

@@ -1,0 +1,54 @@
+// fig1_durations — regenerates Fig. 1: cumulative total time fraction of
+// IPv4 (non-dual-stack and dual-stack) and IPv6 assignment durations for
+// the six large ASes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stats/ttf.h"
+
+using namespace dynamips;
+
+namespace {
+
+void print_panel(const char* title, const core::AtlasStudy& study,
+                 const std::vector<std::string>& names,
+                 const stats::TotalTimeFraction core::AsDurationStats::*member) {
+  auto thresholds = stats::fig1_thresholds();
+  std::printf("\n-- %s (cumulative total time fraction) --\n", title);
+  std::printf("%-10s", "AS");
+  for (auto t : thresholds) std::printf(" %6s", stats::duration_label(t));
+  std::printf("   total-years\n");
+  for (const auto& name : names) {
+    bgp::Asn asn = bench::asn_of(study, name);
+    auto it = study.durations.find(asn);
+    if (it == study.durations.end()) continue;
+    const stats::TotalTimeFraction& ttf = it->second.*member;
+    auto curve = ttf.cumulative(thresholds);
+    std::printf("%-10s", name.c_str());
+    for (double v : curve) std::printf(" %6.3f", v);
+    std::printf("   %.2f\n", double(ttf.total_hours()) / 8760.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 1",
+                      "cumulative total time fraction of assignment "
+                      "durations in six large ASes");
+  const auto& study = bench::shared_atlas_study();
+  std::vector<std::string> names{"DTAG", "Orange", "Comcast",
+                                 "LGI",  "BT",     "Proximus"};
+
+  print_panel("IPv4, non dual-stack", study, names,
+              &core::AsDurationStats::v4_nds);
+  print_panel("IPv4, dual-stack", study, names,
+              &core::AsDurationStats::v4_ds);
+  print_panel("IPv6 /64", study, names, &core::AsDurationStats::v6);
+
+  std::printf("\nExpected shapes (paper): v6 curves sit right of v4; DTAG "
+              "mode at 1d, Proximus at 1.5d, Orange at 1w, BT at 2w in "
+              "non-dual-stack v4; dual-stack v4 is right of non-dual-stack.\n");
+  return 0;
+}

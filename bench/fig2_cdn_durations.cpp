@@ -1,0 +1,40 @@
+// fig2_cdn_durations — regenerates Fig. 2: CDF of IPv4/IPv6 address
+// association durations for the six featured ISPs, observed at the CDN.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stats/ecdf.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Figure 2",
+                      "CDN address-association durations for selected ISPs");
+  const auto& study = bench::shared_cdn_study();
+
+  const std::vector<double> thresholds{1, 7, 14, 30, 90, 150};
+  const char* labels[] = {"1d", "1w", "2w", "1m", "3m", "5m"};
+
+  std::printf("%-10s", "AS");
+  for (auto* l : labels) std::printf(" %6s", l);
+  std::printf(" %8s %8s\n", "median", "assoc");
+
+  for (const auto& [asn, stats] : study.analyzer.by_asn()) {
+    const std::string& name = study.asn_names.at(asn);
+    bool featured = name == "DTAG" || name == "Orange" || name == "LGI" ||
+                    name == "BT" || name == "Comcast" || name == "Proximus";
+    if (!featured) continue;
+    stats::Ecdf cdf;
+    for (double d : stats.durations_days) cdf.add(d);
+    std::printf("%-10s", name.c_str());
+    for (double t : thresholds) std::printf(" %6.3f", cdf.at(t));
+    std::printf(" %7.0fd %8zu\n", cdf.quantile(0.5),
+                stats.durations_days.size());
+  }
+  std::printf("\nExpected shape (paper): association durations track the "
+              "shorter of the two families' assignment durations — DTAG and "
+              "BT medians near their v4 renumbering periods (~1w / ~2w), "
+              "the others spread to months.\n");
+  return 0;
+}

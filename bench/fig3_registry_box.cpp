@@ -1,0 +1,66 @@
+// fig3_registry_box — regenerates Fig. 3: box statistics of CDN association
+// durations per Internet registry, split fixed vs mobile, plus the §4.2
+// headline statistics.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stats/summary.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Figure 3",
+                      "CDN association durations by registry (days; "
+                      "whiskers p5/p95, box q1/q3)");
+  const auto& study = bench::shared_cdn_study();
+
+  std::vector<double> all_fixed, all_mobile;
+  for (const auto& [cls, durations] : study.analyzer.registry_durations()) {
+    auto& sink = cls.mobile ? all_mobile : all_fixed;
+    sink.insert(sink.end(), durations.begin(), durations.end());
+  }
+
+  auto print_box = [](const char* reg, const char* kind,
+                      std::vector<double> xs) {
+    auto b = stats::BoxStats::of(std::move(xs));
+    std::printf("%-9s %-7s %6.1f %6.1f %6.1f %6.1f %6.1f %9zu\n", reg, kind,
+                b.p5, b.q1, b.median, b.q3, b.p95, b.n);
+  };
+
+  std::printf("%-9s %-7s %6s %6s %6s %6s %6s %9s\n", "registry", "class",
+              "p5", "q1", "median", "q3", "p95", "n");
+  print_box("ALL", "fixed", all_fixed);
+  print_box("ALL", "mobile", all_mobile);
+  for (bgp::Registry reg : bgp::kAllRegistries) {
+    for (bool mobile : {false, true}) {
+      auto it = study.analyzer.registry_durations().find(
+          core::RegistryClass{reg, mobile});
+      if (it == study.analyzer.registry_durations().end()) continue;
+      print_box(bgp::registry_name(reg), mobile ? "mobile" : "fixed",
+                it->second);
+    }
+  }
+
+  // §4.2 headline numbers.
+  auto fixed_box = stats::BoxStats::of(all_fixed);
+  auto mobile_box = stats::BoxStats::of(all_mobile);
+  std::printf("\nSec. 4.2: fixed median %.0f days vs mobile median %.0f "
+              "days (paper: 61 days vs ~1 day, a ~60x gap)\n",
+              fixed_box.median, mobile_box.median);
+  std::printf("Mobile associations <= 1 day: %.0f%% (paper: ~75%%)\n",
+              [&] {
+                std::size_t c = 0;
+                for (double d : all_mobile) c += d <= 1.0;
+                return all_mobile.empty()
+                           ? 0.0
+                           : 100.0 * double(c) / double(all_mobile.size());
+              }());
+  std::printf("ASN-mismatch tuples removed: %llu of %llu\n",
+              (unsigned long long)study.analyzer.total_mismatched(),
+              (unsigned long long)(study.analyzer.total_tuples() +
+                                   study.analyzer.total_mismatched()));
+  std::printf("\nExpected shape (paper): fixed boxes span weeks-months "
+              "(ARIN longest); mobile boxes hug 1 day except the RIPE tail "
+              "(EE Ltd reaching ~50 days).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// fig7_cdn_trailing_zeros — regenerates Fig. 7: frequency of trailing-zero
+// patterns in fixed-line /64s per registry, used to infer delegated prefix
+// lengths at CDN scale.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Figure 7",
+                      "trailing zeros of observed /64s, grouped by longest "
+                      "nibble boundary (fixed-line)");
+  const auto& study = bench::shared_cdn_study();
+
+  std::printf("%-9s %8s %8s %8s %8s %12s %10s\n", "registry", "/48", "/52",
+              "/56", "/60", "inferable%", "unique64s");
+  for (bgp::Registry reg : bgp::kAllRegistries) {
+    auto it = study.analyzer.zero_counts().find(
+        core::RegistryClass{reg, /*mobile=*/false});
+    if (it == study.analyzer.zero_counts().end()) continue;
+    const auto& z = it->second;
+    std::printf("%-9s %8.3f %8.3f %8.3f %8.3f %11.1f%% %10llu\n",
+                bgp::registry_name(reg),
+                z.fraction(core::ZeroBoundary::k48),
+                z.fraction(core::ZeroBoundary::k52),
+                z.fraction(core::ZeroBoundary::k56),
+                z.fraction(core::ZeroBoundary::k60),
+                100.0 * z.inferable_fraction(),
+                (unsigned long long)z.total());
+  }
+
+  std::printf("\n-- mobile /64s (for contrast) --\n");
+  for (bgp::Registry reg : bgp::kAllRegistries) {
+    auto it = study.analyzer.zero_counts().find(
+        core::RegistryClass{reg, /*mobile=*/true});
+    if (it == study.analyzer.zero_counts().end()) continue;
+    std::printf("%-9s inferable %.1f%% (expected ~1/16 by chance: mobile "
+                "UEs receive bare /64s)\n",
+                bgp::registry_name(reg),
+                100.0 * it->second.inferable_fraction());
+  }
+  std::printf("\nExpected shape (paper): RIPE and AFRINIC dominated by /56 "
+              "(>60%% of /64s with 8+ trailing zero bits); ARIN split "
+              "between /60 and /56 (~59%% inferable); LACNIC mostly "
+              "uninferable (~15%%); mobile shows no consistent zeros.\n");
+  return 0;
+}

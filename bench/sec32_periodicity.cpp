@@ -1,0 +1,66 @@
+// sec32_periodicity — regenerates the §3.2 periodic-renumbering findings:
+// detected renumbering periods per AS and family, the count of consistently
+// periodic networks, and the total-time-fraction vs naive-PMF ablation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stats/periodicity.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Section 3.2",
+                      "periodic renumbering detection and the "
+                      "total-time-fraction metric ablation");
+  const auto& study = bench::shared_atlas_study();
+  stats::PeriodicityDetector detector;
+
+  std::printf("%-14s %-22s %-22s %-22s %6s\n", "AS", "v4 non-dual-stack",
+              "v4 dual-stack", "v6", "cooc%");
+  int periodic_networks = 0;
+  for (const auto& [asn, d] : study.durations) {
+    auto fmt = [&](const stats::TotalTimeFraction& ttf, char* buf,
+                   std::size_t n) {
+      auto mode = detector.dominant(ttf);
+      if (mode)
+        std::snprintf(buf, n, "%lluh (%.0f%% of time)",
+                      (unsigned long long)mode->period_hours,
+                      100.0 * mode->time_fraction);
+      else
+        std::snprintf(buf, n, "-");
+      return mode.has_value();
+    };
+    char b1[32], b2[32], b3[32];
+    bool p1 = fmt(d.v4_nds, b1, sizeof b1);
+    fmt(d.v4_ds, b2, sizeof b2);
+    fmt(d.v6, b3, sizeof b3);
+    if (p1) ++periodic_networks;
+    std::printf("%-14s %-22s %-22s %-22s %5.0f%%\n",
+                study.as_names.at(asn).c_str(), b1, b2, b3,
+                100.0 * d.cooccurrence());
+  }
+  std::printf("\nNetworks with consistent periodic non-dual-stack v4 "
+              "renumbering: %d (paper: 35 across the full probe set; here "
+              "scaled to the simulated ISP roster)\n",
+              periodic_networks);
+
+  // Ablation: naive PMF vs total time fraction on DTAG non-dual-stack v4.
+  bgp::Asn dtag = bench::asn_of(study, "DTAG");
+  auto it = study.durations.find(dtag);
+  if (it != study.durations.end()) {
+    auto thresholds = stats::fig1_thresholds();
+    auto naive = it->second.v4_nds.cumulative_naive(thresholds);
+    auto ttf = it->second.v4_nds.cumulative(thresholds);
+    std::printf("\n-- Metric ablation (DTAG v4 non-dual-stack, cumulative "
+                "at thresholds) --\n%-8s", "");
+    for (auto t : thresholds) std::printf(" %6s", stats::duration_label(t));
+    std::printf("\n%-8s", "naive");
+    for (double v : naive) std::printf(" %6.3f", v);
+    std::printf("\n%-8s", "ttf");
+    for (double v : ttf) std::printf(" %6.3f", v);
+    std::printf("\nNaive PMF overweights short durations (§3.2.1): the "
+                "naive curve sits above the total-time-fraction curve at "
+                "every threshold below the mode.\n");
+  }
+  return 0;
+}

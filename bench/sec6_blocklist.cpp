@@ -1,0 +1,52 @@
+// sec6_blocklist — the §6 host-reputation tradeoff, quantified: for three
+// contrasting ISPs, sweep block prefix length and duration and report the
+// evasion rate and collateral damage of each policy. This is the
+// evasion-vs-collateral tradeoff the paper frames ("blocking a short prefix
+// for a long time as opposed to a longer prefix for a short time").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/blocklist.h"
+#include "simnet/subscriber.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Section 6 (blocklists)",
+                      "evasion vs collateral across block policies");
+
+  const simnet::Hour window = 24 * 90;
+  for (const char* name : {"DTAG", "Netcologne", "Comcast"}) {
+    auto isp = *simnet::find_isp(name);
+    simnet::TimelineGenerator gen(isp, 17);
+    std::vector<simnet::SubscriberTimeline> population;
+    for (std::uint32_t id = 0; id < 250; ++id) {
+      auto tl = gen.generate(id, 0, window);
+      if (tl.dual_stack) population.push_back(std::move(tl));
+    }
+    core::BlocklistSimulator sim(std::move(population));
+
+    std::printf("\n-- %s --\n", name);
+    std::printf("%8s %10s %10s %12s\n", "block", "duration", "evasion",
+                "collateral");
+    for (int len : {64, 56, 48, 40}) {
+      for (simnet::Hour dur : {simnet::Hour(24), simnet::Hour(24 * 7),
+                               simnet::Hour(24 * 30)}) {
+        auto out = sim.evaluate({len, dur});
+        std::printf("   /%-4d %8llud %9.0f%% %12.2f\n", len,
+                    (unsigned long long)(dur / 24),
+                    100.0 * out.evasion_rate(),
+                    out.collateral_per_incident());
+      }
+    }
+  }
+  std::printf("\nExpected shapes: on daily-renumbering ISPs (DTAG, "
+              "Netcologne) any block at or below the delegation length is "
+              "evaded as soon as the next renumbering lands — blocking "
+              "longer than the renumbering period only buys collateral, "
+              "the §3.2 durations are the binding constraint. Containing "
+              "such offenders requires pool-level (/40) blocks, which hit "
+              "innocent pool-mates instead. Comcast's stability makes even "
+              "month-long /64 blocks both effective and collateral-free.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// sec6_tracking_scan — quantifies two §2.3/§6 text claims:
+//  * devices with EUI-64 IIDs remain trackable across network renumbering
+//    (privacy-extension devices do not), and
+//  * the spatial results turn re-finding a moved device from hopeless
+//    (2^45 candidate /64s under DTAG's announcement) into cheap (pool +
+//    delegation-stride scoping; 255 neighbours after a CPE scramble).
+#include <cstdio>
+
+#include "atlas/generator.h"
+#include "bench/bench_util.h"
+#include "core/hitlist.h"
+#include "core/sanitize.h"
+#include "core/tracking.h"
+#include "stats/summary.h"
+
+using namespace dynamips;
+
+int main() {
+  bench::print_banner("Section 2.3 / 6",
+                      "IID-based tracking exposure and scan scoping");
+
+  auto cfg = bench::default_atlas_config();
+  cfg.atlas.eui64_share = 0.7;  // mixed device population
+  atlas::AtlasSimulator sim(simnet::paper_isps(), cfg.atlas);
+  bgp::Rib rib;
+  simnet::announce_all(sim.isps(), rib);
+  core::Sanitizer sanitizer(rib, cfg.sanitize);
+  core::TrackingAnalyzer tracking;
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    auto obs = core::from_series(sim.series_for(i));
+    for (const auto& cp : sanitizer.sanitize(obs)) tracking.add_probe(cp);
+  }
+
+  std::printf("%-14s %8s %12s %18s %16s\n", "AS", "probes",
+              "EUI-64 homes", "tracked across >=2", "median trk days");
+  std::map<bgp::Asn, std::string> names;
+  for (const auto& isp : sim.isps()) names[isp.asn] = isp.name;
+  for (const auto& [asn, t] : tracking.by_as()) {
+    if (t.probes < 10) continue;
+    double med = t.eui64_tracked_days.empty()
+                     ? 0
+                     : stats::median(t.eui64_tracked_days);
+    std::printf("%-14s %8llu %11.0f%% %17.0f%% %15.0fd\n",
+                names[asn].c_str(), (unsigned long long)t.probes,
+                100.0 * t.eui64_probe_share(),
+                100.0 * t.cross_network_share(), med);
+  }
+  std::printf("(privacy-extension devices rotate IIDs daily and appear as "
+              "thousands of one-day device tracks; EUI-64 households stay "
+              "linkable for their whole deployment)\n");
+
+  // --- Scan scoping arithmetic (§5.2 numbers) ----------------------------
+  auto announcement = *net::Prefix6::parse("2003::/19");
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  std::printf("\nScan scoping for a DTAG EUI-64 target (expected probes, "
+              "random order):\n");
+  std::printf("  whole announcement, /64 grid: 2^44   (%.3g)\n",
+              core::expected_random_probes(announcement, 64));
+  std::printf("  /40 pool, /64 grid:           2^23   (%.3g)\n",
+              core::expected_random_probes(pool, 64));
+  std::printf("  /40 pool, /56 stride:         2^15   (%.3g)\n",
+              core::expected_random_probes(pool, 56));
+
+  // CPE-scramble recovery: neighbours within the same /56.
+  std::uint64_t old64 = pool.address().network64() | 0x1140;
+  std::uint64_t new64 = pool.address().network64() | 0x11c7;
+  auto hops = core::neighbor_probes(old64, new64);
+  std::printf("  after an intra-/56 CPE scramble: ring search re-finds the "
+              "device in %llu probes (<= 511 worst case)\n",
+              hops ? (unsigned long long)*hops : 0ull);
+  return 0;
+}

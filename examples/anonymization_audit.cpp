@@ -1,0 +1,66 @@
+// anonymization_audit — the §6 privacy application.
+//
+// Auditing "anonymization by truncation": Google Analytics-style IP
+// masking truncates IPv6 addresses to /48 before storage. The paper shows
+// this is fallacious where ISPs delegate entire /48s to single subscribers
+// (Netcologne). This tool measures, per ISP, the share of subscribers for
+// whom a given truncation length still identifies a single household, and
+// recommends the truncation needed to cover a whole dynamic pool.
+#include <cstdio>
+#include <map>
+
+#include "core/pipeline.h"
+#include "simnet/isp.h"
+
+using namespace dynamips;
+
+int main() {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.25;
+  auto study = core::run_atlas_study(simnet::paper_isps(), cfg);
+
+  const int kTruncations[] = {64, 56, 48};
+  std::printf("Anonymization audit — share of subscribers still uniquely "
+              "identified after truncating stored addresses\n\n");
+  std::printf("%-14s %10s %10s %10s %22s\n", "AS", "keep /64", "keep /56",
+              "keep /48", "safe truncation");
+
+  for (const auto& isp : simnet::paper_isps()) {
+    auto it = study.subscriber_inference.find(isp.asn);
+    if (it == study.subscriber_inference.end() || it->second.empty())
+      continue;
+    double total = double(it->second.size());
+
+    std::printf("%-14s", isp.name.c_str());
+    for (int keep : kTruncations) {
+      // A truncated prefix still identifies one subscriber when the
+      // subscriber's whole delegation fits inside (or equals) it.
+      int exposed = 0;
+      for (const auto& inf : it->second) exposed += inf.inferred_len <= keep;
+      std::printf(" %9.0f%%", 100.0 * exposed / total);
+    }
+
+    // Safe truncation: strictly shorter than the pool boundary, so each
+    // stored prefix aggregates a whole pool of subscribers.
+    int pool = 0;
+    if (auto pit = study.pool_inference.find(isp.asn);
+        pit != study.pool_inference.end() && !pit->second.empty()) {
+      std::map<int, int> hist;
+      for (const auto& p : pit->second) ++hist[p.pool_len];
+      int best = 0, n = 0;
+      for (auto& [len, c] : hist)
+        if (c > n) { best = len; n = c; }
+      pool = best;
+    }
+    if (pool > 0)
+      std::printf("        <= /%d (pool)", pool);
+    std::printf("\n");
+  }
+
+  std::printf("\nReading Netcologne's row: truncating to /48 leaves most "
+              "subscribers uniquely identified, because the ISP delegates "
+              "whole /48s to households — exactly the paper's warning "
+              "about fixed-length masking (§6). Safe aggregation must use "
+              "per-network pool boundaries instead.\n");
+  return 0;
+}

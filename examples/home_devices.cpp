@@ -1,0 +1,79 @@
+// home_devices — the §2.3 privacy story at device granularity.
+//
+// Simulates a DTAG household (daily prefix renumbering) populated with
+// devices using the three IID strategies, then shows what an outside
+// observer who records full addresses can and cannot link:
+//  * the EUI-64 printer is one track spanning every network the home held;
+//  * the RFC 4941 phone fragments into a new identity every day;
+//  * the RFC 7217 laptop is stable per network but unlinkable across;
+//  * and regardless of device strategy, the /64 network component itself
+//    links the whole household for as long as the delegation lasts — the
+//    paper's central privacy point.
+#include <cstdio>
+
+#include "core/tracking.h"
+#include "simnet/home.h"
+#include "simnet/isp.h"
+#include "simnet/subscriber.h"
+
+using namespace dynamips;
+
+int main() {
+  auto isp = *simnet::find_isp("DTAG");
+  isp.static_share = 0;
+  isp.dualstack_share = 1;
+  simnet::TimelineGenerator gen(isp, 2024);
+  auto tl = gen.generate(/*id=*/7, 0, 24 * 30);  // one month
+
+  std::vector<simnet::DeviceProfile> devices{
+      {simnet::IidMode::kEui64, 24},         // legacy printer
+      {simnet::IidMode::kPrivacy, 24},       // phone
+      {simnet::IidMode::kStableOpaque, 24},  // laptop
+  };
+  const char* device_names[] = {"printer (EUI-64)", "phone (RFC 4941)",
+                                "laptop (RFC 7217)"};
+
+  auto obs = simnet::simulate_home_devices(tl, devices, 99, 1);
+
+  core::CleanProbe cp;
+  cp.probe_id = 7;
+  cp.asn = isp.asn;
+  for (const auto& o : obs) cp.v6.push_back({o.hour, o.addr, true});
+  auto tracks = core::TrackingAnalyzer::tracks_of(cp);
+
+  std::printf("One simulated DTAG home, 30 days, %zu prefix changes:\n\n",
+              tl.v6.size() - 1);
+
+  // Group tracks by which device produced them (re-derive by replay).
+  std::vector<int> track_count(devices.size(), 0);
+  std::vector<int> networks_linked(devices.size(), 0);
+  for (const auto& t : tracks) {
+    // Find the device whose observations include this IID.
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      bool mine = false;
+      for (const auto& o : obs)
+        if (o.device == d && o.addr.iid() == t.iid) {
+          mine = true;
+          break;
+        }
+      if (mine) {
+        ++track_count[d];
+        networks_linked[d] =
+            std::max(networks_linked[d], int(t.distinct_64s));
+      }
+    }
+  }
+  std::printf("%-20s %16s %22s\n", "device", "identities seen",
+              "most networks linked");
+  for (std::size_t d = 0; d < devices.size(); ++d)
+    std::printf("%-20s %16d %22d\n", device_names[d], track_count[d],
+                networks_linked[d]);
+
+  std::printf("\nThe EUI-64 device is a single identity across every "
+              "network; privacy extensions fragment into ~daily "
+              "identities; RFC 7217 yields one identity per network. But "
+              "all three shared each /64 — tracking the network component "
+              "links the household regardless (the paper's point that "
+              "privacy addresses do not defeat /64-level tracking).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// probing_planner — the §6 active-scanning application.
+//
+// A measurement target (e.g. a CPE with a stable EUI-64 IID) disappears
+// when its delegated prefix changes. This tool quantifies, per ISP, how
+// large the search space for re-finding it is under three scoping
+// strategies the paper discusses:
+//   * naive: rescan the whole BGP announcement (hopeless in IPv6),
+//   * pool-scoped: scan /64s inside the inferred dynamic pool (§5.2),
+//   * subscriber-stride-scoped: additionally step at the inferred
+//     delegated-prefix stride, since zero-filling CPEs only occupy the
+//     first /64 of each delegation (§5.3).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/pipeline.h"
+#include "simnet/isp.h"
+
+using namespace dynamips;
+
+namespace {
+
+double log2_search_space(int from_len, int to_len) {
+  return double(to_len - from_len);
+}
+
+int modal_len(const std::map<int, int>& hist, int fallback) {
+  if (hist.empty()) return fallback;
+  return std::max_element(hist.begin(), hist.end(), [](auto& a, auto& b) {
+           return a.second < b.second;
+         })->first;
+}
+
+}  // namespace
+
+int main() {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.25;
+  auto study = core::run_atlas_study(simnet::paper_isps(), cfg);
+
+  std::printf("Probing planner — search space (log2 of /64s to scan) for "
+              "re-finding a device after a prefix change\n\n");
+  std::printf("%-14s %8s %12s %12s %16s %22s\n", "AS", "BGP", "pool len",
+              "deleg len", "scan-pool (2^n)", "scan-pool+stride (2^n)");
+
+  for (const auto& isp : simnet::paper_isps()) {
+    if (!isp.in_table1) continue;
+    int bgp_len = isp.bgp6.empty() ? 32 : isp.bgp6.front().length();
+
+    std::map<int, int> pool_hist;
+    if (auto it = study.pool_inference.find(isp.asn);
+        it != study.pool_inference.end())
+      for (const auto& p : it->second) ++pool_hist[p.pool_len];
+    int pool_len = modal_len(pool_hist, bgp_len);
+
+    std::map<int, int> deleg_hist;
+    if (auto it = study.subscriber_inference.find(isp.asn);
+        it != study.subscriber_inference.end())
+      for (const auto& inf : it->second) ++deleg_hist[inf.inferred_len];
+    int deleg_len = modal_len(deleg_hist, 64);
+
+    double naive = log2_search_space(bgp_len, 64);
+    double pool = log2_search_space(pool_len, 64);
+    // Stepping at the delegation stride: one probe per delegation inside
+    // the pool instead of one per /64.
+    double strided = log2_search_space(pool_len, deleg_len);
+
+    std::printf("%-14s %7d %12d %12d %13.0f bits %19.0f bits  (naive: %.0f)\n",
+                isp.name.c_str(), bgp_len, pool_len, deleg_len, pool,
+                strided, naive);
+  }
+
+  std::printf("\nReading DTAG's row: instead of 2^45 /64s under the /19 "
+              "announcement, an EUI-64 target is findable by scanning "
+              "2^24 /64s inside its /40 pool — or just 2^16 probes when "
+              "stepping at the /56 delegation stride (paper: search space "
+              "reduced from 2^45 to 2^24 networks, §5.2).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bgp/rib.h"
+
+namespace dynamips::bgp {
+
+const char* registry_name(Registry r) {
+  switch (r) {
+    case Registry::kArin: return "ARIN";
+    case Registry::kRipe: return "RIPE";
+    case Registry::kApnic: return "APNIC";
+    case Registry::kLacnic: return "LACNIC";
+    case Registry::kAfrinic: return "AFRINIC";
+  }
+  return "?";
+}
+
+void Rib::announce(const net::Prefix4& p, Origin origin) {
+  v4_.insert(rtrie::key_of(p), unsigned(p.length()), origin);
+}
+
+void Rib::announce(const net::Prefix6& p, Origin origin) {
+  v6_.insert(rtrie::key_of(p), unsigned(p.length()), origin);
+}
+
+std::optional<Route4> Rib::lookup(net::IPv4Address a) const {
+  auto m = v4_.longest_match(rtrie::key_of(a));
+  if (!m) return std::nullopt;
+  // Recover the /len prefix from the left-aligned key bits.
+  net::IPv4Address base{std::uint32_t(m->prefix_bits.hi >> 32)};
+  return Route4{net::Prefix4{base, int(m->prefix_len)}, *m->value};
+}
+
+std::optional<Route6> Rib::lookup(const net::IPv6Address& a) const {
+  auto m = v6_.longest_match(rtrie::key_of(a));
+  if (!m) return std::nullopt;
+  return Route6{
+      net::Prefix6{net::IPv6Address{m->prefix_bits}, int(m->prefix_len)},
+      *m->value};
+}
+
+Asn Rib::asn_of(net::IPv4Address a) const {
+  auto r = lookup(a);
+  return r ? r->origin.asn : 0;
+}
+
+Asn Rib::asn_of(const net::IPv6Address& a) const {
+  auto r = lookup(a);
+  return r ? r->origin.asn : 0;
+}
+
+std::vector<Route4> Rib::v4_routes() const {
+  std::vector<Route4> out;
+  out.reserve(v4_.size());
+  v4_.visit([&](net::U128 bits, unsigned len, const Origin& o) {
+    net::IPv4Address base{std::uint32_t(bits.hi >> 32)};
+    out.push_back(Route4{net::Prefix4{base, int(len)}, o});
+  });
+  return out;
+}
+
+std::vector<Route6> Rib::v6_routes() const {
+  std::vector<Route6> out;
+  out.reserve(v6_.size());
+  v6_.visit([&](net::U128 bits, unsigned len, const Origin& o) {
+    out.push_back(Route6{net::Prefix6{net::IPv6Address{bits}, int(len)}, o});
+  });
+  return out;
+}
+
+}  // namespace dynamips::bgp

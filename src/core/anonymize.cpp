@@ -1,0 +1,80 @@
+#include "core/anonymize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dynamips::core {
+
+namespace {
+
+std::optional<int> modal(const std::map<int, int>& hist) {
+  if (hist.empty()) return std::nullopt;
+  auto best = hist.begin();
+  for (auto it = hist.begin(); it != hist.end(); ++it)
+    if (it->second > best->second) best = it;
+  return best->first;
+}
+
+}  // namespace
+
+AnonymizationPolicy derive_policy(const AtlasStudy& study, int margin) {
+  AnonymizationPolicy policy;
+  for (const auto& [asn, pools] : study.pool_inference) {
+    std::map<int, int> pool_hist;
+    for (const auto& p : pools) ++pool_hist[p.pool_len];
+    auto pool_len = modal(pool_hist);
+    if (!pool_len) continue;
+
+    int len = *pool_len;
+    // Never truncate longer than `margin` bits short of the subscriber
+    // delegation: a /56-delegating ISP must not be stored at /55.
+    auto iit = study.subscriber_inference.find(asn);
+    if (iit != study.subscriber_inference.end()) {
+      std::map<int, int> sub_hist;
+      for (const auto& inf : iit->second) ++sub_hist[inf.inferred_len];
+      if (auto sub_len = modal(sub_hist))
+        len = std::min(len, *sub_len - margin);
+    }
+    if (len < 8) len = 8;
+    policy.truncation_len[asn] = len;
+  }
+  return policy;
+}
+
+net::Prefix6 anonymize(const net::IPv6Address& addr,
+                       const AnonymizationPolicy& policy,
+                       const bgp::Rib& rib) {
+  bgp::Asn asn = rib.asn_of(addr);
+  return net::Prefix6{addr, policy.length_for(asn)};
+}
+
+KAnonymityResult audit_k_anonymity(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>&
+        subscriber_net64s,
+    int len) {
+  KAnonymityResult result;
+  result.truncation_len = len;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      buckets;
+  for (const auto& [subscriber, net64] : subscriber_net64s) {
+    std::uint64_t key = len >= 64 ? net64 : len <= 0 ? 0 : net64 >> (64 - len);
+    buckets[key].insert(subscriber);
+  }
+  result.buckets = buckets.size();
+  if (buckets.empty()) return result;
+  std::vector<double> sizes;
+  sizes.reserve(buckets.size());
+  result.min_bucket = ~std::uint64_t(0);
+  for (const auto& [key, subs] : buckets) {
+    sizes.push_back(double(subs.size()));
+    result.min_bucket = std::min<std::uint64_t>(result.min_bucket,
+                                                subs.size());
+    result.singleton_buckets += subs.size() == 1;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  result.median_bucket = sizes[sizes.size() / 2];
+  return result;
+}
+
+}  // namespace dynamips::core

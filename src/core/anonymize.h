@@ -1,0 +1,66 @@
+// anonymize.h — data-driven IPv6 dataset anonymization (§6).
+//
+// Fixed-length truncation (e.g. masking to /48) fails where ISPs delegate
+// /48s to single subscribers; the paper argues anonymization must use
+// per-network knowledge of subscriber and pool boundaries. This module
+// derives a per-AS truncation policy from a completed study (truncate to
+// the dynamic-pool boundary, which aggregates many subscribers), applies
+// it, and audits any policy's k-anonymity against a set of known
+// subscriber /64s.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "core/pipeline.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/prefix.h"
+
+namespace dynamips::core {
+
+/// Per-AS truncation lengths, with a conservative default for unknown ASes.
+struct AnonymizationPolicy {
+  std::map<bgp::Asn, int> truncation_len;
+  int default_len = 32;
+
+  int length_for(bgp::Asn asn) const {
+    auto it = truncation_len.find(asn);
+    return it == truncation_len.end() ? default_len : it->second;
+  }
+};
+
+/// Derive a policy from an Atlas study: for each AS, truncate to the modal
+/// inferred pool boundary, and never to anything longer than `margin` bits
+/// short of the modal subscriber delegation (so one stored prefix always
+/// spans many subscribers).
+AnonymizationPolicy derive_policy(const AtlasStudy& study, int margin = 8);
+
+/// Apply a policy: truncate `addr` at the policy length of its origin AS.
+net::Prefix6 anonymize(const net::IPv6Address& addr,
+                       const AnonymizationPolicy& policy,
+                       const bgp::Rib& rib);
+
+/// k-anonymity audit result for one truncation length.
+struct KAnonymityResult {
+  int truncation_len = 0;
+  std::uint64_t buckets = 0;          ///< distinct truncated prefixes
+  std::uint64_t min_bucket = 0;       ///< subscribers in the smallest bucket
+  double median_bucket = 0;
+  std::uint64_t singleton_buckets = 0;  ///< buckets identifying one subscriber
+
+  /// The policy achieves k-anonymity at level k iff min_bucket >= k.
+  bool satisfies(std::uint64_t k) const { return min_bucket >= k; }
+};
+
+/// Audit: given each subscriber's /64 network component, how well does
+/// truncating to `len` hide individuals? Subscribers with multiple /64s may
+/// appear in several buckets; each (bucket, subscriber) pair counts once.
+KAnonymityResult audit_k_anonymity(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>&
+        subscriber_net64s,
+    int len);
+
+}  // namespace dynamips::core

@@ -1,0 +1,85 @@
+#include "core/assoc.h"
+
+#include <algorithm>
+
+namespace dynamips::core {
+
+void CdnAnalyzer::add_log(const cdn::AssociationLog& log) {
+  bool mobile = mobile_asns_.count(log.asn) > 0;
+  AsnAssocStats& asn_stats = by_asn_[log.asn];
+  asn_stats.asn = log.asn;
+  asn_stats.mobile = mobile;
+  asn_stats.registry = log.registry;
+
+  RegistryClass cls{log.registry, mobile};
+  auto& reg_durations = registry_durations_[cls];
+  auto& zeros = zero_counts_[cls];
+
+  // Per-/64 day series and per-/24 /64 sets, local to this log.
+  struct DayObs {
+    std::uint32_t day;
+    net::Prefix4 v4;
+  };
+  std::unordered_map<std::uint64_t, std::vector<DayObs>> by_64;
+  std::unordered_map<net::Prefix4, std::unordered_set<std::uint64_t>> by_24;
+
+  for (const auto& rec : log.records) {
+    if (options_.require_asn_match && rec.asn4 != rec.asn6) {
+      ++asn_stats.mismatched;
+      ++total_mismatched_;
+      continue;
+    }
+    ++asn_stats.tuples;
+    ++total_tuples_;
+    std::uint64_t net64 = rec.v6_64.address().network64();
+    by_64[net64].push_back({rec.day, rec.v4_24});
+    by_24[rec.v4_24].insert(net64);
+  }
+
+  for (auto& [net64, obs] : by_64) {
+    ++asn_stats.unique_64s;
+    zeros.add(classify_trailing_zeros(net64));
+
+    // Records arrive day-sorted per log; dedupe same-day repeats.
+    std::unordered_set<net::Prefix4> distinct_24s;
+    std::uint32_t run_start = obs.front().day;
+    std::uint32_t run_last = obs.front().day;
+    net::Prefix4 run_24 = obs.front().v4;
+    distinct_24s.insert(run_24);
+    auto close_run = [&](std::uint32_t last) {
+      double days = double(last - run_start + 1);
+      asn_stats.durations_days.push_back(days);
+      reg_durations.push_back(days);
+    };
+    for (std::size_t i = 1; i < obs.size(); ++i) {
+      const DayObs& o = obs[i];
+      distinct_24s.insert(o.v4);
+      bool gap = o.day > run_last + options_.max_gap_days;
+      if (o.v4 != run_24 || gap) {
+        close_run(run_last);
+        run_start = o.day;
+        run_24 = o.v4;
+      }
+      run_last = o.day;
+    }
+    close_run(run_last);
+
+    if (distinct_24s.size() == 1) {
+      ++single_24_64s_[mobile];
+    } else {
+      ++multi_24_64s_[mobile];
+    }
+  }
+
+  degrees_.reserve(degrees_.size() + by_24.size());
+  for (const auto& [p24, set64] : by_24)
+    degrees_.emplace_back(std::uint32_t(set64.size()), mobile);
+}
+
+double CdnAnalyzer::fraction_64s_with_single_24(bool mobile) const {
+  std::uint64_t s = single_24_64s_[mobile];
+  std::uint64_t m = multi_24_64s_[mobile];
+  return (s + m) ? double(s) / double(s + m) : 0.0;
+}
+
+}  // namespace dynamips::core

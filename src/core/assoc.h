@@ -1,0 +1,108 @@
+// assoc.h — CDN association analyses (§4, Figs. 2-4, Fig. 7).
+//
+// Streaming aggregation over per-ISP association logs:
+//  * pre-processing: discard tuples whose v4 and v6 origin ASNs differ
+//    (multi-homing / WiFi-cellular switching), as in §4.1;
+//  * association durations: per /64, the run of days over which it kept
+//    reporting the same /24 (Fig. 2 per-ISP CDFs, Fig. 3 registry boxes);
+//  * cardinality: unique /64s per /24, unweighted and hit-weighted
+//    (Fig. 4), and the inverse connectivity of each /64;
+//  * trailing-zero classification of every unique /64 per registry (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "cdn/rum.h"
+#include "core/inference.h"
+#include "stats/summary.h"
+
+namespace dynamips::core {
+
+struct AssocOptions {
+  /// Apply the ASN-match pre-filter (§4.1). Disabling it is the ablation
+  /// discussed in DESIGN.md.
+  bool require_asn_match = true;
+  /// Maximum gap (days) inside one association run; a /64 silent for longer
+  /// starts a new run when it reappears.
+  std::uint32_t max_gap_days = 14;
+};
+
+/// Aggregated duration statistics for one ASN.
+struct AsnAssocStats {
+  bgp::Asn asn = 0;
+  bool mobile = false;
+  bgp::Registry registry{};
+  std::vector<double> durations_days;  ///< association durations
+  std::uint64_t tuples = 0;            ///< accepted association tuples
+  std::uint64_t mismatched = 0;        ///< dropped by the ASN filter
+  std::uint64_t unique_64s = 0;
+};
+
+/// Key for (registry, mobile) groupings.
+struct RegistryClass {
+  bgp::Registry registry{};
+  bool mobile = false;
+  friend bool operator<(const RegistryClass& a, const RegistryClass& b) {
+    if (a.registry != b.registry) return a.registry < b.registry;
+    return a.mobile < b.mobile;
+  }
+};
+
+/// Streaming CDN analyzer. Feed one AssociationLog at a time; per-log
+/// working state is discarded after each call, so the multi-billion-tuple
+/// scale of the real dataset is handled by construction.
+class CdnAnalyzer {
+ public:
+  CdnAnalyzer(AssocOptions options,
+              std::unordered_set<bgp::Asn> mobile_asns)
+      : options_(options), mobile_asns_(std::move(mobile_asns)) {}
+
+  void add_log(const cdn::AssociationLog& log);
+
+  /// Per-ASN stats (Fig. 2 inputs).
+  const std::map<bgp::Asn, AsnAssocStats>& by_asn() const { return by_asn_; }
+
+  /// Per (registry, mobile) association durations (Fig. 3 inputs).
+  const std::map<RegistryClass, std::vector<double>>& registry_durations()
+      const {
+    return registry_durations_;
+  }
+
+  /// Per-/24 degrees: (unique /64 count, mobile flag), one entry per /24
+  /// (Fig. 4 inputs).
+  const std::vector<std::pair<std::uint32_t, bool>>& degrees() const {
+    return degrees_;
+  }
+
+  /// Share of /64s associated with exactly one /24 (the 87% statistic).
+  double fraction_64s_with_single_24(bool mobile) const;
+
+  /// Fig. 7: trailing-zero classes per registry, fixed and mobile.
+  const std::map<RegistryClass, ZeroBoundaryCounts>& zero_counts() const {
+    return zero_counts_;
+  }
+
+  std::uint64_t total_tuples() const { return total_tuples_; }
+  std::uint64_t total_mismatched() const { return total_mismatched_; }
+
+ private:
+  AssocOptions options_;
+  std::unordered_set<bgp::Asn> mobile_asns_;
+
+  std::map<bgp::Asn, AsnAssocStats> by_asn_;
+  std::map<RegistryClass, std::vector<double>> registry_durations_;
+  std::vector<std::pair<std::uint32_t, bool>> degrees_;
+  std::map<RegistryClass, ZeroBoundaryCounts> zero_counts_;
+  // Inverse connectivity tallies: /64s by how many distinct /24s they saw.
+  std::uint64_t single_24_64s_[2] = {0, 0};  // [mobile]
+  std::uint64_t multi_24_64s_[2] = {0, 0};
+  std::uint64_t total_tuples_ = 0;
+  std::uint64_t total_mismatched_ = 0;
+};
+
+}  // namespace dynamips::core

@@ -1,0 +1,64 @@
+#include "core/blocklist.h"
+
+#include <algorithm>
+
+namespace dynamips::core {
+
+namespace {
+
+// Does `net64` fall inside the /len block anchored at `anchor64`?
+bool in_block(std::uint64_t net64, std::uint64_t anchor64, int len) {
+  if (len <= 0) return true;
+  if (len >= 64) return net64 == anchor64;
+  return (net64 >> (64 - len)) == (anchor64 >> (64 - len));
+}
+
+}  // namespace
+
+BlockOutcome BlocklistSimulator::evaluate(const BlockPolicy& policy,
+                                          std::uint32_t incident_stride) const {
+  BlockOutcome outcome;
+  outcome.policy = policy;
+
+  for (std::size_t i = 0; i < population_.size(); i += incident_stride) {
+    const simnet::SubscriberTimeline& offender = population_[i];
+    if (offender.v6.empty()) continue;
+    // The incident happens midway through the offender's history.
+    const auto& mid_seg = offender.v6[offender.v6.size() / 2];
+    Hour incident_at = mid_seg.start;
+    std::uint64_t anchor = mid_seg.lan64;
+    Hour block_until = incident_at + policy.duration_hours;
+
+    ++outcome.incidents;
+
+    // Evasion: does the offender hold a /64 outside the block while the
+    // block is active?
+    bool evaded = false;
+    for (const auto& seg : offender.v6) {
+      if (seg.end <= incident_at || seg.start >= block_until) continue;
+      if (!in_block(seg.lan64, anchor, policy.prefix_len)) {
+        evaded = true;
+        break;
+      }
+    }
+    outcome.evaded += evaded;
+
+    // Collateral: bystanders whose active /64 intersects the block window
+    // inside the blocked prefix. (The offender's own household is not
+    // collateral.)
+    for (std::size_t j = 0; j < population_.size(); ++j) {
+      if (j == i) continue;
+      const auto& bystander = population_[j];
+      for (const auto& seg : bystander.v6) {
+        if (seg.end <= incident_at || seg.start >= block_until) continue;
+        if (in_block(seg.lan64, anchor, policy.prefix_len)) {
+          ++outcome.collateral_subscribers;
+          break;  // count each bystander once per incident
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace dynamips::core

@@ -1,0 +1,73 @@
+// blocklist.h — host-reputation blocking policies evaluated against
+// assignment dynamics (§6, and the tradeoff of Li & Freeman [26]).
+//
+// A reputation system observes malicious traffic from an address at some
+// instant and installs a block of prefix length L for T hours. Two failure
+// modes trade off against each other:
+//  * evasion  — the offender's assignment rotates inside a longer-than-L
+//    delegation (or simply renumbers) and escapes the block while it is
+//    still active;
+//  * collateral — the offender moves away and an innocent subscriber is
+//    assigned into the blocked prefix while the block is still active.
+// The simulator replays ground-truth subscriber timelines against a policy
+// and measures both rates, turning the paper's duration and boundary
+// results into concrete policy guidance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/subscriber.h"
+#include "simnet/time.h"
+
+namespace dynamips::core {
+
+using simnet::Hour;
+
+/// One blocking policy: block the enclosing /`prefix_len` of the offending
+/// /64 for `duration_hours`.
+struct BlockPolicy {
+  int prefix_len = 64;
+  Hour duration_hours = 24;
+};
+
+/// Outcome of evaluating a policy over many simulated incidents.
+struct BlockOutcome {
+  BlockPolicy policy;
+  std::uint64_t incidents = 0;
+  /// Incidents where the offender reached a /64 outside the blocked prefix
+  /// while the block was active (block failed to contain them).
+  std::uint64_t evaded = 0;
+  /// Innocent subscribers whose active /64 fell inside some block while it
+  /// was active, summed over incidents.
+  std::uint64_t collateral_subscribers = 0;
+
+  double evasion_rate() const {
+    return incidents ? double(evaded) / double(incidents) : 0.0;
+  }
+  double collateral_per_incident() const {
+    return incidents ? double(collateral_subscribers) / double(incidents)
+                     : 0.0;
+  }
+};
+
+/// Evaluates block policies against one ISP's simulated population.
+class BlocklistSimulator {
+ public:
+  /// `population` are ground-truth timelines over a common window; index 0
+  /// onward are candidate offenders and bystanders alike.
+  explicit BlocklistSimulator(
+      std::vector<simnet::SubscriberTimeline> population)
+      : population_(std::move(population)) {}
+
+  /// Evaluate one policy: every `incident_stride`-th subscriber offends at
+  /// a deterministic instant inside their history; all other subscribers
+  /// are bystanders.
+  BlockOutcome evaluate(const BlockPolicy& policy,
+                        std::uint32_t incident_stride = 7) const;
+
+ private:
+  std::vector<simnet::SubscriberTimeline> population_;
+};
+
+}  // namespace dynamips::core

@@ -1,0 +1,33 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+namespace dynamips::core {
+
+std::array<double, 16> nibble_entropy(
+    std::span<const std::uint64_t> net64s) {
+  std::array<double, 16> out{};
+  if (net64s.empty()) return out;
+  for (int n = 0; n < 16; ++n) {
+    std::array<std::uint64_t, 16> counts{};
+    int shift = 60 - 4 * n;
+    for (std::uint64_t v : net64s) ++counts[(v >> shift) & 0xf];
+    double h = 0;
+    double total = double(net64s.size());
+    for (std::uint64_t c : counts) {
+      if (c == 0) continue;
+      double p = double(c) / total;
+      h -= p * std::log2(p);
+    }
+    out[std::size_t(n)] = h;
+  }
+  return out;
+}
+
+double total_entropy(std::span<const std::uint64_t> net64s) {
+  double sum = 0;
+  for (double h : nibble_entropy(net64s)) sum += h;
+  return sum;
+}
+
+}  // namespace dynamips::core

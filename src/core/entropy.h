@@ -1,0 +1,27 @@
+// entropy.h — per-nibble entropy of observed network prefixes (§2.3).
+//
+// Target-generation systems (Entropy/IP, 6Gen) exploit structure in
+// observed address sets. This lightweight equivalent computes the Shannon
+// entropy of each of the 16 nibbles of the /64 network component over a
+// set of observed prefixes: announcement nibbles have (near-)zero entropy,
+// pool nibbles low entropy, subscriber-id nibbles high entropy, and
+// zero-filled subnet nibbles zero entropy again — the structure that makes
+// scanning tractable and that the paper's pool/delegation inferences
+// formalise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dynamips::core {
+
+/// Shannon entropy (bits, 0..4) of each nibble of the network component,
+/// nibble 0 being the most significant. Empty input yields all zeros.
+std::array<double, 16> nibble_entropy(std::span<const std::uint64_t> net64s);
+
+/// Total entropy across all nibbles — an upper-bound estimate of the
+/// log2 search space an informed scanner faces within this address set.
+double total_entropy(std::span<const std::uint64_t> net64s);
+
+}  // namespace dynamips::core

@@ -1,0 +1,36 @@
+#include "core/evolution.h"
+
+#include "simnet/time.h"
+
+namespace dynamips::core {
+
+void EvolutionAnalyzer::add_probe(const CleanProbe& probe) {
+  bool ds = DurationAnalyzer::is_dual_stack(probe);
+  auto spans4 = extract_spans4(probe.v4);
+  for (const auto& td : sandwiched_timed4(spans4, options_)) {
+    YearIndex year = YearIndex(td.start / simnet::kHoursPerYear);
+    YearDurations& bucket = buckets_[{probe.asn, year}];
+    (ds ? bucket.v4_ds : bucket.v4_nds).add(td.duration);
+  }
+  auto spans6 = extract_spans6(probe.v6);
+  for (const auto& td : sandwiched_timed6(spans6, options_)) {
+    YearIndex year = YearIndex(td.start / simnet::kHoursPerYear);
+    buckets_[{probe.asn, year}].v6.add(td.duration);
+  }
+}
+
+std::map<YearIndex, double> EvolutionAnalyzer::trend(
+    bgp::Asn asn, std::uint64_t threshold_hours,
+    const stats::TotalTimeFraction YearDurations::*split) const {
+  std::map<YearIndex, double> out;
+  std::vector<std::uint64_t> t{threshold_hours};
+  for (const auto& [key, bucket] : buckets_) {
+    if (key.first != asn) continue;
+    const stats::TotalTimeFraction& ttf = bucket.*split;
+    if (ttf.empty()) continue;
+    out[key.second] = ttf.cumulative(t)[0];
+  }
+  return out;
+}
+
+}  // namespace dynamips::core

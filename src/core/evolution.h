@@ -1,0 +1,49 @@
+// evolution.h — the §3.2 "Evolution over time" analysis.
+//
+// The paper breaks each AS's durations down by year and reports that
+// assignment durations across all categories (non-dual-stack v4,
+// dual-stack v4, and v6) grew over the measurement years, most visibly for
+// DTAG and Orange. This analyzer buckets sandwiched durations by the year
+// their assignment began and keeps the same three-way split as Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/durations.h"
+
+namespace dynamips::core {
+
+/// Year index within the observation window (start hour / 8760).
+using YearIndex = int;
+
+/// One (AS, year) bucket with the Fig. 1 three-way split.
+struct YearDurations {
+  stats::TotalTimeFraction v4_nds;
+  stats::TotalTimeFraction v4_ds;
+  stats::TotalTimeFraction v6;
+};
+
+/// Streaming per-(AS, year) duration aggregation.
+class EvolutionAnalyzer {
+ public:
+  explicit EvolutionAnalyzer(ChangeOptions options = {})
+      : options_(options) {}
+
+  void add_probe(const CleanProbe& probe);
+
+  using Key = std::pair<bgp::Asn, YearIndex>;
+  const std::map<Key, YearDurations>& by_as_year() const { return buckets_; }
+
+  /// Cumulative total time fraction at `threshold_hours` for one AS across
+  /// years — a falling series means durations grew (the paper's finding).
+  std::map<YearIndex, double> trend(
+      bgp::Asn asn, std::uint64_t threshold_hours,
+      const stats::TotalTimeFraction YearDurations::*split) const;
+
+ private:
+  ChangeOptions options_;
+  std::map<Key, YearDurations> buckets_;
+};
+
+}  // namespace dynamips::core

@@ -1,0 +1,80 @@
+#include "core/hitlist.h"
+
+#include <cmath>
+
+#include "netaddr/u128.h"
+
+namespace dynamips::core {
+
+void Hitlist::observe(std::uint64_t net64, std::uint64_t iid, Hour now) {
+  Key k{net64, iid};
+  auto it = entries_.find(k);
+  if (it == entries_.end()) {
+    entries_[k] = HitlistEntry{net64, iid, now, now};
+  } else {
+    it->second.last_seen = now;
+  }
+}
+
+std::size_t Hitlist::expire(Hour now, Hour max_age) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_seen + max_age < now) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<HitlistEntry> Hitlist::entries() const {
+  std::vector<HitlistEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, e] : entries_) out.push_back(e);
+  return out;
+}
+
+bool Hitlist::contains(std::uint64_t net64, std::uint64_t iid) const {
+  return entries_.count(Key{net64, iid}) > 0;
+}
+
+std::optional<std::uint64_t> probes_to_find(std::uint64_t target_net64,
+                                            const net::Prefix6& scope,
+                                            int stride_len) {
+  if (stride_len < scope.length() || stride_len > 64) return std::nullopt;
+  std::uint64_t scope_net = scope.address().network64();
+  int scope_bits = 64 - scope.length();
+  // Target inside the scope?
+  if (scope_bits < 64 &&
+      (target_net64 >> scope_bits) != (scope_net >> scope_bits))
+    return std::nullopt;
+  // On the stride grid: the bits below the stride must be zero (the scan
+  // probes each delegation's zero-filled first /64 only).
+  int below = 64 - stride_len;
+  if (below > 0 && (target_net64 & ((1ull << below) - 1)) != 0)
+    return std::nullopt;
+  std::uint64_t offset = (target_net64 - scope_net) >> below;
+  return offset + 1;  // sequential scan, 1-indexed probe count
+}
+
+double expected_random_probes(const net::Prefix6& scope, int stride_len) {
+  int bits = stride_len - scope.length();
+  if (bits < 0) return 0;
+  return std::ldexp(1.0, bits) / 2.0;
+}
+
+std::optional<std::uint64_t> neighbor_probes(std::uint64_t old_net64,
+                                             std::uint64_t new_net64,
+                                             std::uint64_t max_radius) {
+  std::uint64_t distance = old_net64 > new_net64 ? old_net64 - new_net64
+                                                 : new_net64 - old_net64;
+  if (distance == 0) return 1;
+  if (distance > max_radius) return std::nullopt;
+  // Ring search probes old, old+1, old-1, old+2, ...: the target at signed
+  // distance d costs 2d (above) or 2d+1 (below) probes including the first.
+  return new_net64 > old_net64 ? distance * 2 : distance * 2 + 1;
+}
+
+}  // namespace dynamips::core

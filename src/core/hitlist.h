@@ -1,0 +1,86 @@
+// hitlist.h — IPv6 hitlist curation and scan-scoping (§5.2, §6).
+//
+// Active IPv6 measurement keeps lists of known-responsive targets; when a
+// subscriber's delegated prefix changes, the hitlist entry goes stale and
+// the device must be re-found. The paper's spatial results bound the search:
+// assignments stay inside a pool (often a /40), zero-filling CPEs occupy
+// only the first /64 of each delegation (so scans can stride at the
+// delegation length), and scramble-induced changes with CPL >= 56 are
+// re-findable by probing the 255 neighbouring /64s. This module implements
+// hitlist maintenance plus the probe-count arithmetic for those strategies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netaddr/ipv6.h"
+#include "netaddr/prefix.h"
+#include "simnet/time.h"
+
+namespace dynamips::core {
+
+using simnet::Hour;
+
+/// One curated target.
+struct HitlistEntry {
+  std::uint64_t net64 = 0;
+  std::uint64_t iid = 0;
+  Hour first_seen = 0;
+  Hour last_seen = 0;
+};
+
+/// A curated list of responsive targets, keyed by full address.
+class Hitlist {
+ public:
+  /// Record a responsive (network, iid) pair at `now`.
+  void observe(std::uint64_t net64, std::uint64_t iid, Hour now);
+
+  /// Curation: drop entries not confirmed within `max_age` of `now`.
+  /// Returns the number of entries expired — the churn the paper's
+  /// duration results predict.
+  std::size_t expire(Hour now, Hour max_age);
+
+  std::size_t size() const { return entries_.size(); }
+  std::vector<HitlistEntry> entries() const;
+
+  /// Does the list contain a live entry for this exact address?
+  bool contains(std::uint64_t net64, std::uint64_t iid) const;
+
+ private:
+  struct Key {
+    std::uint64_t net64, iid;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.net64 * 0x9e3779b97f4a7c15ull ^
+                                        k.iid);
+    }
+  };
+  std::unordered_map<Key, HitlistEntry, KeyHash> entries_;
+};
+
+/// Probe count for a *sequential* scan of `scope`, stepping one probe per
+/// /`stride_len` delegation (probing each delegation's zero-filled first
+/// /64), until the target's /64 is hit. Returns nullopt when the target is
+/// outside the scope or does not sit on the stride grid (e.g. a scrambling
+/// CPE whose /64 is not the delegation base).
+std::optional<std::uint64_t> probes_to_find(std::uint64_t target_net64,
+                                            const net::Prefix6& scope,
+                                            int stride_len);
+
+/// Expected probes for a random-order scan of the same grid (half the grid
+/// on average); the denominator of the paper's search-space reductions.
+double expected_random_probes(const net::Prefix6& scope, int stride_len);
+
+/// Neighbour search after a high-CPL change (§5.2: "a quick search of the
+/// neighboring 255 /64s will suffice"): probes needed to re-find
+/// `new_net64` by expanding ring search around `old_net64` (1, +-1, +-2,
+/// ...). Returns nullopt if the distance exceeds `max_radius`.
+std::optional<std::uint64_t> neighbor_probes(std::uint64_t old_net64,
+                                             std::uint64_t new_net64,
+                                             std::uint64_t max_radius = 256);
+
+}  // namespace dynamips::core

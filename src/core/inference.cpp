@@ -1,0 +1,66 @@
+#include "core/inference.h"
+
+#include "core/changes.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netaddr/ipv6.h"
+
+namespace dynamips::core {
+
+std::optional<SubscriberInference> infer_subscriber_prefix(
+    const CleanProbe& probe) {
+  auto spans = extract_spans6(probe.v6);
+  if (spans.size() < 2) return std::nullopt;  // need >= 1 change
+  int common_zeros = 64;
+  for (const auto& s : spans)
+    common_zeros = std::min(common_zeros, net::trailing_zero_bits64(s.net64));
+  SubscriberInference out;
+  out.inferred_len = 64 - common_zeros;
+  out.changes = int(spans.size()) - 1;
+  return out;
+}
+
+std::optional<PoolInference> infer_pool(const CleanProbe& probe,
+                                        double min_coverage,
+                                        int min_changes) {
+  auto spans = extract_spans6(probe.v6);
+  if (int(spans.size()) < min_changes + 1) return std::nullopt;
+  double total = double(spans.size());
+  // Walk from the most specific length down; the first (longest) length
+  // whose dominant prefix covers enough assignments is the pool boundary.
+  for (int len = 64; len >= 1; --len) {
+    std::unordered_map<std::uint64_t, std::uint32_t> counts;
+    std::uint32_t best = 0;
+    for (const auto& s : spans) {
+      std::uint32_t c = ++counts[s.net64 >> (64 - len)];
+      best = std::max(best, c);
+    }
+    double coverage = double(best) / total;
+    if (coverage >= min_coverage) return PoolInference{len, coverage};
+  }
+  return std::nullopt;
+}
+
+ZeroBoundary classify_trailing_zeros(std::uint64_t net64) {
+  int z = net::trailing_zero_bits64(net64);
+  if (z >= 16) return ZeroBoundary::k48;
+  if (z >= 12) return ZeroBoundary::k52;
+  if (z >= 8) return ZeroBoundary::k56;
+  if (z >= 4) return ZeroBoundary::k60;
+  return ZeroBoundary::kNone;
+}
+
+const char* zero_boundary_name(ZeroBoundary b) {
+  switch (b) {
+    case ZeroBoundary::kNone: return "none";
+    case ZeroBoundary::k60: return "/60";
+    case ZeroBoundary::k56: return "/56";
+    case ZeroBoundary::k52: return "/52";
+    case ZeroBoundary::k48: return "/48";
+  }
+  return "?";
+}
+
+}  // namespace dynamips::core

@@ -1,0 +1,82 @@
+// inference.h — subscriber- and pool-boundary inference (§5.2, §5.3).
+//
+// Two techniques from the paper:
+//  * "Finding the zero bits": the bits immediately upstream of the /64
+//    boundary that are zero in every /64 a subscriber was observed with
+//    reveal the length of the ISP-delegated prefix (a CPE that zero-fills
+//    announces the lowest /64 of its delegation). Fig. 6 / Fig. 9 apply
+//    this per RIPE Atlas probe; Fig. 7 applies a nibble-rounded variant to
+//    each /64 seen at the CDN.
+//  * Pool-boundary inference: the longest prefix that still covers the bulk
+//    of a subscriber's assignments identifies the ISP's dynamic address
+//    pool (typically a /40, §5.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/sanitize.h"
+
+namespace dynamips::core {
+
+/// Result of the per-probe zero-bits inference.
+struct SubscriberInference {
+  int inferred_len = 64;  ///< inferred delegated prefix length
+  int changes = 0;        ///< v6 changes the inference is based on
+};
+
+/// Infer the delegated prefix length of the subscriber behind `probe` from
+/// the trailing zero bits common to every observed /64. Requires at least
+/// one v6 assignment change (mirroring Fig. 6's probe selection); returns
+/// nullopt otherwise. CPEs that scramble or use constant non-zero subnet
+/// ids produce /64 (an overestimate), as discussed in §5.3.
+std::optional<SubscriberInference> infer_subscriber_prefix(
+    const CleanProbe& probe);
+
+/// Result of the pool-boundary inference.
+struct PoolInference {
+  int pool_len = 0;     ///< inferred pool prefix length (e.g. 40)
+  double coverage = 0;  ///< share of assignments inside the dominant pool
+};
+
+/// Infer the ISP's dynamic-pool prefix length for this subscriber: the
+/// longest (most specific) prefix length whose dominant prefix still covers
+/// at least `min_coverage` of the probe's v6 assignments. Requires at least
+/// `min_changes` changes for statistical footing.
+std::optional<PoolInference> infer_pool(const CleanProbe& probe,
+                                        double min_coverage = 0.8,
+                                        int min_changes = 5);
+
+/// CDN-side nibble classification of one /64's trailing zeros (Fig. 7).
+/// Streaks of 16+ zero bits classify as the /48 boundary, 12..15 as /52,
+/// 8..11 as /56, 4..7 as /60; fewer than 4 zero bits are uninferable.
+enum class ZeroBoundary : std::uint8_t { kNone, k60, k56, k52, k48 };
+
+ZeroBoundary classify_trailing_zeros(std::uint64_t net64);
+
+/// Printable label ("/56") for a boundary; "none" for kNone.
+const char* zero_boundary_name(ZeroBoundary b);
+
+/// Per-population tally of zero-boundary classes (one counter per class).
+struct ZeroBoundaryCounts {
+  std::array<std::uint64_t, 5> counts{};  // indexed by ZeroBoundary
+
+  void add(ZeroBoundary b) { ++counts[std::size_t(b)]; }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+  /// Share of addresses with an inferable delegation (any zero boundary).
+  double inferable_fraction() const {
+    std::uint64_t t = total();
+    return t ? double(t - counts[0]) / double(t) : 0.0;
+  }
+  double fraction(ZeroBoundary b) const {
+    std::uint64_t t = total();
+    return t ? double(counts[std::size_t(b)]) / double(t) : 0.0;
+  }
+};
+
+}  // namespace dynamips::core

@@ -1,0 +1,44 @@
+#include "core/pipeline.h"
+
+namespace dynamips::core {
+
+AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
+                           const AtlasStudyConfig& config) {
+  AtlasStudy study;
+  simnet::announce_all(isps, study.rib);
+  for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
+
+  atlas::AtlasSimulator sim(isps, config.atlas);
+  Sanitizer sanitizer(study.rib, config.sanitize);
+  DurationAnalyzer durations(config.changes);
+  SpatialAnalyzer spatial(study.rib);
+
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    ProbeObservations obs = from_series(sim.series_for(i));
+    for (const CleanProbe& cp : sanitizer.sanitize(obs)) {
+      durations.add_probe(cp);
+      spatial.add_probe(cp);
+      if (auto inf = infer_subscriber_prefix(cp))
+        study.subscriber_inference[cp.asn].push_back(*inf);
+      if (auto pool = infer_pool(cp))
+        study.pool_inference[cp.asn].push_back(*pool);
+    }
+  }
+  study.sanitize = sanitizer.stats();
+  study.durations = durations.by_as();
+  study.spatial = spatial.by_as();
+  return study;
+}
+
+CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
+                       const CdnStudyConfig& config) {
+  cdn::CdnSimulator sim(population, config.cdn);
+  CdnStudy study{CdnAnalyzer(config.assoc, sim.mobile_asns()), {}};
+  for (const auto& entry : population)
+    study.asn_names[entry.isp.asn] = entry.isp.name;
+  for (std::size_t i = 0; i < sim.entry_count(); ++i)
+    study.analyzer.add_log(sim.generate(i));
+  return study;
+}
+
+}  // namespace dynamips::core

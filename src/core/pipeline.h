@@ -1,0 +1,59 @@
+// pipeline.h — end-to-end study runners.
+//
+// Convenience orchestration used by the benchmark harness, the examples and
+// the integration tests: generate the synthetic dataset, sanitize it, and
+// run every analyzer, returning one results object per study. Probes/logs
+// are processed one at a time so memory stays flat regardless of scale.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atlas/generator.h"
+#include "cdn/generator.h"
+#include "core/assoc.h"
+#include "core/durations.h"
+#include "core/inference.h"
+#include "core/sanitize.h"
+#include "core/spatial.h"
+
+namespace dynamips::core {
+
+struct AtlasStudyConfig {
+  atlas::AtlasConfig atlas;
+  SanitizeOptions sanitize;
+  ChangeOptions changes;
+};
+
+/// Everything the Atlas-side benches print.
+struct AtlasStudy {
+  SanitizeStats sanitize;
+  std::map<bgp::Asn, AsDurationStats> durations;
+  std::map<bgp::Asn, AsSpatialStats> spatial;
+  std::map<bgp::Asn, std::vector<SubscriberInference>> subscriber_inference;
+  std::map<bgp::Asn, std::vector<PoolInference>> pool_inference;
+  std::map<bgp::Asn, std::string> as_names;
+  bgp::Rib rib;
+};
+
+/// Run the full Atlas pipeline over the given ISP profiles.
+AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
+                           const AtlasStudyConfig& config);
+
+struct CdnStudyConfig {
+  cdn::CdnConfig cdn;
+  AssocOptions assoc;
+};
+
+/// Everything the CDN-side benches print.
+struct CdnStudy {
+  CdnAnalyzer analyzer;
+  std::map<bgp::Asn, std::string> asn_names;
+};
+
+/// Run the full CDN pipeline over the given population.
+CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
+                       const CdnStudyConfig& config);
+
+}  // namespace dynamips::core

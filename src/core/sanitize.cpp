@@ -1,0 +1,149 @@
+#include "core/sanitize.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynamips::core {
+
+ProbeObservations from_series(const atlas::ProbeSeries& series) {
+  ProbeObservations out;
+  out.probe_id = series.meta.probe_id;
+  out.tags = series.meta.tags;
+  for (const auto& r : series.records) {
+    if (r.family == atlas::Family::kV4) {
+      out.v4.push_back(
+          {r.hour, r.x_client_ip4,
+           !r.src_addr4.is_rfc1918() && !r.src_addr4.is_rfc6598()});
+    } else {
+      out.v6.push_back({r.hour, r.x_client_ip6,
+                        r.src_addr6 == r.x_client_ip6});
+    }
+  }
+  return out;
+}
+
+Sanitizer::Sanitizer(const bgp::Rib& rib, SanitizeOptions options)
+    : rib_(rib), options_(std::move(options)) {}
+
+std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
+  ++stats_.probes_seen;
+
+  // 1. Disqualifying tags.
+  for (const auto& tag : probe.tags) {
+    for (const auto& bad : options_.bad_tags) {
+      if (tag == bad) {
+        ++stats_.dropped_bad_tag;
+        return {};
+      }
+    }
+  }
+
+  // 2. Strip the RIPE pre-deployment test address.
+  const net::IPv4Address test_addr = atlas::ripe_test_address();
+  std::vector<Obs4> v4;
+  v4.reserve(probe.v4.size());
+  for (const auto& o : probe.v4) {
+    if (o.addr == test_addr) {
+      ++stats_.test_address_records;
+      continue;
+    }
+    v4.push_back(o);
+  }
+
+  // 3. Atypical NAT checks.
+  if (!v4.empty()) {
+    std::size_t pub = 0;
+    for (const auto& o : v4) pub += o.src_public;
+    if (double(pub) / double(v4.size()) > options_.public_src_threshold) {
+      ++stats_.dropped_public_src;
+      return {};
+    }
+  }
+  if (!probe.v6.empty()) {
+    std::size_t mism = 0;
+    for (const auto& o : probe.v6) mism += !o.src_matches;
+    if (double(mism) / double(probe.v6.size()) >
+        options_.v6_mismatch_threshold) {
+      ++stats_.dropped_v6_mismatch;
+      return {};
+    }
+  }
+
+  // 4. AS attribution. Merge both families chronologically and compress the
+  // ASN sequence into runs; alternation (more runs than a single switch can
+  // produce) marks the probe multihomed, while a clean A->B sequence splits
+  // the probe into virtual probes.
+  struct Tagged {
+    Hour hour;
+    bgp::Asn asn;
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(v4.size() + probe.v6.size());
+  for (const auto& o : v4) tagged.push_back({o.hour, rib_.asn_of(o.addr)});
+  for (const auto& o : probe.v6)
+    tagged.push_back({o.hour, rib_.asn_of(o.addr)});
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.hour < b.hour; });
+  // Drop unrouted observations (addresses outside any announcement).
+  tagged.erase(std::remove_if(tagged.begin(), tagged.end(),
+                              [](const Tagged& t) { return t.asn == 0; }),
+               tagged.end());
+  if (tagged.empty()) {
+    ++stats_.dropped_short;
+    return {};
+  }
+
+  struct Run {
+    bgp::Asn asn;
+    Hour first, last;
+  };
+  std::vector<Run> runs;
+  for (const auto& t : tagged) {
+    if (runs.empty() || runs.back().asn != t.asn) {
+      runs.push_back({t.asn, t.hour, t.hour});
+    } else {
+      runs.back().last = t.hour;
+    }
+  }
+  if (int(runs.size()) > options_.max_as_runs) {
+    ++stats_.dropped_multihomed;
+    return {};
+  }
+
+  // 5. Emit one CleanProbe per AS run, each long enough to analyze.
+  std::vector<CleanProbe> out;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    if (run.last - run.first < options_.min_observation_hours) {
+      ++stats_.dropped_short;
+      continue;
+    }
+    CleanProbe cp;
+    cp.probe_id = probe.probe_id;
+    cp.virtual_index = int(i);
+    cp.asn = run.asn;
+    cp.first_hour = run.first;
+    cp.last_hour = run.last;
+    for (const auto& o : v4) {
+      if (o.hour < run.first || o.hour > run.last) continue;
+      if (rib_.asn_of(o.addr) != run.asn) continue;
+      cp.v4.push_back(o);
+    }
+    for (const auto& o : probe.v6) {
+      if (o.hour < run.first || o.hour > run.last) continue;
+      if (rib_.asn_of(o.addr) != run.asn) continue;
+      cp.v6.push_back(o);
+    }
+    out.push_back(std::move(cp));
+  }
+  if (!out.empty()) {
+    ++stats_.probes_kept;
+    stats_.virtual_probes += out.size();
+    if (out.size() > 1) ++stats_.split_probes;
+  } else if (runs.size() > 0) {
+    // all runs too short: already accounted under dropped_short
+  }
+  return out;
+}
+
+}  // namespace dynamips::core

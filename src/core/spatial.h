@@ -1,0 +1,79 @@
+// spatial.h — spatial analyses of assignment changes (§5.1, §5.2).
+//
+// Covers three paper artifacts: the common-prefix-length histograms between
+// successive /64 assignments (Fig. 5), the share of changes that cross /24
+// and BGP-prefix boundaries (Table 2), and the per-probe counts of unique
+// prefixes at each aggregation length (Fig. 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "core/changes.h"
+#include "core/sanitize.h"
+
+namespace dynamips::core {
+
+/// Fig. 5 histogram: per CPL value (0..64), the number of assignment
+/// changes with that CPL (orange bars) and the number of probes with at
+/// least one such change (blue bars).
+struct CplHistogram {
+  std::array<std::uint64_t, 65> changes{};
+  std::array<std::uint64_t, 65> probes{};
+
+  std::uint64_t total_changes() const {
+    std::uint64_t t = 0;
+    for (auto c : changes) t += c;
+    return t;
+  }
+};
+
+/// The aggregation lengths Fig. 8 plots (plus BGP handled separately).
+inline constexpr int kFig8Lengths[] = {64, 56, 48, 40, 32, 24, 16};
+
+/// Accumulated spatial statistics for one AS.
+struct AsSpatialStats {
+  bgp::Asn asn = 0;
+  CplHistogram cpl;
+
+  // Table 2 counters.
+  std::uint64_t v4_changes = 0;
+  std::uint64_t v4_diff_24 = 0;   ///< changes crossing a /24 boundary
+  std::uint64_t v4_diff_bgp = 0;  ///< changes crossing a BGP prefix
+  std::uint64_t v6_changes = 0;
+  std::uint64_t v6_diff_bgp = 0;
+
+  /// Fig. 8: per aggregation length, one entry per probe = number of unique
+  /// prefixes of that length the probe observed.
+  std::map<int, std::vector<std::uint32_t>> unique_prefixes;
+  std::vector<std::uint32_t> unique_bgp;  ///< unique v6 BGP prefixes/probe
+
+  double pct_v4_diff_24() const {
+    return v4_changes ? 100.0 * double(v4_diff_24) / double(v4_changes) : 0;
+  }
+  double pct_v4_diff_bgp() const {
+    return v4_changes ? 100.0 * double(v4_diff_bgp) / double(v4_changes) : 0;
+  }
+  double pct_v6_diff_bgp() const {
+    return v6_changes ? 100.0 * double(v6_diff_bgp) / double(v6_changes) : 0;
+  }
+};
+
+/// Streaming per-AS spatial aggregation over cleaned probes.
+class SpatialAnalyzer {
+ public:
+  explicit SpatialAnalyzer(const bgp::Rib& rib) : rib_(rib) {}
+
+  void add_probe(const CleanProbe& probe);
+
+  const std::map<bgp::Asn, AsSpatialStats>& by_as() const { return by_as_; }
+
+ private:
+  const bgp::Rib& rib_;
+  std::map<bgp::Asn, AsSpatialStats> by_as_;
+};
+
+}  // namespace dynamips::core

@@ -1,0 +1,61 @@
+#include "core/tracking.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netaddr/iid.h"
+#include "simnet/time.h"
+
+namespace dynamips::core {
+
+std::vector<DeviceTrack> TrackingAnalyzer::tracks_of(
+    const CleanProbe& probe) {
+  struct Acc {
+    Hour first = 0, last = 0;
+    std::unordered_set<std::uint64_t> nets;
+    bool seen = false;
+  };
+  std::unordered_map<std::uint64_t, Acc> by_iid;
+  for (const auto& o : probe.v6) {
+    Acc& acc = by_iid[o.addr.iid()];
+    if (!acc.seen) {
+      acc.first = o.hour;
+      acc.seen = true;
+    }
+    acc.last = o.hour;
+    acc.nets.insert(o.addr.network64());
+  }
+  std::vector<DeviceTrack> out;
+  out.reserve(by_iid.size());
+  for (const auto& [iid, acc] : by_iid) {
+    DeviceTrack t;
+    t.probe_id = probe.probe_id;
+    t.iid = iid;
+    t.eui64 = net::is_eui64_iid(iid);
+    t.first_seen = acc.first;
+    t.last_seen = acc.last;
+    t.distinct_64s = std::uint32_t(acc.nets.size());
+    out.push_back(t);
+  }
+  return out;
+}
+
+void TrackingAnalyzer::add_probe(const CleanProbe& probe) {
+  if (probe.v6.empty()) return;
+  AsTrackingStats& as = by_as_[probe.asn];
+  as.asn = probe.asn;
+  ++as.probes;
+  bool any_eui64 = false;
+  for (const DeviceTrack& t : tracks_of(probe)) {
+    ++as.devices;
+    if (!t.eui64) continue;
+    ++as.eui64_devices;
+    any_eui64 = true;
+    as.eui64_tracked_days.push_back(double(t.tracked_span()) /
+                                    double(simnet::kHoursPerDay));
+    if (t.survives_renumbering()) ++as.cross_network_tracked;
+  }
+  if (any_eui64) ++as.eui64_probes;
+}
+
+}  // namespace dynamips::core

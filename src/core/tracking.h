@@ -1,0 +1,75 @@
+// tracking.h — device tracking across renumbering via interface
+// identifiers (§2.3, §6).
+//
+// The paper observes that devices using EUI-64 IIDs (the MAC-derived host
+// part) remain trackable across network renumbering: the /64 changes, the
+// IID does not. Privacy extensions (RFC 4941) rotate the IID and defeat
+// this. The analyzer links a probe's v6 observations by IID and reports,
+// per device, how long and across how many /64s it could be followed —
+// the quantitative backing for the paper's "trackable across network
+// address changes" claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/sanitize.h"
+
+namespace dynamips::core {
+
+/// One device (IID) as seen across a probe's history.
+struct DeviceTrack {
+  std::uint32_t probe_id = 0;
+  std::uint64_t iid = 0;
+  bool eui64 = false;          ///< carries the ff:fe EUI-64 marker
+  Hour first_seen = 0;
+  Hour last_seen = 0;
+  std::uint32_t distinct_64s = 0;  ///< networks crossed under this IID
+
+  Hour tracked_span() const { return last_seen - first_seen; }
+  /// Trackable across renumbering: followed through >= 2 networks.
+  bool survives_renumbering() const { return distinct_64s >= 2; }
+};
+
+/// Aggregated per-AS tracking exposure.
+struct AsTrackingStats {
+  bgp::Asn asn = 0;
+  std::uint64_t probes = 0;        ///< probes with any v6 history
+  std::uint64_t eui64_probes = 0;  ///< probes exposing an EUI-64 device
+  std::uint64_t devices = 0;
+  std::uint64_t eui64_devices = 0;
+  std::uint64_t cross_network_tracked = 0;  ///< EUI-64 devices followed
+                                            ///< across >= 2 /64s
+  std::vector<double> eui64_tracked_days;   ///< tracked span per EUI-64 dev
+
+  /// Share of probes whose household exposes at least one stable EUI-64
+  /// device — the subscribers trackable across renumbering (§6).
+  double eui64_probe_share() const {
+    return probes ? double(eui64_probes) / double(probes) : 0.0;
+  }
+  /// Of the EUI-64 devices that saw a renumbering, the share still
+  /// followable afterwards (by construction of IID linking this is 1.0
+  /// unless the IID itself changed).
+  double cross_network_share() const {
+    return eui64_devices ? double(cross_network_tracked) /
+                               double(eui64_devices)
+                         : 0.0;
+  }
+};
+
+/// Streaming tracking analyzer over cleaned probes.
+class TrackingAnalyzer {
+ public:
+  /// Extract per-device tracks from one probe's history.
+  static std::vector<DeviceTrack> tracks_of(const CleanProbe& probe);
+
+  void add_probe(const CleanProbe& probe);
+
+  const std::map<bgp::Asn, AsTrackingStats>& by_as() const { return by_as_; }
+
+ private:
+  std::map<bgp::Asn, AsTrackingStats> by_as_;
+};
+
+}  // namespace dynamips::core

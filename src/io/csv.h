@@ -1,0 +1,40 @@
+// csv.h — minimal CSV tokenization shared by the dataset codecs.
+//
+// The interchange formats are deliberately plain: comma-separated fields,
+// no quoting (no field in any of our schemas can contain a comma), one
+// header line. This keeps files greppable and loadable by any tooling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynamips::io {
+
+/// Split one CSV line into fields (no quoting rules; empty fields kept).
+inline std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Join fields with commas.
+inline std::string join_csv(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += fields[i];
+  }
+  return out;
+}
+
+}  // namespace dynamips::io

@@ -1,0 +1,154 @@
+#include "io/dataset_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "io/csv.h"
+
+namespace dynamips::io {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_num(std::string_view s) {
+  T v{};
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string to_csv(const atlas::EchoRecord& rec) {
+  std::string out;
+  out += std::to_string(rec.probe_id);
+  out += ',';
+  out += std::to_string(rec.hour);
+  out += ',';
+  if (rec.family == atlas::Family::kV4) {
+    out += "4,";
+    out += rec.x_client_ip4.to_string();
+    out += ',';
+    out += rec.src_addr4.to_string();
+  } else {
+    out += "6,";
+    out += rec.x_client_ip6.to_string();
+    out += ',';
+    out += rec.src_addr6.to_string();
+  }
+  return out;
+}
+
+std::optional<atlas::EchoRecord> echo_from_csv(std::string_view line) {
+  auto f = split_csv(line);
+  if (f.size() != 5) return std::nullopt;
+  auto probe = parse_num<std::uint32_t>(f[0]);
+  auto hour = parse_num<std::uint64_t>(f[1]);
+  if (!probe || !hour) return std::nullopt;
+  atlas::EchoRecord rec;
+  rec.probe_id = *probe;
+  rec.hour = *hour;
+  if (f[2] == "4") {
+    rec.family = atlas::Family::kV4;
+    auto x = net::IPv4Address::parse(f[3]);
+    auto s = net::IPv4Address::parse(f[4]);
+    if (!x || !s) return std::nullopt;
+    rec.x_client_ip4 = *x;
+    rec.src_addr4 = *s;
+  } else if (f[2] == "6") {
+    rec.family = atlas::Family::kV6;
+    auto x = net::IPv6Address::parse(f[3]);
+    auto s = net::IPv6Address::parse(f[4]);
+    if (!x || !s) return std::nullopt;
+    rec.x_client_ip6 = *x;
+    rec.src_addr6 = *s;
+  } else {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+void write_echo_csv(std::ostream& os, const atlas::ProbeSeries& series) {
+  os << "probe_id,hour,family,x_client_ip,src_addr\n";
+  for (const auto& rec : series.records) os << to_csv(rec) << '\n';
+}
+
+std::optional<atlas::ProbeSeries> read_echo_csv(std::istream& is) {
+  atlas::ProbeSeries series;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("probe_id,", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    auto rec = echo_from_csv(line);
+    if (!rec) return std::nullopt;
+    series.records.push_back(*rec);
+  }
+  if (!series.records.empty())
+    series.meta.probe_id = series.records.front().probe_id;
+  for (const auto& r : series.records)
+    if (r.probe_id != series.meta.probe_id) return std::nullopt;
+  return series;
+}
+
+std::string to_csv(const cdn::AssociationRecord& rec) {
+  std::string out;
+  out += std::to_string(rec.day);
+  out += ',';
+  out += rec.v4_24.to_string();
+  out += ',';
+  out += rec.v6_64.to_string();
+  out += ',';
+  out += std::to_string(rec.asn4);
+  out += ',';
+  out += std::to_string(rec.asn6);
+  return out;
+}
+
+std::optional<cdn::AssociationRecord> assoc_from_csv(std::string_view line) {
+  auto f = split_csv(line);
+  if (f.size() != 5) return std::nullopt;
+  auto day = parse_num<std::uint32_t>(f[0]);
+  auto v4 = net::Prefix4::parse(f[1]);
+  auto v6 = net::Prefix6::parse(f[2]);
+  auto asn4 = parse_num<std::uint32_t>(f[3]);
+  auto asn6 = parse_num<std::uint32_t>(f[4]);
+  if (!day || !v4 || !v6 || !asn4 || !asn6) return std::nullopt;
+  cdn::AssociationRecord rec;
+  rec.day = *day;
+  rec.v4_24 = *v4;
+  rec.v6_64 = *v6;
+  rec.asn4 = *asn4;
+  rec.asn6 = *asn6;
+  return rec;
+}
+
+void write_assoc_csv(std::ostream& os, const cdn::AssociationLog& log) {
+  os << "day,v4_24,v6_64,asn4,asn6\n";
+  for (const auto& rec : log.records) os << to_csv(rec) << '\n';
+}
+
+std::optional<cdn::AssociationLog> read_assoc_csv(std::istream& is) {
+  cdn::AssociationLog log;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("day,", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    auto rec = assoc_from_csv(line);
+    if (!rec) return std::nullopt;
+    log.records.push_back(*rec);
+  }
+  return log;
+}
+
+}  // namespace dynamips::io

@@ -1,0 +1,46 @@
+// dataset_io.h — CSV codecs for the two dataset record types.
+//
+// Allows running the analysis pipeline on externally supplied data (e.g.
+// real Atlas IP-echo exports converted to this schema) and persisting
+// simulated datasets for inspection.
+//
+// Echo schema:   probe_id,hour,family,x_client_ip,src_addr
+// Assoc schema:  day,v4_24,v6_64,asn4,asn6
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "atlas/echo.h"
+#include "cdn/rum.h"
+
+namespace dynamips::io {
+
+/// Serialize one echo record to a CSV line (no trailing newline).
+std::string to_csv(const atlas::EchoRecord& rec);
+
+/// Parse one echo CSV line; nullopt on malformed input.
+std::optional<atlas::EchoRecord> echo_from_csv(std::string_view line);
+
+/// Write a whole probe series with header.
+void write_echo_csv(std::ostream& os, const atlas::ProbeSeries& series);
+
+/// Read an echo CSV stream (header optional) into a probe series; records
+/// must all carry the same probe id. Returns nullopt on parse failure.
+std::optional<atlas::ProbeSeries> read_echo_csv(std::istream& is);
+
+/// Serialize one association record.
+std::string to_csv(const cdn::AssociationRecord& rec);
+
+/// Parse one association CSV line; nullopt on malformed input.
+std::optional<cdn::AssociationRecord> assoc_from_csv(std::string_view line);
+
+/// Write an association log with header.
+void write_assoc_csv(std::ostream& os, const cdn::AssociationLog& log);
+
+/// Read an association log (asn/mobile/registry fields of the result are
+/// left for the caller to fill). Returns nullopt on parse failure.
+std::optional<cdn::AssociationLog> read_assoc_csv(std::istream& is);
+
+}  // namespace dynamips::io

@@ -1,0 +1,44 @@
+// results_io.h — CSV export of analysis artifacts.
+//
+// The paper's supplemental release ships processed findings; this module
+// provides the equivalent: every figure/table's underlying series can be
+// written as plain CSV for external plotting (the tools/dynamips_study
+// driver writes one file per artifact).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/assoc.h"
+#include "core/pipeline.h"
+#include "core/spatial.h"
+#include "stats/ttf.h"
+
+namespace dynamips::io {
+
+/// Fig. 1 series: one row per (AS, split, threshold) with the cumulative
+/// total time fraction. Splits are "v4_nds", "v4_ds", "v6".
+void write_duration_curves_csv(std::ostream& os, const core::AtlasStudy& study);
+
+/// Fig. 5 series: one row per (AS, CPL) with change and probe counts.
+void write_cpl_csv(std::ostream& os, const core::AtlasStudy& study);
+
+/// Table 2: one row per AS with the three crossing percentages.
+void write_bgp_moves_csv(std::ostream& os, const core::AtlasStudy& study);
+
+/// Fig. 6/9 series: one row per (AS, inferred length) with probe counts.
+void write_inference_csv(std::ostream& os, const core::AtlasStudy& study);
+
+/// Fig. 2/3 inputs: one row per (ASN, duration-days) sample.
+void write_assoc_durations_csv(std::ostream& os,
+                               const core::CdnStudy& study);
+
+/// Fig. 4 inputs: one row per /24 with its degree and access class.
+void write_degrees_csv(std::ostream& os, const core::CdnStudy& study);
+
+/// Fig. 7: one row per (registry, class, boundary) with fractions.
+void write_zero_boundaries_csv(std::ostream& os,
+                               const core::CdnStudy& study);
+
+}  // namespace dynamips::io

@@ -1,0 +1,78 @@
+// iid.h — IPv6 interface-identifier construction strategies.
+//
+// The paper distinguishes hosts using stable EUI-64 IIDs (trackable across
+// network renumbering, §2.3/§6) from hosts using RFC 4941 privacy IIDs
+// (ephemeral host parts). The simulator models both so that analyses which
+// depend on the host part — e.g. "privacy addresses do not defeat /64
+// tracking" — exercise realistic inputs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::net {
+
+/// A 48-bit IEEE MAC address, most significant octet first.
+struct Mac {
+  std::array<std::uint8_t, 6> octets{};
+
+  /// Draw a locally-unique unicast MAC (multicast bit clear).
+  static Mac random(Rng& rng) {
+    Mac m;
+    std::uint64_t v = rng.next_u64();
+    for (auto& o : m.octets) {
+      o = std::uint8_t(v);
+      v >>= 8;
+    }
+    m.octets[0] &= 0xfeu;  // clear multicast bit
+    return m;
+  }
+};
+
+/// Modified EUI-64 IID from a MAC address (RFC 4291 appendix A): the MAC is
+/// split around ff:fe and the universal/local bit is inverted. These IIDs
+/// are stable for the device's lifetime and therefore trackable.
+constexpr std::uint64_t eui64_iid(const Mac& mac) {
+  std::uint64_t v = 0;
+  v |= std::uint64_t(mac.octets[0] ^ 0x02u) << 56;
+  v |= std::uint64_t(mac.octets[1]) << 48;
+  v |= std::uint64_t(mac.octets[2]) << 40;
+  v |= std::uint64_t(0xffu) << 32;
+  v |= std::uint64_t(0xfeu) << 24;
+  v |= std::uint64_t(mac.octets[3]) << 16;
+  v |= std::uint64_t(mac.octets[4]) << 8;
+  v |= std::uint64_t(mac.octets[5]);
+  return v;
+}
+
+/// True if the IID carries the ff:fe marker of an EUI-64 construction.
+constexpr bool is_eui64_iid(std::uint64_t iid) {
+  return ((iid >> 24) & 0xffffu) == 0xfffeu;
+}
+
+/// RFC 4941 temporary ("privacy") IID: fresh randomness per regeneration.
+/// The u/l bit is cleared so privacy IIDs never masquerade as EUI-64.
+inline std::uint64_t privacy_iid(Rng& rng) {
+  std::uint64_t v = rng.next_u64();
+  v &= ~(std::uint64_t(0x02) << 56);  // clear universal/local bit
+  // Avoid the ff:fe marker so classification stays unambiguous.
+  if (is_eui64_iid(v)) v ^= 0x1ull << 24;
+  return v;
+}
+
+/// RFC 7217 stable-opaque IID: deterministic per (secret, prefix) pair —
+/// stable within a network, different across networks.
+inline std::uint64_t stable_opaque_iid(std::uint64_t secret,
+                                       std::uint64_t network64) {
+  // One round of SplitMix-style mixing over the pair.
+  std::uint64_t z = secret ^ (network64 * 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  if (is_eui64_iid(z)) z ^= 0x1ull << 24;
+  return z;
+}
+
+}  // namespace dynamips::net

@@ -1,0 +1,43 @@
+#include "netaddr/ipv4.h"
+
+#include <charconv>
+
+namespace dynamips::net {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    if (p == end || *p < '0' || *p > '9') return std::nullopt;
+    // Reject leading zeros ("01"), which some parsers treat as octal.
+    if (*p == '0' && p + 1 != end && p[1] >= '0' && p[1] <= '9')
+      return std::nullopt;
+    unsigned v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255) return std::nullopt;
+    p = next;
+    value = (value << 8) | v;
+  }
+  if (p != end) return std::nullopt;
+  return IPv4Address{value};
+}
+
+std::string IPv4Address::to_string() const {
+  char buf[16];
+  auto o = octets();
+  char* p = buf;
+  for (int i = 0; i < 4; ++i) {
+    if (i) *p++ = '.';
+    auto [next, ec] = std::to_chars(p, buf + sizeof buf, unsigned(o[i]));
+    (void)ec;
+    p = next;
+  }
+  return std::string(buf, p);
+}
+
+}  // namespace dynamips::net

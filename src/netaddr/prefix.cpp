@@ -1,0 +1,46 @@
+#include "netaddr/prefix.h"
+
+#include <charconv>
+
+namespace dynamips::net {
+
+namespace {
+
+std::optional<int> parse_length(std::string_view text, int max_len) {
+  if (text.empty() || text.size() > 3) return std::nullopt;
+  int v = -1;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;
+  if (v < 0 || v > max_len) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<Prefix4> Prefix4::parse(std::string_view text) {
+  std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv4Address::parse(text.substr(0, slash));
+  auto len = parse_length(text.substr(slash + 1), 32);
+  if (!addr || !len) return std::nullopt;
+  return Prefix4{*addr, *len};
+}
+
+std::string Prefix4::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv6Address::parse(text.substr(0, slash));
+  auto len = parse_length(text.substr(slash + 1), 128);
+  if (!addr || !len) return std::nullopt;
+  return Prefix6{*addr, *len};
+}
+
+std::string Prefix6::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dynamips::net

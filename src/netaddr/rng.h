@@ -1,0 +1,108 @@
+// rng.h — deterministic pseudo-random number generation for simulation.
+//
+// All simulators in this library are seeded and reproducible; we provide a
+// single fast PRNG (xoshiro256**) rather than depending on the unspecified
+// distribution behaviour of <random>, which differs between standard library
+// implementations and would break cross-platform reproducibility of the
+// benchmark tables.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dynamips::net {
+
+/// xoshiro256** generator seeded via SplitMix64. Deterministic across
+/// platforms; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    auto splitmix = [&x]() {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = splitmix();
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform(std::uint64_t n) {
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      std::uint64_t x = next_u64();
+      __uint128_t m = static_cast<__uint128_t>(x) * n;
+      std::uint64_t l = static_cast<std::uint64_t>(m);
+      if (l >= n || l >= (-n) % n) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi) {
+    return lo + std::int64_t(uniform(std::uint64_t(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return double(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform_real();
+    // Guard the log: uniform_real can return exactly 0.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Pareto (heavy-tailed) value with scale `xm` and shape `alpha`.
+  double pareto(double xm, double alpha) {
+    double u = uniform_real();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Index drawn from the (unnormalized) discrete weights. Precondition:
+  /// weights non-empty with positive sum.
+  std::size_t weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = uniform_real() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derive an independent child generator; used to give each simulated
+  /// entity its own stream so entity ordering does not perturb results.
+  Rng fork() { return Rng{next_u64() ^ 0xd1b54a32d192ed03ull}; }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dynamips::net

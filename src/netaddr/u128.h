@@ -1,0 +1,115 @@
+// u128.h — minimal 128-bit unsigned integer for IPv6 address math.
+//
+// The standard library offers no portable 128-bit integer; this small value
+// type provides exactly the operations the rest of the library needs
+// (bitwise ops, shifts, comparison, leading/trailing zero counts) without
+// pulling in compiler extensions at the public-interface level.
+#pragma once
+
+#include <functional>
+#include <bit>
+#include <cstddef>
+#include <compare>
+#include <cstdint>
+
+namespace dynamips::net {
+
+/// 128-bit unsigned integer stored as two 64-bit halves (big-endian order:
+/// `hi` holds bits 127..64, `lo` holds bits 63..0). A regular value type:
+/// trivially copyable, totally ordered, hashable via `hi`/`lo`.
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+
+  /// Construct from a single 64-bit value (placed in the low half).
+  static constexpr U128 from_u64(std::uint64_t v) { return U128{0, v}; }
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+  friend constexpr std::strong_ordering operator<=>(const U128& a,
+                                                    const U128& b) {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return U128{a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return U128{a.hi | b.hi, a.lo | b.lo};
+  }
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return U128{a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  constexpr U128 operator~() const { return U128{~hi, ~lo}; }
+
+  /// Logical left shift by `n` bits (n in [0,128]; n >= 128 yields zero).
+  friend constexpr U128 operator<<(const U128& a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return U128{};
+    if (n >= 64) return U128{a.lo << (n - 64), 0};
+    return U128{(a.hi << n) | (a.lo >> (64 - n)), a.lo << n};
+  }
+
+  /// Logical right shift by `n` bits (n in [0,128]; n >= 128 yields zero).
+  friend constexpr U128 operator>>(const U128& a, unsigned n) {
+    if (n == 0) return a;
+    if (n >= 128) return U128{};
+    if (n >= 64) return U128{0, a.hi >> (n - 64)};
+    return U128{a.hi >> n, (a.lo >> n) | (a.hi << (64 - n))};
+  }
+
+  friend constexpr U128 operator+(const U128& a, const U128& b) {
+    std::uint64_t lo = a.lo + b.lo;
+    std::uint64_t carry = lo < a.lo ? 1 : 0;
+    return U128{a.hi + b.hi + carry, lo};
+  }
+
+  friend constexpr U128 operator-(const U128& a, const U128& b) {
+    std::uint64_t lo = a.lo - b.lo;
+    std::uint64_t borrow = a.lo < b.lo ? 1 : 0;
+    return U128{a.hi - b.hi - borrow, lo};
+  }
+
+  /// Number of leading (most-significant) zero bits; 128 when zero.
+  constexpr int countl_zero() const {
+    if (hi != 0) return std::countl_zero(hi);
+    return 64 + std::countl_zero(lo);
+  }
+
+  /// Number of trailing (least-significant) zero bits; 128 when zero.
+  constexpr int countr_zero() const {
+    if (lo != 0) return std::countr_zero(lo);
+    return 64 + std::countr_zero(hi);
+  }
+
+  /// Value of bit `i` counted from the most-significant bit (bit 0 = MSB).
+  constexpr bool bit_msb(unsigned i) const {
+    if (i < 64) return (hi >> (63 - i)) & 1u;
+    return (lo >> (127 - i)) & 1u;
+  }
+
+  /// True when all 128 bits are zero.
+  constexpr bool is_zero() const { return hi == 0 && lo == 0; }
+};
+
+/// Mask with the top `len` bits set (len in [0,128]).
+constexpr U128 mask128(unsigned len) {
+  if (len == 0) return U128{};
+  if (len >= 128) return U128{~0ull, ~0ull};
+  return (~U128{}) << (128 - len);
+}
+
+}  // namespace dynamips::net
+
+template <>
+struct std::hash<dynamips::net::U128> {
+  std::size_t operator()(const dynamips::net::U128& v) const noexcept {
+    // Simple xor-rotate mix; good enough for hash-map bucketing of prefixes.
+    std::uint64_t h = v.hi * 0x9e3779b97f4a7c15ull;
+    h ^= (v.lo + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,289 @@
+// prefix_trie.h — path-compressed binary radix (Patricia) trie keyed by
+// bit-string prefixes up to 128 bits.
+//
+// This is the lookup substrate shared by the BGP RIB (pfx2as), the pool
+// inference, and the hitlist scoping logic: insert (prefix, value) pairs,
+// then ask for the longest matching prefix of a full address. Keys are
+// left-aligned in a U128 (bit 0 = most significant), which lets IPv4 (32-bit)
+// and IPv6 (128-bit) share one implementation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/prefix.h"
+#include "netaddr/u128.h"
+
+namespace dynamips::rtrie {
+
+using net::U128;
+
+/// Left-aligned 128-bit key for an IPv4 address (its 32 bits become the most
+/// significant bits of the key).
+constexpr U128 key_of(net::IPv4Address a) {
+  return U128{std::uint64_t(a.value()) << 32, 0};
+}
+
+/// Left-aligned key for an IPv6 address (identity).
+constexpr U128 key_of(const net::IPv6Address& a) { return a.bits(); }
+
+constexpr U128 key_of(const net::Prefix4& p) { return key_of(p.address()); }
+constexpr U128 key_of(const net::Prefix6& p) { return key_of(p.address()); }
+
+/// A match returned by longest-prefix lookup: the matched prefix (left-
+/// aligned bits + length) and a pointer to its value (valid until the next
+/// mutation of the trie).
+template <typename V>
+struct TrieMatch {
+  U128 prefix_bits;
+  unsigned prefix_len;
+  const V* value;
+};
+
+/// Path-compressed binary trie mapping bit-prefixes to values.
+///
+/// Invariants (checked by the test suite's property sweep):
+///  * every stored edge label is truncated to its edge length;
+///  * no internal node is both valueless and single-childed (erase prunes);
+///  * `size()` equals the number of stored values.
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+
+  /// Number of stored (prefix, value) pairs.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Insert or overwrite the value at (bits, len). `bits` is left-aligned;
+  /// bits below `len` are ignored. Returns true if a new entry was created.
+  bool insert(U128 bits, unsigned len, V value) {
+    assert(len <= 128);
+    bits = bits & net::mask128(len);
+    Node* cur = root_.get();
+    unsigned depth = 0;
+    while (true) {
+      if (depth == len) {
+        bool fresh = !cur->value.has_value();
+        cur->value = std::move(value);
+        if (fresh) ++size_;
+        return fresh;
+      }
+      bool b = bits.bit_msb(depth);
+      std::unique_ptr<Node>& slot = cur->child[b];
+      U128 rem = bits << depth;
+      if (!slot) {
+        slot = std::make_unique<Node>();
+        slot->edge_bits = rem & net::mask128(len - depth);
+        slot->edge_len = len - depth;
+        slot->value = std::move(value);
+        ++size_;
+        return true;
+      }
+      unsigned want = len - depth;
+      unsigned cl = match_len(rem, slot->edge_bits,
+                              want < slot->edge_len ? want : slot->edge_len);
+      if (cl == slot->edge_len) {
+        depth += cl;
+        cur = slot.get();
+        continue;
+      }
+      // The new prefix diverges inside slot's edge: split the edge at cl.
+      auto split = std::make_unique<Node>();
+      split->edge_bits = slot->edge_bits & net::mask128(cl);
+      split->edge_len = cl;
+      bool old_b = slot->edge_bits.bit_msb(cl);
+      slot->edge_bits = (slot->edge_bits << cl) & net::mask128(slot->edge_len - cl);
+      slot->edge_len -= cl;
+      split->child[old_b] = std::move(slot);
+      slot = std::move(split);
+      if (depth + cl == len) {
+        slot->value = std::move(value);
+        ++size_;
+        return true;
+      }
+      bool new_b = rem.bit_msb(cl);
+      auto leaf = std::make_unique<Node>();
+      leaf->edge_bits = (rem << cl) & net::mask128(len - depth - cl);
+      leaf->edge_len = len - depth - cl;
+      leaf->value = std::move(value);
+      slot->child[new_b] = std::move(leaf);
+      ++size_;
+      return true;
+    }
+  }
+
+  /// Exact-match lookup of the value stored at (bits, len), or nullptr.
+  const V* find(U128 bits, unsigned len) const {
+    bits = bits & net::mask128(len);
+    const Node* cur = root_.get();
+    unsigned depth = 0;
+    while (depth < len) {
+      const Node* next = cur->child[bits.bit_msb(depth)].get();
+      if (!next) return nullptr;
+      U128 rem = bits << depth;
+      unsigned want = len - depth;
+      if (next->edge_len > want) return nullptr;
+      if (match_len(rem, next->edge_bits, next->edge_len) != next->edge_len)
+        return nullptr;
+      depth += next->edge_len;
+      cur = next;
+    }
+    return cur->value ? &*cur->value : nullptr;
+  }
+
+  V* find(U128 bits, unsigned len) {
+    return const_cast<V*>(std::as_const(*this).find(bits, len));
+  }
+
+  /// Longest-prefix match for a full 128-bit key. Returns the most specific
+  /// stored prefix containing the key, or nullopt when none matches.
+  std::optional<TrieMatch<V>> longest_match(U128 key) const {
+    const Node* cur = root_.get();
+    unsigned depth = 0;
+    std::optional<TrieMatch<V>> best;
+    if (cur->value) best = TrieMatch<V>{U128{}, 0, &*cur->value};
+    while (depth < 128) {
+      const Node* next = cur->child[key.bit_msb(depth)].get();
+      if (!next) break;
+      U128 rem = key << depth;
+      unsigned avail = 128 - depth;
+      if (next->edge_len > avail) break;
+      if (match_len(rem, next->edge_bits, next->edge_len) != next->edge_len)
+        break;
+      depth += next->edge_len;
+      cur = next;
+      if (cur->value)
+        best = TrieMatch<V>{key & net::mask128(depth), depth, &*cur->value};
+    }
+    return best;
+  }
+
+  /// Remove the value at (bits, len). Returns true if an entry was removed.
+  /// Pruning restores the compression invariant.
+  bool erase(U128 bits, unsigned len) {
+    bits = bits & net::mask128(len);
+    bool removed = erase_rec(root_.get(), bits, len, 0);
+    if (removed) --size_;
+    return removed;
+  }
+
+  /// Visit every stored (prefix bits, prefix length, value) in lexicographic
+  /// (trie) order.
+  void visit(const std::function<void(U128, unsigned, const V&)>& fn) const {
+    visit_rec(root_.get(), U128{}, 0, fn);
+  }
+
+  /// Remove all entries.
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    U128 edge_bits{};       // label of the edge leading here, left-aligned
+    unsigned edge_len = 0;  // number of meaningful bits in edge_bits
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+
+    int child_count() const {
+      return int(child[0] != nullptr) + int(child[1] != nullptr);
+    }
+  };
+
+  static unsigned match_len(U128 a, U128 b, unsigned limit) {
+    U128 x = a ^ b;
+    unsigned m = unsigned(x.countl_zero());
+    return m < limit ? m : limit;
+  }
+
+  // Merge a valueless single-child node with its child (except the root).
+  static void maybe_merge(Node* node) {
+    if (node->value || node->child_count() != 1) return;
+    std::unique_ptr<Node>& only =
+        node->child[node->child[0] ? 0 : 1];
+    // Concatenate edges: node keeps its label followed by the child's.
+    U128 merged = node->edge_bits | (only->edge_bits >> node->edge_len);
+    unsigned merged_len = node->edge_len + only->edge_len;
+    Node* c = only.get();
+    node->edge_bits = merged & net::mask128(merged_len);
+    node->edge_len = merged_len;
+    node->value = std::move(c->value);
+    std::unique_ptr<Node> keep0 = std::move(c->child[0]);
+    std::unique_ptr<Node> keep1 = std::move(c->child[1]);
+    only.reset();
+    node->child[0] = std::move(keep0);
+    node->child[1] = std::move(keep1);
+  }
+
+  bool erase_rec(Node* cur, U128 bits, unsigned len, unsigned depth) {
+    if (depth == len) {
+      if (!cur->value) return false;
+      cur->value.reset();
+      return true;
+    }
+    std::unique_ptr<Node>& slot = cur->child[bits.bit_msb(depth)];
+    if (!slot) return false;
+    U128 rem = bits << depth;
+    unsigned want = len - depth;
+    if (slot->edge_len > want) return false;
+    if (match_len(rem, slot->edge_bits, slot->edge_len) != slot->edge_len)
+      return false;
+    if (!erase_rec(slot.get(), bits, len, depth + slot->edge_len))
+      return false;
+    // Prune or merge the child, then consider merging ourselves (our parent
+    // handles the root case by never merging it).
+    if (!slot->value && slot->child_count() == 0) {
+      slot.reset();
+    } else {
+      maybe_merge(slot.get());
+    }
+    return true;
+  }
+
+  void visit_rec(const Node* cur, U128 prefix, unsigned depth,
+                 const std::function<void(U128, unsigned, const V&)>& fn)
+      const {
+    if (cur->value) fn(prefix, depth, *cur->value);
+    for (int b = 0; b < 2; ++b) {
+      const Node* c = cur->child[b].get();
+      if (!c) continue;
+      U128 child_prefix = prefix | (c->edge_bits >> depth);
+      visit_rec(c, child_prefix, depth + c->edge_len, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Convenience: a set of prefixes (trie with unit values).
+template <typename Tag = void>
+class PrefixSet {
+ public:
+  bool insert(U128 bits, unsigned len) { return trie_.insert(bits, len, true); }
+  bool contains(U128 bits, unsigned len) const {
+    return trie_.find(bits, len) != nullptr;
+  }
+  bool contains_superprefix_of(U128 key) const {
+    return trie_.longest_match(key).has_value();
+  }
+  std::size_t size() const { return trie_.size(); }
+
+ private:
+  PrefixTrie<bool> trie_;
+};
+
+}  // namespace dynamips::rtrie

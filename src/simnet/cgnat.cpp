@@ -1,0 +1,79 @@
+#include "simnet/cgnat.h"
+
+#include <cassert>
+
+namespace dynamips::simnet {
+
+CgnatGateway::CgnatGateway(std::vector<net::Prefix4> egress, Config config,
+                           std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(!egress.empty());
+  assert(config_.block_size > 0);
+  for (const auto& block : egress) {
+    assert(block.length() >= 16 && block.length() <= 24);
+    std::uint32_t hosts = 1u << (32 - block.length());
+    for (std::uint32_t h = 1; h + 1 < hosts; ++h)
+      addresses_.push_back(net::IPv4Address{block.address().value() + h});
+  }
+  std::size_t per_addr = capacity_per_address();
+  for (auto a : addresses_) slots_[a].assign(per_addr, false);
+}
+
+void CgnatGateway::reclaim_expired(Hour now) {
+  for (auto it = mappings_.begin(); it != mappings_.end();) {
+    if (it->second.block.expires <= now) {
+      slots_[it->second.block.public_addr][it->second.slot] = false;
+      it = mappings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<PortBlock> CgnatGateway::allocate(Hour now) {
+  // Random first-fit: start from a random address to spread load.
+  std::size_t start = std::size_t(rng_.uniform(addresses_.size()));
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    net::IPv4Address addr = addresses_[(start + i) % addresses_.size()];
+    std::vector<bool>& taken = slots_[addr];
+    for (std::size_t s = 0; s < taken.size(); ++s) {
+      if (taken[s]) continue;
+      taken[s] = true;
+      PortBlock block;
+      block.public_addr = addr;
+      block.first_port =
+          std::uint16_t(config_.first_port + s * config_.block_size);
+      block.port_count = config_.block_size;
+      block.expires = now + config_.mapping_timeout;
+      return block;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<net::IPv4Address> CgnatGateway::egress_for(
+    std::uint64_t subscriber, Hour now) {
+  reclaim_expired(now);
+  auto it = mappings_.find(subscriber);
+  if (it != mappings_.end()) {
+    // Active mapping: refresh the idle timer, egress unchanged.
+    it->second.block.expires = now + config_.mapping_timeout;
+    return it->second.block.public_addr;
+  }
+  auto block = allocate(now);
+  if (!block) return std::nullopt;
+  Mapping m;
+  m.block = *block;
+  m.slot = std::size_t(block->first_port - config_.first_port) /
+           config_.block_size;
+  mappings_[subscriber] = m;
+  return block->public_addr;
+}
+
+std::size_t CgnatGateway::subscribers_on(net::IPv4Address addr) const {
+  std::size_t n = 0;
+  for (const auto& [sub, m] : mappings_) n += m.block.public_addr == addr;
+  return n;
+}
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,89 @@
+// cgnat.h — Carrier-Grade NAT gateway model (§2.1).
+//
+// Cellular operators (and some fixed ISPs) place subscribers behind a CGNAT
+// that multiplexes many internal clients onto a small pool of public
+// addresses via port-block allocation. This model produces the observable
+// the CDN analyses key on — which public /24 a subscriber's traffic egresses
+// from, and how many subscribers share each public address — and exposes
+// the allocator internals (block sizes, exhaustion, reclamation) for the
+// tests and the multiplexing-degree discussion of Fig. 4a.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/prefix.h"
+#include "netaddr/rng.h"
+#include "simnet/time.h"
+
+namespace dynamips::simnet {
+
+/// A contiguous port block on one public address, leased to one subscriber.
+struct PortBlock {
+  net::IPv4Address public_addr;
+  std::uint16_t first_port = 0;
+  std::uint16_t port_count = 0;
+  Hour expires = 0;
+};
+
+/// Port-block-allocating CGNAT gateway.
+class CgnatGateway {
+ public:
+  struct Config {
+    /// Ports per subscriber block (RFC 6431-era deployments use 512-4096).
+    std::uint16_t block_size = 2048;
+    /// First usable port (below are reserved).
+    std::uint16_t first_port = 1024;
+    /// Idle mapping lifetime; an inactive subscriber's block is reclaimed
+    /// and a later flow gets a fresh block (often on another address).
+    Hour mapping_timeout = 24;
+  };
+
+  /// `egress` lists the public /24 blocks the gateway owns.
+  CgnatGateway(std::vector<net::Prefix4> egress, Config config,
+               std::uint64_t seed);
+
+  /// A subscriber sends traffic at `now`: returns the public address their
+  /// flows egress from, allocating (or refreshing) a port block. Returns
+  /// nullopt when every block on every address is exhausted.
+  std::optional<net::IPv4Address> egress_for(std::uint64_t subscriber,
+                                             Hour now);
+
+  /// Number of distinct subscribers currently mapped to `addr`.
+  std::size_t subscribers_on(net::IPv4Address addr) const;
+
+  /// Total active mappings.
+  std::size_t active_mappings() const { return mappings_.size(); }
+
+  /// Maximum subscribers one public address can hold.
+  std::size_t capacity_per_address() const {
+    return std::size_t(65536 - config_.first_port) / config_.block_size;
+  }
+
+  /// Total subscriber capacity of the gateway.
+  std::size_t total_capacity() const {
+    return capacity_per_address() * addresses_.size();
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  void reclaim_expired(Hour now);
+  std::optional<PortBlock> allocate(Hour now);
+
+  Config config_;
+  net::Rng rng_;
+  std::vector<net::IPv4Address> addresses_;
+  // Per public address: which block slots are taken.
+  std::unordered_map<net::IPv4Address, std::vector<bool>> slots_;
+  struct Mapping {
+    PortBlock block;
+    std::size_t slot = 0;
+  };
+  std::unordered_map<std::uint64_t, Mapping> mappings_;
+};
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,190 @@
+#include "simnet/dhcpd.h"
+
+#include <algorithm>
+
+namespace dynamips::simnet {
+
+// ---------------------------------------------------------------------------
+// Dhcp4Server
+// ---------------------------------------------------------------------------
+
+Lease4 Dhcp4Server::request(ClientId client, Hour now) {
+  auto it = leases_.find(client);
+  if (it != leases_.end()) {
+    Lease4& lease = it->second;
+    if (now < lease.expiry || config_.remember_expired) {
+      // Active lease, or an expired binding the server still remembers:
+      // re-issue the same address with fresh lifetimes.
+      lease.issued = now;
+      lease.expiry = now + config_.lease_time;
+      return lease;
+    }
+    leases_.erase(it);
+  }
+  Lease4 lease;
+  lease.addr = plan_.initial(rng_);
+  lease.issued = now;
+  lease.expiry = now + config_.lease_time;
+  leases_[client] = lease;
+  return lease;
+}
+
+std::optional<Lease4> Dhcp4Server::renew(ClientId client, Hour now) {
+  auto it = leases_.find(client);
+  if (it == leases_.end() || now >= it->second.expiry) return std::nullopt;
+  it->second.issued = now;
+  it->second.expiry = now + config_.lease_time;
+  return it->second;
+}
+
+void Dhcp4Server::release(ClientId client) { leases_.erase(client); }
+
+void Dhcp4Server::restart() { leases_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Dhcp6PdServer
+// ---------------------------------------------------------------------------
+
+HomePools Dhcp6PdServer::home_for(ClientId client) {
+  auto it = homes_.find(client);
+  if (it != homes_.end()) return it->second;
+  HomePools home = plan_.assign_home_pools(1, 0.0, rng_);
+  homes_[client] = home;
+  return home;
+}
+
+Lease6 Dhcp6PdServer::request(ClientId client, Hour now) {
+  auto it = leases_.find(client);
+  if (it != leases_.end()) {
+    Lease6& lease = it->second;
+    if (now < lease.expiry || config_.remember_expired) {
+      lease.issued = now;
+      lease.expiry = now + config_.lease_time;
+      return lease;
+    }
+    leases_.erase(it);
+  }
+  Lease6 lease;
+  lease.delegated = plan_.draw_delegation(home_for(client),
+                                          config_.delegation_len,
+                                          net::Prefix6{}, rng_);
+  lease.issued = now;
+  lease.expiry = now + config_.lease_time;
+  leases_[client] = lease;
+  return lease;
+}
+
+std::optional<Lease6> Dhcp6PdServer::renew(ClientId client, Hour now) {
+  auto it = leases_.find(client);
+  if (it == leases_.end() || now >= it->second.expiry) return std::nullopt;
+  it->second.issued = now;
+  it->second.expiry = now + config_.lease_time;
+  return it->second;
+}
+
+void Dhcp6PdServer::release(ClientId client) { leases_.erase(client); }
+
+void Dhcp6PdServer::restart() {
+  // Bindings are volatile; the pool attachment (routing config) is not.
+  leases_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// RadiusAllocator
+// ---------------------------------------------------------------------------
+
+RadiusAllocator::Session RadiusAllocator::connect(ClientId client, Hour now) {
+  Session s;
+  auto it = current_.find(client);
+  // A fresh draw every session; the plan itself decides spatial locality.
+  s.addr = it == current_.end() ? plan_.initial(rng_)
+                                : plan_.next(it->second, rng_);
+  current_[client] = s.addr;
+  s.started = now;
+  s.timeout_at = now + config_.session_timeout;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// CpeDriver
+// ---------------------------------------------------------------------------
+
+CpeDriver::Observed CpeDriver::run(ClientId client, Hour from, Hour to) {
+  Observed out;
+
+  Hour now = from;
+  Lease4 l4 = v4_.request(client, now);
+  Lease6 l6 = v6_.request(client, now);
+  out.v4.push_back({now, l4.addr});
+  out.v6.push_back({now, l6.delegated});
+
+  // Pre-draw reboot times.
+  std::vector<std::pair<Hour, Hour>> reboots;  // (at, downtime)
+  if (config_.reboots_per_year > 0) {
+    double mean_gap = double(kHoursPerYear) / config_.reboots_per_year;
+    double t = double(from) + rng_.exponential(mean_gap);
+    while (t < double(to)) {
+      Hour down = std::max<Hour>(
+          1, Hour(rng_.exponential(config_.mean_downtime_hours)));
+      reboots.emplace_back(Hour(t), down);
+      t += double(down) + rng_.exponential(mean_gap);
+    }
+  }
+  std::size_t next_reboot = 0;
+
+  while (now < to) {
+    // Next event: T1 renewal or a reboot, whichever comes first.
+    Hour t1 = l4.issued + v4_.config().lease_time / 2;
+    Hour t1_6 = l6.issued + v6_.config().lease_time / 2;
+    Hour renew_at = std::min(t1, t1_6);
+    Hour reboot_at = next_reboot < reboots.size()
+                         ? reboots[next_reboot].first
+                         : ~Hour(0);
+    if (renew_at >= to && reboot_at >= to) break;
+
+    if (reboot_at <= renew_at) {
+      // CPE goes down; while down it cannot renew. If the downtime outlives
+      // the lease, the lease expires at the server.
+      Hour down = reboots[next_reboot].second;
+      ++next_reboot;
+      now = std::min(reboot_at + down, to);
+      if (config_.release_on_reboot) {
+        v4_.release(client);
+        v6_.release(client);
+      }
+      if (now >= to) break;
+      Lease4 n4 = v4_.request(client, now);
+      if (n4.addr != l4.addr) out.v4.push_back({now, n4.addr});
+      l4 = n4;
+      Lease6 n6 = v6_.request(client, now);
+      if (n6.delegated != l6.delegated) out.v6.push_back({now, n6.delegated});
+      l6 = n6;
+      continue;
+    }
+
+    now = renew_at;
+    if (now >= to) break;
+    if (renew_at == t1) {
+      if (auto r = v4_.renew(client, now)) {
+        l4 = *r;
+      } else {
+        Lease4 n4 = v4_.request(client, now);
+        if (n4.addr != l4.addr) out.v4.push_back({now, n4.addr});
+        l4 = n4;
+      }
+    }
+    if (renew_at == t1_6) {
+      if (auto r = v6_.renew(client, now)) {
+        l6 = *r;
+      } else {
+        Lease6 n6 = v6_.request(client, now);
+        if (n6.delegated != l6.delegated)
+          out.v6.push_back({now, n6.delegated});
+        l6 = n6;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynamips::simnet

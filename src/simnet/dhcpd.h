@@ -1,0 +1,200 @@
+// dhcpd.h — protocol-level address-assignment servers.
+//
+// The statistical TimelineGenerator draws assignment durations directly
+// from calibrated distributions. This module models the *mechanisms* the
+// paper describes in §2.1/§2.2 — DHCP lease tables with T1 renewals,
+// DHCPv6 prefix delegation, RADIUS session allocation without binding
+// memory, server state loss, and CPE reboot behaviour — so the emergent
+// dynamics (durations at lease multiples, changes after outages longer
+// than the lease, renumbering on every reconnect under RADIUS) can be
+// produced from first principles and cross-validated against the
+// statistical model (see tests/test_dhcpd.cpp and bench/ablation_mechanism).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/prefix.h"
+#include "netaddr/rng.h"
+#include "simnet/pools.h"
+#include "simnet/time.h"
+
+namespace dynamips::simnet {
+
+/// A client identifier (DUID / MAC / RADIUS user).
+using ClientId = std::uint64_t;
+
+/// One IPv4 lease as held by the server.
+struct Lease4 {
+  net::IPv4Address addr;
+  Hour issued = 0;
+  Hour expiry = 0;
+};
+
+/// DHCPv4 server with a lease table over an address plan.
+///
+/// Behavioural knobs mirror real deployments: `remember_expired` keeps the
+/// client→address binding after expiry (many cable ISPs re-issue the same
+/// address; Comcast-style stability), while RADIUS-like deployments are
+/// modelled by Dhcp4Server{.remember_expired=false} plus reconnects, or by
+/// RadiusAllocator below.
+class Dhcp4Server {
+ public:
+  struct Config {
+    Hour lease_time = 24 * kHoursPerDay;
+    /// Re-issue the previous address to a returning client whose lease
+    /// expired (server keeps expired bindings).
+    bool remember_expired = true;
+  };
+
+  Dhcp4Server(V4AddressPlan plan, Config config, std::uint64_t seed)
+      : plan_(std::move(plan)), config_(config), rng_(seed) {}
+
+  /// DISCOVER/REQUEST: lease an address to the client. A client with an
+  /// active lease gets it back; an expired binding is re-issued only when
+  /// `remember_expired`.
+  Lease4 request(ClientId client, Hour now);
+
+  /// RENEW (at T1): extend the current lease in place. Fails (nullopt) if
+  /// the lease has already expired — the client must re-REQUEST.
+  std::optional<Lease4> renew(ClientId client, Hour now);
+
+  /// RELEASE: client gives the address back; binding forgotten.
+  void release(ClientId client);
+
+  /// The server restarts and loses volatile state (the §2.2 "outages of
+  /// the ISP's server" cause). All bindings are forgotten.
+  void restart();
+
+  std::size_t active_bindings() const { return leases_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  V4AddressPlan plan_;
+  Config config_;
+  net::Rng rng_;
+  std::unordered_map<ClientId, Lease4> leases_;
+};
+
+/// One delegated-prefix lease (DHCPv6 IA_PD).
+struct Lease6 {
+  net::Prefix6 delegated;
+  Hour issued = 0;
+  Hour expiry = 0;
+};
+
+/// DHCPv6 prefix-delegation server over a pool plan.
+class Dhcp6PdServer {
+ public:
+  struct Config {
+    Hour lease_time = 24 * kHoursPerDay;
+    int delegation_len = 56;
+    bool remember_expired = true;
+  };
+
+  Dhcp6PdServer(V6AddressPlan plan, Config config, std::uint64_t seed)
+      : plan_(std::move(plan)), config_(config), rng_(seed) {}
+
+  /// SOLICIT/REQUEST for an IA_PD.
+  Lease6 request(ClientId client, Hour now);
+
+  /// RENEW the delegation in place (same prefix, extended lifetime).
+  std::optional<Lease6> renew(ClientId client, Hour now);
+
+  void release(ClientId client);
+  void restart();
+
+  std::size_t active_bindings() const { return leases_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  HomePools home_for(ClientId client);
+
+  V6AddressPlan plan_;
+  Config config_;
+  net::Rng rng_;
+  std::unordered_map<ClientId, Lease6> leases_;
+  std::unordered_map<ClientId, HomePools> homes_;
+};
+
+/// RADIUS-style session allocator: every session gets a fresh address,
+/// sessions end at SessionTimeout, and the server keeps no binding memory —
+/// the mechanism behind the strict 24-hour renumbering of German ISPs.
+class RadiusAllocator {
+ public:
+  struct Config {
+    Hour session_timeout = 24;
+  };
+
+  RadiusAllocator(V4AddressPlan plan, Config config, std::uint64_t seed)
+      : plan_(std::move(plan)), config_(config), rng_(seed) {}
+
+  struct Session {
+    net::IPv4Address addr;
+    Hour started = 0;
+    Hour timeout_at = 0;
+  };
+
+  /// Access-Request: start a session. Always allocates a fresh address
+  /// (possibly equal to the previous one only by coincidence).
+  Session connect(ClientId client, Hour now);
+
+  /// The session's forced end time (the CPE immediately reconnects).
+  const Config& config() const { return config_; }
+
+ private:
+  V4AddressPlan plan_;
+  Config config_;
+  net::Rng rng_;
+  std::unordered_map<ClientId, net::IPv4Address> current_;
+};
+
+/// Drives one CPE against the servers through simulated time, producing
+/// the change hours a measurement platform would observe. Models §2.2:
+/// periodic changes (lease expiry without renewal under RADIUS), changes
+/// due to CPE outages longer than the remaining lease, and ISP-side
+/// restarts.
+class CpeDriver {
+ public:
+  struct Config {
+    /// CPE reboots per year (power cuts etc.).
+    double reboots_per_year = 4;
+    /// Mean reboot downtime in hours (heavy-tailed in practice; we draw
+    /// exponential and most reboots are short).
+    double mean_downtime_hours = 2;
+    /// Whether the CPE releases its lease on clean shutdown (most do not).
+    bool release_on_reboot = false;
+  };
+
+  CpeDriver(Dhcp4Server& v4, Dhcp6PdServer& v6, Config config,
+            std::uint64_t seed)
+      : v4_(v4), v6_(v6), config_(config), rng_(seed) {}
+
+  struct Assignment4Like {
+    Hour start;
+    net::IPv4Address addr;
+  };
+  struct Assignment6Like {
+    Hour start;
+    net::Prefix6 delegated;
+  };
+  struct Observed {
+    std::vector<Assignment4Like> v4;
+    std::vector<Assignment6Like> v6;
+  };
+
+  /// Run the client from `from` to `to`; returns each (re)assignment with
+  /// its start hour. Renewals happen at T1 = lease/2 as in RFC 2131.
+  Observed run(ClientId client, Hour from, Hour to);
+
+ private:
+  Dhcp4Server& v4_;
+  Dhcp6PdServer& v6_;
+  Config config_;
+  net::Rng rng_;
+};
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,82 @@
+#include "simnet/home.h"
+
+#include <algorithm>
+
+namespace dynamips::simnet {
+
+std::vector<DeviceProfile> typical_home_mix(net::Rng& rng) {
+  std::vector<DeviceProfile> devices;
+  int eui64 = int(rng.uniform(3));              // 0..2 legacy devices
+  int privacy = 1 + int(rng.uniform(5));        // 1..5 modern devices
+  int opaque = rng.bernoulli(0.3) ? 1 : 0;      // occasional RFC 7217 host
+  for (int i = 0; i < eui64; ++i)
+    devices.push_back({IidMode::kEui64, 24});
+  for (int i = 0; i < privacy; ++i)
+    devices.push_back({IidMode::kPrivacy, 24});
+  for (int i = 0; i < opaque; ++i)
+    devices.push_back({IidMode::kStableOpaque, 24});
+  if (devices.empty()) devices.push_back({IidMode::kPrivacy, 24});
+  return devices;
+}
+
+std::vector<DeviceObservation> simulate_home_devices(
+    const SubscriberTimeline& timeline,
+    const std::vector<DeviceProfile>& devices, std::uint64_t seed,
+    Hour sample_interval) {
+  std::vector<DeviceObservation> out;
+  if (timeline.v6.empty() || devices.empty() || sample_interval == 0)
+    return out;
+
+  // Per-device stable state.
+  struct DeviceState {
+    std::uint64_t eui64_iid = 0;
+    std::uint64_t secret = 0;  // RFC 7217 secret / privacy stream seed
+  };
+  net::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<DeviceState> state(devices.size());
+  for (auto& st : state) {
+    st.eui64_iid = net::eui64_iid(net::Mac::random(rng));
+    st.secret = rng.next_u64();
+  }
+
+  // Privacy IIDs are deterministic per (device, regeneration epoch,
+  // network): regenerated on schedule AND on every prefix change (4941 §3.5).
+  auto iid_for = [&](std::size_t dev, const Assignment6& seg,
+                     Hour h) -> std::uint64_t {
+    const DeviceProfile& profile = devices[dev];
+    const DeviceState& st = state[dev];
+    switch (profile.mode) {
+      case IidMode::kEui64:
+        return st.eui64_iid;
+      case IidMode::kStableOpaque:
+        return net::stable_opaque_iid(st.secret, seg.lan64);
+      case IidMode::kPrivacy: {
+        Hour epoch = profile.privacy_regen_hours
+                         ? h / profile.privacy_regen_hours
+                         : 0;
+        std::uint64_t v = net::stable_opaque_iid(
+            st.secret ^ (epoch * 0xd1b54a32d192ed03ull), seg.lan64);
+        return v;
+      }
+    }
+    return st.eui64_iid;
+  };
+
+  Hour begin = timeline.v6.front().start;
+  Hour end = timeline.v6.back().end;
+  std::size_t seg_idx = 0;
+  for (Hour h = begin; h < end; h += sample_interval) {
+    while (seg_idx + 1 < timeline.v6.size() &&
+           h >= timeline.v6[seg_idx].end)
+      ++seg_idx;
+    const Assignment6& seg = timeline.v6[seg_idx];
+    if (h < seg.start || h >= seg.end) continue;
+    for (std::size_t dev = 0; dev < devices.size(); ++dev) {
+      out.push_back({h, std::uint32_t(dev),
+                     net::IPv6Address{seg.lan64, iid_for(dev, seg, h)}});
+    }
+  }
+  return out;
+}
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,56 @@
+// home.h — devices inside the subscriber LAN (§2.1, §2.3).
+//
+// The CPE advertises a /64; each device completes its addresses via SLAAC.
+// Three IID strategies coexist in real homes and have sharply different
+// privacy properties, which the tracking analysis measures:
+//  * EUI-64 (RFC 4291 App. A): MAC-derived, stable forever — trackable
+//    across renumbering;
+//  * privacy extensions (RFC 4941): random, regenerated periodically and on
+//    prefix change — untrackable;
+//  * stable-opaque (RFC 7217, recommended by RFC 8064): deterministic per
+//    (device, network) — stable inside one network, unlinkable across
+//    networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netaddr/iid.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/rng.h"
+#include "simnet/subscriber.h"
+#include "simnet/time.h"
+
+namespace dynamips::simnet {
+
+/// How a device forms its interface identifier.
+enum class IidMode : std::uint8_t { kEui64, kPrivacy, kStableOpaque };
+
+/// One device in the home.
+struct DeviceProfile {
+  IidMode mode = IidMode::kPrivacy;
+  /// For kPrivacy: regeneration interval (RFC 4941 default is a day).
+  Hour privacy_regen_hours = 24;
+};
+
+/// A plausible household mix: a couple of EUI-64 legacy devices (printers,
+/// IoT), several privacy-extension phones/laptops, sometimes a
+/// stable-opaque host. Sized 2..8 devices.
+std::vector<DeviceProfile> typical_home_mix(net::Rng& rng);
+
+/// One sampled device address.
+struct DeviceObservation {
+  Hour hour = 0;
+  std::uint32_t device = 0;  ///< index into the profile list
+  net::IPv6Address addr;
+};
+
+/// Derive every device's address over a subscriber's v6 timeline, sampled
+/// every `sample_interval` hours. Deterministic in (timeline, profiles,
+/// seed).
+std::vector<DeviceObservation> simulate_home_devices(
+    const SubscriberTimeline& timeline,
+    const std::vector<DeviceProfile>& devices, std::uint64_t seed,
+    Hour sample_interval = 1);
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,540 @@
+#include "simnet/isp.h"
+
+namespace dynamips::simnet {
+
+namespace {
+
+using bgp::Registry;
+using net::Prefix4;
+using net::Prefix6;
+
+std::vector<Prefix4> p4(std::initializer_list<const char*> texts) {
+  std::vector<Prefix4> out;
+  for (const char* t : texts) out.push_back(*Prefix4::parse(t));
+  return out;
+}
+
+std::vector<Prefix6> p6(std::initializer_list<const char*> texts) {
+  std::vector<Prefix6> out;
+  for (const char* t : texts) out.push_back(*Prefix6::parse(t));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Calibration notes. Lease-based policies put their mode at the lease length
+// (Fig. 1's spikes); renew_keep_prob stretches the tail to multiples of the
+// lease. Non-periodic ISPs use admin renumbering (exponential) plus outage-
+// driven changes. Spatial parameters come straight from Table 2.
+// ---------------------------------------------------------------------------
+
+IspProfile dtag() {
+  IspProfile p;
+  p.name = "DTAG";
+  p.asn = 3320;
+  p.country = "Germany";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"79.192.0.0/11", "87.128.0.0/11", "217.80.0.0/12"});
+  p.bgp6 = p6({"2003::/19"});
+  // 24-hour renumbering; non-dual-stack probes almost always change daily.
+  p.v4_nds = {.lease_hours = 24, .renew_keep_prob = 0.30,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 0.9};
+  // Dual-stack v4 is stickier, but a share still renumbers daily (§3.2).
+  p.v4_ds = {.lease_hours = 24, .renew_keep_prob = 0.75,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 0.7};
+  p.v6 = {.lease_hours = 24, .renew_keep_prob = 0.60,
+          .mean_admin_hours = 20000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.5};
+  p.dualstack_share = 0.68;
+  p.static_share = 0.05;
+  p.ds_uses_nds_share = 0.30;
+  p.couple_v6_to_v4 = 0.906;  // measured in §3.2
+  p.p_same24 = 0.06;          // Table 2: 94% diff /24
+  p.p_same_bgp4 = 0.71;       // 27% of changes cross BGP prefixes
+  p.v6_pool_len = 40;         // Fig. 5b: CPLs cluster at 41..47
+  p.p_same_bgp6 = 1.0;        // Table 2: 0% v6 cross-BGP
+  p.home_pool_count = 2;
+  p.home_pool_secondary_weight = 0.02;  // Fig. 5b: few CPLs in 24..40
+  p.delegation.entries = {{56, 1.0}};  // verified /56 [23]
+  p.cpe_scramble_share = 0.35;  // branded CPEs scramble subnet bits [25]
+  p.scramble_cpe = {CpeSubnetMode::kScramble, 8.0};
+  p.atlas_probes = 589;
+  p.atlas_ds_probes = 402;
+  return p;
+}
+
+IspProfile comcast() {
+  IspProfile p;
+  p.name = "Comcast";
+  p.asn = 7922;
+  p.country = "U.S.";
+  p.registry = Registry::kArin;
+  p.in_table1 = true;
+  p.bgp4 = p4({"24.0.0.0/12", "67.160.0.0/11", "98.192.0.0/10"});
+  p.bgp6 = p6({"2601::/20", "2603:3000::/24"});
+  // No periodic renumbering; changes come from outages/maintenance only.
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 3000, .outages_per_year = 4,
+              .change_on_outage_prob = 0.5};
+  p.v4_ds = {.lease_hours = 0, .renew_keep_prob = 0,
+             .mean_admin_hours = 12000, .outages_per_year = 3,
+             .change_on_outage_prob = 0.25};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 10000, .outages_per_year = 3,
+          .change_on_outage_prob = 0.35};
+  p.dualstack_share = 0.68;
+  p.static_share = 0.20;
+  p.couple_v6_to_v4 = 0.10;  // §3.2: most changes do NOT co-occur
+  p.p_same24 = 0.51;         // Table 2: 49% diff /24
+  p.p_same_bgp4 = 0.12;      // 43% cross-BGP out of 49% that move
+  p.v6_pool_len = 40;        // Fig. 5a: /40 is the common CPL
+  p.p_same_bgp6 = 0.90;      // Table 2: 10% v6 cross-BGP
+  p.home_pool_count = 2;
+  p.delegation.entries = {{60, 0.55}, {56, 0.20}, {64, 0.25}};
+  p.atlas_probes = 415;
+  p.atlas_ds_probes = 283;
+  return p;
+}
+
+IspProfile orange() {
+  IspProfile p;
+  p.name = "Orange";
+  p.asn = 3215;
+  p.country = "France";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"2.0.0.0/12", "90.0.0.0/12", "86.192.0.0/11"});
+  p.bgp6 = p6({"2a01:c000::/19", "2a01:9000::/20"});
+  // Weekly renumbering for non-dual-stack; dual-stack far stickier
+  // ("addresses do not appear to change after 7-day durations").
+  p.v4_nds = {.lease_hours = 168, .renew_keep_prob = 0.15,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 0.5};
+  p.v4_ds = {.lease_hours = 168, .renew_keep_prob = 0.88,
+             .mean_admin_hours = 25000, .outages_per_year = 4,
+             .change_on_outage_prob = 0.2};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 30000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.08};
+  p.dualstack_share = 0.55;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.15;
+  p.p_same24 = 0.01;     // Table 2: 99% diff /24
+  p.p_same_bgp4 = 0.39;  // 60% cross-BGP
+  p.v6_pool_len = 36;    // Fig. 5c: CPLs cluster between 36 and 48
+  p.p_same_bgp6 = 0.98;  // Table 2: 2%
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 1.0}};  // verified /56 [22]
+  p.atlas_probes = 425;
+  p.atlas_ds_probes = 236;
+  return p;
+}
+
+IspProfile lgi() {
+  IspProfile p;
+  p.name = "LGI";
+  p.asn = 6830;
+  p.country = "many";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"62.108.0.0/15", "80.112.0.0/12", "84.24.0.0/13"});
+  p.bgp6 = p6({"2a02:a400::/22", "2a02:5800::/22"});
+  // LGI is the paper's counterexample: dual-stack probes account for 64%
+  // of v4 changes despite being 32% of probes (Table 1).
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 7000, .outages_per_year = 5,
+              .change_on_outage_prob = 0.3};
+  p.v4_ds = {.lease_hours = 0, .renew_keep_prob = 0,
+             .mean_admin_hours = 1500, .outages_per_year = 5,
+             .change_on_outage_prob = 0.5};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 22000, .outages_per_year = 5,
+          .change_on_outage_prob = 0.10};
+  p.dualstack_share = 0.32;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.30;
+  p.p_same24 = 0.41;     // Table 2: 59% diff /24
+  p.p_same_bgp4 = 0.76;  // 14% cross-BGP
+  p.v6_pool_len = 44;    // Fig. 5e: consecutive assignments share 44 bits
+  p.p_same_bgp6 = 0.98;
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 0.6}, {64, 0.4}};
+  p.atlas_probes = 445;
+  p.atlas_ds_probes = 141;
+  return p;
+}
+
+IspProfile free_sas() {
+  IspProfile p;
+  p.name = "Free SAS";
+  p.asn = 12322;
+  p.country = "France";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"78.192.0.0/10", "82.224.0.0/11"});
+  p.bgp6 = p6({"2a01:e000::/20", "2a01:b000::/20"});
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 15000, .outages_per_year = 3,
+              .change_on_outage_prob = 0.25};
+  p.v4_ds = {.lease_hours = 0, .renew_keep_prob = 0,
+             .mean_admin_hours = 18000, .outages_per_year = 3,
+             .change_on_outage_prob = 0.20};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 40000, .outages_per_year = 3,
+          .change_on_outage_prob = 0.05};
+  p.dualstack_share = 0.65;
+  p.static_share = 0.25;
+  p.couple_v6_to_v4 = 0.35;
+  p.p_same24 = 0.0;      // Table 2: 100% diff /24
+  p.p_same_bgp4 = 0.28;  // 72% cross-BGP
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 0.58;  // Table 2: 42% — the outlier
+  p.home_pool_count = 3;
+  p.delegation.entries = {{60, 0.5}, {64, 0.5}};
+  p.atlas_probes = 138;
+  p.atlas_ds_probes = 90;
+  return p;
+}
+
+IspProfile kabel_de() {
+  IspProfile p;
+  p.name = "Kabel DE";
+  p.asn = 31334;
+  p.country = "Germany";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"188.192.0.0/11", "95.88.0.0/13"});
+  p.bgp6 = p6({"2a02:8100::/22", "2a00:fe00::/23"});
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 6000, .outages_per_year = 4,
+              .change_on_outage_prob = 0.5};
+  p.v4_ds = {.lease_hours = 0, .renew_keep_prob = 0,
+             .mean_admin_hours = 9000, .outages_per_year = 4,
+             .change_on_outage_prob = 0.4};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 25000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.15};
+  p.dualstack_share = 0.55;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.40;
+  p.p_same24 = 0.16;     // Table 2: 84% diff /24
+  p.p_same_bgp4 = 0.29;  // 60% cross-BGP
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 0.975;  // Table 2: 5%
+  p.home_pool_count = 2;
+  p.delegation.entries = {{62, 0.85}, {56, 0.15}};  // branded CPEs ask /62 [11]
+  p.atlas_probes = 152;
+  p.atlas_ds_probes = 84;
+  return p;
+}
+
+IspProfile proximus() {
+  IspProfile p;
+  p.name = "Proximus";
+  p.asn = 5432;
+  p.country = "Belgium";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"81.240.0.0/12", "91.176.0.0/12"});
+  p.bgp6 = p6({"2a02:b000::/21"});
+  // 1.5-day mode in non-dual-stack v4 (Fig. 1).
+  p.v4_nds = {.lease_hours = 36, .renew_keep_prob = 0.30,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 0.6};
+  p.v4_ds = {.lease_hours = 36, .renew_keep_prob = 0.88,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 0.3};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 6000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.4};
+  p.dualstack_share = 0.56;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.45;
+  p.p_same24 = 0.12;     // Table 2: 88% diff /24
+  p.p_same_bgp4 = 0.36;  // 56% cross-BGP
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 1.0;   // Table 2: 0%
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 0.8}, {64, 0.2}};
+  p.atlas_probes = 114;
+  p.atlas_ds_probes = 64;
+  return p;
+}
+
+IspProfile versatel() {
+  IspProfile p;
+  p.name = "Versatel";
+  p.asn = 8881;
+  p.country = "Germany";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"89.244.0.0/14", "84.128.0.0/12"});
+  p.bgp6 = p6({"2a02:2450::/29", "2a02:2e00::/23"});
+  // 24-hour renumbering in BOTH families (German RADIUS style).
+  p.v4_nds = {.lease_hours = 24, .renew_keep_prob = 0.08,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 1.0};
+  p.v4_ds = {.lease_hours = 24, .renew_keep_prob = 0.15,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 1.0};
+  p.v6 = {.lease_hours = 24, .renew_keep_prob = 0.18,
+          .mean_admin_hours = 0, .outages_per_year = 4,
+          .change_on_outage_prob = 1.0};
+  p.dualstack_share = 0.71;
+  p.static_share = 0.02;
+  p.couple_v6_to_v4 = 0.90;
+  p.p_same24 = 0.07;     // Table 2: 93% diff /24
+  p.p_same_bgp4 = 0.37;  // 59% cross-BGP
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 0.99;  // Table 2: 1%
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 1.0}};
+  p.atlas_probes = 80;
+  p.atlas_ds_probes = 57;
+  return p;
+}
+
+IspProfile bt() {
+  IspProfile p;
+  p.name = "BT";
+  p.asn = 2856;
+  p.country = "U.K.";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"81.128.0.0/11", "86.128.0.0/11", "217.32.0.0/12"});
+  p.bgp6 = p6({"2a00:23c0::/26"});
+  // Two-week mode in non-dual-stack v4.
+  p.v4_nds = {.lease_hours = 336, .renew_keep_prob = 0.22,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 0.5};
+  p.v4_ds = {.lease_hours = 336, .renew_keep_prob = 0.70,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 0.3};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 18000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.10};
+  p.dualstack_share = 0.34;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.30;
+  p.p_same24 = 0.06;     // Table 2: 94% diff /24
+  p.p_same_bgp4 = 0.52;  // 45% cross-BGP
+  // Fig. 5f is bimodal (28..32 and 41..54): home pools sit in a /26-rooted
+  // space, so cross-pool draws share only the announcement bits while
+  // same-pool draws share the /44 pool.
+  p.v6_pool_len = 44;
+  p.p_same_bgp6 = 1.0;  // Table 2: 0%
+  p.home_pool_count = 3;
+  p.home_pool_secondary_weight = 0.35;  // Fig. 5f: strong low-CPL mode
+  p.delegation.entries = {{56, 0.7}, {64, 0.3}};
+  p.atlas_probes = 170;
+  p.atlas_ds_probes = 58;
+  return p;
+}
+
+IspProfile netcologne() {
+  IspProfile p;
+  p.name = "Netcologne";
+  p.asn = 8422;
+  p.country = "Germany";
+  p.registry = Registry::kRipe;
+  p.in_table1 = true;
+  p.bgp4 = p4({"78.34.0.0/15", "89.0.0.0/14"});
+  p.bgp6 = p6({"2001:4dd0::/28", "2001:b700::/28"});
+  // 24-hour renumbering in both families.
+  p.v4_nds = {.lease_hours = 24, .renew_keep_prob = 0.10,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 1.0};
+  p.v4_ds = {.lease_hours = 24, .renew_keep_prob = 0.18,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 1.0};
+  p.v6 = {.lease_hours = 24, .renew_keep_prob = 0.22,
+          .mean_admin_hours = 0, .outages_per_year = 4,
+          .change_on_outage_prob = 1.0};
+  p.dualstack_share = 0.93;
+  p.static_share = 0.02;
+  p.couple_v6_to_v4 = 0.88;
+  p.p_same24 = 0.01;     // Table 2: 99% diff /24
+  p.p_same_bgp4 = 0.38;  // 61% cross-BGP
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 0.93;  // Table 2: 7%
+  p.home_pool_count = 2;
+  p.delegation.entries = {{48, 0.8}, {56, 0.2}};  // verified /48 [33]
+  p.atlas_probes = 43;
+  p.atlas_ds_probes = 40;
+  return p;
+}
+
+IspProfile sky_uk() {
+  IspProfile p;
+  p.name = "Sky U.K.";
+  p.asn = 5607;
+  p.country = "U.K.";
+  p.registry = Registry::kRipe;
+  p.in_table1 = false;  // appears in Fig. 6 only
+  p.bgp4 = p4({"90.192.0.0/11", "2.96.0.0/12"});
+  p.bgp6 = p6({"2a02:c7c0::/27"});
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 5000, .outages_per_year = 4,
+              .change_on_outage_prob = 0.5};
+  p.v4_ds = {.lease_hours = 0, .renew_keep_prob = 0,
+             .mean_admin_hours = 8000, .outages_per_year = 4,
+             .change_on_outage_prob = 0.4};
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 15000, .outages_per_year = 4,
+          .change_on_outage_prob = 0.2};
+  p.dualstack_share = 0.70;
+  p.static_share = 0.10;
+  p.couple_v6_to_v4 = 0.40;
+  p.p_same24 = 0.05;
+  p.p_same_bgp4 = 0.5;
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 1.0;
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 1.0}};  // verified /56 [61]
+  p.atlas_probes = 68;
+  p.atlas_ds_probes = 45;
+  return p;
+}
+
+// --- Networks outside Table 1, named in §3.2's periodicity discussion -----
+
+IspProfile periodic_extra(const char* name, bgp::Asn asn, const char* country,
+                          Registry reg, Hour period, const char* v4a,
+                          const char* v4b, const char* v6block) {
+  IspProfile p;
+  p.name = name;
+  p.asn = asn;
+  p.country = country;
+  p.registry = reg;
+  p.bgp4 = p4({v4a, v4b});
+  p.bgp6 = p6({v6block});
+  p.v4_nds = {.lease_hours = period, .renew_keep_prob = 0.15,
+              .mean_admin_hours = 0, .outages_per_year = 4,
+              .change_on_outage_prob = 0.9};
+  p.v4_ds = {.lease_hours = period, .renew_keep_prob = 0.30,
+             .mean_admin_hours = 0, .outages_per_year = 4,
+             .change_on_outage_prob = 0.9};
+  p.v6 = {.lease_hours = period, .renew_keep_prob = 0.30,
+          .mean_admin_hours = 0, .outages_per_year = 4,
+          .change_on_outage_prob = 0.9};
+  p.dualstack_share = 0.5;
+  p.static_share = 0.05;
+  p.couple_v6_to_v4 = 0.8;
+  p.p_same24 = 0.05;
+  p.p_same_bgp4 = 0.5;
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 1.0;
+  p.home_pool_count = 2;
+  p.delegation.entries = {{56, 0.8}, {64, 0.2}};
+  p.atlas_probes = 25;
+  p.atlas_ds_probes = 15;
+  return p;
+}
+
+IspProfile us_long(const char* name, bgp::Asn asn, const char* v4a,
+                   const char* v4b, const char* v6block) {
+  IspProfile p;
+  p.name = name;
+  p.asn = asn;
+  p.country = "U.S.";
+  p.registry = Registry::kArin;
+  p.bgp4 = p4({v4a, v4b});
+  p.bgp6 = p6({v6block});
+  p.v4_nds = {.lease_hours = 0, .renew_keep_prob = 0,
+              .mean_admin_hours = 9000, .outages_per_year = 3,
+              .change_on_outage_prob = 0.3};
+  p.v4_ds = p.v4_nds;
+  p.v6 = {.lease_hours = 0, .renew_keep_prob = 0,
+          .mean_admin_hours = 12000, .outages_per_year = 3,
+          .change_on_outage_prob = 0.3};
+  p.dualstack_share = 0.6;
+  p.static_share = 0.25;
+  p.couple_v6_to_v4 = 0.15;
+  p.p_same24 = 0.5;
+  p.p_same_bgp4 = 0.2;
+  p.v6_pool_len = 40;
+  p.p_same_bgp6 = 0.95;
+  p.home_pool_count = 2;
+  p.delegation.entries = {{60, 0.6}, {56, 0.2}, {64, 0.2}};
+  p.atlas_probes = 30;
+  p.atlas_ds_probes = 18;
+  return p;
+}
+
+}  // namespace
+
+std::vector<IspProfile> paper_isps() {
+  std::vector<IspProfile> out;
+  out.push_back(dtag());
+  out.push_back(comcast());
+  out.push_back(orange());
+  out.push_back(lgi());
+  out.push_back(free_sas());
+  out.push_back(kabel_de());
+  out.push_back(proximus());
+  out.push_back(versatel());
+  out.push_back(bt());
+  out.push_back(netcologne());
+  out.push_back(sky_uk());
+  // Other periodically-renumbering networks named in §3.2.
+  out.push_back(periodic_extra("Telefonica DE", 6805, "Germany",
+                               Registry::kRipe, 24, "91.32.0.0/13",
+                               "87.224.0.0/13", "2a02:3030::/27"));
+  out.push_back(periodic_extra("M-net", 8767, "Germany", Registry::kRipe, 24,
+                               "188.174.0.0/15", "89.26.0.0/17",
+                               "2001:a60::/29"));
+  out.push_back(periodic_extra("ANTEL", 6057, "Uruguay", Registry::kLacnic,
+                               12, "167.56.0.0/13", "179.24.0.0/14",
+                               "2800:a0::/26"));
+  out.push_back(periodic_extra("Global Village", 18881, "Brazil",
+                               Registry::kLacnic, 48, "177.0.0.0/13",
+                               "189.56.0.0/14", "2804:14c::/31"));
+  // Long-duration U.S. ISPs used in §3.2's comparison with prior work.
+  out.push_back(us_long("Charter", 20115, "66.160.0.0/12", "71.80.0.0/13",
+                        "2600:6c00::/24"));
+  out.push_back(us_long("Cox", 22773, "68.96.0.0/13", "98.160.0.0/12",
+                        "2600:8800::/25"));
+  return out;
+}
+
+std::vector<IspProfile> fig1_isps() {
+  std::vector<IspProfile> out;
+  for (const char* n : {"DTAG", "Orange", "Comcast", "LGI", "BT", "Proximus"})
+    out.push_back(*find_isp(n));
+  return out;
+}
+
+std::optional<IspProfile> find_isp(std::string_view name) {
+  for (auto& p : paper_isps())
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+IspProfile with_duration_growth(IspProfile base, Hour era_start,
+                                double keep_boost) {
+  auto grow = [&](ChangePolicy p) {
+    p.renew_keep_prob += keep_boost * (1.0 - p.renew_keep_prob);
+    if (p.mean_admin_hours > 0) p.mean_admin_hours *= 2;
+    p.change_on_outage_prob *= 0.5;
+    return p;
+  };
+  IspProfile::PolicyEra era;
+  era.start = era_start;
+  era.v4_nds = grow(base.v4_nds);
+  era.v4_ds = grow(base.v4_ds);
+  era.v6 = grow(base.v6);
+  base.eras.push_back(era);
+  return base;
+}
+
+void announce_all(const std::vector<IspProfile>& isps, bgp::Rib& rib) {
+  for (const auto& isp : isps) {
+    bgp::Origin origin{isp.asn, isp.registry};
+    for (const auto& p : isp.bgp4) rib.announce(p, origin);
+    for (const auto& p : isp.bgp6) rib.announce(p, origin);
+  }
+}
+
+}  // namespace dynamips::simnet

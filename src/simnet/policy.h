@@ -1,0 +1,151 @@
+// policy.h — address-assignment change policies (§2.2 of the paper).
+//
+// The paper groups the causes of assignment changes into three classes:
+// periodic changes (DHCP lease expiry / RADIUS session timeouts), changes
+// due to outages (CPE reboots and ISP-side state loss), and administrative
+// changes (renumbering, pool rebalancing). ChangePolicy parameterises all
+// three; draw_assignment_duration() composes them into a single duration.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "netaddr/rng.h"
+#include "simnet/time.h"
+
+namespace dynamips::simnet {
+
+/// Why an assignment ended — kept on each simulated segment so analyses can
+/// be validated against ground truth causes.
+enum class ChangeCause {
+  kNone,        ///< censored (simulation window ended)
+  kLease,       ///< periodic lease/session expiry without renewal
+  kOutage,      ///< CPE outage/reboot triggered reassignment
+  kAdmin,       ///< ISP-side administrative renumbering
+  kCoupled,     ///< v6 change triggered by a coupled v4 change (or vice versa)
+  kCpeScramble, ///< CPE re-picked its LAN /64 inside an unchanged delegation
+};
+
+/// Parameters governing when a subscriber's assignment changes.
+struct ChangePolicy {
+  /// Lease/session length in hours; 0 disables periodic changes. RADIUS-style
+  /// deployments force a change at every expiry (renew_keep_prob = 0); DHCP
+  /// deployments usually renew (renew_keep_prob close to 1), producing
+  /// durations at integer multiples of the lease.
+  Hour lease_hours = 0;
+  /// Probability that a lease expiry renews in place (address kept).
+  double renew_keep_prob = 0.0;
+
+  /// Mean hours between ISP-side administrative renumbering events affecting
+  /// this subscriber (exponential); 0 disables.
+  double mean_admin_hours = 0.0;
+
+  /// CPE outage (power cut, reboot) rate per year; 0 disables.
+  double outages_per_year = 0.0;
+  /// Probability an outage results in a new assignment (1.0 models RADIUS
+  /// ISPs where any reconnect renumbers; small values model DHCP servers
+  /// that remember previous assignments).
+  double change_on_outage_prob = 0.0;
+
+  /// True when this policy never changes addresses at all.
+  bool is_static() const {
+    return lease_hours == 0 && mean_admin_hours == 0.0 &&
+           (outages_per_year == 0.0 || change_on_outage_prob == 0.0);
+  }
+};
+
+/// Result of one duration draw.
+struct DurationDraw {
+  Hour hours;
+  ChangeCause cause;
+};
+
+/// Draw the duration of one assignment under `policy`. Returns the number of
+/// hours until the next change and its cause. For static policies returns
+/// {kNoEnd, kNone}.
+inline DurationDraw draw_assignment_duration(const ChangePolicy& policy,
+                                             net::Rng& rng) {
+  Hour best = kNoEnd;
+  ChangeCause cause = ChangeCause::kNone;
+
+  if (policy.lease_hours > 0) {
+    // Chain of renewals: duration is k * lease where k-1 renewals succeeded.
+    Hour k = 1;
+    // Cap the chain so a keep-probability of 1.0 degrades to "static".
+    while (k < 4096 && rng.bernoulli(policy.renew_keep_prob)) ++k;
+    Hour d = k * policy.lease_hours;
+    if (k < 4096 && d < best) {
+      best = d;
+      cause = ChangeCause::kLease;
+    }
+  }
+
+  if (policy.mean_admin_hours > 0) {
+    Hour d = std::max<Hour>(1, Hour(rng.exponential(policy.mean_admin_hours)));
+    if (d < best) {
+      best = d;
+      cause = ChangeCause::kAdmin;
+    }
+  }
+
+  if (policy.outages_per_year > 0 && policy.change_on_outage_prob > 0) {
+    double mean_gap = double(kHoursPerYear) / policy.outages_per_year;
+    double t = 0;
+    // Walk outages until one triggers a change (bounded for safety).
+    for (int i = 0; i < 256; ++i) {
+      t += rng.exponential(mean_gap);
+      if (rng.bernoulli(policy.change_on_outage_prob)) {
+        Hour d = std::max<Hour>(1, Hour(t));
+        if (d < best) {
+          best = d;
+          cause = ChangeCause::kOutage;
+        }
+        break;
+      }
+    }
+  }
+
+  return {best, cause};
+}
+
+/// How a CPE selects the /64 it advertises on the subscriber LAN from the
+/// delegated prefix (§5.3).
+enum class CpeSubnetMode {
+  /// Announce the lowest-numbered /64 (subnet-id bits zero). The common
+  /// behaviour, which the trailing-zeros inference relies on.
+  kZeroFill,
+  /// Scramble the subnet-id bits on every delegation change and occasionally
+  /// in between — the documented behaviour of many DTAG-branded CPEs, which
+  /// defeats the inference and produces CPL >= 56 pseudo-changes (Fig. 5b).
+  kScramble,
+  /// Use a fixed non-zero subnet id (e.g. a CPE that numbers LANs from 1).
+  kConstantNonZero,
+};
+
+/// CPE behaviour parameters.
+struct CpePolicy {
+  CpeSubnetMode mode = CpeSubnetMode::kZeroFill;
+  /// For kScramble: additional spontaneous re-scrambles per year (LAN /64
+  /// changes while the ISP-delegated prefix stays put).
+  double scrambles_per_year = 0.0;
+};
+
+/// Distribution over prefix lengths an ISP delegates to subscribers
+/// (e.g. mostly /56 with some /64).
+struct DelegationPolicy {
+  struct Entry {
+    int length;
+    double weight;
+  };
+  std::vector<Entry> entries{{56, 1.0}};
+
+  int draw(net::Rng& rng) const {
+    std::vector<double> w;
+    w.reserve(entries.size());
+    for (const auto& e : entries) w.push_back(e.weight);
+    return entries[rng.weighted(w)].length;
+  }
+};
+
+}  // namespace dynamips::simnet

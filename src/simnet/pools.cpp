@@ -1,0 +1,198 @@
+#include "simnet/pools.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynamips::simnet {
+
+using net::IPv4Address;
+using net::Prefix4;
+using net::Prefix6;
+using net::Rng;
+using net::U128;
+
+Prefix6 random_subprefix(const Prefix6& parent, int child_len, Rng& rng) {
+  assert(child_len >= parent.length() && child_len <= 128);
+  int free_bits = child_len - parent.length();
+  U128 bits = parent.address().bits();
+  if (free_bits > 0) {
+    // Random value in [0, 2^free_bits), placed between the two lengths.
+    U128 r{rng.next_u64(), rng.next_u64()};
+    r = r >> unsigned(128 - free_bits);
+    bits = bits | (r << unsigned(128 - child_len));
+  }
+  return Prefix6{net::IPv6Address{bits}, child_len};
+}
+
+IPv4Address random_host(const Prefix4& block, Rng& rng) {
+  int host_bits = 32 - block.length();
+  if (host_bits <= 0) return block.address();
+  std::uint32_t span = host_bits >= 32 ? ~0u : ((1u << host_bits) - 1);
+  // Avoid network (.0) and broadcast (.255) style endpoints when possible.
+  std::uint32_t host;
+  if (span >= 3) {
+    host = 1 + std::uint32_t(rng.uniform(span - 1));
+  } else {
+    host = std::uint32_t(rng.uniform(std::uint64_t(span) + 1));
+  }
+  return IPv4Address{block.address().value() | host};
+}
+
+V4AddressPlan::V4AddressPlan(std::vector<Prefix4> bgp_prefixes,
+                             double p_same24, double p_same_bgp)
+    : bgp_(std::move(bgp_prefixes)),
+      p_same24_(p_same24),
+      p_same_bgp_(p_same_bgp) {
+  assert(!bgp_.empty());
+  for ([[maybe_unused]] const auto& p : bgp_) assert(p.length() <= 24);
+}
+
+std::size_t V4AddressPlan::bgp_index_of(IPv4Address a) const {
+  for (std::size_t i = 0; i < bgp_.size(); ++i)
+    if (bgp_[i].contains(a)) return i;
+  return 0;
+}
+
+IPv4Address V4AddressPlan::random_in_bgp(std::size_t idx, Rng& rng) const {
+  const Prefix4& p = bgp_[idx];
+  int slash24_bits = 24 - p.length();
+  std::uint32_t n24 = slash24_bits >= 31 ? ~0u : (1u << slash24_bits);
+  std::uint32_t block = std::uint32_t(rng.uniform(n24));
+  Prefix4 b24{IPv4Address{p.address().value() | (block << 8)}, 24};
+  return random_host(b24, rng);
+}
+
+IPv4Address V4AddressPlan::initial(Rng& rng) const {
+  std::size_t idx = std::size_t(rng.uniform(bgp_.size()));
+  return random_in_bgp(idx, rng);
+}
+
+IPv4Address V4AddressPlan::next(IPv4Address current, Rng& rng) const {
+  if (rng.bernoulli(p_same24_)) {
+    // Stay in the same /24, different host.
+    Prefix4 b24 = net::slash24_of(current);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      IPv4Address a = random_host(b24, rng);
+      if (a != current) return a;
+    }
+    // Single-host corner case: fall through to a full redraw.
+  }
+  std::size_t cur_idx = bgp_index_of(current);
+  std::size_t idx = cur_idx;
+  if (bgp_.size() > 1 && !rng.bernoulli(p_same_bgp_)) {
+    // Move to a different BGP prefix.
+    idx = std::size_t(rng.uniform(bgp_.size() - 1));
+    if (idx >= cur_idx) ++idx;
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    IPv4Address a = random_in_bgp(idx, rng);
+    if (a != current && net::slash24_of(a) != net::slash24_of(current))
+      return a;
+  }
+  return random_in_bgp(idx, rng);
+}
+
+V6AddressPlan::V6AddressPlan(std::vector<Prefix6> bgp_prefixes, int pool_len,
+                             double p_same_bgp, int pools_per_bgp)
+    : bgp_(std::move(bgp_prefixes)),
+      pool_len_(pool_len),
+      p_same_bgp_(p_same_bgp) {
+  assert(!bgp_.empty());
+  universe_.resize(bgp_.size());
+  for (std::size_t i = 0; i < bgp_.size(); ++i) {
+    const Prefix6& ann = bgp_[i];
+    assert(ann.length() <= pool_len_);
+    // Deterministic per-announcement pool universe: the same ISP always
+    // carves the same pools, independent of subscriber order or seed.
+    Rng rng(ann.address().network64() * 0x9e3779b97f4a7c15ull +
+            std::uint64_t(ann.length()) + std::uint64_t(pool_len_) * 131);
+    int max_pools = 1;
+    int free_bits = pool_len_ - ann.length();
+    max_pools = free_bits >= 20 ? (1 << 20) : (1 << free_bits);
+    int want = std::min(pools_per_bgp, max_pools);
+    auto& pools = universe_[i];
+    while (int(pools.size()) < want) {
+      Prefix6 pool = random_subprefix(ann, pool_len_, rng);
+      bool dup = false;
+      for (const auto& existing : pools) dup |= existing == pool;
+      if (!dup) pools.push_back(pool);
+    }
+  }
+}
+
+HomePools V6AddressPlan::assign_home_pools(int count, double secondary_weight,
+                                           Rng& rng) const {
+  HomePools home;
+  // Primary pool: random pool in a random BGP prefix. Secondary pools:
+  // mostly siblings in the same BGP prefix, with the last one placed in a
+  // different BGP prefix when available (the rare cross-BGP destination).
+  std::size_t primary_bgp = std::size_t(rng.uniform(bgp_.size()));
+  for (int i = 0; i < count; ++i) {
+    std::size_t bgp_idx = primary_bgp;
+    if (i == count - 1 && count > 1 && bgp_.size() > 1) {
+      bgp_idx = std::size_t(rng.uniform(bgp_.size() - 1));
+      if (bgp_idx >= primary_bgp) ++bgp_idx;
+    }
+    const auto& pools = universe_[bgp_idx];
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const Prefix6& pool = pools[rng.uniform(pools.size())];
+      bool dup = false;
+      for (const auto& existing : home.pools) dup |= existing == pool;
+      if (!dup) {
+        home.pools.push_back(pool);
+        break;
+      }
+    }
+  }
+  // Primary pool gets the bulk of the weight; the rest share
+  // `secondary_weight`, matching Fig. 8's "most probes see a handful of
+  // /40s, dominated by one".
+  home.weights.assign(home.pools.size(), 0.0);
+  if (home.pools.size() == 1) {
+    home.weights[0] = 1.0;
+  } else {
+    home.weights[0] = 1.0 - secondary_weight;
+    double rest = secondary_weight / double(home.pools.size() - 1);
+    for (std::size_t i = 1; i < home.pools.size(); ++i)
+      home.weights[i] = rest;
+  }
+  return home;
+}
+
+Prefix6 V6AddressPlan::draw_delegation(const HomePools& home, int deleg_len,
+                                       const Prefix6& current,
+                                       Rng& rng) const {
+  assert(!home.pools.empty());
+  // Decide whether this reassignment may cross BGP prefixes. When it must
+  // not (the common case), restrict the pool choice to pools in the current
+  // BGP prefix (or the primary's when there is no current assignment).
+  std::size_t cur_bgp = 0;
+  bool have_current = current.length() > 0;
+  if (have_current) {
+    for (std::size_t i = 0; i < bgp_.size(); ++i)
+      if (bgp_[i].contains(current)) cur_bgp = i;
+  } else {
+    for (std::size_t i = 0; i < bgp_.size(); ++i)
+      if (bgp_[i].contains(home.pools[0])) cur_bgp = i;
+  }
+  bool allow_cross = rng.bernoulli(1.0 - p_same_bgp_);
+
+  std::vector<double> w = home.weights;
+  for (std::size_t i = 0; i < home.pools.size(); ++i) {
+    bool in_cur = bgp_[cur_bgp].contains(home.pools[i]);
+    if (!allow_cross && !in_cur) w[i] = 0.0;
+    if (allow_cross && in_cur) w[i] = 0.0;
+  }
+  double total = 0;
+  for (double x : w) total += x;
+  if (total <= 0) w = home.weights;  // fall back when the filter zeroed all
+
+  const Prefix6& pool = home.pools[rng.weighted(w)];
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Prefix6 d = random_subprefix(pool, deleg_len, rng);
+    if (!have_current || d != current) return d;
+  }
+  return random_subprefix(pool, deleg_len, rng);
+}
+
+}  // namespace dynamips::simnet

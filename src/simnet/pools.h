@@ -1,0 +1,105 @@
+// pools.h — spatial structure of ISP address plans (§5 of the paper).
+//
+// IPv4: subscribers draw addresses from pools fragmented across the ISP's
+// BGP prefixes; successive assignments often land in a different /24 and
+// frequently in a different BGP prefix (Table 2). The plan is parameterised
+// directly by the two stickiness probabilities the analysis measures.
+//
+// IPv6: the ISP carves each BGP prefix into fixed-size pools (commonly /40,
+// §5.2); a subscriber is attached to a small set of "home" pools, and each
+// new delegated prefix is drawn from one of them. This produces the paper's
+// observations: successive /64s usually share the pool prefix (CPL clusters
+// just past the pool length), probes see few unique /40s but many unique
+// /48s and /56s (Fig. 8), and v6 changes almost never cross BGP prefixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/prefix.h"
+#include "netaddr/rng.h"
+
+namespace dynamips::simnet {
+
+/// Draw a uniformly random sub-prefix of `child_len` inside `parent`
+/// (bits between the two lengths random, bits below `child_len` zero).
+net::Prefix6 random_subprefix(const net::Prefix6& parent, int child_len,
+                              net::Rng& rng);
+
+/// Draw a uniformly random host address inside a v4 prefix (avoiding the
+/// all-zeros and all-ones host for /24-or-shorter blocks).
+net::IPv4Address random_host(const net::Prefix4& block, net::Rng& rng);
+
+/// IPv4 address plan: where new v4 assignments come from.
+class V4AddressPlan {
+ public:
+  /// `p_same24`: probability a reassignment stays in the subscriber's
+  /// current /24. `p_same_bgp`: probability a reassignment that leaves the
+  /// /24 stays within the current BGP prefix. Both taken directly from the
+  /// per-ISP columns of Table 2.
+  V4AddressPlan(std::vector<net::Prefix4> bgp_prefixes, double p_same24,
+                double p_same_bgp);
+
+  /// First assignment for a new subscriber.
+  net::IPv4Address initial(net::Rng& rng) const;
+
+  /// Next assignment after a change, conditioned on the current address.
+  net::IPv4Address next(net::IPv4Address current, net::Rng& rng) const;
+
+  const std::vector<net::Prefix4>& bgp_prefixes() const { return bgp_; }
+
+ private:
+  std::size_t bgp_index_of(net::IPv4Address a) const;
+  net::IPv4Address random_in_bgp(std::size_t idx, net::Rng& rng) const;
+
+  std::vector<net::Prefix4> bgp_;
+  double p_same24_;
+  double p_same_bgp_;
+};
+
+/// The set of pools a particular subscriber's assignments are drawn from.
+struct HomePools {
+  std::vector<net::Prefix6> pools;   ///< pool prefixes (length = pool_len)
+  std::vector<double> weights;       ///< draw weights (primary pool heaviest)
+};
+
+/// IPv6 address plan: pool structure and delegated-prefix draws.
+class V6AddressPlan {
+ public:
+  /// `pool_len`: length of the internal pools the ISP carves its space into
+  /// (the "/40 boundary" of §5.2). `p_same_bgp`: probability a reassignment
+  /// stays within the current BGP prefix (Table 2's v6 column, typically
+  /// close to 1). The ISP operates a finite pool universe —
+  /// `pools_per_bgp` pools per announcement, shared by its subscribers —
+  /// deterministically derived from the announcement bits.
+  V6AddressPlan(std::vector<net::Prefix6> bgp_prefixes, int pool_len,
+                double p_same_bgp, int pools_per_bgp = 64);
+
+  /// Attach a new subscriber to `count` home pools; the first is primary
+  /// and the others share `secondary_weight` of the draw probability.
+  HomePools assign_home_pools(int count, double secondary_weight,
+                              net::Rng& rng) const;
+
+  /// Draw a fresh delegated prefix of length `deleg_len` for the subscriber;
+  /// guaranteed to differ from `current` (retry-based, except in the
+  /// degenerate case of a pool with a single delegation).
+  net::Prefix6 draw_delegation(const HomePools& home, int deleg_len,
+                               const net::Prefix6& current,
+                               net::Rng& rng) const;
+
+  int pool_len() const { return pool_len_; }
+  const std::vector<net::Prefix6>& bgp_prefixes() const { return bgp_; }
+  /// The pool universe of one announcement (for tests/inspection).
+  const std::vector<net::Prefix6>& pools_of(std::size_t bgp_idx) const {
+    return universe_[bgp_idx];
+  }
+
+ private:
+  std::vector<net::Prefix6> bgp_;
+  int pool_len_;
+  double p_same_bgp_;
+  std::vector<std::vector<net::Prefix6>> universe_;
+};
+
+}  // namespace dynamips::simnet

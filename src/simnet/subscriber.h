@@ -1,0 +1,79 @@
+// subscriber.h — per-subscriber assignment timelines.
+//
+// The generator turns an IspProfile into event-driven assignment histories:
+// a sequence of IPv4 address segments and (for dual-stacked subscribers)
+// IPv6 delegated-prefix/LAN-/64 segments, with v4->v6 change coupling and
+// CPE subnet-scrambling modelled. Timelines carry ground truth (causes,
+// delegated lengths, home pools, CPE mode) so the analysis pipeline's
+// inferences can be validated in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/prefix.h"
+#include "netaddr/rng.h"
+#include "simnet/isp.h"
+#include "simnet/policy.h"
+#include "simnet/pools.h"
+#include "simnet/time.h"
+
+namespace dynamips::simnet {
+
+/// One IPv4 assignment: [start, end) in hours. The final segment of a
+/// timeline is right-censored: end equals the window end and end_cause is
+/// kNone.
+struct Assignment4 {
+  Hour start = 0;
+  Hour end = 0;
+  net::IPv4Address addr;
+  ChangeCause end_cause = ChangeCause::kNone;
+};
+
+/// One IPv6 assignment: the ISP-delegated prefix (ground truth) and the
+/// /64 network component the CPE advertised on the LAN (what measurements
+/// observe).
+struct Assignment6 {
+  Hour start = 0;
+  Hour end = 0;
+  net::Prefix6 delegated;       ///< ground-truth delegated prefix
+  std::uint64_t lan64 = 0;      ///< network64 of the advertised LAN /64
+  ChangeCause end_cause = ChangeCause::kNone;
+};
+
+/// Full ground-truth history for one subscriber over the window.
+struct SubscriberTimeline {
+  std::uint32_t subscriber_id = 0;
+  bool dual_stack = false;
+  bool is_static = false;
+  CpeSubnetMode cpe_mode = CpeSubnetMode::kZeroFill;
+  int delegated_len = 64;       ///< ground-truth delegation length
+  HomePools home;               ///< ground-truth pool attachment
+  std::vector<Assignment4> v4;
+  std::vector<Assignment6> v6;  ///< empty for non-dual-stack subscribers
+};
+
+/// Deterministic per-subscriber timeline generation for one ISP.
+class TimelineGenerator {
+ public:
+  TimelineGenerator(IspProfile profile, std::uint64_t seed);
+
+  /// Generate the timeline of subscriber `id` over [start, end). The result
+  /// depends only on (profile, seed, id, start, end) — stable across calls
+  /// and across subscriber ordering.
+  SubscriberTimeline generate(std::uint32_t id, Hour start, Hour end) const;
+
+  const IspProfile& profile() const { return profile_; }
+
+ private:
+  std::uint64_t lan64_for(const net::Prefix6& delegated, CpeSubnetMode mode,
+                          std::uint64_t constant_id, net::Rng& rng) const;
+
+  IspProfile profile_;
+  V4AddressPlan plan4_;
+  V6AddressPlan plan6_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,27 @@
+// time.h — discrete simulation time.
+//
+// The RIPE Atlas IP-echo dataset samples hourly, so the simulator's clock is
+// an hour counter from the start of the simulated observation window.
+#pragma once
+
+#include <cstdint>
+
+namespace dynamips::simnet {
+
+/// Hours since the start of the simulated measurement window.
+using Hour = std::uint64_t;
+
+inline constexpr Hour kHoursPerDay = 24;
+inline constexpr Hour kHoursPerWeek = 7 * kHoursPerDay;
+/// Calendar-ish month (365/12 days), matching the paper's "1m" axis tick.
+inline constexpr Hour kHoursPerMonth = 730;
+inline constexpr Hour kHoursPerYear = 8760;
+
+/// Sentinel for "assignment still active at the end of the window"
+/// (right-censored; such durations are never counted, per §3.1).
+inline constexpr Hour kNoEnd = ~Hour(0);
+
+/// Day index of an hour (used by the CDN dataset, which is daily).
+constexpr std::uint64_t day_of(Hour h) { return h / kHoursPerDay; }
+
+}  // namespace dynamips::simnet

@@ -1,0 +1,71 @@
+// ecdf.h — empirical cumulative distribution function.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dynamips::stats {
+
+/// Accumulates samples, then answers CDF / quantile queries. Used for the
+/// CDN association-duration curves (Fig. 2) and unique-prefix CDFs (Fig. 8).
+class Ecdf {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add_n(double x, std::size_t n) {
+    samples_.insert(samples_.end(), n, x);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x.
+  double at(double x) const {
+    ensure_sorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return samples_.empty()
+               ? 0.0
+               : double(it - samples_.begin()) / double(samples_.size());
+  }
+
+  /// Value below which a fraction q of samples fall (inverse CDF).
+  double quantile(double q) const {
+    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    if (q <= 0) return samples_.front();
+    if (q >= 1) return samples_.back();
+    double pos = q * double(samples_.size() - 1);
+    std::size_t i = std::size_t(pos);
+    double frac = pos - double(i);
+    if (i + 1 >= samples_.size()) return samples_.back();
+    return samples_[i] * (1 - frac) + samples_[i + 1] * frac;
+  }
+
+  /// Evaluate the CDF at each threshold; handy for printing curves.
+  std::vector<double> curve(std::span<const double> thresholds) const {
+    std::vector<double> out;
+    out.reserve(thresholds.size());
+    for (double t : thresholds) out.push_back(at(t));
+    return out;
+  }
+
+  const std::vector<double>& samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dynamips::stats

@@ -1,0 +1,76 @@
+// loghist.h — logarithmically binned histogram / density estimate.
+//
+// Fig. 4 plots the density of "IPv6 /64s associated per IPv4 /24" on a log
+// x-axis from 10^0 to 10^6, both unweighted (each /24 counts once) and
+// hit-weighted (each /24 counts by its degree, emphasising highly
+// multiplexed blocks). This class produces those series.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dynamips::stats {
+
+/// Histogram over log10-spaced bins covering [10^lo_exp, 10^hi_exp).
+class LogHistogram {
+ public:
+  /// `bins_per_decade` controls resolution (Fig. 4 uses ~10).
+  LogHistogram(double lo_exp, double hi_exp, int bins_per_decade)
+      : lo_exp_(lo_exp),
+        hi_exp_(hi_exp),
+        per_decade_(bins_per_decade),
+        counts_(std::size_t((hi_exp - lo_exp) * bins_per_decade) + 1, 0.0) {}
+
+  /// Add a sample with the given weight. Values below the range clamp into
+  /// the first bin; above the range, into the last.
+  void add(double value, double weight = 1.0) {
+    counts_[bin_of(value)] += weight;
+    total_ += weight;
+  }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double total_weight() const { return total_; }
+
+  /// Geometric center of bin i.
+  double bin_center(std::size_t i) const {
+    double e = lo_exp_ + (double(i) + 0.5) / per_decade_;
+    return std::pow(10.0, e);
+  }
+
+  /// Normalized density per bin (sums to 1 over all bins).
+  std::vector<double> density() const {
+    std::vector<double> out(counts_.size(), 0.0);
+    if (total_ <= 0) return out;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      out[i] = counts_[i] / total_;
+    return out;
+  }
+
+  /// Bin index with the largest mass (the distribution's mode); used to
+  /// check Fig. 4's peaks (≈256 for fixed, ≈80k for mobile).
+  std::size_t mode_bin() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < counts_.size(); ++i)
+      if (counts_[i] > counts_[best]) best = i;
+    return best;
+  }
+
+  double mode_value() const { return bin_center(mode_bin()); }
+
+ private:
+  std::size_t bin_of(double value) const {
+    if (value < 1e-300) return 0;
+    double e = std::log10(value);
+    double pos = (e - lo_exp_) * per_decade_;
+    if (pos < 0) return 0;
+    std::size_t i = std::size_t(pos);
+    return i >= counts_.size() ? counts_.size() - 1 : i;
+  }
+
+  double lo_exp_, hi_exp_, per_decade_;
+  std::vector<double> counts_;
+  double total_ = 0;
+};
+
+}  // namespace dynamips::stats

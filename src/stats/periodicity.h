@@ -1,0 +1,63 @@
+// periodicity.h — detection of periodic address renumbering (§3.2).
+//
+// The paper reports "well-defined modes" in the duration distributions —
+// e.g. 24 h for DTAG, 36 h for Proximus, 1 week for Orange, 2 weeks for BT —
+// and counts 35 networks with consistent periodic renumbering. We formalise
+// the detection: a network renumbers with period P when a large share of its
+// total observed assignment time sits in durations within a small tolerance
+// of P (periodic leases yield durations at exact multiples of the lease).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/ttf.h"
+
+namespace dynamips::stats {
+
+/// One detected renumbering period.
+struct PeriodicMode {
+  std::uint64_t period_hours = 0;  ///< the detected period (e.g. 24)
+  double time_fraction = 0;        ///< share of total time at this mode
+};
+
+struct PeriodicityOptions {
+  /// Relative tolerance around a candidate period (hourly sampling plus
+  /// renewal jitter smears the mode slightly).
+  double tolerance = 0.10;
+  /// Minimum share of total assignment time the mode must capture to count
+  /// as "consistent periodic renumbering".
+  double min_fraction = 0.25;
+};
+
+/// Detector over a duration accumulator.
+class PeriodicityDetector {
+ public:
+  explicit PeriodicityDetector(PeriodicityOptions opts = {}) : opts_(opts) {}
+
+  /// Mass of total time within tolerance of `period_hours`.
+  double mass_near(const TotalTimeFraction& ttf,
+                   std::uint64_t period_hours) const;
+
+  /// Check one candidate period; returns the mode when it qualifies.
+  std::optional<PeriodicMode> check(const TotalTimeFraction& ttf,
+                                    std::uint64_t period_hours) const;
+
+  /// Scan the candidate periods the paper reports (12 h, 24 h, 36 h, 48 h,
+  /// 1 w, 2 w) plus any extras; returns qualifying modes sorted by mass,
+  /// strongest first. Overlapping candidates are deduplicated in favour of
+  /// the stronger one.
+  std::vector<PeriodicMode> detect(
+      const TotalTimeFraction& ttf,
+      const std::vector<std::uint64_t>& extra_candidates = {}) const;
+
+  /// The strongest qualifying period, if any — the headline "this ISP
+  /// renumbers every N hours" statement.
+  std::optional<PeriodicMode> dominant(const TotalTimeFraction& ttf) const;
+
+ private:
+  PeriodicityOptions opts_;
+};
+
+}  // namespace dynamips::stats

@@ -1,0 +1,59 @@
+// summary.h — small numeric summary helpers shared by the analyses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace dynamips::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / double(xs.size());
+}
+
+/// Linear-interpolated quantile of *sorted* data, q in [0,1].
+inline double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  double pos = q * double(sorted.size() - 1);
+  std::size_t i = std::size_t(pos);
+  double frac = pos - double(i);
+  if (i + 1 >= sorted.size()) return sorted.back();
+  return sorted[i] * (1 - frac) + sorted[i + 1] * frac;
+}
+
+/// Quantile of unsorted data (copies and sorts).
+inline double quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+/// Five-number box summary (Fig. 3 style): whiskers at p5/p95, box at the
+/// inner quartiles, line at the median.
+struct BoxStats {
+  double p5 = 0, q1 = 0, median = 0, q3 = 0, p95 = 0;
+  std::size_t n = 0;
+
+  static BoxStats of(std::vector<double> xs) {
+    BoxStats b;
+    b.n = xs.size();
+    if (xs.empty()) return b;
+    std::sort(xs.begin(), xs.end());
+    b.p5 = quantile_sorted(xs, 0.05);
+    b.q1 = quantile_sorted(xs, 0.25);
+    b.median = quantile_sorted(xs, 0.50);
+    b.q3 = quantile_sorted(xs, 0.75);
+    b.p95 = quantile_sorted(xs, 0.95);
+    return b;
+  }
+};
+
+}  // namespace dynamips::stats

@@ -1,0 +1,126 @@
+#include "core/anonymize.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::core {
+namespace {
+
+TEST(Anonymize, PolicyDefaultsForUnknownAs) {
+  AnonymizationPolicy policy;
+  policy.default_len = 32;
+  policy.truncation_len[3320] = 40;
+  EXPECT_EQ(policy.length_for(3320), 40);
+  EXPECT_EQ(policy.length_for(9999), 32);
+}
+
+TEST(Anonymize, AnonymizeTruncatesByOriginAs) {
+  bgp::Rib rib;
+  rib.announce(*net::Prefix6::parse("2003::/19"),
+               {3320, bgp::Registry::kRipe});
+  AnonymizationPolicy policy;
+  policy.truncation_len[3320] = 40;
+  policy.default_len = 24;
+  auto dtag = *net::IPv6Address::parse("2003:e1:aabb:cc00::1");
+  auto out = anonymize(dtag, policy, rib);
+  EXPECT_EQ(out.length(), 40);
+  EXPECT_TRUE(out.contains(dtag));
+  // Unrouted addresses fall back to the conservative default.
+  auto other = *net::IPv6Address::parse("2a00::1");
+  EXPECT_EQ(anonymize(other, policy, rib).length(), 24);
+}
+
+TEST(Anonymize, KAnonymityBasic) {
+  // Four subscribers in one /56 bucket, one alone in another.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> data{
+      {1, 0x2003000000001100ull},
+      {2, 0x2003000000001200ull},
+      {3, 0x2003000000001300ull},
+      {4, 0x2003000000001400ull},
+      {5, 0x2003000000550000ull},
+  };
+  auto r48 = audit_k_anonymity(data, 48);
+  EXPECT_EQ(r48.buckets, 2u);
+  EXPECT_EQ(r48.min_bucket, 1u);
+  EXPECT_EQ(r48.singleton_buckets, 1u);
+  EXPECT_FALSE(r48.satisfies(2));
+
+  auto r40 = audit_k_anonymity(data, 40);
+  EXPECT_EQ(r40.buckets, 1u);
+  EXPECT_EQ(r40.min_bucket, 5u);
+  EXPECT_TRUE(r40.satisfies(5));
+}
+
+TEST(Anonymize, KAnonymitySubscriberCountedOncePerBucket) {
+  // One subscriber seen with many /64s in the same bucket counts once.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> data{
+      {1, 0x2003000000001100ull},
+      {1, 0x2003000000001200ull},
+      {2, 0x2003000000001300ull},
+  };
+  auto r = audit_k_anonymity(data, 48);
+  EXPECT_EQ(r.buckets, 1u);
+  EXPECT_EQ(r.min_bucket, 2u);
+}
+
+TEST(Anonymize, KAnonymityEdgeLengths) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> data{
+      {1, 0x1ull}, {2, 0x2ull}};
+  auto r64 = audit_k_anonymity(data, 64);
+  EXPECT_EQ(r64.buckets, 2u);
+  auto r0 = audit_k_anonymity(data, 0);
+  EXPECT_EQ(r0.buckets, 1u);
+  EXPECT_EQ(r0.min_bucket, 2u);
+  auto empty = audit_k_anonymity({}, 48);
+  EXPECT_EQ(empty.buckets, 0u);
+}
+
+TEST(Anonymize, DerivePolicyFromStudy) {
+  // Build a minimal study by hand: DTAG-like AS with /40 pools and /56
+  // subscriber delegations.
+  AtlasStudy study;
+  study.pool_inference[3320] = {{40, 0.9}, {40, 0.85}, {44, 0.8}};
+  study.subscriber_inference[3320] = {{56, 5}, {56, 9}, {64, 2}};
+  auto policy = derive_policy(study, 8);
+  ASSERT_TRUE(policy.truncation_len.count(3320));
+  // min(pool=40, 56-8=48) = 40.
+  EXPECT_EQ(policy.truncation_len[3320], 40);
+}
+
+TEST(Anonymize, DerivePolicyCapsAtSubscriberMargin) {
+  // Netcologne-like: /48 subscriber delegations, pools inferred at /44.
+  AtlasStudy study;
+  study.pool_inference[8422] = {{44, 0.9}, {44, 0.9}, {44, 0.9}};
+  study.subscriber_inference[8422] = {{48, 4}, {48, 3}};
+  auto policy = derive_policy(study, 8);
+  // min(44, 48-8=40) = 40: a /44 truncation would still have tiny buckets.
+  EXPECT_EQ(policy.truncation_len[8422], 40);
+}
+
+TEST(Anonymize, DerivedPolicyAchievesKAnonymityOnSimulatedData) {
+  // End-to-end: simulate one ISP, derive the policy, audit it against the
+  // ground-truth subscriber /64s.
+  auto isp = *simnet::find_isp("DTAG");
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.15;
+  cfg.atlas.window_hours = 8760;
+  auto study = run_atlas_study({isp}, cfg);
+  auto policy = derive_policy(study);
+  ASSERT_TRUE(policy.truncation_len.count(isp.asn));
+  int len = policy.truncation_len[isp.asn];
+  EXPECT_LE(len, 48);
+
+  simnet::TimelineGenerator gen(isp, 99);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> data;
+  for (std::uint32_t sub = 0; sub < 400; ++sub) {
+    auto tl = gen.generate(sub, 0, 2000);
+    for (const auto& seg : tl.v6) data.emplace_back(sub, seg.lan64);
+  }
+  auto strict = audit_k_anonymity(data, len);
+  auto naive = audit_k_anonymity(data, 56);
+  EXPECT_GT(strict.median_bucket, naive.median_bucket)
+      << "the derived policy aggregates more subscribers than /56";
+  EXPECT_GE(strict.median_bucket, 2.0);
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,181 @@
+#include "core/assoc.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::core {
+namespace {
+
+using net::Prefix4;
+using net::Prefix6;
+
+cdn::AssociationRecord rec(std::uint32_t day, const char* v4,
+                           std::uint64_t net64, bgp::Asn asn4,
+                           bgp::Asn asn6) {
+  cdn::AssociationRecord r;
+  r.day = day;
+  r.v4_24 = *Prefix4::parse(v4);
+  r.v6_64 = Prefix6{net::IPv6Address{net64, 0}, 64};
+  r.asn4 = asn4;
+  r.asn6 = asn6;
+  return r;
+}
+
+cdn::AssociationLog log_of(std::vector<cdn::AssociationRecord> records,
+                           bgp::Asn asn = 100,
+                           bgp::Registry reg = bgp::Registry::kRipe) {
+  cdn::AssociationLog log;
+  log.asn = asn;
+  log.registry = reg;
+  log.records = std::move(records);
+  return log;
+}
+
+TEST(Assoc, SingleRunDuration) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(5, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(9, "10.0.0.0/24", 0x2001000000000100ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  ASSERT_EQ(stats.durations_days.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.durations_days[0], 10.0);  // days 0..9 inclusive
+  EXPECT_EQ(stats.unique_64s, 1u);
+  EXPECT_EQ(stats.tuples, 3u);
+}
+
+TEST(Assoc, RunBreaksOn24Change) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(3, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(4, "10.0.9.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(8, "10.0.9.0/24", 0x2001000000000100ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  ASSERT_EQ(stats.durations_days.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.durations_days[0], 4.0);
+  EXPECT_DOUBLE_EQ(stats.durations_days[1], 5.0);
+}
+
+TEST(Assoc, RunBreaksOnLongGap) {
+  AssocOptions opts;
+  opts.max_gap_days = 7;
+  CdnAnalyzer an(opts, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(20, "10.0.0.0/24", 0x2001000000000100ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  ASSERT_EQ(stats.durations_days.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.durations_days[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.durations_days[1], 1.0);
+}
+
+TEST(Assoc, AsnMismatchFiltered) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(1, "99.0.0.0/24", 0x2001000000000100ull, 999, 100),
+                     rec(2, "10.0.0.0/24", 0x2001000000000100ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  EXPECT_EQ(stats.tuples, 2u);
+  EXPECT_EQ(stats.mismatched, 1u);
+  EXPECT_EQ(an.total_mismatched(), 1u);
+  // The foreign /24 never entered the run: one unbroken association.
+  ASSERT_EQ(stats.durations_days.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.durations_days[0], 3.0);
+}
+
+TEST(Assoc, AsnMismatchKeptWhenFilterDisabled) {
+  AssocOptions opts;
+  opts.require_asn_match = false;
+  CdnAnalyzer an(opts, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(1, "99.0.0.0/24", 0x2001000000000100ull, 999, 100),
+                     rec(2, "10.0.0.0/24", 0x2001000000000100ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  EXPECT_EQ(stats.tuples, 3u);
+  // The ablation: the foreign /24 splits the association into three runs.
+  EXPECT_EQ(stats.durations_days.size(), 3u);
+}
+
+TEST(Assoc, DegreesCountUnique64sPer24) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(0, "10.0.0.0/24", 0x2001000000000200ull, 100, 100),
+                     rec(1, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(1, "10.0.9.0/24", 0x2001000000000300ull, 100, 100)}));
+  auto degrees = an.degrees();
+  ASSERT_EQ(degrees.size(), 2u);
+  std::uint32_t d0 = degrees[0].first, d1 = degrees[1].first;
+  EXPECT_EQ(d0 + d1, 3u);
+  EXPECT_EQ(std::max(d0, d1), 2u);
+}
+
+TEST(Assoc, MobileClassification) {
+  CdnAnalyzer an({}, {200});
+  auto mobile_log = log_of(
+      {rec(0, "10.0.0.0/24", 0x2001000000000100ull, 200, 200)}, 200);
+  mobile_log.mobile = true;
+  an.add_log(mobile_log);
+  an.add_log(log_of({rec(0, "11.0.0.0/24", 0x2002000000000100ull, 100, 100)}));
+  EXPECT_TRUE(an.by_asn().at(200).mobile);
+  EXPECT_FALSE(an.by_asn().at(100).mobile);
+  ASSERT_EQ(an.degrees().size(), 2u);
+  int mobile_degrees = 0;
+  for (auto& [d, m] : an.degrees()) mobile_degrees += m;
+  EXPECT_EQ(mobile_degrees, 1);
+}
+
+TEST(Assoc, RegistryDurationsGrouped) {
+  CdnAnalyzer an({}, {200});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100)},
+                    100, bgp::Registry::kArin));
+  an.add_log(log_of({rec(0, "11.0.0.0/24", 0x2002000000000100ull, 200, 200)},
+                    200, bgp::Registry::kArin));
+  EXPECT_EQ(an.registry_durations()
+                .at(RegistryClass{bgp::Registry::kArin, false})
+                .size(),
+            1u);
+  EXPECT_EQ(an.registry_durations()
+                .at(RegistryClass{bgp::Registry::kArin, true})
+                .size(),
+            1u);
+}
+
+TEST(Assoc, SingleVsMulti24Fractions) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x1100ull, 100, 100),
+                     rec(1, "10.0.1.0/24", 0x1100ull, 100, 100),
+                     rec(0, "10.0.0.0/24", 0x2200ull, 100, 100),
+                     rec(1, "10.0.0.0/24", 0x3300ull, 100, 100)}));
+  // /64 0x1100 saw two /24s; 0x2200 and 0x3300 saw one each.
+  EXPECT_NEAR(an.fraction_64s_with_single_24(false), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Assoc, ZeroCountsPerUnique64) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(1, "10.0.0.0/24", 0x2001000000000100ull, 100, 100),
+                     rec(0, "10.0.0.0/24", 0x2001000000000123ull, 100, 100)}));
+  const auto& z = an.zero_counts().at(
+      RegistryClass{bgp::Registry::kRipe, false});
+  EXPECT_EQ(z.total(), 2u) << "classification is per unique /64";
+  EXPECT_EQ(z.counts[std::size_t(ZeroBoundary::k56)], 1u);
+  EXPECT_EQ(z.counts[std::size_t(ZeroBoundary::kNone)], 1u);
+}
+
+TEST(Assoc, MultipleLogsAccumulate) {
+  CdnAnalyzer an({}, {});
+  an.add_log(log_of({rec(0, "10.0.0.0/24", 0x100ull, 100, 100)}));
+  an.add_log(log_of({rec(0, "11.0.0.0/24", 0x200ull, 101, 101)}, 101));
+  EXPECT_EQ(an.total_tuples(), 2u);
+  EXPECT_EQ(an.by_asn().size(), 2u);
+}
+
+TEST(Assoc, OutOfOrderSameDayRecordsHandled) {
+  CdnAnalyzer an({}, {});
+  // Two observations the same day with the same /24: one run.
+  an.add_log(log_of({rec(3, "10.0.0.0/24", 0x500ull, 100, 100),
+                     rec(3, "10.0.0.0/24", 0x500ull, 100, 100)}));
+  const auto& stats = an.by_asn().at(100);
+  ASSERT_EQ(stats.durations_days.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.durations_days[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,216 @@
+#include "atlas/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netaddr/iid.h"
+
+namespace dynamips::atlas {
+namespace {
+
+AtlasSimulator small_sim(std::uint64_t seed = 5, double scale = 0.1) {
+  AtlasConfig cfg;
+  cfg.window_hours = 6000;
+  cfg.probe_scale = scale;
+  cfg.seed = seed;
+  return AtlasSimulator(simnet::paper_isps(), cfg);
+}
+
+TEST(Atlas, ProbeCountsScaleWithTable1) {
+  auto sim = small_sim();
+  EXPECT_GT(sim.probe_count(), 200u);
+  // At scale 0.1 DTAG should field ~59 probes.
+  std::size_t dtag = 0;
+  for (std::size_t i = 0; i < sim.probe_count(); ++i)
+    dtag += sim.isps()[sim.probe(i).isp_index].name == "DTAG";
+  EXPECT_NEAR(double(dtag), 58.0, 2.0);
+}
+
+TEST(Atlas, ProbeIdsUnique) {
+  auto sim = small_sim();
+  std::set<std::uint32_t> ids;
+  for (std::size_t i = 0; i < sim.probe_count(); ++i)
+    EXPECT_TRUE(ids.insert(sim.probe(i).probe_id).second);
+}
+
+TEST(Atlas, SeriesSortedAndWithinDeployment) {
+  auto sim = small_sim();
+  for (std::size_t i = 0; i < 40; ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    ProbeSeries s = sim.series_for(i);
+    EXPECT_EQ(s.meta.probe_id, info.probe_id);
+    Hour prev = 0;
+    for (const auto& r : s.records) {
+      EXPECT_GE(r.hour, info.join);
+      EXPECT_LT(r.hour, info.leave);
+      EXPECT_GE(r.hour, prev);
+      prev = r.hour;
+      EXPECT_EQ(r.probe_id, info.probe_id);
+    }
+  }
+}
+
+TEST(Atlas, Deterministic) {
+  auto a = small_sim(9);
+  auto b = small_sim(9);
+  ASSERT_EQ(a.probe_count(), b.probe_count());
+  auto sa = a.series_for(3);
+  auto sb = b.series_for(3);
+  ASSERT_EQ(sa.records.size(), sb.records.size());
+  for (std::size_t i = 0; i < sa.records.size(); ++i) {
+    EXPECT_EQ(sa.records[i].hour, sb.records[i].hour);
+    EXPECT_EQ(sa.records[i].x_client_ip4, sb.records[i].x_client_ip4);
+  }
+}
+
+TEST(Atlas, NormalProbeUsesPrivateSrcAndEui64) {
+  auto sim = small_sim();
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    if (info.role != ProbeRole::kNormal || info.privacy_iid) continue;
+    EXPECT_TRUE(net::is_eui64_iid(info.probe_iid));
+    ProbeSeries s = sim.series_for(i);
+    for (const auto& r : s.records) {
+      if (r.family == Family::kV4) {
+        EXPECT_TRUE(r.src_addr4.is_rfc1918());
+      } else {
+        EXPECT_EQ(r.src_addr6, r.x_client_ip6);
+        EXPECT_EQ(r.x_client_ip6.iid(), info.probe_iid)
+            << "probes use their stable EUI-64 IID";
+      }
+    }
+    break;  // one normal probe suffices for the detailed scan
+  }
+}
+
+TEST(Atlas, PublicSrcProbeViolatesNatExpectation) {
+  auto sim = small_sim();
+  bool found = false;
+  for (std::size_t i = 0; i < sim.probe_count() && !found; ++i) {
+    if (sim.probe(i).role != ProbeRole::kPublicSrc) continue;
+    found = true;
+    ProbeSeries s = sim.series_for(i);
+    for (const auto& r : s.records) {
+      if (r.family == Family::kV4) {
+        EXPECT_EQ(r.src_addr4, r.x_client_ip4);
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "expected at least one public-src probe";
+}
+
+TEST(Atlas, TestAddressAppearsAtHead) {
+  auto sim = small_sim();
+  int with_test = 0;
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    if (!sim.probe(i).starts_with_test_addr) continue;
+    if (sim.probe(i).role == ProbeRole::kMultihomed) continue;
+    ProbeSeries s = sim.series_for(i);
+    for (const auto& r : s.records) {
+      if (r.family != Family::kV4) continue;
+      EXPECT_EQ(r.x_client_ip4, ripe_test_address());
+      ++with_test;
+      break;
+    }
+    if (with_test > 10) break;
+  }
+  EXPECT_GT(with_test, 0);
+}
+
+TEST(Atlas, MultihomedProbeAlternatesBetweenTwoIsps) {
+  auto sim = small_sim();
+  bgp::Rib rib;
+  simnet::announce_all(sim.isps(), rib);
+  bool found = false;
+  for (std::size_t i = 0; i < sim.probe_count() && !found; ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    if (info.role != ProbeRole::kMultihomed) continue;
+    ProbeSeries s = sim.series_for(i);
+    if (s.records.size() < 100) continue;
+    found = true;
+    std::set<bgp::Asn> asns;
+    int transitions = 0;
+    bgp::Asn prev = 0;
+    for (const auto& r : s.records) {
+      if (r.family != Family::kV4) continue;
+      bgp::Asn asn = rib.asn_of(r.x_client_ip4);
+      asns.insert(asn);
+      if (prev && asn != prev) ++transitions;
+      prev = asn;
+    }
+    EXPECT_EQ(asns.size(), 2u);
+    EXPECT_GT(transitions, 10) << "multihomed probes alternate constantly";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Atlas, AsSwitchProbeMovesOnce) {
+  auto sim = small_sim();
+  bgp::Rib rib;
+  simnet::announce_all(sim.isps(), rib);
+  bool found = false;
+  for (std::size_t i = 0; i < sim.probe_count() && !found; ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    if (info.role != ProbeRole::kAsSwitch) continue;
+    ProbeSeries s = sim.series_for(i);
+    if (s.records.size() < 100) continue;
+    found = true;
+    for (const auto& r : s.records) {
+      if (r.family != Family::kV4) continue;
+      if (r.x_client_ip4 == ripe_test_address()) continue;
+      bgp::Asn asn = rib.asn_of(r.x_client_ip4);
+      bgp::Asn expected = r.hour < info.switch_hour
+                              ? sim.isps()[info.isp_index].asn
+                              : sim.isps()[info.second_isp_index].asn;
+      EXPECT_EQ(asn, expected) << "hour " << r.hour;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Atlas, BadTagProbesCarryBadTags) {
+  auto sim = small_sim();
+  bool found = false;
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    if (sim.probe(i).role != ProbeRole::kBadTag) continue;
+    found = true;
+    ProbeSeries s = sim.series_for(i);
+    EXPECT_GE(s.meta.tags.size(), 2u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Atlas, ShortLivedProbesAreShort) {
+  auto sim = small_sim();
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    if (info.role == ProbeRole::kShortLived) {
+      EXPECT_LT(info.leave - info.join, 730u);
+    }
+  }
+}
+
+TEST(Atlas, TimelineMatchesSeriesForNormalProbe) {
+  auto sim = small_sim();
+  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
+    const ProbeInfo& info = sim.probe(i);
+    if (info.role != ProbeRole::kNormal || info.starts_with_test_addr)
+      continue;
+    auto tl = sim.timeline_for(i);
+    ProbeSeries s = sim.series_for(i);
+    for (const auto& r : s.records) {
+      if (r.family != Family::kV4) continue;
+      // Find the ground-truth segment and compare.
+      for (const auto& seg : tl.v4) {
+        if (r.hour >= seg.start && r.hour < seg.end) {
+          EXPECT_EQ(r.x_client_ip4, seg.addr);
+        }
+      }
+    }
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::atlas

@@ -1,0 +1,125 @@
+#include "core/blocklist.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/isp.h"
+#include "simnet/subscriber.h"
+
+namespace dynamips::core {
+namespace {
+
+using simnet::Assignment6;
+using simnet::SubscriberTimeline;
+
+SubscriberTimeline timeline_with(std::vector<Assignment6> v6) {
+  SubscriberTimeline tl;
+  tl.dual_stack = true;
+  tl.v6 = std::move(v6);
+  return tl;
+}
+
+TEST(Blocklist, StableOffenderNeverEvadesExact64) {
+  // One offender holding the same /64 for the whole window.
+  auto offender = timeline_with({{0, 1000, {}, 0x2003000000001100ull, {}}});
+  BlocklistSimulator sim({offender});
+  auto out = sim.evaluate({64, 500}, 1);
+  EXPECT_EQ(out.incidents, 1u);
+  EXPECT_EQ(out.evaded, 0u);
+  EXPECT_EQ(out.collateral_subscribers, 0u);
+}
+
+TEST(Blocklist, ScramblerEvadesA64BlockButNotA56) {
+  // Offender rotates /64s inside its /56 delegation during the block.
+  auto offender = timeline_with({
+      {0, 100, {}, 0x2003000000001100ull, {}},
+      {100, 200, {}, 0x2003000000001180ull, {}},  // same /56
+      {200, 1000, {}, 0x20030000000011c0ull, {}},
+  });
+  BlocklistSimulator sim({offender});
+  // Incident anchors on the middle segment (start 100).
+  auto narrow = sim.evaluate({64, 500}, 1);
+  EXPECT_EQ(narrow.evaded, 1u) << "a /64 block is evadable by rotation";
+  auto wide = sim.evaluate({56, 500}, 1);
+  EXPECT_EQ(wide.evaded, 0u) << "a /56 block contains the rotation";
+}
+
+TEST(Blocklist, RenumberingOffenderEvadesOnceBlockOutlivesAssignment) {
+  auto offender = timeline_with({
+      {0, 100, {}, 0x2003000000001100ull, {}},
+      {100, 200, {}, 0x2003000000002200ull, {}},   // different /48
+      {200, 1000, {}, 0x2003000000003300ull, {}},
+  });
+  BlocklistSimulator sim({offender});
+  auto short_block = sim.evaluate({56, 50}, 1);  // expires before the move
+  EXPECT_EQ(short_block.evaded, 0u);
+  auto long_block = sim.evaluate({56, 500}, 1);
+  EXPECT_EQ(long_block.evaded, 1u);
+}
+
+TEST(Blocklist, CollateralWhenInnocentInheritsBlockedPrefix) {
+  auto offender = timeline_with({
+      {0, 100, {}, 0x2003000000001100ull, {}},
+      {100, 1000, {}, 0x2003000000099900ull, {}},
+  });
+  // Incident anchors on the second segment (start 100)... make the middle
+  // segment explicit: with two segments, v6[1] is the anchor. The innocent
+  // later holds a /64 inside the anchor's /56.
+  auto innocent = timeline_with({
+      {0, 300, {}, 0x2003000000770000ull, {}},
+      {300, 1000, {}, 0x2003000000099980ull, {}},  // same /56 as anchor
+  });
+  BlocklistSimulator sim({offender, innocent});
+  auto out = sim.evaluate({56, 800}, 2);  // only subscriber 0 offends
+  EXPECT_EQ(out.incidents, 1u);
+  EXPECT_EQ(out.collateral_subscribers, 1u);
+  // A shorter-lived block expires before the innocent arrives.
+  auto brief = sim.evaluate({56, 100}, 2);
+  EXPECT_EQ(brief.collateral_subscribers, 0u);
+}
+
+TEST(Blocklist, PoolWideBlockMaximizesCollateral) {
+  // Everyone in the same /40 pool: a /40 block hits every active bystander.
+  std::vector<SubscriberTimeline> population;
+  for (int k = 0; k < 10; ++k)
+    population.push_back(timeline_with(
+        {{0, 1000, {}, 0x20030000aa000000ull | (std::uint64_t(k) << 8),
+          {}}}));
+  BlocklistSimulator sim(population);
+  auto out = sim.evaluate({40, 500}, 100);  // one incident
+  EXPECT_EQ(out.incidents, 1u);
+  EXPECT_EQ(out.collateral_subscribers, 9u);
+}
+
+TEST(Blocklist, EndToEndTradeoffOnSimulatedIsp) {
+  // On a renumbering ISP, widening the block from /64 to the delegation
+  // length cuts evasion; stretching duration raises collateral.
+  auto isp = *simnet::find_isp("DTAG");
+  simnet::TimelineGenerator gen(isp, 31);
+  std::vector<SubscriberTimeline> population;
+  for (std::uint32_t id = 0; id < 120; ++id) {
+    auto tl = gen.generate(id, 0, 24 * 60);
+    if (tl.dual_stack) population.push_back(std::move(tl));
+  }
+  BlocklistSimulator sim(std::move(population));
+
+  auto narrow = sim.evaluate({64, 72});
+  auto at_delegation = sim.evaluate({56, 72});
+  EXPECT_LE(at_delegation.evasion_rate(), narrow.evasion_rate())
+      << "blocking the whole delegation cannot be easier to evade";
+
+  auto brief = sim.evaluate({56, 24});
+  auto week = sim.evaluate({56, 24 * 28});
+  EXPECT_GE(week.collateral_per_incident(),
+            brief.collateral_per_incident())
+      << "longer blocks accumulate collateral";
+}
+
+TEST(Blocklist, EmptyPopulation) {
+  BlocklistSimulator sim({});
+  auto out = sim.evaluate({64, 24});
+  EXPECT_EQ(out.incidents, 0u);
+  EXPECT_DOUBLE_EQ(out.evasion_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamips::core

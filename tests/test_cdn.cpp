@@ -1,0 +1,166 @@
+#include "cdn/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace dynamips::cdn {
+namespace {
+
+CdnConfig small_config() {
+  CdnConfig cfg;
+  cfg.days = 40;
+  cfg.subscriber_scale = 0.02;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Cdn, PopulationHasFixedAndMobilePerRegistry) {
+  auto pop = default_cdn_population(1.0);
+  std::set<std::pair<bgp::Registry, bool>> classes;
+  for (const auto& e : pop) classes.insert({e.isp.registry, e.isp.mobile});
+  for (bgp::Registry reg : bgp::kAllRegistries) {
+    EXPECT_TRUE(classes.count({reg, false})) << bgp::registry_name(reg);
+    EXPECT_TRUE(classes.count({reg, true})) << bgp::registry_name(reg);
+  }
+}
+
+TEST(Cdn, PopulationAsnsUnique) {
+  auto pop = default_cdn_population(1.0);
+  std::set<bgp::Asn> asns;
+  for (const auto& e : pop)
+    EXPECT_TRUE(asns.insert(e.isp.asn).second) << e.isp.name;
+}
+
+TEST(Cdn, ShrinkRestrictsV4Blocks) {
+  auto dtag = *simnet::find_isp("DTAG");
+  auto shrunk = shrink_v4_for_cdn(dtag, 20);
+  ASSERT_EQ(shrunk.bgp4.size(), dtag.bgp4.size());
+  for (std::size_t i = 0; i < shrunk.bgp4.size(); ++i) {
+    EXPECT_EQ(shrunk.bgp4[i].length(), 20);
+    EXPECT_TRUE(dtag.bgp4[i].contains(shrunk.bgp4[i]));
+  }
+  // Already-small blocks are untouched.
+  auto same = shrink_v4_for_cdn(shrunk, 24);
+  EXPECT_EQ(same.bgp4[0].length(), 24);
+  auto untouched = shrink_v4_for_cdn(shrunk, 18);
+  EXPECT_EQ(untouched.bgp4[0].length(), 20);
+}
+
+TEST(Cdn, MobileAsnsMatchPopulation) {
+  auto pop = default_cdn_population(0.02);
+  CdnSimulator sim(pop, small_config());
+  auto mobile = sim.mobile_asns();
+  for (const auto& e : pop)
+    EXPECT_EQ(mobile.count(e.isp.asn) > 0, e.isp.mobile) << e.isp.name;
+  EXPECT_TRUE(mobile.count(12576)) << "EE Ltd is cellular";
+}
+
+TEST(Cdn, RecordsWellFormed) {
+  auto pop = default_cdn_population(0.02);
+  CdnSimulator sim(pop, small_config());
+  for (std::size_t e = 0; e < sim.entry_count(); ++e) {
+    AssociationLog log = sim.generate(e);
+    const auto& isp = sim.entry(e).isp;
+    EXPECT_EQ(log.asn, isp.asn);
+    EXPECT_EQ(log.mobile, isp.mobile);
+    std::uint32_t prev_day = 0;
+    for (const auto& rec : log.records) {
+      EXPECT_LT(rec.day, 40u);
+      EXPECT_GE(rec.day, prev_day);
+      prev_day = rec.day;
+      EXPECT_EQ(rec.v4_24.length(), 24);
+      EXPECT_EQ(rec.v6_64.length(), 64);
+      EXPECT_EQ(rec.asn6, isp.asn);
+      if (rec.asn4 == rec.asn6) {
+        bool inside = false;
+        for (const auto& p : isp.bgp4)
+          inside |= p.contains(rec.v4_24.address());
+        EXPECT_TRUE(inside) << rec.v4_24.to_string();
+        bool inside6 = false;
+        for (const auto& p : isp.bgp6)
+          inside6 |= p.contains(rec.v6_64.address());
+        EXPECT_TRUE(inside6) << rec.v6_64.to_string();
+      }
+    }
+  }
+}
+
+TEST(Cdn, CrossNetworkNoiseExists) {
+  auto pop = default_cdn_population(0.05);
+  CdnConfig cfg = small_config();
+  cfg.subscriber_scale = 0.05;
+  cfg.cross_network_noise = 0.05;
+  CdnSimulator sim(pop, cfg);
+  std::uint64_t mismatched = 0, total = 0;
+  for (std::size_t e = 0; e < sim.entry_count(); ++e) {
+    AssociationLog log = sim.generate(e);
+    for (const auto& rec : log.records) {
+      ++total;
+      mismatched += rec.asn4 != rec.asn6;
+    }
+  }
+  ASSERT_GT(total, 1000u);
+  double share = double(mismatched) / double(total);
+  EXPECT_GT(share, 0.02);
+  EXPECT_LT(share, 0.09);
+}
+
+TEST(Cdn, Deterministic) {
+  auto pop = default_cdn_population(0.02);
+  CdnSimulator a(pop, small_config());
+  CdnSimulator b(pop, small_config());
+  auto la = a.generate(0);
+  auto lb = b.generate(0);
+  ASSERT_EQ(la.records.size(), lb.records.size());
+  for (std::size_t i = 0; i < la.records.size(); ++i) {
+    EXPECT_EQ(la.records[i].day, lb.records[i].day);
+    EXPECT_EQ(la.records[i].v6_64, lb.records[i].v6_64);
+  }
+}
+
+TEST(Cdn, MobileEgressPoolIsSmall) {
+  auto pop = default_cdn_population(0.05);
+  CdnConfig cfg = small_config();
+  cfg.subscriber_scale = 0.05;
+  CdnSimulator sim(pop, cfg);
+  for (std::size_t e = 0; e < sim.entry_count(); ++e) {
+    if (!sim.entry(e).isp.mobile) continue;
+    AssociationLog log = sim.generate(e);
+    std::unordered_set<net::Prefix4> blocks;
+    std::unordered_set<std::uint64_t> v64s;
+    for (const auto& rec : log.records) {
+      if (rec.asn4 != rec.asn6) continue;
+      blocks.insert(rec.v4_24);
+      v64s.insert(rec.v6_64.address().network64());
+    }
+    EXPECT_LE(blocks.size(), 4u) << "CGNAT egress is a handful of /24s";
+    EXPECT_GT(v64s.size(), blocks.size() * 10)
+        << "many UEs share each egress /24";
+  }
+}
+
+TEST(Cdn, MobileDelegationsAreBare64s) {
+  auto pop = default_cdn_population(1.0);
+  for (const auto& e : pop) {
+    if (!e.isp.mobile) continue;
+    ASSERT_EQ(e.isp.delegation.entries.size(), 1u) << e.isp.name;
+    EXPECT_EQ(e.isp.delegation.entries[0].length, 64) << e.isp.name;
+  }
+}
+
+TEST(Cdn, BlockSizingTracksScale) {
+  // Larger populations must spread over more /24s (lower block lengths).
+  auto small = default_cdn_population(0.1);
+  auto large = default_cdn_population(4.0);
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    if (small[i].isp.mobile) continue;
+    EXPECT_LE(large[i].isp.bgp4[0].length(), small[i].isp.bgp4[0].length())
+        << small[i].isp.name;
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::cdn

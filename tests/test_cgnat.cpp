@@ -1,0 +1,119 @@
+#include "simnet/cgnat.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynamips::simnet {
+namespace {
+
+using net::Prefix4;
+
+CgnatGateway small_gateway(CgnatGateway::Config cfg = {},
+                           std::uint64_t seed = 1) {
+  return CgnatGateway({*Prefix4::parse("100.64.0.0/24")}, cfg, seed);
+}
+
+TEST(Cgnat, CapacityArithmetic) {
+  auto gw = small_gateway({.block_size = 2048, .first_port = 1024,
+                           .mapping_timeout = 24});
+  // (65536 - 1024) / 2048 = 31 subscribers per address; 254 addresses.
+  EXPECT_EQ(gw.capacity_per_address(), 31u);
+  EXPECT_EQ(gw.total_capacity(), 31u * 254u);
+}
+
+TEST(Cgnat, EgressInsidePool) {
+  auto gw = small_gateway();
+  auto block = *Prefix4::parse("100.64.0.0/24");
+  for (std::uint64_t sub = 0; sub < 100; ++sub) {
+    auto addr = gw.egress_for(sub, 0);
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_TRUE(block.contains(*addr));
+  }
+}
+
+TEST(Cgnat, ActiveMappingIsStable) {
+  auto gw = small_gateway({.block_size = 2048, .first_port = 1024,
+                           .mapping_timeout = 24});
+  auto a = gw.egress_for(7, 0);
+  ASSERT_TRUE(a.has_value());
+  // Keep-alive traffic every few hours: egress never changes.
+  for (Hour h = 4; h < 100; h += 4) EXPECT_EQ(gw.egress_for(7, h), a);
+}
+
+TEST(Cgnat, IdleMappingReclaimed) {
+  auto gw = small_gateway({.block_size = 2048, .first_port = 1024,
+                           .mapping_timeout = 24});
+  gw.egress_for(7, 0);
+  EXPECT_EQ(gw.active_mappings(), 1u);
+  // Silent past the timeout: the next flow gets a fresh allocation.
+  gw.egress_for(7, 100);
+  EXPECT_EQ(gw.active_mappings(), 1u);
+}
+
+TEST(Cgnat, ManySubscribersShareOneAddress) {
+  auto gw = small_gateway({.block_size = 2048, .first_port = 1024,
+                           .mapping_timeout = 24});
+  std::set<std::uint32_t> addrs;
+  for (std::uint64_t sub = 0; sub < 200; ++sub) {
+    auto a = gw.egress_for(sub, 0);
+    ASSERT_TRUE(a.has_value());
+    addrs.insert(a->value());
+  }
+  // 200 subscribers fit on ~7 addresses at 31 per address, spread randomly.
+  EXPECT_LT(addrs.size(), 200u);
+  // Multiplexing degree: at least one address carries several subscribers.
+  std::size_t max_on = 0;
+  for (auto v : addrs)
+    max_on = std::max(max_on, gw.subscribers_on(net::IPv4Address{v}));
+  EXPECT_GT(max_on, 1u);
+}
+
+TEST(Cgnat, ExhaustionReturnsNullopt) {
+  CgnatGateway gw({*Prefix4::parse("100.64.0.0/30")},
+                  {.block_size = 32000, .first_port = 1024,
+                   .mapping_timeout = 1000},
+                  2);
+  // /30 yields 2 usable addresses x 2 blocks = 4 subscribers.
+  ASSERT_EQ(gw.total_capacity(), 4u);
+  for (std::uint64_t sub = 0; sub < 4; ++sub)
+    EXPECT_TRUE(gw.egress_for(sub, 0).has_value());
+  EXPECT_FALSE(gw.egress_for(99, 0).has_value());
+  // After the idle timeout everything is reclaimable again.
+  EXPECT_TRUE(gw.egress_for(99, 2000).has_value());
+}
+
+TEST(Cgnat, PortBlocksDontOverlap) {
+  // Fill one address worth of blocks and check the port ranges partition.
+  CgnatGateway gw({*Prefix4::parse("100.64.0.0/30")},
+                  {.block_size = 16128, .first_port = 1024,
+                   .mapping_timeout = 24},
+                  3);
+  EXPECT_EQ(gw.capacity_per_address(), 4u);
+  std::size_t ok = 0;
+  for (std::uint64_t sub = 0; sub < gw.total_capacity(); ++sub)
+    ok += gw.egress_for(sub, 0).has_value();
+  EXPECT_EQ(ok, gw.total_capacity());
+  EXPECT_EQ(gw.active_mappings(), gw.total_capacity());
+}
+
+TEST(Cgnat, ReassignmentAfterIdleCanMove) {
+  auto gw = small_gateway({.block_size = 2048, .first_port = 1024,
+                           .mapping_timeout = 12},
+                          4);
+  // With many other subscribers churning, an idle-reclaimed subscriber's
+  // next allocation lands elsewhere with high probability.
+  auto first = gw.egress_for(0, 0);
+  for (std::uint64_t sub = 1; sub < 60; ++sub) gw.egress_for(sub, 13);
+  int moved = 0, trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto again = gw.egress_for(0, Hour(26 * (t + 1)));
+    ASSERT_TRUE(again.has_value());
+    moved += *again != *first;
+    // go idle again
+  }
+  EXPECT_GT(moved, 0) << "CGNAT egress is not sticky across idle periods";
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

@@ -1,0 +1,145 @@
+#include "core/changes.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::core {
+namespace {
+
+using net::IPv4Address;
+using net::IPv6Address;
+
+Obs4 o4(Hour h, const char* addr) {
+  return {h, *IPv4Address::parse(addr), false};
+}
+
+Obs6 o6(Hour h, const char* addr) {
+  return {h, *IPv6Address::parse(addr), true};
+}
+
+TEST(Changes, EmptyObservations) {
+  EXPECT_TRUE(extract_spans4({}).empty());
+  EXPECT_TRUE(extract_spans6({}).empty());
+}
+
+TEST(Changes, SingleSpan) {
+  std::vector<Obs4> obs{o4(1, "10.0.0.1"), o4(2, "10.0.0.1"),
+                        o4(5, "10.0.0.1")};
+  auto spans = extract_spans4(obs);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first_seen, 1u);
+  EXPECT_EQ(spans[0].last_seen, 5u);
+  EXPECT_TRUE(extract_changes4(spans).empty());
+  EXPECT_TRUE(sandwiched_durations4(spans).empty())
+      << "a single span is censored on both sides";
+}
+
+TEST(Changes, BasicChangeDetection) {
+  std::vector<Obs4> obs{o4(0, "10.0.0.1"), o4(1, "10.0.0.1"),
+                        o4(2, "10.0.0.2"), o4(3, "10.0.0.2"),
+                        o4(4, "10.0.0.3")};
+  auto spans = extract_spans4(obs);
+  ASSERT_EQ(spans.size(), 3u);
+  auto changes = extract_changes4(spans);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].at, 2u);
+  EXPECT_EQ(changes[0].prev.to_string(), "10.0.0.1");
+  EXPECT_EQ(changes[0].next.to_string(), "10.0.0.2");
+  EXPECT_EQ(changes[1].at, 4u);
+}
+
+TEST(Changes, SandwichedDurationOnly) {
+  // Spans: A [0..23], B [24..47], C [48..]. Only B is sandwiched.
+  std::vector<Obs4> obs;
+  for (Hour h = 0; h < 72; ++h)
+    obs.push_back(o4(h, h < 24 ? "10.0.0.1" : h < 48 ? "10.0.0.2"
+                                                     : "10.0.0.3"));
+  auto spans = extract_spans4(obs);
+  auto durations = sandwiched_durations4(spans);
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_EQ(durations[0], 24u);
+}
+
+TEST(Changes, ReturnToSameAddressIsANewSpan) {
+  std::vector<Obs4> obs{o4(0, "10.0.0.1"), o4(1, "10.0.0.2"),
+                        o4(2, "10.0.0.1")};
+  auto spans = extract_spans4(obs);
+  EXPECT_EQ(spans.size(), 3u) << "A->B->A yields three spans";
+}
+
+TEST(Changes, GapRuleExcludesUncertainDurations) {
+  // B's start boundary is preceded by a 100-hour measurement gap.
+  std::vector<Obs4> obs{o4(0, "10.0.0.1"),   o4(10, "10.0.0.1"),
+                        o4(110, "10.0.0.2"), o4(130, "10.0.0.2"),
+                        o4(131, "10.0.0.3"), o4(140, "10.0.0.3"),
+                        o4(141, "10.0.0.4")};
+  auto spans = extract_spans4(obs);
+  ASSERT_EQ(spans.size(), 4u);
+  ChangeOptions strict;
+  strict.max_boundary_gap = 48;
+  auto durations = sandwiched_durations4(spans, strict);
+  // Span B [110..130] has an uncertain start; span C [131..140] is clean.
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_EQ(durations[0], 141u - 131u);
+  ChangeOptions lenient;
+  lenient.max_boundary_gap = 1000;
+  EXPECT_EQ(sandwiched_durations4(spans, lenient).size(), 2u);
+}
+
+TEST(Changes, V6SpansKeyOnNetworkComponent) {
+  // Same /64, different IIDs: no change (privacy addresses rotate hosts).
+  std::vector<Obs6> obs{o6(0, "2003:e1:20:100::1"),
+                        o6(1, "2003:e1:20:100:abcd::2"),
+                        o6(2, "2003:e1:20:200::1")};
+  auto spans = extract_spans6(obs);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].net64, 0x2003'00e1'0020'0100ull);
+  auto changes = extract_changes6(spans);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].at, 2u);
+}
+
+TEST(Changes, DurationUsesNextSpanStart) {
+  // Duration of a sandwiched span is next.first_seen - this.first_seen,
+  // so intra-span measurement gaps do not shorten it.
+  std::vector<Obs4> obs{o4(0, "10.0.0.1"), o4(5, "10.0.0.2"),
+                        o4(6, "10.0.0.2"), o4(20, "10.0.0.2"),
+                        o4(25, "10.0.0.3"), o4(26, "10.0.0.3")};
+  auto spans = extract_spans4(obs);
+  auto durations = sandwiched_durations4(spans);
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_EQ(durations[0], 20u);  // 25 - 5
+}
+
+TEST(Changes, CooccurrenceAllMatch) {
+  std::vector<Change4> v4{{10, {}, {}}, {20, {}, {}}};
+  std::vector<Change6> v6{{10, 0, 1}, {21, 1, 2}};
+  auto c = change_cooccurrence(v4, v6, 1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 1.0);
+}
+
+TEST(Changes, CooccurrencePartial) {
+  std::vector<Change4> v4{{10, {}, {}}, {50, {}, {}}, {90, {}, {}}};
+  std::vector<Change6> v6{{10, 0, 1}};
+  auto c = change_cooccurrence(v4, v6, 1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Changes, CooccurrenceEmpty) {
+  EXPECT_FALSE(change_cooccurrence({}, {}, 1).has_value());
+  std::vector<Change4> v4{{10, {}, {}}};
+  auto c = change_cooccurrence(v4, {}, 1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 0.0);
+}
+
+TEST(Changes, CooccurrenceWindow) {
+  std::vector<Change4> v4{{10, {}, {}}};
+  std::vector<Change6> v6{{13, 0, 1}};
+  EXPECT_DOUBLE_EQ(*change_cooccurrence(v4, v6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(*change_cooccurrence(v4, v6, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,201 @@
+#include "simnet/dhcpd.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dynamips::simnet {
+namespace {
+
+using net::Prefix4;
+using net::Prefix6;
+
+V4AddressPlan plan4() {
+  return V4AddressPlan({*Prefix4::parse("10.0.0.0/16")}, 0.1, 1.0);
+}
+
+V6AddressPlan plan6() {
+  return V6AddressPlan({*Prefix6::parse("2003::/19")}, 40, 1.0);
+}
+
+TEST(Dhcp4, LeaseIssueAndRenew) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = true},
+                     1);
+  Lease4 lease = server.request(7, 0);
+  EXPECT_EQ(lease.expiry, 24u);
+  auto renewed = server.renew(7, 12);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_EQ(renewed->addr, lease.addr) << "renewal keeps the address";
+  EXPECT_EQ(renewed->expiry, 36u);
+}
+
+TEST(Dhcp4, RenewAfterExpiryFails) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = true},
+                     2);
+  server.request(7, 0);
+  EXPECT_FALSE(server.renew(7, 25).has_value());
+}
+
+TEST(Dhcp4, RememberedBindingSurvivesExpiry) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = true},
+                     3);
+  Lease4 a = server.request(7, 0);
+  // Comes back three days later: same address (Comcast-style stability).
+  Lease4 b = server.request(7, 72);
+  EXPECT_EQ(b.addr, a.addr);
+}
+
+TEST(Dhcp4, ForgetfulServerRenumbersAfterExpiry) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = false},
+                     4);
+  Lease4 a = server.request(7, 0);
+  Lease4 b = server.request(7, 72);
+  // Fresh draw from a /16: collision is negligible.
+  EXPECT_NE(b.addr, a.addr);
+}
+
+TEST(Dhcp4, ActiveLeaseReissuedEvenWhenForgetful) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = false},
+                     5);
+  Lease4 a = server.request(7, 0);
+  Lease4 b = server.request(7, 10);  // still active
+  EXPECT_EQ(b.addr, a.addr);
+}
+
+TEST(Dhcp4, RestartLosesAllState) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = true},
+                     6);
+  Lease4 a = server.request(7, 0);
+  EXPECT_EQ(server.active_bindings(), 1u);
+  server.restart();
+  EXPECT_EQ(server.active_bindings(), 0u);
+  Lease4 b = server.request(7, 1);
+  EXPECT_NE(b.addr, a.addr) << "the §2.2 ISP-outage renumbering cause";
+}
+
+TEST(Dhcp4, ReleaseForgetsBinding) {
+  Dhcp4Server server(plan4(), {.lease_time = 24, .remember_expired = true},
+                     7);
+  Lease4 a = server.request(7, 0);
+  server.release(7);
+  Lease4 b = server.request(7, 1);
+  EXPECT_NE(b.addr, a.addr);
+}
+
+TEST(Dhcp6Pd, DelegatesConfiguredLength) {
+  Dhcp6PdServer server(plan6(),
+                       {.lease_time = 24, .delegation_len = 56,
+                        .remember_expired = true},
+                       8);
+  Lease6 lease = server.request(7, 0);
+  EXPECT_EQ(lease.delegated.length(), 56);
+  auto renewed = server.renew(7, 12);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_EQ(renewed->delegated, lease.delegated);
+}
+
+TEST(Dhcp6Pd, RestartRenumbersButStaysInPool) {
+  Dhcp6PdServer server(plan6(),
+                       {.lease_time = 24, .delegation_len = 56,
+                        .remember_expired = true},
+                       9);
+  Lease6 a = server.request(7, 0);
+  server.restart();
+  Lease6 b = server.request(7, 1);
+  EXPECT_NE(b.delegated, a.delegated);
+  // The pool attachment persists: both delegations share the /40 pool.
+  EXPECT_EQ(a.delegated.address().network64() >> 24,
+            b.delegated.address().network64() >> 24);
+}
+
+TEST(Radius, EverySessionRenumbers) {
+  RadiusAllocator radius(plan4(), {.session_timeout = 24}, 10);
+  auto s1 = radius.connect(7, 0);
+  EXPECT_EQ(s1.timeout_at, 24u);
+  auto s2 = radius.connect(7, 24);
+  EXPECT_NE(s2.addr, s1.addr) << "RADIUS keeps no binding memory";
+}
+
+// --- CpeDriver: the emergent §2.2 dynamics -------------------------------
+
+TEST(CpeDriver, StableWithoutOutages) {
+  Dhcp4Server v4(plan4(), {.lease_time = 24, .remember_expired = true}, 11);
+  Dhcp6PdServer v6(plan6(),
+                   {.lease_time = 24, .delegation_len = 56,
+                    .remember_expired = true},
+                   12);
+  CpeDriver cpe(v4, v6, {.reboots_per_year = 0}, 13);
+  auto obs = cpe.run(1, 0, 8760);
+  EXPECT_EQ(obs.v4.size(), 1u) << "renewals keep the address all year";
+  EXPECT_EQ(obs.v6.size(), 1u);
+}
+
+TEST(CpeDriver, LongOutageCausesRenumberingOnForgetfulServer) {
+  Dhcp4Server v4(plan4(), {.lease_time = 24, .remember_expired = false}, 14);
+  Dhcp6PdServer v6(plan6(),
+                   {.lease_time = 24, .delegation_len = 56,
+                    .remember_expired = false},
+                   15);
+  // Frequent reboots with downtimes often exceeding the lease.
+  CpeDriver cpe(v4, v6,
+                {.reboots_per_year = 50, .mean_downtime_hours = 48}, 16);
+  auto obs = cpe.run(1, 0, 8760);
+  EXPECT_GT(obs.v4.size(), 10u)
+      << "outages longer than the lease renumber (§2.2)";
+}
+
+TEST(CpeDriver, ShortOutagesHarmlessOnRememberingServer) {
+  Dhcp4Server v4(plan4(), {.lease_time = 24, .remember_expired = true}, 17);
+  Dhcp6PdServer v6(plan6(),
+                   {.lease_time = 24, .delegation_len = 56,
+                    .remember_expired = true},
+                   18);
+  CpeDriver cpe(v4, v6,
+                {.reboots_per_year = 20, .mean_downtime_hours = 1}, 19);
+  auto obs = cpe.run(1, 0, 8760);
+  EXPECT_EQ(obs.v4.size(), 1u)
+      << "DHCP servers that remember bindings ride out short reboots";
+}
+
+TEST(CpeDriver, MechanismMatchesStatisticalModelShape) {
+  // The protocol-level machinery must reproduce the statistical model's
+  // signature: under a forgetful server with lease L and reboots, observed
+  // inter-change durations cluster at multiples of L/2 renewal boundaries
+  // bounded by reboot gaps. We check the coarser invariant both models
+  // share: all changes coincide with either a reboot or an expiry, never
+  // mid-lease.
+  Dhcp4Server v4(plan4(), {.lease_time = 48, .remember_expired = true}, 20);
+  Dhcp6PdServer v6(plan6(),
+                   {.lease_time = 48, .delegation_len = 56,
+                    .remember_expired = true},
+                   21);
+  CpeDriver cpe(v4, v6,
+                {.reboots_per_year = 12, .mean_downtime_hours = 72,
+                 .release_on_reboot = true},
+                22);
+  auto obs = cpe.run(1, 0, 17520);
+  ASSERT_GT(obs.v4.size(), 2u);
+  for (std::size_t i = 1; i < obs.v4.size(); ++i) {
+    Hour gap = obs.v4[i].start - obs.v4[i - 1].start;
+    EXPECT_GE(gap, 24u) << "no change can happen before T1";
+  }
+}
+
+TEST(CpeDriver, V6DelegationsComeFromOnePool) {
+  Dhcp4Server v4(plan4(), {.lease_time = 24, .remember_expired = false}, 23);
+  Dhcp6PdServer v6(plan6(),
+                   {.lease_time = 24, .delegation_len = 56,
+                    .remember_expired = false},
+                   24);
+  CpeDriver cpe(v4, v6,
+                {.reboots_per_year = 40, .mean_downtime_hours = 48}, 25);
+  auto obs = cpe.run(1, 0, 17520);
+  ASSERT_GT(obs.v6.size(), 3u);
+  std::map<std::uint64_t, int> pools;
+  for (const auto& a : obs.v6)
+    ++pools[a.delegated.address().network64() >> 24];  // /40 key
+  EXPECT_EQ(pools.size(), 1u) << "single home pool, as configured";
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

@@ -1,0 +1,85 @@
+#include "core/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netaddr/rng.h"
+#include "simnet/isp.h"
+#include "simnet/subscriber.h"
+
+namespace dynamips::core {
+namespace {
+
+TEST(Entropy, EmptyAndSingle) {
+  auto e = nibble_entropy({});
+  for (double h : e) EXPECT_DOUBLE_EQ(h, 0.0);
+  std::vector<std::uint64_t> one{0x2003aabbccdd1100ull};
+  e = nibble_entropy(one);
+  for (double h : e) EXPECT_DOUBLE_EQ(h, 0.0);
+  EXPECT_DOUBLE_EQ(total_entropy(one), 0.0);
+}
+
+TEST(Entropy, UniformNibbleIsFourBits) {
+  // All sixteen values of the last nibble, equally often.
+  std::vector<std::uint64_t> nets;
+  for (std::uint64_t v = 0; v < 16; ++v)
+    nets.push_back(0x2003000000000000ull | v);
+  auto e = nibble_entropy(nets);
+  EXPECT_NEAR(e[15], 4.0, 1e-9);
+  for (int n = 0; n < 15; ++n) EXPECT_DOUBLE_EQ(e[std::size_t(n)], 0.0);
+  EXPECT_NEAR(total_entropy(nets), 4.0, 1e-9);
+}
+
+TEST(Entropy, TwoValuesOneBit) {
+  std::vector<std::uint64_t> nets{0x2003000000000000ull,
+                                  0x2003000000000001ull};
+  auto e = nibble_entropy(nets);
+  EXPECT_NEAR(e[15], 1.0, 1e-9);
+}
+
+TEST(Entropy, StructuredPoolAddressesShowTheScanStructure) {
+  // /56 zero-filled delegations inside one /40 pool: announcement and pool
+  // nibbles frozen, subscriber nibbles (10..13) hot, subnet nibble 14..15
+  // cold again.
+  net::Rng rng(5);
+  std::vector<std::uint64_t> nets;
+  std::uint64_t pool = 0x2003e1aa00000000ull;  // /40 pool
+  for (int i = 0; i < 4000; ++i)
+    nets.push_back(pool | ((rng.next_u64() & 0xffff) << 8));
+  auto e = nibble_entropy(nets);
+  for (int n = 0; n < 10; ++n)
+    EXPECT_LT(e[std::size_t(n)], 0.01) << "announcement+pool nibble " << n;
+  for (int n = 10; n < 14; ++n)
+    EXPECT_GT(e[std::size_t(n)], 3.8) << "subscriber nibble " << n;
+  EXPECT_LT(e[14], 0.01) << "zero-filled subnet nibbles";
+  EXPECT_LT(e[15], 0.01);
+  // Total structure: ~16 bits of search space, matching the /40->/56 gap.
+  EXPECT_NEAR(total_entropy(nets), 16.0, 0.5);
+}
+
+TEST(Entropy, SimulatedIspMatchesPoolArithmetic) {
+  // Addresses observed from one ISP: total entropy far below the naive
+  // 64 - announcement bits, close to pool + subscriber structure.
+  auto isp = *simnet::find_isp("Orange");
+  isp.cpe_scramble_share = 0;
+  simnet::TimelineGenerator gen(isp, 9);
+  std::vector<std::uint64_t> nets;
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (const auto& seg : tl.v6) nets.push_back(seg.lan64);
+  }
+  ASSERT_GT(nets.size(), 300u);
+  double h = total_entropy(nets);
+  int announced_free = 64 - isp.bgp6.front().length();  // 45 bits naive
+  // Marginal per-nibble entropy cannot see correlations between pool
+  // nibbles, so the visible saving here is the zero-filled /56 subnet byte
+  // (8 bits). Pool structure on top of that needs the joint analysis the
+  // pool-inference module performs.
+  EXPECT_LT(h, double(announced_free) - 6.0)
+      << "the frozen subnet byte must show up in the marginals";
+  EXPECT_GT(h, 8.0) << "but subscriber bits remain";
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,118 @@
+#include "core/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/isp.h"
+#include "simnet/subscriber.h"
+
+namespace dynamips::core {
+namespace {
+
+using net::IPv4Address;
+
+CleanProbe probe_with_epochal_changes() {
+  // Year 0: changes every 24h; year 1: every 168h.
+  CleanProbe cp;
+  cp.probe_id = 1;
+  cp.asn = 100;
+  Hour h = 0;
+  auto addr = [](std::uint32_t epoch) {
+    return IPv4Address{0x0a000000u + epoch * 256 + 1};
+  };
+  for (; h < 8760; ++h) cp.v4.push_back({h, addr(std::uint32_t(h / 24)), false});
+  for (; h < 2 * 8760; ++h)
+    cp.v4.push_back({h, addr(1000 + std::uint32_t(h / 168)), false});
+  return cp;
+}
+
+TEST(Evolution, BucketsByStartYear) {
+  EvolutionAnalyzer an;
+  an.add_probe(probe_with_epochal_changes());
+  auto trend = an.trend(100, 24, &YearDurations::v4_nds);
+  ASSERT_EQ(trend.size(), 2u);
+  EXPECT_GT(trend[0], 0.9) << "year 0 dominated by 1-day durations";
+  EXPECT_LT(trend[1], 0.1) << "year 1 durations are weekly";
+}
+
+TEST(Evolution, DualStackSplitRespected) {
+  auto cp = probe_with_epochal_changes();
+  // Add consistent v6 reporting so the probe classifies dual-stack.
+  for (const auto& o : cp.v4)
+    cp.v6.push_back({o.hour, net::IPv6Address{0x2001010000000000ull, 1},
+                     true});
+  EvolutionAnalyzer an;
+  an.add_probe(cp);
+  EXPECT_TRUE(an.trend(100, 24, &YearDurations::v4_nds).empty());
+  EXPECT_FALSE(an.trend(100, 24, &YearDurations::v4_ds).empty());
+}
+
+TEST(Evolution, UnknownAsEmptyTrend) {
+  EvolutionAnalyzer an;
+  an.add_probe(probe_with_epochal_changes());
+  EXPECT_TRUE(an.trend(999, 24, &YearDurations::v4_nds).empty());
+}
+
+TEST(Evolution, EraSwitchingInSimulator) {
+  // A profile that renumbers daily in year 0 and weekly afterwards.
+  auto isp = *simnet::find_isp("Versatel");
+  isp.static_share = 0;
+  isp.dualstack_share = 0;
+  simnet::IspProfile::PolicyEra era;
+  era.start = 8760;
+  era.v4_nds = {.lease_hours = 168, .renew_keep_prob = 0.0,
+                .mean_admin_hours = 0, .outages_per_year = 0,
+                .change_on_outage_prob = 0};
+  era.v4_ds = era.v4_nds;
+  era.v6 = era.v4_nds;
+  isp.eras.push_back(era);
+
+  EXPECT_EQ(isp.v4_nds_at(0).lease_hours, 24u);
+  EXPECT_EQ(isp.v4_nds_at(8759).lease_hours, 24u);
+  EXPECT_EQ(isp.v4_nds_at(8760).lease_hours, 168u);
+
+  simnet::TimelineGenerator gen(isp, 5);
+  int early_short = 0, late_long = 0, early_total = 0, late_total = 0;
+  for (std::uint32_t id = 0; id < 30; ++id) {
+    auto tl = gen.generate(id, 0, 2 * 8760);
+    for (std::size_t i = 1; i + 1 < tl.v4.size(); ++i) {
+      simnet::Hour d = tl.v4[i].end - tl.v4[i].start;
+      if (tl.v4[i].start < 8760) {
+        ++early_total;
+        early_short += d <= 48;
+      } else {
+        ++late_total;
+        late_long += d >= 168;
+      }
+    }
+  }
+  ASSERT_GT(early_total, 100);
+  ASSERT_GT(late_total, 20);
+  EXPECT_GT(double(early_short) / early_total, 0.8);
+  EXPECT_GT(double(late_long) / late_total, 0.8);
+}
+
+TEST(Evolution, WithDurationGrowthLengthensDurations) {
+  auto base = *simnet::find_isp("DTAG");
+  auto grown = simnet::with_duration_growth(base, 8760, 0.6);
+  ASSERT_EQ(grown.eras.size(), 1u);
+  EXPECT_GT(grown.eras[0].v4_nds.renew_keep_prob,
+            base.v4_nds.renew_keep_prob);
+  EXPECT_EQ(grown.v4_nds_at(0).renew_keep_prob, base.v4_nds.renew_keep_prob);
+  EXPECT_GT(grown.v4_nds_at(8760).renew_keep_prob,
+            base.v4_nds.renew_keep_prob);
+}
+
+TEST(Evolution, TimedDurationsCarryStart) {
+  std::vector<Obs4> obs;
+  for (Hour h = 0; h < 72; ++h)
+    obs.push_back({h, IPv4Address{0x0a000000u + std::uint32_t(h / 24)},
+                   false});
+  auto spans = extract_spans4(obs);
+  auto timed = sandwiched_timed4(spans);
+  ASSERT_EQ(timed.size(), 1u);
+  EXPECT_EQ(timed[0].start, 24u);
+  EXPECT_EQ(timed[0].duration, 24u);
+}
+
+}  // namespace
+}  // namespace dynamips::core

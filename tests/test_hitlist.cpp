@@ -1,0 +1,121 @@
+#include "core/hitlist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simnet/isp.h"
+#include "simnet/subscriber.h"
+
+namespace dynamips::core {
+namespace {
+
+TEST(Hitlist, ObserveAndContains) {
+  Hitlist hl;
+  hl.observe(0x2003000000001100ull, 0xfffe1ull, 10);
+  EXPECT_EQ(hl.size(), 1u);
+  EXPECT_TRUE(hl.contains(0x2003000000001100ull, 0xfffe1ull));
+  EXPECT_FALSE(hl.contains(0x2003000000001100ull, 0xfffe2ull));
+}
+
+TEST(Hitlist, ReobservationRefreshes) {
+  Hitlist hl;
+  hl.observe(1, 2, 10);
+  hl.observe(1, 2, 50);
+  EXPECT_EQ(hl.size(), 1u);
+  auto entries = hl.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first_seen, 10u);
+  EXPECT_EQ(entries[0].last_seen, 50u);
+}
+
+TEST(Hitlist, ExpireDropsStaleEntries) {
+  Hitlist hl;
+  hl.observe(1, 1, 0);
+  hl.observe(2, 2, 90);
+  EXPECT_EQ(hl.expire(100, 50), 1u);
+  EXPECT_EQ(hl.size(), 1u);
+  EXPECT_TRUE(hl.contains(2, 2));
+}
+
+TEST(ScanScoping, SequentialStrideFindsZeroFillTarget) {
+  // Pool 2003:e1:aa00::/40, /56 delegations zero-filled. The target is the
+  // 5th delegation in the pool.
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  std::uint64_t target = pool.address().network64() | (4ull << 8);
+  auto probes = probes_to_find(target, pool, 56);
+  ASSERT_TRUE(probes.has_value());
+  EXPECT_EQ(*probes, 5u);
+}
+
+TEST(ScanScoping, ScrambledTargetNotOnGrid) {
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  std::uint64_t target = pool.address().network64() | (4ull << 8) | 0x37;
+  EXPECT_FALSE(probes_to_find(target, pool, 56).has_value())
+      << "scrambling CPEs defeat stride scanning";
+  // Scanning at /64 granularity still finds it.
+  auto probes = probes_to_find(target, pool, 64);
+  ASSERT_TRUE(probes.has_value());
+  EXPECT_EQ(*probes, (4ull << 8) + 0x37 + 1);
+}
+
+TEST(ScanScoping, TargetOutsideScope) {
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  std::uint64_t outside = 0x2a02000000000000ull;
+  EXPECT_FALSE(probes_to_find(outside, pool, 56).has_value());
+}
+
+TEST(ScanScoping, InvalidStride) {
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  EXPECT_FALSE(probes_to_find(pool.address().network64(), pool, 39)
+                   .has_value());
+}
+
+TEST(ScanScoping, ExpectedRandomProbesMatchesPaperArithmetic) {
+  // §5.2: scoping DTAG from its /19 announcement to a /40 pool reduces the
+  // search from 2^45 to 2^24 /64s; striding at /56 leaves 2^16 candidates.
+  auto announcement = *net::Prefix6::parse("2003::/19");
+  auto pool = *net::Prefix6::parse("2003:e1:aa00::/40");
+  EXPECT_DOUBLE_EQ(expected_random_probes(announcement, 64),
+                   std::ldexp(1.0, 45) / 2);
+  EXPECT_DOUBLE_EQ(expected_random_probes(pool, 64),
+                   std::ldexp(1.0, 24) / 2);
+  EXPECT_DOUBLE_EQ(expected_random_probes(pool, 56),
+                   std::ldexp(1.0, 16) / 2);
+}
+
+TEST(ScanScoping, NeighborSearchWithin256) {
+  // §5.2: after a CPL >= 56 change, the 255 neighbouring /64s suffice.
+  std::uint64_t old64 = 0x2003000000aa1100ull;
+  EXPECT_EQ(neighbor_probes(old64, old64), 1u);
+  auto up3 = neighbor_probes(old64, old64 + 3);
+  ASSERT_TRUE(up3.has_value());
+  EXPECT_EQ(*up3, 6u);
+  auto down2 = neighbor_probes(old64, old64 - 2);
+  ASSERT_TRUE(down2.has_value());
+  EXPECT_EQ(*down2, 5u);
+  EXPECT_FALSE(neighbor_probes(old64, old64 + 10000, 256).has_value());
+}
+
+TEST(ScanScoping, HitlistChurnMatchesDurations) {
+  // End-to-end: curate a hitlist over a renumbering ISP; entries go stale
+  // at the renumbering rate.
+  auto isp = *simnet::find_isp("DTAG");
+  simnet::TimelineGenerator gen(isp, 7);
+  Hitlist hl;
+  std::uint64_t iid = 0x021122fffe334455ull;
+  int subs = 50;
+  for (int sub = 0; sub < subs; ++sub) {
+    auto tl = gen.generate(std::uint32_t(sub), 0, 24 * 30);
+    for (const auto& seg : tl.v6) hl.observe(seg.lan64, iid, seg.start);
+  }
+  std::size_t before = hl.size();
+  // Anything not re-confirmed in the last week of the month is stale.
+  std::size_t dropped = hl.expire(24 * 30, 24 * 7);
+  EXPECT_GT(before, std::size_t(subs))
+      << "daily renumbering inflates the hitlist";
+  EXPECT_GT(dropped, before / 2) << "most entries go stale fast";
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,128 @@
+#include "simnet/home.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "core/tracking.h"
+#include "simnet/isp.h"
+
+namespace dynamips::simnet {
+namespace {
+
+SubscriberTimeline two_network_timeline() {
+  SubscriberTimeline tl;
+  tl.dual_stack = true;
+  tl.v6 = {{0, 100, {}, 0x2003000000001100ull, ChangeCause::kLease},
+           {100, 200, {}, 0x2003000000002200ull, ChangeCause::kNone}};
+  return tl;
+}
+
+TEST(Home, TypicalMixSizes) {
+  net::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto mix = typical_home_mix(rng);
+    EXPECT_GE(mix.size(), 1u);
+    EXPECT_LE(mix.size(), 8u);
+  }
+}
+
+TEST(Home, Eui64DeviceKeepsIidAcrossNetworks) {
+  std::vector<DeviceProfile> devices{{IidMode::kEui64, 24}};
+  auto obs = simulate_home_devices(two_network_timeline(), devices, 7, 1);
+  ASSERT_FALSE(obs.empty());
+  std::set<std::uint64_t> iids, nets;
+  for (const auto& o : obs) {
+    iids.insert(o.addr.iid());
+    nets.insert(o.addr.network64());
+  }
+  EXPECT_EQ(iids.size(), 1u);
+  EXPECT_EQ(nets.size(), 2u);
+  EXPECT_TRUE(net::is_eui64_iid(*iids.begin()));
+}
+
+TEST(Home, PrivacyDeviceRotatesDaily) {
+  std::vector<DeviceProfile> devices{{IidMode::kPrivacy, 24}};
+  SubscriberTimeline tl;
+  tl.dual_stack = true;
+  tl.v6 = {{0, 96, {}, 0x2003000000001100ull, ChangeCause::kNone}};
+  auto obs = simulate_home_devices(tl, devices, 7, 1);
+  std::set<std::uint64_t> iids;
+  for (const auto& o : obs) iids.insert(o.addr.iid());
+  EXPECT_EQ(iids.size(), 4u) << "one IID per 24h epoch";
+}
+
+TEST(Home, PrivacyDeviceRegeneratesOnPrefixChange) {
+  std::vector<DeviceProfile> devices{{IidMode::kPrivacy, 1 << 20}};
+  auto obs = simulate_home_devices(two_network_timeline(), devices, 7, 1);
+  std::set<std::uint64_t> iids_net1, iids_net2;
+  for (const auto& o : obs) {
+    if (o.addr.network64() == 0x2003000000001100ull)
+      iids_net1.insert(o.addr.iid());
+    else
+      iids_net2.insert(o.addr.iid());
+  }
+  EXPECT_EQ(iids_net1.size(), 1u);
+  EXPECT_EQ(iids_net2.size(), 1u);
+  EXPECT_NE(*iids_net1.begin(), *iids_net2.begin())
+      << "RFC 4941: new prefix, new temporary IID";
+}
+
+TEST(Home, StableOpaqueIsPerNetworkStableButUnlinkable) {
+  std::vector<DeviceProfile> devices{{IidMode::kStableOpaque, 24}};
+  auto obs = simulate_home_devices(two_network_timeline(), devices, 7, 1);
+  std::set<std::uint64_t> iids_net1, iids_net2;
+  for (const auto& o : obs) {
+    if (o.addr.network64() == 0x2003000000001100ull)
+      iids_net1.insert(o.addr.iid());
+    else
+      iids_net2.insert(o.addr.iid());
+  }
+  EXPECT_EQ(iids_net1.size(), 1u) << "stable within a network";
+  EXPECT_EQ(iids_net2.size(), 1u);
+  EXPECT_NE(*iids_net1.begin(), *iids_net2.begin())
+      << "RFC 7217: different networks, different IIDs";
+}
+
+TEST(Home, DeterministicAcrossCalls) {
+  net::Rng rng(3);
+  auto mix = typical_home_mix(rng);
+  auto a = simulate_home_devices(two_network_timeline(), mix, 11, 4);
+  auto b = simulate_home_devices(two_network_timeline(), mix, 11, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].addr, b[i].addr);
+}
+
+TEST(Home, TrackingAnalysisSeparatesIidModes) {
+  // End to end: only the EUI-64 device survives cross-network tracking;
+  // the RFC 7217 host is stable per network but unlinkable across.
+  std::vector<DeviceProfile> devices{{IidMode::kEui64, 24},
+                                     {IidMode::kPrivacy, 24},
+                                     {IidMode::kStableOpaque, 24}};
+  auto obs = simulate_home_devices(two_network_timeline(), devices, 13, 1);
+  core::CleanProbe cp;
+  cp.probe_id = 1;
+  cp.asn = 100;
+  for (const auto& o : obs) cp.v6.push_back({o.hour, o.addr, true});
+  auto tracks = core::TrackingAnalyzer::tracks_of(cp);
+
+  int eui64_cross = 0, non_eui64_cross = 0;
+  for (const auto& t : tracks) {
+    if (t.eui64 && t.survives_renumbering()) ++eui64_cross;
+    if (!t.eui64 && t.survives_renumbering()) ++non_eui64_cross;
+  }
+  EXPECT_EQ(eui64_cross, 1);
+  EXPECT_EQ(non_eui64_cross, 0)
+      << "RFC 4941/7217 devices are unlinkable across networks";
+}
+
+TEST(Home, EmptyInputs) {
+  EXPECT_TRUE(simulate_home_devices({}, {{IidMode::kEui64, 24}}, 1).empty());
+  EXPECT_TRUE(
+      simulate_home_devices(two_network_timeline(), {}, 1).empty());
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

@@ -1,0 +1,60 @@
+#include "netaddr/iid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynamips::net {
+namespace {
+
+TEST(Iid, Eui64KnownVector) {
+  // RFC 4291 Appendix A example: MAC 34-56-78-9A-BC-DE ->
+  // IID 3656:78ff:fe9a:bcde (u/l bit of 0x34 inverted -> 0x36).
+  Mac mac{{0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde}};
+  EXPECT_EQ(eui64_iid(mac), 0x365678fffe9abcdeull);
+}
+
+TEST(Iid, Eui64Marker) {
+  Mac mac{{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}};
+  EXPECT_TRUE(is_eui64_iid(eui64_iid(mac)));
+  EXPECT_FALSE(is_eui64_iid(0x1234567812345678ull));
+}
+
+TEST(Iid, Eui64StableForSameMac) {
+  Mac mac{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}};
+  EXPECT_EQ(eui64_iid(mac), eui64_iid(mac));
+}
+
+TEST(Iid, PrivacyIidsAreFreshAndNotEui64) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t iid = privacy_iid(rng);
+    EXPECT_FALSE(is_eui64_iid(iid));
+    seen.insert(iid);
+  }
+  // All distinct with overwhelming probability.
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Iid, StableOpaqueIsDeterministicPerNetwork) {
+  std::uint64_t secret = 0xabcdef;
+  std::uint64_t net_a = 0x20010db800010000ull;
+  std::uint64_t net_b = 0x20010db800020000ull;
+  EXPECT_EQ(stable_opaque_iid(secret, net_a), stable_opaque_iid(secret, net_a));
+  EXPECT_NE(stable_opaque_iid(secret, net_a), stable_opaque_iid(secret, net_b));
+  EXPECT_NE(stable_opaque_iid(secret + 1, net_a),
+            stable_opaque_iid(secret, net_a));
+  EXPECT_FALSE(is_eui64_iid(stable_opaque_iid(secret, net_a)));
+}
+
+TEST(Iid, RandomMacIsUnicast) {
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    Mac m = Mac::random(rng);
+    EXPECT_EQ(m.octets[0] & 0x01, 0) << "multicast bit must be clear";
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::net

@@ -1,0 +1,179 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::core {
+namespace {
+
+using net::IPv6Address;
+
+CleanProbe probe_with_nets(std::initializer_list<std::uint64_t> nets) {
+  CleanProbe cp;
+  cp.probe_id = 1;
+  cp.asn = 100;
+  Hour h = 0;
+  for (std::uint64_t n : nets) cp.v6.push_back({h++, IPv6Address{n, 1}, true});
+  return cp;
+}
+
+TEST(Inference, RequiresAtLeastOneChange) {
+  EXPECT_FALSE(infer_subscriber_prefix(probe_with_nets({})).has_value());
+  EXPECT_FALSE(
+      infer_subscriber_prefix(probe_with_nets({0x2003000000000100ull}))
+          .has_value());
+}
+
+TEST(Inference, ZeroFill56) {
+  // Two /56 delegations, lowest /64 announced: 8+ zero bits in both.
+  auto inf = infer_subscriber_prefix(probe_with_nets(
+      {0x20030000aabb1100ull, 0x20030000aabb2200ull}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->inferred_len, 56);
+  EXPECT_EQ(inf->changes, 1);
+}
+
+TEST(Inference, ZeroFill48) {
+  auto inf = infer_subscriber_prefix(probe_with_nets(
+      {0x2003000000110000ull, 0x2003000000220000ull,
+       0x2003000000330000ull}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->inferred_len, 48);
+  EXPECT_EQ(inf->changes, 2);
+}
+
+TEST(Inference, MinimumAcrossObservations) {
+  // One /64 with only 4 trailing zeros caps the common streak.
+  auto inf = infer_subscriber_prefix(probe_with_nets(
+      {0x20030000aabb1100ull, 0x20030000aabb2210ull}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->inferred_len, 60);
+}
+
+TEST(Inference, ScramblerYields64) {
+  // Scrambling CPEs fill the subnet bits: no common zeros.
+  auto inf = infer_subscriber_prefix(probe_with_nets(
+      {0x20030000aabb1137ull, 0x20030000aabb22c5ull}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->inferred_len, 64);
+}
+
+TEST(Inference, RepeatedNetDoesNotInflateChanges) {
+  auto inf = infer_subscriber_prefix(probe_with_nets(
+      {0x2003000000001100ull, 0x2003000000001100ull,
+       0x2003000000002200ull}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->changes, 1) << "consecutive identical nets form one span";
+}
+
+TEST(Inference, PoolInferenceRecoversPoolLength) {
+  // 10 delegations inside one /40 pool (bits 40..56 vary), zero-filled /56.
+  net::Rng rng(1);
+  std::vector<std::uint64_t> nets;
+  std::uint64_t pool = 0x20030000aa000000ull;  // /40 base
+  for (int i = 0; i < 12; ++i)
+    nets.push_back(pool | ((rng.next_u64() & 0xffff) << 8));
+  CleanProbe cp;
+  Hour h = 0;
+  cp.asn = 100;
+  for (auto n : nets) cp.v6.push_back({h++, IPv6Address{n, 1}, true});
+  auto pi = infer_pool(cp, 0.8, 5);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_EQ(pi->pool_len, 40);
+  EXPECT_DOUBLE_EQ(pi->coverage, 1.0);
+}
+
+TEST(Inference, PoolInferenceNeedsEnoughChanges) {
+  auto cp = probe_with_nets({0x2003000000001100ull, 0x2003000000002200ull});
+  EXPECT_FALSE(infer_pool(cp, 0.8, 5).has_value());
+}
+
+TEST(Inference, PoolInferenceWithMinorityOutsidePool) {
+  // 9 of 10 assignments in the /40 pool, one in a different /40 (but same
+  // /32): 90% coverage at /40 passes the 0.8 threshold.
+  net::Rng rng(2);
+  CleanProbe cp;
+  cp.asn = 100;
+  Hour h = 0;
+  std::uint64_t pool = 0x20030000aa000000ull;
+  for (int i = 0; i < 9; ++i)
+    cp.v6.push_back(
+        {h++, IPv6Address{pool | ((rng.next_u64() & 0xffff) << 8), 1}, true});
+  cp.v6.push_back({h++, IPv6Address{0x20030000bb001100ull, 1}, true});
+  auto pi = infer_pool(cp, 0.8, 5);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_EQ(pi->pool_len, 40);
+  EXPECT_NEAR(pi->coverage, 0.9, 1e-9);
+}
+
+TEST(Inference, ClassifyTrailingZeros) {
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000000001ull),
+            ZeroBoundary::kNone);
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000000010ull),
+            ZeroBoundary::k60);
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000000100ull),
+            ZeroBoundary::k56);
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000001000ull),
+            ZeroBoundary::k52);
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000010000ull),
+            ZeroBoundary::k48);
+  // Longer streaks cap at /48.
+  EXPECT_EQ(classify_trailing_zeros(0x2003000000000000ull),
+            ZeroBoundary::k48);
+}
+
+TEST(Inference, ZeroBoundaryNames) {
+  EXPECT_STREQ(zero_boundary_name(ZeroBoundary::kNone), "none");
+  EXPECT_STREQ(zero_boundary_name(ZeroBoundary::k60), "/60");
+  EXPECT_STREQ(zero_boundary_name(ZeroBoundary::k48), "/48");
+}
+
+TEST(Inference, ZeroBoundaryCounts) {
+  ZeroBoundaryCounts z;
+  z.add(ZeroBoundary::kNone);
+  z.add(ZeroBoundary::k56);
+  z.add(ZeroBoundary::k56);
+  z.add(ZeroBoundary::k60);
+  EXPECT_EQ(z.total(), 4u);
+  EXPECT_DOUBLE_EQ(z.inferable_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(z.fraction(ZeroBoundary::k56), 0.5);
+  EXPECT_DOUBLE_EQ(z.fraction(ZeroBoundary::k48), 0.0);
+}
+
+TEST(Inference, ZeroBoundaryCountsEmpty) {
+  ZeroBoundaryCounts z;
+  EXPECT_EQ(z.total(), 0u);
+  EXPECT_DOUBLE_EQ(z.inferable_fraction(), 0.0);
+}
+
+// Parameterized sweep: a zero-filling subscriber with delegation length L
+// and enough observed changes must infer exactly L (bits above L randomized,
+// at least one delegation with a 1 right at the last delegation bit).
+class InferenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferenceSweep, RecoversDelegationLength) {
+  int len = GetParam();
+  net::Rng rng(std::uint64_t(len) * 7919);
+  CleanProbe cp;
+  cp.asn = 100;
+  Hour h = 0;
+  for (int i = 0; i < 30; ++i) {
+    // Random delegation: bits 32..len random, rest of network zero.
+    std::uint64_t deleg =
+        0x2003000000000000ull |
+        ((rng.next_u64() >> 32) & ((~0ull << (64 - len)) & 0xffffffffull));
+    // Guarantee at least one delegation ends in a 1 bit at position len.
+    if (i == 0) deleg |= 1ull << (64 - len);
+    cp.v6.push_back({h++, IPv6Address{deleg, 1}, true});
+  }
+  auto inf = infer_subscriber_prefix(cp);
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_EQ(inf->inferred_len, len);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, InferenceSweep,
+                         ::testing::Values(48, 52, 56, 60, 62, 64));
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,234 @@
+// test_integration — full-pipeline checks against simulator ground truth
+// and the paper's headline shapes, at reduced scale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pipeline.h"
+#include "simnet/isp.h"
+#include "stats/periodicity.h"
+#include "stats/summary.h"
+
+namespace dynamips {
+namespace {
+
+const core::AtlasStudy& atlas_study() {
+  static core::AtlasStudy study = [] {
+    core::AtlasStudyConfig cfg;
+    cfg.atlas.probe_scale = 0.15;
+    cfg.atlas.window_hours = 17520;  // two years
+    cfg.atlas.seed = 11;
+    return core::run_atlas_study(simnet::paper_isps(), cfg);
+  }();
+  return study;
+}
+
+const core::CdnStudy& cdn_study() {
+  static core::CdnStudy study = [] {
+    core::CdnStudyConfig cfg;
+    cfg.cdn.subscriber_scale = 0.1;
+    cfg.cdn.seed = 13;
+    return core::run_cdn_study(
+        cdn::default_cdn_population(cfg.cdn.subscriber_scale), cfg);
+  }();
+  return study;
+}
+
+bgp::Asn asn_of(const char* name) {
+  return simnet::find_isp(name)->asn;
+}
+
+TEST(Integration, SanitizerKeepsMostProbes) {
+  const auto& s = atlas_study().sanitize;
+  EXPECT_GT(s.probes_seen, 300u);
+  EXPECT_GT(double(s.probes_kept), 0.7 * double(s.probes_seen));
+  EXPECT_GT(s.dropped_multihomed, 0u);
+  EXPECT_GT(s.dropped_bad_tag, 0u);
+  EXPECT_GT(s.split_probes, 0u);
+  EXPECT_GT(s.test_address_records, 0u);
+}
+
+TEST(Integration, V6DurationsLongerThanV4) {
+  // The paper's headline: IPv6 assignments outlast IPv4 in (most) ASes.
+  for (const char* name : {"Orange", "Comcast", "BT", "Proximus"}) {
+    const auto& d = atlas_study().durations.at(asn_of(name));
+    std::vector<std::uint64_t> week{168};
+    double v4_at_week = d.v4_nds.cumulative(week)[0];
+    double v6_at_week = d.v6.cumulative(week)[0];
+    EXPECT_LE(v6_at_week, v4_at_week + 0.05) << name;
+  }
+}
+
+TEST(Integration, DualStackV4LongerThanNonDualStack) {
+  for (const char* name : {"DTAG", "Orange", "BT", "Proximus"}) {
+    const auto& d = atlas_study().durations.at(asn_of(name));
+    // Compare time spent in short (<= 3 days) assignments.
+    std::vector<std::uint64_t> t{72};
+    EXPECT_LT(d.v4_ds.cumulative(t)[0], d.v4_nds.cumulative(t)[0] + 0.02)
+        << name;
+  }
+}
+
+TEST(Integration, PeriodicModesMatchGroundTruth) {
+  stats::PeriodicityDetector det;
+  struct Expect {
+    const char* name;
+    std::uint64_t period;
+  };
+  for (auto [name, period] : {Expect{"DTAG", 24}, Expect{"Orange", 168},
+                              Expect{"BT", 336}, Expect{"Proximus", 36},
+                              Expect{"Versatel", 24},
+                              Expect{"Netcologne", 24}}) {
+    const auto& d = atlas_study().durations.at(asn_of(name));
+    auto mode = det.dominant(d.v4_nds.empty() ? d.v4_ds : d.v4_nds);
+    ASSERT_TRUE(mode.has_value()) << name;
+    EXPECT_EQ(mode->period_hours, period) << name;
+  }
+  // Comcast has no periodic renumbering.
+  const auto& comcast = atlas_study().durations.at(asn_of("Comcast"));
+  EXPECT_FALSE(det.dominant(comcast.v4_nds).has_value());
+}
+
+TEST(Integration, DtagCooccurrenceHigh) {
+  const auto& d = atlas_study().durations.at(asn_of("DTAG"));
+  EXPECT_GT(d.cooccurrence(), 0.85) << "paper: 90.6% same-hour changes";
+  const auto& c = atlas_study().durations.at(asn_of("Comcast"));
+  EXPECT_LT(c.cooccurrence(), 0.4) << "paper: mostly not co-occurring";
+}
+
+TEST(Integration, Table2ShapesHold) {
+  const auto& spatial = atlas_study().spatial;
+  const auto& dtag = spatial.at(asn_of("DTAG"));
+  EXPECT_GT(dtag.pct_v4_diff_24(), 85.0);
+  EXPECT_NEAR(dtag.pct_v4_diff_bgp(), 27.0, 10.0);
+  EXPECT_LT(dtag.pct_v6_diff_bgp(), 2.0);
+  const auto& free_sas = spatial.at(asn_of("Free SAS"));
+  EXPECT_GT(free_sas.pct_v6_diff_bgp(), 15.0) << "the Table-2 outlier";
+  // v6 moves cross BGP prefixes far less often than v4, everywhere.
+  for (const auto& [asn, s] : spatial) {
+    if (s.v4_changes < 50 || s.v6_changes < 50) continue;
+    EXPECT_LT(s.pct_v6_diff_bgp(), s.pct_v4_diff_bgp())
+        << atlas_study().as_names.at(asn);
+  }
+}
+
+TEST(Integration, SubscriberInferenceRecoversDelegations) {
+  auto modal = [&](const char* name) {
+    const auto& infs = atlas_study().subscriber_inference.at(asn_of(name));
+    std::map<int, int> hist;
+    for (const auto& i : infs) ++hist[i.inferred_len];
+    int best = 0, n = 0;
+    for (auto& [len, c] : hist)
+      if (c > n) { n = c; best = len; }
+    return best;
+  };
+  EXPECT_EQ(modal("Orange"), 56);
+  EXPECT_EQ(modal("Versatel"), 56);
+  EXPECT_EQ(modal("Kabel DE"), 62);
+  EXPECT_EQ(modal("Netcologne"), 48);
+}
+
+TEST(Integration, DtagInferenceBimodal) {
+  // Zero-filling CPEs resolve to /56; scrambling CPEs pollute to /64.
+  const auto& infs = atlas_study().subscriber_inference.at(asn_of("DTAG"));
+  int at56 = 0, at64 = 0;
+  for (const auto& i : infs) {
+    at56 += i.inferred_len == 56;
+    at64 += i.inferred_len == 64;
+  }
+  EXPECT_GT(at56, 0);
+  EXPECT_GT(at64, 0);
+  EXPECT_GT(at56 + at64, int(0.8 * double(infs.size())));
+}
+
+TEST(Integration, PoolInferenceFindsThe40s) {
+  const auto& pools = atlas_study().pool_inference.at(asn_of("DTAG"));
+  ASSERT_FALSE(pools.empty());
+  int at40ish = 0;
+  for (const auto& p : pools) at40ish += p.pool_len >= 38 && p.pool_len <= 42;
+  EXPECT_GT(double(at40ish), 0.5 * double(pools.size()))
+      << "DTAG pools are /40s";
+}
+
+TEST(Integration, Fig8UniquePoolPrefixesFew) {
+  const auto& s = atlas_study().spatial.at(asn_of("DTAG"));
+  const auto& u40 = s.unique_prefixes.at(40);
+  const auto& u64 = s.unique_prefixes.at(64);
+  ASSERT_FALSE(u40.empty());
+  double mean40 = 0, mean64 = 0;
+  for (auto v : u40) mean40 += v;
+  for (auto v : u64) mean64 += v;
+  mean40 /= double(u40.size());
+  mean64 /= double(u64.size());
+  EXPECT_LT(mean40, 4.0) << "probes see only a handful of /40s";
+  EXPECT_GT(mean64, 10.0) << "but many distinct /64s";
+}
+
+TEST(Integration, CdnMobileVsFixedDurations) {
+  const auto& an = cdn_study().analyzer;
+  std::vector<double> fixed, mobile;
+  for (const auto& [cls, durations] : an.registry_durations()) {
+    auto& sink = cls.mobile ? mobile : fixed;
+    sink.insert(sink.end(), durations.begin(), durations.end());
+  }
+  ASSERT_FALSE(fixed.empty());
+  ASSERT_FALSE(mobile.empty());
+  double fixed_median = stats::median(fixed);
+  double mobile_median = stats::median(mobile);
+  EXPECT_LE(mobile_median, 2.0);
+  EXPECT_GE(fixed_median, 20.0);
+  EXPECT_GT(fixed_median, 10.0 * mobile_median)
+      << "paper: fixed associations last ~60x longer at median";
+}
+
+TEST(Integration, CdnCardinalityShapes) {
+  const auto& an = cdn_study().analyzer;
+  std::uint32_t mobile_max = 0;
+  std::vector<double> fixed_degrees;
+  for (const auto& [degree, mobile] : an.degrees()) {
+    if (mobile)
+      mobile_max = std::max(mobile_max, degree);
+    else
+      fixed_degrees.push_back(double(degree));
+  }
+  EXPECT_GT(mobile_max, 5000u) << "CGNAT multiplexing";
+  ASSERT_FALSE(fixed_degrees.empty());
+  double med = stats::median(fixed_degrees);
+  EXPECT_GT(med, 40.0);
+  EXPECT_LT(med, 600.0) << "fixed degrees sit near the /24 active count";
+}
+
+TEST(Integration, CdnTrailingZerosPerRegistry) {
+  const auto& z = cdn_study().analyzer.zero_counts();
+  auto frac = [&](bgp::Registry r, bool mobile) {
+    auto it = z.find(core::RegistryClass{r, mobile});
+    return it == z.end() ? 0.0 : it->second.inferable_fraction();
+  };
+  // Fixed: RIPE/AFRINIC high, LACNIC low (Fig. 7).
+  EXPECT_GT(frac(bgp::Registry::kRipe, false), 0.5);
+  EXPECT_GT(frac(bgp::Registry::kAfrinic, false), 0.6);
+  EXPECT_LT(frac(bgp::Registry::kLacnic, false), 0.3);
+  // Mobile: nothing beyond chance.
+  for (bgp::Registry r : bgp::kAllRegistries)
+    EXPECT_LT(frac(r, true), 0.12) << bgp::registry_name(r);
+}
+
+TEST(Integration, CdnAsnFilterRemovesNoise) {
+  const auto& an = cdn_study().analyzer;
+  EXPECT_GT(an.total_mismatched(), 0u);
+  double share = double(an.total_mismatched()) /
+                 double(an.total_tuples() + an.total_mismatched());
+  EXPECT_LT(share, 0.05);
+}
+
+TEST(Integration, EeLtdDraysRipeMobileTail) {
+  const auto& an = cdn_study().analyzer;
+  auto it = an.by_asn().find(12576);
+  ASSERT_NE(it, an.by_asn().end());
+  EXPECT_TRUE(it->second.mobile);
+  double med = stats::median(it->second.durations_days);
+  EXPECT_GT(med, 5.0) << "EE durations reach tens of days";
+}
+
+}  // namespace
+}  // namespace dynamips

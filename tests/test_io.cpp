@@ -1,0 +1,153 @@
+#include "io/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+
+namespace dynamips::io {
+namespace {
+
+TEST(Csv, SplitBasic) {
+  auto f = split_csv("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, SplitEmptyFields) {
+  auto f = split_csv("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(Csv, JoinRoundTrip) {
+  EXPECT_EQ(join_csv({"x", "y", "z"}), "x,y,z");
+  EXPECT_EQ(join_csv({}), "");
+}
+
+TEST(EchoIo, V4RoundTrip) {
+  atlas::EchoRecord r;
+  r.probe_id = 12345;
+  r.hour = 99;
+  r.family = atlas::Family::kV4;
+  r.x_client_ip4 = *net::IPv4Address::parse("80.1.2.3");
+  r.src_addr4 = *net::IPv4Address::parse("192.168.1.5");
+  std::string line = to_csv(r);
+  EXPECT_EQ(line, "12345,99,4,80.1.2.3,192.168.1.5");
+  auto parsed = echo_from_csv(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->probe_id, r.probe_id);
+  EXPECT_EQ(parsed->hour, r.hour);
+  EXPECT_EQ(parsed->x_client_ip4, r.x_client_ip4);
+  EXPECT_EQ(parsed->src_addr4, r.src_addr4);
+}
+
+TEST(EchoIo, V6RoundTrip) {
+  atlas::EchoRecord r;
+  r.probe_id = 7;
+  r.hour = 1;
+  r.family = atlas::Family::kV6;
+  r.x_client_ip6 = *net::IPv6Address::parse("2003:ec57:1100::1");
+  r.src_addr6 = r.x_client_ip6;
+  auto parsed = echo_from_csv(to_csv(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->family, atlas::Family::kV6);
+  EXPECT_EQ(parsed->x_client_ip6, r.x_client_ip6);
+}
+
+TEST(EchoIo, RejectsMalformed) {
+  EXPECT_FALSE(echo_from_csv("").has_value());
+  EXPECT_FALSE(echo_from_csv("1,2,3").has_value());
+  EXPECT_FALSE(echo_from_csv("1,2,5,80.1.2.3,192.168.1.5").has_value());
+  EXPECT_FALSE(echo_from_csv("x,2,4,80.1.2.3,192.168.1.5").has_value());
+  EXPECT_FALSE(echo_from_csv("1,2,4,not-an-ip,192.168.1.5").has_value());
+  EXPECT_FALSE(echo_from_csv("1,2,6,2003::1,not-v6").has_value());
+  EXPECT_FALSE(echo_from_csv("1,2,4,2003::1,2003::1").has_value())
+      << "v6 address in a v4 record";
+}
+
+TEST(EchoIo, StreamRoundTripWithHeader) {
+  atlas::ProbeSeries series;
+  series.meta.probe_id = 42;
+  for (int i = 0; i < 5; ++i) {
+    atlas::EchoRecord r;
+    r.probe_id = 42;
+    r.hour = simnet::Hour(i);
+    r.family = i % 2 ? atlas::Family::kV6 : atlas::Family::kV4;
+    r.x_client_ip4 = *net::IPv4Address::parse("80.1.2.3");
+    r.src_addr4 = *net::IPv4Address::parse("192.168.1.5");
+    r.x_client_ip6 = *net::IPv6Address::parse("2003::1");
+    r.src_addr6 = r.x_client_ip6;
+    series.records.push_back(r);
+  }
+  std::stringstream ss;
+  write_echo_csv(ss, series);
+  auto loaded = read_echo_csv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.probe_id, 42u);
+  ASSERT_EQ(loaded->records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(loaded->records[i].family, series.records[i].family);
+}
+
+TEST(EchoIo, StreamRejectsMixedProbes) {
+  std::stringstream ss;
+  ss << "1,0,4,80.1.2.3,192.168.1.5\n2,1,4,80.1.2.4,192.168.1.5\n";
+  EXPECT_FALSE(read_echo_csv(ss).has_value());
+}
+
+TEST(AssocIo, RoundTrip) {
+  cdn::AssociationRecord r;
+  r.day = 17;
+  r.v4_24 = *net::Prefix4::parse("80.1.2.0/24");
+  r.v6_64 = *net::Prefix6::parse("2003:ec57:11:2200::/64");
+  r.asn4 = 3320;
+  r.asn6 = 3320;
+  std::string line = to_csv(r);
+  EXPECT_EQ(line, "17,80.1.2.0/24,2003:ec57:11:2200::/64,3320,3320");
+  auto parsed = assoc_from_csv(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->day, 17u);
+  EXPECT_EQ(parsed->v4_24, r.v4_24);
+  EXPECT_EQ(parsed->v6_64, r.v6_64);
+  EXPECT_EQ(parsed->asn4, 3320u);
+}
+
+TEST(AssocIo, RejectsMalformed) {
+  EXPECT_FALSE(assoc_from_csv("").has_value());
+  EXPECT_FALSE(assoc_from_csv("1,2,3,4").has_value());
+  EXPECT_FALSE(assoc_from_csv("x,80.1.2.0/24,2003::/64,1,1").has_value());
+  EXPECT_FALSE(assoc_from_csv("1,80.1.2.0,2003::/64,1,1").has_value())
+      << "missing prefix length";
+  EXPECT_FALSE(assoc_from_csv("1,80.1.2.0/24,2003::,1,1").has_value());
+}
+
+TEST(AssocIo, StreamRoundTrip) {
+  cdn::AssociationLog log;
+  for (int d = 0; d < 4; ++d) {
+    cdn::AssociationRecord r;
+    r.day = std::uint32_t(d);
+    r.v4_24 = *net::Prefix4::parse("80.1.2.0/24");
+    r.v6_64 = *net::Prefix6::parse("2003:ec57:11:2200::/64");
+    r.asn4 = r.asn6 = 3320;
+    log.records.push_back(r);
+  }
+  std::stringstream ss;
+  write_assoc_csv(ss, log);
+  auto loaded = read_assoc_csv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 4u);
+}
+
+TEST(AssocIo, EmptyStreamYieldsEmptyLog) {
+  std::stringstream ss;
+  auto loaded = read_assoc_csv(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->records.empty());
+}
+
+}  // namespace
+}  // namespace dynamips::io

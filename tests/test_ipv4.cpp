@@ -1,0 +1,105 @@
+#include "netaddr/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::net {
+namespace {
+
+TEST(IPv4, ParseBasic) {
+  auto a = IPv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xc0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(IPv4, ParseBounds) {
+  EXPECT_TRUE(IPv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(IPv4Address::parse("255.255.255.255").has_value());
+  EXPECT_EQ(IPv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(IPv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv4Address::parse("").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(IPv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(IPv4Address::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.").has_value());
+  EXPECT_FALSE(IPv4Address::parse(".1.2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse("-1.2.3.4").has_value());
+}
+
+TEST(IPv4, ParseRejectsLeadingZeros) {
+  EXPECT_FALSE(IPv4Address::parse("01.2.3.4").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.02.3.4").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.04").has_value());
+  EXPECT_TRUE(IPv4Address::parse("0.2.3.4").has_value());
+}
+
+TEST(IPv4, Octets) {
+  auto a = IPv4Address::from_octets(10, 20, 30, 40);
+  auto o = a.octets();
+  EXPECT_EQ(o[0], 10);
+  EXPECT_EQ(o[1], 20);
+  EXPECT_EQ(o[2], 30);
+  EXPECT_EQ(o[3], 40);
+}
+
+TEST(IPv4, Rfc1918) {
+  EXPECT_TRUE(IPv4Address::parse("10.0.0.1")->is_rfc1918());
+  EXPECT_TRUE(IPv4Address::parse("10.255.255.254")->is_rfc1918());
+  EXPECT_TRUE(IPv4Address::parse("172.16.0.1")->is_rfc1918());
+  EXPECT_TRUE(IPv4Address::parse("172.31.255.1")->is_rfc1918());
+  EXPECT_FALSE(IPv4Address::parse("172.32.0.1")->is_rfc1918());
+  EXPECT_FALSE(IPv4Address::parse("172.15.0.1")->is_rfc1918());
+  EXPECT_TRUE(IPv4Address::parse("192.168.1.1")->is_rfc1918());
+  EXPECT_FALSE(IPv4Address::parse("192.169.1.1")->is_rfc1918());
+  EXPECT_FALSE(IPv4Address::parse("8.8.8.8")->is_rfc1918());
+}
+
+TEST(IPv4, Rfc6598) {
+  EXPECT_TRUE(IPv4Address::parse("100.64.0.1")->is_rfc6598());
+  EXPECT_TRUE(IPv4Address::parse("100.127.255.254")->is_rfc6598());
+  EXPECT_FALSE(IPv4Address::parse("100.128.0.1")->is_rfc6598());
+  EXPECT_FALSE(IPv4Address::parse("100.63.255.255")->is_rfc6598());
+}
+
+TEST(IPv4, CommonPrefixLength) {
+  auto a = *IPv4Address::parse("192.0.2.1");
+  EXPECT_EQ(common_prefix_length(a, a), 32);
+  auto b = *IPv4Address::parse("192.0.2.0");
+  EXPECT_EQ(common_prefix_length(a, b), 31);
+  auto c = *IPv4Address::parse("192.0.3.1");
+  EXPECT_EQ(common_prefix_length(a, c), 23);
+  auto d = *IPv4Address::parse("64.0.2.1");
+  EXPECT_EQ(common_prefix_length(a, d), 0);
+}
+
+TEST(IPv4, Ordering) {
+  EXPECT_LT(*IPv4Address::parse("1.2.3.4"), *IPv4Address::parse("1.2.3.5"));
+  EXPECT_LT(*IPv4Address::parse("9.255.255.255"),
+            *IPv4Address::parse("10.0.0.0"));
+}
+
+// Round-trip sweep across a spread of values.
+class IPv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IPv4RoundTrip, ParseFormatsBack) {
+  IPv4Address a{GetParam()};
+  auto parsed = IPv4Address::parse(a.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IPv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0xffffffffu, 0x01020304u,
+                                           0xc0a80101u, 0x0a000001u,
+                                           0x7f000001u, 0xdeadbeefu,
+                                           0x80000000u, 0x00ffff00u));
+
+}  // namespace
+}  // namespace dynamips::net

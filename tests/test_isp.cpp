@@ -1,0 +1,155 @@
+#include "simnet/isp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dynamips::simnet {
+namespace {
+
+TEST(Isp, RosterContainsTable1AndExtras) {
+  auto isps = paper_isps();
+  int table1 = 0;
+  std::set<std::string> names;
+  for (const auto& p : isps) {
+    names.insert(p.name);
+    table1 += p.in_table1;
+  }
+  EXPECT_EQ(table1, 10) << "exactly the ten Table-1 ASes";
+  for (const char* expected :
+       {"DTAG", "Comcast", "Orange", "LGI", "Free SAS", "Kabel DE",
+        "Proximus", "Versatel", "BT", "Netcologne", "Sky U.K.", "ANTEL",
+        "Global Village", "Telefonica DE", "M-net"})
+    EXPECT_TRUE(names.count(expected)) << expected;
+}
+
+TEST(Isp, FindIspByName) {
+  auto dtag = find_isp("DTAG");
+  ASSERT_TRUE(dtag.has_value());
+  EXPECT_EQ(dtag->asn, 3320u);
+  EXPECT_EQ(dtag->country, "Germany");
+  EXPECT_FALSE(find_isp("Nonexistent ISP").has_value());
+}
+
+TEST(Isp, Fig1RosterOrder) {
+  auto six = fig1_isps();
+  ASSERT_EQ(six.size(), 6u);
+  EXPECT_EQ(six[0].name, "DTAG");
+  EXPECT_EQ(six[5].name, "Proximus");
+}
+
+TEST(Isp, AsnsAreUnique) {
+  std::set<bgp::Asn> asns;
+  for (const auto& p : paper_isps()) {
+    EXPECT_TRUE(asns.insert(p.asn).second)
+        << "duplicate ASN " << p.asn << " (" << p.name << ")";
+  }
+}
+
+TEST(Isp, ProbabilitiesInRange) {
+  for (const auto& p : paper_isps()) {
+    SCOPED_TRACE(p.name);
+    for (double v :
+         {p.dualstack_share, p.static_share, p.couple_v6_to_v4, p.p_same24,
+          p.p_same_bgp4, p.p_same_bgp6, p.cpe_scramble_share,
+          p.ds_uses_nds_share, p.home_pool_secondary_weight}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Isp, PoolLenWithinAnnouncementsAndDelegations) {
+  for (const auto& p : paper_isps()) {
+    SCOPED_TRACE(p.name);
+    ASSERT_FALSE(p.bgp4.empty());
+    ASSERT_FALSE(p.bgp6.empty());
+    for (const auto& a : p.bgp6)
+      EXPECT_LE(a.length(), p.v6_pool_len)
+          << "pools must nest inside announcements";
+    double wsum = 0;
+    for (const auto& e : p.delegation.entries) {
+      EXPECT_GE(e.length, p.v6_pool_len)
+          << "delegations must nest inside pools";
+      EXPECT_LE(e.length, 64);
+      EXPECT_GT(e.weight, 0.0);
+      wsum += e.weight;
+    }
+    EXPECT_GT(wsum, 0.0);
+  }
+}
+
+TEST(Isp, AnnouncementsAreDisjointAcrossIsps) {
+  // Overlapping announcements would make LPM attribute one ISP's addresses
+  // to another, corrupting the sanitizer's AS-run logic.
+  auto isps = paper_isps();
+  for (std::size_t i = 0; i < isps.size(); ++i) {
+    for (std::size_t j = i + 1; j < isps.size(); ++j) {
+      for (const auto& a : isps[i].bgp4)
+        for (const auto& b : isps[j].bgp4)
+          EXPECT_FALSE(a.contains(b) || b.contains(a))
+              << isps[i].name << " " << a.to_string() << " vs "
+              << isps[j].name << " " << b.to_string();
+      for (const auto& a : isps[i].bgp6)
+        for (const auto& b : isps[j].bgp6)
+          EXPECT_FALSE(a.contains(b) || b.contains(a))
+              << isps[i].name << " " << a.to_string() << " vs "
+              << isps[j].name << " " << b.to_string();
+    }
+  }
+}
+
+TEST(Isp, AnnounceAllPopulatesRib) {
+  bgp::Rib rib;
+  auto isps = paper_isps();
+  announce_all(isps, rib);
+  EXPECT_GT(rib.v4_size(), isps.size());
+  EXPECT_GE(rib.v6_size(), isps.size());
+  // Spot checks: DTAG spaces resolve to 3320.
+  EXPECT_EQ(rib.asn_of(*net::IPv4Address::parse("79.200.1.2")), 3320u);
+  EXPECT_EQ(rib.asn_of(*net::IPv6Address::parse("2003:40::1")), 3320u);
+  EXPECT_EQ(rib.asn_of(*net::IPv4Address::parse("24.5.6.7")), 7922u);
+}
+
+TEST(Isp, PeriodicGermansHave24HourLeases) {
+  for (const char* name : {"DTAG", "Versatel", "Netcologne"}) {
+    auto p = find_isp(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->v4_nds.lease_hours, 24u) << name;
+  }
+  EXPECT_EQ(find_isp("ANTEL")->v4_nds.lease_hours, 12u);
+  EXPECT_EQ(find_isp("Global Village")->v4_nds.lease_hours, 48u);
+  EXPECT_EQ(find_isp("Orange")->v4_nds.lease_hours, 168u);
+  EXPECT_EQ(find_isp("BT")->v4_nds.lease_hours, 336u);
+  EXPECT_EQ(find_isp("Proximus")->v4_nds.lease_hours, 36u);
+}
+
+TEST(Isp, VerifiedDelegationLengths) {
+  // The paper verified these against operator documentation.
+  auto modal = [](const IspProfile& p) {
+    int best = 0;
+    double w = -1;
+    for (const auto& e : p.delegation.entries)
+      if (e.weight > w) { w = e.weight; best = e.length; }
+    return best;
+  };
+  EXPECT_EQ(modal(*find_isp("DTAG")), 56);
+  EXPECT_EQ(modal(*find_isp("Orange")), 56);
+  EXPECT_EQ(modal(*find_isp("Sky U.K.")), 56);
+  EXPECT_EQ(modal(*find_isp("Kabel DE")), 62);
+  EXPECT_EQ(modal(*find_isp("Netcologne")), 48);
+}
+
+TEST(Isp, DeterministicRoster) {
+  auto a = paper_isps();
+  auto b = paper_isps();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].asn, b[i].asn);
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

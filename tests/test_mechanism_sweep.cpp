@@ -1,0 +1,97 @@
+// test_mechanism_sweep — parameterized cross-validation: for each
+// renumbering period the paper reports (12 h ANTEL, 24 h German ISPs,
+// 36 h Proximus, 48 h Global Village, 1 w Orange, 2 w BT), the
+// protocol-level RADIUS machinery must produce duration distributions
+// whose dominant mode the periodicity detector recovers at exactly that
+// period.
+#include <gtest/gtest.h>
+
+#include "netaddr/rng.h"
+#include "simnet/dhcpd.h"
+#include "stats/periodicity.h"
+#include "stats/ttf.h"
+
+namespace dynamips::simnet {
+namespace {
+
+class MechanismSweep : public ::testing::TestWithParam<Hour> {};
+
+TEST_P(MechanismSweep, RadiusSessionsYieldTheConfiguredPeriod) {
+  Hour period = GetParam();
+  V4AddressPlan plan({*net::Prefix4::parse("10.0.0.0/12")}, 0.05, 1.0);
+  RadiusAllocator radius(plan, {.session_timeout = period}, period);
+  net::Rng rng(period * 31);
+
+  stats::TotalTimeFraction ttf;
+  const Hour window = 80 * period;
+  for (int sub = 0; sub < 50; ++sub) {
+    std::vector<Hour> changes;
+    net::IPv4Address prev{};
+    Hour t = 0;
+    Hour next_reboot = Hour(rng.exponential(double(kHoursPerYear) / 4));
+    while (t < window) {
+      auto session = radius.connect(ClientId(sub), t);
+      if (session.addr != prev) changes.push_back(t);
+      prev = session.addr;
+      Hour end = session.timeout_at;
+      if (next_reboot > t && next_reboot < end) {
+        end = next_reboot;
+        next_reboot = end + 1 + Hour(rng.exponential(
+                                    double(kHoursPerYear) / 4));
+      }
+      t = end;
+    }
+    for (std::size_t i = 1; i + 1 < changes.size(); ++i)
+      ttf.add(changes[i + 1] - changes[i]);
+  }
+
+  stats::PeriodicityDetector det;
+  auto mode = det.dominant(ttf);
+  // Candidate set must include the swept period.
+  auto modes = det.detect(ttf, {period});
+  ASSERT_FALSE(modes.empty()) << period;
+  EXPECT_EQ(modes.front().period_hours, period);
+  if (mode) {
+    EXPECT_EQ(mode->period_hours, period);
+  }
+  EXPECT_GT(modes.front().time_fraction, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPeriods, MechanismSweep,
+                         ::testing::Values(Hour(12), Hour(24), Hour(36),
+                                           Hour(48), Hour(168), Hour(336)));
+
+class LeaseMemorySweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LeaseMemorySweep, RememberedBindingsControlStability) {
+  bool remember = GetParam();
+  V4AddressPlan plan({*net::Prefix4::parse("10.0.0.0/12")}, 0.05, 1.0);
+  Dhcp4Server v4(plan, {.lease_time = 24, .remember_expired = remember},
+                 99);
+  V6AddressPlan plan6({*net::Prefix6::parse("2003::/19")}, 40, 1.0);
+  Dhcp6PdServer v6(plan6,
+                   {.lease_time = 24, .delegation_len = 56,
+                    .remember_expired = remember},
+                   98);
+  // CPEs with long outages that outlive the lease.
+  int changes = 0, runs = 20;
+  for (int sub = 0; sub < runs; ++sub) {
+    CpeDriver cpe(v4, v6,
+                  {.reboots_per_year = 24, .mean_downtime_hours = 72},
+                  1000 + std::uint64_t(sub));
+    auto obs = cpe.run(ClientId(sub), 0, 8760);
+    changes += int(obs.v4.size()) - 1;
+  }
+  if (remember) {
+    EXPECT_LT(changes, runs * 2)
+        << "binding memory rides out outages (Comcast-style)";
+  } else {
+    EXPECT_GT(changes, runs * 5)
+        << "forgetful servers renumber after every long outage";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memory, LeaseMemorySweep, ::testing::Bool());
+
+}  // namespace
+}  // namespace dynamips::simnet

@@ -1,0 +1,105 @@
+#include "stats/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::stats {
+namespace {
+
+TEST(Periodicity, Detects24HourMode) {
+  // DTAG-style: most assignments last exactly 24 h, a few renew to 48 h.
+  TotalTimeFraction t;
+  t.add(24, 1000);
+  t.add(48, 50);
+  t.add(700, 3);
+  PeriodicityDetector det;
+  auto dom = det.dominant(t);
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_EQ(dom->period_hours, 24u);
+  EXPECT_GT(dom->time_fraction, 0.8);
+}
+
+TEST(Periodicity, DetectsWeeklyMode) {
+  TotalTimeFraction t;
+  t.add(168, 500);
+  t.add(336, 20);
+  PeriodicityDetector det;
+  auto modes = det.detect(t);
+  ASSERT_FALSE(modes.empty());
+  EXPECT_EQ(modes.front().period_hours, 168u);
+}
+
+TEST(Periodicity, NoModeInLongTail) {
+  // Comcast-style: long, spread-out durations with no periodic structure.
+  TotalTimeFraction t;
+  net::Rng rng(3);
+  for (int i = 0; i < 1000; ++i)
+    t.add(std::uint64_t(rng.exponential(2000.0)) + 500);
+  PeriodicityDetector det;
+  EXPECT_FALSE(det.dominant(t).has_value());
+}
+
+TEST(Periodicity, ToleranceCapturesJitter) {
+  // Renewals at 23-25 h due to hourly sampling jitter still count as 24 h.
+  TotalTimeFraction t;
+  t.add(23, 300);
+  t.add(24, 400);
+  t.add(25, 300);
+  PeriodicityDetector det;
+  auto dom = det.dominant(t);
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_EQ(dom->period_hours, 24u);
+  EXPECT_NEAR(dom->time_fraction, 1.0, 1e-9);
+}
+
+TEST(Periodicity, MassNearIsWindowed) {
+  TotalTimeFraction t;
+  t.add(24, 100);
+  t.add(30, 100);  // outside the 10% window of 24
+  PeriodicityDetector det;
+  double m = det.mass_near(t, 24);
+  EXPECT_NEAR(m, 24.0 * 100 / (24.0 * 100 + 30.0 * 100), 1e-9);
+}
+
+TEST(Periodicity, BelowThresholdRejected) {
+  TotalTimeFraction t;
+  t.add(24, 10);     // small periodic component
+  t.add(8000, 100);  // dominated by long static assignments
+  PeriodicityDetector det;
+  EXPECT_FALSE(det.check(t, 24).has_value());
+}
+
+TEST(Periodicity, ExtraCandidates) {
+  // ANTEL's 12 h and Global Village's 48 h periods are default candidates;
+  // a custom 60 h period must be passed explicitly.
+  TotalTimeFraction t;
+  t.add(60, 1000);
+  PeriodicityDetector det;
+  EXPECT_TRUE(det.detect(t).empty());
+  auto modes = det.detect(t, {60});
+  ASSERT_EQ(modes.size(), 1u);
+  EXPECT_EQ(modes.front().period_hours, 60u);
+}
+
+TEST(Periodicity, OverlapDeduplication) {
+  // Candidates 24 h and 27 h have overlapping 10% windows ([21.6,26.4] and
+  // [24.3,29.7]); both qualify, so the stronger one must win the dedup.
+  TotalTimeFraction t;
+  t.add(24, 700);
+  t.add(27, 300);
+  PeriodicityDetector det;
+  auto modes = det.detect(t, {27});
+  ASSERT_EQ(modes.size(), 1u) << "overlapping windows must deduplicate";
+  EXPECT_EQ(modes.front().period_hours, 24u);
+}
+
+TEST(Periodicity, EmptyAccumulator) {
+  TotalTimeFraction t;
+  PeriodicityDetector det;
+  EXPECT_FALSE(det.dominant(t).has_value());
+  EXPECT_EQ(det.mass_near(t, 24), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamips::stats

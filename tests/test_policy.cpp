@@ -1,0 +1,137 @@
+#include "simnet/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::simnet {
+namespace {
+
+using net::Rng;
+
+TEST(Policy, StaticPolicyNeverChanges) {
+  ChangePolicy p;  // all zeros
+  EXPECT_TRUE(p.is_static());
+  Rng rng(1);
+  auto d = draw_assignment_duration(p, rng);
+  EXPECT_EQ(d.hours, kNoEnd);
+  EXPECT_EQ(d.cause, ChangeCause::kNone);
+}
+
+TEST(Policy, OutageWithoutChangeProbIsStatic) {
+  ChangePolicy p;
+  p.outages_per_year = 10;
+  p.change_on_outage_prob = 0;
+  EXPECT_TRUE(p.is_static());
+}
+
+TEST(Policy, RadiusStyleLeaseIsExact) {
+  // keep_prob 0: every lease expiry renumbers, duration == lease exactly.
+  ChangePolicy p;
+  p.lease_hours = 24;
+  p.renew_keep_prob = 0.0;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    auto d = draw_assignment_duration(p, rng);
+    EXPECT_EQ(d.hours, 24u);
+    EXPECT_EQ(d.cause, ChangeCause::kLease);
+  }
+}
+
+TEST(Policy, DhcpRenewalsYieldLeaseMultiples) {
+  ChangePolicy p;
+  p.lease_hours = 24;
+  p.renew_keep_prob = 0.6;
+  Rng rng(3);
+  std::map<Hour, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    auto d = draw_assignment_duration(p, rng);
+    EXPECT_EQ(d.hours % 24, 0u) << "durations must be lease multiples";
+    ++counts[d.hours];
+  }
+  // Geometric: P(24h) ~ 0.4, P(48h) ~ 0.24.
+  EXPECT_NEAR(double(counts[24]) / 5000.0, 0.4, 0.03);
+  EXPECT_NEAR(double(counts[48]) / 5000.0, 0.24, 0.03);
+}
+
+TEST(Policy, AdminRenumberingIsExponential) {
+  ChangePolicy p;
+  p.mean_admin_hours = 1000;
+  Rng rng(4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto d = draw_assignment_duration(p, rng);
+    EXPECT_EQ(d.cause, ChangeCause::kAdmin);
+    EXPECT_GE(d.hours, 1u);
+    sum += double(d.hours);
+  }
+  EXPECT_NEAR(sum / n, 1000.0, 30.0);
+}
+
+TEST(Policy, OutageDrivenChange) {
+  ChangePolicy p;
+  p.outages_per_year = 12;    // monthly
+  p.change_on_outage_prob = 1.0;
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto d = draw_assignment_duration(p, rng);
+    EXPECT_EQ(d.cause, ChangeCause::kOutage);
+    sum += double(d.hours);
+  }
+  EXPECT_NEAR(sum / n, 730.0, 30.0);  // mean gap = 8760/12
+}
+
+TEST(Policy, CompositionPicksEarliest) {
+  // Short lease dominates a long admin process.
+  ChangePolicy p;
+  p.lease_hours = 24;
+  p.renew_keep_prob = 0.0;
+  p.mean_admin_hours = 100000;
+  Rng rng(6);
+  int lease_wins = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto d = draw_assignment_duration(p, rng);
+    EXPECT_LE(d.hours, 24u);
+    lease_wins += d.cause == ChangeCause::kLease;
+  }
+  EXPECT_GT(lease_wins, 990);
+}
+
+TEST(Policy, KeepProbOneDegradesToStaticDraw) {
+  ChangePolicy p;
+  p.lease_hours = 24;
+  p.renew_keep_prob = 1.0;
+  Rng rng(7);
+  auto d = draw_assignment_duration(p, rng);
+  // Chain is capped; either very long or treated as no lease change.
+  EXPECT_TRUE(d.hours == kNoEnd || d.hours >= 24u * 4000);
+}
+
+TEST(Policy, DelegationDrawRespectsWeights) {
+  DelegationPolicy d;
+  d.entries = {{56, 0.7}, {64, 0.3}};
+  Rng rng(8);
+  int n56 = 0, n64 = 0, other = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int len = d.draw(rng);
+    if (len == 56) ++n56;
+    else if (len == 64) ++n64;
+    else ++other;
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_NEAR(double(n56) / 10000.0, 0.7, 0.02);
+}
+
+TEST(Policy, DelegationSingleEntry) {
+  DelegationPolicy d;  // default {56, 1.0}
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.draw(rng), 56);
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

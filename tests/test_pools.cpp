@@ -1,0 +1,219 @@
+#include "simnet/pools.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::simnet {
+namespace {
+
+using net::IPv4Address;
+using net::Prefix4;
+using net::Prefix6;
+using net::Rng;
+
+TEST(Pools, RandomSubprefixStaysInsideParent) {
+  Rng rng(1);
+  auto parent = *Prefix6::parse("2003::/19");
+  for (int i = 0; i < 500; ++i) {
+    Prefix6 child = random_subprefix(parent, 56, rng);
+    EXPECT_EQ(child.length(), 56);
+    EXPECT_TRUE(parent.contains(child)) << child.to_string();
+    // Canonical: no bits below /56.
+    EXPECT_TRUE((child.address().bits() & ~net::mask128(56)).is_zero());
+  }
+}
+
+TEST(Pools, RandomSubprefixSameLengthIsIdentity) {
+  Rng rng(2);
+  auto parent = *Prefix6::parse("2a02:8100::/22");
+  EXPECT_EQ(random_subprefix(parent, 22, rng), parent);
+}
+
+TEST(Pools, RandomSubprefixCoversTheSpace) {
+  // Drawing /21s from a /19 must produce all four children.
+  Rng rng(3);
+  auto parent = *Prefix6::parse("2003::/19");
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(random_subprefix(parent, 21, rng).address().network64());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Pools, RandomHostAvoidsNetworkAndBroadcast) {
+  Rng rng(4);
+  auto block = *Prefix4::parse("192.0.2.0/24");
+  for (int i = 0; i < 1000; ++i) {
+    IPv4Address a = random_host(block, rng);
+    EXPECT_TRUE(block.contains(a));
+    EXPECT_NE(a.octets()[3], 0);
+    EXPECT_NE(a.octets()[3], 255);
+  }
+}
+
+TEST(Pools, V4PlanInitialInsideAnnouncements) {
+  Rng rng(5);
+  V4AddressPlan plan({*Prefix4::parse("10.0.0.0/12"),
+                      *Prefix4::parse("172.16.0.0/16")},
+                     0.1, 0.5);
+  for (int i = 0; i < 500; ++i) {
+    IPv4Address a = plan.initial(rng);
+    bool inside = false;
+    for (const auto& p : plan.bgp_prefixes()) inside |= p.contains(a);
+    EXPECT_TRUE(inside) << a.to_string();
+  }
+}
+
+TEST(Pools, V4PlanNextNeverReturnsSameAddress) {
+  Rng rng(6);
+  V4AddressPlan plan({*Prefix4::parse("10.0.0.0/20")}, 0.5, 1.0);
+  IPv4Address cur = plan.initial(rng);
+  for (int i = 0; i < 1000; ++i) {
+    IPv4Address next = plan.next(cur, rng);
+    EXPECT_NE(next, cur);
+    cur = next;
+  }
+}
+
+TEST(Pools, V4PlanSame24Probability) {
+  Rng rng(7);
+  V4AddressPlan plan({*Prefix4::parse("10.0.0.0/12")}, 0.3, 1.0);
+  IPv4Address cur = plan.initial(rng);
+  int same24 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    IPv4Address next = plan.next(cur, rng);
+    same24 += net::slash24_of(next) == net::slash24_of(cur);
+    cur = next;
+  }
+  EXPECT_NEAR(double(same24) / n, 0.3, 0.02);
+}
+
+TEST(Pools, V4PlanCrossBgpProbability) {
+  Rng rng(8);
+  V4AddressPlan plan({*Prefix4::parse("10.0.0.0/12"),
+                      *Prefix4::parse("20.0.0.0/12")},
+                     0.0, 0.7);
+  IPv4Address cur = plan.initial(rng);
+  int cross = 0;
+  const int n = 10000;
+  auto bgp_of = [&](IPv4Address a) {
+    return plan.bgp_prefixes()[0].contains(a) ? 0 : 1;
+  };
+  for (int i = 0; i < n; ++i) {
+    IPv4Address next = plan.next(cur, rng);
+    cross += bgp_of(next) != bgp_of(cur);
+    cur = next;
+  }
+  EXPECT_NEAR(double(cross) / n, 0.3, 0.02);
+}
+
+TEST(Pools, HomePoolsInsideAnnouncementsAndDistinct) {
+  Rng rng(9);
+  V6AddressPlan plan({*Prefix6::parse("2003::/19")}, 40, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    HomePools home = plan.assign_home_pools(3, 0.15, rng);
+    ASSERT_EQ(home.pools.size(), 3u);
+    ASSERT_EQ(home.weights.size(), 3u);
+    std::set<std::uint64_t> uniq;
+    double wsum = 0;
+    for (std::size_t i = 0; i < home.pools.size(); ++i) {
+      EXPECT_EQ(home.pools[i].length(), 40);
+      EXPECT_TRUE(
+          plan.bgp_prefixes()[0].contains(home.pools[i]));
+      uniq.insert(home.pools[i].address().network64());
+      wsum += home.weights[i];
+    }
+    EXPECT_EQ(uniq.size(), 3u) << "home pools must be distinct";
+    EXPECT_NEAR(wsum, 1.0, 1e-9);
+    EXPECT_NEAR(home.weights[0], 0.85, 1e-9);
+  }
+}
+
+TEST(Pools, SingleHomePoolGetsFullWeight) {
+  Rng rng(10);
+  V6AddressPlan plan({*Prefix6::parse("2601::/20")}, 40, 1.0);
+  HomePools home = plan.assign_home_pools(1, 0.15, rng);
+  ASSERT_EQ(home.pools.size(), 1u);
+  EXPECT_DOUBLE_EQ(home.weights[0], 1.0);
+}
+
+TEST(Pools, DelegationInsidePoolAndFresh) {
+  Rng rng(11);
+  V6AddressPlan plan({*Prefix6::parse("2003::/19")}, 40, 1.0);
+  HomePools home = plan.assign_home_pools(2, 0.15, rng);
+  net::Prefix6 cur{};
+  for (int i = 0; i < 500; ++i) {
+    Prefix6 d = plan.draw_delegation(home, 56, cur, rng);
+    EXPECT_EQ(d.length(), 56);
+    bool inside = false;
+    for (const auto& pool : home.pools) inside |= pool.contains(d);
+    EXPECT_TRUE(inside);
+    if (cur.length() > 0) {
+      EXPECT_NE(d, cur);
+    }
+    cur = d;
+  }
+}
+
+TEST(Pools, DelegationCrossBgpRate) {
+  Rng rng(12);
+  V6AddressPlan plan({*Prefix6::parse("2a01:e000::/20"),
+                      *Prefix6::parse("2a01:b000::/20")},
+                     40, 0.6);
+  HomePools home = plan.assign_home_pools(3, 0.15, rng);
+  auto bgp_of = [&](const Prefix6& p) {
+    return plan.bgp_prefixes()[0].contains(p) ? 0 : 1;
+  };
+  net::Prefix6 cur = plan.draw_delegation(home, 56, {}, rng);
+  int cross = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Prefix6 d = plan.draw_delegation(home, 56, cur, rng);
+    cross += bgp_of(d) != bgp_of(cur);
+    cur = d;
+  }
+  // Cross rate tracks 1 - p_same_bgp (up to the availability of away pools).
+  EXPECT_NEAR(double(cross) / n, 0.4, 0.08);
+}
+
+TEST(Pools, DelegationWithSingleBgpNeverCrosses) {
+  Rng rng(13);
+  V6AddressPlan plan({*Prefix6::parse("2003::/19")}, 40, 0.5);
+  HomePools home = plan.assign_home_pools(2, 0.15, rng);
+  net::Prefix6 cur = plan.draw_delegation(home, 56, {}, rng);
+  auto announced = *Prefix6::parse("2003::/19");
+  for (int i = 0; i < 200; ++i) {
+    cur = plan.draw_delegation(home, 56, cur, rng);
+    EXPECT_TRUE(announced.contains(cur));
+  }
+}
+
+// Parameterized: delegation lengths across the realistic range keep all
+// invariants (inside pool, canonical, fresh).
+class DelegationLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelegationLengths, InvariantsHold) {
+  int len = GetParam();
+  Rng rng(100 + std::uint64_t(len));
+  V6AddressPlan plan({*Prefix6::parse("2a02:8100::/22")}, 40, 1.0);
+  HomePools home = plan.assign_home_pools(2, 0.15, rng);
+  net::Prefix6 cur{};
+  for (int i = 0; i < 100; ++i) {
+    Prefix6 d = plan.draw_delegation(home, len, cur, rng);
+    EXPECT_EQ(d.length(), len);
+    EXPECT_TRUE((d.address().bits() & ~net::mask128(unsigned(len))).is_zero());
+    bool inside = false;
+    for (const auto& pool : home.pools) inside |= pool.contains(d);
+    EXPECT_TRUE(inside);
+    cur = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DelegationLengths,
+                         ::testing::Values(48, 52, 56, 60, 62, 64));
+
+}  // namespace
+}  // namespace dynamips::simnet

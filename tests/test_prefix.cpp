@@ -1,0 +1,141 @@
+#include "netaddr/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::net {
+namespace {
+
+TEST(Prefix4, ParseAndFormat) {
+  auto p = Prefix4::parse("192.0.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix4, CanonicalizesHostBits) {
+  auto p = Prefix4::parse("192.0.2.99/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->address().to_string(), "192.0.2.0");
+}
+
+TEST(Prefix4, ZeroLength) {
+  Prefix4 p{*IPv4Address::parse("255.255.255.255"), 0};
+  EXPECT_EQ(p.address().value(), 0u);
+  EXPECT_TRUE(p.contains(*IPv4Address::parse("1.2.3.4")));
+}
+
+TEST(Prefix4, FullLength) {
+  Prefix4 p{*IPv4Address::parse("10.1.2.3"), 32};
+  EXPECT_TRUE(p.contains(*IPv4Address::parse("10.1.2.3")));
+  EXPECT_FALSE(p.contains(*IPv4Address::parse("10.1.2.4")));
+}
+
+TEST(Prefix4, Contains) {
+  auto p = *Prefix4::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*IPv4Address::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(*IPv4Address::parse("11.0.0.1")));
+  EXPECT_TRUE(p.contains(*Prefix4::parse("10.1.0.0/16")));
+  EXPECT_FALSE(p.contains(*Prefix4::parse("0.0.0.0/0")));
+  EXPECT_TRUE(p.contains(p));
+}
+
+TEST(Prefix4, ParseRejects) {
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix4::parse("/24").has_value());
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/2 4").has_value());
+}
+
+TEST(Prefix6, ParseAndFormat) {
+  auto p = Prefix6::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+}
+
+TEST(Prefix6, CanonicalizesHostBits) {
+  auto p = Prefix6::parse("2001:db8:ffff:ffff::1/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->address().to_string(), "2001:db8::");
+}
+
+TEST(Prefix6, Contains) {
+  auto p = *Prefix6::parse("2003::/19");  // DTAG's announcement from §5.2
+  EXPECT_TRUE(p.contains(*IPv6Address::parse("2003:1000::1")));
+  EXPECT_FALSE(p.contains(*IPv6Address::parse("2003:ec57::1")))
+      << "2003::/19 spans only 2003:0000..2003:1fff";
+  EXPECT_FALSE(p.contains(*IPv6Address::parse("2a02::1")));
+  EXPECT_TRUE(p.contains(*Prefix6::parse("2003:1f00::/24")));
+  EXPECT_FALSE(p.contains(*Prefix6::parse("2003::/18")));
+}
+
+TEST(Prefix6, ZeroAndFullLength) {
+  Prefix6 all{*IPv6Address::parse("ffff::"), 0};
+  EXPECT_TRUE(all.contains(*IPv6Address::parse("::1")));
+  Prefix6 host{*IPv6Address::parse("2001:db8::1"), 128};
+  EXPECT_TRUE(host.contains(*IPv6Address::parse("2001:db8::1")));
+  EXPECT_FALSE(host.contains(*IPv6Address::parse("2001:db8::2")));
+}
+
+TEST(Prefix6, ParseRejects) {
+  EXPECT_FALSE(Prefix6::parse("2001:db8::").has_value());
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix6::parse("bogus/64").has_value());
+}
+
+TEST(Prefix6, Slash64Of) {
+  auto a = *IPv6Address::parse("2001:db8:1:2:3:4:5:6");
+  auto p = slash64_of(a);
+  EXPECT_EQ(p.to_string(), "2001:db8:1:2::/64");
+}
+
+TEST(Prefix4, Slash24Of) {
+  auto a = *IPv4Address::parse("198.51.100.77");
+  EXPECT_EQ(slash24_of(a).to_string(), "198.51.100.0/24");
+}
+
+// Property sweep: for every prefix length, the canonical address has no
+// bits below the length, and containment of the base address holds.
+class Prefix6Lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prefix6Lengths, CanonicalAndSelfContaining) {
+  int len = GetParam();
+  auto addr = *IPv6Address::parse("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff");
+  Prefix6 p{addr, len};
+  // All bits below `len` must be zero.
+  U128 below = p.address().bits() & ~mask128(unsigned(len));
+  EXPECT_TRUE(below.is_zero());
+  EXPECT_TRUE(p.contains(p.address()));
+  if (len > 0) {
+    EXPECT_TRUE(p.contains(addr));
+  }
+  // Round-trip through text.
+  auto rt = Prefix6::parse(p.to_string());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, Prefix6Lengths, ::testing::Range(0, 129));
+
+class Prefix4Lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prefix4Lengths, CanonicalAndSelfContaining) {
+  int len = GetParam();
+  auto addr = *IPv4Address::parse("255.255.255.255");
+  Prefix4 p{addr, len};
+  if (len < 32) {
+    std::uint32_t below = p.address().value() & ~(len == 0 ? 0u : (~0u << (32 - len)));
+    EXPECT_EQ(below, 0u);
+  }
+  EXPECT_TRUE(p.contains(p.address()));
+  auto rt = Prefix4::parse(p.to_string());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, Prefix4Lengths, ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace dynamips::net

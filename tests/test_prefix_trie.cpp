@@ -1,0 +1,257 @@
+#include "rtrie/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netaddr/rng.h"
+
+namespace dynamips::rtrie {
+namespace {
+
+using net::IPv4Address;
+using net::IPv6Address;
+using net::mask128;
+using net::Prefix4;
+using net::Prefix6;
+using net::Rng;
+using net::U128;
+
+TEST(PrefixTrie, EmptyTrie) {
+  PrefixTrie<int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(U128{}, 0), nullptr);
+  EXPECT_FALSE(t.longest_match(U128{1, 2}).has_value());
+}
+
+TEST(PrefixTrie, InsertAndFindExact) {
+  PrefixTrie<std::string> t;
+  auto p = *Prefix6::parse("2001:db8::/32");
+  EXPECT_TRUE(t.insert(key_of(p), 32, "a"));
+  EXPECT_EQ(t.size(), 1u);
+  auto* v = t.find(key_of(p), 32);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "a");
+  EXPECT_EQ(t.find(key_of(p), 31), nullptr);
+  EXPECT_EQ(t.find(key_of(p), 33), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> t;
+  U128 k{0xaa00000000000000ull, 0};
+  EXPECT_TRUE(t.insert(k, 8, 1));
+  EXPECT_FALSE(t.insert(k, 8, 2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(k, 8), 2);
+}
+
+TEST(PrefixTrie, RootValue) {
+  PrefixTrie<int> t;
+  EXPECT_TRUE(t.insert(U128{}, 0, 99));
+  EXPECT_EQ(*t.find(U128{}, 0), 99);
+  auto m = t.longest_match(U128{0xdeadbeef, 42});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix_len, 0u);
+  EXPECT_EQ(*m->value, 99);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<int> t;
+  auto p8 = *Prefix4::parse("10.0.0.0/8");
+  auto p16 = *Prefix4::parse("10.1.0.0/16");
+  auto p24 = *Prefix4::parse("10.1.2.0/24");
+  t.insert(key_of(p8), 8, 8);
+  t.insert(key_of(p16), 16, 16);
+  t.insert(key_of(p24), 24, 24);
+
+  auto m = t.longest_match(key_of(*IPv4Address::parse("10.1.2.3")));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 24);
+  EXPECT_EQ(m->prefix_len, 24u);
+
+  m = t.longest_match(key_of(*IPv4Address::parse("10.1.9.9")));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 16);
+
+  m = t.longest_match(key_of(*IPv4Address::parse("10.99.0.1")));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 8);
+
+  EXPECT_FALSE(
+      t.longest_match(key_of(*IPv4Address::parse("11.0.0.1"))).has_value());
+}
+
+TEST(PrefixTrie, SiblingSplit) {
+  PrefixTrie<int> t;
+  // Two /64s differing in the last bit of the network part force a split
+  // deep in a compressed edge.
+  auto a = *Prefix6::parse("2001:db8:0:aaaa::/64");
+  auto b = *Prefix6::parse("2001:db8:0:aaab::/64");
+  t.insert(key_of(a), 64, 1);
+  t.insert(key_of(b), 64, 2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(*t.find(key_of(a), 64), 1);
+  EXPECT_EQ(*t.find(key_of(b), 64), 2);
+}
+
+TEST(PrefixTrie, EraseLeafAndPrune) {
+  PrefixTrie<int> t;
+  auto p8 = *Prefix4::parse("10.0.0.0/8");
+  auto p24 = *Prefix4::parse("10.1.2.0/24");
+  t.insert(key_of(p8), 8, 8);
+  t.insert(key_of(p24), 24, 24);
+  EXPECT_TRUE(t.erase(key_of(p24), 24));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(key_of(p24), 24), nullptr);
+  auto m = t.longest_match(key_of(*IPv4Address::parse("10.1.2.3")));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 8);
+  EXPECT_FALSE(t.erase(key_of(p24), 24)) << "double erase must fail";
+}
+
+TEST(PrefixTrie, EraseInternalKeepsChildren) {
+  PrefixTrie<int> t;
+  auto p8 = *Prefix4::parse("10.0.0.0/8");
+  auto p24a = *Prefix4::parse("10.1.2.0/24");
+  auto p24b = *Prefix4::parse("10.200.2.0/24");
+  t.insert(key_of(p8), 8, 8);
+  t.insert(key_of(p24a), 24, 1);
+  t.insert(key_of(p24b), 24, 2);
+  EXPECT_TRUE(t.erase(key_of(p8), 8));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(*t.find(key_of(p24a), 24), 1);
+  EXPECT_EQ(*t.find(key_of(p24b), 24), 2);
+  EXPECT_FALSE(
+      t.longest_match(key_of(*IPv4Address::parse("10.99.0.1"))).has_value());
+}
+
+TEST(PrefixTrie, VisitEnumeratesAll) {
+  PrefixTrie<int> t;
+  std::vector<std::pair<U128, unsigned>> inserted = {
+      {key_of(*Prefix4::parse("10.0.0.0/8")), 8},
+      {key_of(*Prefix4::parse("10.1.0.0/16")), 16},
+      {key_of(*Prefix4::parse("192.168.0.0/16")), 16},
+      {U128{}, 0},
+  };
+  int i = 0;
+  for (auto& [k, len] : inserted) t.insert(k, len, i++);
+  std::map<std::pair<std::uint64_t, unsigned>, int> seen;
+  t.visit([&](U128 bits, unsigned len, const int& v) {
+    seen[{bits.hi, len}] = v;
+  });
+  EXPECT_EQ(seen.size(), inserted.size());
+  for (std::size_t j = 0; j < inserted.size(); ++j) {
+    auto key = std::make_pair(inserted[j].first.hi, inserted[j].second);
+    ASSERT_TRUE(seen.count(key)) << j;
+    EXPECT_EQ(seen[key], int(j));
+  }
+}
+
+TEST(PrefixSet, BasicMembership) {
+  PrefixSet<> s;
+  auto p = *Prefix6::parse("2a02:8070::/32");
+  EXPECT_TRUE(s.insert(key_of(p), 32));
+  EXPECT_FALSE(s.insert(key_of(p), 32));
+  EXPECT_TRUE(s.contains(key_of(p), 32));
+  EXPECT_TRUE(
+      s.contains_superprefix_of(key_of(*IPv6Address::parse("2a02:8070::1"))));
+  EXPECT_FALSE(
+      s.contains_superprefix_of(key_of(*IPv6Address::parse("2a03::1"))));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the trie must agree with a naive reference implementation
+// under random insert/erase/lookup workloads.
+// ---------------------------------------------------------------------------
+
+struct NaiveLpm {
+  // (len, bits) -> value; lookup scans all.
+  std::map<std::pair<unsigned, U128>, int> entries;
+
+  void insert(U128 bits, unsigned len, int v) {
+    entries[{len, bits & mask128(len)}] = v;
+  }
+  bool erase(U128 bits, unsigned len) {
+    return entries.erase({len, bits & mask128(len)}) > 0;
+  }
+  const int* find(U128 bits, unsigned len) const {
+    auto it = entries.find({len, bits & mask128(len)});
+    return it == entries.end() ? nullptr : &it->second;
+  }
+  std::optional<std::pair<unsigned, int>> longest(U128 key) const {
+    std::optional<std::pair<unsigned, int>> best;
+    for (auto& [k, v] : entries) {
+      auto [len, bits] = k;
+      if ((key & mask128(len)) == bits &&
+          (!best || len >= best->first))
+        best = {len, v};
+    }
+    return best;
+  }
+};
+
+class TrieFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieFuzz, MatchesNaiveReference) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  NaiveLpm naive;
+
+  // Biased random prefixes: lengths drawn from realistic CIDR sizes, bits
+  // drawn from a small alphabet so prefixes overlap heavily.
+  auto random_prefix = [&](unsigned& len) -> U128 {
+    static const unsigned kLens[] = {0, 8, 16, 19, 24, 32, 40, 48, 56, 64, 96, 128};
+    len = kLens[rng.uniform(std::size(kLens))];
+    U128 bits{rng.uniform(16) << 60, rng.uniform(4) << 62};
+    return bits;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    unsigned len;
+    U128 bits = random_prefix(len);
+    switch (rng.uniform(4)) {
+      case 0:
+      case 1: {  // insert
+        int v = int(rng.uniform(1000));
+        trie.insert(bits, len, v);
+        naive.insert(bits, len, v);
+        break;
+      }
+      case 2: {  // erase
+        bool a = trie.erase(bits, len);
+        bool b = naive.erase(bits, len);
+        EXPECT_EQ(a, b) << "step " << step;
+        break;
+      }
+      case 3: {  // lookups
+        const int* a = trie.find(bits, len);
+        const int* b = naive.find(bits, len);
+        EXPECT_EQ(a != nullptr, b != nullptr) << "step " << step;
+        if (a && b) {
+          EXPECT_EQ(*a, *b);
+        }
+        U128 key{rng.next_u64(), rng.next_u64()};
+        if (rng.bernoulli(0.5)) key = bits;  // often probe near prefixes
+        auto ml = trie.longest_match(key);
+        auto nl = naive.longest(key);
+        ASSERT_EQ(ml.has_value(), nl.has_value()) << "step " << step;
+        if (ml) {
+          EXPECT_EQ(ml->prefix_len, nl->first) << "step " << step;
+          EXPECT_EQ(*ml->value, nl->second) << "step " << step;
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(trie.size(), naive.entries.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 1337u));
+
+}  // namespace
+}  // namespace dynamips::rtrie

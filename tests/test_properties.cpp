@@ -1,0 +1,173 @@
+// test_properties — cross-cutting property sweeps: U128 arithmetic against
+// the compiler's native 128-bit integers, algebraic laws of the
+// common-prefix-length, and determinism of the full pipeline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/rng.h"
+#include "netaddr/u128.h"
+#include "simnet/isp.h"
+
+namespace dynamips {
+namespace {
+
+using net::IPv6Address;
+using net::Rng;
+using net::U128;
+
+unsigned __int128 to_native(const U128& v) {
+  return (static_cast<unsigned __int128>(v.hi) << 64) | v.lo;
+}
+
+U128 from_native(unsigned __int128 v) {
+  return U128{std::uint64_t(v >> 64), std::uint64_t(v)};
+}
+
+class U128Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U128Fuzz, MatchesNativeInt128) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20000; ++i) {
+    U128 a{rng.next_u64(), rng.next_u64()};
+    U128 b{rng.next_u64(), rng.next_u64()};
+    // Sprinkle in structured values (zeros, masks) for edge coverage.
+    if (i % 5 == 0) a = net::mask128(unsigned(rng.uniform(129)));
+    if (i % 7 == 0) b = U128{};
+    unsigned __int128 na = to_native(a), nb = to_native(b);
+    EXPECT_EQ(from_native(na), a) << "round-trip";
+
+    EXPECT_EQ(to_native(a + b),
+              static_cast<unsigned __int128>(na + nb));
+    EXPECT_EQ(to_native(a - b),
+              static_cast<unsigned __int128>(na - nb));
+    EXPECT_EQ(to_native(a & b), na & nb);
+    EXPECT_EQ(to_native(a | b), na | nb);
+    EXPECT_EQ(to_native(a ^ b), na ^ nb);
+    EXPECT_EQ(to_native(~a), static_cast<unsigned __int128>(~na));
+    EXPECT_EQ(a < b, na < nb);
+    EXPECT_EQ(a == b, na == nb);
+
+    unsigned sh = unsigned(rng.uniform(129));
+    unsigned __int128 nshl = sh >= 128 ? 0 : (na << sh);
+    unsigned __int128 nshr = sh >= 128 ? 0 : (na >> sh);
+    EXPECT_EQ(to_native(a << sh), nshl) << sh;
+    EXPECT_EQ(to_native(a >> sh), nshr) << sh;
+
+    // countl/countr against a naive bit scan.
+    int clz = 128, crz = 128;
+    for (int bit = 0; bit < 128; ++bit) {
+      if ((na >> (127 - bit)) & 1) {
+        clz = bit;
+        break;
+      }
+    }
+    for (int bit = 0; bit < 128; ++bit) {
+      if ((na >> bit) & 1) {
+        crz = bit;
+        break;
+      }
+    }
+    EXPECT_EQ(a.countl_zero(), clz);
+    EXPECT_EQ(a.countr_zero(), crz);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U128Fuzz, ::testing::Values(1u, 2u, 99u));
+
+TEST(CplProperties, SymmetryIdentityAndBound) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    IPv6Address a{U128{rng.next_u64(), rng.next_u64()}};
+    IPv6Address b{U128{rng.next_u64(), rng.next_u64()}};
+    int ab = net::common_prefix_length(a, b);
+    EXPECT_EQ(ab, net::common_prefix_length(b, a));
+    EXPECT_GE(ab, 0);
+    EXPECT_LE(ab, 128);
+    EXPECT_EQ(net::common_prefix_length(a, a), 128);
+    // The shared prefix really is shared.
+    if (ab > 0) {
+      U128 mask = net::mask128(unsigned(ab));
+      EXPECT_EQ(a.bits() & mask, b.bits() & mask);
+    }
+    // And the next bit differs (unless identical).
+    if (ab < 128) {
+      EXPECT_NE(a.bits().bit_msb(unsigned(ab)),
+                b.bits().bit_msb(unsigned(ab)));
+    }
+  }
+}
+
+TEST(CplProperties, UltrametricInequality) {
+  // CPL satisfies cpl(a,c) >= min(cpl(a,b), cpl(b,c)).
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t a = rng.next_u64(), b = rng.next_u64(),
+                  c = rng.next_u64();
+    if (i % 3 == 0) b = a ^ (1ull << rng.uniform(64));  // near misses
+    int ab = net::common_prefix_length64(a, b);
+    int bc = net::common_prefix_length64(b, c);
+    int ac = net::common_prefix_length64(a, c);
+    EXPECT_GE(ac, std::min(ab, bc));
+  }
+}
+
+TEST(PipelineProperties, AtlasStudyDeterministic) {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.05;
+  cfg.atlas.window_hours = 5000;
+  auto isps = std::vector<simnet::IspProfile>{*simnet::find_isp("DTAG"),
+                                              *simnet::find_isp("Orange")};
+  auto a = core::run_atlas_study(isps, cfg);
+  auto b = core::run_atlas_study(isps, cfg);
+  ASSERT_EQ(a.durations.size(), b.durations.size());
+  for (const auto& [asn, d] : a.durations) {
+    const auto& e = b.durations.at(asn);
+    EXPECT_EQ(d.v4_changes, e.v4_changes);
+    EXPECT_EQ(d.v6_changes, e.v6_changes);
+    EXPECT_EQ(d.probes, e.probes);
+    EXPECT_EQ(d.v4_nds.total_hours(), e.v4_nds.total_hours());
+  }
+  EXPECT_EQ(a.sanitize.probes_kept, b.sanitize.probes_kept);
+}
+
+TEST(PipelineProperties, SeedChangesResults) {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.05;
+  cfg.atlas.window_hours = 5000;
+  auto isps = std::vector<simnet::IspProfile>{*simnet::find_isp("DTAG")};
+  auto a = core::run_atlas_study(isps, cfg);
+  cfg.atlas.seed = 2;
+  auto b = core::run_atlas_study(isps, cfg);
+  EXPECT_NE(a.durations.at(3320).v4_changes,
+            b.durations.at(3320).v4_changes);
+}
+
+TEST(PipelineProperties, CdnStudyDeterministic) {
+  core::CdnStudyConfig cfg;
+  cfg.cdn.subscriber_scale = 0.02;
+  cfg.cdn.days = 20;
+  auto pop = cdn::default_cdn_population(0.02);
+  auto a = core::run_cdn_study(pop, cfg);
+  auto b = core::run_cdn_study(pop, cfg);
+  EXPECT_EQ(a.analyzer.total_tuples(), b.analyzer.total_tuples());
+  EXPECT_EQ(a.analyzer.total_mismatched(), b.analyzer.total_mismatched());
+  ASSERT_EQ(a.analyzer.degrees().size(), b.analyzer.degrees().size());
+}
+
+TEST(PipelineProperties, TotalTimeConservation) {
+  // The total assignment time accumulated per AS can never exceed the
+  // probes' total observed time.
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.05;
+  cfg.atlas.window_hours = 8000;
+  auto isps = std::vector<simnet::IspProfile>{*simnet::find_isp("DTAG")};
+  auto study = core::run_atlas_study(isps, cfg);
+  const auto& d = study.durations.at(3320);
+  std::uint64_t accumulated = d.v4_nds.total_hours() +
+                              d.v4_ds.total_hours();
+  EXPECT_LE(accumulated, d.probes * cfg.atlas.window_hours);
+}
+
+}  // namespace
+}  // namespace dynamips

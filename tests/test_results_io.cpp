@@ -1,0 +1,149 @@
+#include "io/results_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "simnet/isp.h"
+
+namespace dynamips::io {
+namespace {
+
+const core::AtlasStudy& tiny_atlas_study() {
+  static core::AtlasStudy study = [] {
+    core::AtlasStudyConfig cfg;
+    cfg.atlas.probe_scale = 0.05;
+    cfg.atlas.window_hours = 6000;
+    return core::run_atlas_study(
+        {*simnet::find_isp("DTAG"), *simnet::find_isp("Comcast")}, cfg);
+  }();
+  return study;
+}
+
+const core::CdnStudy& tiny_cdn_study() {
+  static core::CdnStudy study = [] {
+    core::CdnStudyConfig cfg;
+    cfg.cdn.subscriber_scale = 0.02;
+    cfg.cdn.days = 30;
+    return core::run_cdn_study(cdn::default_cdn_population(0.02), cfg);
+  }();
+  return study;
+}
+
+// Parse a CSV body: returns rows (skipping header), each as fields.
+std::vector<std::vector<std::string>> rows_of(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::stringstream ss(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(ss, line)) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    for (auto f : split_csv(line)) fields.emplace_back(f);
+    rows.push_back(fields);
+  }
+  return rows;
+}
+
+TEST(ResultsIo, DurationCurves) {
+  std::stringstream ss;
+  write_duration_curves_csv(ss, tiny_atlas_study());
+  auto rows = rows_of(ss.str());
+  ASSERT_FALSE(rows.empty());
+  std::size_t thresholds = stats::fig1_thresholds().size();
+  // Rows per (AS, split) come in full-threshold blocks.
+  EXPECT_EQ(rows.size() % thresholds, 0u);
+  bool saw_dtag_v6 = false;
+  for (const auto& r : rows) {
+    ASSERT_EQ(r.size(), 4u);
+    double v = std::stod(r[3]);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    saw_dtag_v6 |= r[0] == "DTAG" && r[1] == "v6";
+  }
+  EXPECT_TRUE(saw_dtag_v6);
+}
+
+TEST(ResultsIo, CplRows) {
+  std::stringstream ss;
+  write_cpl_csv(ss, tiny_atlas_study());
+  auto rows = rows_of(ss.str());
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    ASSERT_EQ(r.size(), 4u);
+    int cpl = std::stoi(r[1]);
+    EXPECT_GE(cpl, 0);
+    EXPECT_LE(cpl, 64);
+    EXPECT_GE(std::stoull(r[2]), std::stoull(r[3]))
+        << "changes >= probes at any CPL";
+  }
+}
+
+TEST(ResultsIo, BgpMovesRowPerAs) {
+  std::stringstream ss;
+  write_bgp_moves_csv(ss, tiny_atlas_study());
+  auto rows = rows_of(ss.str());
+  EXPECT_EQ(rows.size(), tiny_atlas_study().spatial.size());
+}
+
+TEST(ResultsIo, InferenceHistogram) {
+  std::stringstream ss;
+  write_inference_csv(ss, tiny_atlas_study());
+  auto rows = rows_of(ss.str());
+  ASSERT_FALSE(rows.empty());
+  std::size_t total = 0;
+  for (const auto& r : rows) {
+    int len = std::stoi(r[1]);
+    EXPECT_GE(len, 0);
+    EXPECT_LE(len, 64);
+    total += std::stoull(r[2]);
+  }
+  std::size_t expected = 0;
+  for (const auto& [asn, v] : tiny_atlas_study().subscriber_inference)
+    expected += v.size();
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ResultsIo, AssocDurations) {
+  std::stringstream ss;
+  write_assoc_durations_csv(ss, tiny_cdn_study());
+  auto rows = rows_of(ss.str());
+  ASSERT_FALSE(rows.empty());
+  bool saw_mobile = false, saw_fixed = false;
+  for (const auto& r : rows) {
+    ASSERT_EQ(r.size(), 4u);
+    saw_mobile |= r[2] == "1";
+    saw_fixed |= r[2] == "0";
+    EXPECT_GE(std::stod(r[3]), 1.0);
+  }
+  EXPECT_TRUE(saw_mobile);
+  EXPECT_TRUE(saw_fixed);
+}
+
+TEST(ResultsIo, Degrees) {
+  std::stringstream ss;
+  write_degrees_csv(ss, tiny_cdn_study());
+  auto rows = rows_of(ss.str());
+  EXPECT_EQ(rows.size(), tiny_cdn_study().analyzer.degrees().size());
+}
+
+TEST(ResultsIo, ZeroBoundaries) {
+  std::stringstream ss;
+  write_zero_boundaries_csv(ss, tiny_cdn_study());
+  auto rows = rows_of(ss.str());
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.size() % 5, 0u) << "five boundary classes per group";
+  for (const auto& r : rows) {
+    double frac = std::stod(r[3]);
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::io

@@ -1,0 +1,90 @@
+#include "bgp/rib.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::bgp {
+namespace {
+
+using net::IPv4Address;
+using net::IPv6Address;
+using net::Prefix4;
+using net::Prefix6;
+
+TEST(Rib, EmptyLookups) {
+  Rib rib;
+  EXPECT_FALSE(rib.lookup(*IPv4Address::parse("8.8.8.8")).has_value());
+  EXPECT_FALSE(rib.lookup(*IPv6Address::parse("2001:db8::1")).has_value());
+  EXPECT_EQ(rib.asn_of(*IPv4Address::parse("8.8.8.8")), 0u);
+}
+
+TEST(Rib, V4LongestMatch) {
+  Rib rib;
+  rib.announce(*Prefix4::parse("80.0.0.0/8"), {3320, Registry::kRipe});
+  rib.announce(*Prefix4::parse("80.128.0.0/11"), {3320, Registry::kRipe});
+  auto r = rib.lookup(*IPv4Address::parse("80.129.1.2"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix.to_string(), "80.128.0.0/11");
+  EXPECT_EQ(r->origin.asn, 3320u);
+  r = rib.lookup(*IPv4Address::parse("80.1.1.2"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix.to_string(), "80.0.0.0/8");
+}
+
+TEST(Rib, V6LongestMatch) {
+  Rib rib;
+  rib.announce(*Prefix6::parse("2003::/19"), {3320, Registry::kRipe});
+  rib.announce(*Prefix6::parse("2003:40::/26"), {3320, Registry::kRipe});
+  auto r = rib.lookup(*IPv6Address::parse("2003:40:1::1"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix.to_string(), "2003:40::/26");
+  r = rib.lookup(*IPv6Address::parse("2003:1ec5::1"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix.to_string(), "2003::/19");
+  EXPECT_EQ(rib.asn_of(*IPv6Address::parse("2003::1")), 3320u);
+  EXPECT_EQ(rib.asn_of(*IPv6Address::parse("2a02::1")), 0u);
+}
+
+TEST(Rib, DistinctOrigins) {
+  Rib rib;
+  rib.announce(*Prefix4::parse("24.0.0.0/12"), {7922, Registry::kArin});
+  rib.announce(*Prefix4::parse("2.0.0.0/12"), {3215, Registry::kRipe});
+  EXPECT_EQ(rib.asn_of(*IPv4Address::parse("24.1.2.3")), 7922u);
+  EXPECT_EQ(rib.asn_of(*IPv4Address::parse("2.1.2.3")), 3215u);
+  auto r = rib.lookup(*IPv4Address::parse("24.1.2.3"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->origin.registry, Registry::kArin);
+}
+
+TEST(Rib, RoutesEnumeration) {
+  Rib rib;
+  rib.announce(*Prefix4::parse("10.0.0.0/8"), {1, Registry::kArin});
+  rib.announce(*Prefix4::parse("20.0.0.0/8"), {2, Registry::kRipe});
+  rib.announce(*Prefix6::parse("2001:db8::/32"), {3, Registry::kApnic});
+  EXPECT_EQ(rib.v4_size(), 2u);
+  EXPECT_EQ(rib.v6_size(), 1u);
+  auto v4 = rib.v4_routes();
+  EXPECT_EQ(v4.size(), 2u);
+  auto v6 = rib.v6_routes();
+  ASSERT_EQ(v6.size(), 1u);
+  EXPECT_EQ(v6[0].prefix.to_string(), "2001:db8::/32");
+  EXPECT_EQ(v6[0].origin.asn, 3u);
+}
+
+TEST(Rib, RegistryNames) {
+  EXPECT_STREQ(registry_name(Registry::kArin), "ARIN");
+  EXPECT_STREQ(registry_name(Registry::kRipe), "RIPE");
+  EXPECT_STREQ(registry_name(Registry::kApnic), "APNIC");
+  EXPECT_STREQ(registry_name(Registry::kLacnic), "LACNIC");
+  EXPECT_STREQ(registry_name(Registry::kAfrinic), "AFRINIC");
+}
+
+TEST(Rib, OverwriteAnnouncement) {
+  Rib rib;
+  rib.announce(*Prefix4::parse("10.0.0.0/8"), {1, Registry::kArin});
+  rib.announce(*Prefix4::parse("10.0.0.0/8"), {99, Registry::kRipe});
+  EXPECT_EQ(rib.v4_size(), 1u);
+  EXPECT_EQ(rib.asn_of(*IPv4Address::parse("10.1.1.1")), 99u);
+}
+
+}  // namespace
+}  // namespace dynamips::bgp

@@ -1,0 +1,113 @@
+#include "netaddr/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dynamips::net {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[rng.uniform(8)];
+  EXPECT_EQ(counts.size(), 8u);
+  for (auto& [v, c] : counts) {
+    EXPECT_GT(c, 1000) << v;  // ~1250 expected
+    EXPECT_LT(c, 1500) << v;
+  }
+}
+
+TEST(Rng, UniformInInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(24.0);
+  EXPECT_NEAR(sum / n, 24.0, 0.5);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  Rng parent2(5);
+  Rng child2 = parent2.fork();
+  // Forks are deterministic...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // ...and differ from the parent stream.
+  Rng p3(5);
+  p3.fork();
+  int same = 0;
+  Rng c3 = Rng(5).fork();
+  for (int i = 0; i < 64; ++i)
+    if (c3.next_u64() == p3.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace dynamips::net

@@ -1,0 +1,220 @@
+#include "core/sanitize.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::core {
+namespace {
+
+using net::IPv4Address;
+using net::IPv6Address;
+
+// Minimal two-AS world for the sanitizer tests.
+bgp::Rib test_rib() {
+  bgp::Rib rib;
+  rib.announce(*net::Prefix4::parse("10.0.0.0/8"),
+               {100, bgp::Registry::kRipe});
+  rib.announce(*net::Prefix4::parse("20.0.0.0/8"),
+               {200, bgp::Registry::kRipe});
+  rib.announce(*net::Prefix6::parse("2001:100::/32"),
+               {100, bgp::Registry::kRipe});
+  rib.announce(*net::Prefix6::parse("2001:200::/32"),
+               {200, bgp::Registry::kRipe});
+  return rib;
+}
+
+// A clean dual-stack probe in AS100 observed for `hours` hours.
+ProbeObservations clean_probe(Hour hours, std::uint32_t id = 1) {
+  ProbeObservations p;
+  p.probe_id = id;
+  p.tags = {"home"};
+  for (Hour h = 0; h < hours; ++h) {
+    p.v4.push_back({h, *IPv4Address::parse("10.1.2.3"), false});
+    p.v6.push_back({h, *IPv6Address::parse("2001:100:0:5::1"), true});
+  }
+  return p;
+}
+
+TEST(Sanitize, KeepsCleanProbe) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto out = s.sanitize(clean_probe(2000));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].asn, 100u);
+  EXPECT_EQ(out[0].v4.size(), 2000u);
+  EXPECT_EQ(out[0].v6.size(), 2000u);
+  EXPECT_EQ(s.stats().probes_kept, 1u);
+}
+
+TEST(Sanitize, DropsShortProbe) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto out = s.sanitize(clean_probe(100));  // < 730 hours
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(s.stats().dropped_short, 1u);
+}
+
+TEST(Sanitize, DropsBadTags) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  for (const char* tag :
+       {"datacentre", "core", "system-anchor", "multihomed"}) {
+    auto p = clean_probe(2000);
+    p.tags.push_back(tag);
+    EXPECT_TRUE(s.sanitize(p).empty()) << tag;
+  }
+  EXPECT_EQ(s.stats().dropped_bad_tag, 4u);
+}
+
+TEST(Sanitize, DropsPublicSrcProbe) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto p = clean_probe(2000);
+  for (auto& o : p.v4) o.src_public = true;
+  EXPECT_TRUE(s.sanitize(p).empty());
+  EXPECT_EQ(s.stats().dropped_public_src, 1u);
+}
+
+TEST(Sanitize, ToleratesFewPublicSrcRecords) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto p = clean_probe(2000);
+  for (std::size_t i = 0; i < 20; ++i) p.v4[i].src_public = true;  // 1%
+  EXPECT_EQ(s.sanitize(p).size(), 1u);
+}
+
+TEST(Sanitize, DropsV6SrcMismatchProbe) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto p = clean_probe(2000);
+  for (auto& o : p.v6) o.src_matches = false;
+  EXPECT_TRUE(s.sanitize(p).empty());
+  EXPECT_EQ(s.stats().dropped_v6_mismatch, 1u);
+}
+
+TEST(Sanitize, StripsTestAddress) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto p = clean_probe(2000);
+  p.v4[0].addr = atlas::ripe_test_address();
+  p.v4[1].addr = atlas::ripe_test_address();
+  auto out = s.sanitize(p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].v4.size(), 1998u);
+  EXPECT_EQ(s.stats().test_address_records, 2u);
+  for (const auto& o : out[0].v4)
+    EXPECT_NE(o.addr, atlas::ripe_test_address());
+}
+
+TEST(Sanitize, DropsMultihomedAlternation) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  ProbeObservations p;
+  p.probe_id = 5;
+  for (Hour h = 0; h < 2000; ++h) {
+    const char* addr = (h / 3) % 2 ? "10.1.2.3" : "20.1.2.3";
+    p.v4.push_back({h, *IPv4Address::parse(addr), false});
+  }
+  EXPECT_TRUE(s.sanitize(p).empty());
+  EXPECT_EQ(s.stats().dropped_multihomed, 1u);
+}
+
+TEST(Sanitize, SplitsAsSwitchIntoVirtualProbes) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  ProbeObservations p;
+  p.probe_id = 6;
+  for (Hour h = 0; h < 4000; ++h) {
+    const char* addr = h < 2000 ? "10.1.2.3" : "20.1.2.3";
+    p.v4.push_back({h, *IPv4Address::parse(addr), false});
+  }
+  auto out = s.sanitize(p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].asn, 100u);
+  EXPECT_EQ(out[0].virtual_index, 0);
+  EXPECT_EQ(out[1].asn, 200u);
+  EXPECT_EQ(out[1].virtual_index, 1);
+  EXPECT_EQ(out[0].v4.size(), 2000u);
+  EXPECT_EQ(out[1].v4.size(), 2000u);
+  EXPECT_EQ(s.stats().split_probes, 1u);
+  EXPECT_EQ(s.stats().virtual_probes, 2u);
+}
+
+TEST(Sanitize, SplitDropsShortHalf) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  ProbeObservations p;
+  p.probe_id = 7;
+  for (Hour h = 0; h < 2100; ++h) {
+    const char* addr = h < 2000 ? "10.1.2.3" : "20.1.2.3";
+    p.v4.push_back({h, *IPv4Address::parse(addr), false});
+  }
+  auto out = s.sanitize(p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].asn, 100u);
+  EXPECT_EQ(s.stats().dropped_short, 1u);
+}
+
+TEST(Sanitize, UnroutedObservationsIgnored) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  auto p = clean_probe(2000);
+  // Unrouted blips must not create phantom AS runs.
+  p.v4[500].addr = *IPv4Address::parse("99.9.9.9");
+  auto out = s.sanitize(p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].asn, 100u);
+}
+
+TEST(Sanitize, EmptyProbeDropped) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  ProbeObservations p;
+  p.probe_id = 9;
+  EXPECT_TRUE(s.sanitize(p).empty());
+}
+
+TEST(Sanitize, StatsAccumulateAcrossProbes) {
+  auto rib = test_rib();
+  Sanitizer s(rib, {});
+  s.sanitize(clean_probe(2000, 1));
+  s.sanitize(clean_probe(2000, 2));
+  s.sanitize(clean_probe(10, 3));
+  EXPECT_EQ(s.stats().probes_seen, 3u);
+  EXPECT_EQ(s.stats().probes_kept, 2u);
+}
+
+TEST(Sanitize, FromSeriesConversion) {
+  atlas::ProbeSeries series;
+  series.meta.probe_id = 77;
+  series.meta.tags = {"home"};
+  atlas::EchoRecord r4;
+  r4.probe_id = 77;
+  r4.hour = 5;
+  r4.family = atlas::Family::kV4;
+  r4.x_client_ip4 = *IPv4Address::parse("10.0.0.1");
+  r4.src_addr4 = *IPv4Address::parse("192.168.1.7");
+  series.records.push_back(r4);
+  atlas::EchoRecord r6;
+  r6.probe_id = 77;
+  r6.hour = 5;
+  r6.family = atlas::Family::kV6;
+  r6.x_client_ip6 = *IPv6Address::parse("2001:100::1");
+  r6.src_addr6 = *IPv6Address::parse("2001:100::2");
+  series.records.push_back(r6);
+
+  auto obs = from_series(series);
+  EXPECT_EQ(obs.probe_id, 77u);
+  ASSERT_EQ(obs.v4.size(), 1u);
+  EXPECT_FALSE(obs.v4[0].src_public) << "RFC 1918 src is the typical NAT";
+  ASSERT_EQ(obs.v6.size(), 1u);
+  EXPECT_FALSE(obs.v6[0].src_matches);
+
+  // CGNAT shared space also counts as private.
+  series.records[0].src_addr4 = *IPv4Address::parse("100.64.0.1");
+  EXPECT_FALSE(from_series(series).v4[0].src_public);
+  series.records[0].src_addr4 = *IPv4Address::parse("8.8.8.8");
+  EXPECT_TRUE(from_series(series).v4[0].src_public);
+}
+
+}  // namespace
+}  // namespace dynamips::core

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/loghist.h"
+#include "stats/summary.h"
+#include "stats/ttf.h"
+
+namespace dynamips::stats {
+namespace {
+
+// ---------------------------------------------------------------- summary --
+
+TEST(Summary, MeanAndMedian) {
+  std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Summary, BoxStats) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(double(i));
+  auto b = BoxStats::of(xs);
+  EXPECT_EQ(b.n, 100u);
+  EXPECT_NEAR(b.median, 50.5, 0.01);
+  EXPECT_NEAR(b.q1, 25.75, 0.01);
+  EXPECT_NEAR(b.q3, 75.25, 0.01);
+  EXPECT_NEAR(b.p5, 5.95, 0.01);
+  EXPECT_NEAR(b.p95, 95.05, 0.01);
+}
+
+TEST(Summary, BoxStatsEmpty) {
+  auto b = BoxStats::of({});
+  EXPECT_EQ(b.n, 0u);
+  EXPECT_EQ(b.median, 0.0);
+}
+
+// ------------------------------------------------------------------- ecdf --
+
+TEST(Ecdf, BasicCdf) {
+  Ecdf e;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) e.add(x);
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(99.0), 1.0);
+}
+
+TEST(Ecdf, AddN) {
+  Ecdf e;
+  e.add_n(5.0, 3);
+  e.add(10.0);
+  EXPECT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e.at(5.0), 0.75);
+}
+
+TEST(Ecdf, QuantileMatchesCdf) {
+  Ecdf e;
+  for (int i = 1; i <= 1000; ++i) e.add(double(i));
+  EXPECT_NEAR(e.quantile(0.5), 500.5, 1.0);
+  EXPECT_NEAR(e.quantile(0.9), 900.1, 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 1000.0);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  Ecdf e;
+  for (double x : {5.0, 1.0, 3.0, 3.0, 8.0}) e.add(x);
+  std::vector<double> ts{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto c = e.curve(ts);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+  EXPECT_DOUBLE_EQ(c.back(), 1.0);
+}
+
+// -------------------------------------------------------------------- ttf --
+
+TEST(Ttf, SingleDuration) {
+  TotalTimeFraction t;
+  t.add(24, 10);
+  EXPECT_EQ(t.total_hours(), 240u);
+  EXPECT_DOUBLE_EQ(t.fraction(24), 1.0);
+  EXPECT_DOUBLE_EQ(t.fraction(25), 0.0);
+}
+
+TEST(Ttf, PaperWeightingExample) {
+  // The §3.2.1 example: CPE1 changes daily (365 samples of 1 day), CPE2
+  // monthly (12 samples of 30 days) over a year each. Naive PMF is dominated
+  // by CPE1; total time fraction weights both equally (365 vs 360 days).
+  TotalTimeFraction t;
+  t.add(24, 365);
+  t.add(24 * 30, 12);
+  double f1 = t.fraction(24);
+  double f30 = t.fraction(24 * 30);
+  EXPECT_NEAR(f1 / f30, 365.0 / 360.0, 1e-9);
+  EXPECT_NEAR(f1 + f30, 1.0, 1e-9);
+
+  // Naive cumulative at 1 day: 365/377 of samples; weighted: ~half.
+  std::vector<std::uint64_t> ts{24, 24 * 30};
+  auto naive = t.cumulative_naive(ts);
+  auto weighted = t.cumulative(ts);
+  EXPECT_NEAR(naive[0], 365.0 / 377.0, 1e-9);
+  EXPECT_NEAR(weighted[0], 365.0 * 24 / (365.0 * 24 + 12 * 720), 1e-9);
+  EXPECT_DOUBLE_EQ(naive[1], 1.0);
+  EXPECT_DOUBLE_EQ(weighted[1], 1.0);
+}
+
+TEST(Ttf, CumulativeMonotoneAndEndsAtOne) {
+  TotalTimeFraction t;
+  t.add(1, 5);
+  t.add(13, 2);
+  t.add(700, 1);
+  auto ts = fig1_thresholds();
+  auto c = t.cumulative(ts);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+  EXPECT_DOUBLE_EQ(c.back(), 1.0);
+}
+
+TEST(Ttf, MergeEqualsCombined) {
+  TotalTimeFraction a, b, both;
+  a.add(24, 3);
+  b.add(24, 2);
+  b.add(48, 5);
+  both.add(24, 5);
+  both.add(48, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total_hours(), both.total_hours());
+  EXPECT_EQ(a.total_count(), both.total_count());
+  EXPECT_DOUBLE_EQ(a.fraction(48), both.fraction(48));
+}
+
+TEST(Ttf, IgnoresZeros) {
+  TotalTimeFraction t;
+  t.add(0, 5);
+  t.add(10, 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Ttf, ThresholdLabels) {
+  auto ts = fig1_thresholds();
+  ASSERT_GE(ts.size(), 12u);
+  EXPECT_STREQ(duration_label(24), "1d");
+  EXPECT_STREQ(duration_label(336), "2w");
+  EXPECT_STREQ(duration_label(35040), "4y");
+  EXPECT_STREQ(duration_label(99999), "?");
+}
+
+// ---------------------------------------------------------------- loghist --
+
+TEST(LogHist, ModeFindsPeak) {
+  LogHistogram h(0, 6, 10);
+  for (int i = 0; i < 100; ++i) h.add(250.0);
+  for (int i = 0; i < 5; ++i) h.add(80000.0);
+  double mode = h.mode_value();
+  EXPECT_GT(mode, 150.0);
+  EXPECT_LT(mode, 400.0);
+}
+
+TEST(LogHist, WeightedModeShifts) {
+  LogHistogram h(0, 6, 10);
+  // 100 blocks of degree 250, 5 blocks of degree 80000 — weighted by degree,
+  // the large blocks dominate (5*80000 >> 100*250).
+  h.add(250.0, 250.0 * 100);
+  h.add(80000.0, 80000.0 * 5);
+  double mode = h.mode_value();
+  EXPECT_GT(mode, 40000.0);
+  EXPECT_LT(mode, 160000.0);
+}
+
+TEST(LogHist, DensitySumsToOne) {
+  LogHistogram h(0, 6, 10);
+  for (int i = 1; i <= 50; ++i) h.add(double(i * i));
+  auto d = h.density();
+  double sum = 0;
+  for (double v : d) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LogHist, OutOfRangeClamps) {
+  LogHistogram h(0, 3, 5);
+  h.add(0.5);      // below range -> first bin
+  h.add(1e9);      // above range -> last bin
+  auto d = h.density();
+  EXPECT_GT(d.front(), 0.0);
+  EXPECT_GT(d.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace dynamips::stats

@@ -1,0 +1,216 @@
+#include "simnet/subscriber.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynamips::simnet {
+namespace {
+
+IspProfile test_profile() {
+  auto p = *find_isp("DTAG");
+  return p;
+}
+
+TEST(Subscriber, TimelinesAreContiguousAndCoverWindow) {
+  TimelineGenerator gen(test_profile(), 42);
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    auto tl = gen.generate(id, 100, 9000);
+    ASSERT_FALSE(tl.v4.empty());
+    EXPECT_EQ(tl.v4.front().start, 100u);
+    EXPECT_EQ(tl.v4.back().end, 9000u);
+    for (std::size_t i = 0; i < tl.v4.size(); ++i) {
+      EXPECT_LT(tl.v4[i].start, tl.v4[i].end);
+      if (i) {
+        EXPECT_EQ(tl.v4[i].start, tl.v4[i - 1].end);
+      }
+    }
+    if (tl.dual_stack) {
+      ASSERT_FALSE(tl.v6.empty());
+      EXPECT_EQ(tl.v6.front().start, 100u);
+      EXPECT_EQ(tl.v6.back().end, 9000u);
+      for (std::size_t i = 1; i < tl.v6.size(); ++i)
+        EXPECT_EQ(tl.v6[i].start, tl.v6[i - 1].end);
+    } else {
+      EXPECT_TRUE(tl.v6.empty());
+    }
+  }
+}
+
+TEST(Subscriber, Deterministic) {
+  TimelineGenerator gen(test_profile(), 7);
+  auto a = gen.generate(3, 0, 5000);
+  auto b = gen.generate(3, 0, 5000);
+  ASSERT_EQ(a.v4.size(), b.v4.size());
+  ASSERT_EQ(a.v6.size(), b.v6.size());
+  for (std::size_t i = 0; i < a.v4.size(); ++i) {
+    EXPECT_EQ(a.v4[i].addr, b.v4[i].addr);
+    EXPECT_EQ(a.v4[i].start, b.v4[i].start);
+  }
+  for (std::size_t i = 0; i < a.v6.size(); ++i)
+    EXPECT_EQ(a.v6[i].lan64, b.v6[i].lan64);
+}
+
+TEST(Subscriber, DifferentIdsDiffer) {
+  TimelineGenerator gen(test_profile(), 7);
+  auto a = gen.generate(1, 0, 5000);
+  auto b = gen.generate(2, 0, 5000);
+  // The initial addresses collide with negligible probability.
+  EXPECT_NE(a.v4.front().addr, b.v4.front().addr);
+}
+
+TEST(Subscriber, AddressesStayInsideAnnouncements) {
+  auto profile = test_profile();
+  TimelineGenerator gen(profile, 11);
+  for (std::uint32_t id = 0; id < 30; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (const auto& seg : tl.v4) {
+      bool inside = false;
+      for (const auto& p : profile.bgp4) inside |= p.contains(seg.addr);
+      EXPECT_TRUE(inside) << seg.addr.to_string();
+    }
+    for (const auto& seg : tl.v6) {
+      bool inside = false;
+      for (const auto& p : profile.bgp6) inside |= p.contains(seg.delegated);
+      EXPECT_TRUE(inside) << seg.delegated.to_string();
+      // The advertised LAN /64 sits inside the delegated prefix.
+      net::IPv6Address lan{seg.lan64, 0};
+      EXPECT_TRUE(seg.delegated.contains(lan));
+      EXPECT_EQ(seg.delegated.length(), tl.delegated_len);
+    }
+  }
+}
+
+TEST(Subscriber, ConsecutiveSegmentsChangeAddress) {
+  TimelineGenerator gen(test_profile(), 13);
+  for (std::uint32_t id = 0; id < 30; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (std::size_t i = 1; i < tl.v4.size(); ++i)
+      EXPECT_NE(tl.v4[i].addr, tl.v4[i - 1].addr);
+    for (std::size_t i = 1; i < tl.v6.size(); ++i)
+      EXPECT_NE(tl.v6[i].lan64, tl.v6[i - 1].lan64)
+          << "every v6 change must change the advertised /64";
+  }
+}
+
+TEST(Subscriber, ZeroFillCpeAnnouncesLowest64) {
+  auto profile = test_profile();
+  profile.cpe_scramble_share = 0.0;  // force zero-fill (modulo 3% constant)
+  TimelineGenerator gen(profile, 17);
+  int zerofill_checked = 0;
+  for (std::uint32_t id = 0; id < 40; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    if (tl.cpe_mode != CpeSubnetMode::kZeroFill) continue;
+    for (const auto& seg : tl.v6) {
+      EXPECT_EQ(seg.lan64, seg.delegated.address().network64());
+      ++zerofill_checked;
+    }
+  }
+  EXPECT_GT(zerofill_checked, 0);
+}
+
+TEST(Subscriber, ScrambleCpeKeepsDelegationOnScramble) {
+  auto profile = test_profile();
+  profile.cpe_scramble_share = 1.0;
+  profile.scramble_cpe.scrambles_per_year = 50;  // frequent
+  TimelineGenerator gen(profile, 19);
+  int scrambles = 0;
+  for (std::uint32_t id = 0; id < 30; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (std::size_t i = 0; i + 1 < tl.v6.size(); ++i) {
+      if (tl.v6[i].end_cause == ChangeCause::kCpeScramble) {
+        EXPECT_EQ(tl.v6[i].delegated, tl.v6[i + 1].delegated)
+            << "scramble must not change the ISP delegation";
+        EXPECT_NE(tl.v6[i].lan64, tl.v6[i + 1].lan64);
+        ++scrambles;
+      }
+    }
+  }
+  EXPECT_GT(scrambles, 50);
+}
+
+TEST(Subscriber, StaticSubscribersNeverChange) {
+  auto profile = test_profile();
+  profile.static_share = 1.0;
+  TimelineGenerator gen(profile, 23);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    auto tl = gen.generate(id, 0, 20000);
+    EXPECT_TRUE(tl.is_static);
+    EXPECT_EQ(tl.v4.size(), 1u);
+    if (tl.dual_stack) {
+      EXPECT_EQ(tl.v6.size(), 1u);
+    }
+  }
+}
+
+TEST(Subscriber, CouplingProducesSimultaneousChanges) {
+  auto profile = test_profile();
+  profile.couple_v6_to_v4 = 1.0;
+  profile.static_share = 0.0;
+  profile.dualstack_share = 1.0;
+  profile.cpe_scramble_share = 0.0;
+  profile.scramble_cpe.scrambles_per_year = 0;
+  // Make the v6 own process silent so all v6 changes are coupled.
+  profile.v6 = ChangePolicy{};
+  TimelineGenerator gen(profile, 29);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    std::set<Hour> v4_changes;
+    for (std::size_t i = 0; i + 1 < tl.v4.size(); ++i)
+      v4_changes.insert(tl.v4[i].end);
+    for (std::size_t i = 0; i + 1 < tl.v6.size(); ++i) {
+      EXPECT_TRUE(v4_changes.count(tl.v6[i].end))
+          << "every v6 change must coincide with a v4 change";
+      EXPECT_EQ(tl.v6[i].end_cause, ChangeCause::kCoupled);
+    }
+  }
+}
+
+TEST(Subscriber, NoCouplingNoCoupledCauses) {
+  auto profile = test_profile();
+  profile.couple_v6_to_v4 = 0.0;
+  TimelineGenerator gen(profile, 31);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (const auto& seg : tl.v6)
+      EXPECT_NE(seg.end_cause, ChangeCause::kCoupled);
+  }
+}
+
+TEST(Subscriber, DelegationLengthMatchesGroundTruth) {
+  auto profile = test_profile();
+  profile.delegation.entries = {{60, 1.0}};
+  TimelineGenerator gen(profile, 37);
+  for (std::uint32_t id = 0; id < 20; ++id) {
+    auto tl = gen.generate(id, 0, 4000);
+    EXPECT_EQ(tl.delegated_len, 60);
+    for (const auto& seg : tl.v6) EXPECT_EQ(seg.delegated.length(), 60);
+  }
+}
+
+TEST(Subscriber, DualStackShareRespected) {
+  auto profile = test_profile();
+  profile.dualstack_share = 0.5;
+  TimelineGenerator gen(profile, 41);
+  int ds = 0;
+  const int n = 2000;
+  for (std::uint32_t id = 0; id < n; ++id)
+    ds += gen.generate(id, 0, 200).dual_stack;
+  EXPECT_NEAR(double(ds) / n, 0.5, 0.04);
+}
+
+TEST(Subscriber, HomePoolsContainAllDelegations) {
+  TimelineGenerator gen(test_profile(), 43);
+  for (std::uint32_t id = 0; id < 30; ++id) {
+    auto tl = gen.generate(id, 0, 8760);
+    for (const auto& seg : tl.v6) {
+      bool inside = false;
+      for (const auto& pool : tl.home.pools)
+        inside |= pool.contains(seg.delegated);
+      EXPECT_TRUE(inside);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynamips::simnet

@@ -1,0 +1,93 @@
+#include "core/tracking.h"
+
+#include <gtest/gtest.h>
+
+#include "netaddr/iid.h"
+
+namespace dynamips::core {
+namespace {
+
+using net::IPv6Address;
+
+constexpr std::uint64_t kEui64 = 0x021122fffe334455ull;
+constexpr std::uint64_t kPrivacy1 = 0x1234567812345678ull;
+constexpr std::uint64_t kPrivacy2 = 0x8765432187654321ull;
+
+CleanProbe probe(std::initializer_list<std::pair<std::uint64_t,
+                                                 std::uint64_t>> obs) {
+  CleanProbe cp;
+  cp.probe_id = 1;
+  cp.asn = 100;
+  Hour h = 0;
+  for (auto [net, iid] : obs)
+    cp.v6.push_back({h++, IPv6Address{net, iid}, true});
+  return cp;
+}
+
+TEST(Tracking, Eui64FollowedAcrossRenumbering) {
+  auto cp = probe({{0x2003000000001100ull, kEui64},
+                   {0x2003000000002200ull, kEui64},
+                   {0x2003000000003300ull, kEui64}});
+  auto tracks = TrackingAnalyzer::tracks_of(cp);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_TRUE(tracks[0].eui64);
+  EXPECT_EQ(tracks[0].distinct_64s, 3u);
+  EXPECT_TRUE(tracks[0].survives_renumbering());
+  EXPECT_EQ(tracks[0].tracked_span(), 2u);
+}
+
+TEST(Tracking, PrivacyRotationBreaksTheLink) {
+  auto cp = probe({{0x2003000000001100ull, kPrivacy1},
+                   {0x2003000000002200ull, kPrivacy2}});
+  auto tracks = TrackingAnalyzer::tracks_of(cp);
+  ASSERT_EQ(tracks.size(), 2u);
+  for (const auto& t : tracks) {
+    EXPECT_FALSE(t.eui64);
+    EXPECT_FALSE(t.survives_renumbering());
+  }
+}
+
+TEST(Tracking, MixedDevicesSeparated) {
+  auto cp = probe({{0x2003000000001100ull, kEui64},
+                   {0x2003000000001100ull, kPrivacy1},
+                   {0x2003000000002200ull, kEui64}});
+  auto tracks = TrackingAnalyzer::tracks_of(cp);
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(Tracking, PerAsAggregation) {
+  TrackingAnalyzer an;
+  an.add_probe(probe({{0x2003000000001100ull, kEui64},
+                      {0x2003000000002200ull, kEui64}}));
+  auto p2 = probe({{0x2003000000001100ull, kPrivacy1},
+                   {0x2003000000002200ull, kPrivacy2}});
+  p2.probe_id = 2;
+  an.add_probe(p2);
+  const auto& as = an.by_as().at(100);
+  EXPECT_EQ(as.probes, 2u);
+  EXPECT_EQ(as.eui64_probes, 1u);
+  EXPECT_EQ(as.devices, 3u);
+  EXPECT_EQ(as.eui64_devices, 1u);
+  EXPECT_EQ(as.cross_network_tracked, 1u);
+  EXPECT_DOUBLE_EQ(as.eui64_probe_share(), 0.5);
+  EXPECT_DOUBLE_EQ(as.cross_network_share(), 1.0);
+}
+
+TEST(Tracking, NoV6NoEntry) {
+  TrackingAnalyzer an;
+  CleanProbe cp;
+  cp.asn = 100;
+  an.add_probe(cp);
+  EXPECT_TRUE(an.by_as().empty());
+}
+
+TEST(Tracking, StableWithinOneNetworkIsNotCrossNetwork) {
+  auto cp = probe({{0x2003000000001100ull, kEui64},
+                   {0x2003000000001100ull, kEui64}});
+  auto tracks = TrackingAnalyzer::tracks_of(cp);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_FALSE(tracks[0].survives_renumbering());
+}
+
+}  // namespace
+}  // namespace dynamips::core

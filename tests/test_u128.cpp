@@ -1,0 +1,99 @@
+#include "netaddr/u128.h"
+
+#include <gtest/gtest.h>
+
+namespace dynamips::net {
+namespace {
+
+TEST(U128, DefaultIsZero) {
+  U128 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.countl_zero(), 128);
+  EXPECT_EQ(v.countr_zero(), 128);
+}
+
+TEST(U128, Ordering) {
+  EXPECT_LT((U128{0, 1}), (U128{1, 0}));
+  EXPECT_LT((U128{1, 0}), (U128{1, 1}));
+  EXPECT_EQ((U128{3, 4}), (U128{3, 4}));
+}
+
+TEST(U128, ShiftLeftAcrossHalves) {
+  U128 v{0, 1};
+  EXPECT_EQ((v << 64), (U128{1, 0}));
+  EXPECT_EQ((v << 127), (U128{0x8000000000000000ull, 0}));
+  EXPECT_EQ((v << 128), (U128{}));
+  EXPECT_EQ((v << 0), v);
+  U128 w{0, 0xffffffffffffffffull};
+  EXPECT_EQ((w << 4), (U128{0xf, 0xfffffffffffffff0ull}));
+}
+
+TEST(U128, ShiftRightAcrossHalves) {
+  U128 v{1, 0};
+  EXPECT_EQ((v >> 64), (U128{0, 1}));
+  U128 top{0x8000000000000000ull, 0};
+  EXPECT_EQ((top >> 127), (U128{0, 1}));
+  EXPECT_EQ((top >> 128), (U128{}));
+  U128 w{0xffffffffffffffffull, 0};
+  EXPECT_EQ((w >> 4), (U128{0x0fffffffffffffffull, 0xf000000000000000ull}));
+}
+
+TEST(U128, AddWithCarry) {
+  U128 a{0, 0xffffffffffffffffull};
+  EXPECT_EQ((a + U128{0, 1}), (U128{1, 0}));
+  EXPECT_EQ((U128{2, 3} + U128{4, 5}), (U128{6, 8}));
+}
+
+TEST(U128, SubWithBorrow) {
+  U128 a{1, 0};
+  EXPECT_EQ((a - U128{0, 1}), (U128{0, 0xffffffffffffffffull}));
+  EXPECT_EQ((U128{6, 8} - U128{4, 5}), (U128{2, 3}));
+}
+
+TEST(U128, CountlZero) {
+  EXPECT_EQ((U128{0x8000000000000000ull, 0}).countl_zero(), 0);
+  EXPECT_EQ((U128{1, 0}).countl_zero(), 63);
+  EXPECT_EQ((U128{0, 0x8000000000000000ull}).countl_zero(), 64);
+  EXPECT_EQ((U128{0, 1}).countl_zero(), 127);
+}
+
+TEST(U128, CountrZero) {
+  EXPECT_EQ((U128{0, 1}).countr_zero(), 0);
+  EXPECT_EQ((U128{0, 2}).countr_zero(), 1);
+  EXPECT_EQ((U128{1, 0}).countr_zero(), 64);
+  EXPECT_EQ((U128{0x8000000000000000ull, 0}).countr_zero(), 127);
+}
+
+TEST(U128, BitMsb) {
+  U128 v{0x8000000000000000ull, 1};
+  EXPECT_TRUE(v.bit_msb(0));
+  EXPECT_FALSE(v.bit_msb(1));
+  EXPECT_TRUE(v.bit_msb(127));
+  EXPECT_FALSE(v.bit_msb(126));
+}
+
+TEST(U128, Mask) {
+  EXPECT_EQ(mask128(0), (U128{}));
+  EXPECT_EQ(mask128(64), (U128{~0ull, 0}));
+  EXPECT_EQ(mask128(128), (U128{~0ull, ~0ull}));
+  EXPECT_EQ(mask128(1), (U128{0x8000000000000000ull, 0}));
+  EXPECT_EQ(mask128(65), (U128{~0ull, 0x8000000000000000ull}));
+}
+
+TEST(U128, MaskRoundTripEveryLength) {
+  for (unsigned len = 0; len <= 128; ++len) {
+    U128 m = mask128(len);
+    // A mask of length len has exactly len leading ones.
+    EXPECT_EQ((~m).countl_zero(), int(len)) << len;
+  }
+}
+
+TEST(U128, BitwiseOps) {
+  U128 a{0xf0f0, 0x1234}, b{0x0ff0, 0x00ff};
+  EXPECT_EQ((a & b), (U128{0x00f0, 0x0034}));
+  EXPECT_EQ((a | b), (U128{0xfff0, 0x12ff}));
+  EXPECT_EQ((a ^ b), (U128{0xff00, 0x12cb}));
+}
+
+}  // namespace
+}  // namespace dynamips::net
