@@ -38,7 +38,8 @@ Summary run(bool filter) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Ablation: ASN-match pre-filter",
                       "CDN analyses with and without discarding "
                       "asn4 != asn6 tuples (noise raised to 5%)");

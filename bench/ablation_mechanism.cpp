@@ -15,7 +15,8 @@
 using namespace dynamips;
 using simnet::Hour;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Ablation: statistical vs protocol-level mechanism",
                       "24-hour RADIUS-style ISP, two independent models");
 

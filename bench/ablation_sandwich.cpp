@@ -12,7 +12,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Ablation: sandwiched-duration rule",
                       "durations measured between changes vs including "
                       "window-censored spans");

@@ -53,7 +53,8 @@ void print(const char* label, const Result& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Ablation: CPE subnet scrambling",
                       "DTAG zero-bits inference with and without "
                       "scrambling CPEs");

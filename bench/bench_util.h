@@ -7,10 +7,16 @@
 //   DYNAMIPS_SCALE        probe/subscriber scale factor (default 0.3)
 //   DYNAMIPS_WINDOW_HOURS Atlas observation window (default 30000 ~ 3.4 y)
 //   DYNAMIPS_SEED         simulation seed (default 1)
+//   DYNAMIPS_THREADS      pipeline shard/thread count (default 0 = all cores)
+// plus a `--threads N` flag (parsed by bench::init) that overrides the env
+// var. Thread count never changes results — only wall-clock, which each
+// study reports to stderr together with its throughput.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/pipeline.h"
@@ -28,11 +34,31 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
+/// Shard/thread count used by both shared studies: 0 = hardware_concurrency.
+inline unsigned& thread_setting() {
+  static unsigned threads = unsigned(env_u64("DYNAMIPS_THREADS", 0));
+  return threads;
+}
+
+/// Parse shared command-line flags (currently just `--threads N` /
+/// `--threads=N`). Call first thing in main, before touching the studies.
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      thread_setting() = unsigned(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      thread_setting() = unsigned(std::strtoul(arg + 10, nullptr, 10));
+    }
+  }
+}
+
 inline core::AtlasStudyConfig default_atlas_config() {
   core::AtlasStudyConfig cfg;
   cfg.atlas.probe_scale = env_double("DYNAMIPS_SCALE", 0.3);
   cfg.atlas.window_hours = env_u64("DYNAMIPS_WINDOW_HOURS", 30000);
   cfg.atlas.seed = env_u64("DYNAMIPS_SEED", 1);
+  cfg.threads = thread_setting();
   return cfg;
 }
 
@@ -40,22 +66,51 @@ inline core::CdnStudyConfig default_cdn_config() {
   core::CdnStudyConfig cfg;
   cfg.cdn.subscriber_scale = env_double("DYNAMIPS_SCALE", 0.3);
   cfg.cdn.seed = env_u64("DYNAMIPS_SEED", 1) * 977;
+  cfg.threads = thread_setting();
   return cfg;
 }
 
-/// The Atlas study, computed once per process.
+/// The Atlas study, computed once per process. Reports wall-clock time and
+/// probe throughput to stderr so table output stays clean.
 inline const core::AtlasStudy& shared_atlas_study() {
-  static core::AtlasStudy study =
-      core::run_atlas_study(simnet::paper_isps(), default_atlas_config());
+  static core::AtlasStudy study = [] {
+    auto cfg = default_atlas_config();
+    auto t0 = std::chrono::steady_clock::now();
+    auto s = core::run_atlas_study(simnet::paper_isps(), cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    std::fprintf(stderr,
+                 "[bench] atlas study: %llu probes in %.2fs "
+                 "(%.0f probes/s, %u threads)\n",
+                 (unsigned long long)s.sanitize.probes_seen, secs,
+                 secs > 0 ? double(s.sanitize.probes_seen) / secs : 0.0,
+                 core::resolve_threads(cfg.threads));
+    return s;
+  }();
   return study;
 }
 
-/// The CDN study, computed once per process.
+/// The CDN study, computed once per process. Reports wall-clock time and
+/// log/tuple throughput to stderr.
 inline const core::CdnStudy& shared_cdn_study() {
   static core::CdnStudy study = [] {
     auto cfg = default_cdn_config();
-    return core::run_cdn_study(
-        cdn::default_cdn_population(cfg.cdn.subscriber_scale), cfg);
+    auto population = cdn::default_cdn_population(cfg.cdn.subscriber_scale);
+    auto t0 = std::chrono::steady_clock::now();
+    auto s = core::run_cdn_study(population, cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    std::uint64_t tuples =
+        s.analyzer.total_tuples() + s.analyzer.total_mismatched();
+    std::fprintf(stderr,
+                 "[bench] cdn study: %zu logs / %llu tuples in %.2fs "
+                 "(%.0f tuples/s, %u threads)\n",
+                 population.size(), (unsigned long long)tuples, secs,
+                 secs > 0 ? double(tuples) / secs : 0.0,
+                 core::resolve_threads(cfg.threads));
+    return s;
   }();
   return study;
 }

@@ -33,7 +33,8 @@ void print_panel(const char* title, const core::AtlasStudy& study,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 1",
                       "cumulative total time fraction of assignment "
                       "durations in six large ASes");

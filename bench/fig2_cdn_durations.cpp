@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 2",
                       "CDN address-association durations for selected ISPs");
   const auto& study = bench::shared_cdn_study();

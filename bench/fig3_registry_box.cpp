@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 3",
                       "CDN association durations by registry (days; "
                       "whiskers p5/p95, box q1/q3)");

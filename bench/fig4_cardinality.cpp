@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 4",
                       "IPv6 /64s associated per IPv4 /24 (log-binned "
                       "density)");

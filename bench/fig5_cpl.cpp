@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 5",
                       "common prefix length between subsequent IPv6 /64 "
                       "assignments");

@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 6",
                       "inferred subscriber prefix lengths per ISP (probes "
                       "with >= 1 IPv6 assignment change)");

@@ -7,7 +7,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 7",
                       "trailing zeros of observed /64s, grouped by longest "
                       "nibble boundary (fixed-line)");

@@ -9,7 +9,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 8",
                       "unique prefixes of various lengths observed per "
                       "probe (median / p90 / max)");

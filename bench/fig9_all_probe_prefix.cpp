@@ -8,7 +8,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Figure 9",
                       "inferred subscriber prefix lengths, all probes");
   const auto& study = bench::shared_atlas_study();

@@ -12,7 +12,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Section 3.2 (evolution)",
                       "per-year duration trends under evolving policies");
 

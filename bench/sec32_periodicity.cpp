@@ -8,16 +8,17 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Section 3.2",
                       "periodic renumbering detection and the "
                       "total-time-fraction metric ablation");
   const auto& study = bench::shared_atlas_study();
   stats::PeriodicityDetector detector;
+  stats::PeriodicNetworkCounter counter;
 
   std::printf("%-14s %-22s %-22s %-22s %6s\n", "AS", "v4 non-dual-stack",
               "v4 dual-stack", "v6", "cooc%");
-  int periodic_networks = 0;
   for (const auto& [asn, d] : study.durations) {
     auto fmt = [&](const stats::TotalTimeFraction& ttf, char* buf,
                    std::size_t n) {
@@ -31,18 +32,23 @@ int main() {
       return mode.has_value();
     };
     char b1[32], b2[32], b3[32];
-    bool p1 = fmt(d.v4_nds, b1, sizeof b1);
+    fmt(d.v4_nds, b1, sizeof b1);
     fmt(d.v4_ds, b2, sizeof b2);
     fmt(d.v6, b3, sizeof b3);
-    if (p1) ++periodic_networks;
+    counter.add(d.v4_nds);
     std::printf("%-14s %-22s %-22s %-22s %5.0f%%\n",
                 study.as_names.at(asn).c_str(), b1, b2, b3,
                 100.0 * d.cooccurrence());
   }
   std::printf("\nNetworks with consistent periodic non-dual-stack v4 "
-              "renumbering: %d (paper: 35 across the full probe set; here "
-              "scaled to the simulated ISP roster)\n",
-              periodic_networks);
+              "renumbering: %llu of %llu (paper: 35 across the full probe "
+              "set; here scaled to the simulated ISP roster)\n",
+              (unsigned long long)counter.periodic_networks(),
+              (unsigned long long)counter.networks());
+  for (const auto& [period, n] : counter.by_period())
+    std::printf("  period %4lluh: %llu network%s\n",
+                (unsigned long long)period, (unsigned long long)n,
+                n == 1 ? "" : "s");
 
   // Ablation: naive PMF vs total time fraction on DTAG non-dual-stack v4.
   bgp::Asn dtag = bench::asn_of(study, "DTAG");

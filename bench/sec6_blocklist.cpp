@@ -11,7 +11,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Section 6 (blocklists)",
                       "evasion vs collateral across block policies");
 

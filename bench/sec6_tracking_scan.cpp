@@ -15,7 +15,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Section 2.3 / 6",
                       "IID-based tracking exposure and scan scoping");
 

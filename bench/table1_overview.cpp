@@ -7,7 +7,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Table 1",
                       "overview of assignment changes for the ten ASes with "
                       "many dual-stack probes");

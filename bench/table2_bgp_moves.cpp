@@ -6,7 +6,8 @@
 
 using namespace dynamips;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_banner("Table 2",
                       "percentage of assignment changes across /24 blocks "
                       "and BGP prefixes");

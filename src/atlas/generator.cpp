@@ -21,10 +21,7 @@ net::IPv4Address ripe_test_address() {
 namespace {
 
 std::uint64_t mix(std::uint64_t seed, std::uint64_t id) {
-  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ull * (id + 0x51ull));
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return net::mix_seed(seed ^ (0x9e3779b97f4a7c15ull * (id + 0x51ull)));
 }
 
 // Find the assignment active at hour h (segments are sorted, contiguous).

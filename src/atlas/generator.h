@@ -64,6 +64,11 @@ struct ProbeInfo {
 /// Deterministic Atlas dataset generator. Per-probe output depends only on
 /// (config, isps, probe index), so probes can be generated and analyzed one
 /// at a time without materialising the whole dataset.
+///
+/// Thread safety: after construction the simulator is immutable, and every
+/// probe draws from its own RNG stream derived via net::mix_seed from
+/// (seed, probe_id) — `series_for` / `timeline_for` may be called
+/// concurrently from any number of shards for any index partitioning.
 class AtlasSimulator {
  public:
   AtlasSimulator(std::vector<simnet::IspProfile> isps, AtlasConfig config);

@@ -16,10 +16,7 @@ using simnet::kHoursPerDay;
 namespace {
 
 std::uint64_t mix(std::uint64_t seed, std::uint64_t id) {
-  std::uint64_t z = seed ^ (0xda942042e4dd58b5ull * (id + 0x9dull));
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return net::mix_seed(seed ^ (0xda942042e4dd58b5ull * (id + 0x9dull)));
 }
 
 template <typename Seg>

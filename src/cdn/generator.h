@@ -51,6 +51,11 @@ simnet::IspProfile shrink_v4_for_cdn(simnet::IspProfile isp, int len);
 /// Deterministic association-log generator. Logs are produced one ISP at a
 /// time so the multi-billion-tuple scale of the real dataset can be
 /// mirrored by streaming aggregation.
+///
+/// Thread safety: after construction the simulator is immutable, and each
+/// entry's log draws from its own RNG stream derived via net::mix_seed from
+/// (seed, entry index) — `generate` may be called concurrently from any
+/// number of shards for any index partitioning.
 class CdnSimulator {
  public:
   CdnSimulator(std::vector<PopulationEntry> population, CdnConfig config);

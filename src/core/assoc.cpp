@@ -15,14 +15,17 @@ void CdnAnalyzer::add_log(const cdn::AssociationLog& log) {
   auto& reg_durations = registry_durations_[cls];
   auto& zeros = zero_counts_[cls];
 
-  // Per-/64 day series and per-/24 /64 sets, local to this log.
-  struct DayObs {
+  // Flatten the accepted tuples once, then group by /64 with a single
+  // stable sort. Compared to a hash-map-of-vectors this does no per-/64
+  // node allocation (the dominant cost on the sharded path) and iterates
+  // groups in a canonical order, independent of any container history.
+  struct Tuple {
+    std::uint64_t net64;
     std::uint32_t day;
     net::Prefix4 v4;
   };
-  std::unordered_map<std::uint64_t, std::vector<DayObs>> by_64;
-  std::unordered_map<net::Prefix4, std::unordered_set<std::uint64_t>> by_24;
-
+  std::vector<Tuple> tuples;
+  tuples.reserve(log.records.size());
   for (const auto& rec : log.records) {
     if (options_.require_asn_match && rec.asn4 != rec.asn6) {
       ++asn_stats.mismatched;
@@ -31,49 +34,98 @@ void CdnAnalyzer::add_log(const cdn::AssociationLog& log) {
     }
     ++asn_stats.tuples;
     ++total_tuples_;
-    std::uint64_t net64 = rec.v6_64.address().network64();
-    by_64[net64].push_back({rec.day, rec.v4_24});
-    by_24[rec.v4_24].insert(net64);
+    tuples.push_back({rec.v6_64.address().network64(), rec.day, rec.v4_24});
   }
+  // Stable: records arrive day-sorted per log; keep that order per /64.
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.net64 < b.net64;
+                   });
 
-  for (auto& [net64, obs] : by_64) {
+  for (std::size_t lo = 0; lo < tuples.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < tuples.size() && tuples[hi].net64 == tuples[lo].net64) ++hi;
+
     ++asn_stats.unique_64s;
-    zeros.add(classify_trailing_zeros(net64));
+    zeros.add(classify_trailing_zeros(tuples[lo].net64));
 
-    // Records arrive day-sorted per log; dedupe same-day repeats.
-    std::unordered_set<net::Prefix4> distinct_24s;
-    std::uint32_t run_start = obs.front().day;
-    std::uint32_t run_last = obs.front().day;
-    net::Prefix4 run_24 = obs.front().v4;
-    distinct_24s.insert(run_24);
+    // Association runs of this /64, deduping same-day repeats.
+    bool multi_24 = false;
+    std::uint32_t run_start = tuples[lo].day;
+    std::uint32_t run_last = tuples[lo].day;
+    net::Prefix4 run_24 = tuples[lo].v4;
     auto close_run = [&](std::uint32_t last) {
       double days = double(last - run_start + 1);
       asn_stats.durations_days.push_back(days);
       reg_durations.push_back(days);
     };
-    for (std::size_t i = 1; i < obs.size(); ++i) {
-      const DayObs& o = obs[i];
-      distinct_24s.insert(o.v4);
-      bool gap = o.day > run_last + options_.max_gap_days;
-      if (o.v4 != run_24 || gap) {
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const Tuple& t = tuples[i];
+      multi_24 |= t.v4 != run_24;
+      bool gap = t.day > run_last + options_.max_gap_days;
+      if (t.v4 != run_24 || gap) {
         close_run(run_last);
-        run_start = o.day;
-        run_24 = o.v4;
+        run_start = t.day;
+        run_24 = t.v4;
       }
-      run_last = o.day;
+      run_last = t.day;
     }
     close_run(run_last);
 
-    if (distinct_24s.size() == 1) {
-      ++single_24_64s_[mobile];
-    } else {
+    if (multi_24) {
       ++multi_24_64s_[mobile];
+    } else {
+      ++single_24_64s_[mobile];
     }
+    lo = hi;
   }
 
-  degrees_.reserve(degrees_.size() + by_24.size());
-  for (const auto& [p24, set64] : by_24)
-    degrees_.emplace_back(std::uint32_t(set64.size()), mobile);
+  // Per-/24 degrees: sort (v4, net64) pairs and count unique /64s per /24.
+  struct Pair {
+    net::Prefix4 v4;
+    std::uint64_t net64;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(tuples.size());
+  for (const Tuple& t : tuples) pairs.push_back({t.v4, t.net64});
+  auto pair_less = [](const Pair& a, const Pair& b) {
+    if (a.v4 != b.v4) return a.v4 < b.v4;
+    return a.net64 < b.net64;
+  };
+  auto pair_eq = [](const Pair& a, const Pair& b) {
+    return a.v4 == b.v4 && a.net64 == b.net64;
+  };
+  std::sort(pairs.begin(), pairs.end(), pair_less);
+  pairs.erase(std::unique(pairs.begin(), pairs.end(), pair_eq), pairs.end());
+  for (std::size_t lo = 0; lo < pairs.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < pairs.size() && pairs[hi].v4 == pairs[lo].v4) ++hi;
+    degrees_.emplace_back(std::uint32_t(hi - lo), mobile);
+    lo = hi;
+  }
+}
+
+void CdnAnalyzer::merge(CdnAnalyzer&& other) {
+  for (auto& [asn, stats] : other.by_asn_) {
+    auto [it, inserted] = by_asn_.try_emplace(asn, std::move(stats));
+    if (!inserted) it->second.merge(stats);
+  }
+  for (auto& [cls, durations] : other.registry_durations_) {
+    auto [it, inserted] = registry_durations_.try_emplace(
+        cls, std::move(durations));
+    if (!inserted)
+      it->second.insert(it->second.end(), durations.begin(), durations.end());
+  }
+  degrees_.insert(degrees_.end(), other.degrees_.begin(),
+                  other.degrees_.end());
+  for (auto& [cls, counts] : other.zero_counts_)
+    zero_counts_[cls].merge(counts);
+  for (int m = 0; m < 2; ++m) {
+    single_24_64s_[m] += other.single_24_64s_[m];
+    multi_24_64s_[m] += other.multi_24_64s_[m];
+  }
+  total_tuples_ += other.total_tuples_;
+  total_mismatched_ += other.total_mismatched_;
 }
 
 double CdnAnalyzer::fraction_64s_with_single_24(bool mobile) const {

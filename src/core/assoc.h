@@ -41,6 +41,16 @@ struct AsnAssocStats {
   std::uint64_t tuples = 0;            ///< accepted association tuples
   std::uint64_t mismatched = 0;        ///< dropped by the ASN filter
   std::uint64_t unique_64s = 0;
+
+  /// Absorb another shard's stats for the same ASN; durations are appended
+  /// after ours, so merging shards in index order preserves log order.
+  void merge(const AsnAssocStats& o) {
+    durations_days.insert(durations_days.end(), o.durations_days.begin(),
+                          o.durations_days.end());
+    tuples += o.tuples;
+    mismatched += o.mismatched;
+    unique_64s += o.unique_64s;
+  }
 };
 
 /// Key for (registry, mobile) groupings.
@@ -63,6 +73,14 @@ class CdnAnalyzer {
       : options_(options), mobile_asns_(std::move(mobile_asns)) {}
 
   void add_log(const cdn::AssociationLog& log);
+
+  // Sink interface (core/parallel.h). Per-log output is a pure function of
+  // the log, and merge appends the other shard's append-ordered vectors
+  // after ours, so shards merged in index order are byte-identical to the
+  // serial run.
+  void add(const cdn::AssociationLog& log) { add_log(log); }
+  void merge(CdnAnalyzer&& other);
+  void finalize() {}
 
   /// Per-ASN stats (Fig. 2 inputs).
   const std::map<bgp::Asn, AsnAssocStats>& by_asn() const { return by_asn_; }

@@ -9,6 +9,13 @@ bool DurationAnalyzer::is_dual_stack(const CleanProbe& probe) {
          kDualStackCoverage * double(probe.v4.size());
 }
 
+void DurationAnalyzer::merge(DurationAnalyzer&& other) {
+  for (auto& [asn, stats] : other.by_as_) {
+    auto [it, inserted] = by_as_.try_emplace(asn, std::move(stats));
+    if (!inserted) it->second.merge(stats);
+  }
+}
+
 void DurationAnalyzer::add_probe(const CleanProbe& probe) {
   AsDurationStats& as = by_as_[probe.asn];
   as.asn = probe.asn;

@@ -38,6 +38,21 @@ struct AsDurationStats {
   double cooccurrence() const {
     return cooccur_total ? double(cooccur_hits) / double(cooccur_total) : 0.0;
   }
+
+  /// Absorb another shard's accumulation for the same AS.
+  void merge(const AsDurationStats& o) {
+    v4_nds.merge(o.v4_nds);
+    v4_ds.merge(o.v4_ds);
+    v6.merge(o.v6);
+    probes += o.probes;
+    ds_probes += o.ds_probes;
+    probes_with_change += o.probes_with_change;
+    v4_changes += o.v4_changes;
+    v4_changes_ds += o.v4_changes_ds;
+    v6_changes += o.v6_changes;
+    cooccur_hits += o.cooccur_hits;
+    cooccur_total += o.cooccur_total;
+  }
 };
 
 /// Streaming per-AS aggregation over cleaned probes.
@@ -51,6 +66,12 @@ class DurationAnalyzer {
   static constexpr double kDualStackCoverage = 0.5;
 
   void add_probe(const CleanProbe& probe);
+
+  // Sink interface (core/parallel.h): everything here is a per-AS sum, so
+  // merging shards in any order reproduces the serial result exactly.
+  void add(const CleanProbe& probe) { add_probe(probe); }
+  void merge(DurationAnalyzer&& other);
+  void finalize() {}
 
   const std::map<bgp::Asn, AsDurationStats>& by_as() const { return by_as_; }
 

@@ -52,6 +52,25 @@ ZeroBoundary classify_trailing_zeros(std::uint64_t net64) {
   return ZeroBoundary::kNone;
 }
 
+void InferenceCollector::add(const CleanProbe& probe) {
+  if (auto inf = infer_subscriber_prefix(probe))
+    subscriber_[probe.asn].push_back(*inf);
+  if (auto pool = infer_pool(probe)) pool_[probe.asn].push_back(*pool);
+}
+
+void InferenceCollector::merge(InferenceCollector&& other) {
+  for (auto& [asn, infs] : other.subscriber_) {
+    auto [it, inserted] = subscriber_.try_emplace(asn, std::move(infs));
+    if (!inserted)
+      it->second.insert(it->second.end(), infs.begin(), infs.end());
+  }
+  for (auto& [asn, infs] : other.pool_) {
+    auto [it, inserted] = pool_.try_emplace(asn, std::move(infs));
+    if (!inserted)
+      it->second.insert(it->second.end(), infs.begin(), infs.end());
+  }
+}
+
 const char* zero_boundary_name(ZeroBoundary b) {
   switch (b) {
     case ZeroBoundary::kNone: return "none";

@@ -14,8 +14,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <vector>
 
+#include "bgp/rib.h"
 #include "core/sanitize.h"
 
 namespace dynamips::core {
@@ -63,6 +66,10 @@ struct ZeroBoundaryCounts {
   std::array<std::uint64_t, 5> counts{};  // indexed by ZeroBoundary
 
   void add(ZeroBoundary b) { ++counts[std::size_t(b)]; }
+  /// Absorb another tally (shard reduction); plain per-class sums.
+  void merge(const ZeroBoundaryCounts& o) {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  }
   std::uint64_t total() const {
     std::uint64_t t = 0;
     for (auto c : counts) t += c;
@@ -77,6 +84,37 @@ struct ZeroBoundaryCounts {
     std::uint64_t t = total();
     return t ? double(counts[std::size_t(b)]) / double(t) : 0.0;
   }
+};
+
+/// Streaming per-AS collector running both per-probe inferences — the sink
+/// the pipeline feeds cleaned probes into (core/parallel.h concept). The
+/// per-AS vectors are append-ordered by probe, so shards merged in index
+/// order reproduce the serial ordering exactly.
+class InferenceCollector {
+ public:
+  void add(const CleanProbe& probe);
+  void merge(InferenceCollector&& other);
+  void finalize() {}
+
+  const std::map<bgp::Asn, std::vector<SubscriberInference>>& subscriber()
+      const {
+    return subscriber_;
+  }
+  const std::map<bgp::Asn, std::vector<PoolInference>>& pools() const {
+    return pool_;
+  }
+
+  /// Move the collected maps out (pipeline reduction).
+  std::map<bgp::Asn, std::vector<SubscriberInference>> take_subscriber() {
+    return std::move(subscriber_);
+  }
+  std::map<bgp::Asn, std::vector<PoolInference>> take_pools() {
+    return std::move(pool_);
+  }
+
+ private:
+  std::map<bgp::Asn, std::vector<SubscriberInference>> subscriber_;
+  std::map<bgp::Asn, std::vector<PoolInference>> pool_;
 };
 
 }  // namespace dynamips::core

@@ -1,6 +1,39 @@
 #include "core/pipeline.h"
 
+#include <utility>
+
 namespace dynamips::core {
+
+namespace {
+
+/// One shard's private analyzer set for the Atlas study.
+struct AtlasShard {
+  Sanitizer sanitizer;
+  DurationAnalyzer durations;
+  SpatialAnalyzer spatial;
+  InferenceCollector inference;
+
+  AtlasShard(const bgp::Rib& rib, const AtlasStudyConfig& config)
+      : sanitizer(rib, config.sanitize),
+        durations(config.changes),
+        spatial(rib) {}
+
+  void merge(AtlasShard&& other) {
+    sanitizer.merge(std::move(other.sanitizer));
+    durations.merge(std::move(other.durations));
+    spatial.merge(std::move(other.spatial));
+    inference.merge(std::move(other.inference));
+  }
+
+  void finalize() {
+    sanitizer.finalize();
+    durations.finalize();
+    spatial.finalize();
+    inference.finalize();
+  }
+};
+
+}  // namespace
 
 AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
                            const AtlasStudyConfig& config) {
@@ -9,24 +42,40 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
   for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
 
   atlas::AtlasSimulator sim(isps, config.atlas);
-  Sanitizer sanitizer(study.rib, config.sanitize);
-  DurationAnalyzer durations(config.changes);
-  SpatialAnalyzer spatial(study.rib);
 
-  for (std::size_t i = 0; i < sim.probe_count(); ++i) {
-    ProbeObservations obs = from_series(sim.series_for(i));
-    for (const CleanProbe& cp : sanitizer.sanitize(obs)) {
-      durations.add_probe(cp);
-      spatial.add_probe(cp);
-      if (auto inf = infer_subscriber_prefix(cp))
-        study.subscriber_inference[cp.asn].push_back(*inf);
-      if (auto pool = infer_pool(cp))
-        study.pool_inference[cp.asn].push_back(*pool);
+  ShardExecutor exec(config.threads);
+  auto ranges = shard_ranges(sim.probe_count(), exec.thread_count());
+  std::vector<AtlasShard> shards;
+  shards.reserve(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s)
+    shards.emplace_back(study.rib, config);
+
+  // Per-probe generation is a pure function of (config, isps, index), and
+  // each shard writes only its own analyzer set, so shards race on nothing.
+  exec.dispatch(ranges.size(), [&](std::size_t s) {
+    AtlasShard& shard = shards[s];
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      ProbeObservations obs = from_series(sim.series_for(i));
+      for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
+        shard.durations.add(cp);
+        shard.spatial.add(cp);
+        shard.inference.add(cp);
+      }
     }
-  }
-  study.sanitize = sanitizer.stats();
-  study.durations = durations.by_as();
-  study.spatial = spatial.by_as();
+  });
+
+  // Ordered reduction: shard 0 absorbs the rest in index order, which keeps
+  // every append-ordered vector in the exact order of the serial run.
+  AtlasShard& root = shards.front();
+  for (std::size_t s = 1; s < shards.size(); ++s)
+    root.merge(std::move(shards[s]));
+  root.finalize();
+
+  study.sanitize = root.sanitizer.stats();
+  study.durations = root.durations.by_as();
+  study.spatial = root.spatial.by_as();
+  study.subscriber_inference = root.inference.take_subscriber();
+  study.pool_inference = root.inference.take_pools();
   return study;
 }
 
@@ -36,8 +85,19 @@ CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
   CdnStudy study{CdnAnalyzer(config.assoc, sim.mobile_asns()), {}};
   for (const auto& entry : population)
     study.asn_names[entry.isp.asn] = entry.isp.name;
-  for (std::size_t i = 0; i < sim.entry_count(); ++i)
-    study.analyzer.add_log(sim.generate(i));
+
+  ShardExecutor exec(config.threads);
+  auto ranges = shard_ranges(sim.entry_count(), exec.thread_count());
+  std::vector<CdnAnalyzer> shards(
+      ranges.size(), CdnAnalyzer(config.assoc, sim.mobile_asns()));
+
+  exec.dispatch(ranges.size(), [&](std::size_t s) {
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
+      shards[s].add(sim.generate(i));
+  });
+
+  for (auto& shard : shards) study.analyzer.merge(std::move(shard));
+  study.analyzer.finalize();
   return study;
 }
 

@@ -3,7 +3,11 @@
 // Convenience orchestration used by the benchmark harness, the examples and
 // the integration tests: generate the synthetic dataset, sanitize it, and
 // run every analyzer, returning one results object per study. Probes/logs
-// are processed one at a time so memory stays flat regardless of scale.
+// are processed one at a time so memory stays flat regardless of scale, and
+// the index space is sharded across a fixed thread pool (core/parallel.h):
+// every analyzer is a mergeable sink, each shard owns a private analyzer
+// set, and shards are reduced in index order, so results are byte-identical
+// for every `threads` setting (`threads = 1` is the plain serial path).
 #pragma once
 
 #include <map>
@@ -15,15 +19,31 @@
 #include "core/assoc.h"
 #include "core/durations.h"
 #include "core/inference.h"
+#include "core/parallel.h"
 #include "core/sanitize.h"
 #include "core/spatial.h"
 
 namespace dynamips::core {
 
+/// The analyzer sink concepts the pipeline runs on (see core/parallel.h).
+template <typename A>
+concept ProbeAnalyzer = SinkOf<A, CleanProbe>;
+template <typename A>
+concept LogAnalyzer = SinkOf<A, cdn::AssociationLog>;
+
+static_assert(ProbeAnalyzer<DurationAnalyzer>);
+static_assert(ProbeAnalyzer<SpatialAnalyzer>);
+static_assert(ProbeAnalyzer<InferenceCollector>);
+static_assert(LogAnalyzer<CdnAnalyzer>);
+static_assert(MergeableAnalyzer<Sanitizer>);
+
 struct AtlasStudyConfig {
   atlas::AtlasConfig atlas;
   SanitizeOptions sanitize;
   ChangeOptions changes;
+  /// Shard/thread count: 0 = hardware_concurrency, 1 = serial. Results are
+  /// identical for every value; only wall-clock changes.
+  unsigned threads = 0;
 };
 
 /// Everything the Atlas-side benches print.
@@ -44,6 +64,8 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
 struct CdnStudyConfig {
   cdn::CdnConfig cdn;
   AssocOptions assoc;
+  /// Shard/thread count: 0 = hardware_concurrency, 1 = serial.
+  unsigned threads = 0;
 };
 
 /// Everything the CDN-side benches print.

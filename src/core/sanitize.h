@@ -72,6 +72,20 @@ struct SanitizeStats {
   std::uint64_t dropped_v6_mismatch = 0;
   std::uint64_t dropped_multihomed = 0;
   std::uint64_t test_address_records = 0;  ///< 193.0.0.78 records removed
+
+  /// Absorb another shard's accounting; all fields are plain sums.
+  void merge(const SanitizeStats& o) {
+    probes_seen += o.probes_seen;
+    probes_kept += o.probes_kept;
+    virtual_probes += o.virtual_probes;
+    split_probes += o.split_probes;
+    dropped_short += o.dropped_short;
+    dropped_bad_tag += o.dropped_bad_tag;
+    dropped_public_src += o.dropped_public_src;
+    dropped_v6_mismatch += o.dropped_v6_mismatch;
+    dropped_multihomed += o.dropped_multihomed;
+    test_address_records += o.test_address_records;
+  }
 };
 
 /// Stateless per-probe sanitizer (stats accumulate across calls).
@@ -82,6 +96,10 @@ class Sanitizer {
   /// Sanitize one probe. Returns zero CleanProbes when fully filtered, one
   /// for a typical probe, several for a probe that moved between ASes.
   std::vector<CleanProbe> sanitize(const ProbeObservations& probe);
+
+  /// Absorb another sanitizer's filter accounting (shard reduction).
+  void merge(Sanitizer&& other) { stats_.merge(other.stats_); }
+  void finalize() {}
 
   const SanitizeStats& stats() const { return stats_; }
 

@@ -8,6 +8,13 @@
 
 namespace dynamips::core {
 
+void SpatialAnalyzer::merge(SpatialAnalyzer&& other) {
+  for (auto& [asn, stats] : other.by_as_) {
+    auto [it, inserted] = by_as_.try_emplace(asn, std::move(stats));
+    if (!inserted) it->second.merge(std::move(stats));
+  }
+}
+
 void SpatialAnalyzer::add_probe(const CleanProbe& probe) {
   AsSpatialStats& as = by_as_[probe.asn];
   as.asn = probe.asn;

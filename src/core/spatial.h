@@ -29,6 +29,14 @@ struct CplHistogram {
     for (auto c : changes) t += c;
     return t;
   }
+
+  /// Absorb another histogram (shard reduction); bins are plain sums.
+  void merge(const CplHistogram& o) {
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      changes[i] += o.changes[i];
+      probes[i] += o.probes[i];
+    }
+  }
 };
 
 /// The aggregation lengths Fig. 8 plots (plus BGP handled separately).
@@ -60,6 +68,24 @@ struct AsSpatialStats {
   double pct_v6_diff_bgp() const {
     return v6_changes ? 100.0 * double(v6_diff_bgp) / double(v6_changes) : 0;
   }
+
+  /// Absorb another shard's accumulation for the same AS. The per-probe
+  /// vectors (Fig. 8) are appended after ours, so merging shards in index
+  /// order preserves the serial per-probe ordering.
+  void merge(AsSpatialStats&& o) {
+    cpl.merge(o.cpl);
+    v4_changes += o.v4_changes;
+    v4_diff_24 += o.v4_diff_24;
+    v4_diff_bgp += o.v4_diff_bgp;
+    v6_changes += o.v6_changes;
+    v6_diff_bgp += o.v6_diff_bgp;
+    for (auto& [len, counts] : o.unique_prefixes) {
+      auto& mine = unique_prefixes[len];
+      mine.insert(mine.end(), counts.begin(), counts.end());
+    }
+    unique_bgp.insert(unique_bgp.end(), o.unique_bgp.begin(),
+                      o.unique_bgp.end());
+  }
 };
 
 /// Streaming per-AS spatial aggregation over cleaned probes.
@@ -68,6 +94,12 @@ class SpatialAnalyzer {
   explicit SpatialAnalyzer(const bgp::Rib& rib) : rib_(rib) {}
 
   void add_probe(const CleanProbe& probe);
+
+  // Sink interface (core/parallel.h). Merge shards in index order: the
+  // Fig. 8 per-probe vectors are append-ordered by probe.
+  void add(const CleanProbe& probe) { add_probe(probe); }
+  void merge(SpatialAnalyzer&& other);
+  void finalize() {}
 
   const std::map<bgp::Asn, AsSpatialStats>& by_as() const { return by_as_; }
 

@@ -13,6 +13,19 @@
 
 namespace dynamips::net {
 
+/// SplitMix64 finalizer: bijectively scramble a pre-mixed 64-bit value into
+/// a well-distributed seed. Shared by every per-entity stream derivation in
+/// the library (Atlas probes, CDN logs, subscriber timelines): callers fold
+/// (root seed, entity id) into `z` however they like, then finalize here.
+/// Deriving one independent `Rng` per entity — instead of sharing a mutable
+/// generator — is also what makes the simulators safe to call concurrently
+/// from many shards.
+constexpr std::uint64_t mix_seed(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** generator seeded via SplitMix64. Deterministic across
 /// platforms; not cryptographic.
 class Rng {

@@ -9,10 +9,7 @@ namespace {
 
 // Stable per-subscriber seed derivation (SplitMix64 over seed and id).
 std::uint64_t mix(std::uint64_t seed, std::uint64_t id) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (id + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  return net::mix_seed(seed + 0x9e3779b97f4a7c15ull * (id + 1));
 }
 
 }  // namespace

@@ -55,6 +55,10 @@ struct SubscriberTimeline {
 };
 
 /// Deterministic per-subscriber timeline generation for one ISP.
+///
+/// Thread safety: `generate` is const and draws from a per-subscriber RNG
+/// stream derived via net::mix_seed from (seed, id), so concurrent calls
+/// from multiple shards are safe and order-independent.
 class TimelineGenerator {
  public:
   TimelineGenerator(IspProfile profile, std::uint64_t seed);

@@ -18,6 +18,15 @@ class Ecdf {
     sorted_ = false;
   }
 
+  /// Absorb another accumulator's samples (shard reduction). Queries are
+  /// order-independent, so merging in any order yields the same CDF.
+  void merge(const Ecdf& other) {
+    if (other.samples_.empty()) return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

@@ -6,6 +6,7 @@
 // multiplexed blocks). This class produces those series.
 #pragma once
 
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -27,6 +28,16 @@ class LogHistogram {
   void add(double value, double weight = 1.0) {
     counts_[bin_of(value)] += weight;
     total_ += weight;
+  }
+
+  /// Absorb another histogram with identical binning (shard reduction).
+  /// Precondition: same lo/hi exponents and bins-per-decade.
+  void merge(const LogHistogram& other) {
+    assert(counts_.size() == other.counts_.size() &&
+           lo_exp_ == other.lo_exp_ && per_decade_ == other.per_decade_);
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    total_ += other.total_;
   }
 
   std::size_t bin_count() const { return counts_.size(); }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -58,6 +59,44 @@ class PeriodicityDetector {
 
  private:
   PeriodicityOptions opts_;
+};
+
+/// Mergeable tally of how many networks exhibit consistent periodic
+/// renumbering, bucketed by detected period — the paper's "35 networks"
+/// count (§3.2). Shards tally their ASes independently and merge.
+class PeriodicNetworkCounter {
+ public:
+  explicit PeriodicNetworkCounter(PeriodicityOptions opts = {})
+      : detector_(opts) {}
+
+  /// Tally one network's duration accumulator.
+  void add(const TotalTimeFraction& ttf) {
+    ++networks_;
+    if (auto mode = detector_.dominant(ttf)) {
+      ++periodic_;
+      ++by_period_[mode->period_hours];
+    }
+  }
+
+  /// Absorb another counter (shard reduction); sums are order-independent.
+  void merge(const PeriodicNetworkCounter& other) {
+    networks_ += other.networks_;
+    periodic_ += other.periodic_;
+    for (auto [p, n] : other.by_period_) by_period_[p] += n;
+  }
+
+  std::uint64_t networks() const { return networks_; }
+  std::uint64_t periodic_networks() const { return periodic_; }
+  /// Period (hours) -> number of networks dominated by that period.
+  const std::map<std::uint64_t, std::uint64_t>& by_period() const {
+    return by_period_;
+  }
+
+ private:
+  PeriodicityDetector detector_;
+  std::uint64_t networks_ = 0;
+  std::uint64_t periodic_ = 0;
+  std::map<std::uint64_t, std::uint64_t> by_period_;
 };
 
 }  // namespace dynamips::stats

@@ -3,7 +3,8 @@
 // paper's supplemental data release.
 //
 // Usage: dynamips_study [output_dir] [--scale S] [--window HOURS]
-//                       [--seed N] [--atlas-only|--cdn-only]
+//                       [--seed N] [--threads N] [--atlas-only|--cdn-only]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +23,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [output_dir] [--scale S] [--window HOURS] "
-               "[--seed N] [--atlas-only|--cdn-only]\n",
+               "[--seed N] [--threads N] [--atlas-only|--cdn-only]\n",
                argv0);
 }
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   std::filesystem::path out_dir = "dynamips_results";
   double scale = 0.3;
   std::uint64_t window = 30000, seed = 1;
+  unsigned threads = 0;  // 0 = hardware_concurrency
   bool atlas = true, cdn = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +58,8 @@ int main(int argc, char** argv) {
       window = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = unsigned(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -79,15 +83,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const unsigned effective = core::resolve_threads(threads);
+
   if (atlas) {
-    std::printf("Atlas study (scale %.2f, window %llu h, seed %llu)...\n",
-                scale, (unsigned long long)window,
-                (unsigned long long)seed);
+    std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
+                "%u shards)...\n",
+                scale, (unsigned long long)window, (unsigned long long)seed,
+                effective);
     core::AtlasStudyConfig cfg;
     cfg.atlas.probe_scale = scale;
     cfg.atlas.window_hours = window;
     cfg.atlas.seed = seed;
+    cfg.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
     auto study = core::run_atlas_study(simnet::paper_isps(), cfg);
+    std::printf("  analyzed %llu probes in %.2fs\n",
+                (unsigned long long)study.sanitize.probes_seen,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
     write_file(out_dir / "fig1_duration_curves.csv", [&](std::ostream& os) {
       io::write_duration_curves_csv(os, study);
     });
@@ -103,13 +117,21 @@ int main(int argc, char** argv) {
   }
 
   if (cdn) {
-    std::printf("CDN study (scale %.2f, seed %llu)...\n", scale,
-                (unsigned long long)seed);
+    std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n", scale,
+                (unsigned long long)seed, effective);
     core::CdnStudyConfig cfg;
     cfg.cdn.subscriber_scale = scale;
     cfg.cdn.seed = seed * 977;
+    cfg.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
     auto study =
         core::run_cdn_study(cdn::default_cdn_population(scale), cfg);
+    std::printf("  analyzed %llu tuples in %.2fs\n",
+                (unsigned long long)(study.analyzer.total_tuples() +
+                                     study.analyzer.total_mismatched()),
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
     write_file(out_dir / "fig23_assoc_durations.csv", [&](std::ostream& os) {
       io::write_assoc_durations_csv(os, study);
     });
