@@ -60,5 +60,5 @@ int main(int argc, char** argv) {
   std::printf("\nWithout the filter, foreign /24s split long fixed-line "
               "associations (shorter median) — exactly the spurious-churn "
               "artifact §4.1 pre-processing exists to remove.\n");
-  return 0;
+  return bench::finish();
 }

@@ -89,5 +89,5 @@ int main(int argc, char** argv) {
               "expiry mechanics rather than a calibrated draw — the "
               "cross-check that the calibration is not baking in the "
               "conclusion.\n");
-  return 0;
+  return bench::finish();
 }

@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
               "including them *shortens* apparent durations for stable ISPs "
               "and muddies the periodic modes — the curves differ most "
               "exactly where the paper draws conclusions.\n");
-  return 0;
+  return bench::finish();
 }

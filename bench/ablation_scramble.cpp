@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
               "that the method overestimates for such CPEs — and their "
               "intra-delegation rotations create the CPL >= 56 cluster of "
               "Fig. 5b.\n");
-  return 0;
+  return bench::finish();
 }

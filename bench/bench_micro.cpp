@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/changes.h"
 #include "netaddr/ipv4.h"
 #include "netaddr/ipv6.h"
@@ -120,4 +121,15 @@ BENCHMARK(BM_CommonPrefixLength64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the shared bench flags on top:
+// bench::init strips --threads/--metrics-out before google-benchmark sees
+// argv, and bench::finish emits the metrics document (peak RSS and any
+// study phases) like every other bench binary.
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return bench::finish();
+}

@@ -8,9 +8,13 @@
 //   DYNAMIPS_WINDOW_HOURS Atlas observation window (default 30000 ~ 3.4 y)
 //   DYNAMIPS_SEED         simulation seed (default 1)
 //   DYNAMIPS_THREADS      pipeline shard/thread count (default 0 = all cores)
-// plus a `--threads N` flag (parsed by bench::init) that overrides the env
-// var. Thread count never changes results — only wall-clock, which each
-// study reports to stderr together with its throughput.
+//   DYNAMIPS_METRICS      metrics JSON output path (empty = metrics off)
+// plus `--threads N` and `--metrics-out FILE` flags (parsed by bench::init)
+// that override the env vars. Thread count never changes results — only
+// wall-clock, which each study reports to stderr together with its
+// throughput. When metrics are enabled the shared studies record into the
+// process-wide obs::MetricsRegistry and bench::finish() (call it from the
+// end of main) writes the schema-versioned JSON document.
 #pragma once
 
 #include <chrono>
@@ -20,6 +24,8 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "simnet/isp.h"
 
 namespace dynamips::bench {
@@ -40,17 +46,80 @@ inline unsigned& thread_setting() {
   return threads;
 }
 
-/// Parse shared command-line flags (currently just `--threads N` /
-/// `--threads=N`). Call first thing in main, before touching the studies.
-inline void init(int argc, char** argv) {
+/// Metrics JSON output path; empty disables metrics entirely.
+inline std::string& metrics_out_setting() {
+  static std::string path = [] {
+    const char* v = std::getenv("DYNAMIPS_METRICS");
+    return v ? std::string(v) : std::string();
+  }();
+  return path;
+}
+
+inline bool metrics_enabled() { return !metrics_out_setting().empty(); }
+
+/// argv[0] basename, stamped into the metrics document's meta.binary.
+inline std::string& binary_name() {
+  static std::string name = "bench";
+  return name;
+}
+
+/// Parse shared command-line flags (`--threads N`, `--metrics-out FILE`,
+/// and their `=` forms). Call first thing in main, before touching the
+/// studies. Consumed flags are stripped from argv (argc is updated), so
+/// binaries with their own argument parsing — e.g. google-benchmark in
+/// bench_micro — never see them.
+inline void init(int& argc, char** argv) {
+  if (argc > 0 && argv[0]) {
+    const char* base = std::strrchr(argv[0], '/');
+    binary_name() = base ? base + 1 : argv[0];
+  }
+  int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       thread_setting() = unsigned(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       thread_setting() = unsigned(std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out_setting() = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out_setting() = arg + 14;
+    } else {
+      argv[out++] = argv[i];
     }
   }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+/// Registry handed to the shared studies: the process-wide one when
+/// metrics are enabled, null (all metric work skipped) otherwise.
+inline obs::MetricsRegistry* study_metrics() {
+  return metrics_enabled() ? &obs::MetricsRegistry::global() : nullptr;
+}
+
+/// Write the metrics JSON document if `--metrics-out`/`DYNAMIPS_METRICS`
+/// was given. Returns main()'s exit status: 0 on success (or when metrics
+/// are off), 1 when the file cannot be written.
+inline int finish() {
+  const std::string& path = metrics_out_setting();
+  if (path.empty()) return 0;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_gauge("process.peak_rss_bytes",
+                     double(obs::peak_rss_bytes()));
+  obs::MetricsMeta meta;
+  meta.binary = binary_name();
+  meta.scale = env_double("DYNAMIPS_SCALE", 0.3);
+  meta.seed = env_u64("DYNAMIPS_SEED", 1);
+  meta.window_hours = env_u64("DYNAMIPS_WINDOW_HOURS", 30000);
+  meta.threads = core::resolve_threads(thread_setting());
+  if (!obs::write_metrics_json(path, registry.snapshot(), meta)) {
+    std::fprintf(stderr, "[bench] cannot write metrics to %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench] wrote metrics to %s\n", path.c_str());
+  return 0;
 }
 
 inline core::AtlasStudyConfig default_atlas_config() {
@@ -59,6 +128,7 @@ inline core::AtlasStudyConfig default_atlas_config() {
   cfg.atlas.window_hours = env_u64("DYNAMIPS_WINDOW_HOURS", 30000);
   cfg.atlas.seed = env_u64("DYNAMIPS_SEED", 1);
   cfg.threads = thread_setting();
+  cfg.metrics = study_metrics();
   return cfg;
 }
 
@@ -67,6 +137,7 @@ inline core::CdnStudyConfig default_cdn_config() {
   cfg.cdn.subscriber_scale = env_double("DYNAMIPS_SCALE", 0.3);
   cfg.cdn.seed = env_u64("DYNAMIPS_SEED", 1) * 977;
   cfg.threads = thread_setting();
+  cfg.metrics = study_metrics();
   return cfg;
 }
 
@@ -80,6 +151,9 @@ inline const core::AtlasStudy& shared_atlas_study() {
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    if (metrics_enabled())
+      obs::MetricsRegistry::global().record_phase(
+          "bench.atlas_study_wall", std::uint64_t(secs * 1e9));
     std::fprintf(stderr,
                  "[bench] atlas study: %llu probes in %.2fs "
                  "(%.0f probes/s, %u threads)\n",
@@ -102,6 +176,9 @@ inline const core::CdnStudy& shared_cdn_study() {
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    if (metrics_enabled())
+      obs::MetricsRegistry::global().record_phase(
+          "bench.cdn_study_wall", std::uint64_t(secs * 1e9));
     std::uint64_t tuples =
         s.analyzer.total_tuples() + s.analyzer.total_mismatched();
     std::fprintf(stderr,
@@ -124,10 +201,13 @@ inline bgp::Asn asn_of(const core::AtlasStudy& study,
 }
 
 inline void print_banner(const char* artifact, const char* description) {
-  std::printf("================================================================\n");
+  std::printf(
+      "================================================================\n");
   std::printf("%s — %s\n", artifact, description);
-  std::printf("(synthetic reproduction; compare shapes, not absolute counts)\n");
-  std::printf("================================================================\n");
+  std::printf(
+      "(synthetic reproduction; compare shapes, not absolute counts)\n");
+  std::printf(
+      "================================================================\n");
 }
 
 }  // namespace dynamips::bench

@@ -13,7 +13,8 @@ namespace {
 
 void print_panel(const char* title, const core::AtlasStudy& study,
                  const std::vector<std::string>& names,
-                 const stats::TotalTimeFraction core::AsDurationStats::*member) {
+                 const stats::TotalTimeFraction
+                     core::AsDurationStats::*member) {
   auto thresholds = stats::fig1_thresholds();
   std::printf("\n-- %s (cumulative total time fraction) --\n", title);
   std::printf("%-10s", "AS");
@@ -51,5 +52,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shapes (paper): v6 curves sit right of v4; DTAG "
               "mode at 1d, Proximus at 1.5d, Orange at 1w, BT at 2w in "
               "non-dual-stack v4; dual-stack v4 is right of non-dual-stack.\n");
-  return 0;
+  return bench::finish();
 }

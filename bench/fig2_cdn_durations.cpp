@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
               "shorter of the two families' assignment durations — DTAG and "
               "BT medians near their v4 renumbering periods (~1w / ~2w), "
               "the others spread to months.\n");
-  return 0;
+  return bench::finish();
 }

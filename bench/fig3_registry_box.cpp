@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): fixed boxes span weeks-months "
               "(ARIN longest); mobile boxes hug 1 day except the RIPE tail "
               "(EE Ltd reaching ~50 days).\n");
-  return 0;
+  return bench::finish();
 }

@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): mobile degrees peak around 10^4.."
               "10^5 (CGNAT multiplexing); fixed degrees peak at ~150-256, "
               "in line with the active-address count of residential /24s.\n");
-  return 0;
+  return bench::finish();
 }

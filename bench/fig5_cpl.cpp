@@ -35,5 +35,5 @@ int main(int argc, char** argv) {
               "secondary cluster >= 56 (CPE scrambling) and nothing below "
               "~19; LGI around 44; Orange between 36 and 48; BT bimodal "
               "(26..32 and 44+).\n");
-  return 0;
+  return bench::finish();
 }

@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
               "Orange, Sky U.K. and Versatel; /62 for Kabel DE; /48 bars "
               "for Netcologne; a second DTAG spike at /64 caused by "
               "CPE scrambling; Comcast spread across /60 and /64.\n");
-  return 0;
+  return bench::finish();
 }

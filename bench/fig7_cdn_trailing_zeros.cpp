@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
               "(>60%% of /64s with 8+ trailing zero bits); ARIN split "
               "between /60 and /56 (~59%% inferable); LACNIC mostly "
               "uninferable (~15%%); mobile shows no consistent zeros.\n");
-  return 0;
+  return bench::finish();
 }

@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
               "the /64 count (few repeats), while /40 and shorter collapse "
               "to a handful — most assignments stay within the same /40 "
               "pool, and BGP prefixes rarely exceed 1-2.\n");
-  return 0;
+  return bench::finish();
 }

@@ -32,5 +32,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): about half the probes yield an "
               "inferable (< /64) prefix, with the largest spike at the /56 "
               "boundary.\n");
-  return 0;
+  return bench::finish();
 }

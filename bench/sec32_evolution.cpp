@@ -42,9 +42,12 @@ int main(int argc, char** argv) {
     std::uint64_t threshold;
   };
   const Panel panels[] = {
-      {"v4 non-dual-stack, time in <=2w assignments", &core::YearDurations::v4_nds, 336},
-      {"v4 dual-stack,     time in <=2w assignments", &core::YearDurations::v4_ds, 336},
-      {"v6,                time in <=1m assignments", &core::YearDurations::v6, 730},
+      {"v4 non-dual-stack, time in <=2w assignments",
+       &core::YearDurations::v4_nds, 336},
+      {"v4 dual-stack,     time in <=2w assignments",
+       &core::YearDurations::v4_ds, 336},
+      {"v6,                time in <=1m assignments",
+       &core::YearDurations::v6, 730},
   };
 
   for (const auto& panel : panels) {
@@ -67,5 +70,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): the short-duration share falls in "
               "the later years — durations increased over time, especially "
               "for DTAG and Orange; Comcast was already long.\n");
-  return 0;
+  return bench::finish();
 }

@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
                 "naive curve sits above the total-time-fraction curve at "
                 "every threshold below the mode.\n");
   }
-  return 0;
+  return bench::finish();
 }

@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
               "such offenders requires pool-level (/40) blocks, which hit "
               "innocent pool-mates instead. Comcast's stability makes even "
               "month-long /64 blocks both effective and collateral-free.\n");
-  return 0;
+  return bench::finish();
 }

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
   std::printf("  after an intra-/56 CPE scramble: ring search re-finds the "
               "device in %llu probes (<= 511 worst case)\n",
               hops ? (unsigned long long)*hops : 0ull);
-  return 0;
+  return bench::finish();
 }

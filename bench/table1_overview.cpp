@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
               (unsigned long long)s.dropped_public_src,
               (unsigned long long)s.dropped_multihomed,
               (unsigned long long)s.test_address_records);
-  return 0;
+  return bench::finish();
 }

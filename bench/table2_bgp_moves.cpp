@@ -27,5 +27,5 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): v4 changes usually cross /24s and "
               "often BGP prefixes; v6 changes almost never cross BGP "
               "prefixes (Free SAS at 42%% is the outlier).\n");
-  return 0;
+  return bench::finish();
 }

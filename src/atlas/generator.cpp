@@ -125,6 +125,31 @@ SubscriberTimeline AtlasSimulator::timeline_for(std::size_t idx) const {
                                               info.leave);
 }
 
+void AtlasSimulator::publish_metrics(obs::MetricsSink& sink) const {
+  std::uint64_t by_role[6] = {};
+  std::uint64_t privacy = 0, test_addr = 0;
+  for (const ProbeInfo& info : probes_) {
+    ++by_role[std::size_t(info.role)];
+    if (info.privacy_iid) ++privacy;
+    if (info.starts_with_test_addr) ++test_addr;
+  }
+  sink.counter("atlas.gen.probes").add(probes_.size());
+  sink.counter("atlas.gen.role_normal")
+      .add(by_role[std::size_t(ProbeRole::kNormal)]);
+  sink.counter("atlas.gen.role_short_lived")
+      .add(by_role[std::size_t(ProbeRole::kShortLived)]);
+  sink.counter("atlas.gen.role_multihomed")
+      .add(by_role[std::size_t(ProbeRole::kMultihomed)]);
+  sink.counter("atlas.gen.role_as_switch")
+      .add(by_role[std::size_t(ProbeRole::kAsSwitch)]);
+  sink.counter("atlas.gen.role_bad_tag")
+      .add(by_role[std::size_t(ProbeRole::kBadTag)]);
+  sink.counter("atlas.gen.role_public_src")
+      .add(by_role[std::size_t(ProbeRole::kPublicSrc)]);
+  sink.counter("atlas.gen.privacy_iid_probes").add(privacy);
+  sink.counter("atlas.gen.test_addr_probes").add(test_addr);
+}
+
 ProbeSeries AtlasSimulator::series_for(std::size_t idx) const {
   const ProbeInfo& info = probes_[idx];
   ProbeSeries series;

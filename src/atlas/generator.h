@@ -14,6 +14,7 @@
 
 #include "atlas/echo.h"
 #include "netaddr/rng.h"
+#include "obs/metrics.h"
 #include "simnet/isp.h"
 #include "simnet/subscriber.h"
 
@@ -83,6 +84,12 @@ class AtlasSimulator {
 
   /// Ground-truth subscriber timeline backing a probe (its primary ISP).
   simnet::SubscriberTimeline timeline_for(std::size_t idx) const;
+
+  /// Export the deployed population as "atlas.gen.*" counters (per-role
+  /// anomaly counts, privacy-IID and test-address shares), so a metrics
+  /// document shows what the generator injected next to what the
+  /// sanitizer filtered. Pure function of the config — thread-invariant.
+  void publish_metrics(obs::MetricsSink& sink) const;
 
  private:
   ProbeSeries normal_series(const ProbeInfo& info) const;

@@ -229,6 +229,18 @@ std::unordered_set<bgp::Asn> CdnSimulator::mobile_asns() const {
   return out;
 }
 
+void CdnSimulator::publish_metrics(obs::MetricsSink& sink) const {
+  std::uint64_t mobile_entries = 0, subscribers = 0;
+  for (const auto& e : population_) {
+    if (e.isp.mobile) ++mobile_entries;
+    subscribers += std::uint64_t(std::max(
+        1, int(double(e.subscribers) * config_.subscriber_scale)));
+  }
+  sink.counter("cdn.gen.population_entries").add(population_.size());
+  sink.counter("cdn.gen.mobile_entries").add(mobile_entries);
+  sink.counter("cdn.gen.subscribers").add(subscribers);
+}
+
 AssociationLog CdnSimulator::generate(std::size_t entry_idx) const {
   const PopulationEntry& entry = population_[entry_idx];
   AssociationLog log;

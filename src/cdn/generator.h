@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cdn/rum.h"
+#include "obs/metrics.h"
 #include "simnet/isp.h"
 #include "simnet/subscriber.h"
 
@@ -73,6 +74,10 @@ class CdnSimulator {
   /// ASNs of the cellular operators in this population — the stand-in for
   /// the Rula et al. cellular-prefix identification the paper uses.
   std::unordered_set<bgp::Asn> mobile_asns() const;
+
+  /// Export the population shape as "cdn.gen.*" counters (entries, mobile
+  /// entries, effective post-scale subscribers). Thread-invariant.
+  void publish_metrics(obs::MetricsSink& sink) const;
 
  private:
   std::vector<PopulationEntry> population_;

@@ -6,7 +6,11 @@
 // pipeline needs to exploit that:
 //
 //  * a sink concept (`MergeableAnalyzer` / `SinkOf`) every analyzer
-//    implements: add(item), merge(other&&), finalize();
+//    implements: add(item), merge(other&&), finalize(). The observability
+//    layer's per-shard buffer (obs::MetricsSink) satisfies the same
+//    concept and rides the same ordered reduction, which is why enabling
+//    metrics adds no locks to the hot path and keeps counter totals
+//    identical for every thread count;
 //  * a `ShardExecutor` — a fixed thread pool (no work stealing) that runs
 //    one task per contiguous index range. Each shard owns a private analyzer
 //    set, and the caller reduces the shards in index order afterwards, so

@@ -1,17 +1,24 @@
 #include "core/pipeline.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace dynamips::core {
 
 namespace {
 
-/// One shard's private analyzer set for the Atlas study.
+/// One shard's private analyzer set for the Atlas study. The metrics sink
+/// is part of the shard state and merges through the same ordered
+/// reduction, so counter totals are independent of the thread count.
 struct AtlasShard {
   Sanitizer sanitizer;
   DurationAnalyzer durations;
   SpatialAnalyzer spatial;
   InferenceCollector inference;
+  obs::MetricsSink metrics;
 
   AtlasShard(const bgp::Rib& rib, const AtlasStudyConfig& config)
       : sanitizer(rib, config.sanitize),
@@ -23,6 +30,7 @@ struct AtlasShard {
     durations.merge(std::move(other.durations));
     spatial.merge(std::move(other.spatial));
     inference.merge(std::move(other.inference));
+    metrics.merge(std::move(other.metrics));
   }
 
   void finalize() {
@@ -32,6 +40,19 @@ struct AtlasShard {
     inference.finalize();
   }
 };
+
+/// Ratio of the slowest shard's wall time to the mean — 1.0 is perfectly
+/// balanced. Recorded as a gauge so load skew across shards is visible.
+double imbalance_ratio(const std::vector<std::uint64_t>& shard_ns) {
+  if (shard_ns.empty()) return 1.0;
+  std::uint64_t max = 0, sum = 0;
+  for (std::uint64_t ns : shard_ns) {
+    sum += ns;
+    if (ns > max) max = ns;
+  }
+  double mean = double(sum) / double(shard_ns.size());
+  return mean > 0 ? double(max) / mean : 1.0;
+}
 
 }  // namespace
 
@@ -54,28 +75,92 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
   // each shard writes only its own analyzer set, so shards race on nothing.
   exec.dispatch(ranges.size(), [&](std::size_t s) {
     AtlasShard& shard = shards[s];
+    if (!config.metrics) {
+      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+        ProbeObservations obs = from_series(sim.series_for(i));
+        for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
+          shard.durations.add(cp);
+          shard.spatial.add(cp);
+          shard.inference.add(cp);
+        }
+      }
+      return;
+    }
+    // Instrumented variant of the loop above: identical analyzer calls,
+    // plus shard-local counters and per-phase spans (no shared state).
+    obs::MetricsSink& m = shard.metrics;
+    obs::Counter& c_probes = m.counter("atlas.probes_generated");
+    obs::Counter& c_records = m.counter("atlas.echo_records");
+    obs::Counter& c_clean = m.counter("atlas.clean_probes");
+    obs::Histogram& h_records = m.histogram("atlas.records_per_probe", 0, 6, 5);
+    obs::PhaseStats& p_gen = m.phase("atlas.generate");
+    obs::PhaseStats& p_san = m.phase("atlas.sanitize");
+    obs::PhaseStats& p_dur = m.phase("atlas.durations.add");
+    obs::PhaseStats& p_spa = m.phase("atlas.spatial.add");
+    obs::PhaseStats& p_inf = m.phase("atlas.inference.add");
+    const std::uint64_t shard_start = obs::now_ns();
     for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
-      ProbeObservations obs = from_series(sim.series_for(i));
-      for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
+      std::uint64_t t0 = obs::now_ns();
+      atlas::ProbeSeries series = sim.series_for(i);
+      ProbeObservations obs = from_series(series);
+      std::uint64_t t1 = obs::now_ns();
+      p_gen.record(t1 - t0);
+      c_probes.add(1);
+      c_records.add(series.records.size());
+      h_records.record(double(series.records.size()));
+      auto cleaned = shard.sanitizer.sanitize(obs);
+      std::uint64_t t2 = obs::now_ns();
+      p_san.record(t2 - t1);
+      c_clean.add(cleaned.size());
+      for (const CleanProbe& cp : cleaned) {
+        std::uint64_t a0 = obs::now_ns();
         shard.durations.add(cp);
+        std::uint64_t a1 = obs::now_ns();
         shard.spatial.add(cp);
+        std::uint64_t a2 = obs::now_ns();
         shard.inference.add(cp);
+        std::uint64_t a3 = obs::now_ns();
+        p_dur.record(a1 - a0);
+        p_spa.record(a2 - a1);
+        p_inf.record(a3 - a2);
       }
     }
+    m.phase("atlas.shard_wall").record(obs::now_ns() - shard_start);
   });
+
+  std::vector<std::uint64_t> shard_ns;
+  if (config.metrics)
+    for (AtlasShard& shard : shards)
+      shard_ns.push_back(shard.metrics.phase("atlas.shard_wall").total_ns);
 
   // Ordered reduction: shard 0 absorbs the rest in index order, which keeps
   // every append-ordered vector in the exact order of the serial run.
   AtlasShard& root = shards.front();
-  for (std::size_t s = 1; s < shards.size(); ++s)
-    root.merge(std::move(shards[s]));
-  root.finalize();
+  {
+    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    for (std::size_t s = 1; s < shards.size(); ++s)
+      root.merge(std::move(shards[s]));
+    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
+    root.finalize();
+    if (config.metrics) {
+      root.metrics.phase("atlas.merge").record(t1 - t0);
+      root.metrics.phase("atlas.finalize").record(obs::now_ns() - t1);
+    }
+  }
 
   study.sanitize = root.sanitizer.stats();
   study.durations = root.durations.by_as();
   study.spatial = root.spatial.by_as();
   study.subscriber_inference = root.inference.take_subscriber();
   study.pool_inference = root.inference.take_pools();
+
+  if (config.metrics) {
+    study.sanitize.publish(root.metrics);
+    sim.publish_metrics(root.metrics);
+    root.metrics.gauge("atlas.shards").set(double(ranges.size()));
+    root.metrics.gauge("atlas.shard_imbalance").set(imbalance_ratio(shard_ns));
+    config.metrics->merge(std::move(root.metrics));
+  }
   return study;
 }
 
@@ -90,14 +175,62 @@ CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
   auto ranges = shard_ranges(sim.entry_count(), exec.thread_count());
   std::vector<CdnAnalyzer> shards(
       ranges.size(), CdnAnalyzer(config.assoc, sim.mobile_asns()));
+  std::vector<obs::MetricsSink> sinks(ranges.size());
 
   exec.dispatch(ranges.size(), [&](std::size_t s) {
-    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
-      shards[s].add(sim.generate(i));
+    if (!config.metrics) {
+      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
+        shards[s].add(sim.generate(i));
+      return;
+    }
+    obs::MetricsSink& m = sinks[s];
+    obs::Counter& c_logs = m.counter("cdn.logs_generated");
+    obs::Counter& c_tuples = m.counter("cdn.association_tuples");
+    obs::Histogram& h_tuples = m.histogram("cdn.tuples_per_log", 0, 8, 5);
+    obs::PhaseStats& p_gen = m.phase("cdn.generate");
+    obs::PhaseStats& p_add = m.phase("cdn.analyzer.add");
+    const std::uint64_t shard_start = obs::now_ns();
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      std::uint64_t t0 = obs::now_ns();
+      cdn::AssociationLog log = sim.generate(i);
+      std::uint64_t t1 = obs::now_ns();
+      p_gen.record(t1 - t0);
+      c_logs.add(1);
+      c_tuples.add(log.records.size());
+      h_tuples.record(double(log.records.size()));
+      shards[s].add(log);
+      p_add.record(obs::now_ns() - t1);
+    }
+    m.phase("cdn.shard_wall").record(obs::now_ns() - shard_start);
   });
 
-  for (auto& shard : shards) study.analyzer.merge(std::move(shard));
-  study.analyzer.finalize();
+  std::vector<std::uint64_t> shard_ns;
+  if (config.metrics)
+    for (obs::MetricsSink& sink : sinks)
+      shard_ns.push_back(sink.phase("cdn.shard_wall").total_ns);
+
+  {
+    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    for (auto& shard : shards) study.analyzer.merge(std::move(shard));
+    for (std::size_t s = 1; s < sinks.size(); ++s)
+      sinks.front().merge(std::move(sinks[s]));
+    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
+    study.analyzer.finalize();
+    if (config.metrics) {
+      sinks.front().phase("cdn.merge").record(t1 - t0);
+      sinks.front().phase("cdn.finalize").record(obs::now_ns() - t1);
+    }
+  }
+
+  if (config.metrics) {
+    obs::MetricsSink& m = sinks.front();
+    m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
+    m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
+    sim.publish_metrics(m);
+    m.gauge("cdn.shards").set(double(ranges.size()));
+    m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
+    config.metrics->merge(std::move(m));
+  }
   return study;
 }
 

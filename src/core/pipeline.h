@@ -22,6 +22,7 @@
 #include "core/parallel.h"
 #include "core/sanitize.h"
 #include "core/spatial.h"
+#include "obs/metrics.h"
 
 namespace dynamips::core {
 
@@ -36,6 +37,8 @@ static_assert(ProbeAnalyzer<SpatialAnalyzer>);
 static_assert(ProbeAnalyzer<InferenceCollector>);
 static_assert(LogAnalyzer<CdnAnalyzer>);
 static_assert(MergeableAnalyzer<Sanitizer>);
+// Shard-local metric buffers ride the same ordered reduction as analyzers.
+static_assert(MergeableAnalyzer<obs::MetricsSink>);
 
 struct AtlasStudyConfig {
   atlas::AtlasConfig atlas;
@@ -44,6 +47,12 @@ struct AtlasStudyConfig {
   /// Shard/thread count: 0 = hardware_concurrency, 1 = serial. Results are
   /// identical for every value; only wall-clock changes.
   unsigned threads = 0;
+  /// Observability sink: when non-null the pipeline records throughput
+  /// counters, per-analyzer phase timings, and shard-imbalance gauges into
+  /// per-shard buffers and merges them here after the ordered reduction.
+  /// Null (the default) skips all metric work, including clock reads, and
+  /// never changes study results either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything the Atlas-side benches print.
@@ -66,6 +75,8 @@ struct CdnStudyConfig {
   AssocOptions assoc;
   /// Shard/thread count: 0 = hardware_concurrency, 1 = serial.
   unsigned threads = 0;
+  /// Observability sink; see AtlasStudyConfig::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything the CDN-side benches print.

@@ -22,6 +22,19 @@ ProbeObservations from_series(const atlas::ProbeSeries& series) {
   return out;
 }
 
+void SanitizeStats::publish(obs::MetricsSink& sink) const {
+  sink.counter("sanitize.probes_seen").add(probes_seen);
+  sink.counter("sanitize.probes_kept").add(probes_kept);
+  sink.counter("sanitize.virtual_probes").add(virtual_probes);
+  sink.counter("sanitize.split_probes").add(split_probes);
+  sink.counter("sanitize.dropped_short").add(dropped_short);
+  sink.counter("sanitize.dropped_bad_tag").add(dropped_bad_tag);
+  sink.counter("sanitize.dropped_public_src").add(dropped_public_src);
+  sink.counter("sanitize.dropped_v6_mismatch").add(dropped_v6_mismatch);
+  sink.counter("sanitize.dropped_multihomed").add(dropped_multihomed);
+  sink.counter("sanitize.test_address_records").add(test_address_records);
+}
+
 Sanitizer::Sanitizer(const bgp::Rib& rib, SanitizeOptions options)
     : rib_(rib), options_(std::move(options)) {}
 

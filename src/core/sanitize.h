@@ -14,6 +14,7 @@
 
 #include "bgp/rib.h"
 #include "core/observations.h"
+#include "obs/metrics.h"
 
 namespace dynamips::core {
 
@@ -86,6 +87,11 @@ struct SanitizeStats {
     dropped_multihomed += o.dropped_multihomed;
     test_address_records += o.test_address_records;
   }
+
+  /// Export every accept/reject count as a "sanitize.*" counter, so the
+  /// Appendix A.1 filter accounting shows up in the pipeline's metrics
+  /// document next to the throughput numbers.
+  void publish(obs::MetricsSink& sink) const;
 };
 
 /// Stateless per-probe sanitizer (stats accumulate across calls).

@@ -1,6 +1,7 @@
 #include "netaddr/ipv4.h"
 
 #include <charconv>
+#include <cstdio>
 
 namespace dynamips::net {
 
@@ -30,14 +31,9 @@ std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
 std::string IPv4Address::to_string() const {
   char buf[16];
   auto o = octets();
-  char* p = buf;
-  for (int i = 0; i < 4; ++i) {
-    if (i) *p++ = '.';
-    auto [next, ec] = std::to_chars(p, buf + sizeof buf, unsigned(o[i]));
-    (void)ec;
-    p = next;
-  }
-  return std::string(buf, p);
+  int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", unsigned(o[0]),
+                        unsigned(o[1]), unsigned(o[2]), unsigned(o[3]));
+  return std::string(buf, std::size_t(n));
 }
 
 }  // namespace dynamips::net

@@ -1,0 +1,165 @@
+#include "obs/metrics_json.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dynamips::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+double ns_to_s(std::uint64_t ns) { return double(ns) / 1e9; }
+
+/// Emit `"name": <value(item)>` pairs for every map entry, comma-joined.
+template <typename Map, typename Fn>
+void append_object(std::string& out, const char* key, const Map& map,
+                   Fn&& value) {
+  append_escaped(out, key);
+  out += ": {";
+  bool first = true;
+  for (const auto& [name, item] : map) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    value(out, item);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSink& snapshot,
+                            const MetricsMeta& meta) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+
+  append_escaped(out, "schema");
+  out += ": ";
+  append_escaped(out, kMetricsSchema);
+  out += ",\n";
+
+  append_escaped(out, "meta");
+  out += ": {";
+  append_escaped(out, "binary");
+  out += ": ";
+  append_escaped(out, meta.binary);
+  out += ", ";
+  append_escaped(out, "scale");
+  out += ": ";
+  append_double(out, meta.scale);
+  out += ", ";
+  append_escaped(out, "seed");
+  out += ": ";
+  append_u64(out, meta.seed);
+  out += ", ";
+  append_escaped(out, "window_hours");
+  out += ": ";
+  append_u64(out, meta.window_hours);
+  out += ", ";
+  append_escaped(out, "threads");
+  out += ": ";
+  append_u64(out, meta.threads);
+  out += "},\n";
+
+  append_object(out, "counters", snapshot.counters(),
+                [](std::string& o, const Counter& c) {
+                  append_u64(o, c.value);
+                });
+  out += ",\n";
+
+  append_object(out, "gauges", snapshot.gauges(),
+                [](std::string& o, const Gauge& g) {
+                  append_double(o, g.value);
+                });
+  out += ",\n";
+
+  append_object(out, "phases", snapshot.phases(),
+                [](std::string& o, const PhaseStats& p) {
+                  o += "{\"count\": ";
+                  append_u64(o, p.count);
+                  o += ", \"total_s\": ";
+                  append_double(o, ns_to_s(p.total_ns));
+                  o += ", \"min_s\": ";
+                  append_double(o, p.count ? ns_to_s(p.min_ns) : 0.0);
+                  o += ", \"max_s\": ";
+                  append_double(o, ns_to_s(p.max_ns));
+                  o += '}';
+                });
+  out += ",\n";
+
+  append_object(out, "histograms", snapshot.histograms(),
+                [](std::string& o, const Histogram& h) {
+                  o += "{\"lo_exp\": ";
+                  append_double(o, h.lo_exp());
+                  o += ", \"hi_exp\": ";
+                  append_double(o, h.hi_exp());
+                  o += ", \"bins_per_decade\": ";
+                  append_u64(o, std::uint64_t(h.bins_per_decade()));
+                  o += ", \"total\": ";
+                  append_u64(o, h.total());
+                  o += ", \"buckets\": {";
+                  bool first = true;
+                  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+                    if (h.buckets()[i] == 0) continue;  // sparse
+                    if (!first) o += ", ";
+                    first = false;
+                    o += '"';
+                    o += std::to_string(i);
+                    o += "\": ";
+                    append_u64(o, h.buckets()[i]);
+                  }
+                  o += "}}";
+                });
+  out += "\n}\n";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path, const MetricsSink& snapshot,
+                        const MetricsMeta& meta) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << metrics_to_json(snapshot, meta);
+  return bool(os);
+}
+
+}  // namespace dynamips::obs

@@ -1,0 +1,51 @@
+// metrics_json.h — stable, versioned JSON export of a metrics snapshot.
+//
+// The document is the contract between the pipeline and its consumers
+// (tools/check_metrics.py, CI artifacts, future BENCH_*.json trajectories):
+//
+//   {
+//     "schema": "dynamips.metrics.v1",
+//     "meta": {"binary": ..., "scale": ..., "seed": ..., "window_hours":
+//              ..., "threads": ...},
+//     "counters":   {"name": uint, ...},            # thread-invariant
+//     "gauges":     {"name": double, ...},
+//     "phases":     {"name": {"count": uint, "total_s": double,
+//                             "min_s": double, "max_s": double}, ...},
+//     "histograms": {"name": {"lo_exp": d, "hi_exp": d,
+//                             "bins_per_decade": i, "total": uint,
+//                             "buckets": {"<index>": uint, ...}}, ...}
+//   }
+//
+// Keys are emitted in sorted order and numbers in a fixed format, so two
+// exports of equal state are byte-identical. Schema changes bump the
+// version string; consumers reject documents whose schema they don't know.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dynamips::obs {
+
+/// Version tag of the JSON layout above.
+inline constexpr const char* kMetricsSchema = "dynamips.metrics.v1";
+
+/// Run parameters stamped into the document's "meta" object.
+struct MetricsMeta {
+  std::string binary;
+  double scale = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t window_hours = 0;
+  unsigned threads = 0;
+};
+
+/// Serialize a snapshot (plus run metadata) to the schema above.
+std::string metrics_to_json(const MetricsSink& snapshot,
+                            const MetricsMeta& meta);
+
+/// Write metrics_to_json() output to `path`. Returns false on I/O failure.
+bool write_metrics_json(const std::string& path, const MetricsSink& snapshot,
+                        const MetricsMeta& meta);
+
+}  // namespace dynamips::obs

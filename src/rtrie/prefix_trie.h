@@ -104,7 +104,8 @@ class PrefixTrie {
       split->edge_bits = slot->edge_bits & net::mask128(cl);
       split->edge_len = cl;
       bool old_b = slot->edge_bits.bit_msb(cl);
-      slot->edge_bits = (slot->edge_bits << cl) & net::mask128(slot->edge_len - cl);
+      slot->edge_bits =
+          (slot->edge_bits << cl) & net::mask128(slot->edge_len - cl);
       slot->edge_len -= cl;
       split->child[old_b] = std::move(slot);
       slot = std::move(split);

@@ -34,7 +34,9 @@ inline double quantile(std::vector<double> xs, double q) {
   return quantile_sorted(xs, q);
 }
 
-inline double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+inline double median(std::vector<double> xs) {
+  return quantile(std::move(xs), 0.5);
+}
 
 /// Five-number box summary (Fig. 3 style): whiskers at p5/p95, box at the
 /// inner quartiles, line at the median.

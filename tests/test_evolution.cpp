@@ -19,7 +19,8 @@ CleanProbe probe_with_epochal_changes() {
   auto addr = [](std::uint32_t epoch) {
     return IPv4Address{0x0a000000u + epoch * 256 + 1};
   };
-  for (; h < 8760; ++h) cp.v4.push_back({h, addr(std::uint32_t(h / 24)), false});
+  for (; h < 8760; ++h)
+    cp.v4.push_back({h, addr(std::uint32_t(h / 24)), false});
   for (; h < 2 * 8760; ++h)
     cp.v4.push_back({h, addr(1000 + std::uint32_t(h / 168)), false});
   return cp;

@@ -35,20 +35,26 @@ TEST(ShardRanges, PartitionsIndexSpace) {
       auto ranges = core::shard_ranges(count, shards);
       ASSERT_FALSE(ranges.empty());
       // Never more ranges than items (except the single empty range for 0).
-      if (count > 0) EXPECT_LE(ranges.size(), count);
+      if (count > 0) {
+        EXPECT_LE(ranges.size(), count);
+      }
       // Contiguous cover of [0, count).
       EXPECT_EQ(ranges.front().begin, 0u);
       EXPECT_EQ(ranges.back().end, count);
       std::size_t total = 0, max_len = 0, min_len = count + 1;
       for (std::size_t i = 0; i < ranges.size(); ++i) {
-        if (i > 0) EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+        if (i > 0) {
+          EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+        }
         total += ranges[i].size();
         max_len = std::max(max_len, ranges[i].size());
         min_len = std::min(min_len, ranges[i].size());
       }
       EXPECT_EQ(total, count);
       // Balanced: lengths differ by at most one.
-      if (count > 0) EXPECT_LE(max_len - min_len, 1u);
+      if (count > 0) {
+        EXPECT_LE(max_len - min_len, 1u);
+      }
     }
   }
 }
@@ -208,7 +214,8 @@ const CleanDataset& clean_dataset() {
     core::Sanitizer sanitizer(d->rib, {});
     for (std::size_t i = 0; i < sim.probe_count(); ++i) {
       auto obs = core::from_series(sim.series_for(i));
-      for (auto& cp : sanitizer.sanitize(obs)) d->probes.push_back(std::move(cp));
+      for (auto& cp : sanitizer.sanitize(obs))
+        d->probes.push_back(std::move(cp));
     }
     EXPECT_GT(d->probes.size(), 10u);
     return d;
@@ -391,7 +398,8 @@ void expect_eq(const core::AtlasStudy& a, const core::AtlasStudy& b) {
   for (const auto& [asn, stats] : b.durations)
     expect_eq(a.durations.at(asn), stats);
   ASSERT_EQ(a.spatial.size(), b.spatial.size());
-  for (const auto& [asn, stats] : b.spatial) expect_eq(a.spatial.at(asn), stats);
+  for (const auto& [asn, stats] : b.spatial)
+    expect_eq(a.spatial.at(asn), stats);
   ASSERT_EQ(a.subscriber_inference.size(), b.subscriber_inference.size());
   for (const auto& [asn, infs] : b.subscriber_inference) {
     const auto& got = a.subscriber_inference.at(asn);

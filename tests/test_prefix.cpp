@@ -126,7 +126,8 @@ TEST_P(Prefix4Lengths, CanonicalAndSelfContaining) {
   auto addr = *IPv4Address::parse("255.255.255.255");
   Prefix4 p{addr, len};
   if (len < 32) {
-    std::uint32_t below = p.address().value() & ~(len == 0 ? 0u : (~0u << (32 - len)));
+    std::uint32_t below =
+        p.address().value() & ~(len == 0 ? 0u : (~0u << (32 - len)));
     EXPECT_EQ(below, 0u);
   }
   EXPECT_TRUE(p.contains(p.address()));

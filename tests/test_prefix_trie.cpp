@@ -204,7 +204,8 @@ TEST_P(TrieFuzz, MatchesNaiveReference) {
   // Biased random prefixes: lengths drawn from realistic CIDR sizes, bits
   // drawn from a small alphabet so prefixes overlap heavily.
   auto random_prefix = [&](unsigned& len) -> U128 {
-    static const unsigned kLens[] = {0, 8, 16, 19, 24, 32, 40, 48, 56, 64, 96, 128};
+    static const unsigned kLens[] = {0,  8,  16, 19, 24, 32,
+                                     40, 48, 56, 64, 96, 128};
     len = kLens[rng.uniform(std::size(kLens))];
     U128 bits{rng.uniform(16) << 60, rng.uniform(4) << 62};
     return bits;

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Diff a DynamIPs metrics JSON document against a checked-in baseline.
+
+Usage:
+  check_metrics.py CANDIDATE BASELINE [--verbose]
+  check_metrics.py CANDIDATE BASELINE --update-baseline
+
+The candidate is a document written by `--metrics-out` (schema
+"dynamips.metrics.v1", see src/obs/metrics_json.h). The baseline is a
+subset contract: every counter / histogram total it lists must be present
+in the candidate and match. Comparison rules:
+
+  * schema strings must match exactly;
+  * when candidate and baseline were produced at the same (scale, seed,
+    window_hours), counters must match EXACTLY — counters are
+    thread-invariant and deterministic, so CI gates them byte-for-byte;
+  * when the run parameters differ, expected values are scaled linearly
+    by the probe/subscriber scale ratio and compared with a relative
+    tolerance (per-metric, else "default_scaled") — this keeps one smoke
+    baseline usable for quick local runs at other scales;
+  * "require_phases" / "require_gauges" names must merely exist (phases
+    with count > 0): timings and gauges are wall-clock- or
+    shard-dependent and never value-gated;
+  * candidate metrics absent from the baseline are ignored, so one
+    atlas-side baseline gates atlas-only benches and the full study
+    driver alike.
+
+Tolerances are fnmatch patterns mapped to relative deviations, e.g.
+  "tolerances": {"sanitize.dropped_*": 0.5, "default_scaled": 0.25}
+
+`--update-baseline` rewrites BASELINE's counters/histogram_totals/meta
+from CANDIDATE, preserving the existing tolerance and requirement lists.
+
+Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
+Stdlib-only by design (runs in bare CI containers).
+"""
+
+import fnmatch
+import json
+import sys
+
+SCHEMA = "dynamips.metrics.v1"
+
+
+def fail(msg):
+    print(f"check_metrics: {msg}", file=sys.stderr)
+    return 2
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def tolerance_for(name, tolerances, same_params):
+    """Relative tolerance for one metric; None means exact match.
+
+    Exact whenever run parameters match (deterministic counters); the
+    per-metric patterns only soften cross-scale comparisons, where
+    per-ISP rounding and Bernoulli anomaly draws break strict linearity.
+    """
+    if same_params:
+        return None
+    for pattern, tol in tolerances.items():
+        if pattern == "default_scaled":
+            continue
+        if fnmatch.fnmatch(name, pattern):
+            return float(tol)
+    return float(tolerances.get("default_scaled", 0.25))
+
+
+def compare_value(name, got, want, scale_ratio, tolerances, same_params,
+                  problems, verbose):
+    expected = want if same_params else want * scale_ratio
+    tol = tolerance_for(name, tolerances, same_params)
+    if tol is None:
+        ok = got == expected
+        detail = f"expected exactly {expected}"
+    elif expected == 0:
+        ok = got == 0
+        detail = "expected 0"
+    else:
+        deviation = abs(got - expected) / abs(expected)
+        ok = deviation <= tol
+        detail = (f"expected {expected:.1f} ±{tol:.0%}"
+                  f" (deviation {deviation:.1%})")
+    if not ok:
+        problems.append(f"{name}: got {got}, {detail}")
+    elif verbose:
+        print(f"  ok {name}: {got} ({detail})")
+    return ok
+
+
+def check(candidate, baseline, verbose=False):
+    problems = []
+
+    if candidate.get("schema") != SCHEMA:
+        problems.append(
+            f"candidate schema {candidate.get('schema')!r} != {SCHEMA!r}")
+    if baseline.get("schema") != SCHEMA:
+        problems.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}")
+    if problems:
+        return problems
+
+    cmeta = candidate.get("meta", {})
+    bmeta = baseline.get("meta", {})
+    same_params = all(
+        cmeta.get(k) == bmeta.get(k)
+        for k in ("scale", "seed", "window_hours"))
+    base_scale = float(bmeta.get("scale") or 0)
+    cand_scale = float(cmeta.get("scale") or 0)
+    scale_ratio = cand_scale / base_scale if base_scale else 1.0
+    if verbose and not same_params:
+        print(f"  run parameters differ; scaling expectations by "
+              f"{scale_ratio:.3f}")
+
+    tolerances = baseline.get("tolerances", {})
+    counters = candidate.get("counters", {})
+    for name, want in sorted(baseline.get("counters", {}).items()):
+        if name not in counters:
+            problems.append(f"{name}: missing from candidate counters")
+            continue
+        compare_value(name, counters[name], want, scale_ratio, tolerances,
+                      same_params, problems, verbose)
+
+    histograms = candidate.get("histograms", {})
+    for name, want in sorted(baseline.get("histogram_totals", {}).items()):
+        if name not in histograms:
+            problems.append(f"{name}: missing from candidate histograms")
+            continue
+        compare_value(f"{name}.total", histograms[name].get("total", 0),
+                      want, scale_ratio, tolerances, same_params, problems,
+                      verbose)
+
+    phases = candidate.get("phases", {})
+    for name in baseline.get("require_phases", []):
+        if phases.get(name, {}).get("count", 0) <= 0:
+            problems.append(f"{name}: required phase missing or empty")
+        elif verbose:
+            print(f"  ok phase {name}: count={phases[name]['count']}")
+
+    gauges = candidate.get("gauges", {})
+    for name in baseline.get("require_gauges", []):
+        if name not in gauges:
+            problems.append(f"{name}: required gauge missing")
+        elif verbose:
+            print(f"  ok gauge {name}: {gauges[name]}")
+
+    return problems
+
+
+def update_baseline(candidate, baseline_path):
+    try:
+        baseline = load(baseline_path)
+    except (OSError, ValueError):
+        baseline = {}
+    gated = baseline.get("counters")
+    counters = candidate.get("counters", {})
+    baseline["schema"] = SCHEMA
+    baseline["meta"] = {
+        k: candidate.get("meta", {}).get(k)
+        for k in ("scale", "seed", "window_hours")
+    }
+    # Refresh only the metrics already gated when the baseline exists;
+    # otherwise gate every counter of the candidate.
+    names = sorted(gated) if gated else sorted(counters)
+    baseline["counters"] = {
+        n: counters[n] for n in names if n in counters
+    }
+    hist_names = sorted(baseline.get("histogram_totals") or
+                        candidate.get("histograms", {}))
+    baseline["histogram_totals"] = {
+        n: candidate["histograms"][n]["total"]
+        for n in hist_names if n in candidate.get("histograms", {})
+    }
+    baseline.setdefault("tolerances", {"default_scaled": 0.25})
+    baseline.setdefault("require_phases", [])
+    baseline.setdefault("require_gauges", [])
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"updated {baseline_path} "
+          f"({len(baseline['counters'])} gated counters)")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--verbose", "--update-baseline"}
+    if unknown or len(args) != 2:
+        return fail(__doc__.strip().splitlines()[0] +
+                    "\nusage: check_metrics.py CANDIDATE BASELINE "
+                    "[--verbose|--update-baseline]")
+
+    candidate_path, baseline_path = args
+    try:
+        candidate = load(candidate_path)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read candidate {candidate_path}: {exc}")
+
+    if "--update-baseline" in flags:
+        update_baseline(candidate, baseline_path)
+        return 0
+
+    try:
+        baseline = load(baseline_path)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read baseline {baseline_path}: {exc}")
+
+    problems = check(candidate, baseline, verbose="--verbose" in flags)
+    if problems:
+        print(f"check_metrics: {candidate_path} deviates from "
+              f"{baseline_path}:", file=sys.stderr)
+        for p in problems:
+            print(f"  FAIL {p}", file=sys.stderr)
+        return 1
+    print(f"check_metrics: {candidate_path} matches {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,14 @@
 // paper's supplemental data release.
 //
 // Usage: dynamips_study [output_dir] [--scale S] [--window HOURS]
-//                       [--seed N] [--threads N] [--atlas-only|--cdn-only]
+//                       [--seed N] [--threads N] [--metrics-out FILE]
+//                       [--atlas-only|--cdn-only]
+//
+// With --metrics-out the pipeline records throughput counters, per-phase
+// timings, and shard balance into the process-wide metrics registry and
+// writes the schema-versioned JSON document (obs/metrics_json.h) to FILE;
+// tools/check_metrics.py diffs such documents against checked-in
+// baselines. Counters are identical for every --threads value.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +21,8 @@
 
 #include "core/pipeline.h"
 #include "io/results_io.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "simnet/isp.h"
 
 using namespace dynamips;
@@ -23,7 +32,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [output_dir] [--scale S] [--window HOURS] "
-               "[--seed N] [--threads N] [--atlas-only|--cdn-only]\n",
+               "[--seed N] [--threads N] [--metrics-out FILE] "
+               "[--atlas-only|--cdn-only]\n",
                argv0);
 }
 
@@ -42,6 +52,7 @@ int main(int argc, char** argv) {
   std::uint64_t window = 30000, seed = 1;
   unsigned threads = 0;  // 0 = hardware_concurrency
   bool atlas = true, cdn = true;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -60,6 +71,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threads") {
       threads = unsigned(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -84,6 +97,8 @@ int main(int argc, char** argv) {
   }
 
   const unsigned effective = core::resolve_threads(threads);
+  obs::MetricsRegistry* registry =
+      metrics_out.empty() ? nullptr : &obs::MetricsRegistry::global();
 
   if (atlas) {
     std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
@@ -95,13 +110,16 @@ int main(int argc, char** argv) {
     cfg.atlas.window_hours = window;
     cfg.atlas.seed = seed;
     cfg.threads = threads;
+    cfg.metrics = registry;
     auto t0 = std::chrono::steady_clock::now();
     auto study = core::run_atlas_study(simnet::paper_isps(), cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (registry)
+      registry->record_phase("study.atlas_wall", std::uint64_t(secs * 1e9));
     std::printf("  analyzed %llu probes in %.2fs\n",
-                (unsigned long long)study.sanitize.probes_seen,
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
+                (unsigned long long)study.sanitize.probes_seen, secs);
     write_file(out_dir / "fig1_duration_curves.csv", [&](std::ostream& os) {
       io::write_duration_curves_csv(os, study);
     });
@@ -123,15 +141,19 @@ int main(int argc, char** argv) {
     cfg.cdn.subscriber_scale = scale;
     cfg.cdn.seed = seed * 977;
     cfg.threads = threads;
+    cfg.metrics = registry;
     auto t0 = std::chrono::steady_clock::now();
     auto study =
         core::run_cdn_study(cdn::default_cdn_population(scale), cfg);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (registry)
+      registry->record_phase("study.cdn_wall", std::uint64_t(secs * 1e9));
     std::printf("  analyzed %llu tuples in %.2fs\n",
                 (unsigned long long)(study.analyzer.total_tuples() +
                                      study.analyzer.total_mismatched()),
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
+                secs);
     write_file(out_dir / "fig23_assoc_durations.csv", [&](std::ostream& os) {
       io::write_assoc_durations_csv(os, study);
     });
@@ -141,6 +163,23 @@ int main(int argc, char** argv) {
     write_file(out_dir / "fig7_zero_boundaries.csv", [&](std::ostream& os) {
       io::write_zero_boundaries_csv(os, study);
     });
+  }
+
+  if (registry) {
+    registry->set_gauge("process.peak_rss_bytes",
+                        double(obs::peak_rss_bytes()));
+    obs::MetricsMeta meta;
+    meta.binary = "dynamips_study";
+    meta.scale = scale;
+    meta.seed = seed;
+    meta.window_hours = window;
+    meta.threads = effective;
+    if (!obs::write_metrics_json(metrics_out, registry->snapshot(), meta)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", metrics_out.c_str());
   }
   std::printf("done.\n");
   return 0;
