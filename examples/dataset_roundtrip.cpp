@@ -5,8 +5,19 @@
 // log to CSV, reads them back through io/, and shows that the analysis of
 // the round-tripped data is identical. The same path loads real datasets
 // converted to the documented CSV schemas.
+//
+// Export mode writes full multi-probe / multi-ISP datasets to disk instead
+// — the fixture generator for `dynamips_study --atlas-in/--cdn-in` and the
+// CI corruption-resilience check:
+//   dataset_roundtrip --echo-out echo.csv --assoc-out assoc.csv
+//       [--scale S] [--window HOURS] [--seed N]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "atlas/generator.h"
 #include "cdn/generator.h"
@@ -14,11 +25,90 @@
 #include "core/durations.h"
 #include "core/sanitize.h"
 #include "io/dataset_io.h"
+#include "io/readers.h"
 #include "simnet/isp.h"
 
 using namespace dynamips;
 
-int main() {
+namespace {
+
+int export_datasets(const std::string& echo_out, const std::string& assoc_out,
+                    double scale, std::uint64_t window, std::uint64_t seed) {
+  if (!echo_out.empty()) {
+    atlas::AtlasConfig acfg;
+    acfg.probe_scale = scale;
+    acfg.window_hours = window;
+    acfg.seed = seed;
+    atlas::AtlasSimulator sim(simnet::paper_isps(), acfg);
+    std::vector<atlas::ProbeSeries> dataset;
+    dataset.reserve(sim.probe_count());
+    for (std::size_t i = 0; i < sim.probe_count(); ++i)
+      dataset.push_back(sim.series_for(i));
+    std::ofstream out(echo_out, std::ios::binary);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", echo_out.c_str());
+      return 1;
+    }
+    io::write_echo_dataset(out, dataset);
+    std::printf("wrote %zu probes to %s\n", dataset.size(),
+                echo_out.c_str());
+  }
+  if (!assoc_out.empty()) {
+    cdn::CdnConfig ccfg;
+    ccfg.subscriber_scale = scale;
+    ccfg.seed = seed;
+    cdn::CdnSimulator sim(cdn::default_cdn_population(scale), ccfg);
+    std::vector<cdn::AssociationLog> dataset;
+    dataset.reserve(sim.entry_count());
+    for (std::size_t i = 0; i < sim.entry_count(); ++i)
+      dataset.push_back(sim.generate(i));
+    std::ofstream out(assoc_out, std::ios::binary);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", assoc_out.c_str());
+      return 1;
+    }
+    io::write_assoc_dataset(out, dataset);
+    std::printf("wrote %zu association logs to %s\n", dataset.size(),
+                assoc_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string echo_out, assoc_out;
+  double scale = 0.05;
+  std::uint64_t window = 6000, seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--echo-out F] [--assoc-out F] [--scale S] "
+                     "[--window HOURS] [--seed N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--echo-out")
+      echo_out = next();
+    else if (arg == "--assoc-out")
+      assoc_out = next();
+    else if (arg == "--scale")
+      scale = std::atof(next());
+    else if (arg == "--window")
+      window = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed")
+      seed = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!echo_out.empty() || !assoc_out.empty())
+    return export_datasets(echo_out, assoc_out, scale, window, seed);
   // --- Atlas echo records ----------------------------------------------
   atlas::AtlasConfig acfg;
   acfg.probe_scale = 0.02;

@@ -1,0 +1,20 @@
+// Fuzz the association-record CSV codec: never crash, canonical
+// round-trip for every accepted line.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/dataset_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace io = dynamips::io;
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+  auto rec = io::assoc_from_csv(line);
+  if (rec) {
+    std::string canon = io::to_csv(*rec);
+    auto again = io::assoc_from_csv(canon);
+    if (!again || io::to_csv(*again) != canon) __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fuzz the streaming AssocReader: never crash, bounded memory, exact
+// line-disposition accounting.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "io/readers.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace io = dynamips::io;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  io::ReaderOptions options;
+  options.max_line_bytes = 256;
+  options.max_reject_fraction = 1.0;
+  options.max_consecutive_rejects = 16;
+  // Exercise the adjacent-dedup path too (off by default).
+  options.assoc_dedup_adjacent = size % 2 == 0;
+  io::AssocReader reader(in, options);
+  std::uint64_t yielded = 0;
+  while (reader.next()) ++yielded;
+  const io::IngestStats& st = reader.stats();
+  if (st.records_accepted != yielded) __builtin_trap();
+  if (st.data_lines != st.records_accepted + st.total_rejects())
+    __builtin_trap();
+  if (st.lines_seen !=
+      st.data_lines + st.headers_skipped + st.meta_lines + st.blank_lines)
+    __builtin_trap();
+  (void)reader.finish();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fuzz IPv4Address::parse: never crash, and every accepted input must
+// round-trip through its canonical text to the same value.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netaddr/ipv4.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dynamips::net::IPv4Address;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto addr = IPv4Address::parse(text);
+  if (addr) {
+    auto again = IPv4Address::parse(addr->to_string());
+    if (!again || *again != *addr) __builtin_trap();
+  }
+  return 0;
+}

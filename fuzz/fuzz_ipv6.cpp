@@ -1,0 +1,19 @@
+// Fuzz IPv6Address::parse: never crash, bounded allocation, and every
+// accepted input must round-trip through its canonical text.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netaddr/ipv6.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dynamips::net::IPv6Address;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto addr = IPv6Address::parse(text);
+  if (addr) {
+    auto again = IPv6Address::parse(addr->to_string());
+    if (!again || *again != *addr) __builtin_trap();
+  }
+  return 0;
+}

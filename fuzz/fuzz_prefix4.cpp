@@ -1,0 +1,19 @@
+// Fuzz Prefix4::parse: never crash; accepted prefixes round-trip (the
+// constructor masks host bits, so canonical text re-parses identically).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netaddr/prefix.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dynamips::net::Prefix4;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto prefix = Prefix4::parse(text);
+  if (prefix) {
+    auto again = Prefix4::parse(prefix->to_string());
+    if (!again || *again != *prefix) __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fuzz Prefix6::parse: never crash; accepted prefixes round-trip.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netaddr/prefix.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dynamips::net::Prefix6;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto prefix = Prefix6::parse(text);
+  if (prefix) {
+    auto again = Prefix6::parse(prefix->to_string());
+    if (!again || *again != *prefix) __builtin_trap();
+  }
+  return 0;
+}

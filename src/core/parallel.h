@@ -24,9 +24,12 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/status.h"
 
 namespace dynamips::core {
 
@@ -119,7 +122,17 @@ class ShardExecutor {
                 const std::function<void(std::size_t)>& task) {
     if (n_tasks == 0) return;
     if (workers_.empty() || n_tasks == 1) {
-      for (std::size_t i = 0; i < n_tasks; ++i) task(i);
+      // Same drain-then-rethrow contract as the pooled path: a throwing
+      // task never leaves later shards unexecuted.
+      std::exception_ptr first;
+      for (std::size_t i = 0; i < n_tasks; ++i) {
+        try {
+          task(i);
+        } catch (...) {
+          if (!first) first = std::current_exception();
+        }
+      }
+      if (first) std::rethrow_exception(first);
       return;
     }
     {
@@ -137,6 +150,25 @@ class ShardExecutor {
     done_cv_.wait(lk, [this] { return pending_ == 0; });
     job_ = nullptr;
     if (error_) std::rethrow_exception(error_);
+  }
+
+  /// Exception-safe dispatch: a throwing shard task is captured on its
+  /// worker (never reaching std::terminate), the remaining work is still
+  /// drained, and the first failure comes back as a Status instead of an
+  /// exception — the error-propagation contract of the file-driven study
+  /// entrypoints.
+  Status try_dispatch(std::size_t n_tasks,
+                      const std::function<void(std::size_t)>& task) {
+    try {
+      dispatch(n_tasks, task);
+    } catch (const std::exception& e) {
+      return Status(StatusCode::kInternal,
+                    std::string("shard task failed: ") + e.what());
+    } catch (...) {
+      return Status(StatusCode::kInternal,
+                    "shard task failed with a non-standard exception");
+    }
+    return Status::Ok();
   }
 
  private:

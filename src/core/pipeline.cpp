@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <cstdint>
+#include <fstream>
 #include <utility>
 #include <vector>
 
@@ -20,10 +21,9 @@ struct AtlasShard {
   InferenceCollector inference;
   obs::MetricsSink metrics;
 
-  AtlasShard(const bgp::Rib& rib, const AtlasStudyConfig& config)
-      : sanitizer(rib, config.sanitize),
-        durations(config.changes),
-        spatial(rib) {}
+  AtlasShard(const bgp::Rib& rib, const SanitizeOptions& sanitize,
+             const ChangeOptions& changes)
+      : sanitizer(rib, sanitize), durations(changes), spatial(rib) {}
 
   void merge(AtlasShard&& other) {
     sanitizer.merge(std::move(other.sanitizer));
@@ -69,7 +69,7 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
   std::vector<AtlasShard> shards;
   shards.reserve(ranges.size());
   for (std::size_t s = 0; s < ranges.size(); ++s)
-    shards.emplace_back(study.rib, config);
+    shards.emplace_back(study.rib, config.sanitize, config.changes);
 
   // Per-probe generation is a pure function of (config, isps, index), and
   // each shard writes only its own analyzer set, so shards race on nothing.
@@ -229,6 +229,252 @@ CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
     sim.publish_metrics(m);
     m.gauge("cdn.shards").set(double(ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
+    config.metrics->merge(std::move(m));
+  }
+  return study;
+}
+
+// ------------------------------------------------- file-driven entrypoints
+
+namespace {
+
+/// Open + stream one dataset file through the given loader, accumulating
+/// into `dataset` (shared codepath of both from_files entrypoints).
+template <typename Loader, typename Merger, typename Dataset>
+Status load_dataset_files(const std::vector<std::string>& paths,
+                          io::ReaderOptions reader, io::IngestStats* ingest,
+                          Loader&& load, Merger&& merge_into,
+                          Dataset& dataset) {
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+      return Status(StatusCode::kNotFound, "cannot open dataset: " + path);
+    reader.source_label = path;
+    auto part = load(in, reader, ingest);
+    if (!part.ok()) {
+      Status st = part.status();
+      return st.with_context(path);
+    }
+    merge_into(dataset, part.take());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Expected<AtlasStudy> run_atlas_study_from_files(
+    const std::vector<std::string>& paths,
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, io::IngestStats* ingest) {
+  AtlasStudy study;
+  simnet::announce_all(isps, study.rib);
+  for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
+
+  // Ingest metrics land in a local sink merged into the registry at the
+  // end, like every per-shard sink (no locks while loading).
+  obs::MetricsSink ingest_sink;
+  io::ReaderOptions ropts = config.reader;
+  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
+
+  std::vector<atlas::ProbeSeries> dataset;
+  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  Status loaded = load_dataset_files(
+      paths, ropts, ingest,
+      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
+        return io::read_echo_dataset(in, r, st);
+      },
+      [](std::vector<atlas::ProbeSeries>& into,
+         std::vector<atlas::ProbeSeries>&& more) {
+        io::merge_echo_datasets(into, std::move(more));
+      },
+      dataset);
+  if (!loaded.ok()) return loaded.with_context("atlas study");
+  if (config.metrics)
+    ingest_sink.phase("atlas.ingest").record(obs::now_ns() - load_start);
+
+  ShardExecutor exec(config.threads);
+  auto ranges = shard_ranges(dataset.size(), exec.thread_count());
+  std::vector<AtlasShard> shards;
+  shards.reserve(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s)
+    shards.emplace_back(study.rib, config.sanitize, config.changes);
+
+  Status ran = exec.try_dispatch(ranges.size(), [&](std::size_t s) {
+    AtlasShard& shard = shards[s];
+    if (!config.metrics) {
+      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+        ProbeObservations obs = from_series(dataset[i]);
+        for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
+          shard.durations.add(cp);
+          shard.spatial.add(cp);
+          shard.inference.add(cp);
+        }
+      }
+      return;
+    }
+    obs::MetricsSink& m = shard.metrics;
+    obs::Counter& c_probes = m.counter("atlas.probes_loaded");
+    obs::Counter& c_records = m.counter("atlas.echo_records");
+    obs::Counter& c_clean = m.counter("atlas.clean_probes");
+    obs::Histogram& h_records = m.histogram("atlas.records_per_probe", 0, 6, 5);
+    obs::PhaseStats& p_san = m.phase("atlas.sanitize");
+    obs::PhaseStats& p_dur = m.phase("atlas.durations.add");
+    obs::PhaseStats& p_spa = m.phase("atlas.spatial.add");
+    obs::PhaseStats& p_inf = m.phase("atlas.inference.add");
+    const std::uint64_t shard_start = obs::now_ns();
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      const atlas::ProbeSeries& series = dataset[i];
+      ProbeObservations obs = from_series(series);
+      std::uint64_t t1 = obs::now_ns();
+      c_probes.add(1);
+      c_records.add(series.records.size());
+      h_records.record(double(series.records.size()));
+      auto cleaned = shard.sanitizer.sanitize(obs);
+      std::uint64_t t2 = obs::now_ns();
+      p_san.record(t2 - t1);
+      c_clean.add(cleaned.size());
+      for (const CleanProbe& cp : cleaned) {
+        std::uint64_t a0 = obs::now_ns();
+        shard.durations.add(cp);
+        std::uint64_t a1 = obs::now_ns();
+        shard.spatial.add(cp);
+        std::uint64_t a2 = obs::now_ns();
+        shard.inference.add(cp);
+        std::uint64_t a3 = obs::now_ns();
+        p_dur.record(a1 - a0);
+        p_spa.record(a2 - a1);
+        p_inf.record(a3 - a2);
+      }
+    }
+    m.phase("atlas.shard_wall").record(obs::now_ns() - shard_start);
+  });
+  if (!ran.ok()) return ran.with_context("atlas study");
+
+  std::vector<std::uint64_t> shard_ns;
+  if (config.metrics)
+    for (AtlasShard& shard : shards)
+      shard_ns.push_back(shard.metrics.phase("atlas.shard_wall").total_ns);
+
+  AtlasShard& root = shards.front();
+  {
+    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    for (std::size_t s = 1; s < shards.size(); ++s)
+      root.merge(std::move(shards[s]));
+    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
+    root.finalize();
+    if (config.metrics) {
+      root.metrics.phase("atlas.merge").record(t1 - t0);
+      root.metrics.phase("atlas.finalize").record(obs::now_ns() - t1);
+    }
+  }
+
+  study.sanitize = root.sanitizer.stats();
+  study.durations = root.durations.by_as();
+  study.spatial = root.spatial.by_as();
+  study.subscriber_inference = root.inference.take_subscriber();
+  study.pool_inference = root.inference.take_pools();
+
+  if (config.metrics) {
+    study.sanitize.publish(root.metrics);
+    root.metrics.gauge("atlas.shards").set(double(ranges.size()));
+    root.metrics.gauge("atlas.shard_imbalance").set(imbalance_ratio(shard_ns));
+    root.metrics.merge(std::move(ingest_sink));
+    config.metrics->merge(std::move(root.metrics));
+  }
+  return study;
+}
+
+Expected<CdnStudy> run_cdn_study_from_files(
+    const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
+    io::IngestStats* ingest) {
+  obs::MetricsSink ingest_sink;
+  io::ReaderOptions ropts = config.reader;
+  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
+
+  std::vector<cdn::AssociationLog> dataset;
+  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  Status loaded = load_dataset_files(
+      paths, ropts, ingest,
+      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
+        return io::read_assoc_dataset(in, r, st);
+      },
+      [](std::vector<cdn::AssociationLog>& into,
+         std::vector<cdn::AssociationLog>&& more) {
+        io::merge_assoc_datasets(into, std::move(more));
+      },
+      dataset);
+  if (!loaded.ok()) return loaded.with_context("cdn study");
+  if (config.metrics)
+    ingest_sink.phase("cdn.ingest").record(obs::now_ns() - load_start);
+
+  // The CSV schema carries no access-type or registry attribution; graft
+  // the caller's ground truth onto the loaded logs.
+  for (auto& log : dataset) {
+    log.mobile = config.mobile_asns.count(log.asn) > 0;
+    auto reg = config.registries.find(log.asn);
+    log.registry =
+        reg == config.registries.end() ? bgp::Registry::kRipe : reg->second;
+  }
+
+  CdnStudy study{CdnAnalyzer(config.assoc, config.mobile_asns),
+                 config.asn_names};
+
+  ShardExecutor exec(config.threads);
+  auto ranges = shard_ranges(dataset.size(), exec.thread_count());
+  std::vector<CdnAnalyzer> shards(
+      ranges.size(), CdnAnalyzer(config.assoc, config.mobile_asns));
+  std::vector<obs::MetricsSink> sinks(ranges.size());
+
+  Status ran = exec.try_dispatch(ranges.size(), [&](std::size_t s) {
+    if (!config.metrics) {
+      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
+        shards[s].add(dataset[i]);
+      return;
+    }
+    obs::MetricsSink& m = sinks[s];
+    obs::Counter& c_logs = m.counter("cdn.logs_loaded");
+    obs::Counter& c_tuples = m.counter("cdn.association_tuples");
+    obs::Histogram& h_tuples = m.histogram("cdn.tuples_per_log", 0, 8, 5);
+    obs::PhaseStats& p_add = m.phase("cdn.analyzer.add");
+    const std::uint64_t shard_start = obs::now_ns();
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      const cdn::AssociationLog& log = dataset[i];
+      std::uint64_t t0 = obs::now_ns();
+      c_logs.add(1);
+      c_tuples.add(log.records.size());
+      h_tuples.record(double(log.records.size()));
+      shards[s].add(log);
+      p_add.record(obs::now_ns() - t0);
+    }
+    m.phase("cdn.shard_wall").record(obs::now_ns() - shard_start);
+  });
+  if (!ran.ok()) return ran.with_context("cdn study");
+
+  std::vector<std::uint64_t> shard_ns;
+  if (config.metrics)
+    for (obs::MetricsSink& sink : sinks)
+      shard_ns.push_back(sink.phase("cdn.shard_wall").total_ns);
+
+  {
+    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    for (auto& shard : shards) study.analyzer.merge(std::move(shard));
+    for (std::size_t s = 1; s < sinks.size(); ++s)
+      sinks.front().merge(std::move(sinks[s]));
+    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
+    study.analyzer.finalize();
+    if (config.metrics) {
+      sinks.front().phase("cdn.merge").record(t1 - t0);
+      sinks.front().phase("cdn.finalize").record(obs::now_ns() - t1);
+    }
+  }
+
+  if (config.metrics) {
+    obs::MetricsSink& m = sinks.empty() ? ingest_sink : sinks.front();
+    m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
+    m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
+    m.gauge("cdn.shards").set(double(ranges.size()));
+    m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
+    if (!sinks.empty()) m.merge(std::move(ingest_sink));
     config.metrics->merge(std::move(m));
   }
   return study;

@@ -22,6 +22,8 @@
 #include "core/parallel.h"
 #include "core/sanitize.h"
 #include "core/spatial.h"
+#include "core/status.h"
+#include "io/readers.h"
 #include "obs/metrics.h"
 
 namespace dynamips::core {
@@ -88,5 +90,60 @@ struct CdnStudy {
 /// Run the full CDN pipeline over the given population.
 CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
                        const CdnStudyConfig& config);
+
+// ------------------------------------------------- file-driven entrypoints
+//
+// The _from_files variants run the identical analyses over datasets loaded
+// from exported CSVs (io/readers.h) instead of the in-process generators:
+// real-data mode. They are fully fallible — ingestion failures (missing
+// file, error budget exceeded) and shard-task exceptions come back as a
+// `Status`; no exception escapes and no worker ever reaches
+// std::terminate. A clean export of a synthetic dataset produces results
+// byte-identical to the generator path at the same seed and any `threads`.
+
+struct AtlasFileStudyConfig {
+  SanitizeOptions sanitize;
+  ChangeOptions changes;
+  /// Shard/thread count: 0 = hardware_concurrency, 1 = serial. Results are
+  /// identical for every value; only wall-clock changes.
+  unsigned threads = 0;
+  /// Observability sink; see AtlasStudyConfig::metrics. Ingestion counters
+  /// (`ingest.*`) are recorded here as well.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Ingestion hardening knobs: error budget, quarantine sink, line caps.
+  io::ReaderOptions reader;
+};
+
+/// Load echo datasets from `paths` (later files merge into earlier probes)
+/// and run the full Atlas pipeline over them. `isps` provides the RIB and
+/// AS names, exactly as in run_atlas_study. `ingest`, when non-null,
+/// receives the ingestion accounting even on failure.
+Expected<AtlasStudy> run_atlas_study_from_files(
+    const std::vector<std::string>& paths,
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, io::IngestStats* ingest = nullptr);
+
+struct CdnFileStudyConfig {
+  AssocOptions assoc;
+  /// Shard/thread count: 0 = hardware_concurrency, 1 = serial.
+  unsigned threads = 0;
+  /// Observability sink; see AtlasStudyConfig::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Ingestion hardening knobs.
+  io::ReaderOptions reader;
+  /// Ground-truth access type per ASN (the CSV schema carries none): logs
+  /// whose ASN is listed here are analyzed as mobile networks.
+  std::unordered_set<bgp::Asn> mobile_asns;
+  /// Registry attribution per ASN; ASNs not listed default to kRipe.
+  std::map<bgp::Asn, bgp::Registry> registries;
+  /// Display names for the study output (optional).
+  std::map<bgp::Asn, std::string> asn_names;
+};
+
+/// Load association datasets from `paths` (logs grouped by origin asn6,
+/// later files merge into earlier logs) and run the full CDN pipeline.
+Expected<CdnStudy> run_cdn_study_from_files(
+    const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
+    io::IngestStats* ingest = nullptr);
 
 }  // namespace dynamips::core

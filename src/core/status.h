@@ -1,0 +1,128 @@
+// status.h — lightweight error propagation for fallible APIs.
+//
+// The ingestion and file-driven study paths run on real exported data and
+// must degrade predictably: no exception crosses a module boundary, no
+// std::terminate on a worker thread. Fallible functions return a `Status`
+// (or an `Expected<T>` when they produce a value); the error carries a
+// coarse code plus a human-readable message that accumulates context as it
+// bubbles up ("load echo dataset: budget exceeded: ...").
+//
+// Deliberately minimal — no payloads, no stack traces, no allocation on the
+// OK path (an OK Status is two words).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dynamips::core {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed input the caller controls
+  kNotFound,            ///< missing file / entity
+  kDataLoss,            ///< input corruption beyond the configured budget
+  kResourceExhausted,   ///< a cap or budget was hit
+  kFailedPrecondition,  ///< API misuse / wrong state
+  kInternal,            ///< captured exception, broken invariant
+};
+
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  /// OK by default.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Prefix the message with a context label; returns *this for chaining:
+  ///   return st.with_context("load " + path);
+  Status& with_context(std::string_view context) {
+    if (!ok()) {
+      std::string prefixed(context);
+      prefixed += ": ";
+      prefixed += message_;
+      message_ = std::move(prefixed);
+    }
+    return *this;
+  }
+
+  /// "DATA_LOSS: 12 of 100 lines rejected ..." (or "OK").
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out = status_code_name(code_);
+    out += ": ";
+    out += message_;
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none. Accessing value() on
+/// an error is a programming bug (asserted); check ok() first.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}                // NOLINT
+  Expected(Status status) : status_(std::move(status)) {         // NOLINT
+    assert(!status_.ok() && "Expected built from an OK Status has no value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// OK when a value is present.
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Move the value out (consumes the Expected).
+  T take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dynamips::core

@@ -12,10 +12,7 @@ namespace {
 
 template <typename T>
 std::optional<T> parse_num(std::string_view s) {
-  T v{};
-  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
-  return v;
+  return parse_csv_num<T>(s);
 }
 
 }  // namespace

@@ -1,0 +1,560 @@
+#include "io/readers.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "io/csv.h"
+#include "io/dataset_io.h"
+
+namespace dynamips::io {
+
+std::string_view reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kOversizeLine: return "oversize_line";
+    case RejectReason::kBadFieldCount: return "bad_field_count";
+    case RejectReason::kBadNumber: return "bad_number";
+    case RejectReason::kBadAddress: return "bad_address";
+    case RejectReason::kOutOfRange: return "out_of_range";
+    case RejectReason::kDuplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+void IngestStats::merge(const IngestStats& other) {
+  lines_seen += other.lines_seen;
+  data_lines += other.data_lines;
+  records_accepted += other.records_accepted;
+  headers_skipped += other.headers_skipped;
+  meta_lines += other.meta_lines;
+  blank_lines += other.blank_lines;
+  quarantined += other.quarantined;
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i)
+    rejects[i] += other.rejects[i];
+  first_rejects.insert(first_rejects.end(), other.first_rejects.begin(),
+                       other.first_rejects.end());
+}
+
+std::string IngestStats::summary() const {
+  std::string out = std::to_string(records_accepted);
+  out += " records, ";
+  out += std::to_string(total_rejects());
+  out += " rejected";
+  if (total_rejects() > 0) {
+    out += " (";
+    bool first = true;
+    for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+      if (rejects[i] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(rejects[i]);
+      out += ' ';
+      out += reject_reason_name(RejectReason(i));
+    }
+    out += ")";
+  }
+  if (quarantined > 0) {
+    out += ", ";
+    out += std::to_string(quarantined);
+    out += " quarantined";
+  }
+  return out;
+}
+
+namespace detail {
+
+LineCursor::LineCursor(std::istream& is, const ReaderOptions& options,
+                       std::string_view label)
+    : is_(is), options_(options), label_(label) {
+  // +1 slack so that a line of exactly max_line_bytes fits and only a
+  // strictly longer one trips getline's failbit.
+  buffer_.resize(options_.max_line_bytes + 2);
+  if (options_.metrics) {
+    lines_counter_ = &options_.metrics->counter("ingest.lines");
+    accepted_counter_ = &options_.metrics->counter("ingest.records");
+  }
+}
+
+bool LineCursor::next_line(std::string_view& line) {
+  while (!tripped()) {
+    is_.getline(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    std::size_t got = static_cast<std::size_t>(is_.gcount());
+    if (got == 0 && !is_.good()) return false;  // clean end of stream
+    ++stats_.lines_seen;
+    if (lines_counter_) lines_counter_->add(1);
+    if (is_.fail() && !is_.eof()) {
+      // The line exceeded the buffer: reject what we buffered, then skip
+      // the remainder without ever holding more than the buffer.
+      std::string_view head(buffer_.data(), got);
+      is_.clear();
+      is_.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      ++stats_.data_lines;
+      reject(RejectReason::kOversizeLine, head);
+      continue;
+    }
+    // gcount includes the extracted-but-not-stored '\n' delimiter; a final
+    // line terminated by EOF instead of '\n' sets eofbit and stores all of
+    // its gcount characters.
+    std::size_t len = got;
+    if (!is_.eof() && len > 0) --len;
+    std::string_view text(buffer_.data(), len);
+    text = chomp_cr(text);
+    if (stats_.lines_seen == 1) text = strip_utf8_bom(text);
+    if (text.empty()) {
+      ++stats_.blank_lines;
+      continue;
+    }
+    line = text;
+    return true;
+  }
+  return false;
+}
+
+void LineCursor::reject(RejectReason reason, std::string_view text) {
+  ++stats_.rejects[std::size_t(reason)];
+  std::string_view kept = text.substr(0, options_.keep_text_bytes);
+  if (stats_.first_rejects.size() < options_.keep_first_rejects) {
+    stats_.first_rejects.push_back(
+        RejectedLine{stats_.lines_seen, reason, std::string(kept)});
+  }
+  if (options_.metrics) {
+    std::string name = "ingest.reject.";
+    name += reject_reason_name(reason);
+    options_.metrics->counter(name).add(1);
+  }
+  if (options_.quarantine) {
+    (*options_.quarantine) << options_.source_label << ','
+                           << stats_.lines_seen << ','
+                           << reject_reason_name(reason) << ',' << kept
+                           << '\n';
+    ++stats_.quarantined;
+    if (options_.metrics)
+      options_.metrics->counter("ingest.quarantined").add(1);
+  }
+  ++consecutive_rejects_;
+  if (consecutive_rejects_ > options_.max_consecutive_rejects) {
+    std::string msg = label_;
+    msg += ": ";
+    msg += std::to_string(consecutive_rejects_);
+    msg += " consecutive malformed lines (cap ";
+    msg += std::to_string(options_.max_consecutive_rejects);
+    msg += "), last at line ";
+    msg += std::to_string(stats_.lines_seen);
+    msg += format_offenders();
+    fatal_ = core::Status(core::StatusCode::kDataLoss, std::move(msg));
+  }
+}
+
+core::Status LineCursor::finish() const {
+  if (tripped()) return fatal_;
+  const std::uint64_t rejected = stats_.total_rejects();
+  if (rejected == 0) return core::Status::Ok();
+  const double budget =
+      options_.max_reject_fraction * static_cast<double>(stats_.data_lines);
+  if (static_cast<double>(rejected) <= budget) return core::Status::Ok();
+  std::string msg = label_;
+  msg += ": ";
+  msg += std::to_string(rejected);
+  msg += " of ";
+  msg += std::to_string(stats_.data_lines);
+  msg += " data lines rejected, over budget (max_reject_fraction=";
+  std::ostringstream frac;
+  frac << options_.max_reject_fraction;
+  msg += frac.str();
+  msg += ")";
+  msg += format_offenders();
+  return core::Status(core::StatusCode::kDataLoss, std::move(msg));
+}
+
+std::string LineCursor::format_offenders() const {
+  if (stats_.first_rejects.empty()) return {};
+  std::string out = "; first offenders:";
+  for (const auto& r : stats_.first_rejects) {
+    out += " line ";
+    out += std::to_string(r.line_number);
+    out += " [";
+    out += reject_reason_name(r.reason);
+    out += "] \"";
+    out += r.text;
+    out += "\"";
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::string_view kEchoHeader = "probe_id,";
+constexpr std::string_view kAssocHeader = "day,";
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+/// Parse the five echo fields into `rec`; on failure reports why.
+bool parse_echo_fields(const std::vector<std::string_view>& f,
+                       const ReaderOptions& options, atlas::EchoRecord& rec,
+                       RejectReason& why) {
+  auto probe = parse_csv_num<std::uint32_t>(f[0]);
+  auto hour = parse_csv_num<std::uint64_t>(f[1]);
+  if (!probe || !hour) {
+    why = RejectReason::kBadNumber;
+    return false;
+  }
+  if (*hour > options.max_hour) {
+    why = RejectReason::kOutOfRange;
+    return false;
+  }
+  rec.probe_id = *probe;
+  rec.hour = *hour;
+  if (f[2] == "4") {
+    rec.family = atlas::Family::kV4;
+    auto x = net::IPv4Address::parse(f[3]);
+    auto s = net::IPv4Address::parse(f[4]);
+    if (!x || !s) {
+      why = RejectReason::kBadAddress;
+      return false;
+    }
+    rec.x_client_ip4 = *x;
+    rec.src_addr4 = *s;
+  } else if (f[2] == "6") {
+    rec.family = atlas::Family::kV6;
+    auto x = net::IPv6Address::parse(f[3]);
+    auto s = net::IPv6Address::parse(f[4]);
+    if (!x || !s) {
+      why = RejectReason::kBadAddress;
+      return false;
+    }
+    rec.x_client_ip6 = *x;
+    rec.src_addr6 = *s;
+  } else {
+    why = RejectReason::kBadNumber;  // family field is not 4 or 6
+    return false;
+  }
+  return true;
+}
+
+bool parse_assoc_fields(const std::vector<std::string_view>& f,
+                        const ReaderOptions& options,
+                        cdn::AssociationRecord& rec, RejectReason& why) {
+  auto day = parse_csv_num<std::uint32_t>(f[0]);
+  auto asn4 = parse_csv_num<std::uint32_t>(f[3]);
+  auto asn6 = parse_csv_num<std::uint32_t>(f[4]);
+  if (!day || !asn4 || !asn6) {
+    why = RejectReason::kBadNumber;
+    return false;
+  }
+  if (*day > options.max_day) {
+    why = RejectReason::kOutOfRange;
+    return false;
+  }
+  auto v4 = net::Prefix4::parse(f[1]);
+  auto v6 = net::Prefix6::parse(f[2]);
+  if (!v4 || !v6) {
+    why = RejectReason::kBadAddress;
+    return false;
+  }
+  rec.day = *day;
+  rec.v4_24 = *v4;
+  rec.v6_64 = *v6;
+  rec.asn4 = *asn4;
+  rec.asn6 = *asn6;
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- EchoReader
+
+EchoReader::EchoReader(std::istream& is, ReaderOptions options)
+    : cursor_(is, options, "echo ingest"), options_(std::move(options)) {}
+
+void EchoReader::note_probe(std::uint32_t probe_id) {
+  if (known_probes_.insert(probe_id).second) probe_order_.push_back(probe_id);
+}
+
+const std::vector<std::string>& EchoReader::tags_for(
+    std::uint32_t probe_id) const {
+  static const std::vector<std::string> kNone;
+  auto it = tags_.find(probe_id);
+  return it == tags_.end() ? kNone : it->second;
+}
+
+void EchoReader::handle_meta(std::string_view line) {
+  auto f = split_csv(line, options_.max_fields);
+  if (f[0] == "#probe" && f.size() == 2) {
+    auto pid = parse_csv_num<std::uint32_t>(f[1]);
+    if (!pid) {
+      cursor_.count_data_line();
+      cursor_.reject(RejectReason::kBadNumber, line);
+      return;
+    }
+    note_probe(*pid);
+    cursor_.count_meta();
+    return;
+  }
+  if (f[0] == "#tags" && f.size() == 3) {
+    auto pid = parse_csv_num<std::uint32_t>(f[1]);
+    if (!pid) {
+      cursor_.count_data_line();
+      cursor_.reject(RejectReason::kBadNumber, line);
+      return;
+    }
+    note_probe(*pid);
+    auto& tags = tags_[*pid];
+    if (tags.empty()) {
+      std::string_view rest = f[2];
+      while (!rest.empty()) {
+        std::size_t semi = rest.find(';');
+        std::string_view tag = rest.substr(0, semi);
+        if (!tag.empty()) tags.emplace_back(tag);
+        if (semi == std::string_view::npos) break;
+        rest.remove_prefix(semi + 1);
+      }
+    }
+    cursor_.count_meta();
+    return;
+  }
+  cursor_.count_meta();  // unknown comment: tolerated
+}
+
+std::optional<atlas::EchoRecord> EchoReader::next() {
+  std::string_view line;
+  while (cursor_.next_line(line)) {
+    if (line.front() == '#') {
+      handle_meta(line);
+      continue;
+    }
+    if (starts_with(line, kEchoHeader)) {
+      cursor_.count_header();
+      continue;
+    }
+    cursor_.count_data_line();
+    auto f = split_csv(line, options_.max_fields);
+    if (f.size() != 5) {
+      cursor_.reject(RejectReason::kBadFieldCount, line);
+      continue;
+    }
+    atlas::EchoRecord rec;
+    RejectReason why{};
+    if (!parse_echo_fields(f, options_, rec, why)) {
+      cursor_.reject(why, line);
+      continue;
+    }
+    const std::uint64_t key =
+        (rec.hour << 1) | (rec.family == atlas::Family::kV6 ? 1u : 0u);
+    if (!seen_[rec.probe_id].insert(key).second) {
+      cursor_.reject(RejectReason::kDuplicate, line);
+      continue;
+    }
+    note_probe(rec.probe_id);
+    cursor_.accept();
+    return rec;
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ AssocReader
+
+AssocReader::AssocReader(std::istream& is, ReaderOptions options)
+    : cursor_(is, options, "assoc ingest"), options_(std::move(options)) {}
+
+void AssocReader::note_log(bgp::Asn asn) {
+  if (known_logs_.insert(asn).second) log_order_.push_back(asn);
+}
+
+void AssocReader::handle_meta(std::string_view line) {
+  auto f = split_csv(line, options_.max_fields);
+  if (f[0] == "#log" && f.size() == 2) {
+    auto asn = parse_csv_num<bgp::Asn>(f[1]);
+    if (!asn) {
+      cursor_.count_data_line();
+      cursor_.reject(RejectReason::kBadNumber, line);
+      return;
+    }
+    note_log(*asn);
+    cursor_.count_meta();
+    return;
+  }
+  cursor_.count_meta();
+}
+
+std::optional<cdn::AssociationRecord> AssocReader::next() {
+  std::string_view line;
+  while (cursor_.next_line(line)) {
+    if (line.front() == '#') {
+      handle_meta(line);
+      continue;
+    }
+    if (starts_with(line, kAssocHeader)) {
+      cursor_.count_header();
+      continue;
+    }
+    cursor_.count_data_line();
+    auto f = split_csv(line, options_.max_fields);
+    if (f.size() != 5) {
+      cursor_.reject(RejectReason::kBadFieldCount, line);
+      continue;
+    }
+    cdn::AssociationRecord rec;
+    RejectReason why{};
+    if (!parse_assoc_fields(f, options_, rec, why)) {
+      cursor_.reject(why, line);
+      continue;
+    }
+    if (options_.assoc_dedup_adjacent) {
+      if (line == last_accepted_line_) {
+        cursor_.reject(RejectReason::kDuplicate, line);
+        continue;
+      }
+      last_accepted_line_.assign(line);
+    }
+    note_log(rec.asn6);
+    cursor_.accept();
+    return rec;
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------- datasets
+
+core::Expected<std::vector<atlas::ProbeSeries>> read_echo_dataset(
+    std::istream& is, const ReaderOptions& options, IngestStats* stats) {
+  EchoReader reader(is, options);
+  std::vector<atlas::EchoRecord> records;
+  while (auto rec = reader.next()) records.push_back(*rec);
+  if (stats) stats->merge(reader.stats());
+  core::Status st = reader.finish();
+  if (!st.ok()) return st.with_context("load echo dataset");
+
+  std::vector<atlas::ProbeSeries> dataset;
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  dataset.reserve(reader.probe_order().size());
+  for (std::uint32_t pid : reader.probe_order()) {
+    index.emplace(pid, dataset.size());
+    atlas::ProbeSeries series;
+    series.meta.probe_id = pid;
+    series.meta.tags = reader.tags_for(pid);
+    dataset.push_back(std::move(series));
+  }
+  for (auto& rec : records)
+    dataset[index.at(rec.probe_id)].records.push_back(rec);
+  for (auto& series : dataset) {
+    std::stable_sort(
+        series.records.begin(), series.records.end(),
+        [](const atlas::EchoRecord& a, const atlas::EchoRecord& b) {
+          return a.hour < b.hour;
+        });
+  }
+  return dataset;
+}
+
+core::Expected<std::vector<cdn::AssociationLog>> read_assoc_dataset(
+    std::istream& is, const ReaderOptions& options, IngestStats* stats) {
+  AssocReader reader(is, options);
+  std::vector<cdn::AssociationRecord> records;
+  while (auto rec = reader.next()) records.push_back(*rec);
+  if (stats) stats->merge(reader.stats());
+  core::Status st = reader.finish();
+  if (!st.ok()) return st.with_context("load assoc dataset");
+
+  std::vector<cdn::AssociationLog> dataset;
+  std::unordered_map<bgp::Asn, std::size_t> index;
+  dataset.reserve(reader.log_order().size());
+  for (bgp::Asn asn : reader.log_order()) {
+    index.emplace(asn, dataset.size());
+    cdn::AssociationLog log;
+    log.asn = asn;
+    dataset.push_back(std::move(log));
+  }
+  for (auto& rec : records)
+    dataset[index.at(rec.asn6)].records.push_back(rec);
+  for (auto& log : dataset) {
+    std::stable_sort(log.records.begin(), log.records.end(),
+                     [](const cdn::AssociationRecord& a,
+                        const cdn::AssociationRecord& b) {
+                       return a.day < b.day;
+                     });
+  }
+  return dataset;
+}
+
+void merge_echo_datasets(std::vector<atlas::ProbeSeries>& into,
+                         std::vector<atlas::ProbeSeries>&& more) {
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t i = 0; i < into.size(); ++i)
+    index.emplace(into[i].meta.probe_id, i);
+  for (auto& series : more) {
+    auto it = index.find(series.meta.probe_id);
+    if (it == index.end()) {
+      index.emplace(series.meta.probe_id, into.size());
+      into.push_back(std::move(series));
+      continue;
+    }
+    auto& dst = into[it->second];
+    if (dst.meta.tags.empty()) dst.meta.tags = std::move(series.meta.tags);
+    dst.records.insert(dst.records.end(), series.records.begin(),
+                       series.records.end());
+    std::stable_sort(
+        dst.records.begin(), dst.records.end(),
+        [](const atlas::EchoRecord& a, const atlas::EchoRecord& b) {
+          return a.hour < b.hour;
+        });
+  }
+}
+
+void merge_assoc_datasets(std::vector<cdn::AssociationLog>& into,
+                          std::vector<cdn::AssociationLog>&& more) {
+  std::unordered_map<bgp::Asn, std::size_t> index;
+  for (std::size_t i = 0; i < into.size(); ++i)
+    index.emplace(into[i].asn, i);
+  for (auto& log : more) {
+    auto it = index.find(log.asn);
+    if (it == index.end()) {
+      index.emplace(log.asn, into.size());
+      into.push_back(std::move(log));
+      continue;
+    }
+    auto& dst = into[it->second];
+    dst.records.insert(dst.records.end(), log.records.begin(),
+                       log.records.end());
+    std::stable_sort(dst.records.begin(), dst.records.end(),
+                     [](const cdn::AssociationRecord& a,
+                        const cdn::AssociationRecord& b) {
+                       return a.day < b.day;
+                     });
+  }
+}
+
+void write_echo_dataset(std::ostream& os,
+                        const std::vector<atlas::ProbeSeries>& dataset) {
+  os << "probe_id,hour,family,x_client_ip,src_addr\n";
+  for (const auto& series : dataset) {
+    os << "#probe," << series.meta.probe_id << '\n';
+    if (!series.meta.tags.empty()) {
+      os << "#tags," << series.meta.probe_id << ',';
+      for (std::size_t i = 0; i < series.meta.tags.size(); ++i) {
+        if (i) os << ';';
+        os << series.meta.tags[i];
+      }
+      os << '\n';
+    }
+    for (const auto& rec : series.records) os << to_csv(rec) << '\n';
+  }
+}
+
+void write_assoc_dataset(std::ostream& os,
+                         const std::vector<cdn::AssociationLog>& dataset) {
+  os << "day,v4_24,v6_64,asn4,asn6\n";
+  for (const auto& log : dataset) {
+    os << "#log," << log.asn << '\n';
+    for (const auto& rec : log.records) os << to_csv(rec) << '\n';
+  }
+}
+
+}  // namespace dynamips::io

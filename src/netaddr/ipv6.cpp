@@ -40,6 +40,9 @@ std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
                                  : part.substr(start, colon - start);
       if (tok.empty()) return false;  // "a::b:" or ":a" style junk
       out.push_back(tok);
+      // 9+ tokens can never form a valid address; bail instead of
+      // growing proportionally to a hostile "1:1:1:..." input.
+      if (out.size() > 8) return false;
       if (colon == std::string_view::npos) break;
       start = colon + 1;
     }

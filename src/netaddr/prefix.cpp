@@ -8,6 +8,11 @@ namespace {
 
 std::optional<int> parse_length(std::string_view text, int max_len) {
   if (text.empty() || text.size() > 3) return std::nullopt;
+  // Digits only ("-0" must not parse), no leading zeros ("024" is not a
+  // canonical length; plain "0" is).
+  for (char c : text)
+    if (c < '0' || c > '9') return std::nullopt;
+  if (text.size() > 1 && text[0] == '0') return std::nullopt;
   int v = -1;
   auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
   if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;

@@ -1,0 +1,44 @@
+// corpus_util.h — replay the checked-in parser regression corpus.
+//
+// tests/corpus/<family>/ holds raw parser inputs, one per file: names
+// starting with accept_ must parse, names starting with reject_ must not.
+// A new fuzz finding becomes a permanent regression case by dropping the
+// input file into the right directory — both the unit tests (here) and the
+// fuzz targets' corpus-replay mode pick it up with no code change.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string>
+
+namespace dynamips::testing {
+
+inline void run_parse_corpus(
+    const std::string& family,
+    const std::function<bool(const std::string&)>& parses) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(DYNAMIPS_TEST_CORPUS_DIR) / family;
+  ASSERT_TRUE(fs::is_directory(dir)) << "missing corpus dir " << dir;
+  std::size_t cases = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("accept_", 0) == 0) {
+      EXPECT_TRUE(parses(text)) << name << ": \"" << text << "\"";
+      ++cases;
+    } else if (name.rfind("reject_", 0) == 0) {
+      EXPECT_FALSE(parses(text)) << name << ": \"" << text << "\"";
+      ++cases;
+    }
+  }
+  EXPECT_GT(cases, 0u) << "empty corpus: " << dir;
+}
+
+}  // namespace dynamips::testing

@@ -149,5 +149,51 @@ TEST(AssocIo, EmptyStreamYieldsEmptyLog) {
   EXPECT_TRUE(loaded->records.empty());
 }
 
+
+TEST(Csv, SplitCapsFieldCount) {
+  // Once the cap is reached the remainder (commas included) becomes the
+  // final field, so allocation is bounded and width checks still reject.
+  auto f = split_csv("a,b,c,d,e,f", 3);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c,d,e,f");
+
+  std::string commas(1000, ',');
+  EXPECT_EQ(split_csv(commas).size(), kMaxCsvFields);
+  EXPECT_EQ(split_csv(commas, 0).size(), 1u);  // cap 0 degrades to 1
+}
+
+TEST(Csv, SplitCapExactWidthUnchanged) {
+  auto f = split_csv("a,b,c", 3);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, ChompCr) {
+  EXPECT_EQ(chomp_cr("abc\r"), "abc");
+  EXPECT_EQ(chomp_cr("abc"), "abc");
+  EXPECT_EQ(chomp_cr("\r"), "");
+  EXPECT_EQ(chomp_cr(""), "");
+  EXPECT_EQ(chomp_cr("a\rb"), "a\rb");  // only a trailing CR is stripped
+}
+
+TEST(Csv, StripUtf8Bom) {
+  EXPECT_EQ(strip_utf8_bom("\xEF\xBB\xBF" "day"), "day");
+  EXPECT_EQ(strip_utf8_bom("day"), "day");
+  EXPECT_EQ(strip_utf8_bom("\xEF\xBB"), "\xEF\xBB");  // partial BOM kept
+  EXPECT_EQ(strip_utf8_bom(""), "");
+}
+
+TEST(Csv, ParseCsvNum) {
+  EXPECT_EQ(parse_csv_num<std::uint32_t>("42"), 42u);
+  EXPECT_EQ(parse_csv_num<std::uint32_t>("0"), 0u);
+  EXPECT_FALSE(parse_csv_num<std::uint32_t>("").has_value());
+  EXPECT_FALSE(parse_csv_num<std::uint32_t>("4x").has_value());
+  EXPECT_FALSE(parse_csv_num<std::uint32_t>(" 4").has_value());
+  EXPECT_FALSE(parse_csv_num<std::uint32_t>("-4").has_value());
+  EXPECT_FALSE(parse_csv_num<std::uint8_t>("256").has_value());
+}
+
 }  // namespace
 }  // namespace dynamips::io

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "corpus_util.h"
+
 namespace dynamips::net {
 namespace {
 
@@ -100,6 +104,13 @@ INSTANTIATE_TEST_SUITE_P(Sweep, IPv4RoundTrip,
                                            0xc0a80101u, 0x0a000001u,
                                            0x7f000001u, 0xdeadbeefu,
                                            0x80000000u, 0x00ffff00u));
+
+
+TEST(IPv4, FuzzRegressionCorpus) {
+  dynamips::testing::run_parse_corpus("ipv4", [](const std::string& s) {
+    return IPv4Address::parse(s).has_value();
+  });
+}
 
 }  // namespace
 }  // namespace dynamips::net

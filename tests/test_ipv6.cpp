@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+
+#include "corpus_util.h"
+
+#include <string>
 #include <utility>
 
 #include "netaddr/rng.h"
@@ -149,6 +153,23 @@ TEST_P(IPv6RoundTrip, RandomAddressesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IPv6RoundTrip,
                          ::testing::Values(1u, 2u, 3u, 42u, 1234567u));
+
+
+TEST(IPv6, ParseRejectsExcessGroupsWithoutScanningWhole) {
+  // Regression for the fuzz-found unbounded tokenization: a huge
+  // "1:1:1:..." input must be rejected after at most 9 groups, not
+  // tokenized in full.
+  std::string huge;
+  for (int i = 0; i < 100000; ++i) huge += "1:";
+  huge += "1";
+  EXPECT_FALSE(IPv6Address::parse(huge).has_value());
+}
+
+TEST(IPv6, FuzzRegressionCorpus) {
+  dynamips::testing::run_parse_corpus("ipv6", [](const std::string& s) {
+    return IPv6Address::parse(s).has_value();
+  });
+}
 
 }  // namespace
 }  // namespace dynamips::net

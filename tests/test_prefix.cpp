@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "corpus_util.h"
+
 namespace dynamips::net {
 namespace {
 
@@ -137,6 +141,34 @@ TEST_P(Prefix4Lengths, CanonicalAndSelfContaining) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllLengths, Prefix4Lengths, ::testing::Range(0, 33));
+
+
+TEST(Prefix4, ParseRejectsNonCanonicalLength) {
+  // Regression for the fuzz-found acceptance bug: "/024" used to parse as
+  // /24 and "/-0" as /0.
+  EXPECT_FALSE(Prefix4::parse("80.1.2.0/024").has_value());
+  EXPECT_FALSE(Prefix4::parse("80.1.2.0/-0").has_value());
+  EXPECT_FALSE(Prefix4::parse("80.1.2.0/00").has_value());
+  EXPECT_TRUE(Prefix4::parse("80.1.2.0/0").has_value());
+}
+
+TEST(Prefix6, ParseRejectsNonCanonicalLength) {
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/064").has_value());
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/-0").has_value());
+  EXPECT_TRUE(Prefix6::parse("2001:db8::/0").has_value());
+}
+
+TEST(Prefix4, FuzzRegressionCorpus) {
+  dynamips::testing::run_parse_corpus("prefix4", [](const std::string& s) {
+    return Prefix4::parse(s).has_value();
+  });
+}
+
+TEST(Prefix6, FuzzRegressionCorpus) {
+  dynamips::testing::run_parse_corpus("prefix6", [](const std::string& s) {
+    return Prefix6::parse(s).has_value();
+  });
+}
 
 }  // namespace
 }  // namespace dynamips::net

@@ -4,6 +4,7 @@
 Usage:
   check_metrics.py CANDIDATE BASELINE [--verbose]
   check_metrics.py CANDIDATE BASELINE --update-baseline
+  check_metrics.py CANDIDATE --require-counters=PAT[,PAT...]
 
 The candidate is a document written by `--metrics-out` (schema
 "dynamips.metrics.v1", see src/obs/metrics_json.h). The baseline is a
@@ -30,6 +31,12 @@ Tolerances are fnmatch patterns mapped to relative deviations, e.g.
 
 `--update-baseline` rewrites BASELINE's counters/histogram_totals/meta
 from CANDIDATE, preserving the existing tolerance and requirement lists.
+
+`--require-counters` is a candidate-only presence gate (no baseline
+needed): every fnmatch pattern must match at least one counter with a
+value > 0. CI uses it to assert that a corrupted-ingest run actually
+rejected lines (`--require-counters='ingest.reject.*'`). It composes
+with a baseline compare when both CANDIDATE and BASELINE are given.
 
 Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
 Stdlib-only by design (runs in bare CI containers).
@@ -184,38 +191,72 @@ def update_baseline(candidate, baseline_path):
           f"({len(baseline['counters'])} gated counters)")
 
 
+def check_required_counters(candidate, patterns, verbose=False):
+    """Candidate-only presence gate: each pattern must match at least one
+    counter with a value > 0."""
+    problems = []
+    counters = candidate.get("counters", {})
+    for pattern in patterns:
+        hits = {n: v for n, v in counters.items()
+                if fnmatch.fnmatch(n, pattern) and v > 0}
+        if not hits:
+            problems.append(
+                f"{pattern}: no counter matching the pattern has value > 0")
+        elif verbose:
+            for name, value in sorted(hits.items()):
+                print(f"  ok required {name}: {value}")
+    return problems
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     flags = {a for a in argv[1:] if a.startswith("--")}
+    required = []
+    for flag in list(flags):
+        if flag.startswith("--require-counters="):
+            required = [p for p in
+                        flag[len("--require-counters="):].split(",") if p]
+            flags.remove(flag)
     unknown = flags - {"--verbose", "--update-baseline"}
-    if unknown or len(args) != 2:
-        return fail(__doc__.strip().splitlines()[0] +
-                    "\nusage: check_metrics.py CANDIDATE BASELINE "
-                    "[--verbose|--update-baseline]")
+    usage = (__doc__.strip().splitlines()[0] +
+             "\nusage: check_metrics.py CANDIDATE BASELINE "
+             "[--verbose|--update-baseline]"
+             "\n       check_metrics.py CANDIDATE "
+             "--require-counters=PAT[,PAT...]")
+    if unknown:
+        return fail(usage)
+    if len(args) != 2 and not (len(args) == 1 and required):
+        return fail(usage)
 
-    candidate_path, baseline_path = args
+    candidate_path = args[0]
+    baseline_path = args[1] if len(args) == 2 else None
     try:
         candidate = load(candidate_path)
     except (OSError, ValueError) as exc:
         return fail(f"cannot read candidate {candidate_path}: {exc}")
 
     if "--update-baseline" in flags:
+        if baseline_path is None:
+            return fail(usage)
         update_baseline(candidate, baseline_path)
         return 0
 
-    try:
-        baseline = load(baseline_path)
-    except (OSError, ValueError) as exc:
-        return fail(f"cannot read baseline {baseline_path}: {exc}")
+    verbose = "--verbose" in flags
+    problems = check_required_counters(candidate, required, verbose)
+    if baseline_path is not None:
+        try:
+            baseline = load(baseline_path)
+        except (OSError, ValueError) as exc:
+            return fail(f"cannot read baseline {baseline_path}: {exc}")
+        problems += check(candidate, baseline, verbose)
 
-    problems = check(candidate, baseline, verbose="--verbose" in flags)
     if problems:
-        print(f"check_metrics: {candidate_path} deviates from "
-              f"{baseline_path}:", file=sys.stderr)
+        print(f"check_metrics: {candidate_path} fails:", file=sys.stderr)
         for p in problems:
             print(f"  FAIL {p}", file=sys.stderr)
         return 1
-    print(f"check_metrics: {candidate_path} matches {baseline_path}")
+    against = f" against {baseline_path}" if baseline_path else ""
+    print(f"check_metrics: {candidate_path} passes{against}")
     return 0
 
 

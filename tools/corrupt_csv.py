@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Deterministic CSV fault injector for ingestion-robustness tests.
+
+Damages an exported dataset line by line at a given seed and rate, using
+only the stdlib so it runs anywhere the repo builds. Four fault modes,
+chosen uniformly per damaged line:
+
+  truncate   cut the line at a random byte offset
+  bitflip    XOR one bit of one byte (never producing a line break)
+  reorder    swap the line with the following one
+  duplicate  insert an exact copy of the line right after itself
+
+The first line (the schema header) is protected unless --no-protect-header
+is given. The same (input, seed, rate, modes) always produces the same
+output, so test expectations and CI assertions are stable.
+
+Usage:
+  corrupt_csv.py IN OUT --seed 7 --rate 0.05 \
+      [--modes truncate,bitflip,reorder,duplicate] [--no-protect-header]
+"""
+
+import argparse
+import random
+import sys
+
+MODES = ("truncate", "bitflip", "reorder", "duplicate")
+
+
+def bitflip(line: str, rng: random.Random) -> str:
+    if not line:
+        return "?"
+    pos = rng.randrange(len(line))
+    bit = 1 << rng.randrange(7)
+    flipped = chr(ord(line[pos]) ^ bit)
+    if flipped in "\r\n":  # keep the damage inside one physical line
+        flipped = "?"
+    return line[:pos] + flipped + line[pos + 1 :]
+
+
+def corrupt(lines, seed: int, rate: float, modes, protect_header: bool):
+    rng = random.Random(seed)
+    out = []
+    counts = {m: 0 for m in modes}
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        protected = protect_header and i == 0
+        if protected or rng.random() >= rate:
+            out.append(line)
+            i += 1
+            continue
+        mode = modes[rng.randrange(len(modes))]
+        counts[mode] += 1
+        if mode == "truncate":
+            out.append(line[: rng.randrange(len(line) + 1)])
+            i += 1
+        elif mode == "bitflip":
+            out.append(bitflip(line, rng))
+            i += 1
+        elif mode == "duplicate":
+            out.append(line)
+            out.append(line)
+            i += 1
+        else:  # reorder: swap with the next line (or keep if last)
+            if i + 1 < len(lines):
+                out.append(lines[i + 1])
+                out.append(line)
+                i += 2
+            else:
+                out.append(line)
+                i += 1
+    return out, counts
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input")
+    ap.add_argument("output")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--rate", type=float, default=0.02)
+    ap.add_argument(
+        "--modes",
+        default=",".join(MODES),
+        help="comma-separated subset of: " + ",".join(MODES),
+    )
+    ap.add_argument(
+        "--no-protect-header",
+        action="store_true",
+        help="allow damaging the first (header) line too",
+    )
+    args = ap.parse_args()
+
+    modes = tuple(m for m in args.modes.split(",") if m)
+    for m in modes:
+        if m not in MODES:
+            ap.error(f"unknown mode {m!r}")
+    if not modes:
+        ap.error("no fault modes selected")
+    if not 0.0 <= args.rate <= 1.0:
+        ap.error("--rate must be within [0, 1]")
+
+    with open(args.input, "r", newline="") as f:
+        lines = f.read().splitlines()
+
+    out, counts = corrupt(
+        lines, args.seed, args.rate, modes, not args.no_protect_header
+    )
+
+    with open(args.output, "w", newline="") as f:
+        for line in out:
+            f.write(line + "\n")
+
+    damaged = sum(counts.values())
+    detail = ", ".join(f"{m}={n}" for m, n in sorted(counts.items()))
+    print(
+        f"corrupt_csv: damaged {damaged}/{len(lines)} lines ({detail})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

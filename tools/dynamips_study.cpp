@@ -5,12 +5,23 @@
 // Usage: dynamips_study [output_dir] [--scale S] [--window HOURS]
 //                       [--seed N] [--threads N] [--metrics-out FILE]
 //                       [--atlas-only|--cdn-only]
+//                       [--atlas-in F[,F...]] [--cdn-in F[,F...]]
+//                       [--quarantine-out FILE]
+//                       [--max-reject-fraction R]
+//                       [--max-consecutive-rejects N]
 //
 // With --metrics-out the pipeline records throughput counters, per-phase
 // timings, and shard balance into the process-wide metrics registry and
 // writes the schema-versioned JSON document (obs/metrics_json.h) to FILE;
 // tools/check_metrics.py diffs such documents against checked-in
 // baselines. Counters are identical for every --threads value.
+//
+// --atlas-in / --cdn-in switch the corresponding study from the in-process
+// generator to real-data mode: exported CSV datasets are streamed through
+// the fault-tolerant readers (io/readers.h), malformed lines are counted
+// into ingest.reject.* metrics and optionally appended to the
+// --quarantine-out file with their line numbers, and a file exceeding the
+// error budget fails the run with a descriptive status and exit code 1.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,8 +44,23 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [output_dir] [--scale S] [--window HOURS] "
                "[--seed N] [--threads N] [--metrics-out FILE] "
-               "[--atlas-only|--cdn-only]\n",
+               "[--atlas-only|--cdn-only] "
+               "[--atlas-in F[,F...]] [--cdn-in F[,F...]] "
+               "[--quarantine-out FILE] [--max-reject-fraction R] "
+               "[--max-consecutive-rejects N]\n",
                argv0);
+}
+
+std::vector<std::string> split_paths(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 template <typename Fn>
@@ -53,6 +79,8 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware_concurrency
   bool atlas = true, cdn = true;
   std::string metrics_out;
+  std::string atlas_in, cdn_in, quarantine_out;
+  io::ReaderOptions reader_opts;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +101,17 @@ int main(int argc, char** argv) {
       threads = unsigned(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--atlas-in") {
+      atlas_in = next();
+    } else if (arg == "--cdn-in") {
+      cdn_in = next();
+    } else if (arg == "--quarantine-out") {
+      quarantine_out = next();
+    } else if (arg == "--max-reject-fraction") {
+      reader_opts.max_reject_fraction = std::atof(next());
+    } else if (arg == "--max-consecutive-rejects") {
+      reader_opts.max_consecutive_rejects =
+          std::strtoull(next(), nullptr, 10);
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -100,19 +139,50 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry* registry =
       metrics_out.empty() ? nullptr : &obs::MetricsRegistry::global();
 
+  std::ofstream quarantine_stream;
+  if (!quarantine_out.empty()) {
+    quarantine_stream.open(quarantine_out);
+    if (!quarantine_stream.is_open()) {
+      std::fprintf(stderr, "cannot open quarantine file %s\n",
+                   quarantine_out.c_str());
+      return 1;
+    }
+    reader_opts.quarantine = &quarantine_stream;
+  }
+
   if (atlas) {
-    std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
-                "%u shards)...\n",
-                scale, (unsigned long long)window, (unsigned long long)seed,
-                effective);
-    core::AtlasStudyConfig cfg;
-    cfg.atlas.probe_scale = scale;
-    cfg.atlas.window_hours = window;
-    cfg.atlas.seed = seed;
-    cfg.threads = threads;
-    cfg.metrics = registry;
+    core::AtlasStudy study;
     auto t0 = std::chrono::steady_clock::now();
-    auto study = core::run_atlas_study(simnet::paper_isps(), cfg);
+    if (!atlas_in.empty()) {
+      std::printf("Atlas study from %s (%u shards)...\n", atlas_in.c_str(),
+                  effective);
+      core::AtlasFileStudyConfig cfg;
+      cfg.threads = threads;
+      cfg.metrics = registry;
+      cfg.reader = reader_opts;
+      io::IngestStats stats;
+      auto loaded = core::run_atlas_study_from_files(
+          split_paths(atlas_in), simnet::paper_isps(), cfg, &stats);
+      std::printf("  ingested %s\n", stats.summary().c_str());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "atlas ingest failed: %s\n",
+                     loaded.status().to_string().c_str());
+        return 1;
+      }
+      study = loaded.take();
+    } else {
+      std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
+                  "%u shards)...\n",
+                  scale, (unsigned long long)window,
+                  (unsigned long long)seed, effective);
+      core::AtlasStudyConfig cfg;
+      cfg.atlas.probe_scale = scale;
+      cfg.atlas.window_hours = window;
+      cfg.atlas.seed = seed;
+      cfg.threads = threads;
+      cfg.metrics = registry;
+      study = core::run_atlas_study(simnet::paper_isps(), cfg);
+    }
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -135,16 +205,43 @@ int main(int argc, char** argv) {
   }
 
   if (cdn) {
-    std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n", scale,
-                (unsigned long long)seed, effective);
-    core::CdnStudyConfig cfg;
-    cfg.cdn.subscriber_scale = scale;
-    cfg.cdn.seed = seed * 977;
-    cfg.threads = threads;
-    cfg.metrics = registry;
+    core::CdnStudy study{core::CdnAnalyzer({}, {}), {}};
     auto t0 = std::chrono::steady_clock::now();
-    auto study =
-        core::run_cdn_study(cdn::default_cdn_population(scale), cfg);
+    if (!cdn_in.empty()) {
+      std::printf("CDN study from %s (%u shards)...\n", cdn_in.c_str(),
+                  effective);
+      core::CdnFileStudyConfig cfg;
+      cfg.threads = threads;
+      cfg.metrics = registry;
+      cfg.reader = reader_opts;
+      // The CSV schema carries no access-type/registry ground truth; take
+      // the attribution of the known population profiles (ASNs absent from
+      // it analyze as fixed-line RIPE).
+      for (const auto& entry : cdn::default_cdn_population()) {
+        if (entry.isp.mobile) cfg.mobile_asns.insert(entry.isp.asn);
+        cfg.registries[entry.isp.asn] = entry.isp.registry;
+        cfg.asn_names[entry.isp.asn] = entry.isp.name;
+      }
+      io::IngestStats stats;
+      auto loaded =
+          core::run_cdn_study_from_files(split_paths(cdn_in), cfg, &stats);
+      std::printf("  ingested %s\n", stats.summary().c_str());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cdn ingest failed: %s\n",
+                     loaded.status().to_string().c_str());
+        return 1;
+      }
+      study = loaded.take();
+    } else {
+      std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n", scale,
+                  (unsigned long long)seed, effective);
+      core::CdnStudyConfig cfg;
+      cfg.cdn.subscriber_scale = scale;
+      cfg.cdn.seed = seed * 977;
+      cfg.threads = threads;
+      cfg.metrics = registry;
+      study = core::run_cdn_study(cdn::default_cdn_population(scale), cfg);
+    }
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
