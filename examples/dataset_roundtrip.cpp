@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "core/assoc.h"
 #include "core/durations.h"
 #include "core/sanitize.h"
+#include "io/atomic_file.h"
 #include "io/dataset_io.h"
 #include "io/readers.h"
 #include "simnet/isp.h"
@@ -44,12 +44,17 @@ int export_datasets(const std::string& echo_out, const std::string& assoc_out,
     dataset.reserve(sim.probe_count());
     for (std::size_t i = 0; i < sim.probe_count(); ++i)
       dataset.push_back(sim.series_for(i));
-    std::ofstream out(echo_out, std::ios::binary);
-    if (!out.is_open()) {
+    io::AtomicFileWriter out(echo_out);
+    if (!out.ok()) {
       std::fprintf(stderr, "cannot open %s\n", echo_out.c_str());
       return 1;
     }
-    io::write_echo_dataset(out, dataset);
+    io::write_echo_dataset(out.stream(), dataset);
+    if (core::Status st = out.commit(); !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", echo_out.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
     std::printf("wrote %zu probes to %s\n", dataset.size(),
                 echo_out.c_str());
   }
@@ -62,12 +67,17 @@ int export_datasets(const std::string& echo_out, const std::string& assoc_out,
     dataset.reserve(sim.entry_count());
     for (std::size_t i = 0; i < sim.entry_count(); ++i)
       dataset.push_back(sim.generate(i));
-    std::ofstream out(assoc_out, std::ios::binary);
-    if (!out.is_open()) {
+    io::AtomicFileWriter out(assoc_out);
+    if (!out.ok()) {
       std::fprintf(stderr, "cannot open %s\n", assoc_out.c_str());
       return 1;
     }
-    io::write_assoc_dataset(out, dataset);
+    io::write_assoc_dataset(out.stream(), dataset);
+    if (core::Status st = out.commit(); !st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", assoc_out.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
     std::printf("wrote %zu association logs to %s\n", dataset.size(),
                 assoc_out.c_str());
   }

@@ -21,6 +21,11 @@
 #include "core/inference.h"
 #include "stats/summary.h"
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::core {
 
 struct AssocOptions {
@@ -81,6 +86,12 @@ class CdnAnalyzer {
   void add(const cdn::AssociationLog& log) { add_log(log); }
   void merge(CdnAnalyzer&& other);
   void finalize() {}
+
+  /// Checkpoint serialization (io/checkpoint.h): every accumulated map and
+  /// vector, bit-exact; options and the mobile-ASN set are reconstructed
+  /// from the run config on resume.
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   /// Per-ASN stats (Fig. 2 inputs).
   const std::map<bgp::Asn, AsnAssocStats>& by_asn() const { return by_asn_; }

@@ -39,6 +39,10 @@ struct AsDurationStats {
     return cooccur_total ? double(cooccur_hits) / double(cooccur_total) : 0.0;
   }
 
+  /// Checkpoint serialization (io/checkpoint.h).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
+
   /// Absorb another shard's accumulation for the same AS.
   void merge(const AsDurationStats& o) {
     v4_nds.merge(o.v4_nds);
@@ -72,6 +76,11 @@ class DurationAnalyzer {
   void add(const CleanProbe& probe) { add_probe(probe); }
   void merge(DurationAnalyzer&& other);
   void finalize() {}
+
+  /// Checkpoint serialization: the accumulated per-AS map is the whole
+  /// state (options come from the run config on resume).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   const std::map<bgp::Asn, AsDurationStats>& by_as() const { return by_as_; }
 

@@ -21,6 +21,11 @@
 #include "bgp/rib.h"
 #include "core/sanitize.h"
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::core {
 
 /// Result of the per-probe zero-bits inference.
@@ -95,6 +100,10 @@ class InferenceCollector {
   void add(const CleanProbe& probe);
   void merge(InferenceCollector&& other);
   void finalize() {}
+
+  /// Checkpoint serialization (io/checkpoint.h).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   const std::map<bgp::Asn, std::vector<SubscriberInference>>& subscriber()
       const {

@@ -1,7 +1,10 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,6 +42,44 @@ struct AtlasShard {
     spatial.finalize();
     inference.finalize();
   }
+
+  void save(io::ckpt::Writer& w) const {
+    sanitizer.save(w);
+    durations.save(w);
+    spatial.save(w);
+    inference.save(w);
+    metrics.save(w);
+  }
+  bool load(io::ckpt::Reader& r) {
+    return sanitizer.load(r) && durations.load(r) && spatial.load(r) &&
+           inference.load(r) && metrics.load(r);
+  }
+};
+
+/// One shard's private state for the CDN study (analyzer + metrics sink),
+/// mirroring AtlasShard so both studies checkpoint through the same path.
+struct CdnShard {
+  CdnAnalyzer analyzer;
+  obs::MetricsSink metrics;
+
+  CdnShard(const AssocOptions& options,
+           const std::unordered_set<bgp::Asn>& mobile_asns)
+      : analyzer(options, mobile_asns) {}
+
+  void merge(CdnShard&& other) {
+    analyzer.merge(std::move(other.analyzer));
+    metrics.merge(std::move(other.metrics));
+  }
+
+  void finalize() { analyzer.finalize(); }
+
+  void save(io::ckpt::Writer& w) const {
+    analyzer.save(w);
+    metrics.save(w);
+  }
+  bool load(io::ckpt::Reader& r) {
+    return analyzer.load(r) && metrics.load(r);
+  }
 };
 
 /// Ratio of the slowest shard's wall time to the mean — 1.0 is perfectly
@@ -54,29 +95,335 @@ double imbalance_ratio(const std::vector<std::uint64_t>& shard_ns) {
   return mean > 0 ? double(max) / mean : 1.0;
 }
 
+// ----------------------------------------------------- crash-safe driving
+
+/// Round size when supervision is active but no explicit interval was set:
+/// small enough that a shutdown token is honored promptly, large enough
+/// that the per-round dispatch barrier is noise.
+constexpr std::uint64_t kDefaultRoundItems = 256;
+
+/// The shard partition plus each shard's next unprocessed index. Fresh
+/// runs derive it from the thread count; resumed runs restore it from the
+/// checkpoint, which is what makes a resumed run byte-identical to the
+/// original regardless of either run's thread setting.
+struct ShardPlan {
+  std::vector<ShardRange> ranges;
+  std::vector<std::size_t> next;
+};
+
+// --- config fingerprints -------------------------------------------------
+//
+// A fingerprint is FNV-1a over a canonical serialization of every parameter
+// that influences study results. Resuming under a different fingerprint is
+// rejected: the restored analyzer state would silently mix two experiments.
+// The thread knob is deliberately excluded (results are thread-invariant);
+// whether metrics are enabled is included, because a resumed run cannot
+// reconstruct the metric records of items processed before the interrupt.
+
+void fingerprint_atlas_analysis(io::ckpt::Writer& w,
+                                const SanitizeOptions& sanitize,
+                                const ChangeOptions& changes,
+                                const std::vector<simnet::IspProfile>& isps,
+                                bool metrics) {
+  w.u64(sanitize.min_observation_hours);
+  w.u64(sanitize.bad_tags.size());
+  for (const auto& tag : sanitize.bad_tags) w.str(tag);
+  w.f64(sanitize.public_src_threshold);
+  w.f64(sanitize.v6_mismatch_threshold);
+  w.i32(sanitize.max_as_runs);
+  w.u64(changes.max_boundary_gap);
+  w.u64(isps.size());
+  for (const auto& isp : isps) w.u32(isp.asn);
+  w.u8(metrics ? 1 : 0);
+}
+
+std::uint64_t atlas_gen_fingerprint(
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("atlas.gen");
+  w.u64(config.atlas.window_hours);
+  w.f64(config.atlas.probe_scale);
+  w.u64(config.atlas.seed);
+  w.f64(config.atlas.short_lived_share);
+  w.f64(config.atlas.multihomed_share);
+  w.f64(config.atlas.as_switch_share);
+  w.f64(config.atlas.bad_tag_share);
+  w.f64(config.atlas.public_src_share);
+  w.f64(config.atlas.test_addr_share);
+  w.f64(config.atlas.hourly_presence);
+  w.f64(config.atlas.eui64_share);
+  fingerprint_atlas_analysis(w, config.sanitize, config.changes, isps,
+                             config.metrics != nullptr);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+std::uint64_t atlas_file_fingerprint(
+    const std::vector<std::string>& paths,
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("atlas.files");
+  w.u64(paths.size());
+  for (const auto& path : paths) w.str(path);
+  w.f64(config.reader.max_reject_fraction);
+  w.u64(config.reader.max_consecutive_rejects);
+  fingerprint_atlas_analysis(w, config.sanitize, config.changes, isps,
+                             config.metrics != nullptr);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+void fingerprint_assoc(io::ckpt::Writer& w, const AssocOptions& assoc) {
+  w.u8(assoc.require_asn_match ? 1 : 0);
+  w.u32(assoc.max_gap_days);
+}
+
+std::uint64_t cdn_gen_fingerprint(
+    const std::vector<cdn::PopulationEntry>& population,
+    const CdnStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("cdn.gen");
+  w.i32(config.cdn.days);
+  w.f64(config.cdn.subscriber_scale);
+  w.u64(config.cdn.seed);
+  w.f64(config.cdn.daily_activity);
+  w.f64(config.cdn.cross_network_noise);
+  fingerprint_assoc(w, config.assoc);
+  w.u64(population.size());
+  for (const auto& entry : population) {
+    w.u32(entry.isp.asn);
+    w.i32(entry.subscribers);
+  }
+  w.u8(config.metrics != nullptr ? 1 : 0);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+std::uint64_t cdn_file_fingerprint(const std::vector<std::string>& paths,
+                                   const CdnFileStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("cdn.files");
+  w.u64(paths.size());
+  for (const auto& path : paths) w.str(path);
+  fingerprint_assoc(w, config.assoc);
+  w.f64(config.reader.max_reject_fraction);
+  w.u64(config.reader.max_consecutive_rejects);
+  // Unordered-set iteration order is not canonical; sort before hashing.
+  std::vector<bgp::Asn> mobile(config.mobile_asns.begin(),
+                               config.mobile_asns.end());
+  std::sort(mobile.begin(), mobile.end());
+  w.u64(mobile.size());
+  for (bgp::Asn asn : mobile) w.u32(asn);
+  w.u64(config.registries.size());
+  for (const auto& [asn, registry] : config.registries) {
+    w.u32(asn);
+    w.u8(std::uint8_t(registry));
+  }
+  w.u8(config.metrics != nullptr ? 1 : 0);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+// --- resume validation and state restore ---------------------------------
+
+Status plan_shards(const CheckpointConfig& cc, std::uint32_t kind,
+                   std::uint64_t fingerprint, std::uint64_t item_count,
+                   unsigned threads, ShardPlan& plan) {
+  if (!cc.resume) {
+    plan.ranges = shard_ranges(item_count, threads);
+    plan.next.clear();
+    for (const auto& r : plan.ranges) plan.next.push_back(r.begin);
+    return Status::Ok();
+  }
+  const io::StudyCheckpoint& ck = *cc.resume;
+  if (ck.kind != kind)
+    return Status(StatusCode::kFailedPrecondition,
+                  std::string("checkpoint was written by the ") +
+                      io::checkpoint_kind_name(ck.kind) +
+                      " study and cannot resume the " +
+                      io::checkpoint_kind_name(kind) + " study");
+  if (ck.config_fingerprint != fingerprint)
+    return Status(StatusCode::kFailedPrecondition,
+                  "checkpoint config fingerprint does not match this run; "
+                  "resume requires the exact original study parameters");
+  if (ck.item_count != item_count)
+    return Status(StatusCode::kFailedPrecondition,
+                  "checkpoint covers " + std::to_string(ck.item_count) +
+                      " work items but this run has " +
+                      std::to_string(item_count) +
+                      "; the dataset changed since the checkpoint");
+  plan.ranges.clear();
+  plan.next.clear();
+  for (const auto& shard : ck.shards) {
+    plan.ranges.push_back(
+        {std::size_t(shard.begin), std::size_t(shard.end)});
+    plan.next.push_back(std::size_t(shard.next));
+  }
+  return Status::Ok();
+}
+
+template <typename Shard>
+Status restore_shards(const CheckpointConfig& cc, std::vector<Shard>& shards,
+                      obs::MetricsSink& sup, obs::MetricsRegistry* registry) {
+  if (!cc.resume) return Status::Ok();
+  const io::StudyCheckpoint& ck = *cc.resume;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    io::ckpt::Reader r(ck.shards[s].blob);
+    if (!shards[s].load(r) || r.remaining() != 0)
+      return Status(StatusCode::kDataLoss,
+                    "checkpoint is corrupt: shard " + std::to_string(s) +
+                        " state failed to parse");
+  }
+  if (registry && !ck.registry_blob.empty()) {
+    obs::MetricsSink snapshot;
+    io::ckpt::Reader r(ck.registry_blob);
+    if (!snapshot.load(r) || r.remaining() != 0)
+      return Status(
+          StatusCode::kDataLoss,
+          "checkpoint is corrupt: registry snapshot failed to parse");
+    registry->merge(std::move(snapshot));
+  }
+  if (!ck.supervisor_blob.empty()) {
+    io::ckpt::Reader r(ck.supervisor_blob);
+    if (!sup.load(r) || r.remaining() != 0)
+      return Status(
+          StatusCode::kDataLoss,
+          "checkpoint is corrupt: supervisor state failed to parse");
+  }
+  sup.counter("checkpoint.resumes").add(1);
+  return Status::Ok();
+}
+
+// --- the supervised round loop -------------------------------------------
+
+/// Run every shard to completion in rounds. Unsupervised (default
+/// CheckpointConfig) this is a single round covering each shard's whole
+/// range — exactly the legacy dispatch. Supervised, each round advances
+/// every unfinished shard by at most `every_items` (or a small default)
+/// items, the shutdown token is polled between rounds, and a checkpoint is
+/// written after each round while work remains. An interrupt writes a final
+/// checkpoint and returns kCancelled.
+///
+/// `process(s, from, to)` analyzes items [from, to) of shard s;
+/// `save_shard(s)` serializes shard s's state (only called between rounds,
+/// never concurrently with process).
+template <typename ProcessRange, typename SaveShard>
+Status drive_shards(ShardExecutor& exec, const CheckpointConfig& cc,
+                    std::uint32_t kind, std::uint64_t fingerprint,
+                    std::uint64_t item_count, ShardPlan& plan,
+                    obs::MetricsRegistry* registry, obs::MetricsSink& sup,
+                    const ProcessRange& process, const SaveShard& save_shard) {
+  if (cc.every_items > 0 && cc.path.empty())
+    return Status(StatusCode::kInvalidArgument,
+                  "periodic checkpoints require a checkpoint path");
+  const bool supervised = cc.active();
+  const std::uint64_t chunk =
+      cc.every_items ? cc.every_items : kDefaultRoundItems;
+
+  auto all_done = [&] {
+    for (std::size_t s = 0; s < plan.ranges.size(); ++s)
+      if (plan.next[s] < plan.ranges[s].end) return false;
+    return true;
+  };
+
+  // Snapshot the full mid-run state and write it durably. The registry
+  // snapshot is taken here — before any partial shard sink is merged into
+  // it — so a resumed process restoring it never double-counts.
+  auto snapshot = [&]() -> Status {
+    obs::PhaseTimer timer(&sup.phase("checkpoint.write"));
+    io::StudyCheckpoint ck;
+    ck.kind = kind;
+    ck.config_fingerprint = fingerprint;
+    ck.item_count = item_count;
+    ck.shards.reserve(plan.ranges.size());
+    for (std::size_t s = 0; s < plan.ranges.size(); ++s)
+      ck.shards.push_back({plan.ranges[s].begin, plan.ranges[s].end,
+                           plan.next[s], save_shard(s)});
+    if (registry) {
+      io::ckpt::Writer w;
+      registry->snapshot().save(w);
+      ck.registry_blob = w.take();
+    }
+    {
+      io::ckpt::Writer w;
+      sup.save(w);
+      ck.supervisor_blob = w.take();
+    }
+    Status st = io::write_checkpoint(cc.path, ck);
+    if (st.ok())
+      sup.counter("checkpoint.writes").add(1);
+    else
+      sup.counter("checkpoint.write_failures").add(1);
+    return st;
+  };
+
+  for (;;) {
+    Status ran = exec.try_dispatch(plan.ranges.size(), [&](std::size_t s) {
+      const std::size_t end = plan.ranges[s].end;
+      std::size_t from = plan.next[s];
+      std::size_t stop =
+          supervised && chunk < end - from ? from + chunk : end;
+      process(s, from, stop);
+      plan.next[s] = stop;
+    });
+    if (!ran.ok()) return ran;
+    if (supervised) sup.counter("checkpoint.rounds").add(1);
+    if (all_done()) return Status::Ok();
+    if (cc.token && cc.token->requested()) {
+      sup.counter("checkpoint.interrupted").add(1);
+      std::string note = "interrupted by shutdown request after " +
+                         std::to_string([&] {
+                           std::uint64_t done = 0;
+                           for (std::size_t s = 0; s < plan.ranges.size(); ++s)
+                             done += plan.next[s] - plan.ranges[s].begin;
+                           return done;
+                         }()) +
+                         " of " + std::to_string(item_count) + " items";
+      if (!cc.path.empty()) {
+        Status wrote = snapshot();
+        if (!wrote.ok()) return wrote;
+        note += "; checkpoint written to " + cc.path;
+      }
+      return Status(StatusCode::kCancelled, note);
+    }
+    if (cc.every_items > 0) {
+      Status wrote = snapshot();
+      if (!wrote.ok()) return wrote;
+    }
+  }
+}
+
 }  // namespace
 
-AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
-                           const AtlasStudyConfig& config) {
+Expected<AtlasStudy> run_atlas_study_supervised(
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasStudyConfig& config, const CheckpointConfig& checkpoint) {
   AtlasStudy study;
   simnet::announce_all(isps, study.rib);
   for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
 
   atlas::AtlasSimulator sim(isps, config.atlas);
+  const std::uint64_t fingerprint = atlas_gen_fingerprint(isps, config);
 
   ShardExecutor exec(config.threads);
-  auto ranges = shard_ranges(sim.probe_count(), exec.thread_count());
+  ShardPlan plan;
+  Status planned = plan_shards(checkpoint, io::kCkptAtlasGen, fingerprint,
+                               sim.probe_count(), exec.thread_count(), plan);
+  if (!planned.ok()) return planned.with_context("atlas study");
+
   std::vector<AtlasShard> shards;
-  shards.reserve(ranges.size());
-  for (std::size_t s = 0; s < ranges.size(); ++s)
+  shards.reserve(plan.ranges.size());
+  for (std::size_t s = 0; s < plan.ranges.size(); ++s)
     shards.emplace_back(study.rib, config.sanitize, config.changes);
+  obs::MetricsSink sup;
+  Status restored =
+      restore_shards(checkpoint, shards, sup, config.metrics);
+  if (!restored.ok()) return restored.with_context("atlas study");
 
   // Per-probe generation is a pure function of (config, isps, index), and
   // each shard writes only its own analyzer set, so shards race on nothing.
-  exec.dispatch(ranges.size(), [&](std::size_t s) {
+  auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
     AtlasShard& shard = shards[s];
     if (!config.metrics) {
-      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      for (std::size_t i = from; i < to; ++i) {
         ProbeObservations obs = from_series(sim.series_for(i));
         for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
           shard.durations.add(cp);
@@ -99,7 +446,7 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
     obs::PhaseStats& p_spa = m.phase("atlas.spatial.add");
     obs::PhaseStats& p_inf = m.phase("atlas.inference.add");
     const std::uint64_t shard_start = obs::now_ns();
-    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+    for (std::size_t i = from; i < to; ++i) {
       std::uint64_t t0 = obs::now_ns();
       atlas::ProbeSeries series = sim.series_for(i);
       ProbeObservations obs = from_series(series);
@@ -126,7 +473,28 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
       }
     }
     m.phase("atlas.shard_wall").record(obs::now_ns() - shard_start);
-  });
+  };
+  auto save_shard = [&](std::size_t s) {
+    io::ckpt::Writer w;
+    shards[s].save(w);
+    return w.take();
+  };
+
+  Status drove =
+      drive_shards(exec, checkpoint, io::kCkptAtlasGen, fingerprint,
+                   sim.probe_count(), plan, config.metrics, sup, process,
+                   save_shard);
+  if (!drove.ok()) {
+    // The checkpoint (if any) is already durable; fold the partial shard
+    // sinks into the registry so an interrupted tool run can still report.
+    if (config.metrics) {
+      obs::MetricsSink partial;
+      for (AtlasShard& shard : shards) partial.merge(std::move(shard.metrics));
+      partial.merge(std::move(sup));
+      config.metrics->merge(std::move(partial));
+    }
+    return drove.with_context("atlas study");
+  }
 
   std::vector<std::uint64_t> shard_ns;
   if (config.metrics)
@@ -157,40 +525,60 @@ AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
   if (config.metrics) {
     study.sanitize.publish(root.metrics);
     sim.publish_metrics(root.metrics);
-    root.metrics.gauge("atlas.shards").set(double(ranges.size()));
+    root.metrics.gauge("atlas.shards").set(double(plan.ranges.size()));
     root.metrics.gauge("atlas.shard_imbalance").set(imbalance_ratio(shard_ns));
+    root.metrics.merge(std::move(sup));
     config.metrics->merge(std::move(root.metrics));
   }
   return study;
 }
 
-CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
-                       const CdnStudyConfig& config) {
+AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
+                           const AtlasStudyConfig& config) {
+  auto study = run_atlas_study_supervised(isps, config, {});
+  if (!study.ok()) throw std::runtime_error(study.status().to_string());
+  return study.take();
+}
+
+Expected<CdnStudy> run_cdn_study_supervised(
+    const std::vector<cdn::PopulationEntry>& population,
+    const CdnStudyConfig& config, const CheckpointConfig& checkpoint) {
   cdn::CdnSimulator sim(population, config.cdn);
   CdnStudy study{CdnAnalyzer(config.assoc, sim.mobile_asns()), {}};
   for (const auto& entry : population)
     study.asn_names[entry.isp.asn] = entry.isp.name;
 
-  ShardExecutor exec(config.threads);
-  auto ranges = shard_ranges(sim.entry_count(), exec.thread_count());
-  std::vector<CdnAnalyzer> shards(
-      ranges.size(), CdnAnalyzer(config.assoc, sim.mobile_asns()));
-  std::vector<obs::MetricsSink> sinks(ranges.size());
+  const std::uint64_t fingerprint = cdn_gen_fingerprint(population, config);
 
-  exec.dispatch(ranges.size(), [&](std::size_t s) {
+  ShardExecutor exec(config.threads);
+  ShardPlan plan;
+  Status planned = plan_shards(checkpoint, io::kCkptCdnGen, fingerprint,
+                               sim.entry_count(), exec.thread_count(), plan);
+  if (!planned.ok()) return planned.with_context("cdn study");
+
+  const std::unordered_set<bgp::Asn> mobile = sim.mobile_asns();
+  std::vector<CdnShard> shards(plan.ranges.size(),
+                               CdnShard(config.assoc, mobile));
+  obs::MetricsSink sup;
+  Status restored =
+      restore_shards(checkpoint, shards, sup, config.metrics);
+  if (!restored.ok()) return restored.with_context("cdn study");
+
+  auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
+    CdnShard& shard = shards[s];
     if (!config.metrics) {
-      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
-        shards[s].add(sim.generate(i));
+      for (std::size_t i = from; i < to; ++i)
+        shard.analyzer.add(sim.generate(i));
       return;
     }
-    obs::MetricsSink& m = sinks[s];
+    obs::MetricsSink& m = shard.metrics;
     obs::Counter& c_logs = m.counter("cdn.logs_generated");
     obs::Counter& c_tuples = m.counter("cdn.association_tuples");
     obs::Histogram& h_tuples = m.histogram("cdn.tuples_per_log", 0, 8, 5);
     obs::PhaseStats& p_gen = m.phase("cdn.generate");
     obs::PhaseStats& p_add = m.phase("cdn.analyzer.add");
     const std::uint64_t shard_start = obs::now_ns();
-    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+    for (std::size_t i = from; i < to; ++i) {
       std::uint64_t t0 = obs::now_ns();
       cdn::AssociationLog log = sim.generate(i);
       std::uint64_t t1 = obs::now_ns();
@@ -198,40 +586,67 @@ CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
       c_logs.add(1);
       c_tuples.add(log.records.size());
       h_tuples.record(double(log.records.size()));
-      shards[s].add(log);
+      shard.analyzer.add(log);
       p_add.record(obs::now_ns() - t1);
     }
     m.phase("cdn.shard_wall").record(obs::now_ns() - shard_start);
-  });
+  };
+  auto save_shard = [&](std::size_t s) {
+    io::ckpt::Writer w;
+    shards[s].save(w);
+    return w.take();
+  };
+
+  Status drove =
+      drive_shards(exec, checkpoint, io::kCkptCdnGen, fingerprint,
+                   sim.entry_count(), plan, config.metrics, sup, process,
+                   save_shard);
+  if (!drove.ok()) {
+    if (config.metrics) {
+      obs::MetricsSink partial;
+      for (CdnShard& shard : shards) partial.merge(std::move(shard.metrics));
+      partial.merge(std::move(sup));
+      config.metrics->merge(std::move(partial));
+    }
+    return drove.with_context("cdn study");
+  }
 
   std::vector<std::uint64_t> shard_ns;
   if (config.metrics)
-    for (obs::MetricsSink& sink : sinks)
-      shard_ns.push_back(sink.phase("cdn.shard_wall").total_ns);
+    for (CdnShard& shard : shards)
+      shard_ns.push_back(shard.metrics.phase("cdn.shard_wall").total_ns);
 
   {
     std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
-    for (auto& shard : shards) study.analyzer.merge(std::move(shard));
-    for (std::size_t s = 1; s < sinks.size(); ++s)
-      sinks.front().merge(std::move(sinks[s]));
+    for (std::size_t s = 1; s < shards.size(); ++s)
+      shards.front().merge(std::move(shards[s]));
+    study.analyzer.merge(std::move(shards.front().analyzer));
     std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
     study.analyzer.finalize();
     if (config.metrics) {
-      sinks.front().phase("cdn.merge").record(t1 - t0);
-      sinks.front().phase("cdn.finalize").record(obs::now_ns() - t1);
+      shards.front().metrics.phase("cdn.merge").record(t1 - t0);
+      shards.front().metrics.phase("cdn.finalize").record(obs::now_ns() - t1);
     }
   }
 
   if (config.metrics) {
-    obs::MetricsSink& m = sinks.front();
+    obs::MetricsSink& m = shards.front().metrics;
     m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
     m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
     sim.publish_metrics(m);
-    m.gauge("cdn.shards").set(double(ranges.size()));
+    m.gauge("cdn.shards").set(double(plan.ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
+    m.merge(std::move(sup));
     config.metrics->merge(std::move(m));
   }
   return study;
+}
+
+CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
+                       const CdnStudyConfig& config) {
+  auto study = run_cdn_study_supervised(population, config, {});
+  if (!study.ok()) throw std::runtime_error(study.status().to_string());
+  return study.take();
 }
 
 // ------------------------------------------------- file-driven entrypoints
@@ -265,13 +680,16 @@ Status load_dataset_files(const std::vector<std::string>& paths,
 Expected<AtlasStudy> run_atlas_study_from_files(
     const std::vector<std::string>& paths,
     const std::vector<simnet::IspProfile>& isps,
-    const AtlasFileStudyConfig& config, io::IngestStats* ingest) {
+    const AtlasFileStudyConfig& config, io::IngestStats* ingest,
+    const CheckpointConfig& checkpoint) {
   AtlasStudy study;
   simnet::announce_all(isps, study.rib);
   for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
 
   // Ingest metrics land in a local sink merged into the registry at the
-  // end, like every per-shard sink (no locks while loading).
+  // end, like every per-shard sink (no locks while loading). The sink is
+  // never checkpointed: a resumed run re-ingests the same files and
+  // reproduces identical ingest counters.
   obs::MetricsSink ingest_sink;
   io::ReaderOptions ropts = config.reader;
   if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
@@ -292,17 +710,28 @@ Expected<AtlasStudy> run_atlas_study_from_files(
   if (config.metrics)
     ingest_sink.phase("atlas.ingest").record(obs::now_ns() - load_start);
 
-  ShardExecutor exec(config.threads);
-  auto ranges = shard_ranges(dataset.size(), exec.thread_count());
-  std::vector<AtlasShard> shards;
-  shards.reserve(ranges.size());
-  for (std::size_t s = 0; s < ranges.size(); ++s)
-    shards.emplace_back(study.rib, config.sanitize, config.changes);
+  const std::uint64_t fingerprint =
+      atlas_file_fingerprint(paths, isps, config);
 
-  Status ran = exec.try_dispatch(ranges.size(), [&](std::size_t s) {
+  ShardExecutor exec(config.threads);
+  ShardPlan plan;
+  Status planned = plan_shards(checkpoint, io::kCkptAtlasFile, fingerprint,
+                               dataset.size(), exec.thread_count(), plan);
+  if (!planned.ok()) return planned.with_context("atlas study");
+
+  std::vector<AtlasShard> shards;
+  shards.reserve(plan.ranges.size());
+  for (std::size_t s = 0; s < plan.ranges.size(); ++s)
+    shards.emplace_back(study.rib, config.sanitize, config.changes);
+  obs::MetricsSink sup;
+  Status restored =
+      restore_shards(checkpoint, shards, sup, config.metrics);
+  if (!restored.ok()) return restored.with_context("atlas study");
+
+  auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
     AtlasShard& shard = shards[s];
     if (!config.metrics) {
-      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      for (std::size_t i = from; i < to; ++i) {
         ProbeObservations obs = from_series(dataset[i]);
         for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
           shard.durations.add(cp);
@@ -322,7 +751,7 @@ Expected<AtlasStudy> run_atlas_study_from_files(
     obs::PhaseStats& p_spa = m.phase("atlas.spatial.add");
     obs::PhaseStats& p_inf = m.phase("atlas.inference.add");
     const std::uint64_t shard_start = obs::now_ns();
-    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+    for (std::size_t i = from; i < to; ++i) {
       const atlas::ProbeSeries& series = dataset[i];
       ProbeObservations obs = from_series(series);
       std::uint64_t t1 = obs::now_ns();
@@ -347,8 +776,27 @@ Expected<AtlasStudy> run_atlas_study_from_files(
       }
     }
     m.phase("atlas.shard_wall").record(obs::now_ns() - shard_start);
-  });
-  if (!ran.ok()) return ran.with_context("atlas study");
+  };
+  auto save_shard = [&](std::size_t s) {
+    io::ckpt::Writer w;
+    shards[s].save(w);
+    return w.take();
+  };
+
+  Status drove =
+      drive_shards(exec, checkpoint, io::kCkptAtlasFile, fingerprint,
+                   dataset.size(), plan, config.metrics, sup, process,
+                   save_shard);
+  if (!drove.ok()) {
+    if (config.metrics) {
+      obs::MetricsSink partial;
+      for (AtlasShard& shard : shards) partial.merge(std::move(shard.metrics));
+      partial.merge(std::move(ingest_sink));
+      partial.merge(std::move(sup));
+      config.metrics->merge(std::move(partial));
+    }
+    return drove.with_context("atlas study");
+  }
 
   std::vector<std::uint64_t> shard_ns;
   if (config.metrics)
@@ -376,9 +824,10 @@ Expected<AtlasStudy> run_atlas_study_from_files(
 
   if (config.metrics) {
     study.sanitize.publish(root.metrics);
-    root.metrics.gauge("atlas.shards").set(double(ranges.size()));
+    root.metrics.gauge("atlas.shards").set(double(plan.ranges.size()));
     root.metrics.gauge("atlas.shard_imbalance").set(imbalance_ratio(shard_ns));
     root.metrics.merge(std::move(ingest_sink));
+    root.metrics.merge(std::move(sup));
     config.metrics->merge(std::move(root.metrics));
   }
   return study;
@@ -386,7 +835,7 @@ Expected<AtlasStudy> run_atlas_study_from_files(
 
 Expected<CdnStudy> run_cdn_study_from_files(
     const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
-    io::IngestStats* ingest) {
+    io::IngestStats* ingest, const CheckpointConfig& checkpoint) {
   obs::MetricsSink ingest_sink;
   io::ReaderOptions ropts = config.reader;
   if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
@@ -419,62 +868,91 @@ Expected<CdnStudy> run_cdn_study_from_files(
   CdnStudy study{CdnAnalyzer(config.assoc, config.mobile_asns),
                  config.asn_names};
 
-  ShardExecutor exec(config.threads);
-  auto ranges = shard_ranges(dataset.size(), exec.thread_count());
-  std::vector<CdnAnalyzer> shards(
-      ranges.size(), CdnAnalyzer(config.assoc, config.mobile_asns));
-  std::vector<obs::MetricsSink> sinks(ranges.size());
+  const std::uint64_t fingerprint = cdn_file_fingerprint(paths, config);
 
-  Status ran = exec.try_dispatch(ranges.size(), [&](std::size_t s) {
+  ShardExecutor exec(config.threads);
+  ShardPlan plan;
+  Status planned = plan_shards(checkpoint, io::kCkptCdnFile, fingerprint,
+                               dataset.size(), exec.thread_count(), plan);
+  if (!planned.ok()) return planned.with_context("cdn study");
+
+  std::vector<CdnShard> shards(plan.ranges.size(),
+                               CdnShard(config.assoc, config.mobile_asns));
+  obs::MetricsSink sup;
+  Status restored =
+      restore_shards(checkpoint, shards, sup, config.metrics);
+  if (!restored.ok()) return restored.with_context("cdn study");
+
+  auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
+    CdnShard& shard = shards[s];
     if (!config.metrics) {
-      for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i)
-        shards[s].add(dataset[i]);
+      for (std::size_t i = from; i < to; ++i) shard.analyzer.add(dataset[i]);
       return;
     }
-    obs::MetricsSink& m = sinks[s];
+    obs::MetricsSink& m = shard.metrics;
     obs::Counter& c_logs = m.counter("cdn.logs_loaded");
     obs::Counter& c_tuples = m.counter("cdn.association_tuples");
     obs::Histogram& h_tuples = m.histogram("cdn.tuples_per_log", 0, 8, 5);
     obs::PhaseStats& p_add = m.phase("cdn.analyzer.add");
     const std::uint64_t shard_start = obs::now_ns();
-    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+    for (std::size_t i = from; i < to; ++i) {
       const cdn::AssociationLog& log = dataset[i];
       std::uint64_t t0 = obs::now_ns();
       c_logs.add(1);
       c_tuples.add(log.records.size());
       h_tuples.record(double(log.records.size()));
-      shards[s].add(log);
+      shard.analyzer.add(log);
       p_add.record(obs::now_ns() - t0);
     }
     m.phase("cdn.shard_wall").record(obs::now_ns() - shard_start);
-  });
-  if (!ran.ok()) return ran.with_context("cdn study");
+  };
+  auto save_shard = [&](std::size_t s) {
+    io::ckpt::Writer w;
+    shards[s].save(w);
+    return w.take();
+  };
+
+  Status drove =
+      drive_shards(exec, checkpoint, io::kCkptCdnFile, fingerprint,
+                   dataset.size(), plan, config.metrics, sup, process,
+                   save_shard);
+  if (!drove.ok()) {
+    if (config.metrics) {
+      obs::MetricsSink partial;
+      for (CdnShard& shard : shards) partial.merge(std::move(shard.metrics));
+      partial.merge(std::move(ingest_sink));
+      partial.merge(std::move(sup));
+      config.metrics->merge(std::move(partial));
+    }
+    return drove.with_context("cdn study");
+  }
 
   std::vector<std::uint64_t> shard_ns;
   if (config.metrics)
-    for (obs::MetricsSink& sink : sinks)
-      shard_ns.push_back(sink.phase("cdn.shard_wall").total_ns);
+    for (CdnShard& shard : shards)
+      shard_ns.push_back(shard.metrics.phase("cdn.shard_wall").total_ns);
 
   {
     std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
-    for (auto& shard : shards) study.analyzer.merge(std::move(shard));
-    for (std::size_t s = 1; s < sinks.size(); ++s)
-      sinks.front().merge(std::move(sinks[s]));
+    for (std::size_t s = 1; s < shards.size(); ++s)
+      shards.front().merge(std::move(shards[s]));
+    study.analyzer.merge(std::move(shards.front().analyzer));
     std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
     study.analyzer.finalize();
     if (config.metrics) {
-      sinks.front().phase("cdn.merge").record(t1 - t0);
-      sinks.front().phase("cdn.finalize").record(obs::now_ns() - t1);
+      shards.front().metrics.phase("cdn.merge").record(t1 - t0);
+      shards.front().metrics.phase("cdn.finalize").record(obs::now_ns() - t1);
     }
   }
 
   if (config.metrics) {
-    obs::MetricsSink& m = sinks.empty() ? ingest_sink : sinks.front();
+    obs::MetricsSink& m = shards.front().metrics;
     m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
     m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
-    m.gauge("cdn.shards").set(double(ranges.size()));
+    m.gauge("cdn.shards").set(double(plan.ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
-    if (!sinks.empty()) m.merge(std::move(ingest_sink));
+    m.merge(std::move(ingest_sink));
+    m.merge(std::move(sup));
     config.metrics->merge(std::move(m));
   }
   return study;

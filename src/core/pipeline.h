@@ -21,8 +21,10 @@
 #include "core/inference.h"
 #include "core/parallel.h"
 #include "core/sanitize.h"
+#include "core/shutdown.h"
 #include "core/spatial.h"
 #include "core/status.h"
+#include "io/checkpoint.h"
 #include "io/readers.h"
 #include "obs/metrics.h"
 
@@ -41,6 +43,39 @@ static_assert(LogAnalyzer<CdnAnalyzer>);
 static_assert(MergeableAnalyzer<Sanitizer>);
 // Shard-local metric buffers ride the same ordered reduction as analyzers.
 static_assert(MergeableAnalyzer<obs::MetricsSink>);
+
+// ----------------------------------------------------- crash-safe running
+//
+// Every study entrypoint can run under supervision: work is dispatched in
+// rounds, a shutdown token is polled at round boundaries, and the full
+// mid-run state (shard progress + analyzer state + metrics) is periodically
+// snapshotted to a checkpoint file (io/checkpoint.h). A run interrupted by
+// SIGINT/SIGTERM or a deadline writes a final checkpoint and returns
+// kCancelled; resuming from that checkpoint produces results byte-identical
+// to an uninterrupted run, at any thread count (the shard partition is
+// restored from the checkpoint, so the thread knob only sizes the pool).
+
+struct CheckpointConfig {
+  /// Periodic-checkpoint interval, in work items per shard per round (one
+  /// Atlas item is one probe's full hourly series; one CDN item is one
+  /// population entry's log). 0 disables periodic checkpoints; a shutdown
+  /// token may still trigger a final one.
+  std::uint64_t every_items = 0;
+  /// Checkpoint file path. Required when `every_items > 0` or when a token
+  /// is set and an interrupt snapshot is wanted; `.prev` / `.tmp` siblings
+  /// are managed next to it.
+  std::string path;
+  /// Cooperative-shutdown flag polled at round boundaries (never mid-item).
+  /// Null disables polling.
+  ShutdownToken* token = nullptr;
+  /// Checkpoint to resume from; null starts fresh. The study validates the
+  /// checkpoint kind, config fingerprint and item count and rejects
+  /// mismatches with kFailedPrecondition.
+  const io::StudyCheckpoint* resume = nullptr;
+
+  /// True when any supervision feature is active.
+  bool active() const { return every_items > 0 || token != nullptr; }
+};
 
 struct AtlasStudyConfig {
   atlas::AtlasConfig atlas;
@@ -72,6 +107,15 @@ struct AtlasStudy {
 AtlasStudy run_atlas_study(const std::vector<simnet::IspProfile>& isps,
                            const AtlasStudyConfig& config);
 
+/// Supervised variant: honors CheckpointConfig (periodic checkpoints,
+/// shutdown polling, resume). Returns kCancelled when interrupted (after
+/// writing a final checkpoint when a path is configured) and
+/// kFailedPrecondition / kDataLoss for unusable resume state. With a
+/// default CheckpointConfig this is exactly run_atlas_study.
+Expected<AtlasStudy> run_atlas_study_supervised(
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasStudyConfig& config, const CheckpointConfig& checkpoint = {});
+
 struct CdnStudyConfig {
   cdn::CdnConfig cdn;
   AssocOptions assoc;
@@ -90,6 +134,11 @@ struct CdnStudy {
 /// Run the full CDN pipeline over the given population.
 CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
                        const CdnStudyConfig& config);
+
+/// Supervised variant; see run_atlas_study_supervised.
+Expected<CdnStudy> run_cdn_study_supervised(
+    const std::vector<cdn::PopulationEntry>& population,
+    const CdnStudyConfig& config, const CheckpointConfig& checkpoint = {});
 
 // ------------------------------------------------- file-driven entrypoints
 //
@@ -121,7 +170,8 @@ struct AtlasFileStudyConfig {
 Expected<AtlasStudy> run_atlas_study_from_files(
     const std::vector<std::string>& paths,
     const std::vector<simnet::IspProfile>& isps,
-    const AtlasFileStudyConfig& config, io::IngestStats* ingest = nullptr);
+    const AtlasFileStudyConfig& config, io::IngestStats* ingest = nullptr,
+    const CheckpointConfig& checkpoint = {});
 
 struct CdnFileStudyConfig {
   AssocOptions assoc;
@@ -144,6 +194,6 @@ struct CdnFileStudyConfig {
 /// later files merge into earlier logs) and run the full CDN pipeline.
 Expected<CdnStudy> run_cdn_study_from_files(
     const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
-    io::IngestStats* ingest = nullptr);
+    io::IngestStats* ingest = nullptr, const CheckpointConfig& checkpoint = {});
 
 }  // namespace dynamips::core

@@ -16,6 +16,11 @@
 #include "core/observations.h"
 #include "obs/metrics.h"
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::core {
 
 struct SanitizeOptions {
@@ -92,6 +97,10 @@ struct SanitizeStats {
   /// Appendix A.1 filter accounting shows up in the pipeline's metrics
   /// document next to the throughput numbers.
   void publish(obs::MetricsSink& sink) const;
+
+  /// Checkpoint serialization (io/checkpoint.h).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 };
 
 /// Stateless per-probe sanitizer (stats accumulate across calls).
@@ -106,6 +115,11 @@ class Sanitizer {
   /// Absorb another sanitizer's filter accounting (shard reduction).
   void merge(Sanitizer&& other) { stats_.merge(other.stats_); }
   void finalize() {}
+
+  /// Checkpoint serialization: only the accumulated accounting is state;
+  /// the RIB reference and options are reconstructed from the run config.
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   const SanitizeStats& stats() const { return stats_; }
 

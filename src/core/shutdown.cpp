@@ -1,0 +1,50 @@
+#include "core/shutdown.h"
+
+#include <chrono>
+#include <csignal>
+
+namespace dynamips::core {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+extern "C" void shutdown_signal_handler(int) {
+  global_shutdown_token().request();
+}
+
+}  // namespace
+
+bool ShutdownToken::requested() const noexcept {
+  if (requested_.load(std::memory_order_relaxed)) return true;
+  std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  return deadline != 0 && steady_now_ns() >= deadline;
+}
+
+void ShutdownToken::arm_deadline_seconds(double seconds) noexcept {
+  if (seconds <= 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  deadline_ns_.store(steady_now_ns() + std::uint64_t(seconds * 1e9),
+                     std::memory_order_relaxed);
+}
+
+ShutdownToken& global_shutdown_token() {
+  static ShutdownToken token;
+  return token;
+}
+
+void install_shutdown_handlers() {
+  // Touch the token first so its static initialization cannot race a
+  // signal delivered right after the handlers are in place.
+  global_shutdown_token();
+  std::signal(SIGINT, shutdown_signal_handler);
+  std::signal(SIGTERM, shutdown_signal_handler);
+}
+
+}  // namespace dynamips::core

@@ -1,0 +1,49 @@
+// shutdown.h — cooperative cancellation for long study runs.
+//
+// A `ShutdownToken` is a flag the supervised pipeline polls at round
+// boundaries (core/pipeline.h). request() is async-signal-safe — a single
+// relaxed atomic store — so the CLI tools wire it straight into their
+// SIGINT/SIGTERM handlers: a signal makes the pipeline finish the round in
+// flight, write a final checkpoint plus partial metrics, and return
+// StatusCode::kCancelled instead of dying mid-write. arm_deadline_seconds()
+// is the soft watchdog behind `--deadline-seconds`: once the deadline
+// passes, requested() reports true through the exact same path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dynamips::core {
+
+class ShutdownToken {
+ public:
+  /// Ask the pipeline to stop at the next round boundary. Safe to call
+  /// from a signal handler or any thread.
+  void request() noexcept { requested_.store(true, std::memory_order_relaxed); }
+
+  /// Whether a stop was requested or the armed deadline has passed.
+  bool requested() const noexcept;
+
+  /// Soft watchdog: requested() starts returning true `seconds` from now.
+  /// Non-positive values disarm.
+  void arm_deadline_seconds(double seconds) noexcept;
+
+  /// Reset flag and deadline (tests; tools running several studies).
+  void clear() noexcept {
+    requested_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};  // steady-clock ns; 0 = none
+};
+
+/// The process-wide token the signal handlers trip.
+ShutdownToken& global_shutdown_token();
+
+/// Install SIGINT/SIGTERM handlers that request() the global token.
+/// Idempotent; call once at tool startup, before starting studies.
+void install_shutdown_handlers();
+
+}  // namespace dynamips::core

@@ -15,6 +15,11 @@
 #include "core/changes.h"
 #include "core/sanitize.h"
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::core {
 
 /// Fig. 5 histogram: per CPL value (0..64), the number of assignment
@@ -69,6 +74,10 @@ struct AsSpatialStats {
     return v6_changes ? 100.0 * double(v6_diff_bgp) / double(v6_changes) : 0;
   }
 
+  /// Checkpoint serialization (io/checkpoint.h).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
+
   /// Absorb another shard's accumulation for the same AS. The per-probe
   /// vectors (Fig. 8) are appended after ours, so merging shards in index
   /// order preserves the serial per-probe ordering.
@@ -100,6 +109,11 @@ class SpatialAnalyzer {
   void add(const CleanProbe& probe) { add_probe(probe); }
   void merge(SpatialAnalyzer&& other);
   void finalize() {}
+
+  /// Checkpoint serialization: only the per-AS map is state; the RIB
+  /// reference is reconstructed from the run config on resume.
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   const std::map<bgp::Asn, AsSpatialStats>& by_as() const { return by_as_; }
 

@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted,   ///< a cap or budget was hit
   kFailedPrecondition,  ///< API misuse / wrong state
   kInternal,            ///< captured exception, broken invariant
+  kCancelled,           ///< cooperative shutdown (signal / deadline)
 };
 
 constexpr const char* status_code_name(StatusCode code) {
@@ -38,6 +39,7 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }

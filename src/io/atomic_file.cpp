@@ -1,0 +1,64 @@
+#include "io/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace dynamips::io {
+
+using core::Status;
+using core::StatusCode;
+using atomic_detail::fsync_path;
+using atomic_detail::publish;
+
+struct AtomicFileWriter::Impl {
+  std::ofstream out;
+};
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp"), impl_(new Impl) {
+  impl_->out.open(tmp_path_, std::ios::binary | std::ios::trunc);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    impl_->out.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+  delete impl_;
+}
+
+bool AtomicFileWriter::ok() const { return impl_->out.is_open(); }
+
+std::ostream& AtomicFileWriter::stream() { return impl_->out; }
+
+Status AtomicFileWriter::commit() {
+  if (committed_)
+    return Status(StatusCode::kFailedPrecondition,
+                  "already committed: " + path_);
+  impl_->out.flush();
+  bool good = bool(impl_->out);
+  impl_->out.close();
+  if (!good) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    return Status(StatusCode::kInternal, "short write to " + tmp_path_);
+  }
+  if (Status st = fsync_path(tmp_path_); !st.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    return st;
+  }
+  Status st = publish(tmp_path_, path_, /*keep_previous=*/false);
+  if (st.ok()) committed_ = true;
+  return st;
+}
+
+}  // namespace dynamips::io

@@ -1,0 +1,135 @@
+// atomic_file.h — crash-safe file writes via tmp + rename.
+//
+// Every artifact the pipeline emits (results CSVs, metrics JSON, quarantine
+// files, checkpoints) is written through this helper: the bytes go to a
+// sibling temporary file first and only an atomic rename(2) publishes them
+// under the final name. A run that crashes, is killed, or fails an error
+// budget mid-write therefore never truncates or clobbers the previous good
+// output — the destination either still holds the old bytes or already
+// holds the complete new ones, never a prefix.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "core/status.h"
+
+namespace dynamips::io {
+
+namespace atomic_detail {
+
+/// Flush a file's bytes to stable storage. ofstream exposes no descriptor,
+/// so the file is reopened by name; non-POSIX platforms get plain flush
+/// semantics (the rename is still atomic there).
+inline core::Status fsync_path(const std::string& path) {
+#ifdef __unix__
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0)
+    return core::Status(core::StatusCode::kInternal,
+                        "cannot reopen for fsync: " + path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    return core::Status(core::StatusCode::kInternal, "fsync failed: " + path);
+#else
+  (void)path;
+#endif
+  return core::Status::Ok();
+}
+
+/// Publish `tmp` under `path`; optionally retain an existing destination
+/// as `path.prev` first.
+inline core::Status publish(const std::string& tmp, const std::string& path,
+                            bool keep_previous) {
+  std::error_code ec;
+  if (keep_previous && std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".prev", ec);
+    if (ec)
+      return core::Status(
+          core::StatusCode::kInternal,
+          "cannot retain previous " + path + ": " + ec.message());
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    return core::Status(
+        core::StatusCode::kInternal,
+        "cannot rename " + tmp + " to " + path + ": " + ec.message());
+  return core::Status::Ok();
+}
+
+}  // namespace atomic_detail
+
+/// Write `contents` to `path` atomically: write + flush + fsync a sibling
+/// `path.tmp`, then rename it over `path`. With `keep_previous`, an
+/// existing destination is first renamed to `path.prev` instead of being
+/// replaced, so the last durable version survives until the new one is in
+/// place (the retention scheme checkpoints use; see io/checkpoint.h).
+/// Header-only on purpose: layers below dynamips_io (obs' metrics-JSON
+/// writer) publish their artifacts through it without a link dependency.
+inline core::Status write_file_atomic(const std::string& path,
+                                      std::string_view contents,
+                                      bool keep_previous = false) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+      return core::Status(core::StatusCode::kInternal,
+                          "cannot open for write: " + tmp);
+    out.write(contents.data(), std::streamsize(contents.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return core::Status(core::StatusCode::kInternal,
+                          "short write to " + tmp);
+    }
+  }
+  if (core::Status st = atomic_detail::fsync_path(tmp); !st.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return st;
+  }
+  return atomic_detail::publish(tmp, path, keep_previous);
+}
+
+/// Stream-style atomic writer for code that produces output incrementally
+/// (CSV writers, the quarantine sink). Bytes stream into `path.tmp`;
+/// commit() flushes, fsyncs, and renames it into place. Destroying the
+/// writer without committing removes the temporary and leaves any previous
+/// `path` untouched — the abort path needs no code at the call site.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  /// Whether the temporary file opened; check before streaming.
+  bool ok() const;
+
+  /// The stream to write through. Invalid after commit().
+  std::ostream& stream();
+
+  /// Flush, fsync, and atomically publish the bytes under the final path.
+  core::Status commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  std::string path_;
+  std::string tmp_path_;
+  Impl* impl_;
+  bool committed_ = false;
+};
+
+}  // namespace dynamips::io

@@ -1,0 +1,231 @@
+#include "io/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "io/atomic_file.h"
+
+namespace dynamips::io {
+
+namespace {
+
+using core::Expected;
+using core::Status;
+using core::StatusCode;
+
+constexpr char kMagic[8] = {'D', 'Y', 'N', 'C', 'K', 'P', 'T', '1'};
+
+// Section tags (fourcc, little-endian in the file).
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return std::uint32_t(std::uint8_t(a)) | std::uint32_t(std::uint8_t(b)) << 8 |
+         std::uint32_t(std::uint8_t(c)) << 16 |
+         std::uint32_t(std::uint8_t(d)) << 24;
+}
+constexpr std::uint32_t kSecMeta = fourcc('M', 'E', 'T', 'A');
+constexpr std::uint32_t kSecShard = fourcc('S', 'H', 'R', 'D');
+constexpr std::uint32_t kSecRegistry = fourcc('R', 'E', 'G', 'S');
+constexpr std::uint32_t kSecSupervisor = fourcc('S', 'U', 'P', 'V');
+
+std::string section_name(std::uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    char c = char((tag >> (8 * i)) & 0xFF);
+    name[std::size_t(i)] = (c >= 32 && c < 127) ? c : '?';
+  }
+  return name;
+}
+
+void append_section(ckpt::Writer& out, std::uint32_t tag,
+                    std::string_view payload) {
+  out.u32(tag);
+  out.str(payload);  // u64 length + bytes
+  out.u32(ckpt::crc32(payload));
+}
+
+Status data_loss(const std::string& what) {
+  return Status(StatusCode::kDataLoss, "checkpoint is corrupt: " + what);
+}
+
+}  // namespace
+
+const char* checkpoint_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kCkptAtlasGen: return "atlas-study";
+    case kCkptCdnGen: return "cdn-study";
+    case kCkptAtlasFile: return "atlas-study-from-files";
+    case kCkptCdnFile: return "cdn-study-from-files";
+  }
+  return "unknown";
+}
+
+std::string encode_checkpoint(const StudyCheckpoint& ckpt) {
+  ckpt::Writer out;
+  for (char c : kMagic) out.u8(std::uint8_t(c));
+  out.u32(kCheckpointVersion);
+  std::uint32_t sections = 1 + std::uint32_t(ckpt.shards.size()) +
+                           (ckpt.registry_blob.empty() ? 0u : 1u) +
+                           (ckpt.supervisor_blob.empty() ? 0u : 1u);
+  out.u32(sections);
+
+  {
+    ckpt::Writer meta;
+    meta.u32(ckpt.kind);
+    meta.u64(ckpt.config_fingerprint);
+    meta.u64(ckpt.item_count);
+    meta.u64(ckpt.shards.size());
+    append_section(out, kSecMeta, meta.buffer());
+  }
+  for (const CheckpointShard& shard : ckpt.shards) {
+    ckpt::Writer body;
+    body.u64(shard.begin);
+    body.u64(shard.end);
+    body.u64(shard.next);
+    body.str(shard.blob);
+    append_section(out, kSecShard, body.buffer());
+  }
+  if (!ckpt.registry_blob.empty())
+    append_section(out, kSecRegistry, ckpt.registry_blob);
+  if (!ckpt.supervisor_blob.empty())
+    append_section(out, kSecSupervisor, ckpt.supervisor_blob);
+
+  out.u32(ckpt::crc32(out.buffer()));
+  return out.take();
+}
+
+Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes) {
+  if (bytes.size() < sizeof kMagic + 4 + 4 + 4)
+    return data_loss("file shorter than the fixed header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    return data_loss("bad magic (not a DynamIPs checkpoint)");
+
+  // Whole-file CRC first: any damage anywhere fails here already; section
+  // CRCs below then localize it for the error message.
+  std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ckpt::Reader trailer(bytes.substr(bytes.size() - 4));
+  if (trailer.u32() != ckpt::crc32(body))
+    return data_loss("whole-file CRC mismatch");
+
+  ckpt::Reader in(body.substr(sizeof kMagic));
+  std::uint32_t version = in.u32();
+  if (version != kCheckpointVersion)
+    return Status(StatusCode::kFailedPrecondition,
+                  "unsupported checkpoint version " + std::to_string(version) +
+                      " (this build reads version " +
+                      std::to_string(kCheckpointVersion) + ")");
+  std::uint32_t section_count = in.u32();
+
+  StudyCheckpoint ckpt;
+  bool have_meta = false;
+  std::uint64_t declared_shards = 0;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    std::uint32_t tag = in.u32();
+    std::string payload = in.str();
+    std::uint32_t crc = in.u32();
+    if (!in.ok()) return data_loss("truncated section table");
+    if (crc != ckpt::crc32(payload))
+      return data_loss("section " + section_name(tag) + " CRC mismatch");
+
+    ckpt::Reader sec(payload);
+    if (tag == kSecMeta) {
+      ckpt.kind = sec.u32();
+      ckpt.config_fingerprint = sec.u64();
+      ckpt.item_count = sec.u64();
+      declared_shards = sec.u64();
+      if (!sec.ok() || sec.remaining() != 0)
+        return data_loss("malformed META section");
+      have_meta = true;
+    } else if (tag == kSecShard) {
+      CheckpointShard shard;
+      shard.begin = sec.u64();
+      shard.end = sec.u64();
+      shard.next = sec.u64();
+      shard.blob = sec.str();
+      if (!sec.ok() || sec.remaining() != 0)
+        return data_loss("malformed SHRD section");
+      ckpt.shards.push_back(std::move(shard));
+    } else if (tag == kSecRegistry) {
+      ckpt.registry_blob = std::move(payload);
+    } else if (tag == kSecSupervisor) {
+      ckpt.supervisor_blob = std::move(payload);
+    } else {
+      return data_loss("unknown section " + section_name(tag));
+    }
+  }
+  if (!in.ok() || in.remaining() != 0)
+    return data_loss("trailing or missing bytes after the section table");
+  if (!have_meta) return data_loss("missing META section");
+  if (ckpt.shards.size() != declared_shards)
+    return data_loss("shard count mismatch (META says " +
+                     std::to_string(declared_shards) + ", found " +
+                     std::to_string(ckpt.shards.size()) + ")");
+
+  // Shard-table invariants: contiguous ranges covering [0, item_count),
+  // progress inside the range.
+  std::uint64_t expect_begin = 0;
+  for (std::size_t s = 0; s < ckpt.shards.size(); ++s) {
+    const CheckpointShard& shard = ckpt.shards[s];
+    if (shard.begin != expect_begin || shard.end < shard.begin ||
+        shard.next < shard.begin || shard.next > shard.end ||
+        shard.end > ckpt.item_count)
+      return data_loss("inconsistent shard table at shard " +
+                       std::to_string(s));
+    expect_begin = shard.end;
+  }
+  if (!ckpt.shards.empty() && expect_begin != ckpt.item_count)
+    return data_loss("shard table does not cover all items");
+  return ckpt;
+}
+
+Status write_checkpoint(const std::string& path,
+                        const StudyCheckpoint& ckpt) {
+  if (path.empty())
+    return Status(StatusCode::kInvalidArgument, "empty checkpoint path");
+  return write_file_atomic(path, encode_checkpoint(ckpt),
+                           /*keep_previous=*/true)
+      .with_context("write checkpoint " + path);
+}
+
+Expected<StudyCheckpoint> read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    return Status(StatusCode::kNotFound, "cannot open checkpoint: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad())
+    return Status(StatusCode::kInternal, "cannot read checkpoint: " + path);
+  auto decoded = decode_checkpoint(buf.view());
+  if (!decoded.ok()) {
+    Status st = decoded.status();
+    return st.with_context(path);
+  }
+  return decoded;
+}
+
+Expected<StudyCheckpoint> read_checkpoint_with_fallback(
+    const std::string& path, std::string* used_path) {
+  auto primary = read_checkpoint(path);
+  if (primary.ok()) {
+    if (used_path) *used_path = path;
+    return primary;
+  }
+  const std::string prev_path = path + ".prev";
+  auto prev = read_checkpoint(prev_path);
+  if (prev.ok()) {
+    if (used_path) *used_path = prev_path;
+    return prev;
+  }
+  Status st = primary.status();
+  return st.with_context("no usable checkpoint (" + prev_path +
+                         " also failed: " + prev.status().message() + ")");
+}
+
+void remove_checkpoint_files(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".prev", ec);
+  std::filesystem::remove(path + ".tmp", ec);
+}
+
+}  // namespace dynamips::io

@@ -1,0 +1,258 @@
+// checkpoint.h — versioned, checksummed study checkpoints.
+//
+// A checkpoint is a binary snapshot of a mid-run study: the shard table
+// (index ranges plus per-shard progress), one opaque blob per shard holding
+// its analyzer and metrics-sink state, a snapshot of the process-wide
+// metrics registry (counters of studies that already completed this
+// process), and the supervisor's own `checkpoint.*` accounting. Simulator
+// state is deliberately absent: per-item output is a pure function of
+// (config, index) — the RNG streams are derived, not stepped — so progress
+// indices plus analyzer state reconstruct the run exactly. A config
+// fingerprint guards against resuming under different parameters.
+//
+// File layout (all integers little-endian):
+//
+//   "DYNCKPT1"                                    8-byte magic
+//   u32 version                                   currently 1
+//   u32 section_count
+//   section*: u32 tag, u64 length, payload bytes, u32 crc32(payload)
+//   u32 crc32(everything above)                   whole-file trailer
+//
+// Sections: one META (kind, fingerprint, item count, shard count), one SHRD
+// per shard (begin, end, next, blob), optional REGS (registry snapshot) and
+// SUPV (supervisor sink). Every section carries its own CRC32 and the file
+// a whole-file CRC, so a single flipped bit or a truncated tail is detected
+// and rejected with a descriptive Status — never a crash or a silently
+// wrong resume.
+//
+// Durability: write_checkpoint() goes through tmp + rename and retains the
+// previous checkpoint as `path.prev` until the new one is in place;
+// read_checkpoint_with_fallback() falls back to `.prev` when the primary is
+// missing or damaged.
+//
+// The byte codec (Writer/Reader) is header-only on purpose: analyzers in
+// core/, stats/ and obs/ implement save()/load() against it without their
+// libraries linking dynamips_io.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dynamips::io {
+
+namespace ckpt {
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  const auto& table = crc32_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char b : bytes) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// FNV-1a over a byte string — the config-fingerprint hash.
+inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian byte encoder. Doubles are stored bit-exact
+/// through their IEEE-754 representation, which is what makes a resumed
+/// run byte-identical to a straight one.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(char(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(char((v >> (8 * i)) & 0xFF));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(char((v >> (8 * i)) & 0xFF));
+  }
+  void i32(std::int32_t v) { u32(std::uint32_t(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder with a sticky failure flag: the first
+/// out-of-bounds read fails the reader, every later read returns zero, and
+/// callers check ok() once at the end instead of after every field.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : buf_(bytes) {}
+
+  bool ok() const { return !fail_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return std::uint8_t(buf_[pos_++]);
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t(std::uint8_t(buf_[pos_++])) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= std::uint64_t(std::uint8_t(buf_[pos_++])) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return std::int32_t(u32()); }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    std::uint64_t n = u64();
+    if (!need(n)) return {};
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Read an element count and reject counts that could not possibly fit
+  /// in the remaining bytes (every element encodes at least one byte), so
+  /// a corrupted length can never drive a multi-gigabyte allocation loop.
+  std::uint64_t size() {
+    std::uint64_t n = u64();
+    if (n > remaining()) {
+      fail_ = true;
+      return 0;
+    }
+    return n;
+  }
+
+ private:
+  bool need(std::uint64_t n) {
+    if (fail_ || n > remaining()) {
+      fail_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace ckpt
+
+/// Bump when the container layout or any save()/load() encoding changes;
+/// readers reject every other version with a descriptive Status.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Which study (and which data path) wrote the checkpoint. Resume validates
+/// the kind before touching any blob.
+inline constexpr std::uint32_t kCkptAtlasGen = 1;
+inline constexpr std::uint32_t kCkptCdnGen = 2;
+inline constexpr std::uint32_t kCkptAtlasFile = 3;
+inline constexpr std::uint32_t kCkptCdnFile = 4;
+
+inline bool is_atlas_checkpoint_kind(std::uint32_t kind) {
+  return kind == kCkptAtlasGen || kind == kCkptAtlasFile;
+}
+inline bool is_cdn_checkpoint_kind(std::uint32_t kind) {
+  return kind == kCkptCdnGen || kind == kCkptCdnFile;
+}
+
+/// Printable kind label for error messages.
+const char* checkpoint_kind_name(std::uint32_t kind);
+
+/// One shard's entry: its index range, the next unprocessed index, and the
+/// serialized analyzer + metrics-sink state covering [begin, next).
+struct CheckpointShard {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t next = 0;
+  std::string blob;
+};
+
+/// A full mid-run snapshot of one study.
+struct StudyCheckpoint {
+  std::uint32_t kind = 0;
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t item_count = 0;
+  std::vector<CheckpointShard> shards;
+  /// obs::MetricsSink snapshot of the process-wide registry at save time
+  /// (counters of studies that already completed); empty when metrics off.
+  std::string registry_blob;
+  /// The supervisor's own sink (`checkpoint.*` counters/timers).
+  std::string supervisor_blob;
+
+  std::uint64_t items_done() const {
+    std::uint64_t done = 0;
+    for (const auto& s : shards) done += s.next - s.begin;
+    return done;
+  }
+};
+
+/// Serialize to the container layout (no I/O).
+std::string encode_checkpoint(const StudyCheckpoint& ckpt);
+
+/// Parse and fully validate a container: magic, version, per-section CRCs,
+/// whole-file CRC, shard-table consistency. Corruption comes back as
+/// kDataLoss, version skew as kFailedPrecondition.
+core::Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes);
+
+/// Atomically write `ckpt` to `path` (tmp + rename), retaining an existing
+/// checkpoint as `path.prev` until the new one is durable.
+core::Status write_checkpoint(const std::string& path,
+                              const StudyCheckpoint& ckpt);
+
+/// Read and validate the checkpoint at `path`.
+core::Expected<StudyCheckpoint> read_checkpoint(const std::string& path);
+
+/// Read `path`; when it is missing or damaged, fall back to `path.prev`.
+/// On success `used_path` (if non-null) reports which file was loaded; on
+/// failure the Status describes both attempts.
+core::Expected<StudyCheckpoint> read_checkpoint_with_fallback(
+    const std::string& path, std::string* used_path = nullptr);
+
+/// Remove `path`, `path.prev`, and `path.tmp` (end-of-run cleanup).
+void remove_checkpoint_files(const std::string& path);
+
+}  // namespace dynamips::io

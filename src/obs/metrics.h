@@ -29,6 +29,11 @@
 #include <utility>
 #include <vector>
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::obs {
 
 /// Monotonic nanosecond clock for phase spans.
@@ -106,6 +111,11 @@ class Histogram {
            buckets_ == other.buckets_;
   }
 
+  /// Checkpoint serialization (io/checkpoint.h): binning parameters plus
+  /// exact bucket counts. load() rejects inconsistent bucket counts.
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
+
  private:
   std::size_t bucket_of(double value) const {
     if (value < 1e-300) return 0;
@@ -165,6 +175,11 @@ class MetricsSink {
   /// Absorb another sink (shard reduction). The argument is consumed.
   void merge(MetricsSink&& other);
   void finalize() {}
+
+  /// Checkpoint serialization (io/checkpoint.h): all four value maps,
+  /// bit-exact (gauge doubles round-trip via their bit pattern).
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty() &&

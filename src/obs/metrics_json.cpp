@@ -1,7 +1,8 @@
 #include "obs/metrics_json.h"
 
 #include <cstdio>
-#include <fstream>
+
+#include "io/atomic_file.h"
 
 namespace dynamips::obs {
 
@@ -156,10 +157,9 @@ std::string metrics_to_json(const MetricsSink& snapshot,
 
 bool write_metrics_json(const std::string& path, const MetricsSink& snapshot,
                         const MetricsMeta& meta) {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << metrics_to_json(snapshot, meta);
-  return bool(os);
+  // tmp + rename: a consumer polling the path never reads a torn document,
+  // and a crash mid-write leaves any previous document intact.
+  return io::write_file_atomic(path, metrics_to_json(snapshot, meta)).ok();
 }
 
 }  // namespace dynamips::obs

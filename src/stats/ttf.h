@@ -16,6 +16,11 @@
 #include <span>
 #include <vector>
 
+namespace dynamips::io::ckpt {
+class Writer;
+class Reader;
+}  // namespace dynamips::io::ckpt
+
 namespace dynamips::stats {
 
 /// Accumulates assignment durations (in hours, the Atlas measurement
@@ -90,6 +95,12 @@ class TotalTimeFraction {
   const std::map<std::uint64_t, std::uint64_t>& counts() const {
     return counts_;
   }
+
+  /// Checkpoint serialization (io/checkpoint.h): save() emits the exact
+  /// accumulator state, load() replaces it. load() returns false on a
+  /// malformed blob and leaves the accumulator empty.
+  void save(io::ckpt::Writer& w) const;
+  bool load(io::ckpt::Reader& r);
 
  private:
   std::map<std::uint64_t, std::uint64_t> counts_;

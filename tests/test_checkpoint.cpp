@@ -1,0 +1,836 @@
+// test_checkpoint — crash-safe studies: the checkpoint codec and container
+// (io/checkpoint.h), atomic file publication (io/atomic_file.h), analyzer
+// save/load round-trips, and the end-to-end guarantee of the supervised
+// pipeline: a run interrupted at every round boundary and resumed — at any
+// thread count — produces results byte-identical to an uninterrupted run.
+//
+// Corruption coverage is exhaustive at this file size: every single-byte
+// flip and every truncation of an encoded checkpoint must be rejected with
+// a descriptive Status, never a crash or a silently wrong resume.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atlas/generator.h"
+#include "cdn/generator.h"
+#include "core/pipeline.h"
+#include "core/shutdown.h"
+#include "io/atomic_file.h"
+#include "io/checkpoint.h"
+#include "io/dataset_io.h"
+#include "io/results_io.h"
+#include "obs/metrics.h"
+#include "simnet/isp.h"
+
+namespace dynamips {
+namespace {
+
+using io::ckpt::Reader;
+using io::ckpt::Writer;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// ------------------------------------------------------------------- codec
+
+TEST(CheckpointCodec, RoundTripsEveryType) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.f64(0.1);            // not exactly representable: must be bit-exact
+  w.f64(-0.0);           // sign of zero must survive
+  w.str("hello\0world");  // embedded NUL via string_view would stop at \0;
+  w.str(std::string("a\0b", 3));  // explicit length keeps it
+  w.str("");
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f64(), 0.1);
+  double z = r.f64();
+  EXPECT_EQ(z, 0.0);
+  EXPECT_TRUE(std::signbit(z));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("a\0b", 3));
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CheckpointCodec, ReaderFailsStickyOnUnderflow) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // out of bytes
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // sticky: every later read is zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckpointCodec, SizeGuardRejectsImpossibleCounts) {
+  Writer w;
+  w.u64(1u << 30);  // claims 2^30 elements with no bytes behind it
+  Reader r(w.buffer());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckpointCodec, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(io::ckpt::crc32("123456789"), 0xCBF43926u);
+}
+
+// --------------------------------------------------------------- container
+
+io::StudyCheckpoint sample_checkpoint() {
+  io::StudyCheckpoint ck;
+  ck.kind = io::kCkptAtlasGen;
+  ck.config_fingerprint = 0x1122334455667788ull;
+  ck.item_count = 10;
+  ck.shards = {{0, 5, 3, "shard-zero-state"}, {5, 10, 5, "shard-one"}};
+  ck.registry_blob = "registry-bytes";
+  ck.supervisor_blob = "supervisor-bytes";
+  return ck;
+}
+
+TEST(CheckpointContainer, EncodeDecodeRoundTrips) {
+  io::StudyCheckpoint ck = sample_checkpoint();
+  auto decoded = io::decode_checkpoint(io::encode_checkpoint(ck));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->kind, ck.kind);
+  EXPECT_EQ(decoded->config_fingerprint, ck.config_fingerprint);
+  EXPECT_EQ(decoded->item_count, ck.item_count);
+  ASSERT_EQ(decoded->shards.size(), 2u);
+  EXPECT_EQ(decoded->shards[0].begin, 0u);
+  EXPECT_EQ(decoded->shards[0].next, 3u);
+  EXPECT_EQ(decoded->shards[0].blob, "shard-zero-state");
+  EXPECT_EQ(decoded->shards[1].blob, "shard-one");
+  EXPECT_EQ(decoded->registry_blob, "registry-bytes");
+  EXPECT_EQ(decoded->supervisor_blob, "supervisor-bytes");
+  EXPECT_EQ(decoded->items_done(), 3u + 0u);
+}
+
+TEST(CheckpointContainer, EveryByteFlipIsRejected) {
+  std::string bytes = io::encode_checkpoint(sample_checkpoint());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = char(damaged[i] ^ 0x20);
+    auto decoded = io::decode_checkpoint(damaged);
+    ASSERT_FALSE(decoded.ok()) << "flip at byte " << i << " was accepted";
+    EXPECT_FALSE(decoded.status().message().empty());
+  }
+}
+
+TEST(CheckpointContainer, EveryTruncationIsRejected) {
+  std::string bytes = io::encode_checkpoint(sample_checkpoint());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded =
+        io::decode_checkpoint(std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "truncation to " << len << " was accepted";
+    EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+  }
+}
+
+TEST(CheckpointContainer, VersionSkewIsFailedPrecondition) {
+  std::string bytes = io::encode_checkpoint(sample_checkpoint());
+  bytes[8] = char(io::kCheckpointVersion + 1);  // u32 LE version low byte
+  // Re-stamp the whole-file CRC so only the version differs.
+  std::uint32_t crc =
+      io::ckpt::crc32(std::string_view(bytes).substr(0, bytes.size() - 4));
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + std::size_t(i)] = char((crc >> (8 * i)) & 0xFF);
+  auto decoded = io::decode_checkpoint(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(CheckpointContainer, InconsistentShardTableIsRejected) {
+  io::StudyCheckpoint ck = sample_checkpoint();
+  ck.shards[1].begin = 6;  // gap after shard 0
+  auto decoded = io::decode_checkpoint(io::encode_checkpoint(ck));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), core::StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------------- files & retention
+
+TEST(CheckpointFiles, MissingFileIsNotFound) {
+  auto loaded = io::read_checkpoint(temp_path("no_such.ckpt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(CheckpointFiles, WriteRetainsPreviousAndFallsBackToIt) {
+  const std::string path = temp_path("retained.ckpt");
+  io::remove_checkpoint_files(path);
+
+  io::StudyCheckpoint first = sample_checkpoint();
+  ASSERT_TRUE(io::write_checkpoint(path, first).ok());
+  io::StudyCheckpoint second = sample_checkpoint();
+  second.shards[0].next = 5;
+  ASSERT_TRUE(io::write_checkpoint(path, second).ok());
+
+  // The previous snapshot survives as .prev.
+  auto prev = io::read_checkpoint(path + ".prev");
+  ASSERT_TRUE(prev.ok()) << prev.status().to_string();
+  EXPECT_EQ(prev->shards[0].next, 3u);
+
+  // Damage the primary: the fallback reader serves .prev and says so.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  std::string used;
+  auto fallback = io::read_checkpoint_with_fallback(path, &used);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().to_string();
+  EXPECT_EQ(used, path + ".prev");
+  EXPECT_EQ(fallback->shards[0].next, 3u);
+
+  // With both damaged the Status describes both attempts.
+  {
+    std::ofstream out(path + ".prev", std::ios::binary | std::ios::trunc);
+    out << "also not a checkpoint";
+  }
+  auto none = io::read_checkpoint_with_fallback(path, &used);
+  ASSERT_FALSE(none.ok());
+  EXPECT_NE(none.status().message().find(".prev"), std::string::npos);
+
+  io::remove_checkpoint_files(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+}
+
+TEST(AtomicFile, AbandonedWriterLeavesDestinationUntouched) {
+  const std::string path = temp_path("atomic_abandon.txt");
+  ASSERT_TRUE(io::write_file_atomic(path, "original").ok());
+  {
+    io::AtomicFileWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.stream() << "half-written";
+    // no commit: simulated crash
+  }
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "original");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, DoubleCommitIsFailedPrecondition) {
+  const std::string path = temp_path("atomic_double.txt");
+  io::AtomicFileWriter w(path);
+  ASSERT_TRUE(w.ok());
+  w.stream() << "bytes";
+  ASSERT_TRUE(w.commit().ok());
+  EXPECT_EQ(w.commit().code(), core::StatusCode::kFailedPrecondition);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- analyzer save/load state
+//
+// Serialized bytes are a pure function of analyzer state, so "load restores
+// the state exactly" reduces to: feed half the data, round-trip through
+// save/load, feed the other half to both the original and the loaded copy,
+// and compare the final serializations byte for byte.
+
+template <typename T>
+std::string saved_bytes(const T& t) {
+  Writer w;
+  t.save(w);
+  return w.take();
+}
+
+struct AtlasFixture {
+  bgp::Rib rib;
+  std::vector<atlas::ProbeSeries> series;
+};
+
+const AtlasFixture& atlas_fixture() {
+  static AtlasFixture* fx = [] {
+    auto* f = new AtlasFixture;
+    auto isps = simnet::paper_isps();
+    isps.resize(2);
+    simnet::announce_all(isps, f->rib);
+    atlas::AtlasConfig cfg;
+    cfg.probe_scale = 0.05;
+    cfg.window_hours = 6000;
+    cfg.seed = 42;
+    atlas::AtlasSimulator sim(isps, cfg);
+    for (std::size_t i = 0; i < sim.probe_count(); ++i)
+      f->series.push_back(sim.series_for(i));
+    EXPECT_GT(f->series.size(), 10u);
+    return f;
+  }();
+  return *fx;
+}
+
+/// Round-trip `half_fed` through save/load into `fresh`, then feed the
+/// second half of the fixture to both via `feed` and compare bytes.
+template <typename T, typename Feed>
+void expect_continue_after_load_identical(T& half_fed, T fresh, Feed&& feed,
+                                          std::size_t half,
+                                          std::size_t count) {
+  std::string snapshot = saved_bytes(half_fed);
+  Reader r(snapshot);
+  ASSERT_TRUE(fresh.load(r));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(saved_bytes(fresh), snapshot);
+
+  for (std::size_t i = half; i < count; ++i) {
+    feed(half_fed, i);
+    feed(fresh, i);
+  }
+  EXPECT_EQ(saved_bytes(fresh), saved_bytes(half_fed));
+}
+
+TEST(AnalyzerState, SanitizerSaveLoadContinues) {
+  const auto& fx = atlas_fixture();
+  std::size_t half = fx.series.size() / 2;
+  core::Sanitizer a(fx.rib, {});
+  auto feed = [&](core::Sanitizer& s, std::size_t i) {
+    s.sanitize(core::from_series(fx.series[i]));
+  };
+  for (std::size_t i = 0; i < half; ++i) feed(a, i);
+  expect_continue_after_load_identical(a, core::Sanitizer(fx.rib, {}), feed,
+                                       half, fx.series.size());
+}
+
+TEST(AnalyzerState, AtlasAnalyzersSaveLoadContinue) {
+  const auto& fx = atlas_fixture();
+  // Pre-sanitize into CleanProbes shared by all three analyzers.
+  core::Sanitizer sanitizer(fx.rib, {});
+  std::vector<core::CleanProbe> probes;
+  for (const auto& s : fx.series)
+    for (auto& cp : sanitizer.sanitize(core::from_series(s)))
+      probes.push_back(std::move(cp));
+  ASSERT_GT(probes.size(), 10u);
+  std::size_t half = probes.size() / 2;
+
+  core::DurationAnalyzer dur;
+  auto feed_dur = [&](core::DurationAnalyzer& d, std::size_t i) {
+    d.add(probes[i]);
+  };
+  for (std::size_t i = 0; i < half; ++i) feed_dur(dur, i);
+  expect_continue_after_load_identical(dur, core::DurationAnalyzer(),
+                                       feed_dur, half, probes.size());
+
+  core::SpatialAnalyzer spa(fx.rib);
+  auto feed_spa = [&](core::SpatialAnalyzer& s, std::size_t i) {
+    s.add(probes[i]);
+  };
+  for (std::size_t i = 0; i < half; ++i) feed_spa(spa, i);
+  expect_continue_after_load_identical(spa, core::SpatialAnalyzer(fx.rib),
+                                       feed_spa, half, probes.size());
+
+  core::InferenceCollector inf;
+  auto feed_inf = [&](core::InferenceCollector& c, std::size_t i) {
+    c.add(probes[i]);
+  };
+  for (std::size_t i = 0; i < half; ++i) feed_inf(inf, i);
+  expect_continue_after_load_identical(inf, core::InferenceCollector(),
+                                       feed_inf, half, probes.size());
+}
+
+TEST(AnalyzerState, CdnAnalyzerSaveLoadContinues) {
+  auto population = cdn::default_cdn_population(0.05);
+  cdn::CdnConfig cfg;
+  cfg.subscriber_scale = 0.05;
+  cfg.seed = 99;
+  cdn::CdnSimulator sim(population, cfg);
+  std::size_t half = sim.entry_count() / 2;
+  core::CdnAnalyzer a({}, sim.mobile_asns());
+  auto feed = [&](core::CdnAnalyzer& c, std::size_t i) {
+    c.add_log(sim.generate(i));
+  };
+  for (std::size_t i = 0; i < half; ++i) feed(a, i);
+  expect_continue_after_load_identical(
+      a, core::CdnAnalyzer({}, sim.mobile_asns()), feed, half,
+      sim.entry_count());
+}
+
+TEST(AnalyzerState, MetricsSinkSaveLoadRoundTrips) {
+  obs::MetricsSink sink;
+  sink.counter("a.count").add(7);
+  sink.counter("b.count").add(1);
+  sink.gauge("g").set(2.5);
+  sink.histogram("h").record(12.0, 3);
+  sink.phase("p").record(1000);
+  sink.phase("p").record(5000);
+
+  std::string bytes = saved_bytes(sink);
+  obs::MetricsSink loaded;
+  Reader r(bytes);
+  ASSERT_TRUE(loaded.load(r));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(saved_bytes(loaded), bytes);
+  EXPECT_EQ(loaded.counters().at("a.count").value, 7u);
+  EXPECT_EQ(loaded.gauges().at("g").value, 2.5);
+  EXPECT_TRUE(loaded.histograms().at("h") == sink.histograms().at("h"));
+  EXPECT_EQ(loaded.phases().at("p").count, 2u);
+
+  // A corrupted sink blob fails load() instead of faulting.
+  std::string damaged = bytes.substr(0, bytes.size() / 2);
+  obs::MetricsSink reject;
+  Reader rr(damaged);
+  EXPECT_FALSE(reject.load(rr));
+}
+
+// --------------------------------------------------------------- shutdown
+
+TEST(Shutdown, RequestIsSticky) {
+  core::ShutdownToken token;
+  EXPECT_FALSE(token.requested());
+  token.request();
+  EXPECT_TRUE(token.requested());
+  token.clear();
+  EXPECT_FALSE(token.requested());
+}
+
+TEST(Shutdown, DeadlineTrips) {
+  core::ShutdownToken token;
+  token.arm_deadline_seconds(1e-4);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!token.requested() &&
+         std::chrono::steady_clock::now() < deadline) {
+  }
+  EXPECT_TRUE(token.requested());
+  token.arm_deadline_seconds(0);  // non-positive disarms
+  token.clear();
+  EXPECT_FALSE(token.requested());
+}
+
+// ------------------------------------------- end-to-end interrupt & resume
+//
+// The acceptance criterion of the crash-safety work: interrupt the study at
+// EVERY round boundary, resume each time from the freshly written
+// checkpoint (re-read from disk, exactly as a new process would), and the
+// final results must be byte-identical to an uninterrupted run — at every
+// thread count, including resuming under a different one.
+
+std::string atlas_bytes(const core::AtlasStudy& s) {
+  std::ostringstream os;
+  io::write_duration_curves_csv(os, s);
+  io::write_cpl_csv(os, s);
+  io::write_bgp_moves_csv(os, s);
+  io::write_inference_csv(os, s);
+  return os.str();
+}
+
+std::string cdn_bytes(const core::CdnStudy& s) {
+  std::ostringstream os;
+  io::write_assoc_durations_csv(os, s);
+  io::write_degrees_csv(os, s);
+  io::write_zero_boundaries_csv(os, s);
+  return os.str();
+}
+
+std::vector<simnet::IspProfile> study_isps() {
+  auto isps = simnet::paper_isps();
+  isps.resize(3);
+  return isps;
+}
+
+core::AtlasStudyConfig small_atlas_config(unsigned threads,
+                                          obs::MetricsRegistry* metrics) {
+  core::AtlasStudyConfig cfg;
+  cfg.atlas.probe_scale = 0.05;
+  cfg.atlas.window_hours = 6000;
+  cfg.atlas.seed = 7;
+  cfg.threads = threads;
+  cfg.metrics = metrics;
+  return cfg;
+}
+
+core::CdnStudyConfig small_cdn_config(unsigned threads,
+                                      obs::MetricsRegistry* metrics) {
+  core::CdnStudyConfig cfg;
+  cfg.cdn.subscriber_scale = 0.05;
+  cfg.cdn.seed = 13;
+  cfg.threads = threads;
+  cfg.metrics = metrics;
+  return cfg;
+}
+
+/// Run `attempt(checkpoint_config)` with a pre-tripped shutdown token until
+/// it completes: every attempt makes exactly one round of progress, gets
+/// cancelled at the boundary, and the next attempt resumes from the
+/// checkpoint file — re-read from disk each time, like a fresh process.
+/// Returns the completed result and the number of interrupts survived.
+template <typename Run>
+auto chain_resume(const std::string& path, std::uint64_t every_items,
+                  Run&& attempt, int* interrupts_out = nullptr) {
+  io::remove_checkpoint_files(path);
+  std::optional<io::StudyCheckpoint> ck;
+  int interrupts = 0;
+  for (;;) {
+    core::ShutdownToken token;
+    token.request();  // cancel at the first round boundary
+    core::CheckpointConfig cc;
+    cc.every_items = every_items;
+    cc.path = path;
+    cc.token = &token;
+    cc.resume = ck ? &*ck : nullptr;
+    auto result = attempt(cc);
+    if (result.ok()) {
+      if (interrupts_out) *interrupts_out = interrupts;
+      io::remove_checkpoint_files(path);
+      return result.take();
+    }
+    EXPECT_EQ(result.status().code(), core::StatusCode::kCancelled)
+        << result.status().to_string();
+    auto loaded = io::read_checkpoint_with_fallback(path);
+    if (!loaded.ok()) {
+      ADD_FAILURE() << "no checkpoint after interrupt: "
+                    << loaded.status().to_string();
+      std::abort();
+    }
+    ck = loaded.take();
+    if (++interrupts >= 10000) {
+      ADD_FAILURE() << "resume chain does not converge";
+      std::abort();
+    }
+  }
+}
+
+TEST(InterruptResume, AtlasByteIdenticalAcrossInterruptsAndThreads) {
+  auto isps = study_isps();
+  std::string reference =
+      atlas_bytes(core::run_atlas_study(isps, small_atlas_config(1, nullptr)));
+
+  const std::string path = temp_path("atlas_chain.ckpt");
+  for (unsigned threads : {1u, 4u}) {
+    int interrupts = 0;
+    auto resumed = chain_resume(
+        path, 7,
+        [&](const core::CheckpointConfig& cc) {
+          return core::run_atlas_study_supervised(
+              isps, small_atlas_config(threads, nullptr), cc);
+        },
+        &interrupts);
+    EXPECT_GT(interrupts, 1) << "test never actually interrupted the study";
+    EXPECT_EQ(atlas_bytes(resumed), reference) << "threads=" << threads;
+  }
+}
+
+TEST(InterruptResume, CdnByteIdenticalAcrossInterruptsAndThreads) {
+  std::string reference = cdn_bytes(core::run_cdn_study(
+      cdn::default_cdn_population(0.05), small_cdn_config(1, nullptr)));
+
+  const std::string path = temp_path("cdn_chain.ckpt");
+  for (unsigned threads : {1u, 4u}) {
+    int interrupts = 0;
+    auto resumed = chain_resume(
+        path, 1,
+        [&](const core::CheckpointConfig& cc) {
+          return core::run_cdn_study_supervised(
+              cdn::default_cdn_population(0.05),
+              small_cdn_config(threads, nullptr), cc);
+        },
+        &interrupts);
+    EXPECT_GT(interrupts, 1) << "test never actually interrupted the study";
+    EXPECT_EQ(cdn_bytes(resumed), reference) << "threads=" << threads;
+  }
+}
+
+TEST(InterruptResume, ResumeUnderDifferentThreadCountIsIdentical) {
+  auto isps = study_isps();
+  std::string reference =
+      atlas_bytes(core::run_atlas_study(isps, small_atlas_config(4, nullptr)));
+
+  // Interrupt once at threads=4, then finish the run at threads=1: the
+  // shard partition comes from the checkpoint, so results cannot move.
+  const std::string path = temp_path("atlas_crossthread.ckpt");
+  io::remove_checkpoint_files(path);
+  core::ShutdownToken token;
+  token.request();
+  core::CheckpointConfig cc;
+  cc.every_items = 11;
+  cc.path = path;
+  cc.token = &token;
+  auto first = core::run_atlas_study_supervised(
+      isps, small_atlas_config(4, nullptr), cc);
+  ASSERT_FALSE(first.ok());
+  ASSERT_EQ(first.status().code(), core::StatusCode::kCancelled);
+
+  auto ck = io::read_checkpoint(path);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  ASSERT_EQ(ck->shards.size(), 4u);
+  core::CheckpointConfig resume_cc;
+  resume_cc.resume = &*ck;
+  auto finished = core::run_atlas_study_supervised(
+      isps, small_atlas_config(1, nullptr), resume_cc);
+  ASSERT_TRUE(finished.ok()) << finished.status().to_string();
+  EXPECT_EQ(atlas_bytes(*finished), reference);
+  io::remove_checkpoint_files(path);
+}
+
+// Counter equality of interrupted-and-resumed vs straight runs: everything
+// except the supervisor's own checkpoint.* accounting must match exactly.
+std::map<std::string, std::uint64_t> counters_except_checkpoint(
+    const obs::MetricsSink& sink) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : sink.counters())
+    if (name.rfind("checkpoint.", 0) != 0) out[name] = counter.value;
+  return out;
+}
+
+TEST(InterruptResume, CountersMatchStraightRunModuloCheckpoint) {
+  auto isps = study_isps();
+  obs::MetricsRegistry straight;
+  auto expected = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, &straight), {});
+  ASSERT_TRUE(expected.ok());
+
+  const std::string path = temp_path("atlas_counters.ckpt");
+  obs::MetricsRegistry resumed;
+  // A single registry across attempts would double-count: each cancelled
+  // attempt flushes its partial sinks. Use one registry per attempt and
+  // keep the last, exactly like a real re-executed process.
+  io::remove_checkpoint_files(path);
+  std::optional<io::StudyCheckpoint> ck;
+  for (int attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 10000);
+    obs::MetricsRegistry fresh;
+    core::ShutdownToken token;
+    token.request();
+    core::CheckpointConfig cc;
+    cc.every_items = 9;
+    cc.path = path;
+    cc.token = &token;
+    cc.resume = ck ? &*ck : nullptr;
+    auto result = core::run_atlas_study_supervised(
+        isps, small_atlas_config(2, &fresh), cc);
+    if (result.ok()) {
+      resumed.merge(fresh.snapshot());
+      break;
+    }
+    ASSERT_EQ(result.status().code(), core::StatusCode::kCancelled);
+    auto loaded = io::read_checkpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+    ck = loaded.take();
+  }
+  io::remove_checkpoint_files(path);
+
+  // snapshot() returns by value; keep it alive past the full expression.
+  obs::MetricsSink snap = resumed.snapshot();
+  EXPECT_EQ(counters_except_checkpoint(snap),
+            counters_except_checkpoint(straight.snapshot()));
+  // The supervisor accounting itself must exist on the resumed side.
+  // (`checkpoint.writes` lives only in the interrupted attempts' registries,
+  // which a re-executed process discards, so it is absent here by design.)
+  EXPECT_TRUE(snap.counters().count("checkpoint.resumes"));
+  EXPECT_TRUE(snap.counters().count("checkpoint.rounds"));
+}
+
+// ------------------------------------------------- resume rejection paths
+
+TEST(ResumeValidation, WrongStudyKindIsRejected) {
+  auto isps = study_isps();
+  const std::string path = temp_path("kind_mismatch.ckpt");
+  io::remove_checkpoint_files(path);
+  core::ShutdownToken token;
+  token.request();
+  core::CheckpointConfig cc;
+  cc.every_items = 5;
+  cc.path = path;
+  cc.token = &token;
+  auto first = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), cc);
+  ASSERT_EQ(first.status().code(), core::StatusCode::kCancelled);
+  auto ck = io::read_checkpoint(path);
+  ASSERT_TRUE(ck.ok());
+
+  core::CheckpointConfig wrong;
+  wrong.resume = &*ck;
+  auto cdn = core::run_cdn_study_supervised(cdn::default_cdn_population(0.05),
+                                            small_cdn_config(1, nullptr),
+                                            wrong);
+  ASSERT_FALSE(cdn.ok());
+  EXPECT_EQ(cdn.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(cdn.status().message().find("atlas"), std::string::npos);
+  io::remove_checkpoint_files(path);
+}
+
+TEST(ResumeValidation, ChangedConfigIsRejected) {
+  auto isps = study_isps();
+  const std::string path = temp_path("fingerprint_mismatch.ckpt");
+  io::remove_checkpoint_files(path);
+  core::ShutdownToken token;
+  token.request();
+  core::CheckpointConfig cc;
+  cc.every_items = 5;
+  cc.path = path;
+  cc.token = &token;
+  auto first = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), cc);
+  ASSERT_EQ(first.status().code(), core::StatusCode::kCancelled);
+  auto ck = io::read_checkpoint(path);
+  ASSERT_TRUE(ck.ok());
+
+  auto changed = small_atlas_config(2, nullptr);
+  changed.atlas.seed = 8;  // different run: resuming would be silently wrong
+  core::CheckpointConfig resume_cc;
+  resume_cc.resume = &*ck;
+  auto result = core::run_atlas_study_supervised(isps, changed, resume_cc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("fingerprint"), std::string::npos);
+
+  // Same config but a tampered item count: also rejected, other message.
+  io::StudyCheckpoint tampered = *ck;
+  tampered.item_count += 1;
+  tampered.shards.back().end += 1;
+  core::CheckpointConfig tampered_cc;
+  tampered_cc.resume = &tampered;
+  auto result2 = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), tampered_cc);
+  ASSERT_FALSE(result2.ok());
+  EXPECT_EQ(result2.status().code(), core::StatusCode::kFailedPrecondition);
+  io::remove_checkpoint_files(path);
+}
+
+TEST(ResumeValidation, CorruptShardBlobIsDataLoss) {
+  auto isps = study_isps();
+  const std::string path = temp_path("blob_corrupt.ckpt");
+  io::remove_checkpoint_files(path);
+  core::ShutdownToken token;
+  token.request();
+  core::CheckpointConfig cc;
+  cc.every_items = 5;
+  cc.path = path;
+  cc.token = &token;
+  auto first = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), cc);
+  ASSERT_EQ(first.status().code(), core::StatusCode::kCancelled);
+  auto ck = io::read_checkpoint(path);
+  ASSERT_TRUE(ck.ok());
+
+  // Container-valid but semantically damaged shard state (the container
+  // CRCs pass because we damage the in-memory struct, mimicking an
+  // encoder-side bug): load() must reject it, not crash or mis-resume.
+  io::StudyCheckpoint damaged = *ck;
+  ASSERT_FALSE(damaged.shards.empty());
+  damaged.shards[0].blob = damaged.shards[0].blob.substr(
+      0, damaged.shards[0].blob.size() / 2);
+  core::CheckpointConfig resume_cc;
+  resume_cc.resume = &damaged;
+  auto result = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), resume_cc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kDataLoss);
+  io::remove_checkpoint_files(path);
+}
+
+// --------------------------------------------- file-driven study resume
+
+TEST(InterruptResume, FileStudiesResumeByteIdentical) {
+  const auto& fx = atlas_fixture();
+  const std::string echo_path = temp_path("resume_echo.csv");
+  {
+    io::AtomicFileWriter out(echo_path);
+    ASSERT_TRUE(out.ok());
+    io::write_echo_dataset(out.stream(), fx.series);
+    ASSERT_TRUE(out.commit().ok());
+  }
+  auto isps = study_isps();
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 2;
+  auto straight =
+      core::run_atlas_study_from_files({echo_path}, isps, cfg, nullptr, {});
+  ASSERT_TRUE(straight.ok()) << straight.status().to_string();
+  std::string reference = atlas_bytes(*straight);
+
+  const std::string path = temp_path("atlas_file_chain.ckpt");
+  int interrupts = 0;
+  auto resumed = chain_resume(
+      path, 7,
+      [&](const core::CheckpointConfig& cc) {
+        return core::run_atlas_study_from_files({echo_path}, isps, cfg,
+                                                nullptr, cc);
+      },
+      &interrupts);
+  EXPECT_GT(interrupts, 1);
+  EXPECT_EQ(atlas_bytes(resumed), reference);
+
+  // CDN file study, same drill.
+  auto population = cdn::default_cdn_population(0.05);
+  cdn::CdnConfig gen_cfg;
+  gen_cfg.subscriber_scale = 0.05;
+  gen_cfg.seed = 13;
+  cdn::CdnSimulator sim(population, gen_cfg);
+  std::vector<cdn::AssociationLog> logs;
+  for (std::size_t i = 0; i < sim.entry_count(); ++i)
+    logs.push_back(sim.generate(i));
+  const std::string assoc_path = temp_path("resume_assoc.csv");
+  {
+    io::AtomicFileWriter out(assoc_path);
+    ASSERT_TRUE(out.ok());
+    io::write_assoc_dataset(out.stream(), logs);
+    ASSERT_TRUE(out.commit().ok());
+  }
+  core::CdnFileStudyConfig ccfg;
+  ccfg.threads = 2;
+  for (const auto& entry : population) {
+    if (entry.isp.mobile) ccfg.mobile_asns.insert(entry.isp.asn);
+    ccfg.registries[entry.isp.asn] = entry.isp.registry;
+    ccfg.asn_names[entry.isp.asn] = entry.isp.name;
+  }
+  auto cdn_straight =
+      core::run_cdn_study_from_files({assoc_path}, ccfg, nullptr, {});
+  ASSERT_TRUE(cdn_straight.ok()) << cdn_straight.status().to_string();
+  std::string cdn_reference = cdn_bytes(*cdn_straight);
+
+  const std::string cdn_ckpt = temp_path("cdn_file_chain.ckpt");
+  interrupts = 0;
+  auto cdn_resumed = chain_resume(
+      cdn_ckpt, 1,
+      [&](const core::CheckpointConfig& cc) {
+        return core::run_cdn_study_from_files({assoc_path}, ccfg, nullptr,
+                                              cc);
+      },
+      &interrupts);
+  EXPECT_GT(interrupts, 1);
+  EXPECT_EQ(cdn_bytes(cdn_resumed), cdn_reference);
+
+  std::filesystem::remove(echo_path);
+  std::filesystem::remove(assoc_path);
+}
+
+// Supervision disabled (default CheckpointConfig) must be exactly the
+// legacy single-round path: no checkpoint file side effects either.
+TEST(InterruptResume, DefaultConfigMatchesLegacyRunner) {
+  auto isps = study_isps();
+  auto legacy = core::run_atlas_study(isps, small_atlas_config(2, nullptr));
+  auto supervised = core::run_atlas_study_supervised(
+      isps, small_atlas_config(2, nullptr), {});
+  ASSERT_TRUE(supervised.ok());
+  EXPECT_EQ(atlas_bytes(*supervised), atlas_bytes(legacy));
+}
+
+TEST(InterruptResume, PeriodicCheckpointWithoutPathIsInvalid) {
+  auto isps = study_isps();
+  core::CheckpointConfig cc;
+  cc.every_items = 5;  // no path
+  auto result = core::run_atlas_study_supervised(
+      isps, small_atlas_config(1, nullptr), cc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dynamips

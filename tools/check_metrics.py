@@ -5,6 +5,7 @@ Usage:
   check_metrics.py CANDIDATE BASELINE [--verbose]
   check_metrics.py CANDIDATE BASELINE --update-baseline
   check_metrics.py CANDIDATE --require-counters=PAT[,PAT...]
+  check_metrics.py CANDIDATE --compare-to=REF [--ignore-counters=PAT,...]
 
 The candidate is a document written by `--metrics-out` (schema
 "dynamips.metrics.v1", see src/obs/metrics_json.h). The baseline is a
@@ -37,6 +38,17 @@ needed): every fnmatch pattern must match at least one counter with a
 value > 0. CI uses it to assert that a corrupted-ingest run actually
 rejected lines (`--require-counters='ingest.reject.*'`). It composes
 with a baseline compare when both CANDIDATE and BASELINE are given.
+
+`--compare-to=REF` diffs two full metrics documents instead of gating
+against a subset baseline: counters must match EXACTLY in BOTH
+directions (a counter present on one side and absent from the other is
+a failure), and histograms must agree on totals and every bucket.
+Gauges, phase timings, and meta are ignored — they are wall-clock- or
+environment-dependent. `--ignore-counters=PAT[,PAT...]` exempts
+matching counter names from the two-way diff; the crash-resume CI job
+uses `--ignore-counters='checkpoint.*'` because an interrupted+resumed
+run legitimately carries supervision counters its straight-through
+reference lacks. Composes with `--require-counters`.
 
 Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
 Stdlib-only by design (runs in bare CI containers).
@@ -191,6 +203,65 @@ def update_baseline(candidate, baseline_path):
           f"({len(baseline['counters'])} gated counters)")
 
 
+def compare_documents(candidate, reference, ignore_patterns, verbose=False):
+    """Two-way exact diff of counters and histograms between two full
+    metrics documents (the resumed-vs-straight crash-recovery gate).
+
+    Counters matching any ignore pattern are exempt on both sides; no
+    such exemption exists for histograms — analyzer histograms must
+    survive checkpoint/resume bit-for-bit.
+    """
+    problems = []
+    if candidate.get("schema") != reference.get("schema"):
+        problems.append(
+            f"schema {candidate.get('schema')!r} != "
+            f"reference {reference.get('schema')!r}")
+        return problems
+
+    def ignored(name):
+        return any(fnmatch.fnmatch(name, p) for p in ignore_patterns)
+
+    got = candidate.get("counters", {})
+    want = reference.get("counters", {})
+    for name in sorted(set(got) | set(want)):
+        if ignored(name):
+            if verbose:
+                print(f"  ignored {name}")
+            continue
+        if name not in got:
+            problems.append(f"{name}: missing from candidate counters")
+        elif name not in want:
+            problems.append(f"{name}: unexpected counter "
+                            f"(absent from reference)")
+        elif got[name] != want[name]:
+            problems.append(
+                f"{name}: got {got[name]}, reference has {want[name]}")
+        elif verbose:
+            print(f"  ok {name}: {got[name]}")
+
+    ghist = candidate.get("histograms", {})
+    rhist = reference.get("histograms", {})
+    for name in sorted(set(ghist) | set(rhist)):
+        if name not in ghist:
+            problems.append(f"{name}: missing from candidate histograms")
+            continue
+        if name not in rhist:
+            problems.append(f"{name}: unexpected histogram "
+                            f"(absent from reference)")
+            continue
+        g, r = ghist[name], rhist[name]
+        if g.get("total") != r.get("total"):
+            problems.append(f"{name}.total: got {g.get('total')}, "
+                            f"reference has {r.get('total')}")
+        elif g.get("buckets") != r.get("buckets"):
+            problems.append(f"{name}: bucket contents differ "
+                            f"(totals match: {g.get('total')})")
+        elif verbose:
+            print(f"  ok histogram {name}: total={g.get('total')}")
+
+    return problems
+
+
 def check_required_counters(candidate, patterns, verbose=False):
     """Candidate-only presence gate: each pattern must match at least one
     counter with a value > 0."""
@@ -212,20 +283,35 @@ def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     flags = {a for a in argv[1:] if a.startswith("--")}
     required = []
+    compare_to = None
+    ignore_counters = []
     for flag in list(flags):
         if flag.startswith("--require-counters="):
             required = [p for p in
                         flag[len("--require-counters="):].split(",") if p]
+            flags.remove(flag)
+        elif flag.startswith("--compare-to="):
+            compare_to = flag[len("--compare-to="):]
+            flags.remove(flag)
+        elif flag.startswith("--ignore-counters="):
+            ignore_counters = [p for p in
+                               flag[len("--ignore-counters="):].split(",")
+                               if p]
             flags.remove(flag)
     unknown = flags - {"--verbose", "--update-baseline"}
     usage = (__doc__.strip().splitlines()[0] +
              "\nusage: check_metrics.py CANDIDATE BASELINE "
              "[--verbose|--update-baseline]"
              "\n       check_metrics.py CANDIDATE "
-             "--require-counters=PAT[,PAT...]")
+             "--require-counters=PAT[,PAT...]"
+             "\n       check_metrics.py CANDIDATE --compare-to=REF "
+             "[--ignore-counters=PAT,...]")
     if unknown:
         return fail(usage)
-    if len(args) != 2 and not (len(args) == 1 and required):
+    if ignore_counters and compare_to is None:
+        return fail("--ignore-counters only applies with --compare-to\n" +
+                    usage)
+    if len(args) != 2 and not (len(args) == 1 and (required or compare_to)):
         return fail(usage)
 
     candidate_path = args[0]
@@ -243,6 +329,13 @@ def main(argv):
 
     verbose = "--verbose" in flags
     problems = check_required_counters(candidate, required, verbose)
+    if compare_to is not None:
+        try:
+            reference = load(compare_to)
+        except (OSError, ValueError) as exc:
+            return fail(f"cannot read reference {compare_to}: {exc}")
+        problems += compare_documents(candidate, reference, ignore_counters,
+                                      verbose)
     if baseline_path is not None:
         try:
             baseline = load(baseline_path)
@@ -255,7 +348,11 @@ def main(argv):
         for p in problems:
             print(f"  FAIL {p}", file=sys.stderr)
         return 1
-    against = f" against {baseline_path}" if baseline_path else ""
+    against = ""
+    if compare_to:
+        against = f" against {compare_to}"
+    elif baseline_path:
+        against = f" against {baseline_path}"
     print(f"check_metrics: {candidate_path} passes{against}")
     return 0
 

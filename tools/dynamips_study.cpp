@@ -9,6 +9,8 @@
 //                       [--quarantine-out FILE]
 //                       [--max-reject-fraction R]
 //                       [--max-consecutive-rejects N]
+//                       [--checkpoint-every N] [--checkpoint-out FILE]
+//                       [--resume-from FILE] [--deadline-seconds S]
 //
 // With --metrics-out the pipeline records throughput counters, per-phase
 // timings, and shard balance into the process-wide metrics registry and
@@ -21,16 +23,32 @@
 // the fault-tolerant readers (io/readers.h), malformed lines are counted
 // into ingest.reject.* metrics and optionally appended to the
 // --quarantine-out file with their line numbers, and a file exceeding the
-// error budget fails the run with a descriptive status and exit code 1.
+// error budget fails the run with a descriptive status and exit code 1
+// (stale result CSVs of the failed study are removed).
+//
+// Crash safety: SIGINT/SIGTERM (and the --deadline-seconds watchdog)
+// interrupt the run at the next round boundary, write a checkpoint
+// (io/checkpoint.h; default <output_dir>/study.ckpt), flush partial
+// metrics, and exit with code 3. --checkpoint-every N additionally
+// snapshots every N work items per shard. Re-running with
+// --resume-from FILE and the identical study parameters continues the run
+// and produces results byte-identical to an uninterrupted one, at any
+// --threads value. Every output file is published via tmp + rename, so an
+// interrupted run never leaves a half-written CSV, metrics document, or
+// checkpoint behind.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <initializer_list>
+#include <optional>
 #include <string>
 
 #include "core/pipeline.h"
+#include "core/shutdown.h"
+#include "io/atomic_file.h"
+#include "io/checkpoint.h"
 #include "io/results_io.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
@@ -47,7 +65,9 @@ void usage(const char* argv0) {
                "[--atlas-only|--cdn-only] "
                "[--atlas-in F[,F...]] [--cdn-in F[,F...]] "
                "[--quarantine-out FILE] [--max-reject-fraction R] "
-               "[--max-consecutive-rejects N]\n",
+               "[--max-consecutive-rejects N] "
+               "[--checkpoint-every N] [--checkpoint-out FILE] "
+               "[--resume-from FILE] [--deadline-seconds S]\n",
                argv0);
 }
 
@@ -63,11 +83,36 @@ std::vector<std::string> split_paths(const std::string& list) {
   return out;
 }
 
+/// Write one result CSV via tmp + rename: readers never observe a
+/// half-written file, and a crash leaves the previous version intact.
 template <typename Fn>
-void write_file(const std::filesystem::path& path, Fn&& writer) {
-  std::ofstream os(path);
-  writer(os);
+bool write_file(const std::filesystem::path& path, Fn&& writer) {
+  io::AtomicFileWriter out(path.string());
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  writer(out.stream());
+  core::Status st = out.commit();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.string().c_str(),
+                 st.message().c_str());
+    return false;
+  }
   std::printf("  wrote %s\n", path.string().c_str());
+  return true;
+}
+
+/// Remove output files a failed study may have left from a previous run, so
+/// a nonzero exit never pairs with stale-but-plausible results.
+void remove_stale_outputs(const std::filesystem::path& out_dir,
+                          std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    std::error_code ec;
+    if (std::filesystem::remove(out_dir / name, ec))
+      std::fprintf(stderr, "  removed stale %s\n",
+                   (out_dir / name).string().c_str());
+  }
 }
 
 }  // namespace
@@ -80,6 +125,9 @@ int main(int argc, char** argv) {
   bool atlas = true, cdn = true;
   std::string metrics_out;
   std::string atlas_in, cdn_in, quarantine_out;
+  std::string checkpoint_out, resume_from;
+  std::uint64_t checkpoint_every = 0;
+  double deadline_seconds = 0;
   io::ReaderOptions reader_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +160,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-consecutive-rejects") {
       reader_opts.max_consecutive_rejects =
           std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--checkpoint-out") {
+      checkpoint_out = next();
+    } else if (arg == "--resume-from") {
+      resume_from = next();
+    } else if (arg == "--deadline-seconds") {
+      deadline_seconds = std::atof(next());
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -139,129 +195,244 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry* registry =
       metrics_out.empty() ? nullptr : &obs::MetricsRegistry::global();
 
-  std::ofstream quarantine_stream;
+  // Graceful shutdown: SIGINT/SIGTERM (and the optional deadline) set a
+  // token the studies poll at round boundaries.
+  core::install_shutdown_handlers();
+  core::ShutdownToken& token = core::global_shutdown_token();
+  if (deadline_seconds > 0) token.arm_deadline_seconds(deadline_seconds);
+  if (checkpoint_out.empty())
+    checkpoint_out = (out_dir / "study.ckpt").string();
+
+  // Resolve the resume checkpoint up front (with .prev fallback) and route
+  // it to the study that wrote it. A cdn-kind checkpoint means the atlas
+  // study already completed in the interrupted run — its CSVs are durable
+  // (atomic writes), so it is skipped entirely.
+  std::optional<io::StudyCheckpoint> resume;
+  const io::StudyCheckpoint* atlas_resume = nullptr;
+  const io::StudyCheckpoint* cdn_resume = nullptr;
+  if (!resume_from.empty()) {
+    std::string used_path;
+    auto loaded = io::read_checkpoint_with_fallback(resume_from, &used_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot resume: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    resume = loaded.take();
+    std::printf("resuming from %s (%s, %llu of %llu items done)\n",
+                used_path.c_str(), io::checkpoint_kind_name(resume->kind),
+                (unsigned long long)resume->items_done(),
+                (unsigned long long)resume->item_count);
+    if (io::is_atlas_checkpoint_kind(resume->kind)) {
+      if (!atlas) {
+        std::fprintf(stderr,
+                     "cannot resume: checkpoint is for the atlas study but "
+                     "--cdn-only was given\n");
+        return 1;
+      }
+      atlas_resume = &*resume;
+    } else {
+      if (!cdn) {
+        std::fprintf(stderr,
+                     "cannot resume: checkpoint is for the cdn study but "
+                     "--atlas-only was given\n");
+        return 1;
+      }
+      cdn_resume = &*resume;
+      atlas = false;  // completed before the interrupt
+    }
+  }
+
+  // Quarantined lines are published even when ingestion fails — that is
+  // when they matter — but never as a half-written file.
+  std::optional<io::AtomicFileWriter> quarantine;
   if (!quarantine_out.empty()) {
-    quarantine_stream.open(quarantine_out);
-    if (!quarantine_stream.is_open()) {
+    quarantine.emplace(quarantine_out);
+    if (!quarantine->ok()) {
       std::fprintf(stderr, "cannot open quarantine file %s\n",
                    quarantine_out.c_str());
       return 1;
     }
-    reader_opts.quarantine = &quarantine_stream;
+    reader_opts.quarantine = &quarantine->stream();
   }
 
-  if (atlas) {
-    core::AtlasStudy study;
-    auto t0 = std::chrono::steady_clock::now();
-    if (!atlas_in.empty()) {
-      std::printf("Atlas study from %s (%u shards)...\n", atlas_in.c_str(),
-                  effective);
-      core::AtlasFileStudyConfig cfg;
-      cfg.threads = threads;
-      cfg.metrics = registry;
-      cfg.reader = reader_opts;
-      io::IngestStats stats;
-      auto loaded = core::run_atlas_study_from_files(
-          split_paths(atlas_in), simnet::paper_isps(), cfg, &stats);
-      std::printf("  ingested %s\n", stats.summary().c_str());
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "atlas ingest failed: %s\n",
-                     loaded.status().to_string().c_str());
+  auto run_studies = [&]() -> int {
+    if (atlas) {
+      core::CheckpointConfig supervision;
+      supervision.every_items = checkpoint_every;
+      supervision.path = checkpoint_out;
+      supervision.token = &token;
+      supervision.resume = atlas_resume;
+
+      core::AtlasStudy study;
+      auto t0 = std::chrono::steady_clock::now();
+      core::Expected<core::AtlasStudy> result{core::Status(
+          core::StatusCode::kInternal, "atlas study did not run")};
+      if (!atlas_in.empty()) {
+        std::printf("Atlas study from %s (%u shards)...\n", atlas_in.c_str(),
+                    effective);
+        core::AtlasFileStudyConfig cfg;
+        cfg.threads = threads;
+        cfg.metrics = registry;
+        cfg.reader = reader_opts;
+        io::IngestStats stats;
+        result = core::run_atlas_study_from_files(
+            split_paths(atlas_in), simnet::paper_isps(), cfg, &stats,
+            supervision);
+        std::printf("  ingested %s\n", stats.summary().c_str());
+      } else {
+        std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
+                    "%u shards)...\n",
+                    scale, (unsigned long long)window,
+                    (unsigned long long)seed, effective);
+        core::AtlasStudyConfig cfg;
+        cfg.atlas.probe_scale = scale;
+        cfg.atlas.window_hours = window;
+        cfg.atlas.seed = seed;
+        cfg.threads = threads;
+        cfg.metrics = registry;
+        result =
+            core::run_atlas_study_supervised(simnet::paper_isps(), cfg,
+                                             supervision);
+      }
+      if (!result.ok()) {
+        if (result.status().code() == core::StatusCode::kCancelled) {
+          std::fprintf(stderr, "%s\n  resume with --resume-from %s\n",
+                       result.status().to_string().c_str(),
+                       checkpoint_out.c_str());
+          return 3;
+        }
+        std::fprintf(stderr, "atlas study failed: %s\n",
+                     result.status().to_string().c_str());
+        remove_stale_outputs(out_dir,
+                             {"fig1_duration_curves.csv", "fig5_cpl.csv",
+                              "table2_bgp_moves.csv", "fig6_inference.csv"});
         return 1;
       }
-      study = loaded.take();
-    } else {
-      std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
-                  "%u shards)...\n",
-                  scale, (unsigned long long)window,
-                  (unsigned long long)seed, effective);
-      core::AtlasStudyConfig cfg;
-      cfg.atlas.probe_scale = scale;
-      cfg.atlas.window_hours = window;
-      cfg.atlas.seed = seed;
-      cfg.threads = threads;
-      cfg.metrics = registry;
-      study = core::run_atlas_study(simnet::paper_isps(), cfg);
+      study = result.take();
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      if (registry)
+        registry->record_phase("study.atlas_wall", std::uint64_t(secs * 1e9));
+      std::printf("  analyzed %llu probes in %.2fs\n",
+                  (unsigned long long)study.sanitize.probes_seen, secs);
+      bool wrote =
+          write_file(out_dir / "fig1_duration_curves.csv",
+                     [&](std::ostream& os) {
+                       io::write_duration_curves_csv(os, study);
+                     }) &&
+          write_file(out_dir / "fig5_cpl.csv",
+                     [&](std::ostream& os) { io::write_cpl_csv(os, study); }) &&
+          write_file(out_dir / "table2_bgp_moves.csv",
+                     [&](std::ostream& os) {
+                       io::write_bgp_moves_csv(os, study);
+                     }) &&
+          write_file(out_dir / "fig6_inference.csv", [&](std::ostream& os) {
+            io::write_inference_csv(os, study);
+          });
+      if (!wrote) return 1;
     }
-    double secs = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    if (registry)
-      registry->record_phase("study.atlas_wall", std::uint64_t(secs * 1e9));
-    std::printf("  analyzed %llu probes in %.2fs\n",
-                (unsigned long long)study.sanitize.probes_seen, secs);
-    write_file(out_dir / "fig1_duration_curves.csv", [&](std::ostream& os) {
-      io::write_duration_curves_csv(os, study);
-    });
-    write_file(out_dir / "fig5_cpl.csv", [&](std::ostream& os) {
-      io::write_cpl_csv(os, study);
-    });
-    write_file(out_dir / "table2_bgp_moves.csv", [&](std::ostream& os) {
-      io::write_bgp_moves_csv(os, study);
-    });
-    write_file(out_dir / "fig6_inference.csv", [&](std::ostream& os) {
-      io::write_inference_csv(os, study);
-    });
-  }
 
-  if (cdn) {
-    core::CdnStudy study{core::CdnAnalyzer({}, {}), {}};
-    auto t0 = std::chrono::steady_clock::now();
-    if (!cdn_in.empty()) {
-      std::printf("CDN study from %s (%u shards)...\n", cdn_in.c_str(),
-                  effective);
-      core::CdnFileStudyConfig cfg;
-      cfg.threads = threads;
-      cfg.metrics = registry;
-      cfg.reader = reader_opts;
-      // The CSV schema carries no access-type/registry ground truth; take
-      // the attribution of the known population profiles (ASNs absent from
-      // it analyze as fixed-line RIPE).
-      for (const auto& entry : cdn::default_cdn_population()) {
-        if (entry.isp.mobile) cfg.mobile_asns.insert(entry.isp.asn);
-        cfg.registries[entry.isp.asn] = entry.isp.registry;
-        cfg.asn_names[entry.isp.asn] = entry.isp.name;
+    if (cdn) {
+      core::CheckpointConfig supervision;
+      supervision.every_items = checkpoint_every;
+      supervision.path = checkpoint_out;
+      supervision.token = &token;
+      supervision.resume = cdn_resume;
+
+      core::CdnStudy study{core::CdnAnalyzer({}, {}), {}};
+      auto t0 = std::chrono::steady_clock::now();
+      core::Expected<core::CdnStudy> result{core::Status(
+          core::StatusCode::kInternal, "cdn study did not run")};
+      if (!cdn_in.empty()) {
+        std::printf("CDN study from %s (%u shards)...\n", cdn_in.c_str(),
+                    effective);
+        core::CdnFileStudyConfig cfg;
+        cfg.threads = threads;
+        cfg.metrics = registry;
+        cfg.reader = reader_opts;
+        // The CSV schema carries no access-type/registry ground truth; take
+        // the attribution of the known population profiles (ASNs absent from
+        // it analyze as fixed-line RIPE).
+        for (const auto& entry : cdn::default_cdn_population()) {
+          if (entry.isp.mobile) cfg.mobile_asns.insert(entry.isp.asn);
+          cfg.registries[entry.isp.asn] = entry.isp.registry;
+          cfg.asn_names[entry.isp.asn] = entry.isp.name;
+        }
+        io::IngestStats stats;
+        result = core::run_cdn_study_from_files(split_paths(cdn_in), cfg,
+                                                &stats, supervision);
+        std::printf("  ingested %s\n", stats.summary().c_str());
+      } else {
+        std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n",
+                    scale, (unsigned long long)seed, effective);
+        core::CdnStudyConfig cfg;
+        cfg.cdn.subscriber_scale = scale;
+        cfg.cdn.seed = seed * 977;
+        cfg.threads = threads;
+        cfg.metrics = registry;
+        result = core::run_cdn_study_supervised(
+            cdn::default_cdn_population(scale), cfg, supervision);
       }
-      io::IngestStats stats;
-      auto loaded =
-          core::run_cdn_study_from_files(split_paths(cdn_in), cfg, &stats);
-      std::printf("  ingested %s\n", stats.summary().c_str());
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "cdn ingest failed: %s\n",
-                     loaded.status().to_string().c_str());
+      if (!result.ok()) {
+        if (result.status().code() == core::StatusCode::kCancelled) {
+          std::fprintf(stderr, "%s\n  resume with --resume-from %s\n",
+                       result.status().to_string().c_str(),
+                       checkpoint_out.c_str());
+          return 3;
+        }
+        std::fprintf(stderr, "cdn study failed: %s\n",
+                     result.status().to_string().c_str());
+        remove_stale_outputs(out_dir,
+                             {"fig23_assoc_durations.csv", "fig4_degrees.csv",
+                              "fig7_zero_boundaries.csv"});
         return 1;
       }
-      study = loaded.take();
-    } else {
-      std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n", scale,
-                  (unsigned long long)seed, effective);
-      core::CdnStudyConfig cfg;
-      cfg.cdn.subscriber_scale = scale;
-      cfg.cdn.seed = seed * 977;
-      cfg.threads = threads;
-      cfg.metrics = registry;
-      study = core::run_cdn_study(cdn::default_cdn_population(scale), cfg);
+      study = result.take();
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      if (registry)
+        registry->record_phase("study.cdn_wall", std::uint64_t(secs * 1e9));
+      std::printf("  analyzed %llu tuples in %.2fs\n",
+                  (unsigned long long)(study.analyzer.total_tuples() +
+                                       study.analyzer.total_mismatched()),
+                  secs);
+      bool wrote =
+          write_file(out_dir / "fig23_assoc_durations.csv",
+                     [&](std::ostream& os) {
+                       io::write_assoc_durations_csv(os, study);
+                     }) &&
+          write_file(out_dir / "fig4_degrees.csv",
+                     [&](std::ostream& os) {
+                       io::write_degrees_csv(os, study);
+                     }) &&
+          write_file(out_dir / "fig7_zero_boundaries.csv",
+                     [&](std::ostream& os) {
+                       io::write_zero_boundaries_csv(os, study);
+                     });
+      if (!wrote) return 1;
     }
-    double secs = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    if (registry)
-      registry->record_phase("study.cdn_wall", std::uint64_t(secs * 1e9));
-    std::printf("  analyzed %llu tuples in %.2fs\n",
-                (unsigned long long)(study.analyzer.total_tuples() +
-                                     study.analyzer.total_mismatched()),
-                secs);
-    write_file(out_dir / "fig23_assoc_durations.csv", [&](std::ostream& os) {
-      io::write_assoc_durations_csv(os, study);
-    });
-    write_file(out_dir / "fig4_degrees.csv", [&](std::ostream& os) {
-      io::write_degrees_csv(os, study);
-    });
-    write_file(out_dir / "fig7_zero_boundaries.csv", [&](std::ostream& os) {
-      io::write_zero_boundaries_csv(os, study);
-    });
+    return 0;
+  };
+
+  int rc = run_studies();
+
+  if (quarantine) {
+    core::Status st = quarantine->commit();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write quarantine file: %s\n",
+                   st.message().c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("  wrote %s\n", quarantine_out.c_str());
+    }
   }
 
+  // Metrics are written on every exit path: an interrupted run reports its
+  // partial counters (the checkpoint snapshot excludes them, so a resumed
+  // run never double-counts).
   if (registry) {
     registry->set_gauge("process.peak_rss_bytes",
                         double(obs::peak_rss_bytes()));
@@ -274,10 +445,18 @@ int main(int argc, char** argv) {
     if (!obs::write_metrics_json(metrics_out, registry->snapshot(), meta)) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
                    metrics_out.c_str());
-      return 1;
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("  wrote %s\n", metrics_out.c_str());
     }
-    std::printf("  wrote %s\n", metrics_out.c_str());
   }
-  std::printf("done.\n");
-  return 0;
+
+  if (rc == 0) {
+    // The run is fully durable; retire the checkpoint chain.
+    io::remove_checkpoint_files(checkpoint_out);
+    if (!resume_from.empty() && resume_from != checkpoint_out)
+      io::remove_checkpoint_files(resume_from);
+    std::printf("done.\n");
+  }
+  return rc;
 }
