@@ -42,6 +42,7 @@
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
 #include "simnet/isp.h"
+#include "stats/summary.h"
 
 namespace dynamips::bench {
 
@@ -229,6 +230,7 @@ inline int finish() {
   const std::string& path = metrics_out_setting();
   if (path.empty()) return 0;
   auto& registry = obs::MetricsRegistry::global();
+  registry.add_counter("stats.nan_dropped", stats::nan_dropped());
   registry.set_gauge("process.peak_rss_bytes",
                      double(obs::peak_rss_bytes()));
   obs::MetricsMeta meta;

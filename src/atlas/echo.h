@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
+#include "core/intern.h"
 #include "netaddr/ipv4.h"
 #include "netaddr/ipv6.h"
 #include "simnet/time.h"
@@ -36,10 +36,12 @@ struct EchoRecord {
 };
 
 /// Probe metadata: the user-supplied tags the sanitizer screens
-/// ("datacentre", "core", "multihomed", "system-anchor").
+/// ("datacentre", "core", "multihomed", "system-anchor"). Tags are
+/// interned through core::tag_pool(), so a probe carries dense ids
+/// instead of heap strings.
 struct ProbeMeta {
   std::uint32_t probe_id = 0;
-  std::vector<std::string> tags;
+  std::vector<core::TagId> tags;
 };
 
 /// All measurements of one probe, sorted by hour (records of both families

@@ -165,10 +165,14 @@ ProbeSeries AtlasSimulator::series_for(std::size_t idx) const {
       break;
   }
   series.meta.probe_id = info.probe_id;
-  series.meta.tags = {"home"};
+  static const core::TagId kHome = core::tag_pool().intern("home");
+  series.meta.tags = {kHome};
   if (info.role == ProbeRole::kBadTag) {
-    static const char* kBad[] = {"datacentre", "core", "system-anchor",
-                                 "multihomed"};
+    static const core::TagId kBad[] = {
+        core::tag_pool().intern("datacentre"),
+        core::tag_pool().intern("core"),
+        core::tag_pool().intern("system-anchor"),
+        core::tag_pool().intern("multihomed")};
     series.meta.tags.push_back(kBad[info.probe_id % 4]);
   }
   return series;

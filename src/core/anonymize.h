@@ -10,20 +10,21 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "bgp/rib.h"
 #include "core/pipeline.h"
 #include "netaddr/ipv6.h"
 #include "netaddr/prefix.h"
+#include "stats/flatmap.h"
 
 namespace dynamips::core {
 
 /// Per-AS truncation lengths, with a conservative default for unknown ASes.
 struct AnonymizationPolicy {
-  std::map<bgp::Asn, int> truncation_len;
+  stats::FlatMap<bgp::Asn, int> truncation_len;
   int default_len = 32;
 
   int length_for(bgp::Asn asn) const {

@@ -21,12 +21,15 @@ void CdnAnalyzer::add_log(const cdn::AssociationLog& log) {
   // stable sort. Compared to a hash-map-of-vectors this does no per-/64
   // node allocation (the dominant cost on the sharded path) and iterates
   // groups in a canonical order, independent of any container history.
+  // Both scratch vectors live in the per-shard arena: after the first few
+  // logs the steady state allocates nothing per call.
+  arena_.reset();
   struct Tuple {
     std::uint64_t net64;
     std::uint32_t day;
     net::Prefix4 v4;
   };
-  std::vector<Tuple> tuples;
+  ArenaVector<Tuple> tuples{ArenaAllocator<Tuple>(arena_)};
   tuples.reserve(log.records.size());
   for (const auto& rec : log.records) {
     if (options_.require_asn_match && rec.asn4 != rec.asn6) {
@@ -87,7 +90,7 @@ void CdnAnalyzer::add_log(const cdn::AssociationLog& log) {
     net::Prefix4 v4;
     std::uint64_t net64;
   };
-  std::vector<Pair> pairs;
+  ArenaVector<Pair> pairs{ArenaAllocator<Pair>(arena_)};
   pairs.reserve(tuples.size());
   for (const Tuple& t : tuples) pairs.push_back({t.v4, t.net64});
   auto pair_less = [](const Pair& a, const Pair& b) {

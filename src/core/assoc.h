@@ -11,14 +11,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bgp/rib.h"
 #include "cdn/rum.h"
+#include "core/arena.h"
 #include "core/inference.h"
+#include "stats/flatmap.h"
 #include "stats/summary.h"
 
 namespace dynamips::io::ckpt {
@@ -93,12 +94,15 @@ class CdnAnalyzer {
   void save(io::ckpt::Writer& w) const;
   bool load(io::ckpt::Reader& r);
 
-  /// Per-ASN stats (Fig. 2 inputs).
-  const std::map<bgp::Asn, AsnAssocStats>& by_asn() const { return by_asn_; }
+  /// Per-ASN stats (Fig. 2 inputs). FlatMap iterates ASNs in the same
+  /// ascending order the former std::map did.
+  const stats::FlatMap<bgp::Asn, AsnAssocStats>& by_asn() const {
+    return by_asn_;
+  }
 
   /// Per (registry, mobile) association durations (Fig. 3 inputs).
-  const std::map<RegistryClass, std::vector<double>>& registry_durations()
-      const {
+  const stats::FlatMap<RegistryClass, std::vector<double>>&
+  registry_durations() const {
     return registry_durations_;
   }
 
@@ -112,7 +116,8 @@ class CdnAnalyzer {
   double fraction_64s_with_single_24(bool mobile) const;
 
   /// Fig. 7: trailing-zero classes per registry, fixed and mobile.
-  const std::map<RegistryClass, ZeroBoundaryCounts>& zero_counts() const {
+  const stats::FlatMap<RegistryClass, ZeroBoundaryCounts>& zero_counts()
+      const {
     return zero_counts_;
   }
 
@@ -123,10 +128,11 @@ class CdnAnalyzer {
   AssocOptions options_;
   std::unordered_set<bgp::Asn> mobile_asns_;
 
-  std::map<bgp::Asn, AsnAssocStats> by_asn_;
-  std::map<RegistryClass, std::vector<double>> registry_durations_;
+  stats::FlatMap<bgp::Asn, AsnAssocStats> by_asn_;
+  stats::FlatMap<RegistryClass, std::vector<double>> registry_durations_;
   std::vector<std::pair<std::uint32_t, bool>> degrees_;
-  std::map<RegistryClass, ZeroBoundaryCounts> zero_counts_;
+  stats::FlatMap<RegistryClass, ZeroBoundaryCounts> zero_counts_;
+  MonotonicArena arena_;  ///< per-log scratch for the tuple/pair sorts
   // Inverse connectivity tallies: /64s by how many distinct /24s they saw.
   std::uint64_t single_24_64s_[2] = {0, 0};  // [mobile]
   std::uint64_t multi_24_64s_[2] = {0, 0};

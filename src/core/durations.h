@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
 #include "bgp/rib.h"
 #include "core/changes.h"
 #include "core/sanitize.h"
+#include "stats/flatmap.h"
 #include "stats/ttf.h"
 
 namespace dynamips::core {
@@ -82,14 +82,19 @@ class DurationAnalyzer {
   void save(io::ckpt::Writer& w) const;
   bool load(io::ckpt::Reader& r);
 
-  const std::map<bgp::Asn, AsDurationStats>& by_as() const { return by_as_; }
+  // FlatMap iterates ASNs in the same ascending order std::map did, so
+  // serialization, CSV emission, and the ordered shard reduction all see
+  // identical sequences.
+  const stats::FlatMap<bgp::Asn, AsDurationStats>& by_as() const {
+    return by_as_;
+  }
 
   /// Whether a cleaned probe qualifies as dual-stack for the splits.
   static bool is_dual_stack(const CleanProbe& probe);
 
  private:
   ChangeOptions options_;
-  std::map<bgp::Asn, AsDurationStats> by_as_;
+  stats::FlatMap<bgp::Asn, AsDurationStats> by_as_;
 };
 
 }  // namespace dynamips::core

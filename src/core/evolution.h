@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 
 #include "core/durations.h"
+#include "stats/flatmap.h"
 
 namespace dynamips::core {
 
@@ -33,7 +35,11 @@ class EvolutionAnalyzer {
   void add_probe(const CleanProbe& probe);
 
   using Key = std::pair<bgp::Asn, YearIndex>;
-  const std::map<Key, YearDurations>& by_as_year() const { return buckets_; }
+  // FlatMap keeps the (AS, year) buckets in the same lexicographic order
+  // the std::map it replaced iterated in.
+  const stats::FlatMap<Key, YearDurations>& by_as_year() const {
+    return buckets_;
+  }
 
   /// Cumulative total time fraction at `threshold_hours` for one AS across
   /// years — a falling series means durations grew (the paper's finding).
@@ -43,7 +49,7 @@ class EvolutionAnalyzer {
 
  private:
   ChangeOptions options_;
-  std::map<Key, YearDurations> buckets_;
+  stats::FlatMap<Key, YearDurations> buckets_;
 };
 
 }  // namespace dynamips::core

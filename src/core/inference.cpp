@@ -1,9 +1,7 @@
 #include "core/inference.h"
 
-#include "core/changes.h"
-
 #include <algorithm>
-#include <unordered_map>
+#include <vector>
 
 #include "io/checkpoint.h"
 #include "netaddr/ipv6.h"
@@ -65,7 +63,12 @@ bool InferenceCollector::load(io::ckpt::Reader& r) {
 
 std::optional<SubscriberInference> infer_subscriber_prefix(
     const CleanProbe& probe) {
-  auto spans = extract_spans6(probe.v6);
+  return infer_subscriber_prefix(
+      std::span<const Span6>(extract_spans6(probe.v6)));
+}
+
+std::optional<SubscriberInference> infer_subscriber_prefix(
+    std::span<const Span6> spans) {
   if (spans.size() < 2) return std::nullopt;  // need >= 1 change
   int common_zeros = 64;
   for (const auto& s : spans)
@@ -79,17 +82,34 @@ std::optional<SubscriberInference> infer_subscriber_prefix(
 std::optional<PoolInference> infer_pool(const CleanProbe& probe,
                                         double min_coverage,
                                         int min_changes) {
-  auto spans = extract_spans6(probe.v6);
+  return infer_pool(std::span<const Span6>(extract_spans6(probe.v6)),
+                    min_coverage, min_changes);
+}
+
+std::optional<PoolInference> infer_pool(std::span<const Span6> spans,
+                                        double min_coverage,
+                                        int min_changes) {
   if (int(spans.size()) < min_changes + 1) return std::nullopt;
   double total = double(spans.size());
+  // Sort the /64s once: for any length, equal length-prefixes of sorted
+  // values are contiguous, so the dominant prefix's multiplicity is the
+  // longest run of equal shifted values — the same count the per-length
+  // hash tally produced, without building 64 hash maps.
+  std::vector<std::uint64_t> nets;
+  nets.reserve(spans.size());
+  for (const auto& s : spans) nets.push_back(s.net64);
+  std::sort(nets.begin(), nets.end());
   // Walk from the most specific length down; the first (longest) length
   // whose dominant prefix covers enough assignments is the pool boundary.
   for (int len = 64; len >= 1; --len) {
-    std::unordered_map<std::uint64_t, std::uint32_t> counts;
-    std::uint32_t best = 0;
-    for (const auto& s : spans) {
-      std::uint32_t c = ++counts[s.net64 >> (64 - len)];
-      best = std::max(best, c);
+    int shift = 64 - len;
+    std::uint32_t best = 0, run = 0;
+    std::uint64_t prev = 0;
+    for (std::uint64_t n : nets) {
+      std::uint64_t p = n >> shift;
+      run = (run && p == prev) ? run + 1 : 1;
+      prev = p;
+      best = std::max(best, run);
     }
     double coverage = double(best) / total;
     if (coverage >= min_coverage) return PoolInference{len, coverage};
@@ -107,9 +127,12 @@ ZeroBoundary classify_trailing_zeros(std::uint64_t net64) {
 }
 
 void InferenceCollector::add(const CleanProbe& probe) {
-  if (auto inf = infer_subscriber_prefix(probe))
+  // Both inferences consume the same /64 spans; extract them once.
+  auto spans = extract_spans6(probe.v6);
+  std::span<const Span6> view(spans);
+  if (auto inf = infer_subscriber_prefix(view))
     subscriber_[probe.asn].push_back(*inf);
-  if (auto pool = infer_pool(probe)) pool_[probe.asn].push_back(*pool);
+  if (auto pool = infer_pool(view)) pool_[probe.asn].push_back(*pool);
 }
 
 void InferenceCollector::merge(InferenceCollector&& other) {

@@ -16,10 +16,13 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/rib.h"
+#include "core/changes.h"
 #include "core/sanitize.h"
+#include "stats/flatmap.h"
 
 namespace dynamips::io::ckpt {
 class Writer;
@@ -42,6 +45,12 @@ struct SubscriberInference {
 std::optional<SubscriberInference> infer_subscriber_prefix(
     const CleanProbe& probe);
 
+/// Span-based variant so callers that already extracted the probe's /64
+/// spans (e.g. InferenceCollector::add, which runs both inferences) do not
+/// extract them twice.
+std::optional<SubscriberInference> infer_subscriber_prefix(
+    std::span<const Span6> spans);
+
 /// Result of the pool-boundary inference.
 struct PoolInference {
   int pool_len = 0;     ///< inferred pool prefix length (e.g. 40)
@@ -53,6 +62,11 @@ struct PoolInference {
 /// at least `min_coverage` of the probe's v6 assignments. Requires at least
 /// `min_changes` changes for statistical footing.
 std::optional<PoolInference> infer_pool(const CleanProbe& probe,
+                                        double min_coverage = 0.8,
+                                        int min_changes = 5);
+
+/// Span-based variant (see infer_subscriber_prefix above).
+std::optional<PoolInference> infer_pool(std::span<const Span6> spans,
                                         double min_coverage = 0.8,
                                         int min_changes = 5);
 
@@ -105,25 +119,34 @@ class InferenceCollector {
   void save(io::ckpt::Writer& w) const;
   bool load(io::ckpt::Reader& r);
 
-  const std::map<bgp::Asn, std::vector<SubscriberInference>>& subscriber()
-      const {
+  const stats::FlatMap<bgp::Asn, std::vector<SubscriberInference>>&
+  subscriber() const {
     return subscriber_;
   }
-  const std::map<bgp::Asn, std::vector<PoolInference>>& pools() const {
+  const stats::FlatMap<bgp::Asn, std::vector<PoolInference>>& pools() const {
     return pool_;
   }
 
-  /// Move the collected maps out (pipeline reduction).
+  /// Move the collected results out (pipeline reduction). The study structs
+  /// expose std::map, so the per-AS vectors are moved into one; FlatMap
+  /// iterates ASNs ascending, making this a linear in-order build.
   std::map<bgp::Asn, std::vector<SubscriberInference>> take_subscriber() {
-    return std::move(subscriber_);
+    std::map<bgp::Asn, std::vector<SubscriberInference>> out;
+    for (auto& [asn, results] : subscriber_)
+      out.emplace(asn, std::move(results));
+    subscriber_.clear();
+    return out;
   }
   std::map<bgp::Asn, std::vector<PoolInference>> take_pools() {
-    return std::move(pool_);
+    std::map<bgp::Asn, std::vector<PoolInference>> out;
+    for (auto& [asn, results] : pool_) out.emplace(asn, std::move(results));
+    pool_.clear();
+    return out;
   }
 
  private:
-  std::map<bgp::Asn, std::vector<SubscriberInference>> subscriber_;
-  std::map<bgp::Asn, std::vector<PoolInference>> pool_;
+  stats::FlatMap<bgp::Asn, std::vector<SubscriberInference>> subscriber_;
+  stats::FlatMap<bgp::Asn, std::vector<PoolInference>> pool_;
 };
 
 }  // namespace dynamips::core

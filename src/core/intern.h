@@ -1,0 +1,66 @@
+// intern.h — append-only string interning pool.
+//
+// Probe tags repeat across the whole dataset (a handful of distinct values
+// over hundreds of thousands of probes), yet they used to travel as
+// std::vector<std::string> through ProbeMeta and ProbeObservations — one
+// heap string per tag per probe per hop. Interning stores each distinct
+// string once and hands out a dense 32-bit id; the per-probe payload
+// becomes a vector of ints and tag comparisons become integer equality.
+//
+// Ids are stable for the lifetime of the pool and assigned in first-intern
+// order. The pool is thread-safe (shards intern concurrently during
+// parallel ingestion); name_of() returns a reference that stays valid
+// forever because the backing deque never relocates elements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dynamips::core {
+
+/// Dense id of an interned string (index into the pool).
+using TagId = std::uint32_t;
+
+class StringInterner {
+ public:
+  /// Id of `s`, interning it on first sight.
+  TagId intern(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(s);
+    TagId id = TagId(strings_.size() - 1);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// The string behind an id; throws std::out_of_range on an unknown id.
+  const std::string& name_of(TagId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return strings_.at(id);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return strings_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;  // deque: references never relocate
+  std::unordered_map<std::string_view, TagId> index_;  // views into strings_
+};
+
+/// Process-wide pool for probe tags (generator, CSV readers/writers, and
+/// the sanitizer all speak the same ids).
+inline StringInterner& tag_pool() {
+  static StringInterner pool;
+  return pool;
+}
+
+}  // namespace dynamips::core

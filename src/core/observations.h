@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "atlas/echo.h"
+#include "core/intern.h"
 #include "netaddr/ipv4.h"
 #include "netaddr/ipv6.h"
 
@@ -32,10 +32,12 @@ struct Obs6 {
   bool src_matches = true;     ///< src_addr equalled X-Client-IP (typical)
 };
 
-/// All observations of one probe, hour-ordered per family.
+/// All observations of one probe, hour-ordered per family. Tags are
+/// interned ids (core::tag_pool()), not strings — a probe never copies
+/// tag text on its way through the pipeline.
 struct ProbeObservations {
   std::uint32_t probe_id = 0;
-  std::vector<std::string> tags;
+  std::vector<TagId> tags;
   std::vector<Obs4> v4;
   std::vector<Obs6> v6;
 };

@@ -14,6 +14,13 @@ namespace dynamips::core {
 
 namespace {
 
+/// Study structs expose std::map; the analyzers accumulate into FlatMap.
+/// FlatMap iterates in key order, so this is a linear in-order build.
+template <class K, class V, class C>
+std::map<K, V> to_std_map(const stats::FlatMap<K, V, C>& fm) {
+  return std::map<K, V>(fm.begin(), fm.end());
+}
+
 /// One shard's private analyzer set for the Atlas study. The metrics sink
 /// is part of the shard state and merges through the same ordered
 /// reduction, so counter totals are independent of the thread count.
@@ -517,8 +524,8 @@ Expected<AtlasStudy> run_atlas_study_supervised(
   }
 
   study.sanitize = root.sanitizer.stats();
-  study.durations = root.durations.by_as();
-  study.spatial = root.spatial.by_as();
+  study.durations = to_std_map(root.durations.by_as());
+  study.spatial = to_std_map(root.spatial.by_as());
   study.subscriber_inference = root.inference.take_subscriber();
   study.pool_inference = root.inference.take_pools();
 
@@ -817,8 +824,8 @@ Expected<AtlasStudy> run_atlas_study_from_files(
   }
 
   study.sanitize = root.sanitizer.stats();
-  study.durations = root.durations.by_as();
-  study.spatial = root.spatial.by_as();
+  study.durations = to_std_map(root.durations.by_as());
+  study.spatial = to_std_map(root.spatial.by_as());
   study.subscriber_inference = root.inference.take_subscriber();
   study.pool_inference = root.inference.take_pools();
 

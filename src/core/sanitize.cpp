@@ -69,24 +69,31 @@ void Sanitizer::save(io::ckpt::Writer& w) const { stats_.save(w); }
 bool Sanitizer::load(io::ckpt::Reader& r) { return stats_.load(r); }
 
 Sanitizer::Sanitizer(const bgp::Rib& rib, SanitizeOptions options)
-    : rib_(rib), options_(std::move(options)) {}
+    : rib_(rib), options_(std::move(options)) {
+  bad_tag_ids_.reserve(options_.bad_tags.size());
+  for (const std::string& bad : options_.bad_tags)
+    bad_tag_ids_.push_back(tag_pool().intern(bad));
+  std::sort(bad_tag_ids_.begin(), bad_tag_ids_.end());
+}
 
 std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
   ++stats_.probes_seen;
 
-  // 1. Disqualifying tags.
-  for (const auto& tag : probe.tags) {
-    for (const auto& bad : options_.bad_tags) {
-      if (tag == bad) {
-        ++stats_.dropped_bad_tag;
-        return {};
-      }
+  // 1. Disqualifying tags (interned: integer membership test).
+  for (TagId tag : probe.tags) {
+    if (std::binary_search(bad_tag_ids_.begin(), bad_tag_ids_.end(), tag)) {
+      ++stats_.dropped_bad_tag;
+      return {};
     }
   }
 
+  // All intermediate vectors live in the shard's bump arena: steady state
+  // does no heap allocation per probe.
+  arena_.reset();
+
   // 2. Strip the RIPE pre-deployment test address.
   const net::IPv4Address test_addr = atlas::ripe_test_address();
-  std::vector<Obs4> v4;
+  ArenaVector<Obs4> v4{ArenaAllocator<Obs4>(arena_)};
   v4.reserve(probe.v4.size());
   for (const auto& o : probe.v4) {
     if (o.addr == test_addr) {
@@ -115,19 +122,55 @@ std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
     }
   }
 
-  // 4. AS attribution. Merge both families chronologically and compress the
-  // ASN sequence into runs; alternation (more runs than a single switch can
-  // produce) marks the probe multihomed, while a clean A->B sequence splits
-  // the probe into virtual probes.
+  // 4. AS attribution. asn_of() is a pure function and consecutive
+  // observations almost always repeat the previous address, so a one-entry
+  // memo per family removes nearly every trie lookup; the attributed ASNs
+  // are kept per observation so the emit step below never re-queries the
+  // RIB. Merge both families chronologically and compress the ASN sequence
+  // into runs; alternation (more runs than a single switch can produce)
+  // marks the probe multihomed, while a clean A->B sequence splits the
+  // probe into virtual probes.
+  ArenaVector<bgp::Asn> asn4{ArenaAllocator<bgp::Asn>(arena_)};
+  asn4.reserve(v4.size());
+  {
+    net::IPv4Address memo_addr;
+    bgp::Asn memo_asn = 0;
+    bool have_memo = false;
+    for (const auto& o : v4) {
+      if (!have_memo || !(o.addr == memo_addr)) {
+        memo_addr = o.addr;
+        memo_asn = rib_.asn_of(o.addr);
+        have_memo = true;
+      }
+      asn4.push_back(memo_asn);
+    }
+  }
+  ArenaVector<bgp::Asn> asn6{ArenaAllocator<bgp::Asn>(arena_)};
+  asn6.reserve(probe.v6.size());
+  {
+    net::IPv6Address memo_addr;
+    bgp::Asn memo_asn = 0;
+    bool have_memo = false;
+    for (const auto& o : probe.v6) {
+      if (!have_memo || !(o.addr == memo_addr)) {
+        memo_addr = o.addr;
+        memo_asn = rib_.asn_of(o.addr);
+        have_memo = true;
+      }
+      asn6.push_back(memo_asn);
+    }
+  }
+
   struct Tagged {
     Hour hour;
     bgp::Asn asn;
   };
-  std::vector<Tagged> tagged;
+  ArenaVector<Tagged> tagged{ArenaAllocator<Tagged>(arena_)};
   tagged.reserve(v4.size() + probe.v6.size());
-  for (const auto& o : v4) tagged.push_back({o.hour, rib_.asn_of(o.addr)});
-  for (const auto& o : probe.v6)
-    tagged.push_back({o.hour, rib_.asn_of(o.addr)});
+  for (std::size_t i = 0; i < v4.size(); ++i)
+    tagged.push_back({v4[i].hour, asn4[i]});
+  for (std::size_t i = 0; i < probe.v6.size(); ++i)
+    tagged.push_back({probe.v6[i].hour, asn6[i]});
   std::sort(tagged.begin(), tagged.end(),
             [](const Tagged& a, const Tagged& b) { return a.hour < b.hour; });
   // Drop unrouted observations (addresses outside any announcement).
@@ -143,7 +186,7 @@ std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
     bgp::Asn asn;
     Hour first, last;
   };
-  std::vector<Run> runs;
+  ArenaVector<Run> runs{ArenaAllocator<Run>(arena_)};
   for (const auto& t : tagged) {
     if (runs.empty() || runs.back().asn != t.asn) {
       runs.push_back({t.asn, t.hour, t.hour});
@@ -156,7 +199,8 @@ std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
     return {};
   }
 
-  // 5. Emit one CleanProbe per AS run, each long enough to analyze.
+  // 5. Emit one CleanProbe per AS run, each long enough to analyze. The
+  // per-observation ASNs from step 4 stand in for the former re-lookups.
   std::vector<CleanProbe> out;
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];
@@ -170,14 +214,16 @@ std::vector<CleanProbe> Sanitizer::sanitize(const ProbeObservations& probe) {
     cp.asn = run.asn;
     cp.first_hour = run.first;
     cp.last_hour = run.last;
-    for (const auto& o : v4) {
+    for (std::size_t j = 0; j < v4.size(); ++j) {
+      const Obs4& o = v4[j];
       if (o.hour < run.first || o.hour > run.last) continue;
-      if (rib_.asn_of(o.addr) != run.asn) continue;
+      if (asn4[j] != run.asn) continue;
       cp.v4.push_back(o);
     }
-    for (const auto& o : probe.v6) {
+    for (std::size_t j = 0; j < probe.v6.size(); ++j) {
+      const Obs6& o = probe.v6[j];
       if (o.hour < run.first || o.hour > run.last) continue;
-      if (rib_.asn_of(o.addr) != run.asn) continue;
+      if (asn6[j] != run.asn) continue;
       cp.v6.push_back(o);
     }
     out.push_back(std::move(cp));

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bgp/rib.h"
+#include "core/arena.h"
+#include "core/intern.h"
 #include "core/observations.h"
 #include "obs/metrics.h"
 
@@ -127,6 +130,8 @@ class Sanitizer {
   const bgp::Rib& rib_;
   SanitizeOptions options_;
   SanitizeStats stats_;
+  std::vector<TagId> bad_tag_ids_;  ///< options_.bad_tags, interned + sorted
+  MonotonicArena arena_;            ///< per-call scratch (reset each probe)
 };
 
 }  // namespace dynamips::core

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <limits>
 
 namespace dynamips::core {
 
@@ -30,8 +31,18 @@ void ShutdownToken::arm_deadline_seconds(double seconds) noexcept {
     deadline_ns_.store(0, std::memory_order_relaxed);
     return;
   }
-  deadline_ns_.store(steady_now_ns() + std::uint64_t(seconds * 1e9),
-                     std::memory_order_relaxed);
+  // Clamp before converting: for large deadlines `seconds * 1e9` exceeds
+  // the uint64 range and the double->uint64 conversion is UB (in practice
+  // it wrapped to a deadline in the past, firing the shutdown instantly).
+  // Saturate the product and the addition so a huge --deadline-seconds
+  // means "effectively never" instead.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  double product_ns = seconds * 1e9;
+  std::uint64_t delta =
+      product_ns >= double(kMax) ? kMax : std::uint64_t(product_ns);
+  std::uint64_t now = steady_now_ns();
+  std::uint64_t deadline = delta > kMax - now ? kMax : now + delta;
+  deadline_ns_.store(deadline, std::memory_order_relaxed);
 }
 
 ShutdownToken& global_shutdown_token() {

@@ -1,7 +1,6 @@
 #include "core/spatial.h"
 
-#include <set>
-#include <unordered_set>
+#include <algorithm>
 #include <utility>
 
 #include "io/checkpoint.h"
@@ -120,24 +119,45 @@ void SpatialAnalyzer::add_probe(const CleanProbe& probe) {
     if (probe_saw_cpl[std::size_t(c)]) ++as.cpl.probes[std::size_t(c)];
 
   // Fig. 8: unique prefixes per aggregation length. Only meaningful for
-  // probes that observed any v6 at all.
+  // probes that observed any v6 at all. Unique counts are set cardinalities
+  // (order-independent), so sorted scratch vectors in the shard arena
+  // replace the former per-call hash/tree sets without changing a single
+  // count.
   if (!spans6.empty()) {
-    std::unordered_set<std::uint64_t> nets;
-    for (const auto& s : spans6) nets.insert(s.net64);
+    arena_.reset();
+    ArenaVector<std::uint64_t> nets{ArenaAllocator<std::uint64_t>(arena_)};
+    nets.reserve(spans6.size());
+    for (const auto& s : spans6) nets.push_back(s.net64);
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+    ArenaVector<std::uint64_t> prefixes{ArenaAllocator<std::uint64_t>(arena_)};
+    prefixes.reserve(nets.size());
     for (int len : kFig8Lengths) {
-      std::unordered_set<std::uint64_t> uniq;
-      for (std::uint64_t n : nets)
-        uniq.insert(len == 64 ? n : (n >> (64 - len)));
-      as.unique_prefixes[len].push_back(std::uint32_t(uniq.size()));
+      if (len == 64) {
+        as.unique_prefixes[len].push_back(std::uint32_t(nets.size()));
+        continue;
+      }
+      prefixes.clear();
+      for (std::uint64_t n : nets) prefixes.push_back(n >> (64 - len));
+      std::sort(prefixes.begin(), prefixes.end());
+      auto uniq_end = std::unique(prefixes.begin(), prefixes.end());
+      as.unique_prefixes[len].push_back(
+          std::uint32_t(uniq_end - prefixes.begin()));
     }
-    std::set<std::pair<std::uint64_t, int>> bgp_keys;
+
+    ArenaVector<std::pair<std::uint64_t, int>> bgp_keys{
+        ArenaAllocator<std::pair<std::uint64_t, int>>(arena_)};
+    bgp_keys.reserve(nets.size());
     for (std::uint64_t n : nets) {
       auto r = rib_.lookup(net::IPv6Address{n, 0});
       if (r)
-        bgp_keys.insert({r->prefix.address().network64(),
-                         r->prefix.length()});
+        bgp_keys.push_back({r->prefix.address().network64(),
+                            r->prefix.length()});
     }
-    as.unique_bgp.push_back(std::uint32_t(bgp_keys.size()));
+    std::sort(bgp_keys.begin(), bgp_keys.end());
+    auto bgp_end = std::unique(bgp_keys.begin(), bgp_keys.end());
+    as.unique_bgp.push_back(std::uint32_t(bgp_end - bgp_keys.begin()));
   }
 }
 

@@ -8,12 +8,13 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "bgp/rib.h"
+#include "core/arena.h"
 #include "core/changes.h"
 #include "core/sanitize.h"
+#include "stats/flatmap.h"
 
 namespace dynamips::io::ckpt {
 class Writer;
@@ -60,8 +61,9 @@ struct AsSpatialStats {
   std::uint64_t v6_diff_bgp = 0;
 
   /// Fig. 8: per aggregation length, one entry per probe = number of unique
-  /// prefixes of that length the probe observed.
-  std::map<int, std::vector<std::uint32_t>> unique_prefixes;
+  /// prefixes of that length the probe observed. FlatMap iterates lengths
+  /// ascending, exactly like the std::map it replaced.
+  stats::FlatMap<int, std::vector<std::uint32_t>> unique_prefixes;
   std::vector<std::uint32_t> unique_bgp;  ///< unique v6 BGP prefixes/probe
 
   double pct_v4_diff_24() const {
@@ -115,11 +117,14 @@ class SpatialAnalyzer {
   void save(io::ckpt::Writer& w) const;
   bool load(io::ckpt::Reader& r);
 
-  const std::map<bgp::Asn, AsSpatialStats>& by_as() const { return by_as_; }
+  const stats::FlatMap<bgp::Asn, AsSpatialStats>& by_as() const {
+    return by_as_;
+  }
 
  private:
   const bgp::Rib& rib_;
-  std::map<bgp::Asn, AsSpatialStats> by_as_;
+  stats::FlatMap<bgp::Asn, AsSpatialStats> by_as_;
+  MonotonicArena arena_;  ///< per-call scratch for the Fig. 8 dedup
 };
 
 }  // namespace dynamips::core

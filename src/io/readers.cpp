@@ -278,9 +278,9 @@ void EchoReader::note_probe(std::uint32_t probe_id) {
   if (known_probes_.insert(probe_id).second) probe_order_.push_back(probe_id);
 }
 
-const std::vector<std::string>& EchoReader::tags_for(
+const std::vector<core::TagId>& EchoReader::tags_for(
     std::uint32_t probe_id) const {
-  static const std::vector<std::string> kNone;
+  static const std::vector<core::TagId> kNone;
   auto it = tags_.find(probe_id);
   return it == tags_.end() ? kNone : it->second;
 }
@@ -312,7 +312,7 @@ void EchoReader::handle_meta(std::string_view line) {
       while (!rest.empty()) {
         std::size_t semi = rest.find(';');
         std::string_view tag = rest.substr(0, semi);
-        if (!tag.empty()) tags.emplace_back(tag);
+        if (!tag.empty()) tags.push_back(core::tag_pool().intern(tag));
         if (semi == std::string_view::npos) break;
         rest.remove_prefix(semi + 1);
       }
@@ -540,7 +540,7 @@ void write_echo_dataset(std::ostream& os,
       os << "#tags," << series.meta.probe_id << ',';
       for (std::size_t i = 0; i < series.meta.tags.size(); ++i) {
         if (i) os << ';';
-        os << series.meta.tags[i];
+        os << core::tag_pool().name_of(series.meta.tags[i]);
       }
       os << '\n';
     }

@@ -212,8 +212,9 @@ class EchoReader {
   const std::vector<std::uint32_t>& probe_order() const {
     return probe_order_;
   }
-  /// Tags declared for a probe via "#tags" lines (empty when none).
-  const std::vector<std::string>& tags_for(std::uint32_t probe_id) const;
+  /// Tags declared for a probe via "#tags" lines (empty when none),
+  /// interned through core::tag_pool().
+  const std::vector<core::TagId>& tags_for(std::uint32_t probe_id) const;
 
  private:
   void handle_meta(std::string_view line);
@@ -224,7 +225,7 @@ class EchoReader {
   std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>> seen_;
   std::vector<std::uint32_t> probe_order_;
   std::unordered_set<std::uint32_t> known_probes_;
-  std::unordered_map<std::uint32_t, std::vector<std::string>> tags_;
+  std::unordered_map<std::uint32_t, std::vector<core::TagId>> tags_;
 };
 
 /// Streaming reader for the association schema

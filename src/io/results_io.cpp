@@ -72,8 +72,10 @@ void write_assoc_durations_csv(std::ostream& os,
                                const core::CdnStudy& study) {
   os << "asn,name,mobile,duration_days\n";
   for (const auto& [asn, stats] : study.analyzer.by_asn()) {
+    static const std::string kUnknown = "?";
     auto it = study.asn_names.find(asn);
-    const std::string name = it == study.asn_names.end() ? "?" : it->second;
+    const std::string& name =
+        it == study.asn_names.end() ? kUnknown : it->second;
     for (double d : stats.durations_days)
       os << asn << ',' << name << ',' << (stats.mobile ? 1 : 0) << ',' << d
          << '\n';

@@ -10,46 +10,71 @@ namespace dynamips::stats {
 
 /// Accumulates samples, then answers CDF / quantile queries. Used for the
 /// CDN association-duration curves (Fig. 2) and unique-prefix CDFs (Fig. 8).
+///
+/// Sorting is eager, never lazy: merge() and finalize() sort in place, and
+/// the const accessors never mutate (an earlier revision sorted `mutable`
+/// state from const accessors, which raced when a finalized ECDF was read
+/// from several threads). Querying an unfinalized accumulator still returns
+/// exact answers via non-mutating fallbacks; call finalize() once after the
+/// last add() to get the O(log n) sorted paths.
 class Ecdf {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+  }
   void add_n(double x, std::size_t n) {
     samples_.insert(samples_.end(), n, x);
-    sorted_ = false;
+    sorted_ = samples_.size() <= n;
   }
 
   /// Absorb another accumulator's samples (shard reduction). Queries are
   /// order-independent, so merging in any order yields the same CDF.
+  /// Sorts eagerly: a merged ECDF is always safe for concurrent reads.
   void merge(const Ecdf& other) {
     if (other.samples_.empty()) return;
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sorted_ = false;
+    finalize();
   }
+
+  /// Sort the sample buffer; afterwards all accessors take the fast sorted
+  /// paths and concurrent const reads share immutable state.
+  void finalize() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  bool finalized() const { return sorted_; }
 
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
   /// Fraction of samples <= x.
   double at(double x) const {
-    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      // Unfinalized: count linearly instead of sorting under the caller.
+      std::size_t c = 0;
+      for (double s : samples_) c += (s <= x);
+      return double(c) / double(samples_.size());
+    }
     auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
-    return samples_.empty()
-               ? 0.0
-               : double(it - samples_.begin()) / double(samples_.size());
+    return double(it - samples_.begin()) / double(samples_.size());
   }
 
   /// Value below which a fraction q of samples fall (inverse CDF).
   double quantile(double q) const {
-    ensure_sorted();
     if (samples_.empty()) return 0.0;
-    if (q <= 0) return samples_.front();
-    if (q >= 1) return samples_.back();
-    double pos = q * double(samples_.size() - 1);
-    std::size_t i = std::size_t(pos);
-    double frac = pos - double(i);
-    if (i + 1 >= samples_.size()) return samples_.back();
-    return samples_[i] * (1 - frac) + samples_[i + 1] * frac;
+    if (!sorted_) {
+      // Unfinalized: sort a local copy rather than mutating shared state.
+      std::vector<double> copy(samples_);
+      std::sort(copy.begin(), copy.end());
+      return quantile_of(copy, q);
+    }
+    return quantile_of(samples_, q);
   }
 
   /// Evaluate the CDF at each threshold; handy for printing curves.
@@ -60,21 +85,22 @@ class Ecdf {
     return out;
   }
 
-  const std::vector<double>& samples() const {
-    ensure_sorted();
-    return samples_;
-  }
+  /// The sample buffer: insertion-ordered before finalize(), sorted after.
+  const std::vector<double>& samples() const { return samples_; }
 
  private:
-  void ensure_sorted() const {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
+  static double quantile_of(const std::vector<double>& sorted, double q) {
+    if (q <= 0) return sorted.front();
+    if (q >= 1) return sorted.back();
+    double pos = q * double(sorted.size() - 1);
+    std::size_t i = std::size_t(pos);
+    double frac = pos - double(i);
+    if (i + 1 >= sorted.size()) return sorted.back();
+    return sorted[i] * (1 - frac) + sorted[i + 1] * frac;
   }
 
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
+  bool sorted_ = true;
 };
 
 }  // namespace dynamips::stats

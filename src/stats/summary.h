@@ -2,11 +2,41 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace dynamips::stats {
+
+/// Process-wide count of NaN samples dropped by the summary helpers.
+/// NaN has no place in a strict weak ordering: sorting a NaN-bearing
+/// vector is undefined behaviour and quantiles over it silently come out
+/// NaN. The helpers filter NaN out instead and count every drop here, so
+/// the pipeline can surface the count as a `stats.nan_dropped` metric
+/// rather than lose data invisibly.
+inline std::atomic<std::uint64_t>& nan_dropped_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline std::uint64_t nan_dropped() {
+  return nan_dropped_counter().load(std::memory_order_relaxed);
+}
+
+/// Remove NaN entries in place (preserving order) and account for them in
+/// nan_dropped(). Returns the number removed.
+inline std::size_t drop_nan(std::vector<double>& xs) {
+  auto keep = std::remove_if(xs.begin(), xs.end(),
+                             [](double x) { return std::isnan(x); });
+  std::size_t dropped = std::size_t(xs.end() - keep);
+  if (dropped) {
+    xs.erase(keep, xs.end());
+    nan_dropped_counter().fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return dropped;
+}
 
 /// Arithmetic mean; 0 for an empty span.
 inline double mean(std::span<const double> xs) {
@@ -16,7 +46,8 @@ inline double mean(std::span<const double> xs) {
   return s / double(xs.size());
 }
 
-/// Linear-interpolated quantile of *sorted* data, q in [0,1].
+/// Linear-interpolated quantile of *sorted* data, q in [0,1]. The data
+/// must be NaN-free (quantile() and BoxStats::of filter before sorting).
 inline double quantile_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) return 0.0;
   if (q <= 0) return sorted.front();
@@ -28,8 +59,9 @@ inline double quantile_sorted(std::span<const double> sorted, double q) {
   return sorted[i] * (1 - frac) + sorted[i + 1] * frac;
 }
 
-/// Quantile of unsorted data (copies and sorts).
+/// Quantile of unsorted data (copies, drops NaN, and sorts).
 inline double quantile(std::vector<double> xs, double q) {
+  drop_nan(xs);
   std::sort(xs.begin(), xs.end());
   return quantile_sorted(xs, q);
 }
@@ -39,13 +71,15 @@ inline double median(std::vector<double> xs) {
 }
 
 /// Five-number box summary (Fig. 3 style): whiskers at p5/p95, box at the
-/// inner quartiles, line at the median.
+/// inner quartiles, line at the median. NaN samples are dropped (and
+/// counted in nan_dropped()) before sorting; n reflects the kept samples.
 struct BoxStats {
   double p5 = 0, q1 = 0, median = 0, q3 = 0, p95 = 0;
   std::size_t n = 0;
 
   static BoxStats of(std::vector<double> xs) {
     BoxStats b;
+    drop_nan(xs);
     b.n = xs.size();
     if (xs.empty()) return b;
     std::sort(xs.begin(), xs.end());

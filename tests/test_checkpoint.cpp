@@ -414,6 +414,20 @@ TEST(Shutdown, DeadlineTrips) {
   EXPECT_FALSE(token.requested());
 }
 
+// Regression: seconds * 1e9 used to overflow the ns conversion for large
+// values (UB on float->integer casts out of range), which could arm an
+// already-expired deadline. Huge deadlines must clamp and never trip.
+TEST(Shutdown, HugeDeadlineClampsInsteadOfOverflowing) {
+  core::ShutdownToken token;
+  for (double secs : {1e10, 1e18, 1e30, 1e300}) {
+    token.clear();
+    token.arm_deadline_seconds(secs);
+    EXPECT_FALSE(token.requested()) << "seconds=" << secs;
+  }
+  token.arm_deadline_seconds(0);
+  token.clear();
+}
+
 // ------------------------------------------- end-to-end interrupt & resume
 //
 // The acceptance criterion of the crash-safety work: interrupt the study at

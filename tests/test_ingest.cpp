@@ -118,7 +118,8 @@ TEST(Status, ExpectedCarriesValueOrStatus) {
 TEST(Ingest, EchoDatasetRoundTripKeepsTagsAndEmptyProbes) {
   std::vector<atlas::ProbeSeries> dataset(3);
   dataset[0].meta.probe_id = 11;
-  dataset[0].meta.tags = {"system-anchor", "datacentre"};
+  dataset[0].meta.tags = {core::tag_pool().intern("system-anchor"),
+                          core::tag_pool().intern("datacentre")};
   for (int h = 0; h < 4; ++h) {
     atlas::EchoRecord r;
     r.probe_id = 11;
@@ -150,7 +151,8 @@ TEST(Ingest, EchoDatasetRoundTripKeepsTagsAndEmptyProbes) {
   ASSERT_EQ(loaded->size(), 3u);
   EXPECT_EQ((*loaded)[0].meta.probe_id, 11u);
   EXPECT_EQ((*loaded)[0].meta.tags,
-            (std::vector<std::string>{"system-anchor", "datacentre"}));
+            (std::vector<core::TagId>{core::tag_pool().intern("system-anchor"),
+                                      core::tag_pool().intern("datacentre")}));
   ASSERT_EQ((*loaded)[0].records.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ((*loaded)[0].records[i].hour, dataset[0].records[i].hour);
@@ -409,7 +411,8 @@ TEST(FileStudy, AtlasExportReingestsToIdenticalResults) {
   gen_cfg.threads = 1;
   auto isps = simnet::paper_isps();
   isps.resize(3);
-  const std::string want = atlas_signature(core::run_atlas_study(isps, gen_cfg));
+  const std::string want =
+      atlas_signature(core::run_atlas_study(isps, gen_cfg));
 
   atlas::AtlasSimulator sim(isps, gen_cfg.atlas);
   std::vector<atlas::ProbeSeries> dataset;

@@ -10,9 +10,11 @@
 //    threads=4 produce identical results, down to vector element order.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "atlas/generator.h"
@@ -125,10 +127,35 @@ TEST(MergeAccumulators, Ecdf) {
   for (double x : {5.0, 1.0, 3.0, 9.0, 2.0, 2.0}) full.add(x);
   for (double x : {5.0, 1.0, 3.0}) a.add(x);
   for (double x : {9.0, 2.0, 2.0}) b.add(x);
-  a.merge(b);
+  a.merge(b);  // merge finalizes: samples come back sorted
+  full.finalize();
   EXPECT_EQ(a.samples(), full.samples());
   a.merge(stats::Ecdf{});  // merging an empty ECDF is a no-op
   EXPECT_EQ(a.size(), full.size());
+}
+
+// Regression for a data race: Ecdf::at/quantile used to sort the sample
+// buffer lazily under `mutable`, so two threads reading the same finalized
+// ECDF could both kick off a sort. Reads are now const-clean after
+// finalize(); this fails under TSAN if lazy mutation ever comes back.
+TEST(MergeAccumulators, EcdfConcurrentReadsAreConst) {
+  stats::Ecdf e;
+  for (int i = 1000; i > 0; --i) e.add(double(i));
+  e.finalize();
+  std::vector<std::thread> readers;
+  std::array<double, 8> got{};
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    readers.emplace_back([&, t] {
+      double acc = 0;
+      for (int i = 0; i < 1000; ++i) {
+        acc += e.quantile(0.5);
+        acc += e.at(250.0);
+      }
+      got[t] = acc;
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (double g : got) EXPECT_EQ(g, got[0]);
 }
 
 TEST(MergeAccumulators, LogHistogram) {

@@ -26,7 +26,7 @@ bgp::Rib test_rib() {
 ProbeObservations clean_probe(Hour hours, std::uint32_t id = 1) {
   ProbeObservations p;
   p.probe_id = id;
-  p.tags = {"home"};
+  p.tags = {tag_pool().intern("home")};
   for (Hour h = 0; h < hours; ++h) {
     p.v4.push_back({h, *IPv4Address::parse("10.1.2.3"), false});
     p.v6.push_back({h, *IPv6Address::parse("2001:100:0:5::1"), true});
@@ -59,7 +59,7 @@ TEST(Sanitize, DropsBadTags) {
   for (const char* tag :
        {"datacentre", "core", "system-anchor", "multihomed"}) {
     auto p = clean_probe(2000);
-    p.tags.push_back(tag);
+    p.tags.push_back(tag_pool().intern(tag));
     EXPECT_TRUE(s.sanitize(p).empty()) << tag;
   }
   EXPECT_EQ(s.stats().dropped_bad_tag, 4u);
@@ -186,7 +186,7 @@ TEST(Sanitize, StatsAccumulateAcrossProbes) {
 TEST(Sanitize, FromSeriesConversion) {
   atlas::ProbeSeries series;
   series.meta.probe_id = 77;
-  series.meta.tags = {"home"};
+  series.meta.tags = {tag_pool().intern("home")};
   atlas::EchoRecord r4;
   r4.probe_id = 77;
   r4.hour = 5;

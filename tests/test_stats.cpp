@@ -45,6 +45,35 @@ TEST(Summary, BoxStatsEmpty) {
   EXPECT_EQ(b.median, 0.0);
 }
 
+// Regression: NaN used to flow straight into std::sort (UB — NaN breaks
+// the strict weak ordering) and silently turned every quantile into NaN.
+// The helpers now drop NaN samples and count them.
+TEST(Summary, QuantileDropsNaN) {
+  const double nan = std::nan("");
+  std::uint64_t before = nan_dropped();
+  std::vector<double> xs{nan, 0.0, nan, 10.0, nan};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_EQ(nan_dropped() - before, 6u);  // 3 per quantile() call
+}
+
+TEST(Summary, BoxStatsDropsNaN) {
+  const double nan = std::nan("");
+  std::uint64_t before = nan_dropped();
+  std::vector<double> xs{nan, 1.0, 2.0, 3.0, nan};
+  auto b = BoxStats::of(xs);
+  EXPECT_EQ(b.n, 3u);  // n reflects kept samples only
+  EXPECT_DOUBLE_EQ(b.median, 2.0);
+  EXPECT_FALSE(std::isnan(b.p5));
+  EXPECT_FALSE(std::isnan(b.p95));
+  EXPECT_EQ(nan_dropped() - before, 2u);
+
+  // All-NaN input degrades to the empty summary, not NaN fields.
+  auto empty = BoxStats::of({nan, nan});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_EQ(empty.median, 0.0);
+}
+
 // ------------------------------------------------------------------- ecdf --
 
 TEST(Ecdf, BasicCdf) {

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Gate a DynamIPs bench throughput document against a checked-in baseline.
+
+Usage:
+  check_bench.py CANDIDATE BASELINE [--tolerance=R] [--verbose]
+  check_bench.py CANDIDATE BASELINE --update
+
+The candidate is a document written by `dynamips_study --bench-out`
+(schema "dynamips.bench.v1"). Unlike the counters check_metrics.py
+gates, these are wall-clock throughput measurements, so the comparison
+is one-sided and tolerant:
+
+  * schema strings must match exactly;
+  * the run parameters (scale, seed, window_hours, threads) must match
+    the baseline's — throughput at a different scale or thread count is
+    not comparable, and the gate fails loudly rather than comparing
+    apples to oranges;
+  * every metric under "metrics" in the baseline must be present in the
+    candidate and must not fall below baseline * (1 - tolerance). The
+    default tolerance is 15% (override per baseline with a "tolerance"
+    field, or per invocation with --tolerance=R). Faster-than-baseline
+    is never a failure — ratchet the baseline forward with --update
+    when an optimization lands.
+
+`--update` rewrites BASELINE's meta/counts/wall_s/metrics from
+CANDIDATE, preserving the baseline's tolerance.
+
+Exit status: 0 on pass, 1 on regression/mismatch, 2 on usage errors.
+Stdlib-only by design (runs in bare CI containers).
+"""
+
+import json
+import sys
+
+SCHEMA = "dynamips.bench.v1"
+DEFAULT_TOLERANCE = 0.15
+META_KEYS = ("scale", "seed", "window_hours", "threads")
+
+
+def fail(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    return 2
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check(candidate, baseline, tolerance, verbose=False):
+    problems = []
+
+    for doc, which in ((candidate, "candidate"), (baseline, "baseline")):
+        if doc.get("schema") != SCHEMA:
+            problems.append(
+                f"{which} schema {doc.get('schema')!r} != {SCHEMA!r}")
+    if problems:
+        return problems
+
+    cmeta = candidate.get("meta", {})
+    bmeta = baseline.get("meta", {})
+    for key in META_KEYS:
+        if cmeta.get(key) != bmeta.get(key):
+            problems.append(
+                f"meta.{key}: candidate has {cmeta.get(key)!r}, baseline "
+                f"expects {bmeta.get(key)!r} — throughput is only "
+                f"comparable at identical run parameters")
+    if problems:
+        return problems
+
+    got = candidate.get("metrics", {})
+    for name, want in sorted(baseline.get("metrics", {}).items()):
+        if name not in got:
+            problems.append(f"{name}: missing from candidate metrics")
+            continue
+        floor = want * (1.0 - tolerance)
+        if got[name] < floor:
+            drop = 1.0 - got[name] / want if want else 1.0
+            problems.append(
+                f"{name}: got {got[name]:.1f}, baseline {want:.1f} "
+                f"(-{drop:.1%}, tolerance {tolerance:.0%})")
+        elif verbose:
+            print(f"  ok {name}: {got[name]:.1f} "
+                  f"(baseline {want:.1f}, floor {floor:.1f})")
+
+    return problems
+
+
+def update_baseline(candidate, baseline_path):
+    try:
+        baseline = load(baseline_path)
+    except (OSError, ValueError):
+        baseline = {}
+    tolerance = baseline.get("tolerance", DEFAULT_TOLERANCE)
+    baseline = {
+        "schema": SCHEMA,
+        "meta": {k: candidate.get("meta", {}).get(k) for k in META_KEYS},
+        "tolerance": tolerance,
+        "counts": candidate.get("counts", {}),
+        "wall_s": candidate.get("wall_s", {}),
+        "metrics": candidate.get("metrics", {}),
+    }
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"updated {baseline_path} "
+          f"({len(baseline['metrics'])} gated metrics)")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    tolerance_override = None
+    for flag in list(flags):
+        if flag.startswith("--tolerance="):
+            try:
+                tolerance_override = float(flag[len("--tolerance="):])
+            except ValueError:
+                return fail(f"bad tolerance {flag!r}")
+            flags.remove(flag)
+    unknown = flags - {"--verbose", "--update"}
+    usage = (__doc__.strip().splitlines()[0] +
+             "\nusage: check_bench.py CANDIDATE BASELINE "
+             "[--tolerance=R] [--verbose|--update]")
+    if unknown or len(args) != 2:
+        return fail(usage)
+
+    candidate_path, baseline_path = args
+    try:
+        candidate = load(candidate_path)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read candidate {candidate_path}: {exc}")
+
+    if "--update" in flags:
+        update_baseline(candidate, baseline_path)
+        return 0
+
+    try:
+        baseline = load(baseline_path)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read baseline {baseline_path}: {exc}")
+
+    tolerance = tolerance_override
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+
+    problems = check(candidate, baseline, tolerance, "--verbose" in flags)
+    if problems:
+        print(f"check_bench: {candidate_path} fails:", file=sys.stderr)
+        for p in problems:
+            print(f"  FAIL {p}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {candidate_path} passes against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

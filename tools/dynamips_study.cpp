@@ -18,6 +18,13 @@
 // tools/check_metrics.py diffs such documents against checked-in
 // baselines. Counters are identical for every --threads value.
 //
+// With --bench-out a small throughput document (schema dynamips.bench.v1)
+// is written on success: per-study wall time and records/sec at the run's
+// (scale, seed, window, threads). tools/check_bench.py gates such
+// documents against bench/baselines/BENCH_*.json to catch throughput
+// regressions; unlike the metrics counters these values are wall-clock
+// measurements and are compared with a relative tolerance.
+//
 // --atlas-in / --cdn-in switch the corresponding study from the in-process
 // generator to real-data mode: exported CSV datasets are streamed through
 // the fault-tolerant readers (io/readers.h), malformed lines are counted
@@ -53,6 +60,7 @@
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
 #include "simnet/isp.h"
+#include "stats/summary.h"
 
 using namespace dynamips;
 
@@ -62,6 +70,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [output_dir] [--scale S] [--window HOURS] "
                "[--seed N] [--threads N] [--metrics-out FILE] "
+               "[--bench-out FILE] "
                "[--atlas-only|--cdn-only] "
                "[--atlas-in F[,F...]] [--cdn-in F[,F...]] "
                "[--quarantine-out FILE] [--max-reject-fraction R] "
@@ -123,7 +132,7 @@ int main(int argc, char** argv) {
   std::uint64_t window = 30000, seed = 1;
   unsigned threads = 0;  // 0 = hardware_concurrency
   bool atlas = true, cdn = true;
-  std::string metrics_out;
+  std::string metrics_out, bench_out;
   std::string atlas_in, cdn_in, quarantine_out;
   std::string checkpoint_out, resume_from;
   std::uint64_t checkpoint_every = 0;
@@ -149,6 +158,8 @@ int main(int argc, char** argv) {
       threads = unsigned(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--bench-out") {
+      bench_out = next();
     } else if (arg == "--atlas-in") {
       atlas_in = next();
     } else if (arg == "--cdn-in") {
@@ -256,6 +267,10 @@ int main(int argc, char** argv) {
     reader_opts.quarantine = &quarantine->stream();
   }
 
+  // Throughput accounting for --bench-out (filled by run_studies).
+  std::uint64_t atlas_probes = 0, cdn_tuples = 0;
+  double atlas_secs = 0, cdn_secs = 0;
+
   auto run_studies = [&]() -> int {
     if (atlas) {
       core::CheckpointConfig supervision;
@@ -315,6 +330,8 @@ int main(int argc, char** argv) {
                         .count();
       if (registry)
         registry->record_phase("study.atlas_wall", std::uint64_t(secs * 1e9));
+      atlas_probes = study.sanitize.probes_seen;
+      atlas_secs = secs;
       std::printf("  analyzed %llu probes in %.2fs\n",
                   (unsigned long long)study.sanitize.probes_seen, secs);
       bool wrote =
@@ -395,6 +412,9 @@ int main(int argc, char** argv) {
                         .count();
       if (registry)
         registry->record_phase("study.cdn_wall", std::uint64_t(secs * 1e9));
+      cdn_tuples =
+          study.analyzer.total_tuples() + study.analyzer.total_mismatched();
+      cdn_secs = secs;
       std::printf("  analyzed %llu tuples in %.2fs\n",
                   (unsigned long long)(study.analyzer.total_tuples() +
                                        study.analyzer.total_mismatched()),
@@ -434,6 +454,7 @@ int main(int argc, char** argv) {
   // partial counters (the checkpoint snapshot excludes them, so a resumed
   // run never double-counts).
   if (registry) {
+    registry->add_counter("stats.nan_dropped", stats::nan_dropped());
     registry->set_gauge("process.peak_rss_bytes",
                         double(obs::peak_rss_bytes()));
     obs::MetricsMeta meta;
@@ -448,6 +469,53 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 1;
     } else {
       std::printf("  wrote %s\n", metrics_out.c_str());
+    }
+  }
+
+  // Throughput document for tools/check_bench.py. Success only: a
+  // cancelled or failed run's wall time measures nothing.
+  if (rc == 0 && !bench_out.empty()) {
+    io::AtomicFileWriter bench(bench_out);
+    if (!bench.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+      rc = 1;
+    } else {
+      double total_secs = atlas_secs + cdn_secs;
+      std::uint64_t total_records = atlas_probes + cdn_tuples;
+      auto rate = [](double n, double secs) { return secs > 0 ? n / secs : 0; };
+      auto& os = bench.stream();
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof buf,
+          "{\n"
+          "  \"schema\": \"dynamips.bench.v1\",\n"
+          "  \"meta\": {\"binary\": \"dynamips_study\", \"scale\": %g, "
+          "\"seed\": %llu, \"window_hours\": %llu, \"threads\": %u},\n"
+          "  \"counts\": {\"atlas_probes\": %llu, \"cdn_tuples\": %llu, "
+          "\"nan_dropped\": %llu},\n"
+          "  \"wall_s\": {\"atlas\": %.3f, \"cdn\": %.3f, \"total\": %.3f},\n"
+          "  \"metrics\": {\n"
+          "    \"atlas_probes_per_sec\": %.1f,\n"
+          "    \"cdn_tuples_per_sec\": %.1f,\n"
+          "    \"records_per_sec\": %.1f\n"
+          "  }\n"
+          "}\n",
+          scale, (unsigned long long)seed, (unsigned long long)window,
+          effective, (unsigned long long)atlas_probes,
+          (unsigned long long)cdn_tuples,
+          (unsigned long long)stats::nan_dropped(), atlas_secs, cdn_secs,
+          total_secs, rate(double(atlas_probes), atlas_secs),
+          rate(double(cdn_tuples), cdn_secs),
+          rate(double(total_records), total_secs));
+      os << buf;
+      core::Status st = bench.commit();
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", bench_out.c_str(),
+                     st.message().c_str());
+        rc = 1;
+      } else {
+        std::printf("  wrote %s\n", bench_out.c_str());
+      }
     }
   }
 
