@@ -133,6 +133,21 @@ void CdnAnalyzer::merge(CdnAnalyzer&& other) {
   total_mismatched_ += other.total_mismatched_;
 }
 
+CdnSnapshot CdnAnalyzer::snapshot() const {
+  CdnSnapshot out;
+  out.by_asn_ = by_asn_;
+  out.registry_durations_ = registry_durations_;
+  out.degrees_ = degrees_;
+  out.zero_counts_ = zero_counts_;
+  for (int m = 0; m < 2; ++m) {
+    out.single_24_64s_[m] = single_24_64s_[m];
+    out.multi_24_64s_[m] = multi_24_64s_[m];
+  }
+  out.total_tuples_ = total_tuples_;
+  out.total_mismatched_ = total_mismatched_;
+  return out;
+}
+
 double CdnAnalyzer::fraction_64s_with_single_24(bool mobile) const {
   std::uint64_t s = single_24_64s_[mobile];
   std::uint64_t m = multi_24_64s_[mobile];

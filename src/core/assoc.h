@@ -69,6 +69,53 @@ struct RegistryClass {
   }
 };
 
+/// Finalized, read-only view of a CdnAnalyzer's accumulated results. The
+/// analyzer itself is non-copyable (it owns a scratch arena) and its
+/// accumulation is append-ordered, so streaming snapshots copy the result
+/// state out into this plain value: default-constructible, copyable, and
+/// mirroring the analyzer's accessor surface so result emission
+/// (io/results_io.h) and the benches work on either. Taking a snapshot
+/// does not consume the analyzer — later add_log() calls keep
+/// accumulating and a later snapshot reflects them.
+class CdnSnapshot {
+ public:
+  CdnSnapshot() = default;
+
+  const stats::FlatMap<bgp::Asn, AsnAssocStats>& by_asn() const {
+    return by_asn_;
+  }
+  const stats::FlatMap<RegistryClass, std::vector<double>>&
+  registry_durations() const {
+    return registry_durations_;
+  }
+  const std::vector<std::pair<std::uint32_t, bool>>& degrees() const {
+    return degrees_;
+  }
+  const stats::FlatMap<RegistryClass, ZeroBoundaryCounts>& zero_counts()
+      const {
+    return zero_counts_;
+  }
+  double fraction_64s_with_single_24(bool mobile) const {
+    std::uint64_t s = single_24_64s_[mobile];
+    std::uint64_t m = multi_24_64s_[mobile];
+    return (s + m) ? double(s) / double(s + m) : 0.0;
+  }
+  std::uint64_t total_tuples() const { return total_tuples_; }
+  std::uint64_t total_mismatched() const { return total_mismatched_; }
+
+ private:
+  friend class CdnAnalyzer;
+
+  stats::FlatMap<bgp::Asn, AsnAssocStats> by_asn_;
+  stats::FlatMap<RegistryClass, std::vector<double>> registry_durations_;
+  std::vector<std::pair<std::uint32_t, bool>> degrees_;
+  stats::FlatMap<RegistryClass, ZeroBoundaryCounts> zero_counts_;
+  std::uint64_t single_24_64s_[2] = {0, 0};
+  std::uint64_t multi_24_64s_[2] = {0, 0};
+  std::uint64_t total_tuples_ = 0;
+  std::uint64_t total_mismatched_ = 0;
+};
+
 /// Streaming CDN analyzer. Feed one AssociationLog at a time; per-log
 /// working state is discarded after each call, so the multi-billion-tuple
 /// scale of the real dataset is handled by construction.
@@ -123,6 +170,12 @@ class CdnAnalyzer {
 
   std::uint64_t total_tuples() const { return total_tuples_; }
   std::uint64_t total_mismatched() const { return total_mismatched_; }
+
+  /// Copy the accumulated results into a finalized read-only view
+  /// (core/parallel.h SnapshotAnalyzer). The accumulation is purely
+  /// append-ordered, so the copy is already canonical; the analyzer keeps
+  /// accepting logs afterwards.
+  CdnSnapshot snapshot() const;
 
  private:
   AssocOptions options_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "bgp/rib.h"
 #include "core/changes.h"
@@ -87,6 +88,14 @@ class DurationAnalyzer {
   // identical sequences.
   const stats::FlatMap<bgp::Asn, AsDurationStats>& by_as() const {
     return by_as_;
+  }
+
+  /// Finalized per-AS results as the std::map the study structs expose,
+  /// without consuming the accumulator (core/parallel.h SnapshotAnalyzer):
+  /// every field is a plain sum or a TotalTimeFraction, both of which stay
+  /// valid accumulators after the copy, so more probes can follow.
+  std::map<bgp::Asn, AsDurationStats> snapshot() const {
+    return std::map<bgp::Asn, AsDurationStats>(by_as_.begin(), by_as_.end());
   }
 
   /// Whether a cleaned probe qualifies as dual-stack for the splits.

@@ -19,6 +19,10 @@ void EvolutionAnalyzer::add_probe(const CleanProbe& probe) {
   }
 }
 
+void EvolutionAnalyzer::merge(EvolutionAnalyzer&& other) {
+  for (auto& [key, bucket] : other.buckets_) buckets_[key].merge(bucket);
+}
+
 std::map<YearIndex, double> EvolutionAnalyzer::trend(
     bgp::Asn asn, std::uint64_t threshold_hours,
     const stats::TotalTimeFraction YearDurations::*split) const {

@@ -24,6 +24,13 @@ struct YearDurations {
   stats::TotalTimeFraction v4_nds;
   stats::TotalTimeFraction v4_ds;
   stats::TotalTimeFraction v6;
+
+  /// Absorb another shard's bucket for the same (AS, year).
+  void merge(const YearDurations& o) {
+    v4_nds.merge(o.v4_nds);
+    v4_ds.merge(o.v4_ds);
+    v6.merge(o.v6);
+  }
 };
 
 /// Streaming per-(AS, year) duration aggregation.
@@ -34,11 +41,24 @@ class EvolutionAnalyzer {
 
   void add_probe(const CleanProbe& probe);
 
+  // Sink interface (core/parallel.h): every bucket is a per-(AS, year)
+  // TotalTimeFraction sum, so shards merged in any order reproduce the
+  // serial accumulation exactly.
+  void add(const CleanProbe& probe) { add_probe(probe); }
+  void merge(EvolutionAnalyzer&& other);
+  void finalize() {}
+
   using Key = std::pair<bgp::Asn, YearIndex>;
   // FlatMap keeps the (AS, year) buckets in the same lexicographic order
   // the std::map it replaced iterated in.
   const stats::FlatMap<Key, YearDurations>& by_as_year() const {
     return buckets_;
+  }
+
+  /// Finalized (AS, year) buckets without consuming the accumulator
+  /// (core/parallel.h SnapshotAnalyzer); later probes keep accumulating.
+  std::map<Key, YearDurations> snapshot() const {
+    return std::map<Key, YearDurations>(buckets_.begin(), buckets_.end());
   }
 
   /// Cumulative total time fraction at `threshold_hours` for one AS across

@@ -105,6 +105,15 @@ struct ZeroBoundaryCounts {
   }
 };
 
+/// Finalized view of an InferenceCollector: both per-probe inference
+/// result sets as the std::map the study structs expose. A plain value —
+/// copyable, default-constructible, independent of the collector it was
+/// snapshotted from.
+struct InferenceSnapshot {
+  std::map<bgp::Asn, std::vector<SubscriberInference>> subscriber;
+  std::map<bgp::Asn, std::vector<PoolInference>> pools;
+};
+
 /// Streaming per-AS collector running both per-probe inferences — the sink
 /// the pipeline feeds cleaned probes into (core/parallel.h concept). The
 /// per-AS vectors are append-ordered by probe, so shards merged in index
@@ -127,20 +136,16 @@ class InferenceCollector {
     return pool_;
   }
 
-  /// Move the collected results out (pipeline reduction). The study structs
-  /// expose std::map, so the per-AS vectors are moved into one; FlatMap
-  /// iterates ASNs ascending, making this a linear in-order build.
-  std::map<bgp::Asn, std::vector<SubscriberInference>> take_subscriber() {
-    std::map<bgp::Asn, std::vector<SubscriberInference>> out;
-    for (auto& [asn, results] : subscriber_)
-      out.emplace(asn, std::move(results));
-    subscriber_.clear();
-    return out;
-  }
-  std::map<bgp::Asn, std::vector<PoolInference>> take_pools() {
-    std::map<bgp::Asn, std::vector<PoolInference>> out;
-    for (auto& [asn, results] : pool_) out.emplace(asn, std::move(results));
-    pool_.clear();
+  /// Copy the collected results out without consuming the accumulator
+  /// (core/parallel.h SnapshotAnalyzer; replaces the former consuming
+  /// take_subscriber/take_pools pair). FlatMap iterates ASNs ascending, so
+  /// this is a linear in-order std::map build; the collector keeps
+  /// appending per-probe results afterwards.
+  InferenceSnapshot snapshot() const {
+    InferenceSnapshot out;
+    for (const auto& [asn, results] : subscriber_)
+      out.subscriber.emplace(asn, results);
+    for (const auto& [asn, results] : pool_) out.pools.emplace(asn, results);
     return out;
   }
 

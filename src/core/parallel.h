@@ -48,6 +48,18 @@ concept SinkOf = MergeableAnalyzer<A> && requires(A a, const Item& item) {
   a.add(item);
 };
 
+/// A mergeable analyzer whose finalized results can be read out without
+/// consuming the accumulator: snapshot() returns a self-contained value
+/// (sorted, inferred, CSV-emittable) and the analyzer keeps accepting
+/// add()/merge() afterwards. Two consecutive snapshots with no adds in
+/// between are equal, and a snapshot after batches B1..Bk equals a one-shot
+/// finalize over their concatenation — the contract the streaming pipeline
+/// re-finalizes on.
+template <typename A>
+concept SnapshotAnalyzer = MergeableAnalyzer<A> && requires(const A a) {
+  a.snapshot();
+};
+
 /// One contiguous slice of the work-item index space.
 struct ShardRange {
   std::size_t begin = 0;

@@ -1,10 +1,15 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -13,13 +18,6 @@
 namespace dynamips::core {
 
 namespace {
-
-/// Study structs expose std::map; the analyzers accumulate into FlatMap.
-/// FlatMap iterates in key order, so this is a linear in-order build.
-template <class K, class V, class C>
-std::map<K, V> to_std_map(const stats::FlatMap<K, V, C>& fm) {
-  return std::map<K, V>(fm.begin(), fm.end());
-}
 
 /// One shard's private analyzer set for the Atlas study. The metrics sink
 /// is part of the shard state and merges through the same ordered
@@ -523,11 +521,14 @@ Expected<AtlasStudy> run_atlas_study_supervised(
     }
   }
 
-  study.sanitize = root.sanitizer.stats();
-  study.durations = to_std_map(root.durations.by_as());
-  study.spatial = to_std_map(root.spatial.by_as());
-  study.subscriber_inference = root.inference.take_subscriber();
-  study.pool_inference = root.inference.take_pools();
+  // Non-consuming extraction: snapshot() yields the finalized results and
+  // leaves the accumulators intact (the streaming driver relies on this).
+  study.sanitize = root.sanitizer.snapshot();
+  study.durations = root.durations.snapshot();
+  study.spatial = root.spatial.snapshot();
+  InferenceSnapshot inferred = root.inference.snapshot();
+  study.subscriber_inference = std::move(inferred.subscriber);
+  study.pool_inference = std::move(inferred.pools);
 
   if (config.metrics) {
     study.sanitize.publish(root.metrics);
@@ -551,7 +552,7 @@ Expected<CdnStudy> run_cdn_study_supervised(
     const std::vector<cdn::PopulationEntry>& population,
     const CdnStudyConfig& config, const CheckpointConfig& checkpoint) {
   cdn::CdnSimulator sim(population, config.cdn);
-  CdnStudy study{CdnAnalyzer(config.assoc, sim.mobile_asns()), {}};
+  CdnStudy study;
   for (const auto& entry : population)
     study.asn_names[entry.isp.asn] = entry.isp.name;
 
@@ -627,9 +628,9 @@ Expected<CdnStudy> run_cdn_study_supervised(
     std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
     for (std::size_t s = 1; s < shards.size(); ++s)
       shards.front().merge(std::move(shards[s]));
-    study.analyzer.merge(std::move(shards.front().analyzer));
     std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
-    study.analyzer.finalize();
+    shards.front().finalize();
+    study.analyzer = shards.front().analyzer.snapshot();
     if (config.metrics) {
       shards.front().metrics.phase("cdn.merge").record(t1 - t0);
       shards.front().metrics.phase("cdn.finalize").record(obs::now_ns() - t1);
@@ -684,60 +685,44 @@ Status load_dataset_files(const std::vector<std::string>& paths,
 
 }  // namespace
 
-Expected<AtlasStudy> run_atlas_study_from_files(
-    const std::vector<std::string>& paths,
-    const std::vector<simnet::IspProfile>& isps,
-    const AtlasFileStudyConfig& config, io::IngestStats* ingest,
-    const CheckpointConfig& checkpoint) {
-  AtlasStudy study;
-  simnet::announce_all(isps, study.rib);
-  for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
+namespace {
 
-  // Ingest metrics land in a local sink merged into the registry at the
-  // end, like every per-shard sink (no locks while loading). The sink is
-  // never checkpointed: a resumed run re-ingests the same files and
-  // reproduces identical ingest counters.
-  obs::MetricsSink ingest_sink;
-  io::ReaderOptions ropts = config.reader;
-  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
+// --- shared analysis passes ----------------------------------------------
+//
+// One full sharded analysis over an in-memory dataset: plan (or restore)
+// the shard partition, drive the shards through `exec`, reduce in index
+// order, and extract the finalized results into `study` via the analyzers'
+// non-consuming snapshot()s. Both the one-shot _from_files entrypoints and
+// the streaming driver's re-finalization passes run through here, which is
+// what makes an incremental stream byte-identical to a one-shot run over
+// the same batches. `metrics` is passed explicitly (not read from the study
+// config) so the streaming driver can run intermediate passes unrecorded
+// and record only the final one; `ingest_sink`, when non-null, is folded
+// into the registry alongside the per-shard sinks.
 
-  std::vector<atlas::ProbeSeries> dataset;
-  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
-  Status loaded = load_dataset_files(
-      paths, ropts, ingest,
-      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
-        return io::read_echo_dataset(in, r, st);
-      },
-      [](std::vector<atlas::ProbeSeries>& into,
-         std::vector<atlas::ProbeSeries>&& more) {
-        io::merge_echo_datasets(into, std::move(more));
-      },
-      dataset);
-  if (!loaded.ok()) return loaded.with_context("atlas study");
-  if (config.metrics)
-    ingest_sink.phase("atlas.ingest").record(obs::now_ns() - load_start);
-
-  const std::uint64_t fingerprint =
-      atlas_file_fingerprint(paths, isps, config);
-
-  ShardExecutor exec(config.threads);
+Status atlas_analysis_pass(const std::vector<atlas::ProbeSeries>& dataset,
+                           const SanitizeOptions& sanitize,
+                           const ChangeOptions& changes,
+                           obs::MetricsRegistry* metrics, ShardExecutor& exec,
+                           const CheckpointConfig& cc, std::uint32_t kind,
+                           std::uint64_t fingerprint,
+                           obs::MetricsSink* ingest_sink, AtlasStudy& study) {
   ShardPlan plan;
-  Status planned = plan_shards(checkpoint, io::kCkptAtlasFile, fingerprint,
-                               dataset.size(), exec.thread_count(), plan);
-  if (!planned.ok()) return planned.with_context("atlas study");
+  Status planned = plan_shards(cc, kind, fingerprint, dataset.size(),
+                               exec.thread_count(), plan);
+  if (!planned.ok()) return planned;
 
   std::vector<AtlasShard> shards;
   shards.reserve(plan.ranges.size());
   for (std::size_t s = 0; s < plan.ranges.size(); ++s)
-    shards.emplace_back(study.rib, config.sanitize, config.changes);
+    shards.emplace_back(study.rib, sanitize, changes);
   obs::MetricsSink sup;
-  Status restored =
-      restore_shards(checkpoint, shards, sup, config.metrics);
-  if (!restored.ok()) return restored.with_context("atlas study");
+  Status restored = restore_shards(cc, shards, sup, metrics);
+  if (!restored.ok()) return restored;
 
   auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
     AtlasShard& shard = shards[s];
-    if (!config.metrics) {
+    if (!metrics) {
       for (std::size_t i = from; i < to; ++i) {
         ProbeObservations obs = from_series(dataset[i]);
         for (const CleanProbe& cp : shard.sanitizer.sanitize(obs)) {
@@ -790,109 +775,92 @@ Expected<AtlasStudy> run_atlas_study_from_files(
     return w.take();
   };
 
-  Status drove =
-      drive_shards(exec, checkpoint, io::kCkptAtlasFile, fingerprint,
-                   dataset.size(), plan, config.metrics, sup, process,
-                   save_shard);
+  Status drove = drive_shards(exec, cc, kind, fingerprint, dataset.size(),
+                              plan, metrics, sup, process, save_shard);
   if (!drove.ok()) {
-    if (config.metrics) {
+    // The checkpoint (if any) is already durable; fold the partial shard
+    // sinks into the registry so an interrupted tool run can still report.
+    if (metrics) {
       obs::MetricsSink partial;
       for (AtlasShard& shard : shards) partial.merge(std::move(shard.metrics));
-      partial.merge(std::move(ingest_sink));
+      if (ingest_sink) partial.merge(std::move(*ingest_sink));
       partial.merge(std::move(sup));
-      config.metrics->merge(std::move(partial));
+      metrics->merge(std::move(partial));
     }
-    return drove.with_context("atlas study");
+    return drove;
   }
 
   std::vector<std::uint64_t> shard_ns;
-  if (config.metrics)
+  if (metrics)
     for (AtlasShard& shard : shards)
       shard_ns.push_back(shard.metrics.phase("atlas.shard_wall").total_ns);
 
+  // Ordered reduction: shard 0 absorbs the rest in index order, which keeps
+  // every append-ordered vector in the exact order of the serial run.
   AtlasShard& root = shards.front();
   {
-    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    std::uint64_t t0 = metrics ? obs::now_ns() : 0;
     for (std::size_t s = 1; s < shards.size(); ++s)
       root.merge(std::move(shards[s]));
-    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
+    std::uint64_t t1 = metrics ? obs::now_ns() : 0;
     root.finalize();
-    if (config.metrics) {
+    if (metrics) {
       root.metrics.phase("atlas.merge").record(t1 - t0);
       root.metrics.phase("atlas.finalize").record(obs::now_ns() - t1);
     }
   }
 
-  study.sanitize = root.sanitizer.stats();
-  study.durations = to_std_map(root.durations.by_as());
-  study.spatial = to_std_map(root.spatial.by_as());
-  study.subscriber_inference = root.inference.take_subscriber();
-  study.pool_inference = root.inference.take_pools();
+  // Non-consuming extraction; the accumulators stay valid for further adds.
+  study.sanitize = root.sanitizer.snapshot();
+  study.durations = root.durations.snapshot();
+  study.spatial = root.spatial.snapshot();
+  InferenceSnapshot inferred = root.inference.snapshot();
+  study.subscriber_inference = std::move(inferred.subscriber);
+  study.pool_inference = std::move(inferred.pools);
 
-  if (config.metrics) {
+  if (metrics) {
     study.sanitize.publish(root.metrics);
     root.metrics.gauge("atlas.shards").set(double(plan.ranges.size()));
     root.metrics.gauge("atlas.shard_imbalance").set(imbalance_ratio(shard_ns));
-    root.metrics.merge(std::move(ingest_sink));
+    if (ingest_sink) root.metrics.merge(std::move(*ingest_sink));
     root.metrics.merge(std::move(sup));
-    config.metrics->merge(std::move(root.metrics));
+    metrics->merge(std::move(root.metrics));
   }
-  return study;
+  return Status::Ok();
 }
 
-Expected<CdnStudy> run_cdn_study_from_files(
-    const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
-    io::IngestStats* ingest, const CheckpointConfig& checkpoint) {
-  obs::MetricsSink ingest_sink;
-  io::ReaderOptions ropts = config.reader;
-  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
-
-  std::vector<cdn::AssociationLog> dataset;
-  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
-  Status loaded = load_dataset_files(
-      paths, ropts, ingest,
-      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
-        return io::read_assoc_dataset(in, r, st);
-      },
-      [](std::vector<cdn::AssociationLog>& into,
-         std::vector<cdn::AssociationLog>&& more) {
-        io::merge_assoc_datasets(into, std::move(more));
-      },
-      dataset);
-  if (!loaded.ok()) return loaded.with_context("cdn study");
-  if (config.metrics)
-    ingest_sink.phase("cdn.ingest").record(obs::now_ns() - load_start);
-
+Status cdn_analysis_pass(std::vector<cdn::AssociationLog>& dataset,
+                         const AssocOptions& assoc,
+                         const std::unordered_set<bgp::Asn>& mobile_asns,
+                         const std::map<bgp::Asn, bgp::Registry>& registries,
+                         obs::MetricsRegistry* metrics, ShardExecutor& exec,
+                         const CheckpointConfig& cc, std::uint32_t kind,
+                         std::uint64_t fingerprint,
+                         obs::MetricsSink* ingest_sink, CdnStudy& study) {
   // The CSV schema carries no access-type or registry attribution; graft
-  // the caller's ground truth onto the loaded logs.
+  // the caller's ground truth onto the loaded logs. Idempotent — the
+  // streaming driver re-grafts on every re-finalization pass.
   for (auto& log : dataset) {
-    log.mobile = config.mobile_asns.count(log.asn) > 0;
-    auto reg = config.registries.find(log.asn);
+    log.mobile = mobile_asns.count(log.asn) > 0;
+    auto reg = registries.find(log.asn);
     log.registry =
-        reg == config.registries.end() ? bgp::Registry::kRipe : reg->second;
+        reg == registries.end() ? bgp::Registry::kRipe : reg->second;
   }
 
-  CdnStudy study{CdnAnalyzer(config.assoc, config.mobile_asns),
-                 config.asn_names};
-
-  const std::uint64_t fingerprint = cdn_file_fingerprint(paths, config);
-
-  ShardExecutor exec(config.threads);
   ShardPlan plan;
-  Status planned = plan_shards(checkpoint, io::kCkptCdnFile, fingerprint,
-                               dataset.size(), exec.thread_count(), plan);
-  if (!planned.ok()) return planned.with_context("cdn study");
+  Status planned = plan_shards(cc, kind, fingerprint, dataset.size(),
+                               exec.thread_count(), plan);
+  if (!planned.ok()) return planned;
 
   std::vector<CdnShard> shards(plan.ranges.size(),
-                               CdnShard(config.assoc, config.mobile_asns));
+                               CdnShard(assoc, mobile_asns));
   obs::MetricsSink sup;
-  Status restored =
-      restore_shards(checkpoint, shards, sup, config.metrics);
-  if (!restored.ok()) return restored.with_context("cdn study");
+  Status restored = restore_shards(cc, shards, sup, metrics);
+  if (!restored.ok()) return restored;
 
   auto process = [&](std::size_t s, std::size_t from, std::size_t to) {
     CdnShard& shard = shards[s];
-    if (!config.metrics) {
+    if (!metrics) {
       for (std::size_t i = from; i < to; ++i) shard.analyzer.add(dataset[i]);
       return;
     }
@@ -919,50 +887,716 @@ Expected<CdnStudy> run_cdn_study_from_files(
     return w.take();
   };
 
-  Status drove =
-      drive_shards(exec, checkpoint, io::kCkptCdnFile, fingerprint,
-                   dataset.size(), plan, config.metrics, sup, process,
-                   save_shard);
+  Status drove = drive_shards(exec, cc, kind, fingerprint, dataset.size(),
+                              plan, metrics, sup, process, save_shard);
   if (!drove.ok()) {
-    if (config.metrics) {
+    if (metrics) {
       obs::MetricsSink partial;
       for (CdnShard& shard : shards) partial.merge(std::move(shard.metrics));
-      partial.merge(std::move(ingest_sink));
+      if (ingest_sink) partial.merge(std::move(*ingest_sink));
       partial.merge(std::move(sup));
-      config.metrics->merge(std::move(partial));
+      metrics->merge(std::move(partial));
     }
-    return drove.with_context("cdn study");
+    return drove;
   }
 
   std::vector<std::uint64_t> shard_ns;
-  if (config.metrics)
+  if (metrics)
     for (CdnShard& shard : shards)
       shard_ns.push_back(shard.metrics.phase("cdn.shard_wall").total_ns);
 
   {
-    std::uint64_t t0 = config.metrics ? obs::now_ns() : 0;
+    std::uint64_t t0 = metrics ? obs::now_ns() : 0;
     for (std::size_t s = 1; s < shards.size(); ++s)
       shards.front().merge(std::move(shards[s]));
-    study.analyzer.merge(std::move(shards.front().analyzer));
-    std::uint64_t t1 = config.metrics ? obs::now_ns() : 0;
-    study.analyzer.finalize();
-    if (config.metrics) {
+    std::uint64_t t1 = metrics ? obs::now_ns() : 0;
+    shards.front().finalize();
+    study.analyzer = shards.front().analyzer.snapshot();
+    if (metrics) {
       shards.front().metrics.phase("cdn.merge").record(t1 - t0);
       shards.front().metrics.phase("cdn.finalize").record(obs::now_ns() - t1);
     }
   }
 
-  if (config.metrics) {
+  if (metrics) {
     obs::MetricsSink& m = shards.front().metrics;
     m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
     m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
     m.gauge("cdn.shards").set(double(plan.ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
-    m.merge(std::move(ingest_sink));
+    if (ingest_sink) m.merge(std::move(*ingest_sink));
     m.merge(std::move(sup));
-    config.metrics->merge(std::move(m));
+    metrics->merge(std::move(m));
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Expected<AtlasStudy> run_atlas_study_from_files(
+    const std::vector<std::string>& paths,
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, io::IngestStats* ingest,
+    const CheckpointConfig& checkpoint) {
+  AtlasStudy study;
+  simnet::announce_all(isps, study.rib);
+  for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
+
+  // Ingest metrics land in a local sink merged into the registry at the
+  // end, like every per-shard sink (no locks while loading). The sink is
+  // never checkpointed: a resumed run re-ingests the same files and
+  // reproduces identical ingest counters.
+  obs::MetricsSink ingest_sink;
+  io::ReaderOptions ropts = config.reader;
+  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
+
+  std::vector<atlas::ProbeSeries> dataset;
+  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  Status loaded = load_dataset_files(
+      paths, ropts, ingest,
+      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
+        return io::read_echo_dataset(in, r, st);
+      },
+      [](std::vector<atlas::ProbeSeries>& into,
+         std::vector<atlas::ProbeSeries>&& more) {
+        io::merge_echo_datasets(into, std::move(more));
+      },
+      dataset);
+  if (!loaded.ok()) return loaded.with_context("atlas study");
+  if (config.metrics)
+    ingest_sink.phase("atlas.ingest").record(obs::now_ns() - load_start);
+
+  const std::uint64_t fingerprint =
+      atlas_file_fingerprint(paths, isps, config);
+
+  ShardExecutor exec(config.threads);
+  Status ran = atlas_analysis_pass(dataset, config.sanitize, config.changes,
+                                   config.metrics, exec, checkpoint,
+                                   io::kCkptAtlasFile, fingerprint,
+                                   &ingest_sink, study);
+  if (!ran.ok()) return ran.with_context("atlas study");
   return study;
+}
+
+Expected<CdnStudy> run_cdn_study_from_files(
+    const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
+    io::IngestStats* ingest, const CheckpointConfig& checkpoint) {
+  obs::MetricsSink ingest_sink;
+  io::ReaderOptions ropts = config.reader;
+  if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
+
+  std::vector<cdn::AssociationLog> dataset;
+  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  Status loaded = load_dataset_files(
+      paths, ropts, ingest,
+      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
+        return io::read_assoc_dataset(in, r, st);
+      },
+      [](std::vector<cdn::AssociationLog>& into,
+         std::vector<cdn::AssociationLog>&& more) {
+        io::merge_assoc_datasets(into, std::move(more));
+      },
+      dataset);
+  if (!loaded.ok()) return loaded.with_context("cdn study");
+  if (config.metrics)
+    ingest_sink.phase("cdn.ingest").record(obs::now_ns() - load_start);
+
+  CdnStudy study;
+  study.asn_names = config.asn_names;
+
+  const std::uint64_t fingerprint = cdn_file_fingerprint(paths, config);
+
+  ShardExecutor exec(config.threads);
+  Status ran = cdn_analysis_pass(dataset, config.assoc, config.mobile_asns,
+                                 config.registries, config.metrics, exec,
+                                 checkpoint, io::kCkptCdnFile, fingerprint,
+                                 &ingest_sink, study);
+  if (!ran.ok()) return ran.with_context("cdn study");
+  return study;
+}
+
+// --------------------------------------------------- streaming entrypoints
+
+namespace {
+
+// --- accumulated-dataset blob codecs -------------------------------------
+//
+// Stream checkpoints carry the merged in-memory dataset, not the source
+// CSVs: re-reading the batch files through the CSV readers would re-apply
+// per-file deduplication to records that legitimately repeat across
+// batches, changing results. Tags are serialized as strings because
+// core::tag_pool() ids are assigned in first-intern order and are not
+// stable across processes.
+
+void save_echo_dataset(io::ckpt::Writer& w,
+                       const std::vector<atlas::ProbeSeries>& dataset) {
+  w.u64(dataset.size());
+  for (const atlas::ProbeSeries& series : dataset) {
+    w.u32(series.meta.probe_id);
+    w.u64(series.meta.tags.size());
+    for (TagId tag : series.meta.tags) w.str(tag_pool().name_of(tag));
+    w.u64(series.records.size());
+    for (const atlas::EchoRecord& rec : series.records) {
+      w.u64(rec.hour);
+      w.u8(std::uint8_t(rec.family));
+      w.u32(rec.x_client_ip4.value());
+      w.u32(rec.src_addr4.value());
+      w.u64(rec.x_client_ip6.bits().hi);
+      w.u64(rec.x_client_ip6.bits().lo);
+      w.u64(rec.src_addr6.bits().hi);
+      w.u64(rec.src_addr6.bits().lo);
+    }
+  }
+}
+
+bool load_echo_dataset(io::ckpt::Reader& r,
+                       std::vector<atlas::ProbeSeries>& dataset) {
+  dataset.clear();
+  std::uint64_t n_series = r.size();
+  dataset.reserve(n_series);
+  for (std::uint64_t i = 0; i < n_series; ++i) {
+    atlas::ProbeSeries series;
+    series.meta.probe_id = r.u32();
+    std::uint64_t n_tags = r.size();
+    series.meta.tags.reserve(n_tags);
+    for (std::uint64_t t = 0; t < n_tags; ++t)
+      series.meta.tags.push_back(tag_pool().intern(r.str()));
+    std::uint64_t n_records = r.size();
+    series.records.reserve(n_records);
+    for (std::uint64_t k = 0; k < n_records; ++k) {
+      atlas::EchoRecord rec;
+      rec.probe_id = series.meta.probe_id;
+      rec.hour = r.u64();
+      std::uint8_t family = r.u8();
+      if (family > 1) return false;
+      rec.family = atlas::Family(family);
+      rec.x_client_ip4 = net::IPv4Address(r.u32());
+      rec.src_addr4 = net::IPv4Address(r.u32());
+      std::uint64_t hi = r.u64();
+      std::uint64_t lo = r.u64();
+      rec.x_client_ip6 = net::IPv6Address(hi, lo);
+      hi = r.u64();
+      lo = r.u64();
+      rec.src_addr6 = net::IPv6Address(hi, lo);
+      series.records.push_back(rec);
+    }
+    dataset.push_back(std::move(series));
+  }
+  return r.ok();
+}
+
+void save_assoc_dataset(io::ckpt::Writer& w,
+                        const std::vector<cdn::AssociationLog>& dataset) {
+  w.u64(dataset.size());
+  for (const cdn::AssociationLog& log : dataset) {
+    w.u32(log.asn);
+    // mobile/registry are grafted from the run config at analysis time,
+    // not dataset state; they are deliberately not serialized.
+    w.u64(log.records.size());
+    for (const cdn::AssociationRecord& rec : log.records) {
+      w.u32(rec.day);
+      w.u32(rec.v4_24.address().value());
+      w.u8(std::uint8_t(rec.v4_24.length()));
+      w.u64(rec.v6_64.address().bits().hi);
+      w.u64(rec.v6_64.address().bits().lo);
+      w.u8(std::uint8_t(rec.v6_64.length()));
+      w.u32(rec.asn4);
+      w.u32(rec.asn6);
+      w.u32(rec.subscriber);
+    }
+  }
+}
+
+bool load_assoc_dataset(io::ckpt::Reader& r,
+                        std::vector<cdn::AssociationLog>& dataset) {
+  dataset.clear();
+  std::uint64_t n_logs = r.size();
+  dataset.reserve(n_logs);
+  for (std::uint64_t i = 0; i < n_logs; ++i) {
+    cdn::AssociationLog log;
+    log.asn = r.u32();
+    std::uint64_t n_records = r.size();
+    log.records.reserve(n_records);
+    for (std::uint64_t k = 0; k < n_records; ++k) {
+      cdn::AssociationRecord rec;
+      rec.day = r.u32();
+      std::uint32_t v4 = r.u32();
+      std::uint8_t len4 = r.u8();
+      if (len4 > 32) return false;
+      rec.v4_24 = net::Prefix4(net::IPv4Address(v4), int(len4));
+      std::uint64_t hi = r.u64();
+      std::uint64_t lo = r.u64();
+      std::uint8_t len6 = r.u8();
+      if (len6 > 128) return false;
+      rec.v6_64 = net::Prefix6(net::IPv6Address(hi, lo), int(len6));
+      rec.asn4 = r.u32();
+      rec.asn6 = r.u32();
+      rec.subscriber = r.u32();
+      log.records.push_back(rec);
+    }
+    dataset.push_back(std::move(log));
+  }
+  return r.ok();
+}
+
+// --- stream fingerprints --------------------------------------------------
+//
+// Like the file fingerprints but without the input paths: a stream's
+// batch list grows over its lifetime and is validated separately through
+// the checkpoint's consumed-batch high-water mark. Threads stay excluded
+// (results are thread-invariant).
+
+std::uint64_t atlas_stream_fingerprint(
+    const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("atlas.stream");
+  w.f64(config.reader.max_reject_fraction);
+  w.u64(config.reader.max_consecutive_rejects);
+  fingerprint_atlas_analysis(w, config.sanitize, config.changes, isps,
+                             config.metrics != nullptr);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+std::uint64_t cdn_stream_fingerprint(const CdnFileStudyConfig& config) {
+  io::ckpt::Writer w;
+  w.str("cdn.stream");
+  fingerprint_assoc(w, config.assoc);
+  w.f64(config.reader.max_reject_fraction);
+  w.u64(config.reader.max_consecutive_rejects);
+  std::vector<bgp::Asn> mobile(config.mobile_asns.begin(),
+                               config.mobile_asns.end());
+  std::sort(mobile.begin(), mobile.end());
+  w.u64(mobile.size());
+  for (bgp::Asn asn : mobile) w.u32(asn);
+  w.u64(config.registries.size());
+  for (const auto& [asn, registry] : config.registries) {
+    w.u32(asn);
+    w.u8(std::uint8_t(registry));
+  }
+  w.u8(config.metrics != nullptr ? 1 : 0);
+  return io::ckpt::fnv1a(w.buffer());
+}
+
+// --- watch-directory scanning ---------------------------------------------
+
+/// Unconsumed batch files in `watch_dir`, sorted lexicographically by
+/// basename — the stream's consumption order. Dotfiles, in-flight `.tmp`
+/// writes and the stop sentinel are skipped. The byte-identity guarantee
+/// assumes producers drop batches in lexicographic order (tools/
+/// stream_feed.py does); late out-of-order arrivals are still consumed,
+/// just merged in arrival order.
+std::vector<std::filesystem::path> scan_batches(
+    const std::string& watch_dir, const std::string& sentinel,
+    const std::set<std::string>& consumed) {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(watch_dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (name.empty() || name[0] == '.') continue;
+    if (name == sentinel) continue;
+    if (name.ends_with(".tmp")) continue;
+    if (consumed.count(name)) continue;
+    out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return out;
+}
+
+/// Seconds between a batch file's mtime and now — the stream.lag_seconds
+/// gauge: how far ingestion trails production.
+double batch_lag_seconds(const std::filesystem::path& path) {
+  std::error_code ec;
+  auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0.0;
+  auto delta = std::chrono::duration_cast<std::chrono::duration<double>>(
+      std::filesystem::file_time_type::clock::now() - mtime);
+  return delta.count() > 0 ? delta.count() : 0.0;
+}
+
+// --- stream policies ------------------------------------------------------
+//
+// The per-study glue the generic follow_stream() loop needs: how to load a
+// batch, how to (de)serialize the accumulated dataset, and how to run one
+// analysis pass.
+
+struct AtlasStreamPolicy {
+  const std::vector<simnet::IspProfile>& isps;
+  const AtlasFileStudyConfig& config;
+  ShardExecutor& exec;
+
+  using Dataset = std::vector<atlas::ProbeSeries>;
+  using Study = AtlasStudy;
+  static constexpr std::uint32_t kind = io::kCkptAtlasStream;
+  static constexpr const char* label = "atlas stream";
+
+  std::uint64_t fingerprint() const {
+    return atlas_stream_fingerprint(isps, config);
+  }
+  obs::MetricsRegistry* metrics() const { return config.metrics; }
+  const io::ReaderOptions& reader() const { return config.reader; }
+
+  Status load_batch(std::istream& in, const io::ReaderOptions& ropts,
+                    io::IngestStats* ingest, Dataset& dataset,
+                    std::uint64_t& records) const {
+    auto part = io::read_echo_dataset(in, ropts, ingest);
+    if (!part.ok()) return part.status();
+    Dataset batch = part.take();
+    records = 0;
+    for (const atlas::ProbeSeries& series : batch)
+      records += series.records.size();
+    io::merge_echo_datasets(dataset, std::move(batch));
+    return Status::Ok();
+  }
+
+  void save_dataset(io::ckpt::Writer& w, const Dataset& dataset) const {
+    save_echo_dataset(w, dataset);
+  }
+  bool load_dataset(io::ckpt::Reader& r, Dataset& dataset) const {
+    return load_echo_dataset(r, dataset);
+  }
+
+  void init_study(Study& study) const {
+    simnet::announce_all(isps, study.rib);
+    for (const auto& isp : isps) study.as_names[isp.asn] = isp.name;
+  }
+
+  Status run_pass(Dataset& dataset, obs::MetricsRegistry* registry,
+                  const CheckpointConfig& cc, std::uint64_t fp,
+                  obs::MetricsSink* ingest_sink, Study& study) const {
+    return atlas_analysis_pass(dataset, config.sanitize, config.changes,
+                               registry, exec, cc, kind, fp, ingest_sink,
+                               study);
+  }
+};
+
+struct CdnStreamPolicy {
+  const CdnFileStudyConfig& config;
+  ShardExecutor& exec;
+
+  using Dataset = std::vector<cdn::AssociationLog>;
+  using Study = CdnStudy;
+  static constexpr std::uint32_t kind = io::kCkptCdnStream;
+  static constexpr const char* label = "cdn stream";
+
+  std::uint64_t fingerprint() const { return cdn_stream_fingerprint(config); }
+  obs::MetricsRegistry* metrics() const { return config.metrics; }
+  const io::ReaderOptions& reader() const { return config.reader; }
+
+  Status load_batch(std::istream& in, const io::ReaderOptions& ropts,
+                    io::IngestStats* ingest, Dataset& dataset,
+                    std::uint64_t& records) const {
+    auto part = io::read_assoc_dataset(in, ropts, ingest);
+    if (!part.ok()) return part.status();
+    Dataset batch = part.take();
+    records = 0;
+    for (const cdn::AssociationLog& log : batch) records += log.records.size();
+    io::merge_assoc_datasets(dataset, std::move(batch));
+    return Status::Ok();
+  }
+
+  void save_dataset(io::ckpt::Writer& w, const Dataset& dataset) const {
+    save_assoc_dataset(w, dataset);
+  }
+  bool load_dataset(io::ckpt::Reader& r, Dataset& dataset) const {
+    return load_assoc_dataset(r, dataset);
+  }
+
+  void init_study(Study& study) const { study.asn_names = config.asn_names; }
+
+  Status run_pass(Dataset& dataset, obs::MetricsRegistry* registry,
+                  const CheckpointConfig& cc, std::uint64_t fp,
+                  obs::MetricsSink* ingest_sink, Study& study) const {
+    return cdn_analysis_pass(dataset, config.assoc, config.mobile_asns,
+                             config.registries, registry, exec, cc, kind, fp,
+                             ingest_sink, study);
+  }
+};
+
+// --- the stream loop ------------------------------------------------------
+
+template <typename Policy, typename SnapshotFn>
+Expected<typename Policy::Study> follow_stream(const Policy& policy,
+                                               const std::string& watch_dir,
+                                               const StreamConfig& stream,
+                                               const SnapshotFn& on_snapshot,
+                                               io::IngestStats* ingest,
+                                               StreamStats* stats_out) {
+  namespace fs = std::filesystem;
+  using Study = typename Policy::Study;
+
+  std::error_code ec;
+  if (!fs::is_directory(watch_dir, ec))
+    return Status(StatusCode::kNotFound,
+                  std::string(Policy::label) +
+                      ": watch directory does not exist: " + watch_dir);
+
+  const std::uint64_t fingerprint = policy.fingerprint();
+  obs::MetricsRegistry* metrics = policy.metrics();
+
+  // All stream-side accounting (`ingest.*`, `stream.*`, `checkpoint.*`)
+  // accumulates in one sink persisted inside every checkpoint: unlike the
+  // one-shot file studies, a resumed stream does not re-ingest consumed
+  // batches, so the counters must travel with the high-water mark.
+  obs::MetricsSink sink;
+  typename Policy::Dataset dataset;
+  std::vector<std::string> consumed;
+  StreamStats stats;
+
+  if (stream.resume) {
+    const io::StudyCheckpoint& ck = *stream.resume;
+    if (ck.kind != Policy::kind)
+      return Status(StatusCode::kFailedPrecondition,
+                    std::string("checkpoint was written by the ") +
+                        io::checkpoint_kind_name(ck.kind) +
+                        " study and cannot resume the " +
+                        io::checkpoint_kind_name(Policy::kind) + " study");
+    if (ck.config_fingerprint != fingerprint)
+      return Status(StatusCode::kFailedPrecondition,
+                    "checkpoint config fingerprint does not match this run; "
+                    "resume requires the exact original stream parameters");
+    if (ck.item_count != ck.consumed.size() || ck.shards.size() != 1)
+      return Status(StatusCode::kDataLoss,
+                    "checkpoint is corrupt: stream batch accounting is "
+                    "inconsistent");
+    io::ckpt::Reader r(ck.shards.front().blob);
+    if (!policy.load_dataset(r, dataset) || r.remaining() != 0)
+      return Status(StatusCode::kDataLoss,
+                    "checkpoint is corrupt: accumulated dataset failed to "
+                    "parse");
+    if (!ck.supervisor_blob.empty()) {
+      io::ckpt::Reader sr(ck.supervisor_blob);
+      if (!sink.load(sr) || sr.remaining() != 0)
+        return Status(StatusCode::kDataLoss,
+                      "checkpoint is corrupt: stream accounting failed to "
+                      "parse");
+    }
+    consumed = ck.consumed;
+    sink.counter("checkpoint.resumes").add(1);
+    stats.batches = consumed.size();
+    stats.records = sink.counter("stream.records").value;
+    stats.refinalizes = sink.counter("stream.refinalize").value;
+  }
+
+  std::set<std::string> consumed_set(consumed.begin(), consumed.end());
+  std::uint64_t batches_since_refinalize = 0;
+  auto last_refinalize = std::chrono::steady_clock::now();
+
+  io::ReaderOptions base_ropts = policy.reader();
+  if (metrics && !base_ropts.metrics) base_ropts.metrics = &sink;
+
+  auto publish_stats = [&] {
+    if (stats_out) *stats_out = stats;
+  };
+
+  // Snapshot the batch high-water mark durably: the consumed-batch list,
+  // the accumulated merged dataset, and the stream accounting sink. Written
+  // after every batch, so a killed stream replays only unconsumed batches.
+  auto write_stream_checkpoint = [&]() -> Status {
+    if (stream.checkpoint_path.empty()) return Status::Ok();
+    obs::PhaseTimer timer(&sink.phase("checkpoint.write"));
+    io::StudyCheckpoint ck;
+    ck.kind = Policy::kind;
+    ck.config_fingerprint = fingerprint;
+    ck.item_count = consumed.size();
+    io::ckpt::Writer w;
+    policy.save_dataset(w, dataset);
+    ck.shards.push_back({0, consumed.size(), consumed.size(), w.take()});
+    ck.consumed = consumed;
+    io::ckpt::Writer sw;
+    sink.save(sw);
+    ck.supervisor_blob = sw.take();
+    Status wrote = io::write_checkpoint(stream.checkpoint_path, ck);
+    if (wrote.ok())
+      sink.counter("checkpoint.writes").add(1);
+    else
+      sink.counter("checkpoint.write_failures").add(1);
+    return wrote;
+  };
+
+  // One re-finalization: a full sharded analysis pass over the accumulated
+  // dataset through the persistent executor. Intermediate passes run with a
+  // null registry (no metric records, no throwaway totals); only the final
+  // pass records analysis metrics and folds the stream sink in, so the
+  // registry ends up identical to a one-shot run over the same batches.
+  auto refinalize = [&](bool final_pass) -> Expected<Study> {
+    sink.counter("stream.refinalize").add(1);
+    ++stats.refinalizes;
+    Study study;
+    policy.init_study(study);
+    CheckpointConfig cc;
+    cc.token = stream.token;  // poll between rounds; the batch high-water
+                              // mark checkpoint is already durable, so no
+                              // mid-pass snapshot is needed
+    Status ran = policy.run_pass(dataset, final_pass ? metrics : nullptr, cc,
+                                 fingerprint, final_pass ? &sink : nullptr,
+                                 study);
+    if (!ran.ok()) return ran;
+    return study;
+  };
+
+  auto timer_due = [&] {
+    if (stream.refinalize_seconds <= 0) return false;
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - last_refinalize);
+    return elapsed.count() >= stream.refinalize_seconds;
+  };
+
+  for (;;) {
+    if (stream.token && stream.token->requested()) {
+      sink.counter("checkpoint.interrupted").add(1);
+      std::string note = std::string(Policy::label) +
+                         " interrupted by shutdown request after " +
+                         std::to_string(stats.batches) + " consumed batches";
+      if (!stream.checkpoint_path.empty()) {
+        Status wrote = write_stream_checkpoint();
+        if (!wrote.ok()) return wrote;
+        note += "; checkpoint written to " + stream.checkpoint_path;
+      }
+      publish_stats();
+      return Status(StatusCode::kCancelled, note);
+    }
+
+    std::vector<fs::path> fresh =
+        scan_batches(watch_dir, stream.stop_sentinel, consumed_set);
+    const bool sentinel_present =
+        !stream.stop_sentinel.empty() &&
+        fs::exists(fs::path(watch_dir) / stream.stop_sentinel, ec);
+    const bool reached_cap =
+        stream.max_batches > 0 && stats.batches >= stream.max_batches;
+
+    if (reached_cap || (fresh.empty() && sentinel_present)) {
+      Expected<Study> final_study = refinalize(/*final_pass=*/true);
+      publish_stats();
+      if (!final_study.ok()) {
+        Status st = final_study.status();
+        return st.with_context(Policy::label);
+      }
+      return final_study;
+    }
+
+    if (fresh.empty()) {
+      if (on_snapshot && batches_since_refinalize > 0 && timer_due()) {
+        Expected<Study> snap = refinalize(/*final_pass=*/false);
+        if (!snap.ok()) {
+          Status st = snap.status();
+          publish_stats();
+          return st.with_context(Policy::label);
+        }
+        on_snapshot(snap.value(), stats);
+        batches_since_refinalize = 0;
+        last_refinalize = std::chrono::steady_clock::now();
+        publish_stats();
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(stream.poll_ms));
+      continue;
+    }
+
+    for (const fs::path& path : fresh) {
+      if (stream.token && stream.token->requested()) break;
+      if (stream.max_batches > 0 && stats.batches >= stream.max_batches)
+        break;
+
+      const double lag = batch_lag_seconds(path);
+      std::ifstream in(path, std::ios::binary);
+      if (!in.is_open())
+        return Status(StatusCode::kNotFound,
+                      std::string(Policy::label) +
+                          ": cannot open batch: " + path.string());
+      io::ReaderOptions ropts = base_ropts;
+      ropts.source_label = path.string();
+      std::uint64_t records = 0;
+      Status loaded = policy.load_batch(in, ropts, ingest, dataset, records);
+      if (!loaded.ok()) {
+        publish_stats();
+        return loaded.with_context(path.string());
+      }
+
+      const std::string name = path.filename().string();
+      consumed.push_back(name);
+      consumed_set.insert(name);
+      ++stats.batches;
+      stats.records += records;
+      sink.counter("stream.batches").add(1);
+      sink.counter("stream.records").add(records);
+      sink.gauge("stream.lag_seconds").set(lag);
+      ++batches_since_refinalize;
+
+      Status wrote = write_stream_checkpoint();
+      if (!wrote.ok()) {
+        publish_stats();
+        return wrote;
+      }
+      publish_stats();
+
+      if (on_snapshot &&
+          ((stream.refinalize_every_batches > 0 &&
+            batches_since_refinalize >= stream.refinalize_every_batches) ||
+           timer_due())) {
+        Expected<Study> snap = refinalize(/*final_pass=*/false);
+        if (!snap.ok()) {
+          Status st = snap.status();
+          publish_stats();
+          return st.with_context(Policy::label);
+        }
+        on_snapshot(snap.value(), stats);
+        batches_since_refinalize = 0;
+        last_refinalize = std::chrono::steady_clock::now();
+        publish_stats();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StreamDriver::StreamDriver(unsigned threads) : exec_(threads) {}
+
+unsigned StreamDriver::thread_count() const { return exec_.thread_count(); }
+
+Expected<AtlasStudy> StreamDriver::follow_atlas(
+    const std::string& watch_dir, const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, const StreamConfig& stream,
+    AtlasSnapshotFn on_snapshot, io::IngestStats* ingest, StreamStats* stats) {
+  AtlasStreamPolicy policy{isps, config, exec_};
+  return follow_stream(policy, watch_dir, stream, on_snapshot, ingest, stats);
+}
+
+Expected<CdnStudy> StreamDriver::follow_cdn(const std::string& watch_dir,
+                                            const CdnFileStudyConfig& config,
+                                            const StreamConfig& stream,
+                                            CdnSnapshotFn on_snapshot,
+                                            io::IngestStats* ingest,
+                                            StreamStats* stats) {
+  CdnStreamPolicy policy{config, exec_};
+  return follow_stream(policy, watch_dir, stream, on_snapshot, ingest, stats);
+}
+
+Expected<AtlasStudy> run_atlas_stream(
+    const std::string& watch_dir, const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, const StreamConfig& stream,
+    AtlasSnapshotFn on_snapshot, io::IngestStats* ingest, StreamStats* stats) {
+  StreamDriver driver(config.threads);
+  return driver.follow_atlas(watch_dir, isps, config, stream,
+                             std::move(on_snapshot), ingest, stats);
+}
+
+Expected<CdnStudy> run_cdn_stream(const std::string& watch_dir,
+                                  const CdnFileStudyConfig& config,
+                                  const StreamConfig& stream,
+                                  CdnSnapshotFn on_snapshot,
+                                  io::IngestStats* ingest,
+                                  StreamStats* stats) {
+  StreamDriver driver(config.threads);
+  return driver.follow_cdn(watch_dir, config, stream, std::move(on_snapshot),
+                           ingest, stats);
 }
 
 }  // namespace dynamips::core

@@ -10,6 +10,7 @@
 // for every `threads` setting (`threads = 1` is the plain serial path).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,12 +19,14 @@
 #include "cdn/generator.h"
 #include "core/assoc.h"
 #include "core/durations.h"
+#include "core/evolution.h"
 #include "core/inference.h"
 #include "core/parallel.h"
 #include "core/sanitize.h"
 #include "core/shutdown.h"
 #include "core/spatial.h"
 #include "core/status.h"
+#include "core/tracking.h"
 #include "io/checkpoint.h"
 #include "io/readers.h"
 #include "obs/metrics.h"
@@ -39,8 +42,20 @@ concept LogAnalyzer = SinkOf<A, cdn::AssociationLog>;
 static_assert(ProbeAnalyzer<DurationAnalyzer>);
 static_assert(ProbeAnalyzer<SpatialAnalyzer>);
 static_assert(ProbeAnalyzer<InferenceCollector>);
+static_assert(ProbeAnalyzer<EvolutionAnalyzer>);
+static_assert(ProbeAnalyzer<TrackingAnalyzer>);
 static_assert(LogAnalyzer<CdnAnalyzer>);
 static_assert(MergeableAnalyzer<Sanitizer>);
+// Every analyzer is re-finalizable: snapshot() yields finalized, read-only
+// results without consuming the accumulator, so a long-lived stream can
+// re-finalize after each batch window and keep adding.
+static_assert(SnapshotAnalyzer<Sanitizer>);
+static_assert(SnapshotAnalyzer<DurationAnalyzer>);
+static_assert(SnapshotAnalyzer<SpatialAnalyzer>);
+static_assert(SnapshotAnalyzer<InferenceCollector>);
+static_assert(SnapshotAnalyzer<EvolutionAnalyzer>);
+static_assert(SnapshotAnalyzer<TrackingAnalyzer>);
+static_assert(SnapshotAnalyzer<CdnAnalyzer>);
 // Shard-local metric buffers ride the same ordered reduction as analyzers.
 static_assert(MergeableAnalyzer<obs::MetricsSink>);
 
@@ -125,9 +140,12 @@ struct CdnStudyConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Everything the CDN-side benches print.
+/// Everything the CDN-side benches print. `analyzer` is a finalized,
+/// read-only snapshot of the accumulator (core/assoc.h CdnSnapshot); the
+/// accumulator itself stays live inside the pipeline so streaming runs can
+/// keep adding after extraction.
 struct CdnStudy {
-  CdnAnalyzer analyzer;
+  CdnSnapshot analyzer;
   std::map<bgp::Asn, std::string> asn_names;
 };
 
@@ -195,5 +213,112 @@ struct CdnFileStudyConfig {
 Expected<CdnStudy> run_cdn_study_from_files(
     const std::vector<std::string>& paths, const CdnFileStudyConfig& config,
     io::IngestStats* ingest = nullptr, const CheckpointConfig& checkpoint = {});
+
+// --------------------------------------------------- streaming entrypoints
+//
+// A streaming study watches a directory for exported batch files (the same
+// CSV schema the _from_files entrypoints read), ingests each new batch
+// through the fault-tolerant readers, and periodically re-finalizes: every
+// analyzer's snapshot() produces a finalized AtlasStudy/CdnStudy without
+// consuming the accumulators, so the next batch keeps adding.
+//
+// Determinism contract: batches are consumed in lexicographic filename
+// order, and ingesting batches B1..Bk produces results byte-identical to a
+// one-shot _from_files run over [B1, ..., Bk] — at any thread count, and
+// including across a mid-stream interrupt + resume. The stream checkpoint
+// (kCkptAtlasStream / kCkptCdnStream) carries a monotone batch high-water
+// mark: the consumed batch list plus the accumulated merged dataset, written
+// after every batch, so a killed stream replays only unconsumed batches.
+
+struct StreamConfig {
+  /// Re-finalize (snapshot + callback) after this many newly consumed
+  /// batches. 0 disables count-triggered re-finalization.
+  std::uint64_t refinalize_every_batches = 8;
+  /// Also re-finalize when this many seconds elapsed since the last
+  /// re-finalization and at least one new batch arrived. 0 disables the
+  /// timer.
+  double refinalize_seconds = 0.0;
+  /// Directory poll interval while idle.
+  std::uint64_t poll_ms = 200;
+  /// A file with this basename in the watch directory ends the stream:
+  /// after every earlier batch is consumed, a final re-finalization runs
+  /// (with metrics recorded) and the entrypoint returns the study.
+  std::string stop_sentinel = "stream.stop";
+  /// Test hook: stop after consuming this many batches even without the
+  /// sentinel. 0 means "run until the sentinel appears".
+  std::uint64_t max_batches = 0;
+  /// Stream checkpoint path. Empty disables checkpointing (and resume).
+  std::string checkpoint_path;
+  /// Cooperative-shutdown flag, polled between batches and between
+  /// analysis rounds. Interrupts return kCancelled; the batch high-water
+  /// mark checkpoint is already durable, so no data is lost.
+  ShutdownToken* token = nullptr;
+  /// Checkpoint to resume from; null starts fresh. Kind, fingerprint and
+  /// consumed-batch list are validated.
+  const io::StudyCheckpoint* resume = nullptr;
+};
+
+/// Progress of a streaming run, updated as batches are consumed.
+struct StreamStats {
+  std::uint64_t batches = 0;      ///< batch files consumed
+  std::uint64_t records = 0;      ///< records ingested across batches
+  std::uint64_t refinalizes = 0;  ///< snapshot passes (incl. the final one)
+};
+
+/// Called on every windowed re-finalization with the freshly snapshotted
+/// study; use it to re-emit result CSVs while the stream keeps running.
+using AtlasSnapshotFn =
+    std::function<void(const AtlasStudy&, const StreamStats&)>;
+using CdnSnapshotFn = std::function<void(const CdnStudy&, const StreamStats&)>;
+
+/// Long-lived streaming driver: one fixed ShardExecutor is created up front
+/// and reused for every re-finalization pass, so steady-state streaming
+/// throughput matches the batch path instead of paying pool setup per
+/// window.
+class StreamDriver {
+ public:
+  /// `threads == 0` resolves to hardware concurrency (core/parallel.h).
+  explicit StreamDriver(unsigned threads = 0);
+
+  unsigned thread_count() const;
+
+  /// Watch `watch_dir` for echo batch files and run the Atlas pipeline.
+  /// `isps` provides the RIB and AS names exactly as in
+  /// run_atlas_study_from_files; `config.threads` is ignored (the driver's
+  /// pool is used). Returns the final study after the stop sentinel, or
+  /// kCancelled on interrupt.
+  Expected<AtlasStudy> follow_atlas(const std::string& watch_dir,
+                                    const std::vector<simnet::IspProfile>& isps,
+                                    const AtlasFileStudyConfig& config,
+                                    const StreamConfig& stream,
+                                    AtlasSnapshotFn on_snapshot = {},
+                                    io::IngestStats* ingest = nullptr,
+                                    StreamStats* stats = nullptr);
+
+  /// Watch `watch_dir` for association batch files and run the CDN
+  /// pipeline; see follow_atlas.
+  Expected<CdnStudy> follow_cdn(const std::string& watch_dir,
+                                const CdnFileStudyConfig& config,
+                                const StreamConfig& stream,
+                                CdnSnapshotFn on_snapshot = {},
+                                io::IngestStats* ingest = nullptr,
+                                StreamStats* stats = nullptr);
+
+ private:
+  ShardExecutor exec_;
+};
+
+/// Convenience one-call wrappers around a throwaway StreamDriver.
+Expected<AtlasStudy> run_atlas_stream(
+    const std::string& watch_dir, const std::vector<simnet::IspProfile>& isps,
+    const AtlasFileStudyConfig& config, const StreamConfig& stream,
+    AtlasSnapshotFn on_snapshot = {}, io::IngestStats* ingest = nullptr,
+    StreamStats* stats = nullptr);
+Expected<CdnStudy> run_cdn_stream(const std::string& watch_dir,
+                                  const CdnFileStudyConfig& config,
+                                  const StreamConfig& stream,
+                                  CdnSnapshotFn on_snapshot = {},
+                                  io::IngestStats* ingest = nullptr,
+                                  StreamStats* stats = nullptr);
 
 }  // namespace dynamips::core

@@ -126,6 +126,11 @@ class Sanitizer {
 
   const SanitizeStats& stats() const { return stats_; }
 
+  /// Snapshot of the filter accounting (core/parallel.h SnapshotAnalyzer):
+  /// plain sums, so the copy is the finalized view and sanitizing more
+  /// probes afterwards keeps accumulating.
+  SanitizeStats snapshot() const { return stats_; }
+
  private:
   const bgp::Rib& rib_;
   SanitizeOptions options_;

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "bgp/rib.h"
@@ -119,6 +120,14 @@ class SpatialAnalyzer {
 
   const stats::FlatMap<bgp::Asn, AsSpatialStats>& by_as() const {
     return by_as_;
+  }
+
+  /// Finalized per-AS results without consuming the accumulator
+  /// (core/parallel.h SnapshotAnalyzer). The per-probe Fig. 8 vectors are
+  /// append-ordered; copying them preserves that order, and later adds keep
+  /// appending to the accumulator only.
+  std::map<bgp::Asn, AsSpatialStats> snapshot() const {
+    return std::map<bgp::Asn, AsSpatialStats>(by_as_.begin(), by_as_.end());
   }
 
  private:

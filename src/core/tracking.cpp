@@ -40,6 +40,13 @@ std::vector<DeviceTrack> TrackingAnalyzer::tracks_of(
   return out;
 }
 
+void TrackingAnalyzer::merge(TrackingAnalyzer&& other) {
+  for (auto& [asn, stats] : other.by_as_) {
+    auto [it, inserted] = by_as_.try_emplace(asn, std::move(stats));
+    if (!inserted) it->second.merge(stats);
+  }
+}
+
 void TrackingAnalyzer::add_probe(const CleanProbe& probe) {
   if (probe.v6.empty()) return;
   AsTrackingStats& as = by_as_[probe.asn];

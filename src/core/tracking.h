@@ -43,6 +43,20 @@ struct AsTrackingStats {
                                             ///< across >= 2 /64s
   std::vector<double> eui64_tracked_days;   ///< tracked span per EUI-64 dev
 
+  /// Absorb another shard's stats for the same AS; tracked spans are
+  /// appended after ours, so merging shards in index order preserves the
+  /// serial per-device ordering.
+  void merge(const AsTrackingStats& o) {
+    probes += o.probes;
+    eui64_probes += o.eui64_probes;
+    devices += o.devices;
+    eui64_devices += o.eui64_devices;
+    cross_network_tracked += o.cross_network_tracked;
+    eui64_tracked_days.insert(eui64_tracked_days.end(),
+                              o.eui64_tracked_days.begin(),
+                              o.eui64_tracked_days.end());
+  }
+
   /// Share of probes whose household exposes at least one stable EUI-64
   /// device — the subscribers trackable across renumbering (§6).
   double eui64_probe_share() const {
@@ -66,7 +80,17 @@ class TrackingAnalyzer {
 
   void add_probe(const CleanProbe& probe);
 
+  // Sink interface (core/parallel.h); merge shards in index order so the
+  // per-device tracked-span vectors keep the serial append order.
+  void add(const CleanProbe& probe) { add_probe(probe); }
+  void merge(TrackingAnalyzer&& other);
+  void finalize() {}
+
   const std::map<bgp::Asn, AsTrackingStats>& by_as() const { return by_as_; }
+
+  /// Finalized per-AS results without consuming the accumulator
+  /// (core/parallel.h SnapshotAnalyzer).
+  std::map<bgp::Asn, AsTrackingStats> snapshot() const { return by_as_; }
 
  private:
   std::map<bgp::Asn, AsTrackingStats> by_as_;

@@ -27,6 +27,7 @@ constexpr std::uint32_t kSecMeta = fourcc('M', 'E', 'T', 'A');
 constexpr std::uint32_t kSecShard = fourcc('S', 'H', 'R', 'D');
 constexpr std::uint32_t kSecRegistry = fourcc('R', 'E', 'G', 'S');
 constexpr std::uint32_t kSecSupervisor = fourcc('S', 'U', 'P', 'V');
+constexpr std::uint32_t kSecStream = fourcc('S', 'T', 'R', 'M');
 
 std::string section_name(std::uint32_t tag) {
   std::string name(4, '?');
@@ -56,6 +57,8 @@ const char* checkpoint_kind_name(std::uint32_t kind) {
     case kCkptCdnGen: return "cdn-study";
     case kCkptAtlasFile: return "atlas-study-from-files";
     case kCkptCdnFile: return "cdn-study-from-files";
+    case kCkptAtlasStream: return "atlas-stream";
+    case kCkptCdnStream: return "cdn-stream";
   }
   return "unknown";
 }
@@ -66,7 +69,8 @@ std::string encode_checkpoint(const StudyCheckpoint& ckpt) {
   out.u32(kCheckpointVersion);
   std::uint32_t sections = 1 + std::uint32_t(ckpt.shards.size()) +
                            (ckpt.registry_blob.empty() ? 0u : 1u) +
-                           (ckpt.supervisor_blob.empty() ? 0u : 1u);
+                           (ckpt.supervisor_blob.empty() ? 0u : 1u) +
+                           (ckpt.consumed.empty() ? 0u : 1u);
   out.u32(sections);
 
   {
@@ -89,6 +93,12 @@ std::string encode_checkpoint(const StudyCheckpoint& ckpt) {
     append_section(out, kSecRegistry, ckpt.registry_blob);
   if (!ckpt.supervisor_blob.empty())
     append_section(out, kSecSupervisor, ckpt.supervisor_blob);
+  if (!ckpt.consumed.empty()) {
+    ckpt::Writer body;
+    body.u64(ckpt.consumed.size());
+    for (const std::string& name : ckpt.consumed) body.str(name);
+    append_section(out, kSecStream, body.buffer());
+  }
 
   out.u32(ckpt::crc32(out.buffer()));
   return out.take();
@@ -149,6 +159,12 @@ Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes) {
       ckpt.registry_blob = std::move(payload);
     } else if (tag == kSecSupervisor) {
       ckpt.supervisor_blob = std::move(payload);
+    } else if (tag == kSecStream) {
+      std::uint64_t n = sec.size();
+      ckpt.consumed.reserve(n);
+      for (std::uint64_t k = 0; k < n; ++k) ckpt.consumed.push_back(sec.str());
+      if (!sec.ok() || sec.remaining() != 0)
+        return data_loss("malformed STRM section");
     } else {
       return data_loss("unknown section " + section_name(tag));
     }

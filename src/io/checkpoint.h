@@ -19,16 +19,23 @@
 //   u32 crc32(everything above)                   whole-file trailer
 //
 // Sections: one META (kind, fingerprint, item count, shard count), one SHRD
-// per shard (begin, end, next, blob), optional REGS (registry snapshot) and
-// SUPV (supervisor sink). Every section carries its own CRC32 and the file
-// a whole-file CRC, so a single flipped bit or a truncated tail is detected
-// and rejected with a descriptive Status — never a crash or a silently
-// wrong resume.
+// per shard (begin, end, next, blob), optional REGS (registry snapshot),
+// SUPV (supervisor sink) and STRM (streaming-mode batch high-water mark:
+// the consumed batch basenames in consumption order). Every section carries
+// its own CRC32 and the file a whole-file CRC, so a single flipped bit or a
+// truncated tail is detected and rejected with a descriptive Status — never
+// a crash or a silently wrong resume.
 //
 // Durability: write_checkpoint() goes through tmp + rename and retains the
 // previous checkpoint as `path.prev` until the new one is in place;
 // read_checkpoint_with_fallback() falls back to `.prev` when the primary is
 // missing or damaged.
+//
+// Retention: publishing renames the current checkpoint over any existing
+// `path.prev`, so repeated writes keep exactly the last two generations —
+// `path` and `path.prev` — no matter how long a streaming run checkpoints
+// after every batch. Nothing else accumulates (`path.tmp` exists only
+// mid-write).
 //
 // The byte codec (Writer/Reader) is header-only on purpose: analyzers in
 // core/, stats/ and obs/ implement save()/load() against it without their
@@ -191,12 +198,19 @@ inline constexpr std::uint32_t kCkptAtlasGen = 1;
 inline constexpr std::uint32_t kCkptCdnGen = 2;
 inline constexpr std::uint32_t kCkptAtlasFile = 3;
 inline constexpr std::uint32_t kCkptCdnFile = 4;
+inline constexpr std::uint32_t kCkptAtlasStream = 5;
+inline constexpr std::uint32_t kCkptCdnStream = 6;
 
 inline bool is_atlas_checkpoint_kind(std::uint32_t kind) {
-  return kind == kCkptAtlasGen || kind == kCkptAtlasFile;
+  return kind == kCkptAtlasGen || kind == kCkptAtlasFile ||
+         kind == kCkptAtlasStream;
 }
 inline bool is_cdn_checkpoint_kind(std::uint32_t kind) {
-  return kind == kCkptCdnGen || kind == kCkptCdnFile;
+  return kind == kCkptCdnGen || kind == kCkptCdnFile ||
+         kind == kCkptCdnStream;
+}
+inline bool is_stream_checkpoint_kind(std::uint32_t kind) {
+  return kind == kCkptAtlasStream || kind == kCkptCdnStream;
 }
 
 /// Printable kind label for error messages.
@@ -222,6 +236,11 @@ struct StudyCheckpoint {
   std::string registry_blob;
   /// The supervisor's own sink (`checkpoint.*` counters/timers).
   std::string supervisor_blob;
+  /// Streaming mode only: the batch high-water mark — basenames of every
+  /// ingested batch file, in consumption order. A resumed stream skips
+  /// these and replays only batches not yet consumed. Empty (and absent
+  /// from the file) for the one-shot study kinds.
+  std::vector<std::string> consumed;
 
   std::uint64_t items_done() const {
     std::uint64_t done = 0;

@@ -17,15 +17,17 @@ namespace dynamips::stats {
 /// from several threads). Querying an unfinalized accumulator still returns
 /// exact answers via non-mutating fallbacks; call finalize() once after the
 /// last add() to get the O(log n) sorted paths.
+///
+/// Re-finalizable: the accumulator tracks a sorted-prefix watermark, so a
+/// finalize() after more add()s only sorts the unsorted tail and merges it
+/// into the already-sorted prefix (O(tail log tail + n) instead of a full
+/// re-sort). Streaming snapshots alternate add batches and finalize calls
+/// without ever consuming the accumulator.
 class Ecdf {
  public:
-  void add(double x) {
-    samples_.push_back(x);
-    sorted_ = samples_.size() <= 1;
-  }
+  void add(double x) { samples_.push_back(x); }
   void add_n(double x, std::size_t n) {
     samples_.insert(samples_.end(), n, x);
-    sorted_ = samples_.size() <= n;
   }
 
   /// Absorb another accumulator's samples (shard reduction). Queries are
@@ -35,19 +37,21 @@ class Ecdf {
     if (other.samples_.empty()) return;
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
-    sorted_ = false;
     finalize();
   }
 
   /// Sort the sample buffer; afterwards all accessors take the fast sorted
-  /// paths and concurrent const reads share immutable state.
+  /// paths and concurrent const reads share immutable state. Incremental:
+  /// sorts only the tail added since the previous finalize, then merges it
+  /// with the sorted prefix in place.
   void finalize() {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
+    if (sorted_prefix_ == samples_.size()) return;
+    auto mid = samples_.begin() + std::ptrdiff_t(sorted_prefix_);
+    std::sort(mid, samples_.end());
+    std::inplace_merge(samples_.begin(), mid, samples_.end());
+    sorted_prefix_ = samples_.size();
   }
-  bool finalized() const { return sorted_; }
+  bool finalized() const { return sorted_prefix_ == samples_.size(); }
 
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -55,7 +59,7 @@ class Ecdf {
   /// Fraction of samples <= x.
   double at(double x) const {
     if (samples_.empty()) return 0.0;
-    if (!sorted_) {
+    if (!finalized()) {
       // Unfinalized: count linearly instead of sorting under the caller.
       std::size_t c = 0;
       for (double s : samples_) c += (s <= x);
@@ -68,7 +72,7 @@ class Ecdf {
   /// Value below which a fraction q of samples fall (inverse CDF).
   double quantile(double q) const {
     if (samples_.empty()) return 0.0;
-    if (!sorted_) {
+    if (!finalized()) {
       // Unfinalized: sort a local copy rather than mutating shared state.
       std::vector<double> copy(samples_);
       std::sort(copy.begin(), copy.end());
@@ -85,7 +89,8 @@ class Ecdf {
     return out;
   }
 
-  /// The sample buffer: insertion-ordered before finalize(), sorted after.
+  /// The sample buffer: sorted up to the watermark left by the last
+  /// finalize(), insertion-ordered past it.
   const std::vector<double>& samples() const { return samples_; }
 
  private:
@@ -100,7 +105,7 @@ class Ecdf {
   }
 
   std::vector<double> samples_;
-  bool sorted_ = true;
+  std::size_t sorted_prefix_ = 0;
 };
 
 }  // namespace dynamips::stats

@@ -369,7 +369,9 @@ TEST(MergeAnalyzers, SanitizerStatsHalvesEqualFull) {
   EXPECT_EQ(as.test_address_records, fs.test_address_records);
 }
 
-void expect_eq(const core::CdnAnalyzer& a, const core::CdnAnalyzer& b) {
+// Works for any mix of CdnAnalyzer and CdnSnapshot (same accessor surface).
+template <typename A, typename B>
+void expect_eq_cdn(const A& a, const B& b) {
   ASSERT_EQ(a.by_asn().size(), b.by_asn().size());
   for (const auto& [asn, stats] : b.by_asn()) {
     const auto& got = a.by_asn().at(asn);
@@ -411,7 +413,7 @@ TEST(MergeAnalyzers, CdnAnalyzerHalvesEqualFull) {
     (i < half ? a : b).add(log);
   }
   a.merge(std::move(b));
-  expect_eq(a, full);
+  expect_eq_cdn(a, full);
 }
 
 // --------------------------------------------------- end-to-end invariance
@@ -473,7 +475,7 @@ TEST(PipelineInvariance, CdnStudyIdenticalAcrossThreadCounts) {
   auto serial = core::run_cdn_study(population, cfg);
   cfg.threads = 4;
   auto sharded = core::run_cdn_study(population, cfg);
-  expect_eq(sharded.analyzer, serial.analyzer);
+  expect_eq_cdn(sharded.analyzer, serial.analyzer);
   EXPECT_EQ(sharded.asn_names, serial.asn_names);
 }
 

@@ -1,0 +1,735 @@
+// test_stream.cpp — the streaming incremental pipeline.
+//
+// Covers the re-finalizable analyzer lifecycle (add / merge / snapshot)
+// and the directory-watching stream driver end to end: every analyzer's
+// interleaved add+finalize+snapshot sequence must leave state byte-identical
+// to a one-shot run over the same items; the stream checkpoint must carry
+// the consumed-batch high-water mark; and a streamed study over batch files
+// B1..Bk — at any thread count, across a resume at a different thread
+// count, and across a cooperative interrupt — must produce result CSVs
+// byte-identical to a one-shot file study over [B1, ..., Bk].
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atlas/generator.h"
+#include "cdn/generator.h"
+#include "core/observations.h"
+#include "core/sanitize.h"
+#include "io/checkpoint.h"
+#include "io/results_io.h"
+#include "simnet/isp.h"
+#include "stats/ecdf.h"
+
+namespace dynamips {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Status;
+using core::StatusCode;
+
+// ------------------------------------------------------------ test helpers
+
+/// Fresh per-test scratch directory (removed and recreated on each call).
+fs::path temp_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Serialize every Atlas artifact; byte equality here is the "results are
+/// identical" acceptance criterion (same helper as test_ingest.cpp).
+std::string atlas_signature(const core::AtlasStudy& study) {
+  std::ostringstream os;
+  io::write_duration_curves_csv(os, study);
+  io::write_cpl_csv(os, study);
+  io::write_bgp_moves_csv(os, study);
+  io::write_inference_csv(os, study);
+  return os.str();
+}
+
+std::string cdn_signature(const core::CdnStudy& study) {
+  std::ostringstream os;
+  io::write_assoc_durations_csv(os, study);
+  io::write_degrees_csv(os, study);
+  io::write_zero_boundaries_csv(os, study);
+  return os.str();
+}
+
+template <typename A>
+std::string save_bytes(const A& analyzer) {
+  io::ckpt::Writer w;
+  analyzer.save(w);
+  return w.take();
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Shared Atlas fixture: a small generated dataset plus the CleanProbes a
+// producer-side sanitizer extracts from it (the analyzer property tests
+// feed those probes; the stream tests feed the raw series as batch files).
+struct AtlasFixture {
+  std::vector<simnet::IspProfile> isps;
+  bgp::Rib rib;
+  std::vector<atlas::ProbeSeries> dataset;
+  std::vector<core::CleanProbe> probes;
+};
+
+const AtlasFixture& atlas_fixture() {
+  static const AtlasFixture* fixture = [] {
+    auto* f = new AtlasFixture;
+    f->isps = simnet::paper_isps();
+    f->isps.resize(3);
+    atlas::AtlasConfig cfg;
+    cfg.probe_scale = 0.02;
+    cfg.window_hours = 3000;
+    cfg.seed = 5;
+    atlas::AtlasSimulator sim(f->isps, cfg);
+    f->dataset.reserve(sim.probe_count());
+    for (std::size_t i = 0; i < sim.probe_count(); ++i)
+      f->dataset.push_back(sim.series_for(i));
+    simnet::announce_all(f->isps, f->rib);
+    core::Sanitizer producer(f->rib, {});
+    for (const auto& series : f->dataset) {
+      auto cleaned = producer.sanitize(core::from_series(series));
+      f->probes.insert(f->probes.end(), cleaned.begin(), cleaned.end());
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+struct CdnFixture {
+  std::vector<cdn::PopulationEntry> population;
+  std::vector<cdn::AssociationLog> logs;
+  std::unordered_set<bgp::Asn> mobile_asns;
+};
+
+const CdnFixture& cdn_fixture() {
+  static const CdnFixture* fixture = [] {
+    auto* f = new CdnFixture;
+    f->population = cdn::default_cdn_population(0.02);
+    cdn::CdnConfig cfg;
+    cfg.subscriber_scale = 0.02;
+    cfg.seed = 13;
+    cdn::CdnSimulator sim(f->population, cfg);
+    f->logs.reserve(sim.entry_count());
+    for (std::size_t i = 0; i < sim.entry_count(); ++i)
+      f->logs.push_back(sim.generate(i));
+    f->mobile_asns = sim.mobile_asns();
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Split an echo dataset into `nbatches` batch files by record hour
+/// (equal-width slices, same scheme as tools/stream_feed.py) and write
+/// them into `dir` with lexicographically ordered names. Returns the paths
+/// in production order.
+std::vector<std::string> write_atlas_batches(
+    const fs::path& dir, const std::vector<atlas::ProbeSeries>& dataset,
+    std::size_t nbatches) {
+  std::uint64_t tmin = ~std::uint64_t(0), tmax = 0;
+  for (const auto& series : dataset)
+    for (const auto& r : series.records) {
+      tmin = std::min<std::uint64_t>(tmin, r.hour);
+      tmax = std::max<std::uint64_t>(tmax, r.hour);
+    }
+  const std::uint64_t span = tmax - tmin + 1;
+  auto slice_of = [&](std::uint64_t t) {
+    return std::min(nbatches - 1, std::size_t((t - tmin) * nbatches / span));
+  };
+  std::vector<std::string> paths;
+  for (std::size_t b = 0; b < nbatches; ++b) {
+    std::vector<atlas::ProbeSeries> slice;
+    for (const auto& series : dataset) {
+      atlas::ProbeSeries s;
+      s.meta = series.meta;
+      for (const auto& r : series.records)
+        if (slice_of(r.hour) == b) s.records.push_back(r);
+      if (!s.records.empty()) slice.push_back(std::move(s));
+    }
+    char name[32];
+    std::snprintf(name, sizeof name, "batch-%03zu.csv", b);
+    std::ofstream out(dir / name, std::ios::binary);
+    io::write_echo_dataset(out, slice);
+    paths.push_back((dir / name).string());
+  }
+  return paths;
+}
+
+/// Association-side analog: split by record day.
+std::vector<std::string> write_cdn_batches(
+    const fs::path& dir, const std::vector<cdn::AssociationLog>& logs,
+    std::size_t nbatches) {
+  std::uint32_t tmin = ~std::uint32_t(0), tmax = 0;
+  for (const auto& log : logs)
+    for (const auto& r : log.records) {
+      tmin = std::min(tmin, r.day);
+      tmax = std::max(tmax, r.day);
+    }
+  const std::uint64_t span = std::uint64_t(tmax) - tmin + 1;
+  auto slice_of = [&](std::uint32_t t) {
+    return std::min(nbatches - 1,
+                    std::size_t(std::uint64_t(t - tmin) * nbatches / span));
+  };
+  std::vector<std::string> paths;
+  for (std::size_t b = 0; b < nbatches; ++b) {
+    std::vector<cdn::AssociationLog> slice;
+    for (const auto& log : logs) {
+      cdn::AssociationLog l;
+      l.asn = log.asn;
+      l.mobile = log.mobile;
+      l.registry = log.registry;
+      for (const auto& r : log.records)
+        if (slice_of(r.day) == b) l.records.push_back(r);
+      if (!l.records.empty()) slice.push_back(std::move(l));
+    }
+    char name[32];
+    std::snprintf(name, sizeof name, "batch-%03zu.csv", b);
+    std::ofstream out(dir / name, std::ios::binary);
+    io::write_assoc_dataset(out, slice);
+    paths.push_back((dir / name).string());
+  }
+  return paths;
+}
+
+void drop_sentinel(const fs::path& dir, const std::string& name) {
+  std::ofstream(dir / name, std::ios::binary).put('\n');
+}
+
+core::CdnFileStudyConfig cdn_file_config(unsigned threads) {
+  const CdnFixture& fx = cdn_fixture();
+  core::CdnFileStudyConfig cfg;
+  cfg.threads = threads;
+  cfg.mobile_asns = fx.mobile_asns;
+  for (const auto& entry : fx.population) {
+    cfg.registries[entry.isp.asn] = entry.isp.registry;
+    cfg.asn_names[entry.isp.asn] = entry.isp.name;
+  }
+  return cfg;
+}
+
+// ------------------------------------------- re-finalizable accumulators
+
+TEST(EcdfRefinalize, IncrementalFinalizeMatchesOneShot) {
+  // Deterministic sample stream (LCG), added in windows with a finalize()
+  // after each window — the streaming access pattern.
+  std::vector<double> samples;
+  std::uint64_t state = 42;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    samples.push_back(double(state >> 11) / double(1ull << 53));
+  }
+
+  stats::Ecdf inc, once;
+  const std::size_t kWindows = 7;
+  const std::size_t per = (samples.size() + kWindows - 1) / kWindows;
+  for (std::size_t b = 0; b < kWindows; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(samples.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) inc.add(samples[i]);
+    inc.finalize();
+    ASSERT_TRUE(inc.finalized());
+  }
+  for (double s : samples) once.add(s);
+  once.finalize();
+
+  // The incremental tail-sort + inplace_merge must land on the identical
+  // sorted buffer a single full sort produces.
+  EXPECT_EQ(inc.samples(), once.samples());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+    EXPECT_EQ(inc.quantile(q), once.quantile(q)) << "q=" << q;
+  for (double x : {0.0, 0.05, 0.33, 0.5, 0.77, 1.0})
+    EXPECT_EQ(inc.at(x), once.at(x)) << "x=" << x;
+}
+
+TEST(EcdfRefinalize, UnfinalizedQueriesAreExact) {
+  stats::Ecdf e;
+  for (double s : {0.9, 0.1, 0.5, 0.3, 0.7}) e.add(s);
+  e.finalize();
+  e.add(0.2);  // unsorted tail past the watermark
+  e.add(0.8);
+  ASSERT_FALSE(e.finalized());
+  stats::Ecdf ref = e;
+  ref.finalize();
+  // Queries on the unfinalized accumulator fall back to exact linear /
+  // copy-sort paths — same answers, no mutation.
+  EXPECT_EQ(e.at(0.45), ref.at(0.45));
+  EXPECT_EQ(e.quantile(0.5), ref.quantile(0.5));
+  EXPECT_FALSE(e.finalized());
+  e.finalize();
+  EXPECT_EQ(e.samples(), ref.samples());
+}
+
+/// Interleaved add+finalize+snapshot windows must leave an analyzer's
+/// serialized state byte-identical to one-shot feeding, and snapshot() must
+/// never consume (state unchanged across repeated snapshots).
+template <typename Item, typename MakeFn, typename FeedFn>
+void check_incremental_bytes(const std::vector<Item>& items, MakeFn make,
+                             FeedFn feed) {
+  ASSERT_FALSE(items.empty());
+  auto inc = make();
+  auto once = make();
+  const std::size_t kWindows = 4;
+  const std::size_t per = (items.size() + kWindows - 1) / kWindows;
+  for (std::size_t b = 0; b < kWindows; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(items.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) feed(inc, items[i]);
+    inc.finalize();
+    (void)inc.snapshot();
+  }
+  for (const auto& item : items) feed(once, item);
+  once.finalize();
+  EXPECT_EQ(save_bytes(inc), save_bytes(once));
+
+  const std::string before = save_bytes(inc);
+  (void)inc.snapshot();
+  (void)inc.snapshot();
+  EXPECT_EQ(save_bytes(inc), before);
+}
+
+TEST(AnalyzerRefinalize, SanitizerAccountingMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  check_incremental_bytes(
+      fx.dataset,
+      [&] { return core::Sanitizer(fx.rib, core::SanitizeOptions{}); },
+      [](core::Sanitizer& a, const atlas::ProbeSeries& s) {
+        a.sanitize(core::from_series(s));
+      });
+}
+
+TEST(AnalyzerRefinalize, DurationAnalyzerMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  check_incremental_bytes(
+      fx.probes, [] { return core::DurationAnalyzer(core::ChangeOptions{}); },
+      [](core::DurationAnalyzer& a, const core::CleanProbe& p) { a.add(p); });
+}
+
+TEST(AnalyzerRefinalize, SpatialAnalyzerMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  check_incremental_bytes(
+      fx.probes, [&] { return core::SpatialAnalyzer(fx.rib); },
+      [](core::SpatialAnalyzer& a, const core::CleanProbe& p) { a.add(p); });
+}
+
+TEST(AnalyzerRefinalize, InferenceCollectorMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  check_incremental_bytes(
+      fx.probes, [] { return core::InferenceCollector(); },
+      [](core::InferenceCollector& a, const core::CleanProbe& p) { a.add(p); });
+}
+
+TEST(AnalyzerRefinalize, CdnAnalyzerMatchesOneShot) {
+  const CdnFixture& fx = cdn_fixture();
+  check_incremental_bytes(
+      fx.logs,
+      [&] { return core::CdnAnalyzer(core::AssocOptions{}, fx.mobile_asns); },
+      [](core::CdnAnalyzer& a, const cdn::AssociationLog& l) { a.add(l); });
+}
+
+void expect_ttf_eq(const stats::TotalTimeFraction& a,
+                   const stats::TotalTimeFraction& b) {
+  EXPECT_EQ(a.total_hours(), b.total_hours());
+  EXPECT_EQ(a.total_count(), b.total_count());
+  static constexpr std::uint64_t kGrid[] = {1, 6, 24, 72, 168, 720, 2160};
+  EXPECT_EQ(a.cumulative(kGrid), b.cumulative(kGrid));
+}
+
+// EvolutionAnalyzer has no checkpoint serialization (it is not part of the
+// supervised one-shot studies), so compare the snapshot maps structurally.
+TEST(AnalyzerRefinalize, EvolutionAnalyzerMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  core::EvolutionAnalyzer inc, once;
+  const std::size_t kWindows = 4;
+  const std::size_t per = (fx.probes.size() + kWindows - 1) / kWindows;
+  for (std::size_t b = 0; b < kWindows; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(fx.probes.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) inc.add(fx.probes[i]);
+    inc.finalize();
+    (void)inc.snapshot();
+  }
+  for (const auto& p : fx.probes) once.add(p);
+  once.finalize();
+
+  const auto got = inc.snapshot();
+  const auto want = once.snapshot();
+  ASSERT_FALSE(want.empty());
+  ASSERT_EQ(got.size(), want.size());
+  for (auto gi = got.begin(), wi = want.begin(); gi != got.end(); ++gi, ++wi) {
+    EXPECT_EQ(gi->first, wi->first);
+    expect_ttf_eq(gi->second.v4_nds, wi->second.v4_nds);
+    expect_ttf_eq(gi->second.v4_ds, wi->second.v4_ds);
+    expect_ttf_eq(gi->second.v6, wi->second.v6);
+  }
+  // snapshot() must not consume: a second snapshot is identical.
+  const auto again = inc.snapshot();
+  EXPECT_EQ(again.size(), got.size());
+}
+
+TEST(AnalyzerRefinalize, TrackingAnalyzerMatchesOneShot) {
+  const AtlasFixture& fx = atlas_fixture();
+  core::TrackingAnalyzer inc, once;
+  const std::size_t kWindows = 4;
+  const std::size_t per = (fx.probes.size() + kWindows - 1) / kWindows;
+  for (std::size_t b = 0; b < kWindows; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = std::min(fx.probes.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) inc.add(fx.probes[i]);
+    inc.finalize();
+    (void)inc.snapshot();
+  }
+  for (const auto& p : fx.probes) once.add(p);
+  once.finalize();
+
+  const auto got = inc.snapshot();
+  const auto want = once.snapshot();
+  ASSERT_EQ(got.size(), want.size());
+  for (auto gi = got.begin(), wi = want.begin(); gi != got.end(); ++gi, ++wi) {
+    EXPECT_EQ(gi->first, wi->first);
+    EXPECT_EQ(gi->second.probes, wi->second.probes);
+    EXPECT_EQ(gi->second.eui64_probes, wi->second.eui64_probes);
+    EXPECT_EQ(gi->second.devices, wi->second.devices);
+    EXPECT_EQ(gi->second.eui64_devices, wi->second.eui64_devices);
+    EXPECT_EQ(gi->second.cross_network_tracked,
+              wi->second.cross_network_tracked);
+    EXPECT_EQ(gi->second.eui64_tracked_days, wi->second.eui64_tracked_days);
+  }
+}
+
+// -------------------------------------------------- stream checkpointing
+
+TEST(StreamCheckpoint, RoundTripCarriesConsumedBatches) {
+  io::StudyCheckpoint ck;
+  ck.kind = io::kCkptAtlasStream;
+  ck.config_fingerprint = 0xfeedfacecafef00dull;
+  ck.item_count = 2;
+  ck.shards.push_back({0, 2, 2, "accumulated-dataset-blob"});
+  ck.supervisor_blob = "stream-sink";
+  ck.consumed = {"batch-000.csv", "batch-001.csv"};
+
+  const std::string bytes = io::encode_checkpoint(ck);
+  auto back = io::decode_checkpoint(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->kind, io::kCkptAtlasStream);
+  EXPECT_TRUE(io::is_stream_checkpoint_kind(back->kind));
+  EXPECT_EQ(back->config_fingerprint, ck.config_fingerprint);
+  EXPECT_EQ(back->item_count, 2u);
+  ASSERT_EQ(back->shards.size(), 1u);
+  EXPECT_EQ(back->shards[0].blob, "accumulated-dataset-blob");
+  EXPECT_EQ(back->supervisor_blob, "stream-sink");
+  EXPECT_EQ(back->consumed, ck.consumed);
+}
+
+TEST(StreamCheckpoint, OneShotKindsOmitTheBatchSection) {
+  io::StudyCheckpoint ck;
+  ck.kind = io::kCkptAtlasFile;
+  ck.config_fingerprint = 7;
+  ck.item_count = 1;
+  ck.shards.push_back({0, 1, 1, "blob"});
+  auto back = io::decode_checkpoint(io::encode_checkpoint(ck));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_FALSE(io::is_stream_checkpoint_kind(back->kind));
+  EXPECT_TRUE(back->consumed.empty());
+}
+
+// ------------------------------------------------- streaming end to end
+
+TEST(AtlasStream, MatchesOneShotAtAnyThreadCount) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_atlas_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+  drop_sentinel(watch, "stream.stop");
+
+  // Reference: the one-shot file study over the same batches in order.
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  for (unsigned threads : {1u, 4u}) {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = threads;
+    core::StreamConfig stream;
+    stream.refinalize_every_batches = 2;
+    std::uint64_t windowed = 0;
+    std::string mid_signature;
+    core::StreamStats stats;
+    auto study = core::run_atlas_stream(
+        watch.string(), fx.isps, cfg, stream,
+        [&](const core::AtlasStudy& snap, const core::StreamStats& at) {
+          ++windowed;
+          EXPECT_GT(at.batches, 0u);
+          mid_signature = atlas_signature(snap);
+        },
+        nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(atlas_signature(*study), want) << "threads=" << threads;
+    EXPECT_EQ(stats.batches, 4u);
+    EXPECT_GT(stats.records, 0u);
+    // Windowed re-finalizations after batches 2 and 4, plus the final pass.
+    EXPECT_EQ(windowed, 2u);
+    EXPECT_EQ(stats.refinalizes, 3u);
+    // The last windowed snapshot saw all four batches, so it already equals
+    // the final study: snapshots never consume the accumulators.
+    EXPECT_EQ(mid_signature, want);
+  }
+}
+
+TEST(AtlasStream, ResumeAtDifferentThreadCountIsByteIdentical) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_atlas_resume_watch");
+  const fs::path ckdir = temp_dir("stream_atlas_resume_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // Phase 1: consume exactly two batches at threads=1, leaving the batch
+  // high-water-mark checkpoint behind.
+  {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = 1;
+    core::StreamConfig stream;
+    stream.max_batches = 2;
+    stream.checkpoint_path = ckpt;
+    core::StreamStats stats;
+    auto study =
+        core::run_atlas_stream(watch.string(), fx.isps, cfg, stream, {},
+                               nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(stats.batches, 2u);
+  }
+
+  auto ck = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  EXPECT_EQ(ck->kind, io::kCkptAtlasStream);
+  ASSERT_EQ(ck->consumed.size(), 2u);
+  EXPECT_EQ(ck->consumed[0], "batch-000.csv");
+  EXPECT_EQ(ck->consumed[1], "batch-001.csv");
+
+  // Phase 2: resume at threads=4; only the unconsumed batches are replayed.
+  drop_sentinel(watch, "stream.stop");
+  {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = 4;
+    core::StreamConfig stream;
+    stream.checkpoint_path = ckpt;
+    stream.resume = &*ck;
+    core::StreamStats stats;
+    auto study =
+        core::run_atlas_stream(watch.string(), fx.isps, cfg, stream, {},
+                               nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(atlas_signature(*study), want);
+    EXPECT_EQ(stats.batches, 4u);
+  }
+
+  // Retention: tmp + rename with a `.prev` survivor means the checkpoint
+  // directory never holds more than the live file and one predecessor.
+  std::set<std::string> entries;
+  for (const auto& e : fs::directory_iterator(ckdir))
+    entries.insert(e.path().filename().string());
+  EXPECT_EQ(entries,
+            (std::set<std::string>{"study.ckpt", "study.ckpt.prev"}));
+}
+
+TEST(AtlasStream, PreTrippedTokenCancelsWithDurableCheckpoint) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_atlas_cancel_watch");
+  const fs::path ckdir = temp_dir("stream_atlas_cancel_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto paths = write_atlas_batches(watch, fx.dataset, 3);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  core::ShutdownToken token;
+  token.request();
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  core::StreamConfig stream;
+  stream.checkpoint_path = ckpt;
+  stream.token = &token;
+  auto cancelled =
+      core::run_atlas_stream(watch.string(), fx.isps, cfg, stream);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(contains(cancelled.status().message(),
+                       "interrupted by shutdown request"))
+      << cancelled.status().to_string();
+  ASSERT_TRUE(fs::exists(ckpt));
+
+  // Resuming the zero-batch checkpoint replays everything and still lands
+  // on the one-shot results.
+  token.clear();
+  auto ck = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  EXPECT_TRUE(ck->consumed.empty());
+  core::StreamConfig stream2;
+  stream2.checkpoint_path = ckpt;
+  stream2.token = &token;
+  stream2.resume = &*ck;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream2,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_EQ(stats.batches, 3u);
+}
+
+TEST(AtlasStream, ResumeValidationRejectsMismatches) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_atlas_validate_watch");
+  const fs::path ckdir = temp_dir("stream_atlas_validate_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  write_atlas_batches(watch, fx.dataset, 2);
+
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+
+  // Missing watch directory.
+  {
+    core::StreamConfig stream;
+    auto missing = core::run_atlas_stream(
+        (watch / "does-not-exist").string(), fx.isps, cfg, stream);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  }
+
+  // A CDN-stream checkpoint cannot resume the Atlas stream.
+  {
+    io::StudyCheckpoint wrong;
+    wrong.kind = io::kCkptCdnStream;
+    core::StreamConfig stream;
+    stream.resume = &wrong;
+    auto rejected =
+        core::run_atlas_stream(watch.string(), fx.isps, cfg, stream);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(contains(rejected.status().message(), "cannot resume"))
+        << rejected.status().to_string();
+  }
+
+  // A genuine checkpoint taken under different analysis options is refused:
+  // the config fingerprint no longer matches.
+  {
+    core::StreamConfig stream;
+    stream.max_batches = 1;
+    stream.checkpoint_path = ckpt;
+    auto phase1 =
+        core::run_atlas_stream(watch.string(), fx.isps, cfg, stream);
+    ASSERT_TRUE(phase1.ok()) << phase1.status().to_string();
+    auto ck = io::read_checkpoint(ckpt);
+    ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+
+    core::AtlasFileStudyConfig other = cfg;
+    other.sanitize.min_observation_hours += 1;
+    core::StreamConfig resume;
+    resume.resume = &*ck;
+    auto rejected =
+        core::run_atlas_stream(watch.string(), fx.isps, other, resume);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(contains(rejected.status().message(), "fingerprint"))
+        << rejected.status().to_string();
+  }
+}
+
+TEST(CdnStream, ResumeAtDifferentThreadCountIsByteIdentical) {
+  const CdnFixture& fx = cdn_fixture();
+  const fs::path watch = temp_dir("stream_cdn_watch");
+  const fs::path ckdir = temp_dir("stream_cdn_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto paths = write_cdn_batches(watch, fx.logs, 3);
+
+  auto ref = core::run_cdn_study_from_files(paths, cdn_file_config(1));
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = cdn_signature(*ref);
+
+  // Phase 1 at threads=4 stops after one batch; phase 2 resumes at
+  // threads=1 — the thread knob must not leak into results.
+  {
+    core::StreamConfig stream;
+    stream.max_batches = 1;
+    stream.checkpoint_path = ckpt;
+    core::StreamStats stats;
+    auto study = core::run_cdn_stream(watch.string(), cdn_file_config(4),
+                                      stream, {}, nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(stats.batches, 1u);
+  }
+
+  auto ck = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  EXPECT_EQ(ck->kind, io::kCkptCdnStream);
+  ASSERT_EQ(ck->consumed.size(), 1u);
+
+  drop_sentinel(watch, "stream.stop");
+  {
+    core::StreamConfig stream;
+    stream.checkpoint_path = ckpt;
+    stream.resume = &*ck;
+    core::StreamStats stats;
+    auto study = core::run_cdn_stream(watch.string(), cdn_file_config(1),
+                                      stream, {}, nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(cdn_signature(*study), want);
+    EXPECT_EQ(stats.batches, 3u);
+  }
+}
+
+TEST(StreamDriver, ReusesOneExecutorAcrossFollows) {
+  // The long-lived driver owns the pool; back-to-back follows on one driver
+  // must behave exactly like fresh runs (state is per-follow, not per-pool).
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_driver_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 2);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  core::StreamDriver driver(2);
+  EXPECT_EQ(driver.thread_count(), 2u);
+  core::AtlasFileStudyConfig cfg;  // threads ignored: the driver's pool runs
+  for (int round = 0; round < 2; ++round) {
+    core::StreamConfig stream;
+    core::StreamStats stats;
+    auto study = driver.follow_atlas(watch.string(), fx.isps, cfg, stream, {},
+                                     nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(atlas_signature(*study), want) << "round=" << round;
+    EXPECT_EQ(stats.batches, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dynamips

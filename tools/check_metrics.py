@@ -6,6 +6,7 @@ Usage:
   check_metrics.py CANDIDATE BASELINE --update-baseline
   check_metrics.py CANDIDATE --require-counters=PAT[,PAT...]
   check_metrics.py CANDIDATE --compare-to=REF [--ignore-counters=PAT,...]
+      [--ignore-gauges=PAT,...]
 
 The candidate is a document written by `--metrics-out` (schema
 "dynamips.metrics.v1", see src/obs/metrics_json.h). The baseline is a
@@ -40,15 +41,19 @@ rejected lines (`--require-counters='ingest.reject.*'`). It composes
 with a baseline compare when both CANDIDATE and BASELINE are given.
 
 `--compare-to=REF` diffs two full metrics documents instead of gating
-against a subset baseline: counters must match EXACTLY in BOTH
-directions (a counter present on one side and absent from the other is
-a failure), and histograms must agree on totals and every bucket.
-Gauges, phase timings, and meta are ignored — they are wall-clock- or
+against a subset baseline: counters and gauges must match EXACTLY in
+BOTH directions (a metric present on one side and absent from the
+other is a failure), and histograms must agree on totals and every
+bucket. Phase timings and meta are ignored — they are wall-clock- or
 environment-dependent. `--ignore-counters=PAT[,PAT...]` exempts
 matching counter names from the two-way diff; the crash-resume CI job
 uses `--ignore-counters='checkpoint.*'` because an interrupted+resumed
 run legitimately carries supervision counters its straight-through
-reference lacks. Composes with `--require-counters`.
+reference lacks. `--ignore-gauges=PAT[,PAT...]` does the same for
+gauges that legitimately vary between equivalent runs (shard counts
+and imbalance when the two runs used different thread counts,
+`stream.lag_seconds`, `process.peak_rss_bytes`). Composes with
+`--require-counters`.
 
 Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
 Stdlib-only by design (runs in bare CI containers).
@@ -203,13 +208,15 @@ def update_baseline(candidate, baseline_path):
           f"({len(baseline['counters'])} gated counters)")
 
 
-def compare_documents(candidate, reference, ignore_patterns, verbose=False):
-    """Two-way exact diff of counters and histograms between two full
-    metrics documents (the resumed-vs-straight crash-recovery gate).
+def compare_documents(candidate, reference, ignore_patterns,
+                      ignore_gauge_patterns=(), verbose=False):
+    """Two-way exact diff of counters, gauges, and histograms between two
+    full metrics documents (the resumed-vs-straight crash-recovery gate
+    and the streamed-vs-one-shot identity gate).
 
-    Counters matching any ignore pattern are exempt on both sides; no
-    such exemption exists for histograms — analyzer histograms must
-    survive checkpoint/resume bit-for-bit.
+    Counters/gauges matching their ignore patterns are exempt on both
+    sides; no such exemption exists for histograms — analyzer histograms
+    must survive checkpoint/resume bit-for-bit.
     """
     problems = []
     if candidate.get("schema") != reference.get("schema"):
@@ -218,26 +225,30 @@ def compare_documents(candidate, reference, ignore_patterns, verbose=False):
             f"reference {reference.get('schema')!r}")
         return problems
 
-    def ignored(name):
-        return any(fnmatch.fnmatch(name, p) for p in ignore_patterns)
+    def diff_section(kind, got, want, patterns):
+        def ignored(name):
+            return any(fnmatch.fnmatch(name, p) for p in patterns)
 
-    got = candidate.get("counters", {})
-    want = reference.get("counters", {})
-    for name in sorted(set(got) | set(want)):
-        if ignored(name):
-            if verbose:
-                print(f"  ignored {name}")
-            continue
-        if name not in got:
-            problems.append(f"{name}: missing from candidate counters")
-        elif name not in want:
-            problems.append(f"{name}: unexpected counter "
-                            f"(absent from reference)")
-        elif got[name] != want[name]:
-            problems.append(
-                f"{name}: got {got[name]}, reference has {want[name]}")
-        elif verbose:
-            print(f"  ok {name}: {got[name]}")
+        for name in sorted(set(got) | set(want)):
+            if ignored(name):
+                if verbose:
+                    print(f"  ignored {kind} {name}")
+                continue
+            if name not in got:
+                problems.append(f"{name}: missing from candidate {kind}s")
+            elif name not in want:
+                problems.append(f"{name}: unexpected {kind} "
+                                f"(absent from reference)")
+            elif got[name] != want[name]:
+                problems.append(
+                    f"{name}: got {got[name]}, reference has {want[name]}")
+            elif verbose:
+                print(f"  ok {kind} {name}: {got[name]}")
+
+    diff_section("counter", candidate.get("counters", {}),
+                 reference.get("counters", {}), ignore_patterns)
+    diff_section("gauge", candidate.get("gauges", {}),
+                 reference.get("gauges", {}), ignore_gauge_patterns)
 
     ghist = candidate.get("histograms", {})
     rhist = reference.get("histograms", {})
@@ -285,6 +296,7 @@ def main(argv):
     required = []
     compare_to = None
     ignore_counters = []
+    ignore_gauges = []
     for flag in list(flags):
         if flag.startswith("--require-counters="):
             required = [p for p in
@@ -298,6 +310,10 @@ def main(argv):
                                flag[len("--ignore-counters="):].split(",")
                                if p]
             flags.remove(flag)
+        elif flag.startswith("--ignore-gauges="):
+            ignore_gauges = [p for p in
+                             flag[len("--ignore-gauges="):].split(",") if p]
+            flags.remove(flag)
     unknown = flags - {"--verbose", "--update-baseline"}
     usage = (__doc__.strip().splitlines()[0] +
              "\nusage: check_metrics.py CANDIDATE BASELINE "
@@ -305,12 +321,12 @@ def main(argv):
              "\n       check_metrics.py CANDIDATE "
              "--require-counters=PAT[,PAT...]"
              "\n       check_metrics.py CANDIDATE --compare-to=REF "
-             "[--ignore-counters=PAT,...]")
+             "[--ignore-counters=PAT,...] [--ignore-gauges=PAT,...]")
     if unknown:
         return fail(usage)
-    if ignore_counters and compare_to is None:
-        return fail("--ignore-counters only applies with --compare-to\n" +
-                    usage)
+    if (ignore_counters or ignore_gauges) and compare_to is None:
+        return fail("--ignore-counters/--ignore-gauges only apply with "
+                    "--compare-to\n" + usage)
     if len(args) != 2 and not (len(args) == 1 and (required or compare_to)):
         return fail(usage)
 
@@ -335,7 +351,7 @@ def main(argv):
         except (OSError, ValueError) as exc:
             return fail(f"cannot read reference {compare_to}: {exc}")
         problems += compare_documents(candidate, reference, ignore_counters,
-                                      verbose)
+                                      ignore_gauges, verbose)
     if baseline_path is not None:
         try:
             baseline = load(baseline_path)

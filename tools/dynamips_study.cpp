@@ -33,6 +33,18 @@
 // error budget fails the run with a descriptive status and exit code 1
 // (stale result CSVs of the failed study are removed).
 //
+// Streaming mode: --follow DIR (with exactly one of --atlas-only/--cdn-only)
+// switches from one-shot ingestion to a long-lived stream. Batch files
+// dropped into DIR are consumed in lexicographic order through the same
+// fault-tolerant readers, a monotone batch high-water-mark checkpoint is
+// written after every batch, and every --refinalize-every N batches (or
+// --refinalize-seconds S) the study is re-finalized and the result CSVs are
+// atomically re-published while the stream keeps running. A file named
+// `stream.stop` in DIR ends the stream: the final re-finalization records
+// metrics and the tool exits 0 with results byte-identical to a one-shot
+// run over the same batches. SIGINT/SIGTERM exits 3; re-running with
+// --resume-from replays only unconsumed batches, at any --threads value.
+//
 // Crash safety: SIGINT/SIGTERM (and the --deadline-seconds watchdog)
 // interrupt the run at the next round boundary, write a checkpoint
 // (io/checkpoint.h; default <output_dir>/study.ckpt), flush partial
@@ -76,7 +88,9 @@ void usage(const char* argv0) {
                "[--quarantine-out FILE] [--max-reject-fraction R] "
                "[--max-consecutive-rejects N] "
                "[--checkpoint-every N] [--checkpoint-out FILE] "
-               "[--resume-from FILE] [--deadline-seconds S]\n",
+               "[--resume-from FILE] [--deadline-seconds S] "
+               "[--follow DIR] [--refinalize-every N] "
+               "[--refinalize-seconds S] [--poll-ms MS] [--max-batches N]\n",
                argv0);
 }
 
@@ -112,6 +126,41 @@ bool write_file(const std::filesystem::path& path, Fn&& writer) {
   return true;
 }
 
+/// Publish the Atlas study's result CSVs (shared by the one-shot path, the
+/// streaming re-finalization callback, and the stream's final write).
+bool write_atlas_outputs(const std::filesystem::path& out_dir,
+                         const core::AtlasStudy& study) {
+  return write_file(out_dir / "fig1_duration_curves.csv",
+                    [&](std::ostream& os) {
+                      io::write_duration_curves_csv(os, study);
+                    }) &&
+         write_file(out_dir / "fig5_cpl.csv",
+                    [&](std::ostream& os) { io::write_cpl_csv(os, study); }) &&
+         write_file(out_dir / "table2_bgp_moves.csv",
+                    [&](std::ostream& os) {
+                      io::write_bgp_moves_csv(os, study);
+                    }) &&
+         write_file(out_dir / "fig6_inference.csv", [&](std::ostream& os) {
+           io::write_inference_csv(os, study);
+         });
+}
+
+bool write_cdn_outputs(const std::filesystem::path& out_dir,
+                       const core::CdnStudy& study) {
+  return write_file(out_dir / "fig23_assoc_durations.csv",
+                    [&](std::ostream& os) {
+                      io::write_assoc_durations_csv(os, study);
+                    }) &&
+         write_file(out_dir / "fig4_degrees.csv",
+                    [&](std::ostream& os) {
+                      io::write_degrees_csv(os, study);
+                    }) &&
+         write_file(out_dir / "fig7_zero_boundaries.csv",
+                    [&](std::ostream& os) {
+                      io::write_zero_boundaries_csv(os, study);
+                    });
+}
+
 /// Remove output files a failed study may have left from a previous run, so
 /// a nonzero exit never pairs with stale-but-plausible results.
 void remove_stale_outputs(const std::filesystem::path& out_dir,
@@ -137,6 +186,9 @@ int main(int argc, char** argv) {
   std::string checkpoint_out, resume_from;
   std::uint64_t checkpoint_every = 0;
   double deadline_seconds = 0;
+  std::string follow_dir;
+  std::uint64_t refinalize_every = 8, poll_ms = 200, max_batches = 0;
+  double refinalize_seconds = 0;
   io::ReaderOptions reader_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -179,6 +231,16 @@ int main(int argc, char** argv) {
       resume_from = next();
     } else if (arg == "--deadline-seconds") {
       deadline_seconds = std::atof(next());
+    } else if (arg == "--follow") {
+      follow_dir = next();
+    } else if (arg == "--refinalize-every") {
+      refinalize_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--refinalize-seconds") {
+      refinalize_seconds = std::atof(next());
+    } else if (arg == "--poll-ms") {
+      poll_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-batches") {
+      max_batches = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -191,6 +253,21 @@ int main(int argc, char** argv) {
       return 2;
     } else {
       out_dir = arg;
+    }
+  }
+
+  if (!follow_dir.empty()) {
+    if (atlas == cdn) {
+      std::fprintf(stderr,
+                   "--follow requires exactly one of --atlas-only or "
+                   "--cdn-only (a stream carries one batch schema)\n");
+      return 2;
+    }
+    if (!atlas_in.empty() || !cdn_in.empty()) {
+      std::fprintf(stderr,
+                   "--follow and --atlas-in/--cdn-in are mutually "
+                   "exclusive\n");
+      return 2;
     }
   }
 
@@ -234,6 +311,15 @@ int main(int argc, char** argv) {
                 used_path.c_str(), io::checkpoint_kind_name(resume->kind),
                 (unsigned long long)resume->items_done(),
                 (unsigned long long)resume->item_count);
+    if (io::is_stream_checkpoint_kind(resume->kind) != !follow_dir.empty()) {
+      std::fprintf(stderr,
+                   io::is_stream_checkpoint_kind(resume->kind)
+                       ? "cannot resume: checkpoint is from a streaming run; "
+                         "re-run with --follow\n"
+                       : "cannot resume: checkpoint is from a one-shot run, "
+                         "not a stream; drop --follow\n");
+      return 1;
+    }
     if (io::is_atlas_checkpoint_kind(resume->kind)) {
       if (!atlas) {
         std::fprintf(stderr,
@@ -334,21 +420,7 @@ int main(int argc, char** argv) {
       atlas_secs = secs;
       std::printf("  analyzed %llu probes in %.2fs\n",
                   (unsigned long long)study.sanitize.probes_seen, secs);
-      bool wrote =
-          write_file(out_dir / "fig1_duration_curves.csv",
-                     [&](std::ostream& os) {
-                       io::write_duration_curves_csv(os, study);
-                     }) &&
-          write_file(out_dir / "fig5_cpl.csv",
-                     [&](std::ostream& os) { io::write_cpl_csv(os, study); }) &&
-          write_file(out_dir / "table2_bgp_moves.csv",
-                     [&](std::ostream& os) {
-                       io::write_bgp_moves_csv(os, study);
-                     }) &&
-          write_file(out_dir / "fig6_inference.csv", [&](std::ostream& os) {
-            io::write_inference_csv(os, study);
-          });
-      if (!wrote) return 1;
+      if (!write_atlas_outputs(out_dir, study)) return 1;
     }
 
     if (cdn) {
@@ -358,7 +430,7 @@ int main(int argc, char** argv) {
       supervision.token = &token;
       supervision.resume = cdn_resume;
 
-      core::CdnStudy study{core::CdnAnalyzer({}, {}), {}};
+      core::CdnStudy study;
       auto t0 = std::chrono::steady_clock::now();
       core::Expected<core::CdnStudy> result{core::Status(
           core::StatusCode::kInternal, "cdn study did not run")};
@@ -419,25 +491,126 @@ int main(int argc, char** argv) {
                   (unsigned long long)(study.analyzer.total_tuples() +
                                        study.analyzer.total_mismatched()),
                   secs);
-      bool wrote =
-          write_file(out_dir / "fig23_assoc_durations.csv",
-                     [&](std::ostream& os) {
-                       io::write_assoc_durations_csv(os, study);
-                     }) &&
-          write_file(out_dir / "fig4_degrees.csv",
-                     [&](std::ostream& os) {
-                       io::write_degrees_csv(os, study);
-                     }) &&
-          write_file(out_dir / "fig7_zero_boundaries.csv",
-                     [&](std::ostream& os) {
-                       io::write_zero_boundaries_csv(os, study);
-                     });
-      if (!wrote) return 1;
+      if (!write_cdn_outputs(out_dir, study)) return 1;
     }
     return 0;
   };
 
-  int rc = run_studies();
+  // Streaming mode: follow a watch directory, re-publishing the result CSVs
+  // on every windowed re-finalization and once more (with metrics recorded)
+  // when the stop sentinel arrives.
+  auto run_follow = [&]() -> int {
+    core::StreamConfig stream;
+    stream.refinalize_every_batches = refinalize_every;
+    stream.refinalize_seconds = refinalize_seconds;
+    stream.poll_ms = poll_ms;
+    stream.max_batches = max_batches;
+    stream.checkpoint_path = checkpoint_out;
+    stream.token = &token;
+    stream.resume = resume ? &*resume : nullptr;
+
+    core::StreamStats sstats;
+    io::IngestStats istats;
+    auto report = [&](const core::Status& st,
+                      std::initializer_list<const char*> outputs) -> int {
+      if (st.code() == core::StatusCode::kCancelled) {
+        std::fprintf(stderr, "%s\n  resume with --resume-from %s\n",
+                     st.to_string().c_str(), checkpoint_out.c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "stream failed: %s\n", st.to_string().c_str());
+      remove_stale_outputs(out_dir, outputs);
+      return 1;
+    };
+
+    if (atlas) {
+      std::printf("Following %s for echo batches (%u shards)...\n",
+                  follow_dir.c_str(), effective);
+      core::AtlasFileStudyConfig cfg;
+      cfg.threads = threads;
+      cfg.metrics = registry;
+      cfg.reader = reader_opts;
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = core::run_atlas_stream(
+          follow_dir, simnet::paper_isps(), cfg, stream,
+          [&](const core::AtlasStudy& snap, const core::StreamStats& st) {
+            std::printf("[stream] refinalize #%llu: %llu batches, "
+                        "%llu records\n",
+                        (unsigned long long)st.refinalizes,
+                        (unsigned long long)st.batches,
+                        (unsigned long long)st.records);
+            write_atlas_outputs(out_dir, snap);
+          },
+          &istats, &sstats);
+      if (!result.ok())
+        return report(result.status(),
+                      {"fig1_duration_curves.csv", "fig5_cpl.csv",
+                       "table2_bgp_moves.csv", "fig6_inference.csv"});
+      core::AtlasStudy study = result.take();
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      if (registry)
+        registry->record_phase("study.atlas_wall", std::uint64_t(secs * 1e9));
+      atlas_probes = study.sanitize.probes_seen;
+      atlas_secs = secs;
+      std::printf("  stream done: %llu batches, %llu records, "
+                  "%llu refinalizes; ingested %s\n",
+                  (unsigned long long)sstats.batches,
+                  (unsigned long long)sstats.records,
+                  (unsigned long long)sstats.refinalizes,
+                  istats.summary().c_str());
+      if (!write_atlas_outputs(out_dir, study)) return 1;
+      return 0;
+    }
+
+    std::printf("Following %s for association batches (%u shards)...\n",
+                follow_dir.c_str(), effective);
+    core::CdnFileStudyConfig cfg;
+    cfg.threads = threads;
+    cfg.metrics = registry;
+    cfg.reader = reader_opts;
+    for (const auto& entry : cdn::default_cdn_population()) {
+      if (entry.isp.mobile) cfg.mobile_asns.insert(entry.isp.asn);
+      cfg.registries[entry.isp.asn] = entry.isp.registry;
+      cfg.asn_names[entry.isp.asn] = entry.isp.name;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = core::run_cdn_stream(
+        follow_dir, cfg, stream,
+        [&](const core::CdnStudy& snap, const core::StreamStats& st) {
+          std::printf("[stream] refinalize #%llu: %llu batches, "
+                      "%llu records\n",
+                      (unsigned long long)st.refinalizes,
+                      (unsigned long long)st.batches,
+                      (unsigned long long)st.records);
+          write_cdn_outputs(out_dir, snap);
+        },
+        &istats, &sstats);
+    if (!result.ok())
+      return report(result.status(),
+                    {"fig23_assoc_durations.csv", "fig4_degrees.csv",
+                     "fig7_zero_boundaries.csv"});
+    core::CdnStudy study = result.take();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (registry)
+      registry->record_phase("study.cdn_wall", std::uint64_t(secs * 1e9));
+    cdn_tuples =
+        study.analyzer.total_tuples() + study.analyzer.total_mismatched();
+    cdn_secs = secs;
+    std::printf("  stream done: %llu batches, %llu records, "
+                "%llu refinalizes; ingested %s\n",
+                (unsigned long long)sstats.batches,
+                (unsigned long long)sstats.records,
+                (unsigned long long)sstats.refinalizes,
+                istats.summary().c_str());
+    if (!write_cdn_outputs(out_dir, study)) return 1;
+    return 0;
+  };
+
+  int rc = follow_dir.empty() ? run_studies() : run_follow();
 
   if (quarantine) {
     core::Status st = quarantine->commit();
