@@ -1,0 +1,182 @@
+#include "lg/http.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dynamips::lg {
+
+namespace {
+
+/// Case-insensitive ASCII comparison for header names/values.
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      int hi = hex_digit(text[i + 1]), lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(char(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Response error_response(int status, std::string_view message) {
+  Response r;
+  r.status = status;
+  r.body = "{\"error\": \"" + json_escape(message) + "\"}\n";
+  return r;
+}
+
+std::optional<Request> parse_request_head(std::string_view head,
+                                          Response* error) {
+  auto fail = [&](int status, std::string_view msg) -> std::optional<Request> {
+    if (error) *error = error_response(status, msg);
+    return std::nullopt;
+  };
+
+  std::size_t eol = head.find('\n');
+  std::string_view line =
+      eol == std::string_view::npos ? head : head.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > kMaxRequestLine)
+    return fail(414, "request line too long");
+
+  std::size_t sp1 = line.find(' ');
+  std::size_t sp2 = sp1 == std::string_view::npos
+                        ? std::string_view::npos
+                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos)
+    return fail(400, "malformed request line");
+
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || target.front() != '/')
+    return fail(400, "malformed request line");
+  if (version != "HTTP/1.1" && version != "HTTP/1.0")
+    return fail(505, "unsupported HTTP version");
+  if (method != "GET") return fail(405, "only GET is served");
+
+  Request req;
+  req.method = std::string(method);
+  req.version = std::string(version);
+  req.keep_alive = version == "HTTP/1.1";  // 1.0 defaults to close
+
+  std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  req.path = percent_decode(target);
+
+  // Headers: only Connection matters to this service.
+  std::size_t pos = eol == std::string_view::npos ? head.size() : eol + 1;
+  while (pos < head.size()) {
+    std::size_t next = head.find('\n', pos);
+    std::string_view hline = head.substr(
+        pos, next == std::string_view::npos ? head.size() - pos : next - pos);
+    pos = next == std::string_view::npos ? head.size() : next + 1;
+    if (!hline.empty() && hline.back() == '\r') hline.remove_suffix(1);
+    if (hline.empty()) break;
+    std::size_t colon = hline.find(':');
+    if (colon == std::string_view::npos)
+      return fail(400, "malformed header line");
+    std::string_view name = trim(hline.substr(0, colon));
+    std::string_view value = trim(hline.substr(colon + 1));
+    if (iequals(name, "connection")) {
+      if (iequals(value, "close"))
+        req.keep_alive = false;
+      else if (iequals(value, "keep-alive"))
+        req.keep_alive = true;
+    }
+  }
+  return req;
+}
+
+std::string render_response(const Response& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive"
+                    : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace dynamips::lg

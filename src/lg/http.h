@@ -1,0 +1,63 @@
+// http.h — minimal HTTP/1.1 request parsing and response rendering.
+//
+// Only what the looking-glass service needs: GET requests, keep-alive, and
+// small JSON responses. Parsing is a pure function over the request head
+// (request line + headers), so every edge case is unit-testable without a
+// socket; the server (src/lg/server.h) owns the byte stream and its
+// limits. Anything malformed maps to a ready-to-send error response with
+// the precise status code (400/405/414/505), never an exception.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dynamips::lg {
+
+/// Longest accepted request line; beyond it the target is rejected as 414.
+inline constexpr std::size_t kMaxRequestLine = 4096;
+/// Longest accepted request head (request line + all headers); the server
+/// answers 431 and closes once a connection exceeds it.
+inline constexpr std::size_t kMaxHeadBytes = 16384;
+
+/// A parsed request head.
+struct Request {
+  std::string method;      ///< "GET"
+  std::string path;        ///< percent-decoded path, query stripped
+  std::string version;     ///< "HTTP/1.1"
+  bool keep_alive = true;  ///< after Connection header + version defaults
+};
+
+/// A response ready for rendering.
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the handful of status codes the service emits.
+const char* status_reason(int status);
+
+/// Decode %xx escapes in place of the encoded bytes; invalid escapes are
+/// kept verbatim ("%zz" stays "%zz"), so decoding never fails.
+std::string percent_decode(std::string_view text);
+
+/// Escape a string for embedding in a JSON document.
+std::string json_escape(std::string_view text);
+
+/// A JSON error body ({"error": ...}) with the given status.
+Response error_response(int status, std::string_view message);
+
+/// Parse a request head (everything before the blank line, CRLF or bare LF
+/// separated). On failure returns nullopt and fills *error with the
+/// response to send: 400 for a malformed line, 405 for a method other than
+/// GET, 414 for an oversize request line, 505 for an unknown version.
+std::optional<Request> parse_request_head(std::string_view head,
+                                          Response* error);
+
+/// Serialize status line, headers and body. `keep_alive` decides the
+/// Connection header; the body always carries a Content-Length.
+std::string render_response(const Response& response, bool keep_alive);
+
+}  // namespace dynamips::lg

@@ -1,0 +1,286 @@
+#include "lg/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace dynamips::lg {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Send the whole buffer; MSG_NOSIGNAL keeps a dead peer from raising
+/// SIGPIPE. Returns false once the peer is gone.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+LgServer::LgServer(const LgService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    config_.threads = hw == 0 ? 2 : hw;
+  }
+  if (config_.poll_ms == 0) config_.poll_ms = 100;
+}
+
+LgServer::~LgServer() { stop(); }
+
+core::Status LgServer::start() {
+  if (started_)
+    return core::Status(core::StatusCode::kFailedPrecondition,
+                        "lg server already started");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1)
+    return core::Status(core::StatusCode::kInvalidArgument,
+                        "bad bind address: " + config_.bind_address);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return core::Status(core::StatusCode::kInternal,
+                        std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    core::Status st(core::StatusCode::kResourceExhausted,
+                    "bind " + config_.bind_address + ":" +
+                        std::to_string(config_.port) + ": " +
+                        std::strerror(errno));
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    core::Status st(core::StatusCode::kInternal,
+                    std::string("listen: ") + std::strerror(errno));
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+  else
+    port_ = config_.port;
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  workers_.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return core::Status::Ok();
+}
+
+void LgServer::accept_loop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stopping()) {
+    int rv = ::poll(&pfd, 1, static_cast<int>(config_.poll_ms));
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rv == 0 || !(pfd.revents & POLLIN)) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK)
+        continue;
+      break;  // listener closed or broken
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++accepted_;
+      queue_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void LgServer::worker_loop() {
+  ServerStats local;
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms),
+                         [this] {
+                           return !queue_.empty() ||
+                                  stop_.load(std::memory_order_relaxed);
+                         });
+      if (!queue_.empty()) {
+        fd = queue_.front();
+        queue_.pop_front();
+      } else if (stop_.load(std::memory_order_relaxed) || stopping()) {
+        break;
+      }
+    }
+    if (fd >= 0) handle_connection(fd, local);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.connections += local.connections;
+  stats_.requests += local.requests;
+  stats_.responses_2xx += local.responses_2xx;
+  stats_.responses_4xx += local.responses_4xx;
+  stats_.responses_5xx += local.responses_5xx;
+  stats_.bytes_out += local.bytes_out;
+}
+
+void LgServer::handle_connection(int fd, ServerStats& stats) {
+  ++stats.connections;
+  std::string buffer;
+  bool open = true;
+  while (open && !stopping()) {
+    // Read until the head terminator; a connection is allowed to sit idle
+    // (keep-alive) up to idle_timeout_ms, polled in poll_ms slices so
+    // shutdown stays responsive.
+    std::size_t head_end;
+    std::uint64_t idle_ms = 0;
+    for (;;) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        std::size_t lf = buffer.find("\n\n");
+        if (lf != std::string::npos) head_end = lf;
+      }
+      if (head_end != std::string::npos) break;
+      if (buffer.size() > kMaxHeadBytes) {
+        Response r = error_response(431, "request head too large");
+        std::string wire = render_response(r, false);
+        ++stats.requests;
+        ++stats.responses_4xx;
+        if (send_all(fd, wire)) stats.bytes_out += wire.size();
+        open = false;
+        break;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int rv = ::poll(&pfd, 1, static_cast<int>(config_.poll_ms));
+      if (stopping()) {
+        open = false;
+        break;
+      }
+      if (rv < 0) {
+        if (errno == EINTR) continue;
+        open = false;
+        break;
+      }
+      if (rv == 0) {
+        idle_ms += config_.poll_ms;
+        // Mid-request bytes reset nothing: the idle budget covers the
+        // whole head, which for our tiny requests is indistinguishable.
+        if (idle_ms >= config_.idle_timeout_ms) {
+          open = false;
+          break;
+        }
+        continue;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        open = false;  // peer closed or error
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      idle_ms = 0;
+    }
+    if (!open) break;
+
+    std::size_t sep = buffer.compare(head_end, 4, "\r\n\r\n") == 0 ? 4 : 2;
+    std::string head = buffer.substr(0, head_end);
+    buffer.erase(0, head_end + sep);
+
+    Response error;
+    std::optional<Request> req = parse_request_head(head, &error);
+    Response resp = req ? service_.handle(*req) : error;
+    bool keep_alive = req && req->keep_alive && !stopping();
+    std::string wire = render_response(resp, keep_alive);
+
+    ++stats.requests;
+    if (resp.status < 400)
+      ++stats.responses_2xx;
+    else if (resp.status < 500)
+      ++stats.responses_4xx;
+    else
+      ++stats.responses_5xx;
+    if (!send_all(fd, wire)) break;
+    stats.bytes_out += wire.size();
+    if (!keep_alive) break;
+  }
+  close_quietly(fd);
+}
+
+void LgServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Closing the listener after the acceptor exits keeps poll() away from a
+  // recycled fd number.
+  close_quietly(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections accepted but never claimed by a worker.
+  for (int fd : queue_) close_quietly(fd);
+  queue_.clear();
+  started_ = false;
+
+  if (config_.metrics) {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_.metrics->add_counter("lg.connections", stats_.connections);
+    config_.metrics->add_counter("lg.requests", stats_.requests);
+    config_.metrics->add_counter("lg.responses_2xx", stats_.responses_2xx);
+    config_.metrics->add_counter("lg.responses_4xx", stats_.responses_4xx);
+    config_.metrics->add_counter("lg.responses_5xx", stats_.responses_5xx);
+    config_.metrics->add_counter("lg.bytes_out", stats_.bytes_out);
+  }
+}
+
+ServerStats LgServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LgServer::serve_until_shutdown() {
+  while (!stopping())
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.poll_ms));
+  stop();
+}
+
+}  // namespace dynamips::lg

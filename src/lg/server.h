@@ -1,0 +1,118 @@
+// server.h — threaded HTTP/1.1 server for the looking-glass service.
+//
+// Deliberately small: a blocking accept loop on its own thread plus a
+// fixed worker pool draining a connection queue — the same fixed-pool,
+// claim-under-one-mutex discipline as core::ShardExecutor, applied to
+// connections instead of shards. Workers speak just enough HTTP/1.1 to
+// serve keep-alive GETs: read a request head (bounded), route it through
+// LgService::handle, write the rendered response with MSG_NOSIGNAL, and
+// loop until the client closes, the idle timeout fires, or shutdown is
+// requested.
+//
+// Shutdown is cooperative and drains cleanly: when the ShutdownToken
+// trips (or stop() is called), the accept loop closes the listener, the
+// workers finish their in-flight request, queued-but-unserved connections
+// are closed, and every thread is joined — no file descriptor outlives
+// stop(), so a new server can bind the same port immediately
+// (SO_REUSEADDR covers the TIME_WAIT tail).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/shutdown.h"
+#include "core/status.h"
+#include "lg/service.h"
+#include "obs/metrics.h"
+
+namespace dynamips::lg {
+
+struct ServerConfig {
+  /// Listen address; loopback by default (CI and local runs).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads serving requests. 0 resolves to hardware concurrency.
+  unsigned threads = 4;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// How often the accept loop and idle workers re-check for shutdown.
+  std::uint64_t poll_ms = 100;
+  /// Keep-alive connections idle longer than this are closed.
+  std::uint64_t idle_timeout_ms = 5000;
+  /// Cooperative shutdown; null means only stop() ends the server.
+  core::ShutdownToken* token = nullptr;
+  /// When non-null, lg.* counters are flushed here on stop().
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Request/connection accounting, aggregated across workers at stop().
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class LgServer {
+ public:
+  /// The service must outlive the server.
+  LgServer(const LgService& service, ServerConfig config);
+  ~LgServer();
+
+  LgServer(const LgServer&) = delete;
+  LgServer& operator=(const LgServer&) = delete;
+
+  /// Bind + listen + start the accept and worker threads. Fails with
+  /// kUnavailable when the address/port cannot be bound.
+  core::Status start();
+
+  /// The bound port (after start(); resolves port 0 to the real one).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, drain in-flight requests, join all threads, close
+  /// every socket. Idempotent; also runs from the destructor.
+  void stop();
+
+  /// Aggregated accounting; complete after stop().
+  ServerStats stats() const;
+
+  /// Block until the shutdown token trips (polling at poll_ms), then
+  /// stop(). Convenience for drivers that have nothing else to do.
+  void serve_until_shutdown();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd, ServerStats& stats);
+  bool stopping() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           (config_.token && config_.token->requested());
+  }
+
+  const LgService& service_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+  ServerStats stats_;           // merged under mu_ as workers exit
+  std::uint64_t accepted_ = 0;  // connections accepted (under mu_)
+};
+
+}  // namespace dynamips::lg

@@ -1,0 +1,367 @@
+#include "lg/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "netaddr/ipv4.h"
+#include "netaddr/ipv6.h"
+#include "netaddr/prefix.h"
+#include "stats/ecdf.h"
+#include "stats/ttf.h"
+
+namespace dynamips::lg {
+
+namespace {
+
+/// The quantile grid every duration payload reports.
+constexpr double kQuantiles[] = {0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+constexpr const char* kQuantileNames[] = {"p10", "p25", "p50",
+                                          "p75", "p90", "p99"};
+
+/// Stable double formatting, matching obs/metrics_json.cpp: two renders of
+/// equal state are byte-identical, which is what the soak's consistency
+/// check compares.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+/// Inverse cumulative total-time fraction: the smallest duration (hours)
+/// at which the time-weighted CDF reaches q — the Fig. 1 curve read
+/// backwards.
+std::uint64_t ttf_quantile(const stats::TotalTimeFraction& ttf, double q) {
+  if (ttf.total_hours() == 0) return 0;
+  double target = q * double(ttf.total_hours());
+  double acc = 0;
+  std::uint64_t last = 0;
+  for (auto [hours, count] : ttf.counts()) {
+    acc += double(count) * double(hours);
+    last = hours;
+    if (acc >= target) return hours;
+  }
+  return last;
+}
+
+std::string ttf_json(const stats::TotalTimeFraction& ttf) {
+  std::string out = "{\"count\": " + fmt(ttf.total_count()) +
+                    ", \"total_hours\": " + fmt(ttf.total_hours());
+  for (std::size_t i = 0; i < std::size(kQuantiles); ++i)
+    out += std::string(", \"") + kQuantileNames[i] +
+           "\": " + fmt(ttf_quantile(ttf, kQuantiles[i]));
+  out += "}";
+  return out;
+}
+
+std::string ecdf_json(const stats::Ecdf& ecdf) {
+  std::string out = "{\"count\": " + fmt(std::uint64_t(ecdf.size()));
+  for (std::size_t i = 0; i < std::size(kQuantiles); ++i)
+    out += std::string(", \"") + kQuantileNames[i] +
+           "\": " + fmt(ecdf.quantile(kQuantiles[i]));
+  out += "}";
+  return out;
+}
+
+std::string name_field(const std::map<bgp::Asn, std::string>& names,
+                       bgp::Asn asn) {
+  auto it = names.find(asn);
+  if (it == names.end()) return "null";
+  std::string quoted = "\"";
+  quoted += json_escape(it->second);
+  quoted += "\"";
+  return quoted;
+}
+
+std::string health_json(std::uint64_t generation, std::uint64_t batches,
+                        std::uint64_t records,
+                        const std::map<bgp::Asn, std::string>& payloads) {
+  std::string out = "{\"snapshot\": " + fmt(generation) +
+                    ", \"batches\": " + fmt(batches) +
+                    ", \"records\": " + fmt(records) + ", \"ases\": [";
+  bool first = true;
+  for (const auto& [asn, body] : payloads) {
+    if (!first) out += ", ";
+    first = false;
+    out += fmt(std::uint64_t(asn));
+  }
+  out += "]}";
+  return out;
+}
+
+/// Parse a decimal ASN. Returns false on anything but pure digits in
+/// 32-bit range.
+bool parse_asn(std::string_view text, bgp::Asn* out) {
+  if (text.empty() || text.size() > 10) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + std::uint64_t(c - '0');
+  }
+  if (value > 0xffffffffull) return false;
+  *out = bgp::Asn(value);
+  return true;
+}
+
+/// One route-result fragment ({"prefix": ..., "asn": ..., ...}).
+template <typename Route>
+std::string route_json(const Route& route,
+                       const std::map<bgp::Asn, std::string>& names) {
+  return "{\"prefix\": \"" + route.prefix.to_string() +
+         "\", \"asn\": " + fmt(std::uint64_t(route.origin.asn)) +
+         ", \"name\": " + name_field(names, route.origin.asn) +
+         ", \"registry\": \"" + bgp::registry_name(route.origin.registry) +
+         "\"}";
+}
+
+Response json_ok(std::string body) {
+  Response r;
+  body += "\n";
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace
+
+std::shared_ptr<const LgSnapshot> build_atlas_snapshot(
+    const core::AtlasStudy& study, std::uint64_t generation,
+    std::uint64_t batches, std::uint64_t records) {
+  auto snap = std::make_shared<LgSnapshot>();
+  snap->generation = generation;
+  snap->batches = batches;
+  snap->records = records;
+  snap->as_names = study.as_names;
+
+  for (const auto& [asn, stats] : study.durations) {
+    std::string body =
+        "{\"snapshot\": " + fmt(generation) +
+        ", \"asn\": " + fmt(std::uint64_t(asn)) +
+        ", \"name\": " + name_field(study.as_names, asn) +
+        ", \"probes\": " + fmt(stats.probes) +
+        ", \"ds_probes\": " + fmt(stats.ds_probes) +
+        ", \"probes_with_change\": " + fmt(stats.probes_with_change) +
+        ", \"v4_changes\": " + fmt(stats.v4_changes) +
+        ", \"v6_changes\": " + fmt(stats.v6_changes) +
+        ", \"cooccurrence\": " + fmt(stats.cooccurrence()) +
+        ", \"duration_hours\": {\"v4_nds\": " + ttf_json(stats.v4_nds) +
+        ", \"v4_ds\": " + ttf_json(stats.v4_ds) +
+        ", \"v6\": " + ttf_json(stats.v6) + "}}";
+    snap->payloads.emplace(asn, std::move(body));
+  }
+
+  // Inference fragments: subscriber-length histogram + pool summary. ASNs
+  // appear when either technique produced at least one result.
+  std::map<bgp::Asn, std::string> sub_json;
+  for (const auto& [asn, results] : study.subscriber_inference) {
+    std::map<int, std::uint64_t> lengths;
+    for (const auto& r : results) ++lengths[r.inferred_len];
+    std::string body = "{\"count\": " + fmt(std::uint64_t(results.size())) +
+                       ", \"lengths\": {";
+    bool first = true;
+    for (auto [len, n] : lengths) {
+      if (!first) body += ", ";
+      first = false;
+      body += "\"";
+      body += std::to_string(len);
+      body += "\": ";
+      body += fmt(n);
+    }
+    body += "}}";
+    sub_json.emplace(asn, std::move(body));
+  }
+  std::map<bgp::Asn, std::string> pool_json;
+  for (const auto& [asn, results] : study.pool_inference) {
+    if (results.empty()) continue;
+    std::vector<int> lens;
+    lens.reserve(results.size());
+    double coverage = 0;
+    for (const auto& r : results) {
+      lens.push_back(r.pool_len);
+      coverage += r.coverage;
+    }
+    std::sort(lens.begin(), lens.end());
+    pool_json.emplace(
+        asn, "{\"count\": " + fmt(std::uint64_t(results.size())) +
+                 ", \"median_len\": " + std::to_string(lens[lens.size() / 2]) +
+                 ", \"mean_coverage\": " +
+                 fmt(coverage / double(results.size())) + "}");
+  }
+  for (const auto& [asn, sub] : sub_json) {
+    auto pool = pool_json.find(asn);
+    snap->inference.emplace(
+        asn, "{\"subscriber\": " + sub + ", \"pool\": " +
+                 (pool == pool_json.end() ? std::string("null")
+                                          : pool->second) +
+                 "}");
+  }
+  for (const auto& [asn, pool] : pool_json)
+    snap->inference.emplace(asn,
+                            "{\"subscriber\": null, \"pool\": " + pool + "}");
+
+  // The RIB is move-only; rebuild it from the study's announced routes so
+  // the snapshot owns its own LPM substrate.
+  for (const auto& route : study.rib.v4_routes())
+    snap->rib.announce(route.prefix, route.origin);
+  for (const auto& route : study.rib.v6_routes())
+    snap->rib.announce(route.prefix, route.origin);
+
+  snap->health = health_json(generation, batches, records, snap->payloads);
+  return snap;
+}
+
+std::shared_ptr<const LgSnapshot> build_cdn_snapshot(
+    const core::CdnStudy& study, std::uint64_t generation,
+    std::uint64_t batches, std::uint64_t records) {
+  auto snap = std::make_shared<LgSnapshot>();
+  snap->generation = generation;
+  snap->batches = batches;
+  snap->records = records;
+  snap->as_names = study.asn_names;
+
+  for (const auto& [asn, stats] : study.analyzer.by_asn()) {
+    stats::Ecdf days;
+    for (double d : stats.durations_days) days.add(d);
+    days.finalize();
+    std::string body =
+        "{\"snapshot\": " + fmt(generation) +
+        ", \"asn\": " + fmt(std::uint64_t(asn)) +
+        ", \"name\": " + name_field(study.asn_names, asn) +
+        ", \"mobile\": " + (stats.mobile ? "true" : "false") +
+        ", \"registry\": \"" + bgp::registry_name(stats.registry) +
+        "\", \"tuples\": " + fmt(stats.tuples) +
+        ", \"mismatched\": " + fmt(stats.mismatched) +
+        ", \"unique_64s\": " + fmt(stats.unique_64s) +
+        ", \"assoc_days\": " + ecdf_json(days) + "}";
+    snap->payloads.emplace(asn, std::move(body));
+  }
+
+  snap->health = health_json(generation, batches, records, snap->payloads);
+  return snap;
+}
+
+Response LgService::handle(const Request& request) const {
+  const std::string& path = request.path;
+  auto strip = [&](std::string_view prefix) -> std::string_view {
+    return std::string_view(path).substr(prefix.size());
+  };
+  if (path == "/v1/healthz") return handle_healthz();
+  if (path == "/v1/metricsz") return handle_metricsz();
+  if (path.starts_with("/v1/durations/"))
+    return handle_durations(strip("/v1/durations/"));
+  if (path.starts_with("/v1/assoc/")) return handle_assoc(strip("/v1/assoc/"));
+  if (path.starts_with("/v1/infer/")) return handle_infer(strip("/v1/infer/"));
+  if (path.starts_with("/v1/pfx2as/"))
+    return handle_pfx2as(strip("/v1/pfx2as/"));
+  return error_response(404, "unknown endpoint");
+}
+
+Response LgService::handle_healthz() const {
+  auto atlas = atlas_.get();
+  auto cdn = cdn_.get();
+  std::string body = "{\"status\": \"ok\", \"atlas\": ";
+  body += atlas ? atlas->health : "null";
+  body += ", \"cdn\": ";
+  body += cdn ? cdn->health : "null";
+  body += "}";
+  return json_ok(std::move(body));
+}
+
+Response LgService::handle_metricsz() const {
+  if (!config_.metrics) return error_response(503, "metrics disabled");
+  Response r;
+  r.body = obs::metrics_to_json(config_.metrics->snapshot(), config_.meta);
+  return r;
+}
+
+Response LgService::handle_durations(std::string_view rest) const {
+  bgp::Asn asn = 0;
+  if (!parse_asn(rest, &asn)) return error_response(400, "malformed ASN");
+  auto snap = atlas_.get();
+  if (!snap) return error_response(503, "no atlas snapshot published yet");
+  auto it = snap->payloads.find(asn);
+  if (it == snap->payloads.end())
+    return error_response(404, "unknown ASN");
+  return json_ok(it->second);
+}
+
+Response LgService::handle_assoc(std::string_view rest) const {
+  bgp::Asn asn = 0;
+  if (!parse_asn(rest, &asn)) return error_response(400, "malformed ASN");
+  auto snap = cdn_.get();
+  if (!snap) return error_response(503, "no cdn snapshot published yet");
+  auto it = snap->payloads.find(asn);
+  if (it == snap->payloads.end())
+    return error_response(404, "unknown ASN");
+  return json_ok(it->second);
+}
+
+Response LgService::handle_infer(std::string_view rest) const {
+  auto snap = atlas_.get();
+  if (!snap) return error_response(503, "no atlas snapshot published yet");
+
+  // Accept a v6 prefix/address or a v4 prefix/address; resolve its origin
+  // AS and attach that AS's inference summary.
+  bgp::Asn asn = 0;
+  std::string route;
+  if (auto p6 = net::Prefix6::parse(rest)) {
+    auto r = snap->rib.lookup(p6->address());
+    if (!r) return error_response(404, "no route for prefix");
+    asn = r->origin.asn;
+    route = route_json(*r, snap->as_names);
+  } else if (auto a6 = net::IPv6Address::parse(rest)) {
+    auto r = snap->rib.lookup(*a6);
+    if (!r) return error_response(404, "no route for address");
+    asn = r->origin.asn;
+    route = route_json(*r, snap->as_names);
+  } else if (auto p4 = net::Prefix4::parse(rest)) {
+    auto r = snap->rib.lookup(p4->address());
+    if (!r) return error_response(404, "no route for prefix");
+    asn = r->origin.asn;
+    route = route_json(*r, snap->as_names);
+  } else if (auto a4 = net::IPv4Address::parse(rest)) {
+    auto r = snap->rib.lookup(*a4);
+    if (!r) return error_response(404, "no route for address");
+    asn = r->origin.asn;
+    route = route_json(*r, snap->as_names);
+  } else {
+    return error_response(400, "malformed prefix or address");
+  }
+
+  auto it = snap->inference.find(asn);
+  if (it == snap->inference.end())
+    return error_response(404, "no inference for origin AS");
+  return json_ok("{\"snapshot\": " + std::to_string(snap->generation) +
+                 ", \"query\": \"" + json_escape(rest) +
+                 "\", \"route\": " + route + ", \"inference\": " + it->second +
+                 "}");
+}
+
+Response LgService::handle_pfx2as(std::string_view rest) const {
+  auto snap = atlas_.get();
+  if (!snap) return error_response(503, "no atlas snapshot published yet");
+
+  std::string route;
+  int family = 0;
+  if (auto a6 = net::IPv6Address::parse(rest)) {
+    auto r = snap->rib.lookup(*a6);
+    if (!r) return error_response(404, "no route for address");
+    family = 6;
+    route = route_json(*r, snap->as_names);
+  } else if (auto a4 = net::IPv4Address::parse(rest)) {
+    auto r = snap->rib.lookup(*a4);
+    if (!r) return error_response(404, "no route for address");
+    family = 4;
+    route = route_json(*r, snap->as_names);
+  } else {
+    return error_response(400, "malformed address");
+  }
+  return json_ok("{\"snapshot\": " + std::to_string(snap->generation) +
+                 ", \"addr\": \"" + json_escape(rest) +
+                 "\", \"family\": " + std::to_string(family) +
+                 ", \"route\": " + route + "}");
+}
+
+}  // namespace dynamips::lg

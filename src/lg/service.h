@@ -1,0 +1,115 @@
+// service.h — looking-glass query service over finalized study state.
+//
+// Serves the paper's outputs live instead of as CSVs: per-AS duration
+// ECDF quantiles, pool-boundary / subscriber-prefix inferences, and
+// pfx2as longest-prefix lookups, plus health and metrics documents.
+//
+// Read path: every queryable payload is pre-rendered into an immutable
+// `LgSnapshot` when the pipeline publishes a re-finalization (one
+// generation = one `StreamStats::refinalizes` tick), and requests only
+// ever look up and concatenate strings from the one generation they
+// grabbed via `SnapshotStore::get()`. Two consequences the CI soak gates:
+// a response is byte-deterministic given (path, generation) — there are
+// no torn reads across a concurrent publish — and serving costs no locks
+// shared with the pipeline, so millions of cheap GETs never delay a
+// re-finalization.
+//
+// Endpoints (all GET, JSON):
+//   /v1/healthz           liveness + per-study generation/batch counters
+//   /v1/metricsz          obs metrics registry export (dynamips.metrics.v1)
+//   /v1/durations/<asn>   per-AS assignment-duration quantiles (Fig. 1 data)
+//   /v1/assoc/<asn>       per-AS CDN association-duration quantiles (Fig. 2)
+//   /v1/infer/<prefix>    pool-boundary + subscriber-prefix inference for
+//                         the AS originating <prefix> (§5.2/§5.3)
+//   /v1/pfx2as/<addr>     longest-prefix match against the study RIB
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bgp/rib.h"
+#include "core/pipeline.h"
+#include "lg/http.h"
+#include "lg/snapshot_store.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
+
+namespace dynamips::lg {
+
+/// One immutable, pre-rendered generation of study results. Built off the
+/// request path (by the pipeline thread) and shared read-only with every
+/// worker; all strings are final JSON fragments.
+struct LgSnapshot {
+  std::uint64_t generation = 0;  ///< re-finalization ordinal (1-based)
+  std::uint64_t batches = 0;     ///< stream batches consumed (0 = one-shot)
+  std::uint64_t records = 0;     ///< records behind this generation
+
+  /// Pre-rendered /v1/durations/<asn> (atlas) or /v1/assoc/<asn> (cdn)
+  /// bodies, keyed by ASN.
+  std::map<bgp::Asn, std::string> payloads;
+  /// Pre-rendered inference objects (atlas only), embedded by /v1/infer.
+  std::map<bgp::Asn, std::string> inference;
+  /// Display names for route results.
+  std::map<bgp::Asn, std::string> as_names;
+  /// Pre-rendered healthz fragment ({"snapshot": ..., "ases": [...]}).
+  std::string health;
+  /// LPM substrate for /v1/pfx2as and /v1/infer (atlas only; empty for
+  /// cdn snapshots — the CDN study carries no RIB).
+  bgp::Rib rib;
+};
+
+/// Build an atlas-side snapshot: duration quantiles, inference summaries,
+/// and a rebuilt RIB. `generation`/`batches`/`records` come from the
+/// stream stats (use 1/0/probes for a one-shot study).
+std::shared_ptr<const LgSnapshot> build_atlas_snapshot(
+    const core::AtlasStudy& study, std::uint64_t generation,
+    std::uint64_t batches, std::uint64_t records);
+
+/// Build a cdn-side snapshot: association-duration quantiles per ASN.
+std::shared_ptr<const LgSnapshot> build_cdn_snapshot(
+    const core::CdnStudy& study, std::uint64_t generation,
+    std::uint64_t batches, std::uint64_t records);
+
+struct ServiceConfig {
+  /// Registry backing /v1/metricsz; null serves 503 there.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Run parameters stamped into the /v1/metricsz document.
+  obs::MetricsMeta meta;
+};
+
+/// Stateless request router over the two snapshot stores. handle() is
+/// const and safe to call from any number of worker threads concurrently
+/// with publish_atlas()/publish_cdn().
+class LgService {
+ public:
+  explicit LgService(ServiceConfig config = {}) : config_(std::move(config)) {}
+
+  void publish_atlas(std::shared_ptr<const LgSnapshot> snap) {
+    atlas_.publish(std::move(snap));
+  }
+  void publish_cdn(std::shared_ptr<const LgSnapshot> snap) {
+    cdn_.publish(std::move(snap));
+  }
+
+  /// Route one parsed request to a response. Unknown paths, ASNs absent
+  /// from the snapshot, and unrouted addresses are 404; syntactically
+  /// invalid ASNs/addresses are 400; queries before the first publish are
+  /// 503 (healthz stays 200 — the server itself is up).
+  Response handle(const Request& request) const;
+
+ private:
+  Response handle_durations(std::string_view rest) const;
+  Response handle_assoc(std::string_view rest) const;
+  Response handle_infer(std::string_view rest) const;
+  Response handle_pfx2as(std::string_view rest) const;
+  Response handle_healthz() const;
+  Response handle_metricsz() const;
+
+  ServiceConfig config_;
+  SnapshotStore<LgSnapshot> atlas_;
+  SnapshotStore<LgSnapshot> cdn_;
+};
+
+}  // namespace dynamips::lg

@@ -1,0 +1,297 @@
+// Looking-glass service tests: HTTP head parsing edge cases, request
+// routing over real study snapshots (wrong inputs are client errors, never
+// 500s), SnapshotStore publication under concurrent readers, and one
+// socket-level round trip through LgServer.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "gtest/gtest.h"
+#include "lg/http.h"
+#include "lg/server.h"
+#include "lg/service.h"
+#include "lg/snapshot_store.h"
+#include "simnet/isp.h"
+
+namespace dynamips {
+namespace {
+
+// ---------------------------------------------------------------- http
+
+lg::Request parse_ok(const std::string& head) {
+  lg::Response error;
+  auto req = lg::parse_request_head(head, &error);
+  EXPECT_TRUE(req.has_value()) << head << " -> " << error.status;
+  return req.value_or(lg::Request{});
+}
+
+int parse_status(const std::string& head) {
+  lg::Response error;
+  auto req = lg::parse_request_head(head, &error);
+  return req ? 200 : error.status;
+}
+
+TEST(LgHttp, ParsesSimpleGet) {
+  lg::Request req = parse_ok("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/v1/healthz");
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(LgHttp, StripsQueryAndDecodesPercent) {
+  EXPECT_EQ(parse_ok("GET /v1/pfx2as/2003%3A%3A1?x=1 HTTP/1.1\r\n").path,
+            "/v1/pfx2as/2003::1");
+  // Invalid escapes survive verbatim instead of failing the request.
+  EXPECT_EQ(lg::percent_decode("%zz%4"), "%zz%4");
+}
+
+TEST(LgHttp, ConnectionSemantics) {
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.1\r\n").keep_alive);
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.0\r\n").keep_alive);
+  EXPECT_FALSE(parse_ok("GET / HTTP/1.1\r\nConnection: close\r\n")
+                   .keep_alive);
+  EXPECT_TRUE(parse_ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n")
+                  .keep_alive);
+}
+
+TEST(LgHttp, RejectsWithPreciseStatus) {
+  EXPECT_EQ(parse_status("POST /v1/healthz HTTP/1.1\r\n"), 405);
+  EXPECT_EQ(parse_status("DELETE / HTTP/1.1\r\n"), 405);
+  EXPECT_EQ(parse_status("GET / HTTP/2.0\r\n"), 505);
+  EXPECT_EQ(parse_status("GET /\r\n"), 400);             // no version
+  EXPECT_EQ(parse_status("GET  / HTTP/1.1\r\n"), 400);   // extra space
+  EXPECT_EQ(parse_status("GET nopath HTTP/1.1\r\n"), 400);
+  EXPECT_EQ(parse_status(""), 400);
+  EXPECT_EQ(parse_status("GET / HTTP/1.1\r\nbadheader\r\n"), 400);
+  std::string oversize = "GET /" + std::string(lg::kMaxRequestLine, 'a') +
+                         " HTTP/1.1\r\n";
+  EXPECT_EQ(parse_status(oversize), 414);
+}
+
+TEST(LgHttp, RenderCarriesLengthAndConnection) {
+  lg::Response r;
+  r.body = "{\"x\": 1}\n";
+  std::string wire = lg::render_response(r, true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(lg::render_response(r, false).find("Connection: close"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- service
+
+const core::AtlasStudy& atlas_study() {
+  static core::AtlasStudy study = [] {
+    core::AtlasStudyConfig cfg;
+    cfg.atlas.probe_scale = 0.05;
+    cfg.atlas.window_hours = 3000;
+    cfg.atlas.seed = 11;
+    return core::run_atlas_study(simnet::paper_isps(), cfg);
+  }();
+  return study;
+}
+
+lg::Response get(const lg::LgService& service, const std::string& path) {
+  lg::Request req;
+  req.method = "GET";
+  req.path = path;
+  req.version = "HTTP/1.1";
+  return service.handle(req);
+}
+
+TEST(LgService, HealthzAlwaysAnswers) {
+  lg::LgService empty;
+  EXPECT_EQ(get(empty, "/v1/healthz").status, 200);
+  EXPECT_NE(get(empty, "/v1/healthz").body.find("\"atlas\": null"),
+            std::string::npos);
+}
+
+TEST(LgService, QueriesBeforeFirstPublishAre503) {
+  lg::LgService empty;
+  EXPECT_EQ(get(empty, "/v1/durations/3320").status, 503);
+  EXPECT_EQ(get(empty, "/v1/assoc/3320").status, 503);
+  EXPECT_EQ(get(empty, "/v1/infer/1.2.3.0/24").status, 503);
+  EXPECT_EQ(get(empty, "/v1/pfx2as/1.2.3.4").status, 503);
+  EXPECT_EQ(get(empty, "/v1/metricsz").status, 503);  // no registry wired
+}
+
+class LgServiceWithStudy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_.publish_atlas(lg::build_atlas_snapshot(
+        atlas_study(), 1, 0, atlas_study().sanitize.probes_seen));
+  }
+  lg::LgService service_;
+};
+
+TEST_F(LgServiceWithStudy, KnownAsnRoundTrips) {
+  lg::Response r = get(service_, "/v1/durations/3320");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"asn\": 3320"), std::string::npos);
+  EXPECT_NE(r.body.find("\"snapshot\": 1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"v4_nds\""), std::string::npos);
+}
+
+TEST_F(LgServiceWithStudy, BadInputsAreClientErrorsNot500) {
+  EXPECT_EQ(get(service_, "/v1/durations/notanasn").status, 400);
+  EXPECT_EQ(get(service_, "/v1/durations/").status, 400);
+  EXPECT_EQ(get(service_, "/v1/durations/99999999999").status, 400);
+  EXPECT_EQ(get(service_, "/v1/durations/64511").status, 404);  // unknown AS
+  EXPECT_EQ(get(service_, "/v1/infer/zzz").status, 400);
+  EXPECT_EQ(get(service_, "/v1/infer/10.0.0.0/8").status, 404);  // no route
+  EXPECT_EQ(get(service_, "/v1/pfx2as/not-an-addr").status, 400);
+  EXPECT_EQ(get(service_, "/v1/pfx2as/203.0.113.9").status, 404);
+  EXPECT_EQ(get(service_, "/nope").status, 404);
+  EXPECT_EQ(get(service_, "/v1/").status, 404);
+}
+
+TEST_F(LgServiceWithStudy, InferAndPfx2asAgreeOnOrigin) {
+  lg::Response lpm = get(service_, "/v1/pfx2as/79.200.1.2");
+  ASSERT_EQ(lpm.status, 200);
+  EXPECT_NE(lpm.body.find("\"asn\": 3320"), std::string::npos);
+  lg::Response infer = get(service_, "/v1/infer/79.192.0.0/11");
+  ASSERT_EQ(infer.status, 200);
+  EXPECT_NE(infer.body.find("\"inference\""), std::string::npos);
+}
+
+TEST_F(LgServiceWithStudy, ResponsesAreByteDeterministic) {
+  lg::Response a = get(service_, "/v1/durations/3320");
+  lg::Response b = get(service_, "/v1/durations/3320");
+  EXPECT_EQ(a.body, b.body);
+}
+
+// ------------------------------------------------------ snapshot store
+
+TEST(LgSnapshotStore, SwapUnderConcurrentReaders) {
+  // Property: a reader always sees a complete generation — the payload it
+  // reads matches the generation stamp — and generations never run
+  // backwards within one reader. A torn or partially-published snapshot
+  // would break the first invariant; a non-atomic pointer swap the second.
+  struct Gen {
+    std::uint64_t generation;
+    std::string payload;
+  };
+  lg::SnapshotStore<Gen> store;
+  constexpr int kReaders = 4;
+  constexpr std::uint64_t kGenerations = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const Gen> snap = store.get();
+        if (!snap) continue;
+        if (snap->payload != "gen-" + std::to_string(snap->generation))
+          violations.fetch_add(1, std::memory_order_relaxed);
+        if (snap->generation < last)
+          violations.fetch_add(1, std::memory_order_relaxed);
+        last = snap->generation;
+      }
+    });
+  }
+  for (std::uint64_t g = 1; g <= kGenerations; ++g) {
+    auto next = std::make_shared<Gen>();
+    next->generation = g;
+    next->payload = "gen-" + std::to_string(g);
+    store.publish(std::move(next));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  ASSERT_TRUE(store.get());
+  EXPECT_EQ(store.get()->generation, kGenerations);
+}
+
+// -------------------------------------------------------------- server
+
+std::string http_round_trip(int fd, const std::string& request) {
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            ssize_t(request.size()));
+  // Read the head, then drain exactly Content-Length body bytes so a
+  // keep-alive connection is left aligned on a message boundary.
+  std::string buf;
+  char chunk[2048];
+  std::size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return buf;
+    buf.append(chunk, std::size_t(n));
+  }
+  std::size_t want = buf.size();
+  std::size_t cl = buf.find("Content-Length: ");
+  if (cl != std::string::npos && cl < head_end)
+    want = head_end + 4 +
+           std::strtoull(buf.c_str() + cl + 16, nullptr, 10);
+  while (buf.size() < want) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, std::size_t(n));
+  }
+  return buf;
+}
+
+TEST(LgServer, ServesOverRealSocket) {
+  lg::LgService service;
+  service.publish_atlas(lg::build_atlas_snapshot(
+      atlas_study(), 1, 0, atlas_study().sanitize.probes_seen));
+
+  lg::ServerConfig cfg;
+  cfg.port = 0;  // ephemeral
+  cfg.threads = 2;
+  lg::LgServer server(service, cfg);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  // Two requests on one keep-alive connection, then an error status.
+  std::string first =
+      http_round_trip(fd, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("\"status\": \"ok\""), std::string::npos);
+  std::string second = http_round_trip(
+      fd, "GET /v1/durations/3320 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(second.find("\"asn\": 3320"), std::string::npos);
+  std::string third = http_round_trip(
+      fd, "POST /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(third.find("HTTP/1.1 405"), std::string::npos);
+  ::close(fd);
+
+  server.stop();
+  lg::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.responses_2xx, 2u);
+  EXPECT_EQ(stats.responses_4xx, 1u);
+
+  // The port is free again: a second server can bind it immediately.
+  lg::ServerConfig again = cfg;
+  again.port = server.port();
+  lg::LgServer rebind(service, again);
+  EXPECT_TRUE(rebind.start().ok());
+  rebind.stop();
+}
+
+}  // namespace
+}  // namespace dynamips

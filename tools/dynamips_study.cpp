@@ -45,6 +45,16 @@
 // run over the same batches. SIGINT/SIGTERM exits 3; re-running with
 // --resume-from replays only unconsumed batches, at any --threads value.
 //
+// Looking-glass mode: --serve PORT starts the src/lg/ HTTP service (GET
+// /v1/durations/<asn>, /v1/assoc/<asn>, /v1/infer/<prefix>,
+// /v1/pfx2as/<addr>, /v1/healthz, /v1/metricsz) on 127.0.0.1:PORT (0 picks
+// an ephemeral port, printed at startup). One-shot runs publish their final
+// study and serve until SIGINT/SIGTERM (exit 0); composed with --follow,
+// every re-finalization atomically publishes a new immutable snapshot
+// generation, so queries are served — without torn reads — while the
+// stream keeps ingesting. --no-csv (streaming only) skips the CSV
+// re-publications when the service is the only consumer.
+//
 // Crash safety: SIGINT/SIGTERM (and the --deadline-seconds watchdog)
 // interrupt the run at the next round boundary, write a checkpoint
 // (io/checkpoint.h; default <output_dir>/study.ckpt), flush partial
@@ -67,6 +77,8 @@
 #include "core/pipeline.h"
 #include "core/shutdown.h"
 #include "io/atomic_file.h"
+#include "lg/server.h"
+#include "lg/service.h"
 #include "io/checkpoint.h"
 #include "io/results_io.h"
 #include "obs/metrics.h"
@@ -90,7 +102,8 @@ void usage(const char* argv0) {
                "[--checkpoint-every N] [--checkpoint-out FILE] "
                "[--resume-from FILE] [--deadline-seconds S] "
                "[--follow DIR] [--refinalize-every N] "
-               "[--refinalize-seconds S] [--poll-ms MS] [--max-batches N]\n",
+               "[--refinalize-seconds S] [--poll-ms MS] [--max-batches N] "
+               "[--serve PORT] [--no-csv]\n",
                argv0);
 }
 
@@ -189,6 +202,8 @@ int main(int argc, char** argv) {
   std::string follow_dir;
   std::uint64_t refinalize_every = 8, poll_ms = 200, max_batches = 0;
   double refinalize_seconds = 0;
+  bool serve = false, no_csv = false;
+  std::uint64_t serve_port = 0;
   io::ReaderOptions reader_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -241,6 +256,15 @@ int main(int argc, char** argv) {
       poll_ms = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--max-batches") {
       max_batches = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--serve") {
+      serve = true;
+      serve_port = std::strtoull(next(), nullptr, 10);
+      if (serve_port > 65535) {
+        std::fprintf(stderr, "--serve: port out of range\n");
+        return 2;
+      }
+    } else if (arg == "--no-csv") {
+      no_csv = true;
     } else if (arg == "--atlas-only") {
       cdn = false;
     } else if (arg == "--cdn-only") {
@@ -270,6 +294,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (no_csv && follow_dir.empty()) {
+    std::fprintf(stderr,
+                 "--no-csv only applies to streaming runs (--follow); "
+                 "one-shot runs exist to write CSVs\n");
+    return 2;
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -280,8 +310,18 @@ int main(int argc, char** argv) {
   }
 
   const unsigned effective = core::resolve_threads(threads);
-  obs::MetricsRegistry* registry =
-      metrics_out.empty() ? nullptr : &obs::MetricsRegistry::global();
+  // The looking-glass serves /v1/metricsz from the registry, so --serve
+  // enables it even without --metrics-out (the file is still only written
+  // when asked for).
+  obs::MetricsRegistry* registry = (metrics_out.empty() && !serve)
+                                       ? nullptr
+                                       : &obs::MetricsRegistry::global();
+  obs::MetricsMeta run_meta;
+  run_meta.binary = "dynamips_study";
+  run_meta.scale = scale;
+  run_meta.seed = seed;
+  run_meta.window_hours = window;
+  run_meta.threads = effective;
 
   // Graceful shutdown: SIGINT/SIGTERM (and the optional deadline) set a
   // token the studies poll at round boundaries.
@@ -290,6 +330,30 @@ int main(int argc, char** argv) {
   if (deadline_seconds > 0) token.arm_deadline_seconds(deadline_seconds);
   if (checkpoint_out.empty())
     checkpoint_out = (out_dir / "study.ckpt").string();
+
+  // Looking-glass: start serving before the studies run so /v1/healthz
+  // answers during a long stream; snapshots are published as they finalize.
+  lg::ServiceConfig service_cfg;
+  service_cfg.metrics = registry;
+  service_cfg.meta = run_meta;
+  lg::LgService service(service_cfg);
+  std::optional<lg::LgServer> server;
+  if (serve) {
+    lg::ServerConfig server_cfg;
+    server_cfg.port = std::uint16_t(serve_port);
+    server_cfg.token = &token;
+    server_cfg.metrics = registry;
+    server.emplace(service, server_cfg);
+    core::Status st = server->start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot start looking-glass: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    std::printf("looking-glass serving on http://127.0.0.1:%u/v1/healthz\n",
+                unsigned(server->port()));
+    std::fflush(stdout);
+  }
 
   // Resolve the resume checkpoint up front (with .prev fallback) and route
   // it to the study that wrote it. A cdn-kind checkpoint means the atlas
@@ -420,6 +484,9 @@ int main(int argc, char** argv) {
       atlas_secs = secs;
       std::printf("  analyzed %llu probes in %.2fs\n",
                   (unsigned long long)study.sanitize.probes_seen, secs);
+      if (serve)
+        service.publish_atlas(
+            lg::build_atlas_snapshot(study, 1, 0, atlas_probes));
       if (!write_atlas_outputs(out_dir, study)) return 1;
     }
 
@@ -491,6 +558,8 @@ int main(int argc, char** argv) {
                   (unsigned long long)(study.analyzer.total_tuples() +
                                        study.analyzer.total_mismatched()),
                   secs);
+      if (serve)
+        service.publish_cdn(lg::build_cdn_snapshot(study, 1, 0, cdn_tuples));
       if (!write_cdn_outputs(out_dir, study)) return 1;
     }
     return 0;
@@ -539,7 +608,10 @@ int main(int argc, char** argv) {
                         (unsigned long long)st.refinalizes,
                         (unsigned long long)st.batches,
                         (unsigned long long)st.records);
-            write_atlas_outputs(out_dir, snap);
+            if (serve)
+              service.publish_atlas(lg::build_atlas_snapshot(
+                  snap, st.refinalizes, st.batches, st.records));
+            if (!no_csv) write_atlas_outputs(out_dir, snap);
           },
           &istats, &sstats);
       if (!result.ok())
@@ -560,7 +632,12 @@ int main(int argc, char** argv) {
                   (unsigned long long)sstats.records,
                   (unsigned long long)sstats.refinalizes,
                   istats.summary().c_str());
-      if (!write_atlas_outputs(out_dir, study)) return 1;
+      // The final re-finalization does not fire on_snapshot; publish the
+      // completed study as its own generation.
+      if (serve)
+        service.publish_atlas(lg::build_atlas_snapshot(
+            study, sstats.refinalizes + 1, sstats.batches, sstats.records));
+      if (!no_csv && !write_atlas_outputs(out_dir, study)) return 1;
       return 0;
     }
 
@@ -584,7 +661,10 @@ int main(int argc, char** argv) {
                       (unsigned long long)st.refinalizes,
                       (unsigned long long)st.batches,
                       (unsigned long long)st.records);
-          write_cdn_outputs(out_dir, snap);
+          if (serve)
+            service.publish_cdn(lg::build_cdn_snapshot(
+                snap, st.refinalizes, st.batches, st.records));
+          if (!no_csv) write_cdn_outputs(out_dir, snap);
         },
         &istats, &sstats);
     if (!result.ok())
@@ -606,11 +686,32 @@ int main(int argc, char** argv) {
                 (unsigned long long)sstats.records,
                 (unsigned long long)sstats.refinalizes,
                 istats.summary().c_str());
-    if (!write_cdn_outputs(out_dir, study)) return 1;
+    if (serve)
+      service.publish_cdn(lg::build_cdn_snapshot(
+          study, sstats.refinalizes + 1, sstats.batches, sstats.records));
+    if (!no_csv && !write_cdn_outputs(out_dir, study)) return 1;
     return 0;
   };
 
   int rc = follow_dir.empty() ? run_studies() : run_follow();
+
+  // Keep serving the last published snapshots after a successful run until
+  // the operator stops us; either way the server drains before metrics are
+  // written so lg.* counters land in the document.
+  if (server) {
+    if (rc == 0 && !token.requested()) {
+      std::printf("studies complete; looking-glass still serving "
+                  "(SIGINT/SIGTERM to stop)\n");
+      std::fflush(stdout);
+      server->serve_until_shutdown();
+    } else {
+      server->stop();
+    }
+    lg::ServerStats lstats = server->stats();
+    std::printf("  served %llu requests on %llu connections\n",
+                (unsigned long long)lstats.requests,
+                (unsigned long long)lstats.connections);
+  }
 
   if (quarantine) {
     core::Status st = quarantine->commit();
@@ -626,17 +727,12 @@ int main(int argc, char** argv) {
   // Metrics are written on every exit path: an interrupted run reports its
   // partial counters (the checkpoint snapshot excludes them, so a resumed
   // run never double-counts).
-  if (registry) {
+  if (registry && !metrics_out.empty()) {
     registry->add_counter("stats.nan_dropped", stats::nan_dropped());
     registry->set_gauge("process.peak_rss_bytes",
                         double(obs::peak_rss_bytes()));
-    obs::MetricsMeta meta;
-    meta.binary = "dynamips_study";
-    meta.scale = scale;
-    meta.seed = seed;
-    meta.window_hours = window;
-    meta.threads = effective;
-    if (!obs::write_metrics_json(metrics_out, registry->snapshot(), meta)) {
+    if (!obs::write_metrics_json(metrics_out, registry->snapshot(),
+                                 run_meta)) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
                    metrics_out.c_str());
       if (rc == 0) rc = 1;
