@@ -1,0 +1,192 @@
+// failpoint.h — named, deterministic fault-injection points.
+//
+// A failpoint is a named hook compiled into a real error path (an fsync,
+// a send, a checkpoint publish). Disarmed — the production state — hitting
+// one costs exactly one relaxed atomic load and nothing else: no lock, no
+// map lookup, no clock read. Armed via a spec string (the
+// DYNAMIPS_FAILPOINTS environment variable or `--failpoints`), each named
+// point fires *deterministically* from seeded hit-counter predicates, never
+// from wall-clock randomness, so every chaos run is replayable: the same
+// spec and seed produce the identical injection sequence (modulo thread
+// interleaving at concurrent sites, where per-hit decisions are still
+// deterministic in the hit index).
+//
+// Spec grammar (entries separated by ';'):
+//
+//   name=action[predicate]
+//   action    := off | err | err(ERRNO) | short | delay(Nms)
+//   predicate := @A | @A..B | @A.. | *F%SEED
+//
+//   checkpoint.write=err@3            fail exactly the 3rd hit
+//   atomic_file.write=err(ENOSPC)@1   first write fails with ENOSPC
+//   atomic_file.write=short@2..4      hits 2-4 tear the write
+//   lg.send=delay(50ms)@2..           stall every send from the 2nd on
+//   readers.line=err*0.001%42         ~0.1% of hits, seeded by 42
+//
+// `err` defaults to EIO; ERRNO is one of the names parse_errno_name()
+// knows. A probabilistic predicate decides each hit from
+// splitmix64(seed ^ hit_index) — no RNG state, so concurrent sites stay
+// per-hit deterministic. SEED is a decimal u64 or any token (hashed
+// FNV-1a), so `*0.1%seed` is valid and reproducible.
+//
+// The evaluation path is header-only on purpose: dynamips_io (and layers
+// below it, like obs' metrics-JSON writer) hit failpoints without a link
+// dependency on dynamips_core — the same layering trick as core/status.h.
+// Arming (the spec parser) lives in failpoint.cpp inside dynamips_core;
+// only tools and tests arm.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/status.h"
+
+namespace dynamips::core {
+
+/// What an armed failpoint asks the call site to do.
+struct FailpointHit {
+  enum class Kind : std::uint8_t {
+    kNone = 0,   ///< not armed / predicate did not fire: proceed normally
+    kError,      ///< fail the operation with errno-style code `err`
+    kShortWrite, ///< tear the operation: emit a prefix, then fail
+    kDelay,      ///< stall for delay_ms, then proceed normally
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;                  ///< errno for kError (EIO, ENOSPC, ...)
+  std::uint64_t delay_ms = 0;   ///< stall length for kDelay
+
+  explicit operator bool() const { return kind != Kind::kNone; }
+  bool is_error() const { return kind == Kind::kError; }
+  bool is_short_write() const { return kind == Kind::kShortWrite; }
+  bool is_delay() const { return kind == Kind::kDelay; }
+
+  /// Symbolic name of `err` for error messages ("ENOSPC", "EIO", ...).
+  const char* errno_name() const {
+    switch (err) {
+      case EIO: return "EIO";
+      case ENOSPC: return "ENOSPC";
+      case EAGAIN: return "EAGAIN";
+      case EPIPE: return "EPIPE";
+      case ECONNRESET: return "ECONNRESET";
+      case ECONNABORTED: return "ECONNABORTED";
+      case EINTR: return "EINTR";
+      case EMFILE: return "EMFILE";
+      case EBADF: return "EBADF";
+    }
+    return "errno";
+  }
+};
+
+/// SplitMix64 — the per-hit decision hash for probabilistic predicates and
+/// the stream driver's deterministic backoff jitter.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace fp_detail {
+
+/// Nonzero while any failpoint is armed. A namespace-scope constinit
+/// atomic, not a function-local static, so the disarmed check is a single
+/// relaxed load with no init-guard branch.
+inline constinit std::atomic<std::uint64_t> g_armed{0};
+
+struct Entry {
+  FailpointHit hit;              ///< template returned when the entry fires
+  std::uint64_t from = 1;        ///< hit-range predicate: fire on hits
+  std::uint64_t to = ~0ull;      ///<   [from, to] (1-based, inclusive)
+  bool probabilistic = false;    ///< use threshold/seed instead of the range
+  std::uint64_t threshold = 0;   ///< fire when splitmix64(seed^n) <= this
+  std::uint64_t seed = 0;
+  std::uint64_t count = 0;       ///< hits so far (under Registry::mu)
+  std::uint64_t fired = 0;       ///< hits that fired
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Armed-path evaluation: count the hit and decide from the predicate.
+/// Takes the registry mutex — armed runs are chaos runs, not benchmarks.
+inline bool eval(std::string_view name, FailpointHit* out) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  if (it == reg.entries.end()) return false;
+  Entry& e = it->second;
+  ++e.count;
+  const bool fire = e.probabilistic
+                        ? splitmix64(e.seed ^ e.count) <= e.threshold
+                        : (e.count >= e.from && e.count <= e.to);
+  if (!fire) return false;
+  ++e.fired;
+  *out = e.hit;
+  return true;
+}
+
+}  // namespace fp_detail
+
+/// True while any failpoint is armed. One relaxed atomic load.
+inline bool failpoints_armed() {
+  return fp_detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Hit the named failpoint. Disarmed this is the single relaxed load plus
+/// a trivially-constructed kNone hit; armed it evaluates the predicate
+/// deterministically and returns what the call site should inject.
+inline FailpointHit failpoint(std::string_view name) {
+  FailpointHit hit;
+  if (failpoints_armed()) fp_detail::eval(name, &hit);
+  return hit;
+}
+
+/// Sleep out a kDelay hit (no-op for every other kind). Call sites that
+/// meter the stall against their own deadline clock inline the sleep
+/// instead.
+inline void failpoint_sleep(const FailpointHit& hit) {
+  if (hit.is_delay() && hit.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.delay_ms));
+}
+
+// ------------------------------------------------ arming (failpoint.cpp)
+
+/// Parse `spec` (grammar above) and arm exactly those failpoints,
+/// replacing any previous arming and resetting all hit counters — so
+/// re-arming the same spec replays the identical injection sequence.
+/// An empty spec disarms everything. On a parse error the current arming
+/// is left untouched and kInvalidArgument names the offending entry.
+Status arm_failpoints(std::string_view spec);
+
+/// Arm from the DYNAMIPS_FAILPOINTS environment variable; unset or empty
+/// is a no-op success.
+Status arm_failpoints_from_env();
+
+/// Disarm everything and drop all counters.
+void disarm_failpoints();
+
+/// How often the named failpoint fired since arming (0 when not armed).
+std::uint64_t failpoint_fired(std::string_view name);
+
+/// One-line per-failpoint accounting ("name: hits=7 fired=2; ...") for
+/// end-of-run logs; empty string when nothing is armed.
+std::string failpoint_report();
+
+/// Errno value for a symbolic name ("ENOSPC" -> ENOSPC); 0 when unknown.
+int parse_errno_name(std::string_view name);
+
+}  // namespace dynamips::core

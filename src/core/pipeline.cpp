@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -13,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "obs/metrics.h"
 
 namespace dynamips::core {
@@ -1395,6 +1397,38 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     if (stats_out) *stats_out = stats;
   };
 
+  // --- transient-IO retry policy ---
+  // Bounded attempts with exponential backoff; the jitter comes from
+  // splitmix64 over the configured seed, never from a clock, so a replayed
+  // chaos run makes the identical retry/sleep decisions.
+  const std::uint64_t max_attempts =
+      stream.io_retry_attempts > 0 ? stream.io_retry_attempts : 1;
+  auto backoff_ms = [&](std::uint64_t salt,
+                        std::uint64_t attempt) -> std::uint64_t {
+    const std::uint64_t base =
+        stream.io_retry_base_ms > 0 ? stream.io_retry_base_ms : 1;
+    const std::uint64_t shift = attempt < 10 ? attempt : 10;
+    const std::uint64_t jitter =
+        splitmix64(stream.io_retry_seed ^ salt ^ attempt) % (base + 1);
+    return (base << shift) + jitter;
+  };
+
+  // A giveup is resumable when a durable batch high-water mark exists on
+  // disk: the atomic checkpoint writer never tears the previous snapshot,
+  // so the run can exit kCancelled (exit 3, `--resume-from`) instead of
+  // failing outright and discarding the accumulated stream state.
+  auto resumable_or = [&](Status failed) -> Status {
+    if (!stream.checkpoint_path.empty() &&
+        sink.counter("checkpoint.writes").value > 0)
+      return Status(StatusCode::kCancelled,
+                    std::string(Policy::label) +
+                        ": giving up after repeated IO failures; the last "
+                        "durable checkpoint at " +
+                        stream.checkpoint_path + " is intact (" +
+                        failed.message() + ")");
+    return failed;
+  };
+
   // Snapshot the batch high-water mark durably: the consumed-batch list,
   // the accumulated merged dataset, and the stream accounting sink. Written
   // after every batch, so a killed stream replays only unconsumed batches.
@@ -1412,11 +1446,21 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     io::ckpt::Writer sw;
     sink.save(sw);
     ck.supervisor_blob = sw.take();
-    Status wrote = io::write_checkpoint(stream.checkpoint_path, ck);
-    if (wrote.ok())
-      sink.counter("checkpoint.writes").add(1);
-    else
+    Status wrote = Status::Ok();
+    for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        sink.counter("io.retries").add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            backoff_ms(/*salt=*/0x636b7074 /*'ckpt'*/, attempt - 1)));
+      }
+      wrote = io::write_checkpoint(stream.checkpoint_path, ck);
+      if (wrote.ok()) {
+        sink.counter("checkpoint.writes").add(1);
+        return wrote;
+      }
       sink.counter("checkpoint.write_failures").add(1);
+    }
+    sink.counter("io.giveups").add(1);
     return wrote;
   };
 
@@ -1456,13 +1500,29 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
                          std::to_string(stats.batches) + " consumed batches";
       if (!stream.checkpoint_path.empty()) {
         Status wrote = write_stream_checkpoint();
-        if (!wrote.ok()) return wrote;
+        if (!wrote.ok()) {
+          publish_stats();
+          return resumable_or(wrote);
+        }
         note += "; checkpoint written to " + stream.checkpoint_path;
       }
       publish_stats();
       return Status(StatusCode::kCancelled, note);
     }
 
+    if (auto fp = core::failpoint("stream.scan"); fp) {
+      if (fp.is_error()) {
+        // Transient directory-scan failure: nothing was consumed and
+        // nothing merged, so treat it like an empty poll — count the retry,
+        // back off, rescan. The shutdown token above keeps even a
+        // persistently failing scan drainable.
+        sink.counter("io.retries").add(1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stream.poll_ms));
+        continue;
+      }
+      core::failpoint_sleep(fp);
+    }
     std::vector<fs::path> fresh =
         scan_batches(watch_dir, stream.stop_sentinel, consumed_set);
     const bool sentinel_present =
@@ -1505,18 +1565,48 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
         break;
 
       const double lag = batch_lag_seconds(path);
-      std::ifstream in(path, std::ios::binary);
-      if (!in.is_open())
-        return Status(StatusCode::kNotFound,
-                      std::string(Policy::label) +
-                          ": cannot open batch: " + path.string());
-      io::ReaderOptions ropts = base_ropts;
-      ropts.source_label = path.string();
+      // Load with bounded retries. Each attempt reopens the stream and
+      // feeds attempt-local ingest stats and metrics; only a fully
+      // successful read merges into the dataset (load_batch's contract)
+      // and into the real accounting — so a retried batch leaves the
+      // study-facing `ingest.*` counters identical to a fault-free run.
+      const std::uint64_t batch_salt =
+          splitmix64(std::hash<std::string>{}(path.filename().string()));
       std::uint64_t records = 0;
-      Status loaded = policy.load_batch(in, ropts, ingest, dataset, records);
+      Status loaded = Status::Ok();
+      for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          sink.counter("io.retries").add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              backoff_ms(batch_salt, attempt - 1)));
+        }
+        std::ifstream in(path, std::ios::binary);
+        if (!in.is_open()) {
+          loaded = Status(StatusCode::kNotFound,
+                          std::string(Policy::label) +
+                              ": cannot open batch: " + path.string());
+          continue;
+        }
+        io::ReaderOptions ropts = base_ropts;
+        ropts.source_label = path.string();
+        obs::MetricsSink attempt_sink;
+        if (base_ropts.metrics) ropts.metrics = &attempt_sink;
+        io::IngestStats attempt_ingest;
+        records = 0;
+        loaded = policy.load_batch(in, ropts,
+                                   ingest ? &attempt_ingest : nullptr,
+                                   dataset, records);
+        if (loaded.ok()) {
+          if (ingest) ingest->merge(attempt_ingest);
+          if (base_ropts.metrics)
+            base_ropts.metrics->merge(std::move(attempt_sink));
+          break;
+        }
+      }
       if (!loaded.ok()) {
+        sink.counter("io.giveups").add(1);
         publish_stats();
-        return loaded.with_context(path.string());
+        return resumable_or(loaded.with_context(path.string()));
       }
 
       const std::string name = path.filename().string();
@@ -1532,7 +1622,7 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
       Status wrote = write_stream_checkpoint();
       if (!wrote.ok()) {
         publish_stats();
-        return wrote;
+        return resumable_or(wrote);
       }
       publish_stats();
 

@@ -256,6 +256,17 @@ struct StreamConfig {
   /// Checkpoint to resume from; null starts fresh. Kind, fingerprint and
   /// consumed-batch list are validated.
   const io::StudyCheckpoint* resume = nullptr;
+  /// Transient-IO retry budget: total attempts per batch load / checkpoint
+  /// write (first try included). 1 disables retries. Each failed attempt
+  /// bumps `io.retries`; exhausting the budget bumps `io.giveups` and the
+  /// run returns resumable (kCancelled) when a durable checkpoint exists.
+  std::uint64_t io_retry_attempts = 3;
+  /// Exponential-backoff base: attempt k sleeps base<<k milliseconds plus
+  /// a jitter in [0, base] derived from io_retry_seed — deterministic, so
+  /// chaos runs replay with identical timing decisions.
+  std::uint64_t io_retry_base_ms = 20;
+  /// Seed for the backoff jitter (never wall-clock randomness).
+  std::uint64_t io_retry_seed = 0;
 };
 
 /// Progress of a streaming run, updated as batches are consumed.

@@ -1,4 +1,4 @@
-// atomic_file.h — crash-safe file writes via tmp + rename.
+// atomic_file.h — crash-safe, durable file writes via tmp + rename.
 //
 // Every artifact the pipeline emits (results CSVs, metrics JSON, quarantine
 // files, checkpoints) is written through this helper: the bytes go to a
@@ -6,7 +6,16 @@
 // under the final name. A run that crashes, is killed, or fails an error
 // budget mid-write therefore never truncates or clobbers the previous good
 // output — the destination either still holds the old bytes or already
-// holds the complete new ones, never a prefix.
+// holds the complete new ones, never a prefix. The publish itself is made
+// durable by fsyncing the destination's parent directory after the rename:
+// without that, a power loss can forget the rename even though the file's
+// own bytes were synced.
+//
+// Failure realism: the write/fsync/rename/dirsync steps each carry a named
+// failpoint (core/failpoint.h — `atomic_file.write`, `atomic_file.fsync`,
+// `atomic_file.rename`, `atomic_file.dirsync`) so chaos runs can inject
+// ENOSPC, EIO, and torn writes into the exact syscall boundaries this
+// header exists to survive. Disarmed, each hook is a single relaxed load.
 #pragma once
 
 #include <filesystem>
@@ -17,40 +26,125 @@
 #include <system_error>
 
 #ifdef __unix__
+#include <cerrno>
+#include <cstring>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "core/failpoint.h"
 #include "core/status.h"
 
 namespace dynamips::io {
 
 namespace atomic_detail {
 
+#ifdef __unix__
+/// close(2) with the POSIX EINTR caveat handled: on Linux the descriptor
+/// is gone even when close reports EINTR, so retrying would race a reused
+/// fd — EINTR counts as success; any other error is reported.
+inline bool close_checked(int fd, int* err) {
+  if (::close(fd) == 0 || errno == EINTR) return true;
+  *err = errno;
+  return false;
+}
+#endif
+
 /// Flush a file's bytes to stable storage. ofstream exposes no descriptor,
 /// so the file is reopened by name; non-POSIX platforms get plain flush
-/// semantics (the rename is still atomic there).
+/// semantics (the rename is still atomic there). EINTR on open/fsync is
+/// retried and the close result is checked — an error surfacing at close
+/// is still a write that never reached the disk.
 inline core::Status fsync_path(const std::string& path) {
 #ifdef __unix__
-  int fd = ::open(path.c_str(), O_WRONLY);
+  if (auto fp = core::failpoint("atomic_file.fsync"); fp.is_error())
+    return core::Status(core::StatusCode::kInternal,
+                        std::string("fsync failed (injected ") +
+                            fp.errno_name() + "): " + path);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0)
     return core::Status(core::StatusCode::kInternal,
-                        "cannot reopen for fsync: " + path);
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0)
-    return core::Status(core::StatusCode::kInternal, "fsync failed: " + path);
+                        "cannot reopen for fsync: " + path + ": " +
+                            std::strerror(errno));
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int sync_err = errno;
+    int ignored;
+    close_checked(fd, &ignored);  // report the fsync error, not the close
+    return core::Status(core::StatusCode::kInternal,
+                        "fsync failed: " + path + ": " +
+                            std::strerror(sync_err));
+  }
+  int close_err = 0;
+  if (!close_checked(fd, &close_err))
+    return core::Status(core::StatusCode::kInternal,
+                        "close after fsync failed: " + path + ": " +
+                            std::strerror(close_err));
 #else
   (void)path;
 #endif
   return core::Status::Ok();
 }
 
-/// Publish `tmp` under `path`; optionally retain an existing destination
-/// as `path.prev` first.
+/// Flush the directory entry for `path` to stable storage: after a rename
+/// the new name lives in the parent directory's data, and only a directory
+/// fsync makes the publish itself survive power loss. Filesystems that
+/// cannot fsync a directory handle (EINVAL/ENOTSUP) degrade to the old
+/// contents-only durability instead of failing the write.
+inline core::Status fsync_parent_dir(const std::string& path) {
+#ifdef __unix__
+  if (auto fp = core::failpoint("atomic_file.dirsync"); fp.is_error())
+    return core::Status(core::StatusCode::kInternal,
+                        std::string("directory fsync failed (injected ") +
+                            fp.errno_name() + "): " + path);
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0)
+    return core::Status(core::StatusCode::kInternal,
+                        "cannot open directory for fsync: " + dir + ": " +
+                            std::strerror(errno));
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINVAL && errno != ENOTSUP) {
+    int sync_err = errno;
+    int ignored;
+    close_checked(fd, &ignored);
+    return core::Status(core::StatusCode::kInternal,
+                        "directory fsync failed: " + dir + ": " +
+                            std::strerror(sync_err));
+  }
+  int close_err = 0;
+  if (!close_checked(fd, &close_err))
+    return core::Status(core::StatusCode::kInternal,
+                        "close after directory fsync failed: " + dir + ": " +
+                            std::strerror(close_err));
+#else
+  (void)path;
+#endif
+  return core::Status::Ok();
+}
+
+/// Publish `tmp` under `path` and fsync the parent directory; optionally
+/// retain an existing destination as `path.prev` first.
 inline core::Status publish(const std::string& tmp, const std::string& path,
                             bool keep_previous) {
   std::error_code ec;
+  if (auto fp = core::failpoint("atomic_file.rename"); fp.is_error())
+    return core::Status(core::StatusCode::kInternal,
+                        std::string("cannot rename ") + tmp + " to " + path +
+                            " (injected " + fp.errno_name() + ")");
   if (keep_previous && std::filesystem::exists(path, ec)) {
     std::filesystem::rename(path, path + ".prev", ec);
     if (ec)
@@ -63,7 +157,7 @@ inline core::Status publish(const std::string& tmp, const std::string& path,
     return core::Status(
         core::StatusCode::kInternal,
         "cannot rename " + tmp + " to " + path + ": " + ec.message());
-  return core::Status::Ok();
+  return fsync_parent_dir(path);
 }
 
 }  // namespace atomic_detail
@@ -84,6 +178,25 @@ inline core::Status write_file_atomic(const std::string& path,
     if (!out.is_open())
       return core::Status(core::StatusCode::kInternal,
                           "cannot open for write: " + tmp);
+    if (auto fp = core::failpoint("atomic_file.write"); fp) {
+      if (fp.is_error()) {
+        out.close();
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return core::Status(core::StatusCode::kInternal,
+                            std::string("write failed (injected ") +
+                                fp.errno_name() + "): " + tmp);
+      }
+      if (fp.is_short_write()) {
+        // Simulate a crash mid-write: half the bytes land and the torn
+        // .tmp stays behind, exactly what a reboot leaves on disk.
+        out.write(contents.data(), std::streamsize(contents.size() / 2));
+        out.flush();
+        return core::Status(core::StatusCode::kInternal,
+                            "short write to " + tmp + " (injected)");
+      }
+      core::failpoint_sleep(fp);
+    }
     out.write(contents.data(), std::streamsize(contents.size()));
     out.flush();
     if (!out) {

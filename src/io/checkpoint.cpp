@@ -5,6 +5,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "core/failpoint.h"
 #include "io/atomic_file.h"
 
 namespace dynamips::io {
@@ -198,8 +199,25 @@ Status write_checkpoint(const std::string& path,
                         const StudyCheckpoint& ckpt) {
   if (path.empty())
     return Status(StatusCode::kInvalidArgument, "empty checkpoint path");
-  return write_file_atomic(path, encode_checkpoint(ckpt),
-                           /*keep_previous=*/true)
+  std::string encoded = encode_checkpoint(ckpt);
+  if (auto fp = core::failpoint("checkpoint.write"); fp) {
+    if (fp.is_error())
+      return Status(StatusCode::kInternal,
+                    std::string("checkpoint write failed (injected ") +
+                        fp.errno_name() + "): " + path);
+    core::failpoint_sleep(fp);
+  }
+  if (auto fp = core::failpoint("checkpoint.torn"); fp.is_short_write()) {
+    // Clobber the primary *non*-atomically with a truncated image — the
+    // on-disk state a mid-section crash would leave if the atomic writer
+    // did not exist. read_checkpoint_with_fallback must recover from
+    // `.prev`.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(encoded.data(), std::streamsize(encoded.size() / 2));
+    return Status(StatusCode::kDataLoss,
+                  "torn checkpoint section write (injected): " + path);
+  }
+  return write_file_atomic(path, encoded, /*keep_previous=*/true)
       .with_context("write checkpoint " + path);
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "io/csv.h"
 #include "io/dataset_io.h"
 
@@ -80,6 +81,18 @@ LineCursor::LineCursor(std::istream& is, const ReaderOptions& options,
 
 bool LineCursor::next_line(std::string_view& line) {
   while (!tripped()) {
+    if (auto fp = core::failpoint("readers.line"); fp) {
+      if (fp.is_error()) {
+        std::string msg = label_;
+        msg += ": injected read failure (";
+        msg += fp.errno_name();
+        msg += ") at line ";
+        msg += std::to_string(stats_.lines_seen + 1);
+        fatal_ = core::Status(core::StatusCode::kInternal, std::move(msg));
+        return false;
+      }
+      core::failpoint_sleep(fp);
+    }
     is_.getline(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     std::size_t got = static_cast<std::size_t>(is_.gcount());
     if (got == 0 && !is_.good()) return false;  // clean end of stream

@@ -172,6 +172,12 @@ std::string render_response(const Response& response, bool keep_alive) {
   out += response.content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
   out += keep_alive ? "\r\nConnection: keep-alive"
                     : "\r\nConnection: close";
   out += "\r\n\r\n";

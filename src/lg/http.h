@@ -12,6 +12,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dynamips::lg {
 
@@ -34,6 +36,9 @@ struct Response {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra headers rendered verbatim after Content-Length (e.g.
+  /// {"Retry-After", "1"} on a load-shedding 503).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 /// Reason phrase for the handful of status codes the service emits.

@@ -7,11 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
+
+#include "core/failpoint.h"
 
 namespace dynamips::lg {
 
@@ -19,20 +22,6 @@ namespace {
 
 void close_quietly(int fd) {
   if (fd >= 0) ::close(fd);
-}
-
-/// Send the whole buffer; MSG_NOSIGNAL keeps a dead peer from raising
-/// SIGPIPE. Returns false once the peer is gone.
-bool send_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
 }
 
 }  // namespace
@@ -120,6 +109,18 @@ void LgServer::accept_loop() {
         continue;
       break;  // listener closed or broken
     }
+    if (auto fp = core::failpoint("lg.accept"); fp.is_error()) {
+      // The connection races shutdown / dies during the TCP handshake:
+      // the accept succeeded but the socket is already unusable.
+      close_quietly(fd);
+      continue;
+    }
+    if (config_.max_connections > 0 &&
+        active_.load(std::memory_order_relaxed) >= config_.max_connections) {
+      shed_connection(fd);
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++accepted_;
@@ -127,6 +128,21 @@ void LgServer::accept_loop() {
     }
     queue_cv_.notify_one();
   }
+}
+
+void LgServer::shed_connection(int fd) {
+  Response r = error_response(503, "server at connection capacity");
+  r.extra_headers.push_back({"Retry-After", "1"});
+  std::string wire = render_response(r, /*keep_alive=*/false);
+  // One non-blocking send: a peer that cannot take the 503 immediately
+  // just sees the close — the acceptor never waits on a shed connection.
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  close_quietly(fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed;
+  }
+  if (config_.metrics) config_.metrics->add_counter("lg.shed", 1);
 }
 
 void LgServer::worker_loop() {
@@ -156,6 +172,69 @@ void LgServer::worker_loop() {
   stats_.responses_4xx += local.responses_4xx;
   stats_.responses_5xx += local.responses_5xx;
   stats_.bytes_out += local.bytes_out;
+  stats_.slow_client_drops += local.slow_client_drops;
+}
+
+bool LgServer::send_with_deadline(int fd, std::string_view data,
+                                  bool* timed_out) {
+  *timed_out = false;
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t budget = config_.send_timeout_ms;
+  auto elapsed_ms = [&]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  if (auto fp = core::failpoint("lg.send"); fp) {
+    if (fp.is_error()) return false;  // peer vanished mid-response
+    if (fp.is_delay()) {
+      // A stalled reader: burn the stall against the send budget in
+      // poll-sized slices so the deadline and shutdown stay responsive.
+      std::uint64_t slept = 0;
+      while (slept < fp.delay_ms && !stopping()) {
+        std::uint64_t slice = std::min(config_.poll_ms, fp.delay_ms - slept);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        slept += slice;
+        if (budget > 0 && elapsed_ms() >= budget) {
+          *timed_out = true;
+          return false;
+        }
+      }
+      if (stopping()) return false;
+    }
+  }
+  while (!data.empty()) {
+    if (stopping()) return false;
+    if (budget > 0 && elapsed_ms() >= budget) {
+      *timed_out = true;
+      return false;
+    }
+    ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      data.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel send buffer full — the slow-client case. Wait for POLLOUT
+      // in slices bounded by both poll_ms and the remaining budget.
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      std::uint64_t wait = config_.poll_ms;
+      if (budget > 0) {
+        std::uint64_t used = elapsed_ms();
+        wait = std::min(wait, budget > used ? budget - used : 0);
+      }
+      int rv = ::poll(&pfd, 1, static_cast<int>(wait));
+      if (rv < 0 && errno != EINTR) return false;
+      continue;
+    }
+    return false;  // peer closed or hard error
+  }
+  return true;
 }
 
 void LgServer::handle_connection(int fd, ServerStats& stats) {
@@ -180,7 +259,14 @@ void LgServer::handle_connection(int fd, ServerStats& stats) {
         std::string wire = render_response(r, false);
         ++stats.requests;
         ++stats.responses_4xx;
-        if (send_all(fd, wire)) stats.bytes_out += wire.size();
+        bool timed_out = false;
+        if (send_with_deadline(fd, wire, &timed_out)) {
+          stats.bytes_out += wire.size();
+        } else if (timed_out) {
+          ++stats.slow_client_drops;
+          if (config_.metrics)
+            config_.metrics->add_counter("lg.slow_client_drops", 1);
+        }
         open = false;
         break;
       }
@@ -206,6 +292,10 @@ void LgServer::handle_connection(int fd, ServerStats& stats) {
           break;
         }
         continue;
+      }
+      if (auto fp = core::failpoint("lg.recv"); fp.is_error()) {
+        open = false;  // injected mid-request connection loss
+        break;
       }
       char chunk[4096];
       ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
@@ -236,11 +326,20 @@ void LgServer::handle_connection(int fd, ServerStats& stats) {
       ++stats.responses_4xx;
     else
       ++stats.responses_5xx;
-    if (!send_all(fd, wire)) break;
+    bool timed_out = false;
+    if (!send_with_deadline(fd, wire, &timed_out)) {
+      if (timed_out) {
+        ++stats.slow_client_drops;
+        if (config_.metrics)
+          config_.metrics->add_counter("lg.slow_client_drops", 1);
+      }
+      break;
+    }
     stats.bytes_out += wire.size();
     if (!keep_alive) break;
   }
   close_quietly(fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void LgServer::stop() {
@@ -257,7 +356,10 @@ void LgServer::stop() {
   }
   workers_.clear();
   // Connections accepted but never claimed by a worker.
-  for (int fd : queue_) close_quietly(fd);
+  for (int fd : queue_) {
+    close_quietly(fd);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
   queue_.clear();
   started_ = false;
 

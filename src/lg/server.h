@@ -46,9 +46,20 @@ struct ServerConfig {
   std::uint64_t poll_ms = 100;
   /// Keep-alive connections idle longer than this are closed.
   std::uint64_t idle_timeout_ms = 5000;
+  /// Per-connection send deadline (slow-loris/slow-reader defense): a
+  /// response that cannot be fully written within this budget drops the
+  /// connection and reclaims the worker, counted in `lg.slow_client_drops`.
+  /// 0 disables the deadline (sends may block on a stalled peer).
+  std::uint64_t send_timeout_ms = 5000;
+  /// Admission cap: with this many connections accepted-but-unfinished, new
+  /// arrivals are shed with `503 + Retry-After` instead of queueing
+  /// unboundedly, counted in `lg.shed`. 0 means unlimited.
+  std::uint64_t max_connections = 0;
   /// Cooperative shutdown; null means only stop() ends the server.
   core::ShutdownToken* token = nullptr;
-  /// When non-null, lg.* counters are flushed here on stop().
+  /// When non-null, lg.* counters are flushed here on stop(); shed and
+  /// slow-client drops are also incremented live, so /v1/metricsz shows
+  /// overload while it is happening.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -60,6 +71,8 @@ struct ServerStats {
   std::uint64_t responses_4xx = 0;
   std::uint64_t responses_5xx = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t shed = 0;               ///< admission-cap 503s
+  std::uint64_t slow_client_drops = 0;  ///< send-deadline disconnects
 };
 
 class LgServer {
@@ -93,6 +106,14 @@ class LgServer {
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd, ServerStats& stats);
+  /// Write the whole buffer under the send deadline: non-blocking sends
+  /// with POLLOUT waits in poll_ms slices, aborting on shutdown or once
+  /// send_timeout_ms elapses (*timed_out distinguishes the deadline from a
+  /// dead peer).
+  bool send_with_deadline(int fd, std::string_view data, bool* timed_out);
+  /// Best-effort 503 + Retry-After + close for an arrival over the
+  /// admission cap; must never block the acceptor.
+  void shed_connection(int fd);
   bool stopping() const {
     return stop_.load(std::memory_order_relaxed) ||
            (config_.token && config_.token->requested());
@@ -113,6 +134,10 @@ class LgServer {
   std::deque<int> queue_;
   ServerStats stats_;           // merged under mu_ as workers exit
   std::uint64_t accepted_ = 0;  // connections accepted (under mu_)
+  // Accepted-but-unfinished connections (queued + in-flight), the
+  // admission-cap measure. Atomic: bumped by the acceptor, dropped by
+  // whichever thread retires the connection.
+  std::atomic<std::uint64_t> active_{0};
 };
 
 }  // namespace dynamips::lg

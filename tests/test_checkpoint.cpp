@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -20,6 +21,7 @@
 
 #include "atlas/generator.h"
 #include "cdn/generator.h"
+#include "core/failpoint.h"
 #include "core/pipeline.h"
 #include "core/shutdown.h"
 #include "io/atomic_file.h"
@@ -239,6 +241,148 @@ TEST(AtomicFile, DoubleCommitIsFailedPrecondition) {
   ASSERT_TRUE(w.commit().ok());
   EXPECT_EQ(w.commit().code(), core::StatusCode::kFailedPrecondition);
   std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- fault injection
+//
+// The same crash-safety claims, but exercised through core/failpoint.h
+// instead of hoping the error paths never run: injected ENOSPC, torn
+// writes, fsync failures, and primary-corruption must all leave the last
+// good version readable and never publish a partial file.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class FailpointInjection : public ::testing::Test {
+ protected:
+  void SetUp() override { core::disarm_failpoints(); }
+  void TearDown() override { core::disarm_failpoints(); }
+};
+
+TEST_F(FailpointInjection, InjectedEnospcRemovesTmpAndKeepsDestination) {
+  const std::string path = temp_path("fp_enospc.txt");
+  ASSERT_TRUE(io::write_file_atomic(path, "original").ok());
+
+  ASSERT_TRUE(core::arm_failpoints("atomic_file.write=err(ENOSPC)@1").ok());
+  core::Status st = io::write_file_atomic(path, "replacement");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ENOSPC"), std::string::npos);
+  EXPECT_EQ(slurp(path), "original");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Disarmed again, the very same write goes through.
+  core::disarm_failpoints();
+  ASSERT_TRUE(io::write_file_atomic(path, "replacement").ok());
+  EXPECT_EQ(slurp(path), "replacement");
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointInjection, TornWriteLeavesTmpButNeverTouchesDestination) {
+  const std::string path = temp_path("fp_torn.txt");
+  ASSERT_TRUE(io::write_file_atomic(path, "original").ok());
+
+  ASSERT_TRUE(core::arm_failpoints("atomic_file.write=short@1").ok());
+  const std::string contents = "0123456789abcdef";
+  ASSERT_FALSE(io::write_file_atomic(path, contents).ok());
+  // The torn .tmp is exactly what a crash leaves behind: a prefix, never
+  // published. The destination still holds the previous good bytes.
+  EXPECT_EQ(slurp(path), "original");
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(slurp(path + ".tmp"), contents.substr(0, contents.size() / 2));
+
+  // The torn leftover is ignored (overwritten) by the next write and
+  // cleaned by the checkpoint retirement helper.
+  core::disarm_failpoints();
+  ASSERT_TRUE(io::write_file_atomic(path, contents).ok());
+  EXPECT_EQ(slurp(path), contents);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointInjection, FsyncFailureRemovesTmpAndKeepsDestination) {
+  const std::string path = temp_path("fp_fsync.txt");
+  ASSERT_TRUE(io::write_file_atomic(path, "original").ok());
+
+  ASSERT_TRUE(core::arm_failpoints("atomic_file.fsync=err@1").ok());
+  core::Status st = io::write_file_atomic(path, "replacement");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("fsync"), std::string::npos);
+  EXPECT_EQ(slurp(path), "original");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointInjection, DirsyncFailureSurfacesThroughStatus) {
+  const std::string path = temp_path("fp_dirsync.txt");
+  ASSERT_TRUE(core::arm_failpoints("atomic_file.dirsync=err@1").ok());
+  core::Status st = io::write_file_atomic(path, "bytes");
+  // The rename happened but its durability could not be guaranteed; the
+  // caller hears about it instead of silently trusting the publish.
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("directory fsync"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointInjection, EnospcMidCheckpointKeepsLastSnapshotLoadable) {
+  const std::string path = temp_path("fp_ckpt_enospc.ckpt");
+  io::remove_checkpoint_files(path);
+  io::StudyCheckpoint first = sample_checkpoint();
+  ASSERT_TRUE(io::write_checkpoint(path, first).ok());
+
+  ASSERT_TRUE(core::arm_failpoints("checkpoint.write=err(ENOSPC)@1").ok());
+  io::StudyCheckpoint second = sample_checkpoint();
+  second.shards[0].next = 5;
+  core::Status st = io::write_checkpoint(path, second);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ENOSPC"), std::string::npos);
+
+  // The disk still holds the first snapshot, byte-for-byte loadable.
+  auto loaded = io::read_checkpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->shards[0].next, 3u);
+  io::remove_checkpoint_files(path);
+}
+
+TEST_F(FailpointInjection, TornCheckpointSectionFallsBackToPrev) {
+  const std::string path = temp_path("fp_ckpt_torn.ckpt");
+  io::remove_checkpoint_files(path);
+  io::StudyCheckpoint first = sample_checkpoint();
+  ASSERT_TRUE(io::write_checkpoint(path, first).ok());
+  io::StudyCheckpoint second = sample_checkpoint();
+  second.shards[0].next = 5;
+  ASSERT_TRUE(io::write_checkpoint(path, second).ok());
+  // .prev now holds `first`, the primary holds `second`.
+
+  // A torn section write clobbers the primary non-atomically (the failure
+  // mode the atomic writer exists to prevent, forced on purpose).
+  ASSERT_TRUE(core::arm_failpoints("checkpoint.torn=short@1").ok());
+  io::StudyCheckpoint third = sample_checkpoint();
+  third.shards[0].next = 4;
+  EXPECT_EQ(io::write_checkpoint(path, third).code(),
+            core::StatusCode::kDataLoss);
+
+  // The primary is now torn garbage; resume falls back to .prev and says
+  // so — no crash, no silently wrong state.
+  ASSERT_FALSE(io::read_checkpoint(path).ok());
+  std::string used;
+  auto fallback = io::read_checkpoint_with_fallback(path, &used);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().to_string();
+  EXPECT_EQ(used, path + ".prev");
+  EXPECT_EQ(fallback->shards[0].next, 3u);
+  io::remove_checkpoint_files(path);
+}
+
+TEST_F(FailpointInjection, RenameFailureLeavesDestinationUntouched) {
+  const std::string path = temp_path("fp_rename.txt");
+  ASSERT_TRUE(io::write_file_atomic(path, "original").ok());
+  ASSERT_TRUE(core::arm_failpoints("atomic_file.rename=err@1").ok());
+  ASSERT_FALSE(io::write_file_atomic(path, "replacement").ok());
+  EXPECT_EQ(slurp(path), "original");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
 }
 
 // ------------------------------------------------- analyzer save/load state

@@ -1,0 +1,192 @@
+// test_failpoint — the deterministic fault-injection registry
+// (core/failpoint.h): spec grammar, hit-range and seeded probabilistic
+// predicates, replayability (same spec + same seed => identical injection
+// sequence, the contract every chaos-soak run leans on), staged arming
+// semantics, and the disarmed fast path.
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dynamips::core {
+namespace {
+
+/// Every test starts and ends disarmed; failpoint state is process-global.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_failpoints(); }
+  void TearDown() override {
+    disarm_failpoints();
+    ::unsetenv("DYNAMIPS_FAILPOINTS");
+  }
+};
+
+TEST_F(Failpoint, DisarmedIsInert) {
+  EXPECT_FALSE(failpoints_armed());
+  FailpointHit hit = failpoint("anything.at.all");
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(hit.kind, FailpointHit::Kind::kNone);
+  EXPECT_EQ(failpoint_report(), "");
+}
+
+TEST_F(Failpoint, ErrDefaultsToEio) {
+  ASSERT_TRUE(arm_failpoints("x=err").ok());
+  EXPECT_TRUE(failpoints_armed());
+  FailpointHit hit = failpoint("x");
+  ASSERT_TRUE(hit.is_error());
+  EXPECT_EQ(hit.err, EIO);
+  EXPECT_STREQ(hit.errno_name(), "EIO");
+  // Unlisted names never fire even while others are armed.
+  EXPECT_FALSE(failpoint("y"));
+}
+
+TEST_F(Failpoint, NamedErrnoAndDelayAndShort) {
+  ASSERT_TRUE(
+      arm_failpoints("a=err(ENOSPC); b=short; c=delay(50ms)").ok());
+  FailpointHit a = failpoint("a");
+  ASSERT_TRUE(a.is_error());
+  EXPECT_EQ(a.err, ENOSPC);
+  EXPECT_STREQ(a.errno_name(), "ENOSPC");
+  EXPECT_TRUE(failpoint("b").is_short_write());
+  FailpointHit c = failpoint("c");
+  ASSERT_TRUE(c.is_delay());
+  EXPECT_EQ(c.delay_ms, 50u);
+}
+
+TEST_F(Failpoint, ExactHitPredicate) {
+  ASSERT_TRUE(arm_failpoints("x=err@3").ok());
+  EXPECT_FALSE(failpoint("x"));  // hit 1
+  EXPECT_FALSE(failpoint("x"));  // hit 2
+  EXPECT_TRUE(failpoint("x"));   // hit 3 fires
+  EXPECT_FALSE(failpoint("x"));  // hit 4
+  EXPECT_EQ(failpoint_fired("x"), 1u);
+}
+
+TEST_F(Failpoint, RangeAndOpenEndedPredicates) {
+  ASSERT_TRUE(arm_failpoints("r=err@2..4; o=err@3..").ok());
+  std::vector<bool> r_fired, o_fired;
+  for (int i = 0; i < 6; ++i) {
+    r_fired.push_back(bool(failpoint("r")));
+    o_fired.push_back(bool(failpoint("o")));
+  }
+  EXPECT_EQ(r_fired, (std::vector<bool>{false, true, true, true, false,
+                                        false}));
+  EXPECT_EQ(o_fired, (std::vector<bool>{false, false, true, true, true,
+                                        true}));
+}
+
+TEST_F(Failpoint, SameSpecAndSeedReplaysIdenticalSequence) {
+  // The chaos-replay contract: arming the same spec resets the counters,
+  // and the per-hit decisions depend only on (seed, hit index), so two
+  // arrings of the same spec produce bit-identical injection sequences.
+  const char* spec = "p=err*0.25%12345";
+  auto sequence = [&] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 500; ++i) fired.push_back(bool(failpoint("p")));
+    return fired;
+  };
+  ASSERT_TRUE(arm_failpoints(spec).ok());
+  std::vector<bool> first = sequence();
+  ASSERT_TRUE(arm_failpoints(spec).ok());  // re-arm resets counters
+  std::vector<bool> second = sequence();
+  EXPECT_EQ(first, second);
+
+  // ...and it actually fires probabilistically, not always/never.
+  std::size_t fires = 0;
+  for (bool f : first) fires += f;
+  EXPECT_GT(fires, 50u);
+  EXPECT_LT(fires, 250u);
+
+  // A different seed gives a different (still deterministic) sequence.
+  ASSERT_TRUE(arm_failpoints("p=err*0.25%54321").ok());
+  EXPECT_NE(first, sequence());
+}
+
+TEST_F(Failpoint, TextualSeedTokenIsValidAndReproducible) {
+  ASSERT_TRUE(arm_failpoints("p=err*0.5%seed").ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(bool(failpoint("p")));
+  ASSERT_TRUE(arm_failpoints("p=err*0.5%seed").ok());
+  std::vector<bool> second;
+  for (int i = 0; i < 100; ++i) second.push_back(bool(failpoint("p")));
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(Failpoint, OffErasesAndEmptySpecDisarms) {
+  ASSERT_TRUE(arm_failpoints("x=err; y=err").ok());
+  ASSERT_TRUE(arm_failpoints("x=err; x=off").ok());
+  EXPECT_FALSE(failpoint("x"));
+  EXPECT_FALSE(failpoint("y"));  // arming replaces the whole set
+  ASSERT_TRUE(arm_failpoints("").ok());
+  EXPECT_FALSE(failpoints_armed());
+}
+
+TEST_F(Failpoint, BadSpecLeavesCurrentArmingUntouched) {
+  ASSERT_TRUE(arm_failpoints("x=err@2").ok());
+  EXPECT_FALSE(failpoint("x"));  // hit 1 consumed
+
+  EXPECT_EQ(arm_failpoints("x=bogus").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("noequals").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=err@0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=err@5..2").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=err*0.5").code(),  // *F without %SEED
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=err*1.5%1").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=err(EWHATEVER)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=delay(ms)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arm_failpoints("x=off@1").code(),
+            StatusCode::kInvalidArgument);
+
+  // The original arming survived every failed re-arm: hit 2 still fires.
+  EXPECT_TRUE(failpoint("x"));
+}
+
+TEST_F(Failpoint, ReportCountsHitsAndFires) {
+  ASSERT_TRUE(arm_failpoints("x=err@2").ok());
+  failpoint("x");
+  failpoint("x");
+  failpoint("x");
+  EXPECT_EQ(failpoint_report(), "x: hits=3 fired=1");
+  EXPECT_EQ(failpoint_fired("x"), 1u);
+  EXPECT_EQ(failpoint_fired("nope"), 0u);
+}
+
+TEST_F(Failpoint, ArmsFromEnvironment) {
+  // Unset or empty is a successful no-op.
+  ::unsetenv("DYNAMIPS_FAILPOINTS");
+  ASSERT_TRUE(arm_failpoints_from_env().ok());
+  EXPECT_FALSE(failpoints_armed());
+
+  ::setenv("DYNAMIPS_FAILPOINTS", "e=err(EPIPE)@1", 1);
+  ASSERT_TRUE(arm_failpoints_from_env().ok());
+  FailpointHit hit = failpoint("e");
+  ASSERT_TRUE(hit.is_error());
+  EXPECT_EQ(hit.err, EPIPE);
+
+  ::setenv("DYNAMIPS_FAILPOINTS", "broken spec", 1);
+  EXPECT_EQ(arm_failpoints_from_env().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(Failpoint, WhitespaceTolerantGrammar) {
+  ASSERT_TRUE(
+      arm_failpoints(" a = err( ENOSPC ) @ 2 .. 3 ; b = delay( 5 ms) ")
+          .ok());
+  EXPECT_FALSE(failpoint("a"));
+  EXPECT_TRUE(failpoint("a").is_error());
+  EXPECT_TRUE(failpoint("b").is_delay());
+}
+
+}  // namespace
+}  // namespace dynamips::core

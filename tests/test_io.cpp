@@ -4,7 +4,9 @@
 
 #include <sstream>
 
+#include "core/failpoint.h"
 #include "io/csv.h"
+#include "io/readers.h"
 
 namespace dynamips::io {
 namespace {
@@ -91,6 +93,32 @@ TEST(EchoIo, StreamRoundTripWithHeader) {
   ASSERT_EQ(loaded->records.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i)
     EXPECT_EQ(loaded->records[i].family, series.records[i].family);
+}
+
+TEST(EchoIo, InjectedReadFailureSurfacesWithLineNumber) {
+  // The readers.line failpoint stands in for a failing disk mid-ingest:
+  // the reader must stop with a precise, attributable error — not a
+  // silently truncated dataset — and be fully healthy once disarmed.
+  const std::string data =
+      "1,0,4,80.1.2.3,192.168.1.5\n"
+      "1,1,4,80.1.2.3,192.168.1.5\n"
+      "1,2,4,80.1.2.3,192.168.1.5\n";
+  ASSERT_TRUE(core::arm_failpoints("readers.line=err(EIO)@2").ok());
+  std::stringstream ss(data);
+  auto failed = read_echo_dataset(ss);
+  core::disarm_failpoints();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), core::StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find(
+                "injected read failure (EIO) at line 2"),
+            std::string::npos)
+      << failed.status().to_string();
+
+  std::stringstream again(data);
+  auto loaded = read_echo_dataset(again);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].records.size(), 3u);
 }
 
 TEST(EchoIo, StreamRejectsMixedProbes) {

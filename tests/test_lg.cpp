@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "core/pipeline.h"
 #include "gtest/gtest.h"
 #include "lg/http.h"
@@ -291,6 +292,125 @@ TEST(LgServer, ServesOverRealSocket) {
   lg::LgServer rebind(service, again);
   EXPECT_TRUE(rebind.start().ok());
   rebind.stop();
+}
+
+// ----------------------------------------------------- overload handling
+
+int connect_to(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(std::uint16_t(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string read_until_close(int fd) {
+  std::string buf;
+  char chunk[1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return buf;
+    buf.append(chunk, std::size_t(n));
+  }
+}
+
+/// Failpoint-armed tests leave the process disarmed even when they fail.
+class LgServerOverload : public ::testing::Test {
+ protected:
+  void SetUp() override { core::disarm_failpoints(); }
+  void TearDown() override { core::disarm_failpoints(); }
+};
+
+TEST_F(LgServerOverload, SlowClientHitsSendDeadlineAndWorkerIsReclaimed) {
+  lg::LgService service;
+  service.publish_atlas(lg::build_atlas_snapshot(
+      atlas_study(), 1, 0, atlas_study().sanitize.probes_seen));
+
+  lg::ServerConfig cfg;
+  cfg.port = 0;
+  cfg.threads = 1;  // a stalled send would wedge the whole server
+  cfg.send_timeout_ms = 150;
+  lg::LgServer server(service, cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  // The injected delay stands in for a peer that stops reading while the
+  // response is in flight; it must burn through the 150ms budget and trip
+  // the deadline, not block the lone worker for 10 seconds.
+  ASSERT_TRUE(core::arm_failpoints("lg.send=delay(10000ms)@1").ok());
+  int slow = connect_to(server.port());
+  ASSERT_GE(slow, 0);
+  const std::string req = "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::send(slow, req.data(), req.size(), MSG_NOSIGNAL),
+            ssize_t(req.size()));
+  // The server drops us without a byte of response.
+  EXPECT_EQ(read_until_close(slow), "");
+  ::close(slow);
+  core::disarm_failpoints();
+
+  // The worker was reclaimed: a fresh connection is served normally.
+  int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  std::string ok = http_round_trip(fd, req);
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  ::close(fd);
+
+  server.stop();
+  lg::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.slow_client_drops, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(LgServerOverload, AdmissionCapShedsWith503AndRetryAfter) {
+  lg::LgService service;
+  service.publish_atlas(lg::build_atlas_snapshot(
+      atlas_study(), 1, 0, atlas_study().sanitize.probes_seen));
+
+  lg::ServerConfig cfg;
+  cfg.port = 0;
+  cfg.threads = 1;
+  cfg.max_connections = 1;
+  lg::LgServer server(service, cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  // Fill the single admission slot with a keep-alive connection (the round
+  // trip guarantees the acceptor has already counted it).
+  int held = connect_to(server.port());
+  ASSERT_GE(held, 0);
+  std::string first = http_round_trip(
+      held, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  // The next arrival is shed at accept time: 503, Retry-After, close —
+  // without ever waiting behind the held connection.
+  int shed = connect_to(server.port());
+  ASSERT_GE(shed, 0);
+  std::string refusal = read_until_close(shed);
+  EXPECT_NE(refusal.find("HTTP/1.1 503"), std::string::npos) << refusal;
+  EXPECT_NE(refusal.find("Retry-After: 1"), std::string::npos) << refusal;
+  ::close(shed);
+
+  // Releasing the slot re-opens admission.
+  ::close(held);
+  std::string ok;
+  for (int i = 0; i < 100 && ok.find("HTTP/1.1 200 OK") == std::string::npos;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    ok = http_round_trip(fd, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    ::close(fd);
+  }
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  server.stop();
+  lg::ServerStats stats = server.stats();
+  EXPECT_GE(stats.shed, 1u);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 
 #include "atlas/generator.h"
 #include "cdn/generator.h"
+#include "core/failpoint.h"
 #include "core/observations.h"
 #include "core/sanitize.h"
 #include "io/checkpoint.h"
@@ -701,6 +702,110 @@ TEST(CdnStream, ResumeAtDifferentThreadCountIsByteIdentical) {
     EXPECT_EQ(cdn_signature(*study), want);
     EXPECT_EQ(stats.batches, 3u);
   }
+}
+
+// ---------------------------------------------- injected-fault streaming
+
+/// Every test arms failpoints and must leave the process disarmed even on
+/// assertion failure; state is global (see core/failpoint.h).
+class StreamFailpoints : public ::testing::Test {
+ protected:
+  void SetUp() override { core::disarm_failpoints(); }
+  void TearDown() override { core::disarm_failpoints(); }
+};
+
+TEST_F(StreamFailpoints, TransientIoFaultsRetryAndConverge) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_fp_transient_watch");
+  const fs::path ckdir = temp_dir("stream_fp_transient_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto paths = write_atlas_batches(watch, fx.dataset, 3);
+  drop_sentinel(watch, "stream.stop");
+
+  // Reference computed before arming: the fault-free one-shot study.
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // One directory-scan failure, one checkpoint-write failure, one read
+  // failure mid-batch: each transient, each inside the default 3-attempt
+  // retry budget. The streamed results must still be byte-identical to
+  // the fault-free reference — retried work never double-merges.
+  ASSERT_TRUE(core::arm_failpoints("stream.scan=err@1; "
+                                   "checkpoint.write=err(EIO)@1; "
+                                   "readers.line=err@7")
+                  .ok());
+  obs::MetricsRegistry reg;
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  cfg.metrics = &reg;
+  core::StreamConfig stream;
+  stream.checkpoint_path = ckpt;
+  stream.poll_ms = 10;
+  stream.io_retry_base_ms = 1;
+  stream.io_retry_seed = 42;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_EQ(stats.batches, 3u);
+
+  auto snap = reg.snapshot();
+  EXPECT_GE(snap.counter("io.retries").value, 3u);
+  EXPECT_EQ(snap.counter("io.giveups").value, 0u);
+  EXPECT_EQ(snap.counter("checkpoint.write_failures").value, 1u);
+}
+
+TEST_F(StreamFailpoints, ExhaustedRetriesGiveUpResumably) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_fp_giveup_watch");
+  const fs::path ckdir = temp_dir("stream_fp_giveup_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto paths = write_atlas_batches(watch, fx.dataset, 3);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // Every checkpoint write from the second on fails — a disk going hard
+  // read-only after one durable snapshot. The run must give up resumably:
+  // kCancelled, pointing at the intact high-water-mark checkpoint.
+  ASSERT_TRUE(core::arm_failpoints("checkpoint.write=err(ENOSPC)@2..").ok());
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  core::StreamConfig stream;
+  stream.checkpoint_path = ckpt;
+  stream.poll_ms = 10;
+  stream.io_retry_attempts = 2;
+  stream.io_retry_base_ms = 1;
+  auto gave_up =
+      core::run_atlas_stream(watch.string(), fx.isps, cfg, stream);
+  ASSERT_FALSE(gave_up.ok());
+  EXPECT_EQ(gave_up.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(contains(gave_up.status().message(), "is intact"))
+      << gave_up.status().to_string();
+
+  // The checkpoint it points at is genuinely loadable, and resuming it
+  // fault-free finishes the study byte-identical to the reference.
+  core::disarm_failpoints();
+  auto ck = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  ASSERT_EQ(ck->consumed.size(), 1u);
+  core::StreamConfig resume;
+  resume.checkpoint_path = ckpt;
+  resume.resume = &*ck;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, resume,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_EQ(stats.batches, 3u);
 }
 
 TEST(StreamDriver, ReusesOneExecutorAcrossFollows) {

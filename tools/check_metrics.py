@@ -55,6 +55,14 @@ and imbalance when the two runs used different thread counts,
 `stream.lag_seconds`, `process.peak_rss_bytes`). Composes with
 `--require-counters`.
 
+`--ignore-fault-counters` is shorthand for the fault-path exemption
+list chaos runs need: it appends `io.retries`/`io.giveups`/
+`checkpoint.write_failures`/`lg.shed`/`lg.slow_client_drops`-style
+counters (see FAULT_COUNTER_PATTERNS) to `--ignore-counters`, so a
+run under an armed DYNAMIPS_FAILPOINTS spec still gates on
+study-output metric identity while its retry/shed accounting is free
+to differ from the fault-free reference.
+
 Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
 Stdlib-only by design (runs in bare CI containers).
 """
@@ -64,6 +72,21 @@ import json
 import sys
 
 SCHEMA = "dynamips.metrics.v1"
+
+# Counters that only move on fault paths (injected or real): retry/giveup
+# accounting, checkpoint supervision, and looking-glass overload
+# protection. `--ignore-fault-counters` appends these to the
+# --ignore-counters exemption list so chaos runs still gate on
+# study-output identity.
+FAULT_COUNTER_PATTERNS = [
+    "io.retries",
+    "io.giveups",
+    "checkpoint.write_failures",
+    "checkpoint.interrupted",
+    "checkpoint.resumes",
+    "lg.shed",
+    "lg.slow_client_drops",
+]
 
 
 def fail(msg):
@@ -297,22 +320,28 @@ def main(argv):
     compare_to = None
     ignore_counters = []
     ignore_gauges = []
+    # Accumulate (never assign) the pattern lists: `flags` is a set, so
+    # --ignore-counters=... and --ignore-fault-counters arrive in arbitrary
+    # order and must compose regardless.
     for flag in list(flags):
         if flag.startswith("--require-counters="):
-            required = [p for p in
-                        flag[len("--require-counters="):].split(",") if p]
+            required += [p for p in
+                         flag[len("--require-counters="):].split(",") if p]
             flags.remove(flag)
         elif flag.startswith("--compare-to="):
             compare_to = flag[len("--compare-to="):]
             flags.remove(flag)
         elif flag.startswith("--ignore-counters="):
-            ignore_counters = [p for p in
-                               flag[len("--ignore-counters="):].split(",")
-                               if p]
+            ignore_counters += [p for p in
+                                flag[len("--ignore-counters="):].split(",")
+                                if p]
             flags.remove(flag)
         elif flag.startswith("--ignore-gauges="):
-            ignore_gauges = [p for p in
-                             flag[len("--ignore-gauges="):].split(",") if p]
+            ignore_gauges += [p for p in
+                              flag[len("--ignore-gauges="):].split(",") if p]
+            flags.remove(flag)
+        elif flag == "--ignore-fault-counters":
+            ignore_counters += FAULT_COUNTER_PATTERNS
             flags.remove(flag)
     unknown = flags - {"--verbose", "--update-baseline"}
     usage = (__doc__.strip().splitlines()[0] +
@@ -321,7 +350,8 @@ def main(argv):
              "\n       check_metrics.py CANDIDATE "
              "--require-counters=PAT[,PAT...]"
              "\n       check_metrics.py CANDIDATE --compare-to=REF "
-             "[--ignore-counters=PAT,...] [--ignore-gauges=PAT,...]")
+             "[--ignore-counters=PAT,...] [--ignore-gauges=PAT,...] "
+             "[--ignore-fault-counters]")
     if unknown:
         return fail(usage)
     if (ignore_counters or ignore_gauges) and compare_to is None:

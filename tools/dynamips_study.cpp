@@ -74,6 +74,7 @@
 #include <optional>
 #include <string>
 
+#include "core/failpoint.h"
 #include "core/pipeline.h"
 #include "core/shutdown.h"
 #include "io/atomic_file.h"
@@ -103,7 +104,9 @@ void usage(const char* argv0) {
                "[--resume-from FILE] [--deadline-seconds S] "
                "[--follow DIR] [--refinalize-every N] "
                "[--refinalize-seconds S] [--poll-ms MS] [--max-batches N] "
-               "[--serve PORT] [--no-csv]\n",
+               "[--io-retries N] [--io-retry-base-ms MS] "
+               "[--serve PORT] [--send-timeout-ms MS] [--max-connections N] "
+               "[--no-csv] [--failpoints SPEC]\n",
                argv0);
 }
 
@@ -204,6 +207,10 @@ int main(int argc, char** argv) {
   double refinalize_seconds = 0;
   bool serve = false, no_csv = false;
   std::uint64_t serve_port = 0;
+  std::uint64_t io_retries = 3, io_retry_base_ms = 20;
+  std::uint64_t send_timeout_ms = 5000, max_connections = 0;
+  std::string failpoints_spec;
+  bool failpoints_flag = false;
   io::ReaderOptions reader_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -256,6 +263,17 @@ int main(int argc, char** argv) {
       poll_ms = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--max-batches") {
       max_batches = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--io-retries") {
+      io_retries = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--io-retry-base-ms") {
+      io_retry_base_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--send-timeout-ms") {
+      send_timeout_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-connections") {
+      max_connections = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--failpoints") {
+      failpoints_spec = next();
+      failpoints_flag = true;
     } else if (arg == "--serve") {
       serve = true;
       serve_port = std::strtoull(next(), nullptr, 10);
@@ -301,6 +319,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Chaos arming: the env var first, then --failpoints (the flag wins when
+  // both are given). Disarmed, every instrumented site is one relaxed
+  // atomic load.
+  if (core::Status st = core::arm_failpoints_from_env(); !st.ok()) {
+    std::fprintf(stderr, "DYNAMIPS_FAILPOINTS: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  if (failpoints_flag) {
+    if (core::Status st = core::arm_failpoints(failpoints_spec); !st.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", st.to_string().c_str());
+      return 2;
+    }
+  }
+
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
@@ -343,6 +375,8 @@ int main(int argc, char** argv) {
     server_cfg.port = std::uint16_t(serve_port);
     server_cfg.token = &token;
     server_cfg.metrics = registry;
+    server_cfg.send_timeout_ms = send_timeout_ms;
+    server_cfg.max_connections = max_connections;
     server.emplace(service, server_cfg);
     core::Status st = server->start();
     if (!st.ok()) {
@@ -577,6 +611,9 @@ int main(int argc, char** argv) {
     stream.checkpoint_path = checkpoint_out;
     stream.token = &token;
     stream.resume = resume ? &*resume : nullptr;
+    stream.io_retry_attempts = io_retries;
+    stream.io_retry_base_ms = io_retry_base_ms;
+    stream.io_retry_seed = seed;
 
     core::StreamStats sstats;
     io::IngestStats istats;
@@ -787,6 +824,10 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (core::failpoints_armed())
+    std::fprintf(stderr, "failpoints: %s\n",
+                 core::failpoint_report().c_str());
 
   if (rc == 0) {
     // The run is fully durable; retire the checkpoint chain.

@@ -27,6 +27,15 @@ Connection-level failures (reset while reconnecting, server restart)
 are retried with a fresh connection and counted as reconnects, not
 errors; any non-200 response is an error and fails the run.
 
+`--slow-client N` additionally runs N slow-loris-style readers: each
+opens a raw socket with a tiny SO_RCVBUF, sends one GET, then trickle-
+reads one byte per `--slow-read-interval` seconds. A healthy server
+(send_timeout_ms armed) drops such connections and reclaims the
+worker — the drop is counted, never treated as an error. Responses in
+this repo are small enough to fit kernel buffers, so pair the mode
+with a `--failpoints 'lg.send=delay(...)...'` serving run (or a large
+snapshot) to actually stall the send path.
+
 Exit status: 0 ok, 1 torn read / HTTP error / no paths discovered,
 2 usage. Stdlib-only by design (runs in bare CI containers).
 """
@@ -36,6 +45,7 @@ import hashlib
 import http.client
 import json
 import re
+import socket
 import sys
 import threading
 import time
@@ -128,6 +138,49 @@ class Worker(threading.Thread):
             conn.close()
 
 
+class SlowClient(threading.Thread):
+    """One slow-loris reader: request, then trickle-read a byte at a time
+    until the server enforces its send deadline and drops us (or the run
+    ends). Being dropped is the expected, healthy outcome."""
+
+    def __init__(self, host, port, path, stop_at, interval):
+        super().__init__(daemon=True)
+        self.host, self.port, self.path = host, port, path
+        self.stop_at, self.interval = stop_at, interval
+        self.bytes_read = 0
+        self.dropped = False
+
+    def run(self):
+        sock = None
+        try:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            # A tiny receive window fills the server's send buffer fast,
+            # forcing its send path to wait on us.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1024)
+            sock.connect((self.host, self.port))
+            sock.sendall(f"GET {self.path} HTTP/1.1\r\nHost: lg\r\n"
+                         "Connection: keep-alive\r\n\r\n".encode())
+            sock.settimeout(self.interval)
+            while time.monotonic() < self.stop_at:
+                time.sleep(self.interval)
+                try:
+                    chunk = sock.recv(1)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    self.dropped = True
+                    break
+                if not chunk:
+                    self.dropped = True
+                    break
+                self.bytes_read += 1
+        except OSError:
+            self.dropped = True
+        finally:
+            if sock is not None:
+                sock.close()
+
+
 def percentile(sorted_values, q):
     if not sorted_values:
         return 0.0
@@ -158,9 +211,18 @@ def main():
                         help="meta.window_hours of the serving run")
     parser.add_argument("--threads", type=int, default=1,
                         help="meta.threads of the serving run")
+    parser.add_argument("--slow-client", type=int, default=0,
+                        help="also run N slow-loris trickle-readers "
+                             "(exercises the server send deadline)")
+    parser.add_argument("--slow-read-interval", type=float, default=0.5,
+                        help="seconds between single-byte reads in "
+                             "--slow-client mode (default 0.5)")
     args = parser.parse_args()
     if args.duration <= 0 or args.workers <= 0:
         parser.error("--duration and --workers must be positive")
+    if args.slow_client < 0 or args.slow_read_interval <= 0:
+        parser.error("--slow-client must be >= 0 and "
+                     "--slow-read-interval positive")
 
     paths = discover_paths(args.host, args.port, args.discover_timeout)
     if not paths:
@@ -173,9 +235,12 @@ def main():
     stop_at = t0 + args.duration
     workers = [Worker(i, args.host, args.port, paths, stop_at, bodies, lock)
                for i in range(args.workers)]
-    for w in workers:
+    slow = [SlowClient(args.host, args.port, paths[i % len(paths)], stop_at,
+                       args.slow_read_interval)
+            for i in range(args.slow_client)]
+    for w in workers + slow:
         w.start()
-    for w in workers:
+    for w in workers + slow:
         w.join()
     wall = time.monotonic() - t0
 
@@ -194,6 +259,11 @@ def main():
           f"p99 {p99 * 1e3:.2f}ms, {errors} errors, "
           f"{reconnects} reconnects, {torn} torn, "
           f"snapshots seen: {snapshots}")
+    slow_dropped = sum(1 for s in slow if s.dropped)
+    if slow:
+        print(f"lg_load: {len(slow)} slow clients, {slow_dropped} dropped "
+              f"by the server, "
+              f"{sum(s.bytes_read for s in slow)} bytes trickle-read")
 
     if args.out:
         doc = {
@@ -204,7 +274,9 @@ def main():
             "counts": {"requests": requests, "errors": errors,
                        "reconnects": reconnects, "torn": torn,
                        "paths": len(paths),
-                       "snapshots_seen": len(snapshots)},
+                       "snapshots_seen": len(snapshots),
+                       "slow_clients": len(slow),
+                       "slow_clients_dropped": slow_dropped},
             "wall_s": {"duration": round(wall, 3),
                        "p50": round(p50, 6), "p99": round(p99, 6)},
             "metrics": {
