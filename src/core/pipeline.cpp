@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/failpoint.h"
+#include "core/resource.h"
+#include "core/shutdown.h"
 #include "obs/metrics.h"
 
 namespace dynamips::core {
@@ -1446,14 +1448,23 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     io::ckpt::Writer sw;
     sink.save(sw);
     ck.supervisor_blob = sw.take();
+    // Disk soft pressure: drop checkpoint retention to keep-last-1 — the
+    // `.prev` sibling is roughly a whole extra copy of the accumulated
+    // dataset, the cheapest durable bytes to give back.
+    bool keep_previous = true;
+    if (stream.governor && stream.governor->disk_soft()) {
+      keep_previous = false;
+      stream.governor->count("retention_drops");
+    }
     Status wrote = Status::Ok();
     for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
         sink.counter("io.retries").add(1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            backoff_ms(/*salt=*/0x636b7074 /*'ckpt'*/, attempt - 1)));
+        interruptible_sleep_ms(
+            backoff_ms(/*salt=*/0x636b7074 /*'ckpt'*/, attempt - 1),
+            stream.token);
       }
-      wrote = io::write_checkpoint(stream.checkpoint_path, ck);
+      wrote = io::write_checkpoint(stream.checkpoint_path, ck, keep_previous);
       if (wrote.ok()) {
         sink.counter("checkpoint.writes").add(1);
         return wrote;
@@ -1492,6 +1503,26 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     return elapsed.count() >= stream.refinalize_seconds;
   };
 
+  // Intermediate re-finalizations are a *publication* convenience — the
+  // final pass always runs — which makes them the stream's pressure
+  // release valve: deferring one under memory pressure (the pass builds a
+  // full per-shard analyzer set over the accumulated dataset) or skipping
+  // one while ingestion lags cannot change the final outputs. Both are
+  // counted, never silent.
+  double last_lag = 0.0;
+  bool mem_pressure_prev = false;
+  auto intermediate_allowed = [&]() -> bool {
+    if (stream.governor && stream.governor->memory_pressure()) {
+      stream.governor->count("refinalize_deferred");
+      return false;
+    }
+    if (stream.max_lag_seconds > 0 && last_lag > stream.max_lag_seconds) {
+      sink.counter("stream.refinalize_skipped").add(1);
+      return false;
+    }
+    return true;
+  };
+
   for (;;) {
     if (stream.token && stream.token->requested()) {
       sink.counter("checkpoint.interrupted").add(1);
@@ -1517,8 +1548,7 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
         // back off, rescan. The shutdown token above keeps even a
         // persistently failing scan drainable.
         sink.counter("io.retries").add(1);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(stream.poll_ms));
+        interruptible_sleep_ms(stream.poll_ms, stream.token);
         continue;
       }
       core::failpoint_sleep(fp);
@@ -1531,6 +1561,30 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     const bool reached_cap =
         stream.max_batches > 0 && stats.batches >= stream.max_batches;
 
+    // Bound the per-sweep backlog: a burst of batches still gets consumed,
+    // just across several sweeps, keeping the work list (and the time
+    // between token/governor polls at the sweep boundary) bounded.
+    if (stream.max_backlog_batches > 0 &&
+        fresh.size() > stream.max_backlog_batches)
+      fresh.resize(stream.max_backlog_batches);
+    sink.gauge("stream.backlog_batches").set(double(fresh.size()));
+    if (stream.governor) {
+      stream.governor->note_backlog(fresh.size());
+      // Memory-pressure rising edge: force the high-water mark to disk
+      // *now*, while the process is still healthy enough to write it — if
+      // the kernel OOM-kills us anyway, the supervisor resumes from here.
+      const bool mem = stream.governor->memory_pressure();
+      if (mem && !mem_pressure_prev) {
+        stream.governor->count("early_checkpoints");
+        Status wrote = write_stream_checkpoint();
+        if (!wrote.ok()) {
+          publish_stats();
+          return resumable_or(wrote);
+        }
+      }
+      mem_pressure_prev = mem;
+    }
+
     if (reached_cap || (fresh.empty() && sentinel_present)) {
       Expected<Study> final_study = refinalize(/*final_pass=*/true);
       publish_stats();
@@ -1542,7 +1596,8 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
     }
 
     if (fresh.empty()) {
-      if (on_snapshot && batches_since_refinalize > 0 && timer_due()) {
+      if (on_snapshot && batches_since_refinalize > 0 && timer_due() &&
+          intermediate_allowed()) {
         Expected<Study> snap = refinalize(/*final_pass=*/false);
         if (!snap.ok()) {
           Status st = snap.status();
@@ -1555,7 +1610,7 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
         publish_stats();
         continue;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(stream.poll_ms));
+      interruptible_sleep_ms(stream.poll_ms, stream.token);
       continue;
     }
 
@@ -1564,7 +1619,19 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
       if (stream.max_batches > 0 && stats.batches >= stream.max_batches)
         break;
 
+      // Disk hard pressure: pause ingest until space recovers. The
+      // high-water mark on disk is intact and the token stays polled, so
+      // a pause is interruptible and resume-safe at any point.
+      if (stream.governor && stream.governor->disk_hard()) {
+        stream.governor->count("ingest_pauses");
+        while (stream.governor->disk_hard() &&
+               !(stream.token && stream.token->requested()))
+          interruptible_sleep_ms(stream.poll_ms, stream.token);
+        if (stream.token && stream.token->requested()) break;
+      }
+
       const double lag = batch_lag_seconds(path);
+      last_lag = lag;
       // Load with bounded retries. Each attempt reopens the stream and
       // feeds attempt-local ingest stats and metrics; only a fully
       // successful read merges into the dataset (load_batch's contract)
@@ -1577,8 +1644,8 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
       for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           sink.counter("io.retries").add(1);
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              backoff_ms(batch_salt, attempt - 1)));
+          interruptible_sleep_ms(backoff_ms(batch_salt, attempt - 1),
+                                 stream.token);
         }
         std::ifstream in(path, std::ios::binary);
         if (!in.is_open()) {
@@ -1589,15 +1656,22 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
         }
         io::ReaderOptions ropts = base_ropts;
         ropts.source_label = path.string();
+        // Disk soft pressure: shed quarantine copies of rejected lines —
+        // diagnostics, not data; rejects stay counted in `ingest.*` and
+        // the shed volume in `resource.quarantine_shed`.
+        ropts.shed_quarantine =
+            stream.governor && stream.governor->disk_soft();
         obs::MetricsSink attempt_sink;
         if (base_ropts.metrics) ropts.metrics = &attempt_sink;
         io::IngestStats attempt_ingest;
         records = 0;
-        loaded = policy.load_batch(in, ropts,
-                                   ingest ? &attempt_ingest : nullptr,
-                                   dataset, records);
+        loaded = policy.load_batch(in, ropts, &attempt_ingest, dataset,
+                                   records);
         if (loaded.ok()) {
           if (ingest) ingest->merge(attempt_ingest);
+          if (stream.governor)
+            stream.governor->count("quarantine_shed",
+                                   attempt_ingest.quarantine_shed);
           if (base_ropts.metrics)
             base_ropts.metrics->merge(std::move(attempt_sink));
           break;
@@ -1629,7 +1703,8 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
       if (on_snapshot &&
           ((stream.refinalize_every_batches > 0 &&
             batches_since_refinalize >= stream.refinalize_every_batches) ||
-           timer_due())) {
+           timer_due()) &&
+          intermediate_allowed()) {
         Expected<Study> snap = refinalize(/*final_pass=*/false);
         if (!snap.ok()) {
           Status st = snap.status();

@@ -230,6 +230,8 @@ Expected<CdnStudy> run_cdn_study_from_files(
 // mark: the consumed batch list plus the accumulated merged dataset, written
 // after every batch, so a killed stream replays only unconsumed batches.
 
+class ResourceGovernor;  // core/resource.h
+
 struct StreamConfig {
   /// Re-finalize (snapshot + callback) after this many newly consumed
   /// batches. 0 disables count-triggered re-finalization.
@@ -267,6 +269,24 @@ struct StreamConfig {
   std::uint64_t io_retry_base_ms = 20;
   /// Seed for the backoff jitter (never wall-clock randomness).
   std::uint64_t io_retry_seed = 0;
+  /// Resource governor (core/resource.h); null disables governance. The
+  /// stream polls it at batch boundaries and walks the degradation
+  /// ladder: memory pressure forces an early checkpoint and defers
+  /// intermediate re-finalizations, disk soft pressure drops checkpoint
+  /// retention to keep-last-1 and sheds quarantine writes, disk hard
+  /// pressure pauses ingest until space recovers. None of these change
+  /// the final outputs (only intermediate publications and diagnostics),
+  /// so governor knobs are excluded from checkpoint fingerprints.
+  ResourceGovernor* governor = nullptr;
+  /// Backpressure: when the last consumed batch's `stream.lag_seconds`
+  /// exceeds this, intermediate re-finalizations are skipped (counted in
+  /// `stream.refinalize_skipped`) so ingest can catch up. 0 disables.
+  double max_lag_seconds = 0.0;
+  /// Bound on the pending-batch backlog admitted per directory sweep;
+  /// remaining batches wait for the next sweep (they are not dropped).
+  /// Keeps the per-sweep work list — and the checkpoint cadence — bounded
+  /// when a burst of batches lands at once. 0 means unbounded.
+  std::uint64_t max_backlog_batches = 64;
 };
 
 /// Progress of a streaming run, updated as batches are consumed.

@@ -1,0 +1,130 @@
+#include "core/resource.h"
+
+#include <chrono>
+#include <cstdio>
+
+#ifdef __unix__
+#include <sys/statvfs.h>
+#include <unistd.h>
+#endif
+
+namespace dynamips::core {
+
+std::uint64_t current_rss_bytes() {
+#ifdef __unix__
+  // /proc/self/statm: "size resident shared text lib data dt", in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long size = 0, resident = 0;
+  int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return std::uint64_t(resident) * std::uint64_t(page);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t disk_free_bytes(const std::string& path) {
+#ifdef __unix__
+  struct statvfs vfs{};
+  if (::statvfs(path.c_str(), &vfs) != 0) return 0;
+  return std::uint64_t(vfs.f_bavail) * std::uint64_t(vfs.f_frsize);
+#else
+  (void)path;
+  return 0;
+#endif
+}
+
+std::string_view disk_pressure_name(DiskPressure pressure) {
+  switch (pressure) {
+    case DiskPressure::kOk: return "ok";
+    case DiskPressure::kSoft: return "soft";
+    case DiskPressure::kHard: return "hard";
+  }
+  return "ok";
+}
+
+ResourceGovernor::ResourceGovernor(ResourceBudgets budgets)
+    : budgets_(std::move(budgets)) {}
+
+std::uint64_t ResourceGovernor::now_ms() const {
+  if (budgets_.clock_ms) return budgets_.clock_ms();
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::uint64_t ResourceGovernor::probe_rss() const {
+  return budgets_.rss_probe ? budgets_.rss_probe() : current_rss_bytes();
+}
+
+std::uint64_t ResourceGovernor::probe_disk(const std::string& path) const {
+  return budgets_.disk_free_probe ? budgets_.disk_free_probe(path)
+                                  : disk_free_bytes(path);
+}
+
+ResourceState ResourceGovernor::sample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t now = now_ms();
+  if (sampled_once_ && budgets_.sample_interval_ms > 0 &&
+      now - last_sample_ms_ < budgets_.sample_interval_ms)
+    return state_;
+  last_sample_ms_ = now;
+  sampled_once_ = true;
+
+  constexpr std::uint64_t kMiB = 1024 * 1024;
+  state_.rss_mb = probe_rss() / kMiB;
+  state_.memory_pressure =
+      budgets_.max_rss_mb > 0 && state_.rss_mb >= budgets_.max_rss_mb;
+
+  state_.disk_sampled = false;
+  std::uint64_t min_free = 0;
+  for (const std::string& path : budgets_.disk_paths) {
+    std::uint64_t free = probe_disk(path);
+    if (free == 0) continue;  // unprobeable: unknown, not empty
+    if (!state_.disk_sampled || free < min_free) min_free = free;
+    state_.disk_sampled = true;
+  }
+  state_.disk_free_mb = state_.disk_sampled ? min_free / kMiB : 0;
+  state_.disk = DiskPressure::kOk;
+  if (budgets_.min_disk_free_mb > 0 && state_.disk_sampled) {
+    if (state_.disk_free_mb < budgets_.min_disk_free_mb / 2)
+      state_.disk = DiskPressure::kHard;
+    else if (state_.disk_free_mb < budgets_.min_disk_free_mb)
+      state_.disk = DiskPressure::kSoft;
+  }
+
+  if (budgets_.metrics) {
+    budgets_.metrics->set_gauge("resource.rss_mb", double(state_.rss_mb));
+    if (state_.disk_sampled)
+      budgets_.metrics->set_gauge("resource.disk_free_mb",
+                                  double(state_.disk_free_mb));
+  }
+  return state_;
+}
+
+ResourceState ResourceGovernor::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void ResourceGovernor::note_backlog(std::uint64_t batches) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_.backlog_batches = batches;
+  }
+  if (budgets_.metrics)
+    budgets_.metrics->set_gauge("resource.backlog_batches", double(batches));
+}
+
+void ResourceGovernor::count(std::string_view action, std::uint64_t n) {
+  if (n == 0 || !budgets_.metrics) return;
+  std::string name = "resource.";
+  name += action;
+  budgets_.metrics->add_counter(name, n);
+}
+
+}  // namespace dynamips::core

@@ -3,6 +3,11 @@
 #include <chrono>
 #include <csignal>
 #include <limits>
+#include <thread>
+
+#ifdef __unix__
+#include <ctime>
+#endif
 
 namespace dynamips::core {
 
@@ -56,6 +61,30 @@ void install_shutdown_handlers() {
   global_shutdown_token();
   std::signal(SIGINT, shutdown_signal_handler);
   std::signal(SIGTERM, shutdown_signal_handler);
+}
+
+void interruptible_sleep_ms(std::uint64_t ms, const ShutdownToken* token) {
+  constexpr std::uint64_t kSliceMs = 50;
+  const std::uint64_t start = steady_now_ns();
+  const std::uint64_t total_ns = ms * 1000000ull;
+  while (true) {
+    if (token && token->requested()) return;
+    const std::uint64_t elapsed = steady_now_ns() - start;
+    if (elapsed >= total_ns) return;
+    std::uint64_t remain_ms = (total_ns - elapsed) / 1000000ull + 1;
+    std::uint64_t slice = remain_ms < kSliceMs ? remain_ms : kSliceMs;
+#ifdef __unix__
+    // nanosleep (not std::this_thread::sleep_for) so an EINTR wakeup is
+    // explicit: we loop on the measured remainder rather than trusting
+    // any one sleep call to run to completion.
+    struct timespec req{};
+    req.tv_sec = time_t(slice / 1000);
+    req.tv_nsec = long((slice % 1000) * 1000000ull);
+    ::nanosleep(&req, nullptr);
+#else
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+#endif
+  }
 }
 
 }  // namespace dynamips::core

@@ -46,4 +46,12 @@ ShutdownToken& global_shutdown_token();
 /// Idempotent; call once at tool startup, before starting studies.
 void install_shutdown_handlers();
 
+/// Sleep for `ms`, waking early when `token` (optional) reports a stop.
+/// EINTR-hardened: under supervision, signals arrive routinely, and a
+/// plain sleep cut short by SIGCHLD/SIGTERM must neither oversleep nor
+/// surface a spurious error — the remainder is re-slept in short slices
+/// between token polls.
+void interruptible_sleep_ms(std::uint64_t ms,
+                            const ShutdownToken* token = nullptr);
+
 }  // namespace dynamips::core

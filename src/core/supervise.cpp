@@ -1,0 +1,396 @@
+#include "core/supervise.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/shutdown.h"
+
+#ifdef __unix__
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace dynamips::core {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::string outcome_text(const ChildOutcome& out) {
+  if (out.term_signal != 0)
+    return "killed by signal " + std::to_string(out.term_signal);
+  return "exit code " + std::to_string(out.exit_code);
+}
+
+}  // namespace
+
+// --------------------------------------------------------- RestartPolicy
+
+std::uint64_t RestartPolicy::on_failure(std::uint64_t now_ms) {
+  ++consecutive_;
+  failures_.push_back(now_ms);
+  if (config_.crash_loop_window_ms > 0) {
+    while (!failures_.empty() &&
+           now_ms - failures_.front() > config_.crash_loop_window_ms)
+      failures_.pop_front();
+  }
+  const std::uint64_t base =
+      config_.backoff_base_ms > 0 ? config_.backoff_base_ms : 1;
+  const std::uint64_t shift =
+      consecutive_ - 1 < 20 ? consecutive_ - 1 : 20;
+  std::uint64_t backoff = base << shift;
+  if (config_.backoff_max_ms > 0 && backoff > config_.backoff_max_ms)
+    backoff = config_.backoff_max_ms;
+  return backoff;
+}
+
+void RestartPolicy::on_progress() {
+  consecutive_ = 0;
+  failures_.clear();
+}
+
+bool RestartPolicy::crash_looping(std::uint64_t now_ms) const {
+  if (config_.crash_loop_failures == 0) return false;
+  std::uint64_t in_window = 0;
+  for (std::uint64_t t : failures_) {
+    if (config_.crash_loop_window_ms == 0 ||
+        now_ms - t <= config_.crash_loop_window_ms)
+      ++in_window;
+  }
+  return in_window >= config_.crash_loop_failures;
+}
+
+// ----------------------------------------------------------- ProcessChild
+
+ProcessChild::ProcessChild(std::vector<std::string> argv)
+    : argv_(std::move(argv)) {}
+
+ProcessChild::~ProcessChild() {
+#ifdef __unix__
+  // Never leak a running child past the supervisor: hard-kill and reap so
+  // an abnormal supervisor exit cannot leave an unsupervised orphan.
+  if (pid_ > 0) {
+    ::kill(pid_t(pid_), SIGKILL);
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(pid_t(pid_), &status, 0);
+    } while (rc < 0 && errno == EINTR);
+  }
+#endif
+}
+
+Status ProcessChild::start(
+    const std::vector<std::string>& extra_args,
+    const std::vector<std::pair<std::string, std::string>>& extra_env) {
+#ifdef __unix__
+  if (pid_ > 0)
+    return Status(StatusCode::kFailedPrecondition,
+                  "supervised child already running");
+  if (argv_.empty())
+    return Status(StatusCode::kInvalidArgument, "empty child argv");
+  std::vector<std::string> full = argv_;
+  full.insert(full.end(), extra_args.begin(), extra_args.end());
+
+  pid_t pid = ::fork();
+  if (pid < 0)
+    return Status(StatusCode::kInternal,
+                  std::string("fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    for (const auto& [name, value] : extra_env)
+      ::setenv(name.c_str(), value.c_str(), 1);
+    std::vector<char*> cargv;
+    cargv.reserve(full.size() + 1);
+    for (const std::string& arg : full)
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    std::fprintf(stderr, "supervise: cannot exec %s: %s\n", cargv[0],
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  pid_ = pid;
+  return Status::Ok();
+#else
+  (void)extra_args;
+  (void)extra_env;
+  return Status(StatusCode::kUnimplemented,
+                "process supervision requires a POSIX platform");
+#endif
+}
+
+bool ProcessChild::poll(ChildOutcome* out) {
+#ifdef __unix__
+  if (pid_ <= 0) return false;
+  int status = 0;
+  pid_t rc = ::waitpid(pid_t(pid_), &status, WNOHANG);
+  if (rc == 0) return false;
+  if (rc < 0) {
+    if (errno == EINTR) return false;  // signal landed mid-wait; re-poll
+    pid_ = -1;  // ECHILD etc.: the child is gone but unaccountable
+    out->exit_code = 1;
+    out->term_signal = 0;
+    return true;
+  }
+  pid_ = -1;
+  if (WIFSIGNALED(status)) {
+    out->term_signal = WTERMSIG(status);
+    out->exit_code = 128 + out->term_signal;
+  } else {
+    out->term_signal = 0;
+    out->exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  }
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+void ProcessChild::terminate(bool hard) {
+#ifdef __unix__
+  if (pid_ > 0) ::kill(pid_t(pid_), hard ? SIGKILL : SIGTERM);
+#else
+  (void)hard;
+#endif
+}
+
+// -------------------------------------------------------------- supervise
+
+SuperviseReport supervise(ChildProcess& child, const SuperviseConfig& config,
+                          const SuperviseHooks& hooks) {
+  auto clock = hooks.clock_ms ? hooks.clock_ms : steady_ms;
+  auto sleep = hooks.sleep_ms ? hooks.sleep_ms : [](std::uint64_t ms) {
+    interruptible_sleep_ms(ms, nullptr);
+  };
+  auto log = hooks.log ? hooks.log : [](const std::string& line) {
+    std::fprintf(stderr, "supervise: %s\n", line.c_str());
+  };
+  auto count = [&](const char* name, std::uint64_t n = 1) {
+    if (hooks.metrics)
+      hooks.metrics->add_counter(std::string("supervise.") + name, n);
+  };
+  auto stop_requested = [&] { return hooks.stop && hooks.stop(); };
+
+  RestartPolicy policy(config);
+  SuperviseReport report;
+  std::uint64_t last_progress = hooks.progress ? hooks.progress() : 0;
+  int last_code = 0;
+
+  for (;;) {
+    if (stop_requested()) {
+      report.exit_code = last_code;
+      report.diagnosis = "stopped by operator before (re)launch";
+      log(report.diagnosis);
+      return report;
+    }
+
+    std::vector<std::string> extra_args;
+    std::string resume = hooks.resume_path ? hooks.resume_path() : "";
+    if (!resume.empty()) {
+      extra_args.push_back("--resume-from");
+      extra_args.push_back(resume);
+    }
+    std::vector<std::pair<std::string, std::string>> extra_env = {
+        {"DYNAMIPS_SUPERVISE_LAUNCHES",
+         std::to_string(report.launches + 1)},
+        {"DYNAMIPS_SUPERVISE_RESTARTS", std::to_string(report.restarts)},
+    };
+
+    const std::uint64_t launch_ms = clock();
+    Status started = child.start(extra_args, extra_env);
+    ChildOutcome out;
+    bool launch_failed = !started.ok();
+    bool stopping = false;
+    bool killed_unresponsive = false;
+    if (launch_failed) {
+      log("cannot launch child: " + started.to_string());
+      out.exit_code = 1;
+    } else {
+      ++report.launches;
+      count("launches");
+      log(resume.empty()
+              ? "launched child (fresh start, launch " +
+                    std::to_string(report.launches) + ")"
+              : "launched child (resume from " + resume + ", launch " +
+                    std::to_string(report.launches) + ")");
+
+      std::uint64_t progress_anchor = launch_ms;
+      std::uint64_t stop_deadline = 0;
+      while (!child.poll(&out)) {
+        const std::uint64_t now = clock();
+        if (stop_requested()) {
+          if (!stopping) {
+            stopping = true;
+            stop_deadline = now + config.term_grace_ms;
+            log("stop requested; terminating child");
+            child.terminate(/*hard=*/false);
+          } else if (now >= stop_deadline) {
+            child.terminate(/*hard=*/true);
+          }
+        } else {
+          if (hooks.progress) {
+            std::uint64_t cur = hooks.progress();
+            if (cur != last_progress) {
+              last_progress = cur;
+              progress_anchor = now;
+              policy.on_progress();
+            }
+          }
+          const bool stalled =
+              config.stall_timeout_ms > 0 &&
+              now - progress_anchor >= config.stall_timeout_ms;
+          bool heartbeat_stale = false;
+          if (config.heartbeat_timeout_ms > 0 && hooks.heartbeat_age_ms &&
+              now - launch_ms >= config.heartbeat_timeout_ms) {
+            std::int64_t age = hooks.heartbeat_age_ms();
+            heartbeat_stale =
+                age >= 0 && std::uint64_t(age) >= config.heartbeat_timeout_ms;
+          }
+          if ((stalled || heartbeat_stale) && !killed_unresponsive) {
+            killed_unresponsive = true;
+            ++report.stall_kills;
+            count("stalls");
+            log(stalled ? "no checkpoint progress for " +
+                              std::to_string(config.stall_timeout_ms) +
+                              "ms; killing stalled child"
+                        : "heartbeat stale; killing hung child");
+            child.terminate(/*hard=*/true);
+          }
+        }
+        sleep(config.poll_ms);
+      }
+    }
+
+    const std::uint64_t exit_ms = clock();
+    last_code = out.exit_code;
+    // The child may have checkpointed right before dying; credit it.
+    if (hooks.progress) {
+      std::uint64_t cur = hooks.progress();
+      if (cur != last_progress) {
+        last_progress = cur;
+        policy.on_progress();
+      }
+    }
+
+    if (!launch_failed && !killed_unresponsive && out.term_signal == 0 &&
+        out.exit_code == 0) {
+      report.exit_code = 0;
+      log("child completed cleanly after " +
+          std::to_string(report.launches) + " launch(es)");
+      return report;
+    }
+    if (stopping || stop_requested()) {
+      report.exit_code = out.exit_code;
+      report.diagnosis = "stopped by operator; child " + outcome_text(out);
+      log(report.diagnosis);
+      return report;
+    }
+    if (!launch_failed && out.term_signal == 0 && out.exit_code == 2) {
+      // A usage error restarts into the identical usage error: give the
+      // operator the exit code instead of a futile loop.
+      report.exit_code = 2;
+      report.diagnosis = "child rejected its arguments (exit 2); "
+                         "not restartable";
+      log(report.diagnosis);
+      return report;
+    }
+
+    count("failures");
+    const std::uint64_t backoff = policy.on_failure(exit_ms);
+    std::string checkpoint_note = hooks.describe_checkpoint
+                                      ? hooks.describe_checkpoint()
+                                      : std::string("no checkpoint tracking");
+    if (policy.crash_looping(exit_ms)) {
+      report.gave_up = true;
+      report.exit_code = 1;
+      count("giveups");
+      report.diagnosis =
+          "crash loop: " + std::to_string(policy.consecutive_failures()) +
+          " consecutive failures (last: " + outcome_text(out) + "), " +
+          std::to_string(config.crash_loop_failures) + " within " +
+          std::to_string(config.crash_loop_window_ms) +
+          "ms and no progress; giving up. " + checkpoint_note;
+      log(report.diagnosis);
+      return report;
+    }
+
+    ++report.restarts;
+    count("restarts");
+    count("backoff_ms", backoff);
+    log("child " + outcome_text(out) + " (failure " +
+        std::to_string(policy.consecutive_failures()) + "); restarting in " +
+        std::to_string(backoff) + "ms. " + checkpoint_note);
+    sleep(backoff);
+  }
+}
+
+// ---------------------------------------------------------- child helpers
+
+void Heartbeat::start(std::string path, std::uint64_t interval_ms) {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  if (interval_ms == 0) interval_ms = 1000;
+  thread_ = std::thread([this, path = std::move(path), interval_ms] {
+    std::uint64_t beats = 0;
+    for (;;) {
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%llu\n", (unsigned long long)beats++);
+        std::fclose(f);
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stopping_; }))
+        return;
+    }
+  });
+}
+
+void Heartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::int64_t file_age_ms(const std::string& path) {
+  std::error_code ec;
+  auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return -1;
+  auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::filesystem::file_time_type::clock::now() - mtime);
+  return delta.count() < 0 ? 0 : std::int64_t(delta.count());
+}
+
+std::uint64_t file_progress_token(const std::string& path) {
+  std::error_code ec;
+  auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return 0;
+  std::uint64_t size = std::uint64_t(std::filesystem::file_size(path, ec));
+  if (ec) size = 0;
+  std::uint64_t ns = std::uint64_t(mtime.time_since_epoch().count());
+  // FNV-1a over the two words; 0 is reserved for "missing".
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t word : {ns, size}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace dynamips::core

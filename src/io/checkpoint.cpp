@@ -195,8 +195,8 @@ Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes) {
   return ckpt;
 }
 
-Status write_checkpoint(const std::string& path,
-                        const StudyCheckpoint& ckpt) {
+Status write_checkpoint(const std::string& path, const StudyCheckpoint& ckpt,
+                        bool keep_previous) {
   if (path.empty())
     return Status(StatusCode::kInvalidArgument, "empty checkpoint path");
   std::string encoded = encode_checkpoint(ckpt);
@@ -217,8 +217,16 @@ Status write_checkpoint(const std::string& path,
     return Status(StatusCode::kDataLoss,
                   "torn checkpoint section write (injected): " + path);
   }
-  return write_file_atomic(path, encoded, /*keep_previous=*/true)
-      .with_context("write checkpoint " + path);
+  Status wrote = write_file_atomic(path, encoded, keep_previous)
+                     .with_context("write checkpoint " + path);
+  if (wrote.ok() && !keep_previous) {
+    // keep-last-1 retention (disk pressure): once the new generation is
+    // durable, release any `.prev` sibling left by earlier keep-last-2
+    // writes. Best-effort — a lingering `.prev` only costs bytes.
+    std::error_code ec;
+    std::filesystem::remove(path + ".prev", ec);
+  }
+  return wrote;
 }
 
 Expected<StudyCheckpoint> read_checkpoint(const std::string& path) {

@@ -257,10 +257,15 @@ std::string encode_checkpoint(const StudyCheckpoint& ckpt);
 /// kDataLoss, version skew as kFailedPrecondition.
 core::Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes);
 
-/// Atomically write `ckpt` to `path` (tmp + rename), retaining an existing
-/// checkpoint as `path.prev` until the new one is durable.
+/// Atomically write `ckpt` to `path` (tmp + rename). With `keep_previous`
+/// (the default) an existing checkpoint is retained as `path.prev` until
+/// the new one is durable — keep-last-2 retention. Passing false drops
+/// retention to keep-last-1 (the resource governor does this under disk
+/// pressure): the write itself is still atomic, and any existing `.prev`
+/// is removed once the new generation is in place.
 core::Status write_checkpoint(const std::string& path,
-                              const StudyCheckpoint& ckpt);
+                              const StudyCheckpoint& ckpt,
+                              bool keep_previous = true);
 
 /// Read and validate the checkpoint at `path`.
 core::Expected<StudyCheckpoint> read_checkpoint(const std::string& path);

@@ -33,6 +33,7 @@ void IngestStats::merge(const IngestStats& other) {
   meta_lines += other.meta_lines;
   blank_lines += other.blank_lines;
   quarantined += other.quarantined;
+  quarantine_shed += other.quarantine_shed;
   for (std::size_t i = 0; i < kRejectReasonCount; ++i)
     rejects[i] += other.rejects[i];
   first_rejects.insert(first_rejects.end(), other.first_rejects.begin(),
@@ -61,6 +62,11 @@ std::string IngestStats::summary() const {
     out += ", ";
     out += std::to_string(quarantined);
     out += " quarantined";
+  }
+  if (quarantine_shed > 0) {
+    out += ", ";
+    out += std::to_string(quarantine_shed);
+    out += " quarantine writes shed (disk pressure)";
   }
   return out;
 }
@@ -139,13 +145,21 @@ void LineCursor::reject(RejectReason reason, std::string_view text) {
     options_.metrics->counter(name).add(1);
   }
   if (options_.quarantine) {
-    (*options_.quarantine) << options_.source_label << ','
-                           << stats_.lines_seen << ','
-                           << reject_reason_name(reason) << ',' << kept
-                           << '\n';
-    ++stats_.quarantined;
-    if (options_.metrics)
-      options_.metrics->counter("ingest.quarantined").add(1);
+    if (options_.shed_quarantine) {
+      // Disk pressure: the reject above is still counted; only the
+      // diagnostic copy of the line is dropped.
+      ++stats_.quarantine_shed;
+      if (options_.metrics)
+        options_.metrics->counter("ingest.quarantine_shed").add(1);
+    } else {
+      (*options_.quarantine) << options_.source_label << ','
+                             << stats_.lines_seen << ','
+                             << reject_reason_name(reason) << ',' << kept
+                             << '\n';
+      ++stats_.quarantined;
+      if (options_.metrics)
+        options_.metrics->counter("ingest.quarantined").add(1);
+    }
   }
   ++consecutive_rejects_;
   if (consecutive_rejects_ > options_.max_consecutive_rejects) {

@@ -104,6 +104,11 @@ struct ReaderOptions {
   /// When non-null, every rejected line is appended as
   /// "<source>,<line_number>,<reason>,<text>" (source may be empty).
   std::ostream* quarantine = nullptr;
+  /// Disk-pressure valve (core/resource.h): suppress quarantine appends
+  /// while keeping every reject counted — the shed volume lands in
+  /// IngestStats::quarantine_shed and `ingest.quarantine_shed`, so the
+  /// degradation is observable, never silent.
+  bool shed_quarantine = false;
   /// First quarantine column, typically the input file name.
   std::string source_label;
   /// When non-null, ingest.* counters are recorded here.
@@ -119,6 +124,8 @@ struct IngestStats {
   std::uint64_t meta_lines = 0;     ///< '#' lines (incl. unknown comments)
   std::uint64_t blank_lines = 0;
   std::uint64_t quarantined = 0;
+  /// Quarantine appends suppressed by ReaderOptions::shed_quarantine.
+  std::uint64_t quarantine_shed = 0;
   std::array<std::uint64_t, kRejectReasonCount> rejects{};
   std::vector<RejectedLine> first_rejects;  ///< first keep_first_rejects
 

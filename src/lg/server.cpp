@@ -92,6 +92,9 @@ core::Status LgServer::start() {
 }
 
 void LgServer::accept_loop() {
+  // EINTR discipline (audited for supervised runs, where SIGCHLD/SIGTERM
+  // arrive routinely): every poll()/accept()/recv()/send() in this file
+  // restarts on EINTR instead of treating it as a connection error.
   pollfd pfd{};
   pfd.fd = listen_fd_;
   pfd.events = POLLIN;
@@ -380,8 +383,10 @@ ServerStats LgServer::stats() const {
 }
 
 void LgServer::serve_until_shutdown() {
-  while (!stopping())
-    std::this_thread::sleep_for(std::chrono::milliseconds(config_.poll_ms));
+  // interruptible_sleep_ms (not a plain sleep_for): under --supervise,
+  // SIGTERM/SIGCHLD arrive routinely, and this loop must notice the token
+  // promptly rather than ride out a signal-interrupted sleep.
+  while (!stopping()) core::interruptible_sleep_ms(config_.poll_ms, config_.token);
   stop();
 }
 

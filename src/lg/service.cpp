@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/resource.h"
 #include "netaddr/ipv4.h"
 #include "netaddr/ipv6.h"
 #include "netaddr/prefix.h"
@@ -248,6 +249,7 @@ Response LgService::handle(const Request& request) const {
     return std::string_view(path).substr(prefix.size());
   };
   if (path == "/v1/healthz") return handle_healthz();
+  if (path == "/v1/readyz") return handle_readyz();
   if (path == "/v1/metricsz") return handle_metricsz();
   if (path.starts_with("/v1/durations/"))
     return handle_durations(strip("/v1/durations/"));
@@ -267,6 +269,33 @@ Response LgService::handle_healthz() const {
   body += cdn ? cdn->health : "null";
   body += "}";
   return json_ok(std::move(body));
+}
+
+Response LgService::handle_readyz() const {
+  // Liveness (healthz) says "the process can answer"; readiness says "send
+  // it more work". A degraded governor state keeps healthz green — the
+  // supervisor must not kill a process that is shedding load on purpose —
+  // while readyz turns 503 so load balancers drain politely.
+  if (!config_.governor) return json_ok("{\"status\": \"ready\"}");
+  core::ResourceState state = config_.governor->sample();
+  std::string body = std::string("{\"status\": \"") +
+                     (state.degraded() ? "degraded" : "ready") +
+                     "\", \"rss_mb\": " + fmt(state.rss_mb) +
+                     ", \"disk_free_mb\": " +
+                     (state.disk_sampled ? fmt(state.disk_free_mb)
+                                         : std::string("null")) +
+                     ", \"backlog_batches\": " + fmt(state.backlog_batches) +
+                     ", \"memory_pressure\": " +
+                     (state.memory_pressure ? "true" : "false") +
+                     ", \"disk_pressure\": \"" +
+                     std::string(core::disk_pressure_name(state.disk)) +
+                     "\"}";
+  if (!state.degraded()) return json_ok(std::move(body));
+  Response r;
+  r.status = 503;
+  r.body = std::move(body);
+  r.extra_headers.push_back({"Retry-After", "1"});
+  return r;
 }
 
 Response LgService::handle_metricsz() const {

@@ -16,6 +16,11 @@
 //
 // Endpoints (all GET, JSON):
 //   /v1/healthz           liveness + per-study generation/batch counters
+//                         (always 200 while the server can answer at all)
+//   /v1/readyz            readiness: resource-governor state (rss_mb,
+//                         disk_free_mb, backlog_batches); 503 + Retry-After
+//                         while degraded — point load balancers here, and
+//                         liveness probes at /v1/healthz
 //   /v1/metricsz          obs metrics registry export (dynamips.metrics.v1)
 //   /v1/durations/<asn>   per-AS assignment-duration quantiles (Fig. 1 data)
 //   /v1/assoc/<asn>       per-AS CDN association-duration quantiles (Fig. 2)
@@ -77,6 +82,9 @@ struct ServiceConfig {
   obs::MetricsRegistry* metrics = nullptr;
   /// Run parameters stamped into the /v1/metricsz document.
   obs::MetricsMeta meta;
+  /// Resource governor backing /v1/readyz; null means readiness degrades
+  /// to plain liveness (200 whenever the server can answer).
+  core::ResourceGovernor* governor = nullptr;
 };
 
 /// Stateless request router over the two snapshot stores. handle() is
@@ -105,6 +113,7 @@ class LgService {
   Response handle_infer(std::string_view rest) const;
   Response handle_pfx2as(std::string_view rest) const;
   Response handle_healthz() const;
+  Response handle_readyz() const;
   Response handle_metricsz() const;
 
   ServiceConfig config_;

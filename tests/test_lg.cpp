@@ -16,6 +16,7 @@
 
 #include "core/failpoint.h"
 #include "core/pipeline.h"
+#include "core/resource.h"
 #include "gtest/gtest.h"
 #include "lg/http.h"
 #include "lg/server.h"
@@ -115,6 +116,56 @@ TEST(LgService, HealthzAlwaysAnswers) {
   EXPECT_EQ(get(empty, "/v1/healthz").status, 200);
   EXPECT_NE(get(empty, "/v1/healthz").body.find("\"atlas\": null"),
             std::string::npos);
+}
+
+TEST(LgService, ReadyzWithoutGovernorIsPlainLiveness) {
+  lg::LgService service;
+  lg::Response r = get(service, "/v1/readyz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\": \"ready\""), std::string::npos);
+}
+
+TEST(LgService, ReadyzReportsGovernorStateWhenHealthy) {
+  core::ResourceBudgets budgets;
+  budgets.max_rss_mb = 1000000;  // far above any real RSS
+  budgets.sample_interval_ms = 0;
+  budgets.rss_probe = [] { return std::uint64_t(64) * 1024 * 1024; };
+  core::ResourceGovernor governor(budgets);
+  governor.note_backlog(3);
+  lg::ServiceConfig config;
+  config.governor = &governor;
+  lg::LgService service(config);
+
+  lg::Response r = get(service, "/v1/readyz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\": \"ready\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"rss_mb\": 64"), std::string::npos);
+  EXPECT_NE(r.body.find("\"backlog_batches\": 3"), std::string::npos);
+  EXPECT_NE(r.body.find("\"disk_pressure\": \"ok\""), std::string::npos);
+  EXPECT_TRUE(r.extra_headers.empty());
+}
+
+TEST(LgService, ReadyzTurns503WithRetryAfterWhileDegraded) {
+  // Healthz must stay 200 through the same degradation: liveness probes
+  // must not kill a process that is shedding load on purpose.
+  core::ResourceBudgets budgets;
+  budgets.max_rss_mb = 16;
+  budgets.sample_interval_ms = 0;
+  budgets.rss_probe = [] { return std::uint64_t(64) * 1024 * 1024; };
+  core::ResourceGovernor governor(budgets);
+  lg::ServiceConfig config;
+  config.governor = &governor;
+  lg::LgService service(config);
+
+  lg::Response r = get(service, "/v1/readyz");
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"memory_pressure\": true"), std::string::npos);
+  bool has_retry_after = false;
+  for (const auto& [name, value] : r.extra_headers)
+    has_retry_after = has_retry_after || name == "Retry-After";
+  EXPECT_TRUE(has_retry_after);
+  EXPECT_EQ(get(service, "/v1/healthz").status, 200);
 }
 
 TEST(LgService, QueriesBeforeFirstPublishAre503) {

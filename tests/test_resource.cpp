@@ -1,0 +1,188 @@
+// test_resource.cpp — the resource governor (core/resource.h).
+//
+// The governor's contract: budgets in, pressure predicates out, every
+// probe cadence-limited, every degradation decision observable through
+// `resource.*` metrics. Tests drive the full ladder (ok -> memory
+// pressure, ok -> disk soft -> disk hard) with injected probes and a fake
+// clock; the real /proc + statvfs probes get a smoke test only.
+#include "core/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dynamips {
+namespace {
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+double counter_value(const obs::MetricsSink& snap, const std::string& name) {
+  auto it = snap.counters().find(name);
+  return it == snap.counters().end() ? -1.0 : double(it->second.value);
+}
+
+double gauge_value(const obs::MetricsSink& snap, const std::string& name) {
+  auto it = snap.gauges().find(name);
+  return it == snap.gauges().end() ? -1.0 : it->second.value;
+}
+
+TEST(ResourceProbes, RealRssProbeSeesThisProcess) {
+  // Any live Linux process has a nonzero resident set; the exact value is
+  // the kernel's business.
+  EXPECT_GT(core::current_rss_bytes(), 0u);
+}
+
+TEST(ResourceProbes, RealDiskProbeSeesTheTempFilesystem) {
+  EXPECT_GT(core::disk_free_bytes(::testing::TempDir()), 0u);
+  // Unprobeable paths report 0 ("unknown"), never an error.
+  EXPECT_EQ(core::disk_free_bytes("/nonexistent/no/such/dir"), 0u);
+}
+
+TEST(ResourceGovernor, NoBudgetsMeansNeverDegraded) {
+  core::ResourceBudgets budgets;
+  budgets.sample_interval_ms = 0;
+  budgets.rss_probe = [] { return std::uint64_t(100000) * kMiB; };
+  budgets.disk_free_probe = [](const std::string&) { return std::uint64_t(1); };
+  budgets.disk_paths = {"x"};
+  core::ResourceGovernor gov(budgets);
+  EXPECT_FALSE(gov.memory_pressure());
+  EXPECT_FALSE(gov.disk_soft());
+  EXPECT_FALSE(gov.disk_hard());
+  EXPECT_FALSE(gov.sample().degraded());
+}
+
+TEST(ResourceGovernor, MemoryPressureAtTheBudget) {
+  obs::MetricsRegistry registry;
+  std::uint64_t rss = 10 * kMiB;
+  core::ResourceBudgets budgets;
+  budgets.max_rss_mb = 64;
+  budgets.sample_interval_ms = 0;
+  budgets.metrics = &registry;
+  budgets.rss_probe = [&] { return rss; };
+  core::ResourceGovernor gov(budgets);
+
+  EXPECT_FALSE(gov.memory_pressure());
+  rss = 64 * kMiB;  // exactly at the budget trips (>=)
+  EXPECT_TRUE(gov.memory_pressure());
+  EXPECT_TRUE(gov.sample().degraded());
+  EXPECT_EQ(gauge_value(registry.snapshot(), "resource.rss_mb"), 64.0);
+  rss = 32 * kMiB;  // live RSS, so recovery is visible
+  EXPECT_FALSE(gov.memory_pressure());
+}
+
+TEST(ResourceGovernor, DiskLadderSoftThenHard) {
+  std::uint64_t free_mb = 1000;
+  core::ResourceBudgets budgets;
+  budgets.min_disk_free_mb = 100;
+  budgets.sample_interval_ms = 0;
+  budgets.disk_paths = {"out"};
+  budgets.disk_free_probe = [&](const std::string&) { return free_mb * kMiB; };
+  core::ResourceGovernor gov(budgets);
+
+  EXPECT_FALSE(gov.disk_soft());
+  free_mb = 99;  // below the floor: soft
+  EXPECT_TRUE(gov.disk_soft());
+  EXPECT_FALSE(gov.disk_hard());
+  EXPECT_EQ(gov.sample().disk, core::DiskPressure::kSoft);
+  free_mb = 49;  // below half the floor: hard (hard implies soft)
+  EXPECT_TRUE(gov.disk_hard());
+  EXPECT_TRUE(gov.disk_soft());
+  EXPECT_EQ(gov.sample().disk, core::DiskPressure::kHard);
+  free_mb = 1000;
+  EXPECT_EQ(gov.sample().disk, core::DiskPressure::kOk);
+}
+
+TEST(ResourceGovernor, MinAcrossDiskPathsSkippingUnprobeable) {
+  core::ResourceBudgets budgets;
+  budgets.min_disk_free_mb = 100;
+  budgets.sample_interval_ms = 0;
+  budgets.disk_paths = {"full", "roomy", "gone"};
+  budgets.disk_free_probe = [](const std::string& path) -> std::uint64_t {
+    if (path == "full") return 60 * kMiB;
+    if (path == "roomy") return 10000 * kMiB;
+    return 0;  // unprobeable: unknown, not empty
+  };
+  core::ResourceGovernor gov(budgets);
+  core::ResourceState state = gov.sample();
+  EXPECT_TRUE(state.disk_sampled);
+  EXPECT_EQ(state.disk_free_mb, 60u);  // governed by the tightest filesystem
+  EXPECT_EQ(state.disk, core::DiskPressure::kSoft);
+}
+
+TEST(ResourceGovernor, UnprobeableDisksNeverReportPressure) {
+  core::ResourceBudgets budgets;
+  budgets.min_disk_free_mb = 100;
+  budgets.sample_interval_ms = 0;
+  budgets.disk_paths = {"gone"};
+  budgets.disk_free_probe = [](const std::string&) { return std::uint64_t(0); };
+  core::ResourceGovernor gov(budgets);
+  core::ResourceState state = gov.sample();
+  EXPECT_FALSE(state.disk_sampled);
+  EXPECT_EQ(state.disk, core::DiskPressure::kOk);  // a stat hiccup must not
+                                                   // wedge ingest
+}
+
+TEST(ResourceGovernor, SamplingIsCadenceLimited) {
+  std::uint64_t now = 0, probes = 0;
+  core::ResourceBudgets budgets;
+  budgets.max_rss_mb = 1;
+  budgets.sample_interval_ms = 500;
+  budgets.clock_ms = [&] { return now; };
+  budgets.rss_probe = [&] {
+    ++probes;
+    return std::uint64_t(2) * kMiB;
+  };
+  core::ResourceGovernor gov(budgets);
+
+  EXPECT_TRUE(gov.memory_pressure());  // first call always probes
+  EXPECT_EQ(probes, 1u);
+  now = 499;
+  EXPECT_TRUE(gov.memory_pressure());  // inside the window: cached
+  EXPECT_EQ(probes, 1u);
+  now = 500;
+  EXPECT_TRUE(gov.memory_pressure());  // window elapsed: re-probe
+  EXPECT_EQ(probes, 2u);
+  // state() never probes.
+  now = 5000;
+  EXPECT_TRUE(gov.state().memory_pressure);
+  EXPECT_EQ(probes, 2u);
+}
+
+TEST(ResourceGovernor, CountAndBacklogLandInTheRegistry) {
+  obs::MetricsRegistry registry;
+  core::ResourceBudgets budgets;
+  budgets.metrics = &registry;
+  core::ResourceGovernor gov(budgets);
+
+  gov.count("ingest_pauses");
+  gov.count("quarantine_shed", 7);
+  gov.count("quarantine_shed", 0);  // zero adds are dropped, not recorded
+  gov.note_backlog(12);
+
+  auto snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "resource.ingest_pauses"), 1.0);
+  EXPECT_EQ(counter_value(snap, "resource.quarantine_shed"), 7.0);
+  EXPECT_EQ(gauge_value(snap, "resource.backlog_batches"), 12.0);
+  EXPECT_EQ(gov.state().backlog_batches, 12u);
+}
+
+TEST(ResourceGovernor, NullRegistryIsSafe) {
+  core::ResourceBudgets budgets;
+  budgets.sample_interval_ms = 0;
+  core::ResourceGovernor gov(budgets);
+  gov.count("ingest_pauses");
+  gov.note_backlog(3);
+  EXPECT_FALSE(gov.sample().degraded());
+}
+
+TEST(ResourceGovernor, PressureNames) {
+  EXPECT_EQ(core::disk_pressure_name(core::DiskPressure::kOk), "ok");
+  EXPECT_EQ(core::disk_pressure_name(core::DiskPressure::kSoft), "soft");
+  EXPECT_EQ(core::disk_pressure_name(core::DiskPressure::kHard), "hard");
+}
+
+}  // namespace
+}  // namespace dynamips

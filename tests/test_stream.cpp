@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include "cdn/generator.h"
 #include "core/failpoint.h"
 #include "core/observations.h"
+#include "core/resource.h"
 #include "core/sanitize.h"
 #include "io/checkpoint.h"
 #include "io/results_io.h"
@@ -834,6 +836,232 @@ TEST(StreamDriver, ReusesOneExecutorAcrossFollows) {
     EXPECT_EQ(atlas_signature(*study), want) << "round=" << round;
     EXPECT_EQ(stats.batches, 2u);
   }
+}
+
+// ------------------------------------------- resource-governed streaming
+//
+// The degradation ladder (core/resource.h) must be results-safe: every
+// test here pins the final CSVs byte-identical to the unpressured
+// reference while asserting the governor's named `resource.*` counters
+// actually moved. Probes are injected, so pressure is deterministic.
+
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+TEST(StreamGovernor, MemoryPressureDefersIntermediateRefinalizes) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_gov_mem_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  for (unsigned threads : {1u, 4u}) {
+    const fs::path ckdir =
+        temp_dir("stream_gov_mem_ckpt_" + std::to_string(threads));
+    obs::MetricsRegistry govreg;
+    core::ResourceBudgets budgets;
+    budgets.max_rss_mb = 1;
+    budgets.sample_interval_ms = 0;
+    budgets.metrics = &govreg;
+    budgets.rss_probe = [] { return std::uint64_t(4096) * kMiB; };  // over
+    core::ResourceGovernor governor(budgets);
+
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = threads;
+    core::StreamConfig stream;
+    stream.refinalize_every_batches = 2;
+    stream.checkpoint_path = (ckdir / "study.ckpt").string();
+    stream.governor = &governor;
+    std::uint64_t windowed = 0;
+    core::StreamStats stats;
+    auto study = core::run_atlas_stream(
+        watch.string(), fx.isps, cfg, stream,
+        [&](const core::AtlasStudy&, const core::StreamStats&) {
+          ++windowed;
+        },
+        nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    // Intermediate publications were all deferred; the final pass still
+    // ran and the results are byte-identical to the unpressured run.
+    EXPECT_EQ(windowed, 0u) << "threads=" << threads;
+    EXPECT_EQ(stats.refinalizes, 1u);
+    EXPECT_EQ(atlas_signature(*study), want) << "threads=" << threads;
+    auto snap = govreg.snapshot();
+    EXPECT_GE(snap.counter("resource.refinalize_deferred").value, 1u);
+    // The rising edge of pressure forced one early checkpoint.
+    EXPECT_GE(snap.counter("resource.early_checkpoints").value, 1u);
+    EXPECT_TRUE(fs::exists(stream.checkpoint_path));
+  }
+}
+
+TEST(StreamGovernor, DiskSoftPressureDropsRetentionAndShedsQuarantine) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_gov_soft_watch");
+  const fs::path ckdir = temp_dir("stream_gov_soft_ckpt");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+  drop_sentinel(watch, "stream.stop");
+  // One malformed line in the first batch: rejected (and normally
+  // quarantined) identically by the reference and the streamed run.
+  {
+    std::ofstream out(paths[0], std::ios::binary | std::ios::app);
+    out << "this,is,not,an,echo,record\n";
+  }
+
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  std::ostringstream ref_quarantine;
+  cfg.reader.quarantine = &ref_quarantine;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+  EXPECT_TRUE(contains(ref_quarantine.str(), "this,is,not"));
+
+  obs::MetricsRegistry govreg;
+  core::ResourceBudgets budgets;
+  budgets.min_disk_free_mb = 100;
+  budgets.sample_interval_ms = 0;
+  budgets.metrics = &govreg;
+  budgets.disk_paths = {ckdir.string()};
+  // Between min/2 and min: soft but never hard.
+  budgets.disk_free_probe = [](const std::string&) {
+    return std::uint64_t(80) * kMiB;
+  };
+  core::ResourceGovernor governor(budgets);
+
+  std::ostringstream stream_quarantine;
+  cfg.reader.quarantine = &stream_quarantine;
+  core::StreamConfig stream;
+  stream.checkpoint_path = (ckdir / "study.ckpt").string();
+  stream.governor = &governor;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_EQ(stats.batches, 4u);
+
+  // Keep-last-1 retention: four checkpoint writes, no `.prev` survivor.
+  std::set<std::string> entries;
+  for (const auto& e : fs::directory_iterator(ckdir))
+    entries.insert(e.path().filename().string());
+  EXPECT_EQ(entries, (std::set<std::string>{"study.ckpt"}));
+
+  // The quarantine copy was shed — but the reject stayed counted and the
+  // shed volume is observable.
+  EXPECT_TRUE(stream_quarantine.str().empty()) << stream_quarantine.str();
+  auto snap = govreg.snapshot();
+  EXPECT_GE(snap.counter("resource.retention_drops").value, 1u);
+  EXPECT_GE(snap.counter("resource.quarantine_shed").value, 1u);
+}
+
+TEST(StreamGovernor, DiskHardPressurePausesIngestUntilSpaceRecovers) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_gov_hard_watch");
+  const fs::path ckdir = temp_dir("stream_gov_hard_ckpt");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 3);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // The first few probes see a nearly full disk (below min/2: hard), then
+  // space recovers — as if an operator cleared logs mid-pause.
+  obs::MetricsRegistry govreg;
+  std::uint64_t probe_calls = 0;
+  core::ResourceBudgets budgets;
+  budgets.min_disk_free_mb = 100;
+  budgets.sample_interval_ms = 0;
+  budgets.metrics = &govreg;
+  budgets.disk_paths = {ckdir.string()};
+  budgets.disk_free_probe = [&](const std::string&) {
+    return (++probe_calls <= 3 ? std::uint64_t(10) : std::uint64_t(10000)) *
+           kMiB;
+  };
+  core::ResourceGovernor governor(budgets);
+
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  core::StreamConfig stream;
+  stream.checkpoint_path = (ckdir / "study.ckpt").string();
+  stream.governor = &governor;
+  stream.poll_ms = 5;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_GE(govreg.snapshot().counter("resource.ingest_pauses").value, 1u);
+}
+
+TEST(StreamGovernor, LagBackpressureSkipsIntermediateRefinalizes) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_gov_lag_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+  drop_sentinel(watch, "stream.stop");
+  // Every batch is an hour old by mtime: the stream is far behind its
+  // producer, so intermediate publications must yield to catch-up.
+  for (const auto& p : paths)
+    fs::last_write_time(
+        p, fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  obs::MetricsRegistry reg;
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  cfg.metrics = &reg;
+  core::StreamConfig stream;
+  stream.refinalize_every_batches = 2;
+  stream.max_lag_seconds = 1.0;
+  std::uint64_t windowed = 0;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(
+      watch.string(), fx.isps, cfg, stream,
+      [&](const core::AtlasStudy&, const core::StreamStats&) { ++windowed; },
+      nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(windowed, 0u);
+  EXPECT_EQ(atlas_signature(*study), want);
+  EXPECT_GE(reg.snapshot().counter("stream.refinalize_skipped").value, 1u);
+}
+
+TEST(StreamGovernor, BoundedBacklogStillConsumesEveryBatch) {
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_gov_backlog_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // Admit one batch per sweep: a four-batch burst takes four sweeps, but
+  // nothing is dropped and the sentinel cannot finalize early.
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 1;
+  core::StreamConfig stream;
+  stream.max_backlog_batches = 1;
+  stream.poll_ms = 5;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(atlas_signature(*study), want);
 }
 
 }  // namespace

@@ -1,0 +1,575 @@
+// test_supervise.cpp — the self-healing supervisor (core/supervise.h).
+//
+// Policy tests drive RestartPolicy and the supervise() loop with a fake
+// clock (advanced only by the recorded sleeps) and a scripted fake child,
+// so backoff values, window expiry, and the exact give-up launch count
+// are all deterministic assertions, not timing races. A handful of tests
+// at the bottom exercise the real fork/exec runner against /bin/sh.
+#include "core/supervise.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+
+namespace dynamips {
+namespace {
+
+namespace fs = std::filesystem;
+
+double counter_value(const obs::MetricsSink& snap, const std::string& name) {
+  auto it = snap.counters().find(name);
+  return it == snap.counters().end() ? -1.0 : double(it->second.value);
+}
+
+// ------------------------------------------------------------ RestartPolicy
+
+TEST(RestartPolicy, BackoffDoublesFromBaseAndCapsAtMax) {
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 100;
+  config.backoff_max_ms = 800;
+  core::RestartPolicy policy(config);
+  EXPECT_EQ(policy.on_failure(0), 100u);
+  EXPECT_EQ(policy.on_failure(1), 200u);
+  EXPECT_EQ(policy.on_failure(2), 400u);
+  EXPECT_EQ(policy.on_failure(3), 800u);
+  EXPECT_EQ(policy.on_failure(4), 800u);  // capped
+  EXPECT_EQ(policy.consecutive_failures(), 5u);
+}
+
+TEST(RestartPolicy, ProgressResetsBackoffAndHistory) {
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 100;
+  config.crash_loop_failures = 2;
+  config.crash_loop_window_ms = 60000;
+  core::RestartPolicy policy(config);
+  policy.on_failure(0);
+  EXPECT_EQ(policy.on_failure(1), 200u);
+  EXPECT_TRUE(policy.crash_looping(1));
+  policy.on_progress();
+  EXPECT_EQ(policy.consecutive_failures(), 0u);
+  EXPECT_FALSE(policy.crash_looping(2));
+  EXPECT_EQ(policy.on_failure(2), 100u);  // back to base after progress
+}
+
+TEST(RestartPolicy, CrashLoopTripsAtExactlyN) {
+  core::SuperviseConfig config;
+  config.crash_loop_failures = 3;
+  config.crash_loop_window_ms = 60000;
+  core::RestartPolicy policy(config);
+  policy.on_failure(10);
+  EXPECT_FALSE(policy.crash_looping(10));
+  policy.on_failure(20);
+  EXPECT_FALSE(policy.crash_looping(20));  // N-1 is not a loop
+  policy.on_failure(30);
+  EXPECT_TRUE(policy.crash_looping(30));  // N is, immediately
+}
+
+TEST(RestartPolicy, FailuresOutsideTheWindowDoNotCount) {
+  core::SuperviseConfig config;
+  config.crash_loop_failures = 3;
+  config.crash_loop_window_ms = 1000;
+  core::RestartPolicy policy(config);
+  // Three failures, but spaced so the first has aged out of the trailing
+  // window by the time the third lands: slow flapping is not a crash loop.
+  policy.on_failure(0);
+  policy.on_failure(600);
+  policy.on_failure(1200);
+  EXPECT_FALSE(policy.crash_looping(1200));
+  // A fourth inside the window makes three recent ones: now it trips.
+  policy.on_failure(1300);
+  EXPECT_TRUE(policy.crash_looping(1300));
+}
+
+TEST(RestartPolicy, ZeroFailureThresholdDisablesTheDetector) {
+  core::SuperviseConfig config;
+  config.crash_loop_failures = 0;
+  core::RestartPolicy policy(config);
+  for (int i = 0; i < 50; ++i) policy.on_failure(std::uint64_t(i));
+  EXPECT_FALSE(policy.crash_looping(50));
+}
+
+// ------------------------------------------------------------- fake child
+
+/// Scripted ChildProcess: each start() consumes the next Run; poll()
+/// reports "still running" `polls_before_exit` times, then the scripted
+/// outcome. terminate() converts the current run into a signal death.
+class FakeChild : public core::ChildProcess {
+ public:
+  struct Run {
+    core::ChildOutcome outcome;
+    int polls_before_exit = 0;
+  };
+
+  static Run exits(int code, int polls = 0) {
+    return Run{core::ChildOutcome{code, 0}, polls};
+  }
+  static Run runs_forever() { return Run{core::ChildOutcome{}, 1 << 30}; }
+
+  std::vector<Run> script;
+  std::vector<std::vector<std::string>> launch_args;
+  std::vector<std::vector<std::pair<std::string, std::string>>> launch_env;
+  std::vector<bool> kills;  // hard flags, in order
+
+  core::Status start(const std::vector<std::string>& extra_args,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         extra_env) override {
+    launch_args.push_back(extra_args);
+    launch_env.push_back(extra_env);
+    polls_left_ = run_ < script.size() ? script[run_].polls_before_exit : 0;
+    running_ = true;
+    killed_by_ = 0;
+    return core::Status::Ok();
+  }
+
+  bool poll(core::ChildOutcome* out) override {
+    if (!running_) return false;
+    if (killed_by_ != 0) {
+      out->term_signal = killed_by_;
+      out->exit_code = 128 + killed_by_;
+      ++run_;
+      running_ = false;
+      return true;
+    }
+    if (polls_left_ > 0) {
+      --polls_left_;
+      return false;
+    }
+    *out = run_ < script.size() ? script[run_].outcome : core::ChildOutcome{};
+    ++run_;
+    running_ = false;
+    return true;
+  }
+
+  void terminate(bool hard) override {
+    kills.push_back(hard);
+    if (running_) killed_by_ = hard ? 9 : 15;
+  }
+
+  std::size_t runs_completed() const { return run_; }
+
+ private:
+  std::size_t run_ = 0;
+  int polls_left_ = 0;
+  bool running_ = false;
+  int killed_by_ = 0;
+};
+
+/// A child whose launch itself fails (exec path gone, fork limit, ...).
+class UnlaunchableChild : public core::ChildProcess {
+ public:
+  core::Status start(const std::vector<std::string>&,
+                     const std::vector<std::pair<std::string, std::string>>&)
+      override {
+    return core::Status(core::StatusCode::kInternal, "fork failed (test)");
+  }
+  bool poll(core::ChildOutcome*) override { return false; }
+  void terminate(bool) override {}
+};
+
+/// Fake clock + sleep pair: time advances only when the loop sleeps, so
+/// every timestamp the policy sees is a pure function of the script.
+struct FakeTime {
+  std::uint64_t now = 0;
+  std::vector<std::uint64_t> sleeps;
+  std::function<std::uint64_t()> clock() {
+    return [this] { return now; };
+  }
+  std::function<void(std::uint64_t)> sleep() {
+    return [this](std::uint64_t ms) {
+      sleeps.push_back(ms);
+      now += ms;
+    };
+  }
+};
+
+// --------------------------------------------------------- supervise loop
+
+TEST(Supervise, CleanExitNeedsNoRestart) {
+  FakeChild child;
+  child.script = {FakeChild::exits(0)};
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, core::SuperviseConfig{}, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.launches, 1u);
+  EXPECT_EQ(rep.restarts, 0u);
+  EXPECT_FALSE(rep.gave_up);
+}
+
+TEST(Supervise, FailTwiceThenSucceedWithDeterministicBackoff) {
+  FakeChild child;
+  child.script = {FakeChild::exits(3), FakeChild::exits(3),
+                  FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 100;
+  config.backoff_max_ms = 30000;
+  config.crash_loop_failures = 5;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.launches, 3u);
+  EXPECT_EQ(rep.restarts, 2u);
+  // Instant scripted exits mean the only sleeps are the two backoffs, and
+  // doubling from base is exact: 100ms then 200ms.
+  EXPECT_EQ(time.sleeps, (std::vector<std::uint64_t>{100, 200}));
+}
+
+TEST(Supervise, CrashLoopGivesUpAtExactlyNLaunches) {
+  FakeChild child;
+  child.script = {FakeChild::exits(1), FakeChild::exits(1),
+                  FakeChild::exits(1), FakeChild::exits(1)};
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 50;
+  config.crash_loop_failures = 3;
+  config.crash_loop_window_ms = 60000;
+  FakeTime time;
+  obs::MetricsRegistry registry;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.describe_checkpoint = [] {
+    return std::string("last durable checkpoint: out/study.ckpt");
+  };
+  hooks.log = [](const std::string&) {};
+  hooks.metrics = &registry;
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_TRUE(rep.gave_up);
+  EXPECT_EQ(rep.exit_code, 1);
+  EXPECT_EQ(rep.launches, 3u);  // exactly N, not N+1
+  EXPECT_EQ(rep.restarts, 2u);
+  EXPECT_NE(rep.diagnosis.find("crash loop"), std::string::npos);
+  EXPECT_NE(rep.diagnosis.find("out/study.ckpt"), std::string::npos);
+  auto snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "supervise.launches"), 3.0);
+  EXPECT_EQ(counter_value(snap, "supervise.restarts"), 2.0);
+  EXPECT_EQ(counter_value(snap, "supervise.failures"), 3.0);
+  EXPECT_EQ(counter_value(snap, "supervise.giveups"), 1.0);
+}
+
+TEST(Supervise, ProgressBetweenCrashesPreventsGiveUp) {
+  // Same failure count as would trip the detector, but the checkpoint
+  // token advances after every run: a healing run restarts indefinitely.
+  FakeChild child;
+  child.script = {FakeChild::exits(3), FakeChild::exits(3),
+                  FakeChild::exits(3), FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 10;
+  config.crash_loop_failures = 2;
+  config.crash_loop_window_ms = 60000;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.progress = [&] { return std::uint64_t(child.runs_completed()); };
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_FALSE(rep.gave_up);
+  EXPECT_EQ(rep.launches, 4u);
+  EXPECT_EQ(rep.restarts, 3u);
+  // And every restart backed off at base: progress keeps resetting the
+  // exponential ladder.
+  EXPECT_EQ(time.sleeps, (std::vector<std::uint64_t>{10, 10, 10}));
+}
+
+TEST(Supervise, ResumePathIsInjectedPerLaunch) {
+  FakeChild child;
+  child.script = {FakeChild::exits(3), FakeChild::exits(3),
+                  FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 10;
+  config.crash_loop_failures = 10;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  // No checkpoint before the first launch; durable one thereafter.
+  hooks.resume_path = [&]() -> std::string {
+    return child.runs_completed() == 0 ? "" : "out/study.ckpt";
+  };
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  ASSERT_EQ(child.launch_args.size(), 3u);
+  EXPECT_TRUE(child.launch_args[0].empty());
+  EXPECT_EQ(child.launch_args[1],
+            (std::vector<std::string>{"--resume-from", "out/study.ckpt"}));
+  EXPECT_EQ(child.launch_args[2],
+            (std::vector<std::string>{"--resume-from", "out/study.ckpt"}));
+}
+
+TEST(Supervise, LaunchAndRestartCountsTravelInTheEnvironment) {
+  FakeChild child;
+  child.script = {FakeChild::exits(3), FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 10;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.log = [](const std::string&) {};
+  supervise(child, config, hooks);
+  ASSERT_EQ(child.launch_env.size(), 2u);
+  using Env = std::vector<std::pair<std::string, std::string>>;
+  EXPECT_EQ(child.launch_env[0],
+            (Env{{"DYNAMIPS_SUPERVISE_LAUNCHES", "1"},
+                 {"DYNAMIPS_SUPERVISE_RESTARTS", "0"}}));
+  EXPECT_EQ(child.launch_env[1],
+            (Env{{"DYNAMIPS_SUPERVISE_LAUNCHES", "2"},
+                 {"DYNAMIPS_SUPERVISE_RESTARTS", "1"}}));
+}
+
+TEST(Supervise, UsageErrorsAreNotRestartable) {
+  FakeChild child;
+  child.script = {FakeChild::exits(2)};
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, core::SuperviseConfig{}, hooks);
+  EXPECT_EQ(rep.exit_code, 2);
+  EXPECT_EQ(rep.launches, 1u);
+  EXPECT_EQ(rep.restarts, 0u);
+  EXPECT_NE(rep.diagnosis.find("not restartable"), std::string::npos);
+}
+
+TEST(Supervise, OperatorStopTerminatesAndForwardsTheChildCode) {
+  FakeChild child;
+  child.script = {FakeChild::runs_forever()};
+  core::SuperviseConfig config;
+  config.poll_ms = 100;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.stop = [&] { return time.now >= 150; };
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  // SIGTERM was forwarded, the child died by it, and the supervisor did
+  // not restart.
+  ASSERT_EQ(child.kills.size(), 1u);
+  EXPECT_FALSE(child.kills[0]);  // soft first; grace not exceeded
+  EXPECT_EQ(rep.exit_code, 128 + 15);
+  EXPECT_EQ(rep.restarts, 0u);
+  EXPECT_NE(rep.diagnosis.find("stopped by operator"), std::string::npos);
+}
+
+TEST(Supervise, StopBeforeFirstLaunchExitsCleanly) {
+  FakeChild child;
+  core::SuperviseHooks hooks;
+  hooks.stop = [] { return true; };
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, core::SuperviseConfig{}, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.launches, 0u);
+  EXPECT_TRUE(child.launch_args.empty());
+}
+
+TEST(Supervise, StalledChildIsKilledAndRestarted) {
+  FakeChild child;
+  child.script = {FakeChild::runs_forever(), FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.poll_ms = 100;
+  config.stall_timeout_ms = 500;
+  config.backoff_base_ms = 10;
+  FakeTime time;
+  obs::MetricsRegistry registry;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.progress = [] { return std::uint64_t(42); };  // never advances
+  hooks.log = [](const std::string&) {};
+  hooks.metrics = &registry;
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.stall_kills, 1u);
+  EXPECT_EQ(rep.launches, 2u);
+  ASSERT_EQ(child.kills.size(), 1u);
+  EXPECT_TRUE(child.kills[0]);  // stall kills are hard
+  EXPECT_EQ(counter_value(registry.snapshot(), "supervise.stalls"), 1.0);
+}
+
+TEST(Supervise, StaleHeartbeatIsKilledAndRestarted) {
+  FakeChild child;
+  child.script = {FakeChild::runs_forever(), FakeChild::exits(0)};
+  core::SuperviseConfig config;
+  config.poll_ms = 100;
+  config.heartbeat_timeout_ms = 300;
+  config.backoff_base_ms = 10;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.heartbeat_age_ms = [] { return std::int64_t(10000); };  // stale file
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.stall_kills, 1u);
+  EXPECT_EQ(rep.launches, 2u);
+  // The stale age was visible from the first poll, but the kill must wait
+  // until the child has had a full heartbeat_timeout to write its own
+  // beat — otherwise a leftover file from the previous run kills every
+  // fresh launch instantly. First possible kill: now == 300.
+  ASSERT_EQ(child.kills.size(), 1u);
+}
+
+TEST(Supervise, FreshHeartbeatIsNeverKilled) {
+  FakeChild child;
+  child.script = {FakeChild::exits(0, /*polls=*/10)};
+  core::SuperviseConfig config;
+  config.poll_ms = 100;
+  config.heartbeat_timeout_ms = 300;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.heartbeat_age_ms = [] { return std::int64_t(0); };
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.stall_kills, 0u);
+  EXPECT_TRUE(child.kills.empty());
+}
+
+TEST(Supervise, UnlaunchableChildGivesUpWithoutFlapping) {
+  UnlaunchableChild child;
+  core::SuperviseConfig config;
+  config.backoff_base_ms = 10;
+  config.crash_loop_failures = 2;
+  FakeTime time;
+  core::SuperviseHooks hooks;
+  hooks.clock_ms = time.clock();
+  hooks.sleep_ms = time.sleep();
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_TRUE(rep.gave_up);
+  EXPECT_EQ(rep.exit_code, 1);
+  EXPECT_EQ(rep.launches, 0u);  // start() never succeeded
+}
+
+// ------------------------------------------------- child-side helpers
+
+TEST(SuperviseFiles, AgeAndTokenHandleMissingFiles) {
+  const std::string missing =
+      (fs::path(::testing::TempDir()) / "no_such_heartbeat").string();
+  EXPECT_EQ(core::file_age_ms(missing), -1);
+  EXPECT_EQ(core::file_progress_token(missing), 0u);
+}
+
+TEST(SuperviseFiles, ProgressTokenChangesWhenTheFileDoes) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "supervise_token_probe").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("one\n", f);
+    std::fclose(f);
+  }
+  const std::uint64_t first = core::file_progress_token(path);
+  EXPECT_NE(first, 0u);
+  EXPECT_GE(core::file_age_ms(path), 0);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("two, but longer\n", f);
+    std::fclose(f);
+  }
+  // Size differs even if the filesystem's mtime granularity is coarse.
+  EXPECT_NE(core::file_progress_token(path), first);
+  fs::remove(path);
+}
+
+TEST(SuperviseFiles, HeartbeatWritesAndStops) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "supervise_heartbeat").string();
+  fs::remove(path);
+  core::Heartbeat heartbeat;
+  heartbeat.start(path, 10);
+  EXPECT_TRUE(heartbeat.running());
+  // The first beat is written synchronously at thread start; poll briefly
+  // for it to appear rather than assuming scheduling order.
+  for (int i = 0; i < 200 && !fs::exists(path); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(fs::exists(path));
+  heartbeat.stop();
+  EXPECT_FALSE(heartbeat.running());
+  EXPECT_TRUE(fs::exists(path));  // the stale file IS the hang signal
+  fs::remove(path);
+}
+
+// ------------------------------------------------- real process runner
+
+#ifdef __unix__
+
+core::ChildOutcome wait_for_exit(core::ProcessChild& child) {
+  core::ChildOutcome out;
+  while (!child.poll(&out))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  return out;
+}
+
+TEST(ProcessChild, CapturesExitCodes) {
+  core::ProcessChild child({"/bin/sh", "-c", "exit 7"});
+  ASSERT_TRUE(child.start({}, {}).ok());
+  core::ChildOutcome out = wait_for_exit(child);
+  EXPECT_EQ(out.exit_code, 7);
+  EXPECT_EQ(out.term_signal, 0);
+}
+
+TEST(ProcessChild, CapturesSignalDeaths) {
+  core::ProcessChild child({"/bin/sh", "-c", "kill -9 $$"});
+  ASSERT_TRUE(child.start({}, {}).ok());
+  core::ChildOutcome out = wait_for_exit(child);
+  EXPECT_EQ(out.term_signal, 9);
+  EXPECT_EQ(out.exit_code, 128 + 9);
+}
+
+TEST(ProcessChild, ExtraArgsAndEnvReachTheChild) {
+  core::ProcessChild child({"/bin/sh", "-c",
+                            "[ \"$1\" = tail ] && [ \"$DYNAMIPS_TEST_ENV\" = "
+                            "on ]",
+                            "argv0"});
+  ASSERT_TRUE(child.start({"tail"}, {{"DYNAMIPS_TEST_ENV", "on"}}).ok());
+  EXPECT_EQ(wait_for_exit(child).exit_code, 0);
+}
+
+TEST(ProcessChild, ExecFailureSurfacesAsExit127) {
+  core::ProcessChild child({"/nonexistent/dynamips/binary"});
+  ASSERT_TRUE(child.start({}, {}).ok());  // fork succeeds; exec cannot
+  EXPECT_EQ(wait_for_exit(child).exit_code, 127);
+}
+
+TEST(ProcessChild, SuperviseRunsARealChildToCompletion) {
+  core::ProcessChild child({"/bin/sh", "-c", "exit 0"});
+  core::SuperviseConfig config;
+  config.poll_ms = 5;
+  core::SuperviseHooks hooks;
+  hooks.log = [](const std::string&) {};
+  core::SuperviseReport rep = supervise(child, config, hooks);
+  EXPECT_EQ(rep.exit_code, 0);
+  EXPECT_EQ(rep.launches, 1u);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace dynamips

@@ -63,6 +63,12 @@ run under an armed DYNAMIPS_FAILPOINTS spec still gates on
 study-output metric identity while its retry/shed accounting is free
 to differ from the fault-free reference.
 
+In --compare-to mode the `resource.*` / `supervise.*` families
+(resource governor and supervisor telemetry) are exempt by default:
+they exist only on runs with budgets or `--supervise` and move with
+pressure/restarts by design, while the study outputs they must never
+change stay gated exactly.
+
 Exit status: 0 on pass, 1 on mismatch, 2 on usage/format errors.
 Stdlib-only by design (runs in bare CI containers).
 """
@@ -86,6 +92,17 @@ FAULT_COUNTER_PATTERNS = [
     "checkpoint.resumes",
     "lg.shed",
     "lg.slow_client_drops",
+]
+
+# Resource-governor and supervisor accounting (core/resource.h,
+# core/supervise.h). These only exist on runs with budgets or --supervise
+# and describe *how* the run got there (pauses, restarts, shed
+# diagnostics), never the study outputs — which stay gated exactly. They
+# are exempted by default in --compare-to mode so a governed run checks
+# green against a pre-governor (or unpressured) reference.
+GOVERNOR_METRIC_PATTERNS = [
+    "resource.*",
+    "supervise.*",
 ]
 
 
@@ -357,6 +374,11 @@ def main(argv):
     if (ignore_counters or ignore_gauges) and compare_to is None:
         return fail("--ignore-counters/--ignore-gauges only apply with "
                     "--compare-to\n" + usage)
+    if compare_to is not None:
+        # Always-on exemption: governor/supervisor telemetry varies with
+        # pressure and restarts by design (see GOVERNOR_METRIC_PATTERNS).
+        ignore_counters = ignore_counters + GOVERNOR_METRIC_PATTERNS
+        ignore_gauges = ignore_gauges + GOVERNOR_METRIC_PATTERNS
     if len(args) != 2 and not (len(args) == 1 and (required or compare_to)):
         return fail(usage)
 

@@ -65,6 +65,21 @@
 // --threads value. Every output file is published via tmp + rename, so an
 // interrupted run never leaves a half-written CSV, metrics document, or
 // checkpoint behind.
+// Supervision: --supervise re-runs this binary as a child process under
+// src/core/supervise.h: the supervisor restarts a crashed/killed child
+// with capped exponential backoff, re-injecting --resume-from whenever a
+// durable checkpoint exists, watches liveness via a heartbeat file
+// (DYNAMIPS_HEARTBEAT_FILE, refreshed by the child once a second) and
+// progress via the checkpoint high-water mark, and gives up with a
+// diagnosis naming the last durable checkpoint once --restart-max
+// failures land inside --restart-window-seconds with no progress.
+//
+// Resource governance: --max-rss-mb / --min-disk-free-mb arm the
+// core/resource.h governor; the stream degrades gracefully under pressure
+// (early checkpoints, deferred re-finalizations, keep-last-1 retention,
+// quarantine shedding, ingest pauses) without changing final outputs, and
+// /v1/readyz reports the governed state (503 + Retry-After while
+// degraded) while /v1/healthz stays a pure liveness probe.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -73,10 +88,17 @@
 #include <initializer_list>
 #include <optional>
 #include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 #include "core/failpoint.h"
 #include "core/pipeline.h"
+#include "core/resource.h"
 #include "core/shutdown.h"
+#include "core/supervise.h"
 #include "io/atomic_file.h"
 #include "lg/server.h"
 #include "lg/service.h"
@@ -106,7 +128,13 @@ void usage(const char* argv0) {
                "[--refinalize-seconds S] [--poll-ms MS] [--max-batches N] "
                "[--io-retries N] [--io-retry-base-ms MS] "
                "[--serve PORT] [--send-timeout-ms MS] [--max-connections N] "
-               "[--no-csv] [--failpoints SPEC]\n",
+               "[--no-csv] [--failpoints SPEC] "
+               "[--max-rss-mb N] [--min-disk-free-mb N] "
+               "[--max-lag-seconds S] [--max-backlog-batches N] "
+               "[--supervise] [--restart-max N] "
+               "[--restart-window-seconds S] [--restart-backoff-ms MS] "
+               "[--restart-backoff-max-ms MS] [--stall-timeout-seconds S] "
+               "[--heartbeat-timeout-seconds S]\n",
                argv0);
 }
 
@@ -212,6 +240,14 @@ int main(int argc, char** argv) {
   std::string failpoints_spec;
   bool failpoints_flag = false;
   io::ReaderOptions reader_opts;
+  std::uint64_t max_rss_mb = 0, min_disk_free_mb = 0;
+  double max_lag_seconds = 0;
+  std::uint64_t max_backlog_batches = 64;
+  bool supervise_flag = false;
+  std::uint64_t restart_max = 5;
+  double restart_window_seconds = 60;
+  std::uint64_t restart_backoff_ms = 500, restart_backoff_max_ms = 30000;
+  double stall_timeout_seconds = 0, heartbeat_timeout_seconds = 60;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -274,6 +310,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--failpoints") {
       failpoints_spec = next();
       failpoints_flag = true;
+    } else if (arg == "--max-rss-mb") {
+      max_rss_mb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--min-disk-free-mb") {
+      min_disk_free_mb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-lag-seconds") {
+      max_lag_seconds = std::atof(next());
+    } else if (arg == "--max-backlog-batches") {
+      max_backlog_batches = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--supervise") {
+      supervise_flag = true;
+    } else if (arg == "--restart-max") {
+      restart_max = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--restart-window-seconds") {
+      restart_window_seconds = std::atof(next());
+    } else if (arg == "--restart-backoff-ms") {
+      restart_backoff_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--restart-backoff-max-ms") {
+      restart_backoff_max_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--stall-timeout-seconds") {
+      stall_timeout_seconds = std::atof(next());
+    } else if (arg == "--heartbeat-timeout-seconds") {
+      heartbeat_timeout_seconds = std::atof(next());
     } else if (arg == "--serve") {
       serve = true;
       serve_port = std::strtoull(next(), nullptr, 10);
@@ -359,15 +417,146 @@ int main(int argc, char** argv) {
   // token the studies poll at round boundaries.
   core::install_shutdown_handlers();
   core::ShutdownToken& token = core::global_shutdown_token();
-  if (deadline_seconds > 0) token.arm_deadline_seconds(deadline_seconds);
   if (checkpoint_out.empty())
     checkpoint_out = (out_dir / "study.ckpt").string();
+
+  // Supervisor mode: re-run this binary as a child (minus the
+  // supervisor-only flags) and keep it alive — restart with capped
+  // exponential backoff, re-inject --resume-from whenever a durable
+  // checkpoint exists, kill a hung/stalled child, give up on a crash loop.
+  if (supervise_flag) {
+    std::vector<std::string> child_argv;
+#ifdef __unix__
+    char exe[4096];
+    ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    child_argv.push_back(n > 0 ? std::string(exe, std::size_t(n))
+                               : std::string(argv[0]));
+#else
+    child_argv.push_back(argv[0]);
+#endif
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--supervise") continue;
+      if (arg == "--resume-from" || arg == "--restart-max" ||
+          arg == "--restart-window-seconds" ||
+          arg == "--restart-backoff-ms" ||
+          arg == "--restart-backoff-max-ms" ||
+          arg == "--stall-timeout-seconds" ||
+          arg == "--heartbeat-timeout-seconds") {
+        ++i;  // drop the flag's value too
+        continue;
+      }
+      child_argv.push_back(arg);
+    }
+    // Children inherit the heartbeat path (and any DYNAMIPS_FAILPOINTS
+    // already in our environment) by plain env inheritance.
+    const std::string heartbeat_path = (out_dir / ".heartbeat").string();
+#ifdef __unix__
+    ::setenv("DYNAMIPS_HEARTBEAT_FILE", heartbeat_path.c_str(), 1);
+#endif
+
+    core::SuperviseConfig scfg;
+    scfg.backoff_base_ms = restart_backoff_ms;
+    scfg.backoff_max_ms = restart_backoff_max_ms;
+    scfg.crash_loop_failures = restart_max;
+    scfg.crash_loop_window_ms =
+        std::uint64_t(restart_window_seconds * 1000.0);
+    scfg.stall_timeout_ms = std::uint64_t(stall_timeout_seconds * 1000.0);
+    scfg.heartbeat_timeout_ms =
+        std::uint64_t(heartbeat_timeout_seconds * 1000.0);
+
+    core::ProcessChild child(child_argv);
+    core::SuperviseHooks hooks;
+    hooks.stop = [&token] { return token.requested(); };
+    hooks.sleep_ms = [&token](std::uint64_t ms) {
+      core::interruptible_sleep_ms(ms, &token);
+    };
+    hooks.resume_path = [&]() -> std::string {
+      std::error_code rec;
+      if (std::filesystem::exists(checkpoint_out, rec) ||
+          std::filesystem::exists(checkpoint_out + ".prev", rec))
+        return checkpoint_out;  // with_fallback reads .prev when needed
+      if (!resume_from.empty() &&
+          std::filesystem::exists(resume_from, rec))
+        return resume_from;
+      return "";
+    };
+    hooks.progress = [&] {
+      return core::file_progress_token(checkpoint_out);
+    };
+    hooks.heartbeat_age_ms = [&] {
+      return core::file_age_ms(heartbeat_path);
+    };
+    hooks.describe_checkpoint = [&]() -> std::string {
+      std::string used;
+      auto ck = io::read_checkpoint_with_fallback(checkpoint_out, &used);
+      if (!ck.ok())
+        return "no durable checkpoint yet; the next launch starts fresh";
+      return "last durable checkpoint: " + used + " (" +
+             io::checkpoint_kind_name(ck.value().kind) + ", " +
+             std::to_string(ck.value().items_done()) + " of " +
+             std::to_string(ck.value().item_count) + " items)";
+    };
+    hooks.metrics = &obs::MetricsRegistry::global();
+    hooks.log = [&child](const std::string& line) {
+      std::fprintf(stderr, "supervise[child pid %ld]: %s\n", child.pid(),
+                   line.c_str());
+      std::fflush(stderr);
+    };
+
+    core::SuperviseReport rep = core::supervise(child, scfg, hooks);
+    std::fprintf(stderr,
+                 "supervise: exiting %d (%llu launches, %llu restarts, "
+                 "%llu stall kills)%s%s\n",
+                 rep.exit_code, (unsigned long long)rep.launches,
+                 (unsigned long long)rep.restarts,
+                 (unsigned long long)rep.stall_kills,
+                 rep.diagnosis.empty() ? "" : ": ",
+                 rep.diagnosis.c_str());
+    return rep.exit_code;
+  }
+
+  if (deadline_seconds > 0) token.arm_deadline_seconds(deadline_seconds);
+
+  // Child side of supervision: refresh the heartbeat file once a second so
+  // the supervisor can tell "hung" from "slow", and fold the supervision
+  // history it forwards through the environment into our registry so
+  // /v1/metricsz shows launches/restarts mid-run.
+  core::Heartbeat heartbeat;
+  if (const char* hb = std::getenv("DYNAMIPS_HEARTBEAT_FILE"); hb && *hb)
+    heartbeat.start(hb);
+  if (registry) {
+    if (const char* v = std::getenv("DYNAMIPS_SUPERVISE_LAUNCHES"); v && *v)
+      registry->add_counter("supervise.launches",
+                            std::strtoull(v, nullptr, 10));
+    if (const char* v = std::getenv("DYNAMIPS_SUPERVISE_RESTARTS"); v && *v)
+      registry->add_counter("supervise.restarts",
+                            std::strtoull(v, nullptr, 10));
+  }
+
+  // Resource governor: budgets from the flags (0 = unlimited), probing the
+  // output and checkpoint filesystems. Always constructed — with no
+  // budgets it never reports pressure, but /v1/readyz still reports the
+  // sampled state.
+  core::ResourceBudgets budgets;
+  budgets.max_rss_mb = max_rss_mb;
+  budgets.min_disk_free_mb = min_disk_free_mb;
+  budgets.disk_paths.push_back(out_dir.string());
+  {
+    std::filesystem::path ckpt_dir =
+        std::filesystem::path(checkpoint_out).parent_path();
+    if (!ckpt_dir.empty() && ckpt_dir != out_dir)
+      budgets.disk_paths.push_back(ckpt_dir.string());
+  }
+  budgets.metrics = registry;
+  core::ResourceGovernor governor(budgets);
 
   // Looking-glass: start serving before the studies run so /v1/healthz
   // answers during a long stream; snapshots are published as they finalize.
   lg::ServiceConfig service_cfg;
   service_cfg.metrics = registry;
   service_cfg.meta = run_meta;
+  service_cfg.governor = &governor;
   lg::LgService service(service_cfg);
   std::optional<lg::LgServer> server;
   if (serve) {
@@ -614,6 +803,9 @@ int main(int argc, char** argv) {
     stream.io_retry_attempts = io_retries;
     stream.io_retry_base_ms = io_retry_base_ms;
     stream.io_retry_seed = seed;
+    stream.governor = &governor;
+    stream.max_lag_seconds = max_lag_seconds;
+    stream.max_backlog_batches = max_backlog_batches;
 
     core::StreamStats sstats;
     io::IngestStats istats;
