@@ -11,6 +11,9 @@
 // CI corruption-resilience check:
 //   dataset_roundtrip --echo-out echo.csv --assoc-out assoc.csv
 //       [--scale S] [--window HOURS] [--seed N]
+// An output path ending in `.col` switches that file to the binary
+// columnar batch format (io/columnar.h) — same records, same downstream
+// results, ~an order of magnitude faster to ingest.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include "core/durations.h"
 #include "core/sanitize.h"
 #include "io/atomic_file.h"
+#include "io/columnar.h"
 #include "io/dataset_io.h"
 #include "io/readers.h"
 #include "simnet/isp.h"
@@ -44,16 +48,25 @@ int export_datasets(const std::string& echo_out, const std::string& assoc_out,
     dataset.reserve(sim.probe_count());
     for (std::size_t i = 0; i < sim.probe_count(); ++i)
       dataset.push_back(sim.series_for(i));
-    io::AtomicFileWriter out(echo_out);
-    if (!out.ok()) {
-      std::fprintf(stderr, "cannot open %s\n", echo_out.c_str());
-      return 1;
-    }
-    io::write_echo_dataset(out.stream(), dataset);
-    if (core::Status st = out.commit(); !st.ok()) {
-      std::fprintf(stderr, "cannot write %s: %s\n", echo_out.c_str(),
-                   st.message().c_str());
-      return 1;
+    if (io::is_columnar_path(echo_out)) {
+      if (core::Status st = io::write_echo_columnar(echo_out, dataset);
+          !st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", echo_out.c_str(),
+                     st.message().c_str());
+        return 1;
+      }
+    } else {
+      io::AtomicFileWriter out(echo_out);
+      if (!out.ok()) {
+        std::fprintf(stderr, "cannot open %s\n", echo_out.c_str());
+        return 1;
+      }
+      io::write_echo_dataset(out.stream(), dataset);
+      if (core::Status st = out.commit(); !st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", echo_out.c_str(),
+                     st.message().c_str());
+        return 1;
+      }
     }
     std::printf("wrote %zu probes to %s\n", dataset.size(),
                 echo_out.c_str());
@@ -67,16 +80,25 @@ int export_datasets(const std::string& echo_out, const std::string& assoc_out,
     dataset.reserve(sim.entry_count());
     for (std::size_t i = 0; i < sim.entry_count(); ++i)
       dataset.push_back(sim.generate(i));
-    io::AtomicFileWriter out(assoc_out);
-    if (!out.ok()) {
-      std::fprintf(stderr, "cannot open %s\n", assoc_out.c_str());
-      return 1;
-    }
-    io::write_assoc_dataset(out.stream(), dataset);
-    if (core::Status st = out.commit(); !st.ok()) {
-      std::fprintf(stderr, "cannot write %s: %s\n", assoc_out.c_str(),
-                   st.message().c_str());
-      return 1;
+    if (io::is_columnar_path(assoc_out)) {
+      if (core::Status st = io::write_assoc_columnar(assoc_out, dataset);
+          !st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", assoc_out.c_str(),
+                     st.message().c_str());
+        return 1;
+      }
+    } else {
+      io::AtomicFileWriter out(assoc_out);
+      if (!out.ok()) {
+        std::fprintf(stderr, "cannot open %s\n", assoc_out.c_str());
+        return 1;
+      }
+      io::write_assoc_dataset(out.stream(), dataset);
+      if (core::Status st = out.commit(); !st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", assoc_out.c_str(),
+                     st.message().c_str());
+        return 1;
+      }
     }
     std::printf("wrote %zu association logs to %s\n", dataset.size(),
                 assoc_out.c_str());

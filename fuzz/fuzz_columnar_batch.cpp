@@ -1,0 +1,50 @@
+// Fuzz the columnar batch decoders (io/columnar.h) over arbitrary bytes:
+// every input must come back as a Status — structural damage as kDataLoss,
+// version skew as kFailedPrecondition — or as a valid dataset. Never a
+// crash, never an out-of-bounds read (the directory is validated before
+// any payload is touched), and on success the ingest accounting must match
+// the decoded dataset exactly.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/status.h"
+#include "io/columnar.h"
+#include "io/readers.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace io = dynamips::io;
+  using dynamips::core::StatusCode;
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  io::ReaderOptions options;
+  options.max_reject_fraction = 1.0;     // never trip on fraction
+  options.max_consecutive_rejects = 16;  // exercise the fail-fast path
+
+  {
+    io::IngestStats stats;
+    auto echo = io::decode_echo_columnar(bytes, options, &stats);
+    if (echo.ok()) {
+      std::uint64_t records = 0;
+      for (const auto& series : *echo) records += series.records.size();
+      if (stats.records_accepted != records) __builtin_trap();
+    } else if (echo.status().code() != StatusCode::kDataLoss &&
+               echo.status().code() != StatusCode::kFailedPrecondition) {
+      __builtin_trap();
+    }
+  }
+  {
+    io::IngestStats stats;
+    auto assoc = io::decode_assoc_columnar(bytes, options, &stats);
+    if (assoc.ok()) {
+      std::uint64_t records = 0;
+      for (const auto& log : *assoc) records += log.records.size();
+      if (stats.records_accepted != records) __builtin_trap();
+    } else if (assoc.status().code() != StatusCode::kDataLoss &&
+               assoc.status().code() != StatusCode::kFailedPrecondition) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

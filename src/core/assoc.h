@@ -36,6 +36,14 @@ struct AssocOptions {
   /// Maximum gap (days) inside one association run; a /64 silent for longer
   /// starts a new run when it reappears.
   std::uint32_t max_gap_days = 14;
+  /// External-merge spill budget for add_log's per-shard sort scratch, in
+  /// MiB. 0 (the default) keeps the sort fully in memory; a positive
+  /// budget bounds the working set per shard — sorted runs spill to temp
+  /// files and merge back (stats/extsort.h). Results are byte-identical at
+  /// every budget, so neither knob enters the config fingerprint.
+  std::uint64_t spill_mb = 0;
+  /// Spill directory; empty uses std::filesystem::temp_directory_path().
+  std::string spill_dir;
 };
 
 /// Aggregated duration statistics for one ASN.
@@ -171,6 +179,13 @@ class CdnAnalyzer {
   std::uint64_t total_tuples() const { return total_tuples_; }
   std::uint64_t total_mismatched() const { return total_mismatched_; }
 
+  /// External-merge runs spilled so far (0 with an in-memory budget).
+  /// Observability only: deliberately NOT serialized and NOT part of
+  /// snapshots, so a spilled run's checkpoints and results stay
+  /// byte-identical to an in-memory run's.
+  std::uint64_t spill_runs() const { return spill_runs_; }
+  std::uint64_t spill_bytes() const { return spill_bytes_; }
+
   /// Copy the accumulated results into a finalized read-only view
   /// (core/parallel.h SnapshotAnalyzer). The accumulation is purely
   /// append-ordered, so the copy is already canonical; the analyzer keeps
@@ -191,6 +206,8 @@ class CdnAnalyzer {
   std::uint64_t multi_24_64s_[2] = {0, 0};
   std::uint64_t total_tuples_ = 0;
   std::uint64_t total_mismatched_ = 0;
+  std::uint64_t spill_runs_ = 0;   ///< not serialized (see spill_runs())
+  std::uint64_t spill_bytes_ = 0;  ///< not serialized
 };
 
 }  // namespace dynamips::core

@@ -17,6 +17,7 @@
 #include "core/failpoint.h"
 #include "core/resource.h"
 #include "core/shutdown.h"
+#include "io/columnar.h"
 #include "obs/metrics.h"
 
 namespace dynamips::core {
@@ -233,11 +234,33 @@ std::uint64_t cdn_file_fingerprint(const std::vector<std::string>& paths,
 
 // --- resume validation and state restore ---------------------------------
 
+/// The contiguous item slice this process owns: all of [0, item_count)
+/// normally, slice shard_index of shard_count in multi-process mode.
+/// Processes whose slice is empty (more shards than items) get an empty
+/// range at the end.
+ShardRange process_slice(const CheckpointConfig& cc,
+                         std::uint64_t item_count) {
+  if (!cc.sharded()) return {0, std::size_t(item_count)};
+  auto slices = shard_ranges(std::size_t(item_count), cc.shard_count);
+  if (cc.shard_index < slices.size()) return slices[cc.shard_index];
+  return {std::size_t(item_count), std::size_t(item_count)};
+}
+
 Status plan_shards(const CheckpointConfig& cc, std::uint32_t kind,
                    std::uint64_t fingerprint, std::uint64_t item_count,
                    unsigned threads, ShardPlan& plan) {
+  if (cc.sharded() && cc.shard_index >= cc.shard_count)
+    return Status(StatusCode::kInvalidArgument,
+                  "shard index " + std::to_string(cc.shard_index) +
+                      " is out of range for " +
+                      std::to_string(cc.shard_count) + " shards");
+  const ShardRange slice = process_slice(cc, item_count);
   if (!cc.resume) {
-    plan.ranges = shard_ranges(item_count, threads);
+    plan.ranges = shard_ranges(slice.end - slice.begin, threads);
+    for (auto& r : plan.ranges) {
+      r.begin += slice.begin;
+      r.end += slice.begin;
+    }
     plan.next.clear();
     for (const auto& r : plan.ranges) plan.next.push_back(r.begin);
     return Status::Ok();
@@ -262,10 +285,43 @@ Status plan_shards(const CheckpointConfig& cc, std::uint32_t kind,
   plan.ranges.clear();
   plan.next.clear();
   for (const auto& shard : ck.shards) {
+    if (shard.begin > shard.end || shard.next < shard.begin ||
+        shard.next > shard.end || shard.end > item_count)
+      return Status(StatusCode::kDataLoss,
+                    "checkpoint is corrupt: shard range [" +
+                        std::to_string(shard.begin) + ", " +
+                        std::to_string(shard.end) + ") next " +
+                        std::to_string(shard.next) + " is not plausible");
     plan.ranges.push_back(
         {std::size_t(shard.begin), std::size_t(shard.end)});
     plan.next.push_back(std::size_t(shard.next));
   }
+  // The restored ranges must tile this process's slice exactly — no gaps,
+  // no overlap — or the ordered reduction would silently drop or repeat
+  // items. Catches both corrupt shard tables and a checkpoint resumed
+  // under different --shard parameters.
+  std::vector<ShardRange> sorted = plan.ranges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ShardRange& a, const ShardRange& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t cursor = slice.begin;
+  for (const auto& r : sorted) {
+    if (r.begin == r.end) continue;  // empty shards carry no items
+    if (r.begin != cursor)
+      return Status(StatusCode::kDataLoss,
+                    "checkpoint is corrupt: shard ranges do not tile items [" +
+                        std::to_string(slice.begin) + ", " +
+                        std::to_string(slice.end) + ") (gap or overlap at " +
+                        std::to_string(r.begin) + ")");
+    cursor = r.end;
+  }
+  if (cursor != slice.end)
+    return Status(StatusCode::kDataLoss,
+                  "checkpoint is corrupt: shard ranges cover items up to " +
+                      std::to_string(cursor) + " of [" +
+                      std::to_string(slice.begin) + ", " +
+                      std::to_string(slice.end) + ")");
   return Status::Ok();
 }
 
@@ -323,6 +379,10 @@ Status drive_shards(ShardExecutor& exec, const CheckpointConfig& cc,
   if (cc.every_items > 0 && cc.path.empty())
     return Status(StatusCode::kInvalidArgument,
                   "periodic checkpoints require a checkpoint path");
+  if (cc.sharded() && cc.path.empty())
+    return Status(StatusCode::kInvalidArgument,
+                  "sharded runs require a checkpoint path (the completed "
+                  "checkpoint is the shard's output)");
   const bool supervised = cc.active();
   const std::uint64_t chunk =
       cc.every_items ? cc.every_items : kDefaultRoundItems;
@@ -375,7 +435,16 @@ Status drive_shards(ShardExecutor& exec, const CheckpointConfig& cc,
     });
     if (!ran.ok()) return ran;
     if (supervised) sup.counter("checkpoint.rounds").add(1);
-    if (all_done()) return Status::Ok();
+    if (all_done()) {
+      // Shard mode: the completed checkpoint IS the output — the merge
+      // step combines these per-process files and resumes from the
+      // result, so the final write must happen even unsupervised.
+      if (cc.sharded()) {
+        Status wrote = snapshot();
+        if (!wrote.ok()) return wrote;
+      }
+      return Status::Ok();
+    }
     if (cc.token && cc.token->requested()) {
       sup.counter("checkpoint.interrupted").add(1);
       std::string note = "interrupted by shutdown request after " +
@@ -645,6 +714,10 @@ Expected<CdnStudy> run_cdn_study_supervised(
     obs::MetricsSink& m = shards.front().metrics;
     m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
     m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
+    // Spill accounting lives on the analyzer, never in snapshots or
+    // checkpoints; resumed shards therefore report only their own spills.
+    m.counter("cdn.spill_runs").add(shards.front().analyzer.spill_runs());
+    m.counter("cdn.spill_bytes").add(shards.front().analyzer.spill_bytes());
     sim.publish_metrics(m);
     m.gauge("cdn.shards").set(double(plan.ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
@@ -665,19 +738,18 @@ CdnStudy run_cdn_study(const std::vector<cdn::PopulationEntry>& population,
 
 namespace {
 
-/// Open + stream one dataset file through the given loader, accumulating
-/// into `dataset` (shared codepath of both from_files entrypoints).
+/// Load one dataset file after another through the given loader,
+/// accumulating into `dataset` (shared codepath of both from_files
+/// entrypoints). The loader dispatches CSV vs columnar by extension
+/// (io::load_echo_file / io::load_assoc_file), so `.col` batches ride
+/// alongside `.csv` in any input list.
 template <typename Loader, typename Merger, typename Dataset>
 Status load_dataset_files(const std::vector<std::string>& paths,
-                          io::ReaderOptions reader, io::IngestStats* ingest,
-                          Loader&& load, Merger&& merge_into,
-                          Dataset& dataset) {
+                          const io::ReaderOptions& reader,
+                          io::IngestStats* ingest, Loader&& load,
+                          Merger&& merge_into, Dataset& dataset) {
   for (const auto& path : paths) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open())
-      return Status(StatusCode::kNotFound, "cannot open dataset: " + path);
-    reader.source_label = path;
-    auto part = load(in, reader, ingest);
+    auto part = load(path, reader, ingest);
     if (!part.ok()) {
       Status st = part.status();
       return st.with_context(path);
@@ -926,6 +998,8 @@ Status cdn_analysis_pass(std::vector<cdn::AssociationLog>& dataset,
     obs::MetricsSink& m = shards.front().metrics;
     m.counter("cdn.tuples_kept").add(study.analyzer.total_tuples());
     m.counter("cdn.tuples_mismatched").add(study.analyzer.total_mismatched());
+    m.counter("cdn.spill_runs").add(shards.front().analyzer.spill_runs());
+    m.counter("cdn.spill_bytes").add(shards.front().analyzer.spill_bytes());
     m.gauge("cdn.shards").set(double(plan.ranges.size()));
     m.gauge("cdn.shard_imbalance").set(imbalance_ratio(shard_ns));
     if (ingest_sink) m.merge(std::move(*ingest_sink));
@@ -955,20 +1029,20 @@ Expected<AtlasStudy> run_atlas_study_from_files(
   if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
 
   std::vector<atlas::ProbeSeries> dataset;
-  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  const std::uint64_t load_start = obs::now_ns();
   Status loaded = load_dataset_files(
       paths, ropts, ingest,
-      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
-        return io::read_echo_dataset(in, r, st);
-      },
+      [](const std::string& path, const io::ReaderOptions& r,
+         io::IngestStats* st) { return io::load_echo_file(path, r, st); },
       [](std::vector<atlas::ProbeSeries>& into,
          std::vector<atlas::ProbeSeries>&& more) {
         io::merge_echo_datasets(into, std::move(more));
       },
       dataset);
   if (!loaded.ok()) return loaded.with_context("atlas study");
-  if (config.metrics)
-    ingest_sink.phase("atlas.ingest").record(obs::now_ns() - load_start);
+  const std::uint64_t load_ns = obs::now_ns() - load_start;
+  if (ingest) ingest->load_wall_ns += load_ns;
+  if (config.metrics) ingest_sink.phase("atlas.ingest").record(load_ns);
 
   const std::uint64_t fingerprint =
       atlas_file_fingerprint(paths, isps, config);
@@ -990,20 +1064,20 @@ Expected<CdnStudy> run_cdn_study_from_files(
   if (config.metrics && !ropts.metrics) ropts.metrics = &ingest_sink;
 
   std::vector<cdn::AssociationLog> dataset;
-  const std::uint64_t load_start = config.metrics ? obs::now_ns() : 0;
+  const std::uint64_t load_start = obs::now_ns();
   Status loaded = load_dataset_files(
       paths, ropts, ingest,
-      [](std::istream& in, const io::ReaderOptions& r, io::IngestStats* st) {
-        return io::read_assoc_dataset(in, r, st);
-      },
+      [](const std::string& path, const io::ReaderOptions& r,
+         io::IngestStats* st) { return io::load_assoc_file(path, r, st); },
       [](std::vector<cdn::AssociationLog>& into,
          std::vector<cdn::AssociationLog>&& more) {
         io::merge_assoc_datasets(into, std::move(more));
       },
       dataset);
   if (!loaded.ok()) return loaded.with_context("cdn study");
-  if (config.metrics)
-    ingest_sink.phase("cdn.ingest").record(obs::now_ns() - load_start);
+  const std::uint64_t load_ns = obs::now_ns() - load_start;
+  if (ingest) ingest->load_wall_ns += load_ns;
+  if (config.metrics) ingest_sink.phase("cdn.ingest").record(load_ns);
 
   CdnStudy study;
   study.asn_names = config.asn_names;
@@ -1020,6 +1094,33 @@ Expected<CdnStudy> run_cdn_study_from_files(
 }
 
 // --------------------------------------------------- streaming entrypoints
+
+bool natural_name_less(std::string_view a, std::string_view b) {
+  auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (digit(a[i]) && digit(b[j])) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() && digit(a[ia])) ++ia;
+      while (jb < b.size() && digit(b[jb])) ++jb;
+      std::size_t za = i, zb = j;
+      while (za < ia && a[za] == '0') ++za;  // strip leading zeros
+      while (zb < jb && b[zb] == '0') ++zb;
+      std::string_view va = a.substr(za, ia - za);
+      std::string_view vb = b.substr(zb, jb - zb);
+      if (va.size() != vb.size()) return va.size() < vb.size();
+      if (va != vb) return va < vb;
+      if (ia - i != jb - j) return ia - i < jb - j;
+      i = ia;
+      j = jb;
+      continue;
+    }
+    if (a[i] != b[j]) return a[i] < b[j];
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
 
 namespace {
 
@@ -1184,12 +1285,14 @@ std::uint64_t cdn_stream_fingerprint(const CdnFileStudyConfig& config) {
 
 // --- watch-directory scanning ---------------------------------------------
 
-/// Unconsumed batch files in `watch_dir`, sorted lexicographically by
-/// basename — the stream's consumption order. Dotfiles, in-flight `.tmp`
-/// writes and the stop sentinel are skipped. The byte-identity guarantee
-/// assumes producers drop batches in lexicographic order (tools/
-/// stream_feed.py does); late out-of-order arrivals are still consumed,
-/// just merged in arrival order.
+/// Unconsumed batch files in `watch_dir`, sorted by natural name order —
+/// the stream's consumption order. Dotfiles, in-flight `.tmp` writes and
+/// the stop sentinel are skipped. The byte-identity guarantee assumes
+/// producers number batches monotonically (tools/stream_feed.py does);
+/// numeric ordering means a feed outgrowing its zero-pad width keeps
+/// consuming in production order instead of silently replaying
+/// `batch-1000` before `batch-999`. Late out-of-order arrivals are still
+/// consumed, just merged in arrival order.
 std::vector<std::filesystem::path> scan_batches(
     const std::string& watch_dir, const std::string& sentinel,
     const std::set<std::string>& consumed) {
@@ -1208,7 +1311,8 @@ std::vector<std::filesystem::path> scan_batches(
   }
   std::sort(out.begin(), out.end(),
             [](const std::filesystem::path& a, const std::filesystem::path& b) {
-              return a.filename().string() < b.filename().string();
+              return natural_name_less(a.filename().string(),
+                                       b.filename().string());
             });
   return out;
 }
@@ -1246,10 +1350,10 @@ struct AtlasStreamPolicy {
   obs::MetricsRegistry* metrics() const { return config.metrics; }
   const io::ReaderOptions& reader() const { return config.reader; }
 
-  Status load_batch(std::istream& in, const io::ReaderOptions& ropts,
+  Status load_batch(const std::string& path, const io::ReaderOptions& ropts,
                     io::IngestStats* ingest, Dataset& dataset,
                     std::uint64_t& records) const {
-    auto part = io::read_echo_dataset(in, ropts, ingest);
+    auto part = io::load_echo_file(path, ropts, ingest);
     if (!part.ok()) return part.status();
     Dataset batch = part.take();
     records = 0;
@@ -1293,10 +1397,10 @@ struct CdnStreamPolicy {
   obs::MetricsRegistry* metrics() const { return config.metrics; }
   const io::ReaderOptions& reader() const { return config.reader; }
 
-  Status load_batch(std::istream& in, const io::ReaderOptions& ropts,
+  Status load_batch(const std::string& path, const io::ReaderOptions& ropts,
                     io::IngestStats* ingest, Dataset& dataset,
                     std::uint64_t& records) const {
-    auto part = io::read_assoc_dataset(in, ropts, ingest);
+    auto part = io::load_assoc_file(path, ropts, ingest);
     if (!part.ok()) return part.status();
     Dataset batch = part.take();
     records = 0;
@@ -1647,13 +1751,6 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
           interruptible_sleep_ms(backoff_ms(batch_salt, attempt - 1),
                                  stream.token);
         }
-        std::ifstream in(path, std::ios::binary);
-        if (!in.is_open()) {
-          loaded = Status(StatusCode::kNotFound,
-                          std::string(Policy::label) +
-                              ": cannot open batch: " + path.string());
-          continue;
-        }
         io::ReaderOptions ropts = base_ropts;
         ropts.source_label = path.string();
         // Disk soft pressure: shed quarantine copies of rejected lines —
@@ -1665,8 +1762,8 @@ Expected<typename Policy::Study> follow_stream(const Policy& policy,
         if (base_ropts.metrics) ropts.metrics = &attempt_sink;
         io::IngestStats attempt_ingest;
         records = 0;
-        loaded = policy.load_batch(in, ropts, &attempt_ingest, dataset,
-                                   records);
+        loaded = policy.load_batch(path.string(), ropts, &attempt_ingest,
+                                   dataset, records);
         if (loaded.ok()) {
           if (ingest) ingest->merge(attempt_ingest);
           if (stream.governor)

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "atlas/generator.h"
@@ -87,6 +88,21 @@ struct CheckpointConfig {
   /// checkpoint kind, config fingerprint and item count and rejects
   /// mismatches with kFailedPrecondition.
   const io::StudyCheckpoint* resume = nullptr;
+
+  /// Multi-process sharding: this process analyzes slice `shard_index` of
+  /// `shard_count` contiguous item slices (each further subdivided across
+  /// its threads) and, instead of finalizing, writes a completed
+  /// checkpoint to `path` — the merge wire format. A merge run combines
+  /// the per-process checkpoints (io::combine_shard_checkpoints) and
+  /// resumes from the result; ordered reduction over the combined shard
+  /// table makes the merged study byte-identical to a single-process run.
+  /// shard_count <= 1 (the default) disables sharding. Neither field
+  /// enters any config fingerprint — like the thread count, sharding is
+  /// results-invariant.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+
+  bool sharded() const { return shard_count > 1; }
 
   /// True when any supervision feature is active.
   bool active() const { return every_items > 0 || token != nullptr; }
@@ -231,6 +247,15 @@ Expected<CdnStudy> run_cdn_study_from_files(
 // after every batch, so a killed stream replays only unconsumed batches.
 
 class ResourceGovernor;  // core/resource.h
+
+/// Natural-number-aware name ordering — the stream's batch consumption
+/// order. Maximal digit runs compare by numeric value (so `batch-1000`
+/// follows `batch-999` even though it sorts lexicographically before it),
+/// everything else byte-wise; equal values written with different widths
+/// ("7" vs "007") break toward the shorter run, keeping the order total
+/// and deterministic. Digit runs compare as stripped strings (length,
+/// then bytes), so arbitrarily long counters never overflow.
+bool natural_name_less(std::string_view a, std::string_view b);
 
 struct StreamConfig {
   /// Re-finalize (snapshot + callback) after this many newly consumed

@@ -1,5 +1,7 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -178,9 +180,14 @@ Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes) {
                      std::to_string(declared_shards) + ", found " +
                      std::to_string(ckpt.shards.size()) + ")");
 
-  // Shard-table invariants: contiguous ranges covering [0, item_count),
-  // progress inside the range.
-  std::uint64_t expect_begin = 0;
+  // Shard-table invariants: contiguous ranges inside [0, item_count],
+  // progress inside each range. The table need not start at 0 or cover
+  // every item: a `--shard i/N` process checkpoints only its slice.
+  // Where the expected coverage is known, the caller enforces it —
+  // plan_shards() validates that a resumed table tiles the process's
+  // slice, and combine_shard_checkpoints() that the union of slices
+  // tiles [0, item_count).
+  std::uint64_t expect_begin = ckpt.shards.empty() ? 0 : ckpt.shards[0].begin;
   for (std::size_t s = 0; s < ckpt.shards.size(); ++s) {
     const CheckpointShard& shard = ckpt.shards[s];
     if (shard.begin != expect_begin || shard.end < shard.begin ||
@@ -190,8 +197,6 @@ Expected<StudyCheckpoint> decode_checkpoint(std::string_view bytes) {
                        std::to_string(s));
     expect_begin = shard.end;
   }
-  if (!ckpt.shards.empty() && expect_begin != ckpt.item_count)
-    return data_loss("shard table does not cover all items");
   return ckpt;
 }
 
@@ -268,6 +273,85 @@ void remove_checkpoint_files(const std::string& path) {
   std::filesystem::remove(path, ec);
   std::filesystem::remove(path + ".prev", ec);
   std::filesystem::remove(path + ".tmp", ec);
+}
+
+Expected<StudyCheckpoint> combine_shard_checkpoints(
+    const std::vector<std::string>& paths) {
+  if (paths.empty())
+    return Status(StatusCode::kInvalidArgument,
+                  "no shard checkpoints to combine");
+  StudyCheckpoint combined;
+  bool first = true;
+  for (const auto& path : paths) {
+    auto loaded = read_checkpoint_with_fallback(path);
+    if (!loaded.ok()) {
+      Status st = loaded.status();
+      return st.with_context("combine shard checkpoints");
+    }
+    StudyCheckpoint ck = loaded.take();
+    if (is_stream_checkpoint_kind(ck.kind) || !ck.consumed.empty())
+      return Status(StatusCode::kFailedPrecondition,
+                    path + " is a streaming checkpoint; sharded merge "
+                           "applies to one-shot study runs");
+    if (first) {
+      combined.kind = ck.kind;
+      combined.config_fingerprint = ck.config_fingerprint;
+      combined.item_count = ck.item_count;
+      first = false;
+    } else {
+      if (ck.kind != combined.kind)
+        return Status(StatusCode::kFailedPrecondition,
+                      path + " was written by the " +
+                          checkpoint_kind_name(ck.kind) +
+                          " study but earlier shards are " +
+                          checkpoint_kind_name(combined.kind));
+      if (ck.config_fingerprint != combined.config_fingerprint)
+        return Status(StatusCode::kFailedPrecondition,
+                      path + " has a different config fingerprint; every "
+                             "shard must run the exact same study "
+                             "parameters");
+      if (ck.item_count != combined.item_count)
+        return Status(StatusCode::kFailedPrecondition,
+                      path + " covers " + std::to_string(ck.item_count) +
+                          " items but earlier shards cover " +
+                          std::to_string(combined.item_count));
+    }
+    for (auto& shard : ck.shards) {
+      if (shard.next != shard.end)
+        return Status(StatusCode::kFailedPrecondition,
+                      path + " is incomplete: shard [" +
+                          std::to_string(shard.begin) + ", " +
+                          std::to_string(shard.end) + ") stopped at " +
+                          std::to_string(shard.next) +
+                          "; finish or re-run that shard before merging");
+      combined.shards.push_back(std::move(shard));
+    }
+  }
+  // Index order: the resumed reduction must merge shards in ascending item
+  // order for byte-identity with a single-process run.
+  std::stable_sort(combined.shards.begin(), combined.shards.end(),
+                   [](const CheckpointShard& a, const CheckpointShard& b) {
+                     return a.begin < b.begin;
+                   });
+  std::uint64_t cursor = 0;
+  for (const auto& shard : combined.shards) {
+    if (shard.begin == shard.end) continue;
+    if (shard.begin != cursor)
+      return Status(StatusCode::kFailedPrecondition,
+                    "shard ranges do not tile the item range: gap or "
+                    "overlap at item " +
+                        std::to_string(shard.begin) + " (expected " +
+                        std::to_string(cursor) +
+                        "); a shard file is missing, duplicated, or from "
+                        "a different --shard split");
+    cursor = shard.end;
+  }
+  if (cursor != combined.item_count)
+    return Status(StatusCode::kFailedPrecondition,
+                  "shard ranges cover items up to " + std::to_string(cursor) +
+                      " of " + std::to_string(combined.item_count) +
+                      "; a shard file is missing");
+  return combined;
 }
 
 }  // namespace dynamips::io

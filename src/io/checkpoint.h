@@ -55,25 +55,63 @@ namespace dynamips::io {
 
 namespace ckpt {
 
-/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
-inline const std::array<std::uint32_t, 256>& crc32_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven. Eight tables:
+/// table[0] is the classic byte-at-a-time table (kept public — tests and
+/// tools index it directly); the other seven extend it so crc32() can use
+/// the slicing-by-8 formulation, which processes 8 input bytes per
+/// iteration and runs ~5x faster over the multi-hundred-MB columnar
+/// batches whose every payload byte is CRC-covered. Same polynomial, same
+/// values as the bytewise loop — only the traversal order changes.
+inline const std::array<std::array<std::uint32_t, 256>, 8>& crc32_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k)
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
+}
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  return crc32_tables()[0];
 }
 
 inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
-  const auto& table = crc32_table();
+  const auto& t = crc32_tables();
+  // Explicit little-endian word assembly: byte-order portable, and every
+  // mainstream compiler folds it into a single 32-bit load on LE targets.
+  auto le32 = [](const char* q) {
+    return std::uint32_t(std::uint8_t(q[0])) |
+           std::uint32_t(std::uint8_t(q[1])) << 8 |
+           std::uint32_t(std::uint8_t(q[2])) << 16 |
+           std::uint32_t(std::uint8_t(q[3])) << 24;
+  };
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (unsigned char b : bytes) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    const std::uint32_t lo = le32(p);
+    const std::uint32_t hi = le32(p + 4);
+    c ^= lo;
+    c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^ t[5][(c >> 16) & 0xFFu] ^
+        t[4][c >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n; --n, ++p)
+    c = t[0][(c ^ std::uint8_t(*p)) & 0xFFu] ^ (c >> 8);
   return c ^ 0xFFFFFFFFu;
 }
 
@@ -278,5 +316,18 @@ core::Expected<StudyCheckpoint> read_checkpoint_with_fallback(
 
 /// Remove `path`, `path.prev`, and `path.tmp` (end-of-run cleanup).
 void remove_checkpoint_files(const std::string& path);
+
+/// Combine the completed per-process checkpoints of a sharded run
+/// (`dynamips_study --shard i/N` writes one each) into a single resumable
+/// checkpoint — the multi-process merge step. Validates that every input
+/// has the same kind, config fingerprint and item count, that every shard
+/// is complete (next == end), that no input carries stream state, and
+/// that the union of shard ranges tiles [0, item_count) with no gap or
+/// overlap. Shards are ordered by begin index in the result, so a resume
+/// from it reduces in index order — byte-identical to a single-process
+/// run. Registry and supervisor blobs are per-process diagnostics and are
+/// dropped (they never influence results).
+core::Expected<StudyCheckpoint> combine_shard_checkpoints(
+    const std::vector<std::string>& paths);
 
 }  // namespace dynamips::io

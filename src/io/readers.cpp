@@ -34,6 +34,7 @@ void IngestStats::merge(const IngestStats& other) {
   blank_lines += other.blank_lines;
   quarantined += other.quarantined;
   quarantine_shed += other.quarantine_shed;
+  load_wall_ns += other.load_wall_ns;
   for (std::size_t i = 0; i < kRejectReasonCount; ++i)
     rejects[i] += other.rejects[i];
   first_rejects.insert(first_rejects.end(), other.first_rejects.begin(),
@@ -73,71 +74,22 @@ std::string IngestStats::summary() const {
 
 namespace detail {
 
-LineCursor::LineCursor(std::istream& is, const ReaderOptions& options,
-                       std::string_view label)
-    : is_(is), options_(options), label_(label) {
-  // +1 slack so that a line of exactly max_line_bytes fits and only a
-  // strictly longer one trips getline's failbit.
-  buffer_.resize(options_.max_line_bytes + 2);
+RejectLedger::RejectLedger(const ReaderOptions& options,
+                           std::string_view label, std::string_view unit)
+    : options_(options), label_(label), unit_(unit) {
   if (options_.metrics) {
     lines_counter_ = &options_.metrics->counter("ingest.lines");
     accepted_counter_ = &options_.metrics->counter("ingest.records");
   }
 }
 
-bool LineCursor::next_line(std::string_view& line) {
-  while (!tripped()) {
-    if (auto fp = core::failpoint("readers.line"); fp) {
-      if (fp.is_error()) {
-        std::string msg = label_;
-        msg += ": injected read failure (";
-        msg += fp.errno_name();
-        msg += ") at line ";
-        msg += std::to_string(stats_.lines_seen + 1);
-        fatal_ = core::Status(core::StatusCode::kInternal, std::move(msg));
-        return false;
-      }
-      core::failpoint_sleep(fp);
-    }
-    is_.getline(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    std::size_t got = static_cast<std::size_t>(is_.gcount());
-    if (got == 0 && !is_.good()) return false;  // clean end of stream
-    ++stats_.lines_seen;
-    if (lines_counter_) lines_counter_->add(1);
-    if (is_.fail() && !is_.eof()) {
-      // The line exceeded the buffer: reject what we buffered, then skip
-      // the remainder without ever holding more than the buffer.
-      std::string_view head(buffer_.data(), got);
-      is_.clear();
-      is_.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
-      ++stats_.data_lines;
-      reject(RejectReason::kOversizeLine, head);
-      continue;
-    }
-    // gcount includes the extracted-but-not-stored '\n' delimiter; a final
-    // line terminated by EOF instead of '\n' sets eofbit and stores all of
-    // its gcount characters.
-    std::size_t len = got;
-    if (!is_.eof() && len > 0) --len;
-    std::string_view text(buffer_.data(), len);
-    text = chomp_cr(text);
-    if (stats_.lines_seen == 1) text = strip_utf8_bom(text);
-    if (text.empty()) {
-      ++stats_.blank_lines;
-      continue;
-    }
-    line = text;
-    return true;
-  }
-  return false;
-}
-
-void LineCursor::reject(RejectReason reason, std::string_view text) {
+void RejectLedger::reject(RejectReason reason, std::string_view text,
+                          std::uint64_t position) {
   ++stats_.rejects[std::size_t(reason)];
   std::string_view kept = text.substr(0, options_.keep_text_bytes);
   if (stats_.first_rejects.size() < options_.keep_first_rejects) {
     stats_.first_rejects.push_back(
-        RejectedLine{stats_.lines_seen, reason, std::string(kept)});
+        RejectedLine{position, reason, std::string(kept)});
   }
   if (options_.metrics) {
     std::string name = "ingest.reject.";
@@ -152,10 +104,9 @@ void LineCursor::reject(RejectReason reason, std::string_view text) {
       if (options_.metrics)
         options_.metrics->counter("ingest.quarantine_shed").add(1);
     } else {
-      (*options_.quarantine) << options_.source_label << ','
-                             << stats_.lines_seen << ','
-                             << reject_reason_name(reason) << ',' << kept
-                             << '\n';
+      (*options_.quarantine) << options_.source_label << ',' << position
+                             << ',' << reject_reason_name(reason) << ','
+                             << kept << '\n';
       ++stats_.quarantined;
       if (options_.metrics)
         options_.metrics->counter("ingest.quarantined").add(1);
@@ -166,16 +117,20 @@ void LineCursor::reject(RejectReason reason, std::string_view text) {
     std::string msg = label_;
     msg += ": ";
     msg += std::to_string(consecutive_rejects_);
-    msg += " consecutive malformed lines (cap ";
+    msg += " consecutive malformed ";
+    msg += unit_;
+    msg += "s (cap ";
     msg += std::to_string(options_.max_consecutive_rejects);
-    msg += "), last at line ";
-    msg += std::to_string(stats_.lines_seen);
+    msg += "), last at ";
+    msg += unit_;
+    msg += " ";
+    msg += std::to_string(position);
     msg += format_offenders();
     fatal_ = core::Status(core::StatusCode::kDataLoss, std::move(msg));
   }
 }
 
-core::Status LineCursor::finish() const {
+core::Status RejectLedger::finish() const {
   if (tripped()) return fatal_;
   const std::uint64_t rejected = stats_.total_rejects();
   if (rejected == 0) return core::Status::Ok();
@@ -187,7 +142,9 @@ core::Status LineCursor::finish() const {
   msg += std::to_string(rejected);
   msg += " of ";
   msg += std::to_string(stats_.data_lines);
-  msg += " data lines rejected, over budget (max_reject_fraction=";
+  msg += " data ";
+  msg += unit_;
+  msg += "s rejected, over budget (max_reject_fraction=";
   std::ostringstream frac;
   frac << options_.max_reject_fraction;
   msg += frac.str();
@@ -196,11 +153,13 @@ core::Status LineCursor::finish() const {
   return core::Status(core::StatusCode::kDataLoss, std::move(msg));
 }
 
-std::string LineCursor::format_offenders() const {
+std::string RejectLedger::format_offenders() const {
   if (stats_.first_rejects.empty()) return {};
   std::string out = "; first offenders:";
   for (const auto& r : stats_.first_rejects) {
-    out += " line ";
+    out += " ";
+    out += unit_;
+    out += " ";
     out += std::to_string(r.line_number);
     out += " [";
     out += reject_reason_name(r.reason);
@@ -209,6 +168,61 @@ std::string LineCursor::format_offenders() const {
     out += "\"";
   }
   return out;
+}
+
+LineCursor::LineCursor(std::istream& is, const ReaderOptions& options,
+                       std::string_view label)
+    : is_(is), ledger_(options, label, "line"), label_(label) {
+  // +1 slack so that a line of exactly max_line_bytes fits and only a
+  // strictly longer one trips getline's failbit.
+  buffer_.resize(options.max_line_bytes + 2);
+}
+
+bool LineCursor::next_line(std::string_view& line) {
+  while (!tripped()) {
+    if (auto fp = core::failpoint("readers.line"); fp) {
+      if (fp.is_error()) {
+        std::string msg = label_;
+        msg += ": injected read failure (";
+        msg += fp.errno_name();
+        msg += ") at line ";
+        msg += std::to_string(ledger_.stats().lines_seen + 1);
+        ledger_.fail(core::Status(core::StatusCode::kInternal,
+                                  std::move(msg)));
+        return false;
+      }
+      core::failpoint_sleep(fp);
+    }
+    is_.getline(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    std::size_t got = static_cast<std::size_t>(is_.gcount());
+    if (got == 0 && !is_.good()) return false;  // clean end of stream
+    ledger_.count_unit();
+    if (is_.fail() && !is_.eof()) {
+      // The line exceeded the buffer: reject what we buffered, then skip
+      // the remainder without ever holding more than the buffer.
+      std::string_view head(buffer_.data(), got);
+      is_.clear();
+      is_.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      ledger_.count_data();
+      reject(RejectReason::kOversizeLine, head);
+      continue;
+    }
+    // gcount includes the extracted-but-not-stored '\n' delimiter; a final
+    // line terminated by EOF instead of '\n' sets eofbit and stores all of
+    // its gcount characters.
+    std::size_t len = got;
+    if (!is_.eof() && len > 0) --len;
+    std::string_view text(buffer_.data(), len);
+    text = chomp_cr(text);
+    if (ledger_.stats().lines_seen == 1) text = strip_utf8_bom(text);
+    if (text.empty()) {
+      ++ledger_.stats().blank_lines;
+      continue;
+    }
+    line = text;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace detail

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "atlas/echo.h"
@@ -126,6 +127,11 @@ struct IngestStats {
   std::uint64_t quarantined = 0;
   /// Quarantine appends suppressed by ReaderOptions::shed_quarantine.
   std::uint64_t quarantine_shed = 0;
+  /// Wall time the caller spent in the load phase (filled by the file-study
+  /// entrypoints, summed across files). Pure diagnostics — lets tools report
+  /// ingest-phase records/sec without a metrics registry; never affects
+  /// results or fingerprints.
+  std::uint64_t load_wall_ns = 0;
   std::array<std::uint64_t, kRejectReasonCount> rejects{};
   std::vector<RejectedLine> first_rejects;  ///< first keep_first_rejects
 
@@ -148,8 +154,78 @@ struct IngestStats {
 
 namespace detail {
 
-/// Line-level machinery shared by both readers: bounded line fetch with
-/// CRLF/BOM tolerance, reject accounting, quarantine, budget tracking.
+/// Reject classification, quarantine, and error-budget accounting — ONE
+/// shared implementation for every ingest surface. The CSV readers feed it
+/// per line (through LineCursor below); the columnar readers (columnar.h)
+/// feed it per decoded row. Both therefore count into the same
+/// `ingest.reject.<reason>` metric names, trip the same
+/// `max_consecutive_rejects` cap (strictly more than the cap of
+/// back-to-back rejects fails immediately), and evaluate the same
+/// `max_reject_fraction` budget at finish() — no divergent counters, no
+/// second classification table. `unit` only flavors messages ("line" for
+/// text streams, "record" for columnar batches).
+class RejectLedger {
+ public:
+  RejectLedger(const ReaderOptions& options, std::string_view label,
+               std::string_view unit);
+
+  /// One physical unit consumed (line read / row visited).
+  void count_unit() {
+    ++stats_.lines_seen;
+    if (lines_counter_) lines_counter_->add(1);
+  }
+  /// Mark the current unit as a record candidate (budget denominator).
+  void count_data() { ++stats_.data_lines; }
+
+  void reject(RejectReason reason, std::string_view text,
+              std::uint64_t position);
+  void accept() {
+    ++stats_.records_accepted;
+    consecutive_rejects_ = 0;
+    if (accepted_counter_) accepted_counter_->add(1);
+  }
+  /// Clean-batch fast path: account `n` validated records at once (the
+  /// columnar readers take it when a whole batch passed the column-wise
+  /// validation scans). Equivalent to n count_unit/count_data/accept
+  /// triples.
+  void accept_bulk(std::uint64_t n) {
+    stats_.lines_seen += n;
+    stats_.data_lines += n;
+    stats_.records_accepted += n;
+    consecutive_rejects_ = 0;
+    if (lines_counter_) lines_counter_->add(n);
+    if (accepted_counter_) accepted_counter_->add(n);
+  }
+
+  bool tripped() const { return !fatal_.ok(); }
+  const core::Status& fatal() const { return fatal_; }
+  /// Trip the ledger with an external failure (e.g. an injected IO error):
+  /// tripped()/finish() report it exactly like a budget trip.
+  void fail(core::Status status) { fatal_ = std::move(status); }
+
+  /// Evaluate the end-of-input error budget; returns the fatal status if
+  /// the ledger tripped mid-input.
+  core::Status finish() const;
+
+  IngestStats& stats() { return stats_; }
+  const IngestStats& stats() const { return stats_; }
+  const ReaderOptions& options() const { return options_; }
+
+ private:
+  std::string format_offenders() const;
+
+  ReaderOptions options_;
+  std::string label_;
+  std::string unit_;
+  IngestStats stats_;
+  std::uint64_t consecutive_rejects_ = 0;
+  core::Status fatal_;
+  obs::Counter* lines_counter_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
+};
+
+/// Line-level machinery shared by both CSV readers: bounded line fetch with
+/// CRLF/BOM tolerance, delegating all reject accounting to RejectLedger.
 class LineCursor {
  public:
   LineCursor(std::istream& is, const ReaderOptions& options,
@@ -160,39 +236,30 @@ class LineCursor {
   /// once the consecutive-reject cap has tripped.
   bool next_line(std::string_view& line);
 
-  void reject(RejectReason reason, std::string_view text);
-  void accept() {
-    ++stats_.records_accepted;
-    consecutive_rejects_ = 0;
-    if (accepted_counter_) accepted_counter_->add(1);
+  void reject(RejectReason reason, std::string_view text) {
+    ledger_.reject(reason, text, ledger_.stats().lines_seen);
   }
-  void count_header() { ++stats_.headers_skipped; }
-  void count_meta() { ++stats_.meta_lines; }
+  void accept() { ledger_.accept(); }
+  void count_header() { ++ledger_.stats().headers_skipped; }
+  void count_meta() { ++ledger_.stats().meta_lines; }
   /// Mark the current line as a record candidate (call before accept or
   /// reject so the budget denominator counts it).
-  void count_data_line() { ++stats_.data_lines; }
+  void count_data_line() { ledger_.count_data(); }
 
-  bool tripped() const { return !fatal_.ok(); }
-  std::uint64_t line_number() const { return stats_.lines_seen; }
+  bool tripped() const { return ledger_.tripped(); }
+  std::uint64_t line_number() const { return ledger_.stats().lines_seen; }
 
   /// Evaluate the end-of-stream error budget; returns the fatal status if
   /// the cursor tripped mid-stream.
-  core::Status finish() const;
+  core::Status finish() const { return ledger_.finish(); }
 
-  const IngestStats& stats() const { return stats_; }
+  const IngestStats& stats() const { return ledger_.stats(); }
 
  private:
-  std::string format_offenders() const;
-
   std::istream& is_;
-  ReaderOptions options_;
+  RejectLedger ledger_;
   std::string label_;
-  IngestStats stats_;
   std::vector<char> buffer_;
-  std::uint64_t consecutive_rejects_ = 0;
-  core::Status fatal_;
-  obs::Counter* lines_counter_ = nullptr;
-  obs::Counter* accepted_counter_ = nullptr;
 };
 
 }  // namespace detail

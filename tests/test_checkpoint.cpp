@@ -990,5 +990,244 @@ TEST(InterruptResume, PeriodicCheckpointWithoutPathIsInvalid) {
   EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
 }
 
+// --------------------------------------------------- multi-process shards
+//
+// `--shard i/N` runs analyze one contiguous item slice each and emit their
+// completed checkpoint as the output; io::combine_shard_checkpoints glues
+// the per-process slices back into one table, and resuming from the merged
+// checkpoint must finalize to bytes identical to a single-process run.
+
+/// A checkpoint whose shard table covers only `[begin, end)` of
+/// `item_count` — what a `--shard i/N` process writes.
+io::StudyCheckpoint slice_checkpoint(std::uint64_t begin, std::uint64_t end,
+                                     std::uint64_t item_count,
+                                     std::uint64_t done) {
+  io::StudyCheckpoint ck;
+  ck.kind = io::kCkptCdnGen;
+  ck.config_fingerprint = 0x5eedf00d;
+  ck.item_count = item_count;
+  ck.shards.push_back({begin, end, done, "slice-blob"});
+  return ck;
+}
+
+TEST(ShardedStudy, SliceCheckpointsDecode) {
+  // The container accepts shard tables that neither start at 0 nor cover
+  // every item: each shard process checkpoints only its slice. Coverage is
+  // the merge step's job, not the codec's.
+  auto mid = io::decode_checkpoint(
+      io::encode_checkpoint(slice_checkpoint(5, 10, 20, 7)));
+  ASSERT_TRUE(mid.ok()) << mid.status().to_string();
+  EXPECT_EQ(mid->shards[0].begin, 5u);
+  EXPECT_EQ(mid->items_done(), 2u);
+
+  auto tail = io::decode_checkpoint(
+      io::encode_checkpoint(slice_checkpoint(10, 20, 20, 20)));
+  ASSERT_TRUE(tail.ok()) << tail.status().to_string();
+
+  // Still rejected: ranges beyond item_count, progress outside the range,
+  // and non-contiguous tables.
+  auto over = io::decode_checkpoint(
+      io::encode_checkpoint(slice_checkpoint(5, 25, 20, 6)));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), core::StatusCode::kDataLoss);
+  auto behind = io::decode_checkpoint(
+      io::encode_checkpoint(slice_checkpoint(5, 10, 20, 3)));
+  ASSERT_FALSE(behind.ok());
+  io::StudyCheckpoint gap = slice_checkpoint(0, 5, 20, 5);
+  gap.shards.push_back({6, 10, 10, "after-gap"});
+  auto gapped = io::decode_checkpoint(io::encode_checkpoint(gap));
+  ASSERT_FALSE(gapped.ok());
+  EXPECT_EQ(gapped.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(ShardedStudy, CombineValidatesTilingAndCompleteness) {
+  const std::string p0 = temp_path("combine_s0.ckpt");
+  const std::string p1 = temp_path("combine_s1.ckpt");
+  io::remove_checkpoint_files(p0);
+  io::remove_checkpoint_files(p1);
+  ASSERT_TRUE(io::write_checkpoint(p0, slice_checkpoint(0, 5, 10, 5)).ok());
+  ASSERT_TRUE(io::write_checkpoint(p1, slice_checkpoint(5, 10, 10, 10)).ok());
+
+  // Happy path, in either argument order: slices are sorted by begin.
+  for (auto paths : {std::vector<std::string>{p0, p1},
+                     std::vector<std::string>{p1, p0}}) {
+    auto combined = io::combine_shard_checkpoints(paths);
+    ASSERT_TRUE(combined.ok()) << combined.status().to_string();
+    EXPECT_EQ(combined->item_count, 10u);
+    ASSERT_EQ(combined->shards.size(), 2u);
+    EXPECT_EQ(combined->shards[0].begin, 0u);
+    EXPECT_EQ(combined->shards[1].begin, 5u);
+    EXPECT_EQ(combined->items_done(), 10u);
+  }
+
+  // A missing slice is a gap, a doubled slice is an overlap — both refuse.
+  auto missing = io::combine_shard_checkpoints({p1});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), core::StatusCode::kFailedPrecondition);
+  auto doubled = io::combine_shard_checkpoints({p0, p0, p1});
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.status().code(), core::StatusCode::kFailedPrecondition);
+
+  // An interrupted shard (next < end) must be finished before merging.
+  const std::string part = temp_path("combine_partial.ckpt");
+  io::remove_checkpoint_files(part);
+  ASSERT_TRUE(
+      io::write_checkpoint(part, slice_checkpoint(5, 10, 10, 7)).ok());
+  auto incomplete = io::combine_shard_checkpoints({p0, part});
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(),
+            core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(incomplete.status().message().find("incomplete"),
+            std::string::npos);
+
+  // Config skew and study-kind mismatches across shard files refuse too.
+  io::StudyCheckpoint skewed = slice_checkpoint(5, 10, 10, 10);
+  skewed.config_fingerprint = 0xdead;
+  ASSERT_TRUE(io::write_checkpoint(part, skewed).ok());
+  auto skew = io::combine_shard_checkpoints({p0, part});
+  ASSERT_FALSE(skew.ok());
+  EXPECT_EQ(skew.status().code(), core::StatusCode::kFailedPrecondition);
+  io::StudyCheckpoint other_kind = slice_checkpoint(5, 10, 10, 10);
+  other_kind.kind = io::kCkptAtlasGen;
+  ASSERT_TRUE(io::write_checkpoint(part, other_kind).ok());
+  auto kinds = io::combine_shard_checkpoints({p0, part});
+  ASSERT_FALSE(kinds.ok());
+  EXPECT_EQ(kinds.status().code(), core::StatusCode::kFailedPrecondition);
+
+  io::remove_checkpoint_files(p0);
+  io::remove_checkpoint_files(p1);
+  io::remove_checkpoint_files(part);
+}
+
+TEST(ShardedStudy, TwoProcessCdnRunMergesByteIdentical) {
+  auto population = cdn::default_cdn_population(0.05);
+  std::string reference =
+      cdn_bytes(core::run_cdn_study(population, small_cdn_config(1, nullptr)));
+
+  // Two "processes", each analyzing half the population and leaving its
+  // completed checkpoint behind (the shard's only output).
+  std::vector<std::string> shard_paths;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const std::string path =
+        temp_path("cdn_shard_" + std::to_string(i) + ".ckpt");
+    io::remove_checkpoint_files(path);
+    core::CheckpointConfig cc;
+    cc.path = path;
+    cc.shard_index = i;
+    cc.shard_count = 2;
+    auto partial = core::run_cdn_study_supervised(
+        population, small_cdn_config(2, nullptr), cc);
+    ASSERT_TRUE(partial.ok()) << partial.status().to_string();
+    ASSERT_TRUE(std::filesystem::exists(path));
+    shard_paths.push_back(path);
+  }
+
+  auto combined = io::combine_shard_checkpoints(shard_paths);
+  ASSERT_TRUE(combined.ok()) << combined.status().to_string();
+  EXPECT_EQ(combined->items_done(), combined->item_count);
+
+  // The merge process resumes from the combined table — all slices done,
+  // so it goes straight to the ordered reduction — at a thread count
+  // different from both shard runs.
+  core::CheckpointConfig merge_cc;
+  merge_cc.resume = &*combined;
+  auto merged = core::run_cdn_study_supervised(
+      population, small_cdn_config(4, nullptr), merge_cc);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(cdn_bytes(*merged), reference);
+
+  for (const auto& path : shard_paths) io::remove_checkpoint_files(path);
+}
+
+TEST(ShardedStudy, TwoProcessAtlasRunMergesByteIdentical) {
+  auto isps = study_isps();
+  std::string reference =
+      atlas_bytes(core::run_atlas_study(isps, small_atlas_config(1, nullptr)));
+
+  std::vector<std::string> shard_paths;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const std::string path =
+        temp_path("atlas_shard_" + std::to_string(i) + ".ckpt");
+    io::remove_checkpoint_files(path);
+    core::CheckpointConfig cc;
+    cc.path = path;
+    cc.shard_index = i;
+    cc.shard_count = 2;
+    auto partial = core::run_atlas_study_supervised(
+        isps, small_atlas_config(2, nullptr), cc);
+    ASSERT_TRUE(partial.ok()) << partial.status().to_string();
+    shard_paths.push_back(path);
+  }
+
+  auto combined = io::combine_shard_checkpoints(shard_paths);
+  ASSERT_TRUE(combined.ok()) << combined.status().to_string();
+  core::CheckpointConfig merge_cc;
+  merge_cc.resume = &*combined;
+  auto merged = core::run_atlas_study_supervised(
+      isps, small_atlas_config(1, nullptr), merge_cc);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(atlas_bytes(*merged), reference);
+
+  for (const auto& path : shard_paths) io::remove_checkpoint_files(path);
+}
+
+TEST(ShardedStudy, InterruptedShardResumesThenMerges) {
+  // A shard process is itself interruptible: chain-resume shard 1 of 2 at
+  // every round boundary, then merge with an uninterrupted shard 0 — still
+  // byte-identical to the single-process run.
+  auto population = cdn::default_cdn_population(0.05);
+  std::string reference =
+      cdn_bytes(core::run_cdn_study(population, small_cdn_config(1, nullptr)));
+
+  const std::string p0 = temp_path("cdn_shard_chain_0.ckpt");
+  const std::string p1 = temp_path("cdn_shard_chain_1.ckpt");
+  io::remove_checkpoint_files(p0);
+  io::remove_checkpoint_files(p1);
+  {
+    core::CheckpointConfig cc;
+    cc.path = p0;
+    cc.shard_index = 0;
+    cc.shard_count = 2;
+    auto partial = core::run_cdn_study_supervised(
+        population, small_cdn_config(1, nullptr), cc);
+    ASSERT_TRUE(partial.ok()) << partial.status().to_string();
+  }
+  std::optional<io::StudyCheckpoint> ck;
+  int interrupts = 0;
+  for (;;) {
+    core::ShutdownToken token;
+    token.request();
+    core::CheckpointConfig cc;
+    cc.every_items = 1;
+    cc.path = p1;
+    cc.token = &token;
+    cc.resume = ck ? &*ck : nullptr;
+    cc.shard_index = 1;
+    cc.shard_count = 2;
+    auto result = core::run_cdn_study_supervised(
+        population, small_cdn_config(1, nullptr), cc);
+    if (result.ok()) break;
+    ASSERT_EQ(result.status().code(), core::StatusCode::kCancelled)
+        << result.status().to_string();
+    auto loaded = io::read_checkpoint_with_fallback(p1);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+    ck = loaded.take();
+    ASSERT_LT(++interrupts, 10000) << "shard resume chain does not converge";
+  }
+  EXPECT_GT(interrupts, 1);
+
+  auto combined = io::combine_shard_checkpoints({p0, p1});
+  ASSERT_TRUE(combined.ok()) << combined.status().to_string();
+  core::CheckpointConfig merge_cc;
+  merge_cc.resume = &*combined;
+  auto merged = core::run_cdn_study_supervised(
+      population, small_cdn_config(2, nullptr), merge_cc);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(cdn_bytes(*merged), reference);
+
+  io::remove_checkpoint_files(p0);
+  io::remove_checkpoint_files(p1);
+}
+
 }  // namespace
 }  // namespace dynamips

@@ -1,0 +1,432 @@
+// test_columnar — the out-of-core columnar batch format (io/columnar.h):
+// encode/decode round-trips that reproduce the CSV readers' semantics
+// exactly, end-to-end study byte-identity between `.csv` and `.col` inputs
+// at multiple thread counts, structural-corruption rejection (flipped
+// bytes, truncations, kind/version skew — kDataLoss/kFailedPrecondition,
+// never a crash), and the shared row-level error budget: columnar decode
+// failures count against the same RejectLedger budgets as CSV line
+// rejects.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atlas/generator.h"
+#include "cdn/generator.h"
+#include "core/pipeline.h"
+#include "io/checkpoint.h"
+#include "io/columnar.h"
+#include "io/readers.h"
+#include "io/results_io.h"
+#include "simnet/isp.h"
+
+namespace dynamips {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), std::streamsize(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+std::vector<atlas::ProbeSeries> echo_fixture(double scale = 0.05) {
+  atlas::AtlasConfig cfg;
+  cfg.probe_scale = scale;
+  cfg.window_hours = 6000;
+  cfg.seed = 7;
+  auto isps = simnet::paper_isps();
+  isps.resize(3);
+  atlas::AtlasSimulator sim(isps, cfg);
+  std::vector<atlas::ProbeSeries> out;
+  out.reserve(sim.probe_count());
+  for (std::size_t i = 0; i < sim.probe_count(); ++i)
+    out.push_back(sim.series_for(i));
+  return out;
+}
+
+std::vector<cdn::AssociationLog> assoc_fixture(double scale = 0.05) {
+  cdn::CdnConfig cfg;
+  cfg.subscriber_scale = scale;
+  cfg.seed = 13;
+  cdn::CdnSimulator sim(cdn::default_cdn_population(scale), cfg);
+  std::vector<cdn::AssociationLog> out;
+  out.reserve(sim.entry_count());
+  for (std::size_t i = 0; i < sim.entry_count(); ++i)
+    out.push_back(sim.generate(i));
+  return out;
+}
+
+std::string atlas_bytes(const core::AtlasStudy& s) {
+  std::ostringstream os;
+  io::write_duration_curves_csv(os, s);
+  io::write_cpl_csv(os, s);
+  io::write_bgp_moves_csv(os, s);
+  io::write_inference_csv(os, s);
+  return os.str();
+}
+
+std::string cdn_bytes(const core::CdnStudy& s) {
+  std::ostringstream os;
+  io::write_assoc_durations_csv(os, s);
+  io::write_degrees_csv(os, s);
+  io::write_zero_boundaries_csv(os, s);
+  return os.str();
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(ColumnarCodec, EchoRoundTripPreservesEverything) {
+  auto dataset = echo_fixture();
+  ASSERT_FALSE(dataset.empty());
+  std::string bytes = io::encode_echo_columnar(dataset);
+  auto back = io::decode_echo_columnar(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  ASSERT_EQ(back.value().size(), dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& a = dataset[i];
+    const auto& b = back.value()[i];
+    EXPECT_EQ(a.meta.probe_id, b.meta.probe_id);
+    EXPECT_EQ(a.meta.tags, b.meta.tags);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t r = 0; r < a.records.size(); ++r) {
+      EXPECT_EQ(a.records[r].hour, b.records[r].hour);
+      EXPECT_EQ(a.records[r].family, b.records[r].family);
+      EXPECT_EQ(a.records[r].x_client_ip4.value(),
+                b.records[r].x_client_ip4.value());
+      EXPECT_EQ(a.records[r].src_addr4.value(),
+                b.records[r].src_addr4.value());
+      EXPECT_EQ(a.records[r].x_client_ip6.bits().hi,
+                b.records[r].x_client_ip6.bits().hi);
+      EXPECT_EQ(a.records[r].src_addr6.bits().lo,
+                b.records[r].src_addr6.bits().lo);
+    }
+  }
+}
+
+TEST(ColumnarCodec, AssocRoundTripPreservesEverything) {
+  auto dataset = assoc_fixture();
+  ASSERT_FALSE(dataset.empty());
+  std::string bytes = io::encode_assoc_columnar(dataset);
+  auto back = io::decode_assoc_columnar(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  ASSERT_EQ(back.value().size(), dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto& a = dataset[i];
+    const auto& b = back.value()[i];
+    EXPECT_EQ(a.asn, b.asn);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t r = 0; r < a.records.size(); ++r) {
+      EXPECT_EQ(a.records[r].day, b.records[r].day);
+      EXPECT_EQ(a.records[r].v4_24.address().value(),
+                b.records[r].v4_24.address().value());
+      EXPECT_EQ(a.records[r].v4_24.length(), b.records[r].v4_24.length());
+      EXPECT_EQ(a.records[r].v6_64.address().bits().hi,
+                b.records[r].v6_64.address().bits().hi);
+      EXPECT_EQ(a.records[r].asn4, b.records[r].asn4);
+      EXPECT_EQ(a.records[r].asn6, b.records[r].asn6);
+    }
+  }
+}
+
+TEST(ColumnarCodec, EmptyDatasetsRoundTrip) {
+  auto echo = io::decode_echo_columnar(io::encode_echo_columnar({}));
+  ASSERT_TRUE(echo.ok()) << echo.status().to_string();
+  EXPECT_TRUE(echo.value().empty());
+  auto assoc = io::decode_assoc_columnar(io::encode_assoc_columnar({}));
+  ASSERT_TRUE(assoc.ok()) << assoc.status().to_string();
+  EXPECT_TRUE(assoc.value().empty());
+}
+
+// The per-column CRCs in the directory must be the same polynomial as
+// ckpt::crc32 (IEEE/zlib) so one checksum convention covers the whole
+// persistence layer. Verify by recomputing a directory entry's CRC with
+// the checkpoint codec's reference implementation.
+TEST(ColumnarCodec, ColumnCrcsMatchCheckpointCrc32) {
+  auto dataset = echo_fixture(0.02);
+  std::string bytes = io::encode_echo_columnar(dataset);
+  ASSERT_GT(bytes.size(), 48u);
+  auto u32_at = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t(std::uint8_t(bytes[off + std::size_t(i)]))
+           << (8 * i);
+    return v;
+  };
+  auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= std::uint64_t(std::uint8_t(bytes[off + std::size_t(i)]))
+           << (8 * i);
+    return v;
+  };
+  const std::uint32_t ncols = u32_at(32);
+  ASSERT_GT(ncols, 0u);
+  std::size_t checked = 0;
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    const std::size_t entry = 36 + std::size_t(c) * 24;
+    const std::uint64_t offset = u64_at(entry + 4);
+    const std::uint64_t length = u64_at(entry + 12);
+    const std::uint32_t crc = u32_at(entry + 20);
+    ASSERT_LE(offset + length, bytes.size());
+    EXPECT_EQ(crc, io::ckpt::crc32(std::string_view(bytes)
+                                       .substr(offset, length)))
+        << "column " << c;
+    ++checked;
+  }
+  EXPECT_EQ(checked, ncols);
+  // Header CRC too: everything before the trailing u32 of the header.
+  const std::size_t header_size = 36 + std::size_t(ncols) * 24 + 4;
+  EXPECT_EQ(u32_at(header_size - 4),
+            io::ckpt::crc32(
+                std::string_view(bytes).substr(0, header_size - 4)));
+}
+
+// ------------------------------------------------------ corruption safety
+
+// Flip a sample of single bytes across the file. Every flip must either be
+// rejected (kDataLoss for structural damage, kFailedPrecondition for
+// version/kind skew) or — only for bytes in CRC-free alignment padding —
+// decode to the identical dataset. Never a crash, never silently wrong.
+TEST(ColumnarCorruption, SampledByteFlipsNeverYieldWrongData) {
+  auto dataset = assoc_fixture(0.02);
+  const std::string clean = io::encode_assoc_columnar(dataset);
+  auto reference = io::decode_assoc_columnar(clean);
+  ASSERT_TRUE(reference.ok());
+  const std::size_t stride = clean.size() > 4096 ? clean.size() / 4096 : 1;
+  for (std::size_t pos = 0; pos < clean.size(); pos += stride) {
+    std::string bent = clean;
+    bent[pos] = char(std::uint8_t(bent[pos]) ^ 0x20);
+    auto out = io::decode_assoc_columnar(bent);
+    if (out.ok()) {
+      // Padding byte: tolerated, but the payload must be untouched.
+      ASSERT_EQ(out.value().size(), reference.value().size())
+          << "flip at " << pos;
+      continue;
+    }
+    EXPECT_TRUE(out.status().code() == core::StatusCode::kDataLoss ||
+                out.status().code() == core::StatusCode::kFailedPrecondition)
+        << "flip at " << pos << ": " << out.status().to_string();
+  }
+}
+
+TEST(ColumnarCorruption, EveryTruncationRejected) {
+  const std::string clean = io::encode_echo_columnar(echo_fixture(0.02));
+  const std::size_t stride = clean.size() > 512 ? clean.size() / 512 : 1;
+  for (std::size_t keep = 0; keep < clean.size(); keep += stride) {
+    auto out = io::decode_echo_columnar(clean.substr(0, keep));
+    EXPECT_FALSE(out.ok()) << "truncated to " << keep;
+    if (!out.ok()) {
+      EXPECT_EQ(out.status().code(), core::StatusCode::kDataLoss)
+          << "truncated to " << keep << ": " << out.status().to_string();
+    }
+  }
+}
+
+TEST(ColumnarCorruption, KindMismatchIsFailedPrecondition) {
+  const std::string echo = io::encode_echo_columnar(echo_fixture(0.02));
+  auto out = io::decode_assoc_columnar(echo);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kFailedPrecondition);
+}
+
+TEST(ColumnarCorruption, VersionSkewIsFailedPrecondition) {
+  std::string bytes = io::encode_echo_columnar(echo_fixture(0.02));
+  // Patch the version field (offset 8) and re-seal the header CRC so the
+  // *only* defect is the version — must be kFailedPrecondition ("rebuild
+  // the file"), not kDataLoss ("the file is damaged").
+  bytes[8] = 2;
+  auto u32_at = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t(std::uint8_t(bytes[off + std::size_t(i)]))
+           << (8 * i);
+    return v;
+  };
+  const std::uint32_t ncols = u32_at(32);
+  const std::size_t header_size = 36 + std::size_t(ncols) * 24 + 4;
+  const std::uint32_t crc = io::ckpt::crc32(
+      std::string_view(bytes).substr(0, header_size - 4));
+  for (int i = 0; i < 4; ++i)
+    bytes[header_size - 4 + std::size_t(i)] = char((crc >> (8 * i)) & 0xFF);
+  auto out = io::decode_echo_columnar(bytes);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kFailedPrecondition)
+      << out.status().to_string();
+}
+
+TEST(ColumnarFiles, MissingFileIsNotFound) {
+  auto out = io::read_echo_columnar(temp_path("never_written.col"));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(ColumnarFiles, ExtensionDispatch) {
+  EXPECT_TRUE(io::is_columnar_path("batch-000.col"));
+  EXPECT_FALSE(io::is_columnar_path("batch-000.csv"));
+  EXPECT_FALSE(io::is_columnar_path("colfile.txt"));
+  EXPECT_FALSE(io::is_columnar_path("col"));
+}
+
+// ------------------------------------------------- shared reject ledger
+
+// Row-level implausibilities in a columnar batch count against the SAME
+// error budget as CSV line rejects: the consecutive-reject cap and the
+// reject-fraction budget trip with the same kDataLoss statuses.
+TEST(ColumnarBudget, ConsecutiveRejectCapTrips) {
+  std::vector<atlas::ProbeSeries> dataset(1);
+  dataset[0].meta.probe_id = 42;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    atlas::EchoRecord rec;
+    rec.probe_id = 42;
+    rec.hour = 1000000 + i;  // far over ReaderOptions::max_hour
+    rec.family = atlas::Family::kV4;
+    dataset[0].records.push_back(rec);
+  }
+  io::ReaderOptions opts;
+  opts.max_consecutive_rejects = 10;
+  io::IngestStats stats;
+  auto out = io::decode_echo_columnar(io::encode_echo_columnar(dataset),
+                                      opts, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kDataLoss);
+  EXPECT_GT(stats.rejects_for(io::RejectReason::kOutOfRange), 0u);
+}
+
+TEST(ColumnarBudget, RejectFractionBudgetTrips) {
+  std::vector<cdn::AssociationLog> dataset(1);
+  dataset[0].asn = 7;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    cdn::AssociationRecord rec;
+    rec.day = i < 10 ? 9000000u : i;  // 10% out of range vs 1% budget
+    rec.asn4 = 7;
+    rec.asn6 = 7;
+    dataset[0].records.push_back(rec);
+  }
+  io::ReaderOptions opts;
+  opts.max_consecutive_rejects = 1000;  // don't trip the cap, only budget
+  io::IngestStats stats;
+  auto out = io::decode_assoc_columnar(io::encode_assoc_columnar(dataset),
+                                       opts, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kDataLoss);
+  EXPECT_EQ(stats.rejects_for(io::RejectReason::kOutOfRange), 10u);
+  EXPECT_EQ(stats.records_accepted, 90u);
+}
+
+TEST(ColumnarBudget, QuarantineReceivesDecimalRendering) {
+  std::vector<cdn::AssociationLog> dataset(1);
+  dataset[0].asn = 7;
+  cdn::AssociationRecord bad;
+  bad.day = 9000000;
+  bad.asn4 = 1;
+  bad.asn6 = 2;
+  dataset[0].records.push_back(bad);
+  cdn::AssociationRecord good;
+  good.day = 5;
+  good.asn4 = 1;
+  good.asn6 = 2;
+  for (int i = 0; i < 200; ++i) {
+    good.day = std::uint32_t(5 + i);
+    dataset[0].records.push_back(good);
+  }
+  std::ostringstream qt;
+  io::ReaderOptions opts;
+  opts.quarantine = &qt;
+  opts.source_label = "unit.col";
+  io::IngestStats stats;
+  auto out = io::decode_assoc_columnar(io::encode_assoc_columnar(dataset),
+                                       opts, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_NE(qt.str().find("unit.col"), std::string::npos);
+  EXPECT_NE(qt.str().find("out_of_range"), std::string::npos);
+  EXPECT_NE(qt.str().find("9000000"), std::string::npos);
+}
+
+// --------------------------------------- end-to-end study byte-identity
+//
+// The acceptance criterion for the format: feeding the studies from `.col`
+// files produces result CSVs byte-identical to the `.csv` path, at thread
+// counts 1 and 4.
+
+TEST(ColumnarStudy, AtlasCsvAndColumnarByteIdentical) {
+  auto dataset = echo_fixture();
+  const std::string csv_path = temp_path("atlas_in.csv");
+  {
+    std::ofstream os(csv_path, std::ios::trunc);
+    io::write_echo_dataset(os, dataset);
+  }
+  const std::string col_path = temp_path("atlas_in.col");
+  ASSERT_TRUE(io::write_echo_columnar(col_path, dataset).ok());
+
+  auto isps = simnet::paper_isps();
+  isps.resize(3);
+  std::string reference;
+  for (unsigned threads : {1u, 4u}) {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = threads;
+    auto from_csv =
+        core::run_atlas_study_from_files({csv_path}, isps, cfg);
+    ASSERT_TRUE(from_csv.ok()) << from_csv.status().to_string();
+    io::IngestStats stats;
+    auto from_col =
+        core::run_atlas_study_from_files({col_path}, isps, cfg, &stats);
+    ASSERT_TRUE(from_col.ok()) << from_col.status().to_string();
+    EXPECT_EQ(atlas_bytes(from_col.value()), atlas_bytes(from_csv.value()))
+        << "threads=" << threads;
+    EXPECT_GT(stats.records_accepted, 0u);
+    if (reference.empty())
+      reference = atlas_bytes(from_csv.value());
+    else
+      EXPECT_EQ(atlas_bytes(from_csv.value()), reference);
+  }
+}
+
+TEST(ColumnarStudy, CdnCsvAndColumnarByteIdentical) {
+  auto dataset = assoc_fixture();
+  const std::string csv_path = temp_path("cdn_in.csv");
+  {
+    std::ofstream os(csv_path, std::ios::trunc);
+    io::write_assoc_dataset(os, dataset);
+  }
+  const std::string col_path = temp_path("cdn_in.col");
+  ASSERT_TRUE(io::write_assoc_columnar(col_path, dataset).ok());
+
+  for (unsigned threads : {1u, 4u}) {
+    core::CdnFileStudyConfig cfg;
+    cfg.threads = threads;
+    auto from_csv = core::run_cdn_study_from_files({csv_path}, cfg);
+    ASSERT_TRUE(from_csv.ok()) << from_csv.status().to_string();
+    auto from_col = core::run_cdn_study_from_files({col_path}, cfg);
+    ASSERT_TRUE(from_col.ok()) << from_col.status().to_string();
+    EXPECT_EQ(cdn_bytes(from_col.value()), cdn_bytes(from_csv.value()))
+        << "threads=" << threads;
+  }
+}
+
+// A damaged columnar file fed through the study path fails the run with
+// kDataLoss — the same contract as an over-budget CSV — and never crashes.
+TEST(ColumnarStudy, CorruptBatchFailsStudyCleanly) {
+  auto dataset = assoc_fixture(0.02);
+  std::string bytes = io::encode_assoc_columnar(dataset);
+  bytes[bytes.size() / 2] ^= 0x41;
+  const std::string path = temp_path("cdn_bent.col");
+  write_raw(path, bytes);
+  core::CdnFileStudyConfig cfg;
+  cfg.threads = 1;
+  auto out = core::run_cdn_study_from_files({path}, cfg);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), core::StatusCode::kDataLoss)
+      << out.status().to_string();
+}
+
+}  // namespace
+}  // namespace dynamips

@@ -30,6 +30,7 @@
 #include "core/resource.h"
 #include "core/sanitize.h"
 #include "io/checkpoint.h"
+#include "io/columnar.h"
 #include "io/results_io.h"
 #include "simnet/isp.h"
 #include "stats/ecdf.h"
@@ -449,6 +450,152 @@ TEST(StreamCheckpoint, OneShotKindsOmitTheBatchSection) {
   ASSERT_TRUE(back.ok()) << back.status().to_string();
   EXPECT_FALSE(io::is_stream_checkpoint_kind(back->kind));
   EXPECT_TRUE(back->consumed.empty());
+}
+
+// ------------------------------------------------------- batch ordering
+
+TEST(BatchOrdering, NaturalNameLessComparesDigitRunsNumerically) {
+  // The regression that blocked billion-tuple runs: once a feed outgrows
+  // its zero-pad width, lexicographic order replays batch-1000 before
+  // batch-999. Digit runs must compare by numeric value.
+  EXPECT_TRUE(core::natural_name_less("batch-999.csv", "batch-1000.csv"));
+  EXPECT_FALSE(core::natural_name_less("batch-1000.csv", "batch-999.csv"));
+  EXPECT_TRUE(core::natural_name_less("batch-2.csv", "batch-10.csv"));
+  EXPECT_TRUE(core::natural_name_less("batch-9.col", "batch-10.col"));
+  // Irreflexive and consistent on equal names (strict weak ordering).
+  EXPECT_FALSE(core::natural_name_less("batch-007.csv", "batch-007.csv"));
+  // Leading zeros: equal values tie-break toward the shorter digit run so
+  // the order stays strict; either way 2 < 3 regardless of padding.
+  EXPECT_TRUE(core::natural_name_less("batch-2.csv", "batch-002.csv"));
+  EXPECT_FALSE(core::natural_name_less("batch-002.csv", "batch-2.csv"));
+  EXPECT_TRUE(core::natural_name_less("batch-002.csv", "batch-3.csv"));
+  EXPECT_TRUE(core::natural_name_less("batch-2.csv", "batch-003.csv"));
+  // Non-digit segments still compare bytewise; digits sort before letters.
+  EXPECT_TRUE(core::natural_name_less("alpha.csv", "beta.csv"));
+  EXPECT_TRUE(core::natural_name_less("batch-10.csv", "batch-a.csv"));
+  // Multiple digit runs: earliest differing run decides.
+  EXPECT_TRUE(
+      core::natural_name_less("day2-batch-100.csv", "day10-batch-1.csv"));
+  EXPECT_TRUE(
+      core::natural_name_less("day2-batch-9.csv", "day2-batch-10.csv"));
+  // Prefix of the other sorts first.
+  EXPECT_TRUE(core::natural_name_less("batch", "batch-1.csv"));
+  // Transitivity over a mixed-width sequence: std::sort must be safe.
+  std::vector<std::string> names = {"batch-1000.csv", "batch-2.csv",
+                                    "batch-999.csv", "batch-10.csv",
+                                    "batch-0.csv"};
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return core::natural_name_less(a, b);
+            });
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"batch-0.csv", "batch-2.csv",
+                                      "batch-10.csv", "batch-999.csv",
+                                      "batch-1000.csv"}));
+}
+
+TEST(BatchOrdering, MixedWidthNamesConsumeInProductionOrder) {
+  // End-to-end regression: batches whose numeric suffixes outgrow the pad
+  // width must be consumed in production (numeric) order. Lexicographic
+  // order here would be batch-10, batch-1000, batch-2, batch-999 — a
+  // different merge order, and a checkpoint `consumed` list that replays
+  // the tail before the middle on resume.
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_natural_order_watch");
+  const fs::path ckdir = temp_dir("stream_natural_order_ckpt");
+  const std::string ckpt = (ckdir / "study.ckpt").string();
+  const auto padded = write_atlas_batches(watch, fx.dataset, 4);
+  const std::vector<std::string> names = {"batch-2.csv", "batch-10.csv",
+                                          "batch-999.csv", "batch-1000.csv"};
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    fs::rename(padded[i], watch / names[i]);
+    paths.push_back((watch / names[i]).string());
+  }
+
+  // Reference: the one-shot study over the batches in production order.
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // Phase 1: consume exactly two batches. The checkpoint must record the
+  // numerically first two, not the lexicographically first two.
+  {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = 1;
+    core::StreamConfig stream;
+    stream.max_batches = 2;
+    stream.checkpoint_path = ckpt;
+    core::StreamStats stats;
+    auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                        {}, nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(stats.batches, 2u);
+  }
+  auto ck = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(ck.ok()) << ck.status().to_string();
+  ASSERT_EQ(ck->consumed.size(), 2u);
+  EXPECT_EQ(ck->consumed[0], "batch-2.csv");
+  EXPECT_EQ(ck->consumed[1], "batch-10.csv");
+
+  // Phase 2: resume past the high-water mark. Only batch-999 and
+  // batch-1000 replay — in that order — and the final study matches the
+  // one-shot reference byte for byte.
+  drop_sentinel(watch, "stream.stop");
+  {
+    core::AtlasFileStudyConfig cfg;
+    cfg.threads = 1;
+    core::StreamConfig stream;
+    stream.checkpoint_path = ckpt;
+    stream.resume = &*ck;
+    core::StreamStats stats;
+    auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                        {}, nullptr, &stats);
+    ASSERT_TRUE(study.ok()) << study.status().to_string();
+    EXPECT_EQ(stats.batches, 4u);
+    EXPECT_EQ(atlas_signature(*study), want);
+  }
+  auto done = io::read_checkpoint(ckpt);
+  ASSERT_TRUE(done.ok()) << done.status().to_string();
+  EXPECT_EQ(done->consumed,
+            (std::vector<std::string>{"batch-2.csv", "batch-10.csv",
+                                      "batch-999.csv", "batch-1000.csv"}));
+}
+
+TEST(BatchOrdering, ColumnarBatchesMixFreelyWithCsvInOneStream) {
+  // The stream driver dispatches per file: `.col` batches ride alongside
+  // `.csv` in the same watch directory and land on the same bytes.
+  const AtlasFixture& fx = atlas_fixture();
+  const fs::path watch = temp_dir("stream_mixed_col_watch");
+  const auto paths = write_atlas_batches(watch, fx.dataset, 4);
+
+  core::AtlasFileStudyConfig ref_cfg;
+  ref_cfg.threads = 1;
+  auto ref = core::run_atlas_study_from_files(paths, fx.isps, ref_cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  const std::string want = atlas_signature(*ref);
+
+  // Re-encode every other batch as columnar, keeping its batch number.
+  for (std::size_t i = 0; i < paths.size(); i += 2) {
+    auto part = io::load_echo_file(paths[i]);
+    ASSERT_TRUE(part.ok()) << part.status().to_string();
+    fs::path col = fs::path(paths[i]).replace_extension(".col");
+    ASSERT_TRUE(io::write_echo_columnar(col.string(), *part).ok());
+    fs::remove(paths[i]);
+  }
+  drop_sentinel(watch, "stream.stop");
+
+  core::AtlasFileStudyConfig cfg;
+  cfg.threads = 2;
+  core::StreamConfig stream;
+  core::StreamStats stats;
+  auto study = core::run_atlas_stream(watch.string(), fx.isps, cfg, stream,
+                                      {}, nullptr, &stats);
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(atlas_signature(*study), want);
 }
 
 // ------------------------------------------------- streaming end to end

@@ -35,7 +35,7 @@
 //
 // Streaming mode: --follow DIR (with exactly one of --atlas-only/--cdn-only)
 // switches from one-shot ingestion to a long-lived stream. Batch files
-// dropped into DIR are consumed in lexicographic order through the same
+// dropped into DIR are consumed in natural name order through the same
 // fault-tolerant readers, a monotone batch high-water-mark checkpoint is
 // written after every batch, and every --refinalize-every N batches (or
 // --refinalize-seconds S) the study is re-finalized and the result CSVs are
@@ -74,6 +74,20 @@
 // diagnosis naming the last durable checkpoint once --restart-max
 // failures land inside --restart-window-seconds with no progress.
 //
+// Out-of-core and multi-process scale: --spill-mb M bounds the CDN
+// analyzer's sort memory — past the budget, sorted runs spill to
+// --spill-dir (default: the system temp dir) and are k-way merged, with
+// results byte-identical to the in-memory path at every budget.
+// --shard i/N (0-based, with exactly one of --atlas-only/--cdn-only)
+// analyzes only the i-th contiguous 1/N of the work items and writes a
+// completed per-process checkpoint (default
+// <output_dir>/study.shard-i-of-N.ckpt) instead of result CSVs; run the N
+// shard processes anywhere, then merge with
+// --merge-shards F0,F1,...,F(N-1) under the *identical* study parameters:
+// the checkpoints are validated (same kind/fingerprint/item count, ranges
+// tile the item space), combined, and resumed through the ordered
+// reduction, producing CSVs byte-identical to a single-process run.
+//
 // Resource governance: --max-rss-mb / --min-disk-free-mb arm the
 // core/resource.h governor; the stream degrades gracefully under pressure
 // (early checkpoints, deferred re-finalizations, keep-last-1 retention,
@@ -81,6 +95,7 @@
 // /v1/readyz reports the governed state (503 + Retry-After while
 // degraded) while /v1/healthz stays a pure liveness probe.
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -129,6 +144,8 @@ void usage(const char* argv0) {
                "[--io-retries N] [--io-retry-base-ms MS] "
                "[--serve PORT] [--send-timeout-ms MS] [--max-connections N] "
                "[--no-csv] [--failpoints SPEC] "
+               "[--spill-mb N] [--spill-dir DIR] "
+               "[--shard I/N] [--merge-shards F[,F...]] "
                "[--max-rss-mb N] [--min-disk-free-mb N] "
                "[--max-lag-seconds S] [--max-backlog-batches N] "
                "[--supervise] [--restart-max N] "
@@ -240,6 +257,10 @@ int main(int argc, char** argv) {
   std::string failpoints_spec;
   bool failpoints_flag = false;
   io::ReaderOptions reader_opts;
+  std::uint64_t spill_mb = 0;
+  std::string spill_dir;
+  std::string shard_spec, merge_shards;
+  std::uint32_t shard_index = 0, shard_count = 1;
   std::uint64_t max_rss_mb = 0, min_disk_free_mb = 0;
   double max_lag_seconds = 0;
   std::uint64_t max_backlog_batches = 64;
@@ -310,6 +331,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--failpoints") {
       failpoints_spec = next();
       failpoints_flag = true;
+    } else if (arg == "--spill-mb") {
+      spill_mb = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--spill-dir") {
+      spill_dir = next();
+    } else if (arg == "--shard") {
+      shard_spec = next();
+    } else if (arg == "--merge-shards") {
+      merge_shards = next();
     } else if (arg == "--max-rss-mb") {
       max_rss_mb = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--min-disk-free-mb") {
@@ -377,6 +406,53 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Multi-process sharding: parse "--shard I/N" and reject the modes a
+  // partial run cannot compose with.
+  if (!shard_spec.empty()) {
+    std::size_t slash = shard_spec.find('/');
+    char* endp = nullptr;
+    unsigned long i_val =
+        slash == std::string::npos
+            ? ULONG_MAX
+            : std::strtoul(shard_spec.c_str(), &endp, 10);
+    unsigned long n_val =
+        slash == std::string::npos
+            ? 0
+            : std::strtoul(shard_spec.c_str() + slash + 1, nullptr, 10);
+    if (slash == std::string::npos || endp != shard_spec.c_str() + slash ||
+        n_val == 0 || i_val >= n_val || n_val > 4096) {
+      std::fprintf(stderr,
+                   "--shard expects I/N with 0 <= I < N (e.g. --shard 0/4), "
+                   "got '%s'\n",
+                   shard_spec.c_str());
+      return 2;
+    }
+    shard_index = std::uint32_t(i_val);
+    shard_count = std::uint32_t(n_val);
+    if (atlas == cdn) {
+      std::fprintf(stderr,
+                   "--shard requires exactly one of --atlas-only or "
+                   "--cdn-only (one checkpoint kind per shard file)\n");
+      return 2;
+    }
+    if (!follow_dir.empty() || serve || supervise_flag ||
+        !resume_from.empty() || !merge_shards.empty()) {
+      std::fprintf(stderr,
+                   "--shard is a batch mode: it cannot combine with "
+                   "--follow, --serve, --supervise, --resume-from or "
+                   "--merge-shards\n");
+      return 2;
+    }
+  }
+  if (!merge_shards.empty() &&
+      (!follow_dir.empty() || !resume_from.empty())) {
+    std::fprintf(stderr,
+                 "--merge-shards cannot combine with --follow or "
+                 "--resume-from\n");
+    return 2;
+  }
+  const bool sharding = shard_count > 1;
+
   // Chaos arming: the env var first, then --failpoints (the flag wins when
   // both are given). Disarmed, every instrumented site is one relaxed
   // atomic load.
@@ -398,6 +474,14 @@ int main(int argc, char** argv) {
                  ec.message().c_str());
     return 1;
   }
+  if (!spill_dir.empty()) {
+    std::filesystem::create_directories(spill_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --spill-dir %s: %s\n",
+                   spill_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
 
   const unsigned effective = core::resolve_threads(threads);
   // The looking-glass serves /v1/metricsz from the registry, so --serve
@@ -418,7 +502,11 @@ int main(int argc, char** argv) {
   core::install_shutdown_handlers();
   core::ShutdownToken& token = core::global_shutdown_token();
   if (checkpoint_out.empty())
-    checkpoint_out = (out_dir / "study.ckpt").string();
+    checkpoint_out =
+        sharding ? (out_dir / ("study.shard-" + std::to_string(shard_index) +
+                               "-of-" + std::to_string(shard_count) + ".ckpt"))
+                       .string()
+                 : (out_dir / "study.ckpt").string();
 
   // Supervisor mode: re-run this binary as a child (minus the
   // supervisor-only flags) and keep it alive — restart with capped
@@ -627,6 +715,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Shard merge: combine the completed per-process checkpoints into one
+  // resumable checkpoint and run the normal study path against it. Every
+  // item is already done, so dispatch finds no work and the ordered
+  // reduction + finalize produce CSVs byte-identical to a single-process
+  // run — provided the study parameters (inputs, scale, seed, ...) match
+  // the shard runs, which the config fingerprint enforces.
+  if (!merge_shards.empty()) {
+    auto combined = io::combine_shard_checkpoints(split_paths(merge_shards));
+    if (!combined.ok()) {
+      std::fprintf(stderr, "cannot merge shards: %s\n",
+                   combined.status().to_string().c_str());
+      return 1;
+    }
+    resume = combined.take();
+    std::printf("merging shard checkpoints (%s, %llu items, %zu shards)\n",
+                io::checkpoint_kind_name(resume->kind),
+                (unsigned long long)resume->item_count,
+                resume->shards.size());
+    if (io::is_atlas_checkpoint_kind(resume->kind)) {
+      if (!atlas) {
+        std::fprintf(stderr,
+                     "cannot merge: shard checkpoints are for the atlas "
+                     "study but --cdn-only was given\n");
+        return 1;
+      }
+      atlas_resume = &*resume;
+      cdn = false;  // the shard runs were atlas-only by construction
+    } else {
+      if (!cdn) {
+        std::fprintf(stderr,
+                     "cannot merge: shard checkpoints are for the cdn "
+                     "study but --atlas-only was given\n");
+        return 1;
+      }
+      cdn_resume = &*resume;
+      atlas = false;
+    }
+  }
+
   // Quarantined lines are published even when ingestion fails — that is
   // when they matter — but never as a half-written file.
   std::optional<io::AtomicFileWriter> quarantine;
@@ -640,9 +767,13 @@ int main(int argc, char** argv) {
     reader_opts.quarantine = &quarantine->stream();
   }
 
-  // Throughput accounting for --bench-out (filled by run_studies).
+  // Throughput accounting for --bench-out (filled by run_studies). The
+  // ingest figures are file-driven only: records accepted and wall time
+  // inside the load phase, the number the columnar format exists to move.
   std::uint64_t atlas_probes = 0, cdn_tuples = 0;
   double atlas_secs = 0, cdn_secs = 0;
+  std::uint64_t atlas_ingest_records = 0, cdn_ingest_records = 0;
+  double atlas_ingest_secs = 0, cdn_ingest_secs = 0;
 
   auto run_studies = [&]() -> int {
     if (atlas) {
@@ -651,6 +782,8 @@ int main(int argc, char** argv) {
       supervision.path = checkpoint_out;
       supervision.token = &token;
       supervision.resume = atlas_resume;
+      supervision.shard_index = shard_index;
+      supervision.shard_count = shard_count;
 
       core::AtlasStudy study;
       auto t0 = std::chrono::steady_clock::now();
@@ -668,6 +801,8 @@ int main(int argc, char** argv) {
             split_paths(atlas_in), simnet::paper_isps(), cfg, &stats,
             supervision);
         std::printf("  ingested %s\n", stats.summary().c_str());
+        atlas_ingest_records = stats.records_accepted;
+        atlas_ingest_secs = double(stats.load_wall_ns) * 1e-9;
       } else {
         std::printf("Atlas study (scale %.2f, window %llu h, seed %llu, "
                     "%u shards)...\n",
@@ -707,10 +842,15 @@ int main(int argc, char** argv) {
       atlas_secs = secs;
       std::printf("  analyzed %llu probes in %.2fs\n",
                   (unsigned long long)study.sanitize.probes_seen, secs);
-      if (serve)
-        service.publish_atlas(
-            lg::build_atlas_snapshot(study, 1, 0, atlas_probes));
-      if (!write_atlas_outputs(out_dir, study)) return 1;
+      if (sharding) {
+        std::printf("  shard %u/%u complete; merge with --merge-shards %s\n",
+                    shard_index, shard_count, checkpoint_out.c_str());
+      } else {
+        if (serve)
+          service.publish_atlas(
+              lg::build_atlas_snapshot(study, 1, 0, atlas_probes));
+        if (!write_atlas_outputs(out_dir, study)) return 1;
+      }
     }
 
     if (cdn) {
@@ -719,6 +859,8 @@ int main(int argc, char** argv) {
       supervision.path = checkpoint_out;
       supervision.token = &token;
       supervision.resume = cdn_resume;
+      supervision.shard_index = shard_index;
+      supervision.shard_count = shard_count;
 
       core::CdnStudy study;
       auto t0 = std::chrono::steady_clock::now();
@@ -731,6 +873,8 @@ int main(int argc, char** argv) {
         cfg.threads = threads;
         cfg.metrics = registry;
         cfg.reader = reader_opts;
+        cfg.assoc.spill_mb = spill_mb;
+        cfg.assoc.spill_dir = spill_dir;
         // The CSV schema carries no access-type/registry ground truth; take
         // the attribution of the known population profiles (ASNs absent from
         // it analyze as fixed-line RIPE).
@@ -743,6 +887,8 @@ int main(int argc, char** argv) {
         result = core::run_cdn_study_from_files(split_paths(cdn_in), cfg,
                                                 &stats, supervision);
         std::printf("  ingested %s\n", stats.summary().c_str());
+        cdn_ingest_records = stats.records_accepted;
+        cdn_ingest_secs = double(stats.load_wall_ns) * 1e-9;
       } else {
         std::printf("CDN study (scale %.2f, seed %llu, %u shards)...\n",
                     scale, (unsigned long long)seed, effective);
@@ -751,6 +897,8 @@ int main(int argc, char** argv) {
         cfg.cdn.seed = seed * 977;
         cfg.threads = threads;
         cfg.metrics = registry;
+        cfg.assoc.spill_mb = spill_mb;
+        cfg.assoc.spill_dir = spill_dir;
         result = core::run_cdn_study_supervised(
             cdn::default_cdn_population(scale), cfg, supervision);
       }
@@ -781,9 +929,15 @@ int main(int argc, char** argv) {
                   (unsigned long long)(study.analyzer.total_tuples() +
                                        study.analyzer.total_mismatched()),
                   secs);
-      if (serve)
-        service.publish_cdn(lg::build_cdn_snapshot(study, 1, 0, cdn_tuples));
-      if (!write_cdn_outputs(out_dir, study)) return 1;
+      if (sharding) {
+        std::printf("  shard %u/%u complete; merge with --merge-shards %s\n",
+                    shard_index, shard_count, checkpoint_out.c_str());
+      } else {
+        if (serve)
+          service.publish_cdn(
+              lg::build_cdn_snapshot(study, 1, 0, cdn_tuples));
+        if (!write_cdn_outputs(out_dir, study)) return 1;
+      }
     }
     return 0;
   };
@@ -982,7 +1136,7 @@ int main(int argc, char** argv) {
       std::uint64_t total_records = atlas_probes + cdn_tuples;
       auto rate = [](double n, double secs) { return secs > 0 ? n / secs : 0; };
       auto& os = bench.stream();
-      char buf[1024];
+      char buf[2048];
       std::snprintf(
           buf, sizeof buf,
           "{\n"
@@ -991,20 +1145,26 @@ int main(int argc, char** argv) {
           "\"seed\": %llu, \"window_hours\": %llu, \"threads\": %u},\n"
           "  \"counts\": {\"atlas_probes\": %llu, \"cdn_tuples\": %llu, "
           "\"nan_dropped\": %llu},\n"
-          "  \"wall_s\": {\"atlas\": %.3f, \"cdn\": %.3f, \"total\": %.3f},\n"
+          "  \"wall_s\": {\"atlas\": %.3f, \"cdn\": %.3f, \"total\": %.3f, "
+          "\"atlas_ingest\": %.3f, \"cdn_ingest\": %.3f},\n"
           "  \"metrics\": {\n"
           "    \"atlas_probes_per_sec\": %.1f,\n"
           "    \"cdn_tuples_per_sec\": %.1f,\n"
-          "    \"records_per_sec\": %.1f\n"
+          "    \"records_per_sec\": %.1f,\n"
+          "    \"atlas_ingest_records_per_sec\": %.1f,\n"
+          "    \"cdn_ingest_tuples_per_sec\": %.1f\n"
           "  }\n"
           "}\n",
           scale, (unsigned long long)seed, (unsigned long long)window,
           effective, (unsigned long long)atlas_probes,
           (unsigned long long)cdn_tuples,
           (unsigned long long)stats::nan_dropped(), atlas_secs, cdn_secs,
-          total_secs, rate(double(atlas_probes), atlas_secs),
+          total_secs, atlas_ingest_secs, cdn_ingest_secs,
+          rate(double(atlas_probes), atlas_secs),
           rate(double(cdn_tuples), cdn_secs),
-          rate(double(total_records), total_secs));
+          rate(double(total_records), total_secs),
+          rate(double(atlas_ingest_records), atlas_ingest_secs),
+          rate(double(cdn_ingest_records), cdn_ingest_secs));
       os << buf;
       core::Status st = bench.commit();
       if (!st.ok()) {
@@ -1022,11 +1182,21 @@ int main(int argc, char** argv) {
                  core::failpoint_report().c_str());
 
   if (rc == 0) {
-    // The run is fully durable; retire the checkpoint chain.
-    io::remove_checkpoint_files(checkpoint_out);
-    if (!resume_from.empty() && resume_from != checkpoint_out)
-      io::remove_checkpoint_files(resume_from);
-    std::printf("done.\n");
+    if (sharding) {
+      // The shard checkpoint IS the run's product — keep it (and its
+      // `.prev`/`.tmp` siblings are already gone via atomic publish).
+      std::printf("done (shard %u/%u).\n", shard_index, shard_count);
+    } else {
+      // The run is fully durable; retire the checkpoint chain, including
+      // the per-process shard checkpoints a merge run consumed.
+      io::remove_checkpoint_files(checkpoint_out);
+      if (!resume_from.empty() && resume_from != checkpoint_out)
+        io::remove_checkpoint_files(resume_from);
+      for (const std::string& shard_path : split_paths(merge_shards))
+        if (shard_path != checkpoint_out)
+          io::remove_checkpoint_files(shard_path);
+      std::printf("done.\n");
+    }
   }
   return rc;
 }
